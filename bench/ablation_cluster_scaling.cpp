@@ -1,0 +1,58 @@
+// Ablation A9: small-cluster Cell scaling — the deployment the paper's
+// conclusions target ("desktop and small cluster systems").
+//
+// B blades split the N^2 work but must exchange all positions every step
+// over a 2006 commodity interconnect; the O(N) allgather against the
+// O(N^2/B) compute sets the strong-scaling wall.
+#include "bench_util.h"
+
+#include "cellsim/cell_cluster.h"
+#include "core/string_util.h"
+
+int main() {
+  using namespace emdpa;
+  namespace eb = emdpa::bench;
+
+  eb::print_banner("Ablation A9",
+                   "Small-cluster Cell scaling (8 SPEs per blade, GigE)",
+                   "10 steps (extrapolated from 2 steady-state steps).");
+
+  Table table({"atoms", "blades", "total (s)", "compute (s)", "wire (s)",
+               "speedup vs 1 blade"});
+  std::vector<std::vector<std::string>> csv = {
+      {"atoms", "blades", "total_s", "compute_s", "wire_s"}};
+
+  for (const std::size_t n : {1024u, 4096u}) {
+    double base = 0.0;
+    for (const int blades : {1, 2, 4, 8}) {
+      const md::RunConfig cfg = eb::paper_run(n, 2);
+      cell::ClusterOptions options;
+      options.n_blades = blades;
+      const md::RunResult r = cell::CellClusterBackend(options).run(cfg);
+      const double total = eb::ten_step_estimate_seconds(r);
+      // Per-step shares scaled to 10 steps for the table.
+      const double compute =
+          r.breakdown_component("compute").to_seconds() / 2.0 * 10.0;
+      const double wire =
+          r.breakdown_component("interconnect").to_seconds() / 2.0 * 10.0;
+      if (blades == 1) base = total;
+      table.add_row({std::to_string(n), std::to_string(blades),
+                     format_fixed(total, 3), format_fixed(compute, 3),
+                     format_fixed(wire, 3),
+                     format_fixed(base / total, 2) + "x"});
+      csv.push_back({std::to_string(n), std::to_string(blades),
+                     format_fixed(total, 4), format_fixed(compute, 4),
+                     format_fixed(wire, 4)});
+    }
+  }
+
+  eb::print_table(table);
+  std::cout << "Small clusters of Cell blades extend the paper's single-chip\n"
+               "win while the N^2/B compute dominates.  The scaling cap is\n"
+               "set by what does NOT shrink with B: the per-step blade\n"
+               "orchestration and the O(N) position exchange — at these atom\n"
+               "counts the 2006-era software overheads bite before the GigE\n"
+               "wire does, and both arrive earlier at the smaller N.\n\n";
+  eb::print_csv_block("ablation_cluster", csv);
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Ablation A7: predication (the shader the paper's era used) vs Shader
+// Model 3.0 dynamic branching for the cutoff test.
+//
+// Branching could in principle skip the LJ polynomial for the ~97% of
+// candidate pairs outside the cutoff — but GeForce-class hardware executes
+// fragment *batches* in lock-step: iteration j takes the LJ path if ANY
+// fragment in the batch interacts with atom j.  With interacting pairs
+// scattered through the gather loop, realistic batch sizes execute the LJ
+// block almost every iteration and still pay per-iteration branch overhead.
+#include "bench_util.h"
+
+#include "core/string_util.h"
+#include "gpusim/branch_model.h"
+#include "gpusim/gpu_device.h"
+#include "md/workload.h"
+
+int main() {
+  using namespace emdpa;
+  namespace eb = emdpa::bench;
+
+  eb::print_banner(
+      "Ablation A7", "GPU cutoff handling: predication vs dynamic branching",
+      "One acceleration pass, 2048 atoms.  'LJ taken' is the fraction of\n"
+      "batch-iterations that execute the guarded LJ block.");
+
+  md::WorkloadSpec spec;
+  spec.n_atoms = 2048;
+  md::Workload w = md::make_lattice_workload(spec);
+  const md::PeriodicBoxF box(static_cast<float>(w.box.edge()));
+  const auto lj = md::LjParams{}.cast<float>();
+
+  std::vector<Vec4f> positions;
+  positions.reserve(w.system.size());
+  for (const auto& p : w.system.positions()) {
+    positions.emplace_back(vec_cast<float>(w.box.wrap(p)), 0.0f);
+  }
+
+  const gpu::GpuDeviceConfig dev;
+  const auto price = [&](const gpu::GpuWork& work) {
+    const double cycles =
+        static_cast<double>(work.alu_vec4) * dev.cycles_per_vec4_op +
+        static_cast<double>(work.alu_scalar) * dev.cycles_per_scalar_op +
+        static_cast<double>(work.fetches) * dev.cycles_per_fetch;
+    return cycles / dev.pixel_pipelines / dev.clock_hz;
+  };
+
+  // Predicated baseline: every candidate pays prologue + LJ, no branch.
+  const gpu::MdShaderOpSplit split;
+  gpu::GpuWork predicated;
+  const auto n = positions.size();
+  predicated.fetches = n * n;
+  predicated.alu_vec4 = n * n * (split.prologue_vec4 + split.lj_vec4);
+  predicated.alu_scalar = n * n * (split.prologue_scalar + split.lj_scalar);
+  const double t_pred = price(predicated);
+
+  Table table({"strategy", "batch", "pass time (ms)", "LJ taken", "vs predicated"});
+  std::vector<std::vector<std::string>> csv = {
+      {"strategy", "batch", "pass_ms", "lj_taken_fraction"}};
+  table.add_row({"predicated (paper)", "-", format_fixed(t_pred * 1e3, 2),
+                 "100%", "1.00x"});
+  csv.push_back({"predicated", "0", format_fixed(t_pred * 1e3, 3), "1.0"});
+
+  for (const std::size_t batch : {1u, 16u, 64u, 256u, 1024u, 2048u}) {
+    const auto est =
+        gpu::estimate_branching_pass_work(positions, box, lj, batch);
+    const double t = price(est.work);
+    table.add_row({"dynamic branch", std::to_string(batch),
+                   format_fixed(t * 1e3, 2),
+                   format_fixed(100.0 * est.taken_fraction(), 1) + "%",
+                   format_fixed(t / t_pred, 2) + "x"});
+    csv.push_back({"branch", std::to_string(batch), format_fixed(t * 1e3, 3),
+                   format_fixed(est.taken_fraction(), 4)});
+  }
+
+  eb::print_table(table);
+  std::cout << "Branching only wins at impossibly fine batches; GeForce-7\n"
+               "class hardware evaluated fragments in batches of ~1000, where\n"
+               "the guarded block executes most iterations anyway and the\n"
+               "per-iteration branch overhead eats the remainder — so\n"
+               "predication is the right call, which is how the era's GPGPU\n"
+               "kernels (and ours) are written.\n\n";
+  eb::print_csv_block("ablation_gpu_branching", csv);
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Ablation A4: minimum-image strategies on the scalar Opteron model.
+//
+// The paper's baseline searches the 27 neighbouring unit cells per pair; a
+// round- or copysign-based reflection computes the same image in a handful
+// of operations.  This bench prices all four strategies on the calibrated
+// Opteron model, showing how much of the baseline's runtime is the image
+// search itself — the same work the Cell port attacks with SIMD in Fig 5.
+#include "bench_util.h"
+
+#include "core/string_util.h"
+#include "cpu/opteron_backend.h"
+
+int main() {
+  using namespace emdpa;
+  namespace eb = emdpa::bench;
+
+  eb::print_banner("Ablation A4",
+                   "Minimum-image strategy cost on the Opteron model",
+                   "2048 atoms, 10 steps; identical physics in every row.");
+
+  Table table({"strategy", "model (s)", "rel to search27"});
+  std::vector<std::vector<std::string>> csv = {{"strategy", "model_s"}};
+
+  const md::RunConfig cfg = eb::paper_run(2048);
+  double base = 0.0;
+  for (auto strategy :
+       {md::MinImageStrategy::kSearch27, md::MinImageStrategy::kBranchy,
+        md::MinImageStrategy::kCopysign, md::MinImageStrategy::kRound}) {
+    opteron::OpteronConfig config;
+    config.strategy = strategy;
+    const auto r = opteron::OpteronBackend(config).run(cfg);
+    const double t = r.device_time.to_seconds();
+    if (strategy == md::MinImageStrategy::kSearch27) base = t;
+    table.add_row({md::to_string(strategy), format_fixed(t, 3),
+                   format_fixed(t / base, 3)});
+    csv.push_back({md::to_string(strategy), format_fixed(t, 4)});
+  }
+
+  eb::print_table(table);
+  std::cout << "The 27-image search dominates the baseline kernel's runtime;\n"
+               "the Table-1 Opteron row (4.084 s) is only reachable with it,\n"
+               "which is the code the paper ported to all three devices.\n\n";
+  eb::print_csv_block("ablation_min_image", csv);
+  return 0;
+}

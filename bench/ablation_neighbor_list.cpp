@@ -1,0 +1,93 @@
+// Ablation A2: on-the-fly distances (the paper's kernel) vs a cell-list
+// neighbour search — the cache-friendly technique the paper deliberately
+// does NOT use ("We do not employ any optimization technique that has been
+// proposed for cache-based systems").
+//
+// Both kernels produce identical physics (asserted by the test suite); this
+// bench contrasts (a) the candidate-pair work each examines and (b) native
+// wall-clock on this host, showing what the brute-force choice costs on a
+// cache-based machine — context for why the paper's N^2 kernel is the
+// interesting porting target in the first place.
+#include "bench_util.h"
+
+#include <chrono>
+#include <functional>
+
+#include "core/string_util.h"
+#include "md/cell_list_kernel.h"
+#include "md/reference_kernel.h"
+#include "md/verlet_list_kernel.h"
+#include "md/workload.h"
+
+namespace {
+
+double wall_seconds(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace emdpa;
+  namespace eb = emdpa::bench;
+
+  eb::print_banner("Ablation A2",
+                   "Brute-force N^2 kernel vs cell-list neighbour search",
+                   "One force evaluation per row; 'candidates' is the number\n"
+                   "of distance tests performed.");
+
+  Table table({"atoms", "N^2 cand", "cell-list cand", "verlet cand",
+               "N^2 (ms)", "cell-list (ms)", "verlet (ms)"});
+  std::vector<std::vector<std::string>> csv = {
+      {"atoms", "n2_candidates", "cl_candidates", "vl_candidates", "n2_ms",
+       "cl_ms", "vl_ms"}};
+
+  md::LjParams lj;
+  for (const std::size_t n : {512u, 1024u, 2048u, 4096u}) {
+    md::WorkloadSpec spec;
+    spec.n_atoms = n;
+    md::Workload w = md::make_lattice_workload(spec);
+
+    md::ReferenceKernel brute;
+    md::CellListKernel cells;
+    md::VerletListKernel verlet;
+    // Warm the Verlet list (the build is amortised over many steps in a
+    // real run; time the steady-state evaluation).
+    verlet.compute(w.system.positions(), w.box, lj, 1.0);
+
+    md::ForceResult rb, rc, rv;
+    const double t_brute = wall_seconds(
+        [&] { rb = brute.compute(w.system.positions(), w.box, lj, 1.0); });
+    const double t_cells = wall_seconds(
+        [&] { rc = cells.compute(w.system.positions(), w.box, lj, 1.0); });
+    const double t_verlet = wall_seconds(
+        [&] { rv = verlet.compute(w.system.positions(), w.box, lj, 1.0); });
+
+    table.add_row({std::to_string(n), std::to_string(rb.stats.candidates),
+                   std::to_string(rc.stats.candidates),
+                   std::to_string(rv.stats.candidates),
+                   format_fixed(t_brute * 1e3, 2),
+                   format_fixed(t_cells * 1e3, 2),
+                   format_fixed(t_verlet * 1e3, 2)});
+    csv.push_back({std::to_string(n), std::to_string(rb.stats.candidates),
+                   std::to_string(rc.stats.candidates),
+                   std::to_string(rv.stats.candidates),
+                   format_fixed(t_brute * 1e3, 3),
+                   format_fixed(t_cells * 1e3, 3),
+                   format_fixed(t_verlet * 1e3, 3)});
+  }
+
+  eb::print_table(table);
+  std::cout << "The cell list turns O(N^2) distance tests into O(N); the\n"
+               "Verlet pairlist ('updated every few simulation time steps',\n"
+               "section 3.4) trims the candidates further, to the cutoff+skin\n"
+               "shell.  Both trade the brute-force kernel's streaming access\n"
+               "for the irregular, cache-unfriendly pattern the paper\n"
+               "describes — the trade the emerging architectures attack from\n"
+               "the other side.\n\n";
+  eb::print_csv_block("ablation_neighbor_list", csv);
+  return 0;
+}

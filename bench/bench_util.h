@@ -1,0 +1,70 @@
+// Shared helpers for the reproduction benches.
+//
+// Every bench regenerates one table or figure from the paper's evaluation
+// section: it runs the calibrated device models on the paper's workload,
+// prints the same rows/series the paper reports (with the paper's values
+// alongside where the paper states them), and appends a machine-readable
+// CSV block for plotting.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/csv.h"
+#include "core/table.h"
+#include "md/backend.h"
+
+namespace emdpa::bench {
+
+inline void print_banner(const std::string& id, const std::string& title,
+                         const std::string& notes) {
+  std::cout << "==========================================================\n"
+            << id << ": " << title << "\n"
+            << "==========================================================\n";
+  if (!notes.empty()) std::cout << notes << "\n";
+  std::cout << "\n";
+}
+
+inline void print_table(const Table& table) { std::cout << table.to_string() << "\n"; }
+
+/// Emit a CSV mirror of the results between marker lines, for plotting.
+inline void print_csv_block(const std::string& id,
+                            const std::vector<std::vector<std::string>>& rows) {
+  std::cout << "--- csv:" << id << " ---\n";
+  CsvWriter csv(std::cout);
+  for (const auto& row : rows) csv.write_row(row);
+  std::cout << "--- end csv ---\n\n";
+}
+
+/// The paper's standard experiment: N atoms, 10 velocity-Verlet steps of
+/// the LJ fluid.
+inline md::RunConfig paper_run(std::size_t n_atoms, int steps = 10) {
+  md::RunConfig cfg;
+  cfg.workload.n_atoms = n_atoms;
+  cfg.steps = steps;
+  return cfg;
+}
+
+/// Estimate the 10-step runtime from a short (>= 2 step) run.  The first
+/// step carries any one-time costs (e.g. persistent SPE thread launches),
+/// so the estimate is step0 + 9 x mean(steady-state steps) — which equals a
+/// true 10-step run when per-step model time is constant, as it is for
+/// these simulators.  Used by the sweep benches at large atom counts where
+/// simulating all ten steps is wall-clock-wasteful.
+inline double ten_step_estimate_seconds(const md::RunResult& result) {
+  if (result.step_times.empty()) return result.device_time.to_seconds() * 10.0;
+  if (result.step_times.size() == 1) {
+    return result.step_times[0].to_seconds() * 10.0;
+  }
+  ModelTime steady;
+  for (std::size_t s = 1; s < result.step_times.size(); ++s) {
+    steady += result.step_times[s];
+  }
+  const double mean_steady =
+      steady.to_seconds() / static_cast<double>(result.step_times.size() - 1);
+  return result.step_times[0].to_seconds() + 9.0 * mean_steady;
+}
+
+}  // namespace emdpa::bench

@@ -1,0 +1,61 @@
+// Figure 6 reproduction: SPE thread-launch overhead on the MD run.
+//
+// Four configurations: {1, 8} SPEs x {respawn every time step, launch only
+// on the first step + mailbox signalling}.  The paper's bars show total
+// runtime with the launch-overhead share; respawning with 8 SPEs is
+// launch-dominated ("only about 1.5x faster" than one SPE), the persistent
+// version restores ~4.5x scaling.
+#include "bench_util.h"
+
+#include "cellsim/cell_md_app.h"
+#include "core/string_util.h"
+
+int main() {
+  using namespace emdpa;
+  namespace eb = emdpa::bench;
+
+  eb::print_banner("Figure 6",
+                   "SPE launch overhead on MD (2048 atoms, 10 steps)",
+                   "Total runtime vs the share spent launching SPE threads.");
+
+  const md::RunConfig cfg = eb::paper_run(2048);
+
+  Table table({"configuration", "total (s)", "launch overhead (s)", "launch %"});
+  std::vector<std::vector<std::string>> csv = {
+      {"mode", "n_spes", "total_s", "launch_s"}};
+
+  double t_1spe_persistent = 0, t_8spe_persistent = 0, t_8spe_respawn = 0;
+
+  for (auto mode : {cell::LaunchMode::kRespawnEveryStep,
+                    cell::LaunchMode::kPersistent}) {
+    for (int n_spes : {1, 8}) {
+      cell::CellRunOptions options;
+      options.n_spes = n_spes;
+      options.launch_mode = mode;
+      const md::RunResult r = cell::CellBackend(options).run(cfg);
+      const double total = r.device_time.to_seconds();
+      const double launch = r.breakdown_component("spe_launch").to_seconds();
+      table.add_row({std::to_string(n_spes) + " SPE, " + to_string(mode),
+                     format_fixed(total, 3), format_fixed(launch, 3),
+                     format_fixed(100.0 * launch / total, 1) + "%"});
+      csv.push_back({to_string(mode), std::to_string(n_spes),
+                     format_fixed(total, 4), format_fixed(launch, 4)});
+      if (mode == cell::LaunchMode::kPersistent && n_spes == 1)
+        t_1spe_persistent = total;
+      if (mode == cell::LaunchMode::kPersistent && n_spes == 8)
+        t_8spe_persistent = total;
+      if (mode == cell::LaunchMode::kRespawnEveryStep && n_spes == 8)
+        t_8spe_respawn = total;
+    }
+  }
+
+  eb::print_table(table);
+  std::cout << "8-SPE speedup over 1 SPE, respawning:  "
+            << format_fixed(t_1spe_persistent / t_8spe_respawn, 2)
+            << "x   (paper: 'only about 1.5x')\n"
+            << "8-SPE speedup over 1 SPE, persistent:  "
+            << format_fixed(t_1spe_persistent / t_8spe_persistent, 2)
+            << "x   (paper: '4.5x faster')\n\n";
+  eb::print_csv_block("fig6", csv);
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Native wall-clock throughput of the host force kernels and integrator
+// (google-benchmark).  These are real measurements on the build machine —
+// complementary to the reproduction benches, which report *modelled* device
+// time — and serve as the performance regression net for the MD library
+// itself.
+#include <benchmark/benchmark.h>
+
+#include "core/random.h"
+#include "md/cell_list_kernel.h"
+#include "md/integrator.h"
+#include "md/reference_kernel.h"
+#include "md/workload.h"
+
+namespace {
+
+using namespace emdpa;
+
+md::Workload fluid(std::size_t n) {
+  md::WorkloadSpec spec;
+  spec.n_atoms = n;
+  return md::make_lattice_workload(spec);
+}
+
+void BM_ReferenceKernel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  md::Workload w = fluid(n);
+  md::LjParams lj;
+  md::ReferenceKernel kernel;
+  for (auto _ : state) {
+    auto result = kernel.compute(w.system.positions(), w.box, lj, 1.0);
+    benchmark::DoNotOptimize(result.potential_energy);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) *
+                          static_cast<std::int64_t>(n - 1));
+}
+BENCHMARK(BM_ReferenceKernel)->Arg(256)->Arg(512)->Arg(1024)->Arg(2048);
+
+void BM_ReferenceKernelSearch27(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  md::Workload w = fluid(n);
+  md::LjParams lj;
+  md::ReferenceKernel kernel(md::MinImageStrategy::kSearch27);
+  for (auto _ : state) {
+    auto result = kernel.compute(w.system.positions(), w.box, lj, 1.0);
+    benchmark::DoNotOptimize(result.potential_energy);
+  }
+}
+BENCHMARK(BM_ReferenceKernelSearch27)->Arg(256)->Arg(512);
+
+void BM_ReferenceKernelSingle(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  md::Workload w = fluid(n);
+  std::vector<Vec3f> pos;
+  for (const auto& p : w.system.positions()) pos.push_back(vec_cast<float>(p));
+  const md::PeriodicBoxF box(static_cast<float>(w.box.edge()));
+  const auto lj = md::LjParams{}.cast<float>();
+  md::ReferenceKernelF kernel;
+  for (auto _ : state) {
+    auto result = kernel.compute(pos, box, lj, 1.0f);
+    benchmark::DoNotOptimize(result.potential_energy);
+  }
+}
+BENCHMARK(BM_ReferenceKernelSingle)->Arg(256)->Arg(1024);
+
+void BM_CellListKernel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  md::Workload w = fluid(n);
+  md::LjParams lj;
+  md::CellListKernel kernel;
+  for (auto _ : state) {
+    auto result = kernel.compute(w.system.positions(), w.box, lj, 1.0);
+    benchmark::DoNotOptimize(result.potential_energy);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_CellListKernel)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_VerletStep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  md::Workload w = fluid(n);
+  md::LjParams lj;
+  md::ReferenceKernel kernel;
+  md::VelocityVerlet vv(0.005);
+  vv.prime(w.system, w.box, lj, kernel);
+  for (auto _ : state) {
+    auto e = vv.step(w.system, w.box, lj, kernel);
+    benchmark::DoNotOptimize(e.kinetic);
+  }
+}
+BENCHMARK(BM_VerletStep)->Arg(256)->Arg(1024);
+
+void BM_WorkloadConstruction(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    md::WorkloadSpec spec;
+    spec.n_atoms = n;
+    auto w = md::make_lattice_workload(spec);
+    benchmark::DoNotOptimize(w.system.positions().data());
+  }
+}
+BENCHMARK(BM_WorkloadConstruction)->Arg(2048)->Arg(16384);
+
+void BM_MinImageStrategies(benchmark::State& state) {
+  // Price the four image strategies on a synthetic displacement stream.
+  md::PeriodicBox box(10.0);
+  std::vector<Vec3d> drs;
+  Rng rng(42);
+  for (int i = 0; i < 4096; ++i) {
+    drs.push_back({rng.uniform(-10, 10), rng.uniform(-10, 10),
+                   rng.uniform(-10, 10)});
+  }
+  const auto strategy = static_cast<md::MinImageStrategy>(state.range(0));
+  for (auto _ : state) {
+    Vec3d acc{};
+    for (const auto& dr : drs) {
+      switch (strategy) {
+        case md::MinImageStrategy::kSearch27:
+          acc += box.min_image_search27(dr);
+          break;
+        case md::MinImageStrategy::kBranchy:
+          acc += box.min_image_branchy(dr);
+          break;
+        case md::MinImageStrategy::kCopysign:
+          acc += box.min_image_copysign(dr);
+          break;
+        case md::MinImageStrategy::kRound:
+          acc += box.min_image(dr);
+          break;
+      }
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_MinImageStrategies)->DenseRange(0, 3);
+
+}  // namespace

@@ -1,0 +1,68 @@
+// Table 1 reproduction: performance comparison of the MD calculation at
+// 2048 atoms, 10 time steps.
+//
+//   Paper:  Opteron 4.084 s | Cell 1 SPE 3.86 s | Cell 8 SPEs 0.789 s |
+//           Cell PPE-only 20.5 s
+#include "bench_util.h"
+
+#include "cellsim/cell_md_app.h"
+#include "core/string_util.h"
+#include "cpu/opteron_backend.h"
+
+int main() {
+  using namespace emdpa;
+  namespace eb = emdpa::bench;
+
+  eb::print_banner("Table 1",
+                   "Performance comparison of MD calculations (2048 atoms)",
+                   "10 velocity-Verlet steps; Cell rows single precision,\n"
+                   "Opteron double precision, as in the paper.");
+
+  const md::RunConfig cfg = eb::paper_run(2048);
+
+  struct Row {
+    std::string label;
+    double paper_seconds;
+    md::RunResult result;
+  };
+
+  cell::CellRunOptions one_spe;
+  one_spe.n_spes = 1;
+  cell::CellRunOptions eight_spes;
+  eight_spes.n_spes = 8;
+  cell::CellRunOptions ppe_only;
+  ppe_only.n_spes = 0;
+
+  std::vector<Row> rows;
+  rows.push_back({"Opteron 2.2 GHz", 4.084, opteron::OpteronBackend().run(cfg)});
+  rows.push_back({"Cell, 1 SPE", 3.86, cell::CellBackend(one_spe).run(cfg)});
+  rows.push_back({"Cell, 8 SPEs", 0.789, cell::CellBackend(eight_spes).run(cfg)});
+  rows.push_back({"Cell, PPE only", 20.5, cell::CellBackend(ppe_only).run(cfg)});
+
+  const double opteron_s = rows[0].result.device_time.to_seconds();
+
+  Table table({"platform", "model (s)", "paper (s)", "model/paper",
+               "speedup vs Opteron"});
+  std::vector<std::vector<std::string>> csv = {
+      {"platform", "model_s", "paper_s"}};
+  for (const auto& row : rows) {
+    const double t = row.result.device_time.to_seconds();
+    table.add_row({row.label, format_fixed(t, 3),
+                   format_fixed(row.paper_seconds, 3),
+                   format_fixed(t / row.paper_seconds, 2),
+                   format_fixed(opteron_s / t, 2) + "x"});
+    csv.push_back({row.label, format_fixed(t, 4),
+                   format_fixed(row.paper_seconds, 3)});
+  }
+
+  eb::print_table(table);
+  const double t8 = rows[2].result.device_time.to_seconds();
+  const double tppe = rows[3].result.device_time.to_seconds();
+  std::cout << "Shape checks: 8 SPEs are "
+            << format_fixed(opteron_s / t8, 2)
+            << "x the Opteron (paper: 'better than 5x') and "
+            << format_fixed(tppe / t8, 1)
+            << "x the PPE alone (paper: '26x').\n\n";
+  eb::print_csv_block("table1", csv);
+  return 0;
+}

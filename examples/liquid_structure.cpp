@@ -1,0 +1,84 @@
+// Liquid-structure analysis: validate that the simulated physics is a real
+// Lennard-Jones liquid, using the high-level Simulation API plus the
+// analysis and checkpoint modules.
+//
+//  1. Equilibrate a 512-atom LJ liquid at T* = 1.0 with a thermostat.
+//  2. Accumulate the radial distribution function g(r) over production
+//     snapshots — the first peak must sit near the LJ potential minimum
+//     (2^(1/6) ~ 1.12 sigma).
+//  3. Track the mean-squared displacement — a liquid diffuses, so MSD grows
+//     roughly linearly in time.
+//  4. Checkpoint mid-run and prove the resumed simulation continues
+//     bit-identically.
+//
+//   $ ./liquid_structure
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "md/analysis.h"
+#include "md/simulation.h"
+
+int main() {
+  using namespace emdpa;
+
+  md::Simulation::Options options;
+  options.workload.n_atoms = 512;
+  options.workload.density = 0.8442;
+  options.workload.temperature = 1.0;
+  options.dt = 0.004;
+
+  md::Simulation sim(options);
+  sim.set_thermostat(md::BerendsenThermostat(1.0, 0.1));
+
+  std::printf("Equilibrating 512-atom LJ liquid at T* = 1.0 ...\n");
+  sim.run(300);
+  sim.clear_thermostat();  // production in NVE
+
+  // Production: g(r) + MSD + velocity autocorrelation.
+  md::RadialDistribution rdf(200, sim.box().half_edge());
+  md::MeanSquaredDisplacement msd(sim.system().positions(), sim.box());
+  const std::vector<Vec3d> v0 = sim.system().velocities();
+
+  std::printf("\n%8s  %10s  %10s  %12s\n", "step", "MSD", "VACF", "E total");
+  const int production = 400;
+  for (int s = 1; s <= production; ++s) {
+    const auto e = sim.step();
+    msd.update(sim.system());
+    if (s % 10 == 0) rdf.accumulate(sim.system(), sim.box());
+    if (s % 100 == 0) {
+      std::printf("%8ld  %10.4f  %10.4f  %12.4f\n", sim.current_step(),
+                  msd.value(), md::velocity_autocorrelation(v0, sim.system()),
+                  e.total());
+    }
+  }
+
+  const double peak = rdf.peak_location();
+  std::printf("\ng(r) first peak at r = %.3f sigma (LJ minimum at %.3f)\n",
+              peak, std::pow(2.0, 1.0 / 6.0));
+  // Einstein relation: D = MSD / 6t.  A caged (solid) atom plateaus at the
+  // vibration amplitude (~0.05 sigma^2); a liquid keeps diffusing.
+  const double elapsed = production * options.dt;
+  std::printf("MSD after %d production steps: %.3f sigma^2 "
+              "(D* ~ %.4f) -> the system %s\n",
+              production, msd.value(), msd.value() / (6.0 * elapsed),
+              msd.value() > 0.15 ? "diffuses (liquid)" : "is frozen (solid)");
+
+  // Checkpoint round trip: continue two copies and compare.
+  std::stringstream checkpoint;
+  sim.save(checkpoint);
+  md::Simulation resumed = md::Simulation::resume(checkpoint, options);
+
+  sim.run(10);
+  resumed.run(10);
+  double max_delta = 0.0;
+  for (std::size_t i = 0; i < sim.system().size(); ++i) {
+    max_delta = std::max(max_delta,
+                         length(sim.system().positions()[i] -
+                                resumed.system().positions()[i]));
+  }
+  std::printf("\nCheckpoint resume: max position deviation after 10 more "
+              "steps = %.1e %s\n", max_delta,
+              max_delta == 0.0 ? "(bit-identical)" : "");
+  return 0;
+}

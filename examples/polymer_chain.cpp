@@ -1,0 +1,123 @@
+// Coarse-grained polymer in an LJ solvent — the bio-molecular flavour the
+// paper's introduction motivates (bonded + non-bonded interactions), built
+// on the high-level Simulation API with bonds, minimisation and analysis.
+//
+// A 32-bead harmonic chain is embedded in a solvent of free LJ atoms.  The
+// initial random solvent packing is relaxed with the energy minimiser, then
+// the system is thermalised and we track the polymer's end-to-end distance
+// and radius of gyration — the classic chain observables.
+//
+//   $ ./polymer_chain
+#include <cmath>
+#include <cstdio>
+
+#include "md/analysis.h"
+#include "md/observables.h"
+#include "md/simulation.h"
+
+namespace {
+
+using namespace emdpa;
+
+double end_to_end(const md::ParticleSystem& system, const md::PeriodicBox& box,
+                  std::size_t chain_beads) {
+  // Walk the chain accumulating minimum-image bond vectors (the chain may
+  // wrap around the box).
+  Vec3d r{};
+  for (std::size_t b = 0; b + 1 < chain_beads; ++b) {
+    r += box.min_image(system.positions()[b + 1] - system.positions()[b]);
+  }
+  return length(r);
+}
+
+double radius_of_gyration(const md::ParticleSystem& system,
+                          const md::PeriodicBox& box, std::size_t chain_beads) {
+  // Unwrap the chain relative to bead 0, then the usual Rg.
+  std::vector<Vec3d> unwrapped(chain_beads);
+  unwrapped[0] = system.positions()[0];
+  for (std::size_t b = 1; b < chain_beads; ++b) {
+    unwrapped[b] = unwrapped[b - 1] +
+                   box.min_image(system.positions()[b] -
+                                 system.positions()[b - 1]);
+  }
+  Vec3d com{};
+  for (const auto& p : unwrapped) com += p;
+  com /= static_cast<double>(chain_beads);
+  double sum = 0;
+  for (const auto& p : unwrapped) sum += length_squared(p - com);
+  return std::sqrt(sum / static_cast<double>(chain_beads));
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kChainBeads = 32;
+
+  md::Simulation::Options options;
+  options.workload.n_atoms = 343;        // chain beads + solvent
+  options.workload.density = 0.7;
+  options.workload.temperature = 0.8;
+  options.dt = 0.003;
+
+  md::Simulation sim(options);
+
+  // Re-thread the first kChainBeads atoms along a serpentine path through
+  // the lattice (a permutation of their own sites, so no overlap with the
+  // solvent): consecutive beads end up one lattice spacing apart, close to
+  // the 0.97-sigma bond rest length of the usual bead-spring model.
+  {
+    const double spacing = sim.box().edge() / 7.0;  // 343 = 7^3 lattice
+    for (std::size_t b = 0; b < kChainBeads; ++b) {
+      const std::size_t iy = b / 7;
+      const std::size_t iz = (iy % 2 == 0) ? b % 7 : 6 - (b % 7);
+      sim.system().positions()[b] = {0.5 * spacing,
+                                     (static_cast<double>(iy) + 0.5) * spacing,
+                                     (static_cast<double>(iz) + 0.5) * spacing};
+    }
+  }
+
+  md::BondTopology chain = md::BondTopology::linear_chain(kChainBeads,
+                                                          /*stiffness=*/400.0,
+                                                          /*rest_length=*/0.97);
+  sim.set_bonds(chain);  // re-primes forces for the re-threaded positions
+
+  // Mild backbone stiffness: angle terms preferring straight triples give
+  // the chain a persistence length of a few beads.
+  sim.set_angles(md::AngleTopology::chain_angles(kChainBeads,
+                                                 /*stiffness=*/2.0,
+                                                 /*rest_angle=*/3.14159265));
+
+  // Relax the construction strain (stretched bonds: the lattice spacing is
+  // 1.13 sigma vs the 0.97 rest length) with the full force field before
+  // dynamics.
+  {
+    md::MinimizeOptions mo;
+    mo.max_iterations = 200;
+    mo.force_tolerance = 1.0;
+    const auto r = sim.minimize(mo);
+    std::printf("Minimisation: E %.1f -> %.1f in %d iterations\n",
+                r.initial_energy, r.final_energy, r.iterations);
+  }
+
+  sim.set_thermostat(md::BerendsenThermostat(0.8, 0.1));
+
+  std::printf("\n%8s  %8s  %12s  %12s  %10s\n", "step", "T*", "end-to-end",
+              "Rg", "E total");
+  for (int block = 0; block <= 10; ++block) {
+    if (block > 0) sim.run(80);
+    std::printf("%8ld  %8.3f  %12.3f  %12.3f  %10.2f\n", sim.current_step(),
+                md::temperature_of(sim.system()),
+                end_to_end(sim.system(), sim.box(), kChainBeads),
+                radius_of_gyration(sim.system(), sim.box(), kChainBeads),
+                sim.last_energies().total());
+  }
+
+  const double ree = end_to_end(sim.system(), sim.box(), kChainBeads);
+  const double rg = radius_of_gyration(sim.system(), sim.box(), kChainBeads);
+  std::printf("\nFinal chain: end-to-end %.2f sigma, Rg %.2f sigma "
+              "(contour length %.1f)\n", ree, rg, (kChainBeads - 1) * 0.97);
+  std::printf("A collapsed/ideal chain has Ree/contour << 1: %s.\n",
+              ree / ((kChainBeads - 1) * 0.97) < 0.6 ? "as observed"
+                                                     : "chain is stretched");
+  return 0;
+}

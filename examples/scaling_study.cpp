@@ -1,0 +1,67 @@
+// Workload-scaling scenario in the spirit of the paper's Figures 7-9: sweep
+// the atom count and watch how each architecture model's runtime grows —
+// the GPU amortising its per-step transfer costs, the Cell amortising its
+// thread launches, the MTA tracking pure FLOP growth, and the Opteron
+// bending upward as arrays spill out of cache.
+//
+//   $ ./scaling_study
+#include <cstdio>
+#include <vector>
+
+#include "cellsim/cell_md_app.h"
+#include "core/string_util.h"
+#include "core/table.h"
+#include "cpu/opteron_backend.h"
+#include "gpusim/gpu_backend.h"
+#include "md/backend.h"
+#include "mtasim/mta_backend.h"
+
+namespace {
+
+// Steady-state per-step time: skip the first step, which carries one-time
+// costs (the Cell's persistent-mode thread launches land there).
+double per_step_seconds(const emdpa::md::RunResult& r) {
+  emdpa::ModelTime sum;
+  for (std::size_t s = 1; s < r.step_times.size(); ++s) sum += r.step_times[s];
+  return sum.to_seconds() / static_cast<double>(r.step_times.size() - 1);
+}
+
+}  // namespace
+
+int main() {
+  using namespace emdpa;
+
+  // The Cell column stops at 4096 atoms: beyond that, two full quadword
+  // arrays no longer fit one SPE's 256 KB local store next to the program
+  // image — the genuine porting limit of the paper's data layout.
+  const std::vector<std::size_t> atom_counts = {256, 512, 1024, 2048, 4096};
+
+  std::printf("Per-step model time (ms) across architectures\n\n");
+  Table table({"atoms", "Opteron", "Cell 8 SPE", "GPU", "MTA-2"});
+
+  for (const std::size_t n : atom_counts) {
+    md::RunConfig cfg;
+    cfg.workload.n_atoms = n;
+    cfg.steps = 2;
+
+    const double cpu = per_step_seconds(opteron::OpteronBackend().run(cfg));
+    const double cell8 = per_step_seconds(cell::CellBackend().run(cfg));
+    const double gpu = per_step_seconds(gpu::GpuBackend().run(cfg));
+    const double mta = per_step_seconds(mta::MtaBackend().run(cfg));
+
+    table.add_row({std::to_string(n), format_fixed(cpu * 1e3, 2),
+                   format_fixed(cell8 * 1e3, 2), format_fixed(gpu * 1e3, 2),
+                   format_fixed(mta * 1e3, 2)});
+  }
+
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Readings:\n"
+      "  - GPU per-step time is nearly flat at small N (dispatch + PCIe\n"
+      "    round-trip dominate) and quadratic at large N.\n"
+      "  - The Cell column excludes thread launches (persistent mode after\n"
+      "    the first step); it scales with N^2/8 plus a per-step PPE cost.\n"
+      "  - The MTA is the slowest in absolute terms (200 MHz) but its\n"
+      "    growth is exactly the pair-work growth — no cache cliffs.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+#include "cellsim/dma.h"
+
+namespace emdpa::cell {
+
+DmaEngine::DmaEngine(const DmaConfig& config) : config_(config) {}
+
+void DmaEngine::check_request(const void* host, std::size_t bytes, int tag) const {
+  EMDPA_REQUIRE(tag >= 0 && tag < DmaConfig::kNumTags, "DMA tag must be 0..31");
+  EMDPA_REQUIRE(bytes > 0 && bytes <= DmaConfig::kMaxRequestBytes,
+                "DMA request must be 1..16384 bytes (use *_large for more)");
+  EMDPA_REQUIRE(bytes % DmaConfig::kAlignment == 0,
+                "DMA size must be a multiple of 16 bytes");
+  EMDPA_REQUIRE(reinterpret_cast<std::uintptr_t>(host) % DmaConfig::kAlignment == 0,
+                "DMA host address must be 16-byte aligned");
+}
+
+void DmaEngine::account(std::size_t bytes, int tag) {
+  pending_[static_cast<std::size_t>(tag)] +=
+      config_.request_latency +
+      ModelTime::seconds(static_cast<double>(bytes) / config_.bandwidth_bytes_per_s);
+  bytes_transferred_ += bytes;
+  ++requests_issued_;
+}
+
+void DmaEngine::get(LocalStore& ls, LsAddr dst, const void* host_src,
+                    std::size_t bytes, int tag) {
+  check_request(host_src, bytes, tag);
+  EMDPA_REQUIRE(dst.offset % DmaConfig::kAlignment == 0,
+                "DMA LS address must be 16-byte aligned");
+  ls.write_bytes(dst, host_src, bytes);
+  account(bytes, tag);
+}
+
+void DmaEngine::put(const LocalStore& ls, LsAddr src, void* host_dst,
+                    std::size_t bytes, int tag) {
+  check_request(host_dst, bytes, tag);
+  EMDPA_REQUIRE(src.offset % DmaConfig::kAlignment == 0,
+                "DMA LS address must be 16-byte aligned");
+  ls.read_bytes(src, host_dst, bytes);
+  account(bytes, tag);
+}
+
+void DmaEngine::get_large(LocalStore& ls, LsAddr dst, const void* host_src,
+                          std::size_t bytes, int tag) {
+  const auto* src = static_cast<const std::uint8_t*>(host_src);
+  std::size_t done = 0;
+  while (done < bytes) {
+    const std::size_t chunk = std::min(bytes - done, DmaConfig::kMaxRequestBytes);
+    get(ls, LsAddr{dst.offset + static_cast<std::uint32_t>(done)}, src + done,
+        chunk, tag);
+    done += chunk;
+  }
+}
+
+void DmaEngine::put_large(const LocalStore& ls, LsAddr src, void* host_dst,
+                          std::size_t bytes, int tag) {
+  auto* dst = static_cast<std::uint8_t*>(host_dst);
+  std::size_t done = 0;
+  while (done < bytes) {
+    const std::size_t chunk = std::min(bytes - done, DmaConfig::kMaxRequestBytes);
+    put(ls, LsAddr{src.offset + static_cast<std::uint32_t>(done)}, dst + done,
+        chunk, tag);
+    done += chunk;
+  }
+}
+
+ModelTime DmaEngine::wait_on_tags(std::uint32_t tag_mask,
+                                  ModelTime time_since_issue) {
+  ModelTime longest = ModelTime::zero();
+  for (int tag = 0; tag < DmaConfig::kNumTags; ++tag) {
+    if ((tag_mask >> tag) & 1u) {
+      auto& p = pending_[static_cast<std::size_t>(tag)];
+      if (p > longest) longest = p;
+      p = ModelTime::zero();
+    }
+  }
+  // Compute performed since issue overlaps the transfer; only the remainder
+  // stalls the SPE.
+  return longest > time_since_issue ? longest - time_since_issue
+                                    : ModelTime::zero();
+}
+
+}  // namespace emdpa::cell

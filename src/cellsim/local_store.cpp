@@ -1,0 +1,47 @@
+#include "cellsim/local_store.h"
+
+namespace emdpa::cell {
+
+LocalStore::LocalStore(std::size_t bytes) : storage_(bytes, 0) {
+  EMDPA_REQUIRE(bytes % kQuadwordBytes == 0,
+                "local store size must be a multiple of a quadword");
+}
+
+LsAddr LocalStore::allocate(std::size_t bytes, const std::string& label) {
+  // Round the request up to whole quadwords to preserve alignment of the
+  // next allocation.
+  const std::size_t rounded =
+      (bytes + kQuadwordBytes - 1) / kQuadwordBytes * kQuadwordBytes;
+  if (next_free_ + rounded > storage_.size()) {
+    throw ContractViolation(
+        "local store overflow allocating '" + label + "': need " +
+        std::to_string(rounded) + " bytes, " + std::to_string(bytes_free()) +
+        " free of " + std::to_string(storage_.size()));
+  }
+  const LsAddr addr{static_cast<std::uint32_t>(next_free_)};
+  next_free_ += rounded;
+  return addr;
+}
+
+void LocalStore::reset() { next_free_ = 0; }
+
+void LocalStore::write_bytes(LsAddr addr, const void* src, std::size_t bytes) {
+  check_range(addr, bytes);
+  std::memcpy(storage_.data() + addr.offset, src, bytes);
+}
+
+void LocalStore::read_bytes(LsAddr addr, void* dst, std::size_t bytes) const {
+  check_range(addr, bytes);
+  std::memcpy(dst, storage_.data() + addr.offset, bytes);
+}
+
+void LocalStore::check_range(LsAddr addr, std::size_t bytes) const {
+  if (addr.offset + bytes > storage_.size()) {
+    throw ContractViolation("local store access out of range: offset " +
+                            std::to_string(addr.offset) + " + " +
+                            std::to_string(bytes) + " > " +
+                            std::to_string(storage_.size()));
+  }
+}
+
+}  // namespace emdpa::cell

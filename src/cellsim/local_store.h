@@ -1,0 +1,76 @@
+// SPE local store model.
+//
+// Each Synergistic Processing Element of the Cell BE has a private 256 KB
+// local store (LS): the only memory an SPE program can address directly.
+// Everything the SPE kernel touches — code, stack, the position array DMAed
+// in, the acceleration array DMAed out — must fit in it, and DMA transfers
+// into/out of it must respect the SPE's 16-byte alignment rules.
+//
+// The model is a real byte array with a bump allocator and hard bounds
+// checks: a kernel that would overflow a 256 KB local store on hardware
+// fails loudly here too (that is the constraint that forces the blocked
+// data movement the paper describes).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/error.h"
+
+namespace emdpa::cell {
+
+/// An offset into a local store, in bytes.  Strongly typed so host pointers
+/// and LS addresses cannot be confused.
+struct LsAddr {
+  std::uint32_t offset = 0;
+};
+
+class LocalStore {
+ public:
+  static constexpr std::size_t kDefaultBytes = 256 * 1024;
+  static constexpr std::size_t kQuadwordBytes = 16;
+
+  explicit LocalStore(std::size_t bytes = kDefaultBytes);
+
+  std::size_t capacity() const { return storage_.size(); }
+  std::size_t bytes_allocated() const { return next_free_; }
+  std::size_t bytes_free() const { return storage_.size() - next_free_; }
+
+  /// Allocate `bytes` at 16-byte (quadword) alignment.  Throws
+  /// ContractViolation on overflow — the hardware equivalent is a corrupted
+  /// or non-loadable SPE image.
+  LsAddr allocate(std::size_t bytes, const std::string& label);
+
+  /// Release all allocations (the SPE program image is being replaced).
+  void reset();
+
+  /// Typed access to LS contents.  Bounds-checked.
+  template <typename T>
+  T* data_at(LsAddr addr, std::size_t count) {
+    check_range(addr, sizeof(T) * count);
+    return reinterpret_cast<T*>(storage_.data() + addr.offset);
+  }
+
+  template <typename T>
+  const T* data_at(LsAddr addr, std::size_t count) const {
+    check_range(addr, sizeof(T) * count);
+    return reinterpret_cast<const T*>(storage_.data() + addr.offset);
+  }
+
+  /// Raw byte copy into the LS (used by the DMA engine).
+  void write_bytes(LsAddr addr, const void* src, std::size_t bytes);
+
+  /// Raw byte copy out of the LS (used by the DMA engine).
+  void read_bytes(LsAddr addr, void* dst, std::size_t bytes) const;
+
+ private:
+  void check_range(LsAddr addr, std::size_t bytes) const;
+
+  std::vector<std::uint8_t> storage_;
+  std::size_t next_free_ = 0;
+};
+
+}  // namespace emdpa::cell

@@ -1,0 +1,61 @@
+// SPE mailbox model.
+//
+// Besides bulk DMA, the PPE and each SPE exchange small control words
+// through mailboxes: a 4-entry inbound FIFO (PPE -> SPE) and a 1-entry
+// outbound FIFO (SPE -> PPE), each entry 32 bits.  The paper's key
+// optimisation (Fig 6) launches SPE threads once and then *signals* them
+// through mailboxes each time step, amortising the thread-launch overhead.
+//
+// The model is a real bounded FIFO with the hardware depths; writes to a
+// full FIFO and reads from an empty one are contract violations here
+// (on hardware they block — our simulator is sequential, so a same-thread
+// block would be a deadlock, which *is* a bug in the orchestration code).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "core/error.h"
+
+namespace emdpa::cell {
+
+class MailboxFifo {
+ public:
+  MailboxFifo(const char* name, std::size_t depth) : name_(name), depth_(depth) {}
+
+  bool empty() const { return entries_.empty(); }
+  bool full() const { return entries_.size() >= depth_; }
+  std::size_t size() const { return entries_.size(); }
+  std::size_t depth() const { return depth_; }
+
+  void push(std::uint32_t value) {
+    if (full()) {
+      throw ContractViolation(std::string("mailbox '") + name_ +
+                              "' written while full (would deadlock)");
+    }
+    entries_.push_back(value);
+  }
+
+  std::uint32_t pop() {
+    if (empty()) {
+      throw ContractViolation(std::string("mailbox '") + name_ +
+                              "' read while empty (would deadlock)");
+    }
+    const std::uint32_t value = entries_.front();
+    entries_.pop_front();
+    return value;
+  }
+
+ private:
+  const char* name_;
+  std::size_t depth_;
+  std::deque<std::uint32_t> entries_;
+};
+
+/// The mailbox pair of one SPE.
+struct Mailboxes {
+  MailboxFifo inbound{"spe-inbound", 4};    ///< PPE -> SPE, 4 entries
+  MailboxFifo outbound{"spe-outbound", 1};  ///< SPE -> PPE, 1 entry
+};
+
+}  // namespace emdpa::cell

@@ -1,0 +1,80 @@
+#include "cellsim/ppe_kernel.h"
+
+#include <cmath>
+
+#include "core/error.h"
+
+namespace emdpa::cell {
+
+namespace {
+
+/// Closest periodic image of one displacement component.  Arithmetic is
+/// identical to the SPE kernels' per-axis search so the PPE-only and SPE
+/// configurations produce bit-identical single-precision physics.
+inline float closest_image(float d, float edge) {
+  float best = d;
+  float best_abs = std::fabs(d);
+  for (const float shift : {edge, -edge}) {
+    const float cand = d + shift;
+    const float cand_abs = std::fabs(cand);
+    if (cand_abs < best_abs) {
+      best = cand;
+      best_abs = cand_abs;
+    }
+  }
+  return best;
+}
+
+// Dynamic op counts of the *unported* code the PPE actually ran: the naive
+// 27-image search (27 x (3 shifted coordinates + 5 for r^2 + 1 compare) =
+// 243 ops) plus direction (3), cutoff compare (1) and loop bookkeeping (4).
+// The restructured per-axis search only appeared in the SPE port.
+constexpr double kPpeOpsPerCandidate = 3 + 243 + 1 + 4;
+constexpr double kPpeOpsPerInteraction = 30;  // LJ force/energy incl. divide
+
+}  // namespace
+
+PpeKernelResult run_ppe_accel_kernel(float box_edge, float cutoff_sq,
+                                     float epsilon, float sigma, float inv_mass,
+                                     const emdpa::Vec4f* positions,
+                                     emdpa::Vec4f* accel_out, std::size_t n) {
+  EMDPA_REQUIRE(positions != nullptr && accel_out != nullptr,
+                "PPE kernel needs valid arrays");
+  const float sigma2 = sigma * sigma;
+  const float eps24 = 24.0f * epsilon;
+  const float eps2 = 2.0f * epsilon;
+
+  PpeKernelResult result;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const emdpa::Vec4f pi = positions[i];
+    float acc_x = 0, acc_y = 0, acc_z = 0, pe_i = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const float dx = closest_image(pi.x - positions[j].x, box_edge);
+      const float dy = closest_image(pi.y - positions[j].y, box_edge);
+      const float dz = closest_image(pi.z - positions[j].z, box_edge);
+      const float r2 = dx * dx + dy * dy + dz * dz;
+      ++result.stats.candidates;
+      if (r2 < cutoff_sq) {
+        ++result.stats.interacting;
+        const float inv_r2 = 1.0f / r2;
+        const float s2 = sigma2 * inv_r2;
+        const float s6 = s2 * s2 * s2;
+        const float f_over_r = eps24 * inv_r2 * s6 * (2.0f * s6 - 1.0f);
+        pe_i += eps2 * s6 * (s6 - 1.0f);
+        acc_x += f_over_r * dx;
+        acc_y += f_over_r * dy;
+        acc_z += f_over_r * dz;
+      }
+    }
+    accel_out[i] = {acc_x * inv_mass, acc_y * inv_mass, acc_z * inv_mass, pe_i};
+  }
+
+  result.scalar_ops =
+      kPpeOpsPerCandidate * static_cast<double>(result.stats.candidates) +
+      kPpeOpsPerInteraction * static_cast<double>(result.stats.interacting);
+  return result;
+}
+
+}  // namespace emdpa::cell

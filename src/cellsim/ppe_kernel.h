@@ -1,0 +1,31 @@
+// PPE-only acceleration kernel: the unported baseline of Table 1's last row.
+//
+// This is the original scalar code (full 27-image minimum-image search)
+// running on the Cell's Power Processing Element — a 3.2 GHz, dual-issue,
+// in-order core that 2006 compilers scheduled poorly.  The paper measures it
+// at 20.5 s for the 2048-atom/10-step run, about 5x slower than the Opteron
+// and 26x slower than 8 SPEs.
+#pragma once
+
+#include <cstdint>
+
+#include "cellsim/cost_model.h"
+#include "core/vec4.h"
+#include "md/force_kernel.h"
+
+namespace emdpa::cell {
+
+struct PpeKernelResult {
+  double scalar_ops = 0;  ///< dynamic scalar op count, priced at ppe_cpi
+  md::PairStats stats;
+};
+
+/// Compute single-precision accelerations for all atoms on the PPE, writing
+/// them (and per-atom PE in w) into `accel_out[0..n)`.  Positions must be
+/// wrapped.
+PpeKernelResult run_ppe_accel_kernel(float box_edge, float cutoff_sq,
+                                     float epsilon, float sigma, float inv_mass,
+                                     const emdpa::Vec4f* positions,
+                                     emdpa::Vec4f* accel_out, std::size_t n);
+
+}  // namespace emdpa::cell

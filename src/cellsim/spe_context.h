@@ -1,0 +1,64 @@
+// One SPE's execution context: local store, DMA engine, mailboxes and
+// thread lifecycle state.
+//
+// Thread launches are the expensive operation the paper measures in Fig 6:
+// creating an SPE thread under the 2006 Linux kernel costs tens of
+// milliseconds, so respawning threads every time step destroys scaling,
+// while launching once and signalling through mailboxes amortises the cost.
+#pragma once
+
+#include "cellsim/cost_model.h"
+#include "cellsim/dma.h"
+#include "cellsim/local_store.h"
+#include "cellsim/mailbox.h"
+
+namespace emdpa::cell {
+
+class SpeContext {
+ public:
+  SpeContext(int index, const CellConfig& config)
+      : index_(index),
+        config_(&config),
+        local_store_(config.local_store_bytes),
+        dma_(config.dma) {}
+
+  int index() const { return index_; }
+  LocalStore& local_store() { return local_store_; }
+  DmaEngine& dma() { return dma_; }
+  Mailboxes& mailboxes() { return mailboxes_; }
+  bool thread_running() const { return thread_running_; }
+
+  /// Spawn the SPE thread (load the program image, start execution).
+  /// Returns the modelled PPE-side cost.  The local store is reset: a fresh
+  /// thread gets a fresh image.
+  ModelTime launch_thread() {
+    EMDPA_REQUIRE(!thread_running_, "SPE thread already running");
+    thread_running_ = true;
+    local_store_.reset();
+    return config_->thread_launch;
+  }
+
+  /// Thread exits (respawn mode tears threads down each step).
+  void terminate_thread() {
+    EMDPA_REQUIRE(thread_running_, "no SPE thread to terminate");
+    thread_running_ = false;
+  }
+
+  /// Signal a running thread through its inbound mailbox.  Returns the
+  /// modelled signalling cost.
+  ModelTime signal(std::uint32_t word) {
+    EMDPA_REQUIRE(thread_running_, "cannot signal an SPE with no thread");
+    mailboxes_.inbound.push(word);
+    return config_->mailbox_signal;
+  }
+
+ private:
+  int index_;
+  const CellConfig* config_;
+  LocalStore local_store_;
+  DmaEngine dma_;
+  Mailboxes mailboxes_;
+  bool thread_running_ = false;
+};
+
+}  // namespace emdpa::cell

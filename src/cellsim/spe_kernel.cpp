@@ -1,0 +1,365 @@
+#include "cellsim/spe_kernel.h"
+
+#include <cmath>
+
+#include "cellsim/spe_simd.h"
+#include "core/error.h"
+
+namespace emdpa::cell {
+
+const char* to_string(SimdVariant v) {
+  switch (v) {
+    case SimdVariant::kOriginal: return "original";
+    case SimdVariant::kCopysign: return "replace-if-with-copysign";
+    case SimdVariant::kSimdReflect: return "simd-unit-cell-reflection";
+    case SimdVariant::kSimdDirection: return "simd-direction-vector";
+    case SimdVariant::kSimdLength: return "simd-length-calculation";
+    case SimdVariant::kSimdAccel: return "simd-acceleration";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Scalar per-axis neighbour-cell search: among the three images
+/// {d, d+edge, d-edge} keep the one with the smallest magnitude.  This is
+/// the paper's "searching the 27 neighboring unit cells" decomposed per
+/// axis.  `use_copysign_select` switches the inner `if` (kOriginal) for
+/// branch-free select math (kCopysign).  Returns the closest image; op
+/// counts go to `work`.
+inline float search_axis_scalar(float d, float edge, bool use_copysign_select,
+                                SpeWork& work) {
+  float best = d;
+  float best_abs = std::fabs(d);
+  work.scalar += 1;  // fabs
+  const float shifts[2] = {edge, -edge};
+  for (const float shift : shifts) {  // unrolled by the compiler (constant trip)
+    const float cand = d + shift;
+    const float cand_abs = std::fabs(cand);
+    work.scalar += 3;  // add, fabs, compare
+    if (use_copysign_select) {
+      // Branch-free: selects keyed off the comparison mask (odd-pipe ops,
+      // priced as shuffles).
+      const bool closer = cand_abs < best_abs;
+      best = closer ? cand : best;
+      best_abs = closer ? cand_abs : best_abs;
+      work.shuffle += 2;  // two selects
+    } else {
+      // The compiled `if` lays the update block inline: when the candidate
+      // is NOT closer (the common case) the branch over the block is taken
+      // and, with no branch prediction on the SPE, stalls the pipeline.
+      if (cand_abs < best_abs) {
+        work.scalar += 2;  // two updates on the fall-through path
+        best = cand;
+        best_abs = cand_abs;
+      } else {
+        work.branch_taken += 1;
+      }
+    }
+  }
+  return best;
+}
+
+/// SIMD unit-cell search: all three axes at once.  The two shifted images
+/// are tested lane-parallel with compare+select; bit-identical to the scalar
+/// search (same candidates, same comparisons, same order).
+inline vfloat4 search_simd(const vfloat4& dr, const vfloat4& edge_splat,
+                           const vfloat4& neg_edge_splat, SpeWork& work) {
+  vfloat4 best = dr;
+  vfloat4 best_abs = spu_abs(dr);
+  work.simd += 1;
+  for (const vfloat4* shift : {&edge_splat, &neg_edge_splat}) {  // unrolled
+    const vfloat4 cand = spu_add(dr, *shift);
+    const vfloat4 cand_abs = spu_abs(cand);
+    const vmask4 closer = spu_cmpgt(best_abs, cand_abs);
+    best = spu_sel(best, cand, closer);
+    best_abs = spu_sel(best_abs, cand_abs, closer);
+    work.simd += 3;    // add, abs, compare
+    work.shuffle += 2; // two selects (odd pipe)
+  }
+  return best;
+}
+
+/// Per-atom accumulator state threaded through the pair loop.  Which member
+/// is live depends on the variant (scalar vs SIMD acceleration).
+struct AccumState {
+  float acc_x = 0, acc_y = 0, acc_z = 0, pe = 0;
+  vfloat4 acc_v = spu_splats(0.0f);
+};
+
+/// One candidate pair, all six variants: direction, unit-cell reflection,
+/// length, cutoff test, LJ force/energy, acceleration accumulation.  Op
+/// counts are recorded alongside every block.
+class PairProcessor {
+ public:
+  PairProcessor(SimdVariant variant, const SpeKernelParams& params,
+                SpeWork& work, md::PairStats& stats)
+      : work_(work),
+        stats_(stats),
+        simd_reflect_(variant >= SimdVariant::kSimdReflect),
+        simd_direction_(variant >= SimdVariant::kSimdDirection),
+        simd_length_(variant >= SimdVariant::kSimdLength),
+        simd_accel_(variant >= SimdVariant::kSimdAccel),
+        copysign_select_(variant >= SimdVariant::kCopysign),
+        edge_(params.box_edge),
+        cutoff_sq_(params.cutoff_sq),
+        sigma2_(params.sigma * params.sigma),
+        eps24_(24.0f * params.epsilon),
+        eps2_(2.0f * params.epsilon),
+        edge_splat_(spu_splats(params.box_edge)),
+        neg_edge_splat_(spu_splats(-params.box_edge)) {}
+
+  bool uses_simd_accumulator() const { return simd_accel_; }
+
+  void process(const emdpa::Vec4f& pi, const emdpa::Vec4f& pj,
+               AccumState& state) {
+    // --- direction vector -------------------------------------------
+    float dx = 0, dy = 0, dz = 0;  // scalar path state
+    vfloat4 drv{};                 // SIMD path state
+    if (simd_direction_) {
+      work_.load_store += 1;  // quadword load of p_j
+      work_.simd += 1;        // vector subtract
+      drv = spu_sub(vfloat4::from(pi), vfloat4::from(pj));
+    } else {
+      // Component loads + scalar subtracts (each scalar access costs a
+      // load, a rotate-to-preferred-slot shuffle and address arithmetic
+      // on the SPE).
+      work_.load_store += 3;
+      work_.shuffle += 3;
+      work_.scalar += 6;
+      dx = pi.x - pj.x;
+      dy = pi.y - pj.y;
+      dz = pi.z - pj.z;
+    }
+
+    // --- unit-cell reflection (minimum image) -----------------------
+    if (simd_reflect_) {
+      if (!simd_direction_) {
+        // Pack the scalar direction components into a SIMD register.
+        work_.shuffle += 4;  // three inserts + a move
+        drv = {{dx, dy, dz, 0.0f}};
+      }
+      drv = search_simd(drv, edge_splat_, neg_edge_splat_, work_);
+    } else {
+      // Per-axis scalar search, looping over the three dimensions.  Each
+      // iteration spills/reloads the axis scalar through the stack (2006
+      // code generation keeps loop-carried scalars in the LS).
+      float* axes[3] = {&dx, &dy, &dz};
+      for (float* d : axes) {
+        work_.loop_iter += 1;
+        work_.branch_taken += 1;  // axis-loop back edge
+        work_.load_store += 2;    // spill + reload of the axis component
+        *d = search_axis_scalar(*d, edge_, copysign_select_, work_);
+      }
+    }
+
+    // --- length calculation -----------------------------------------
+    float r2 = 0;
+    if (simd_length_) {
+      const vfloat4 sq = spu_mul(drv, drv);
+      work_.simd += 1;
+      // Horizontal add of lanes 0..2: two rotates + two adds; the lane-0
+      // extract is free (scalars live in the preferred slot).
+      work_.shuffle += 2;
+      work_.scalar += 2;
+      r2 = spu_extract(sq, 0) + spu_extract(sq, 1) + spu_extract(sq, 2);
+    } else {
+      if (simd_reflect_) {
+        // SIMD register back to scalar components (plus a spill the
+        // 2006 compiler emits around the extracts).
+        work_.shuffle += 3;
+        work_.load_store += 2;
+        dx = spu_extract(drv, 0);
+        dy = spu_extract(drv, 1);
+        dz = spu_extract(drv, 2);
+      }
+      work_.scalar += 5;  // 3 multiplies + 2 adds
+      r2 = dx * dx + dy * dy + dz * dz;
+    }
+
+    // --- cutoff test --------------------------------------------------
+    ++stats_.candidates;
+    work_.scalar += 1;  // compare
+    if (!(r2 < cutoff_sq_)) {
+      work_.branch_taken += 1;  // skip to next j
+      return;
+    }
+    ++stats_.interacting;
+
+    // --- Lennard-Jones force and energy (scalar in every variant; the
+    // paper SIMDises only the acceleration conversion) -----------------
+    work_.fdiv_scalar += 1;  // 1/r^2 via estimate + Newton
+    const float inv_r2 = 1.0f / r2;
+    const float s2 = sigma2_ * inv_r2;
+    const float s6 = s2 * s2 * s2;
+    const float f_over_r = eps24_ * inv_r2 * s6 * (2.0f * s6 - 1.0f);
+    work_.scalar += 8;
+    state.pe += eps2_ * s6 * (s6 - 1.0f);  // half of 4*eps*...: pair seen twice
+    work_.scalar += 4;
+
+    // --- acceleration accumulation ------------------------------------
+    if (simd_accel_) {
+      const vfloat4 fv = spu_splats(f_over_r);
+      state.acc_v = spu_add(state.acc_v, spu_mul(fv, drv));
+      work_.shuffle += 1;  // splat
+      work_.simd += 2;     // multiply + add
+    } else {
+      if (simd_reflect_ && simd_length_) {
+        // dr still lives in a SIMD register; extract for the scalar
+        // update (only on interacting pairs, hence the small Fig-5 win).
+        work_.shuffle += 3;
+        dx = spu_extract(drv, 0);
+        dy = spu_extract(drv, 1);
+        dz = spu_extract(drv, 2);
+      }
+      work_.scalar += 6;  // 3 multiplies + 3 adds
+      state.acc_x += f_over_r * dx;
+      state.acc_y += f_over_r * dy;
+      state.acc_z += f_over_r * dz;
+    }
+  }
+
+  /// Convert the accumulator to the stored quadword (acceleration + PE).
+  emdpa::Vec4f finalize(const AccumState& state, float inv_mass) {
+    float ax, ay, az;
+    if (simd_accel_) {
+      ax = spu_extract(state.acc_v, 0);
+      ay = spu_extract(state.acc_v, 1);
+      az = spu_extract(state.acc_v, 2);
+      work_.shuffle += 2;
+    } else {
+      ax = state.acc_x;
+      ay = state.acc_y;
+      az = state.acc_z;
+    }
+    work_.scalar += 3;
+    return {ax * inv_mass, ay * inv_mass, az * inv_mass, state.pe};
+  }
+
+  /// Re-seed the accumulator from a previously stored partial result (the
+  /// tiled kernel's read-modify-write across tiles).
+  void seed(const emdpa::Vec4f& partial, float inv_mass, AccumState& state) {
+    // Undo the finalize scaling so accumulation continues in force units.
+    const float mass = 1.0f / inv_mass;
+    const float fx = partial.x * mass;
+    const float fy = partial.y * mass;
+    const float fz = partial.z * mass;
+    work_.scalar += 3;
+    if (simd_accel_) {
+      state.acc_v = {{fx, fy, fz, 0.0f}};
+      work_.shuffle += 3;  // pack
+    } else {
+      state.acc_x = fx;
+      state.acc_y = fy;
+      state.acc_z = fz;
+    }
+    state.pe = partial.w;
+  }
+
+ private:
+  SpeWork& work_;
+  md::PairStats& stats_;
+  const bool simd_reflect_;
+  const bool simd_direction_;
+  const bool simd_length_;
+  const bool simd_accel_;
+  const bool copysign_select_;
+  const float edge_;
+  const float cutoff_sq_;
+  const float sigma2_;
+  const float eps24_;
+  const float eps2_;
+  const vfloat4 edge_splat_;
+  const vfloat4 neg_edge_splat_;
+};
+
+}  // namespace
+
+SpeKernelResult run_spe_accel_kernel(SimdVariant variant,
+                                     const SpeKernelParams& params,
+                                     LocalStore& ls, LsAddr positions,
+                                     LsAddr accel_out) {
+  EMDPA_REQUIRE(params.i_begin <= params.i_end && params.i_end <= params.n_atoms,
+                "SPE atom range out of bounds");
+  const auto* pos = ls.data_at<emdpa::Vec4f>(positions, params.n_atoms);
+  auto* acc = ls.data_at<emdpa::Vec4f>(accel_out, params.n_atoms);
+
+  SpeKernelResult result;
+  SpeWork& work = result.work;
+  PairProcessor processor(variant, params, work, result.stats);
+  const float inv_mass = params.inv_mass;
+
+  for (std::uint32_t i = params.i_begin; i < params.i_end; ++i) {
+    work.loop_iter += 1;
+    work.branch_taken += 1;  // i-loop back edge
+    work.load_store += 1;    // load p_i
+    const emdpa::Vec4f pi = pos[i];
+
+    AccumState state;
+    for (std::uint32_t j = 0; j < params.n_atoms; ++j) {
+      work.loop_iter += 1;
+      work.branch_taken += 1;  // j-loop back edge
+      if (j == i) {
+        work.branch_taken += 1;  // the skip branch
+        continue;
+      }
+      processor.process(pi, pos[j], state);
+    }
+
+    acc[i] = processor.finalize(state, inv_mass);
+    work.load_store += 1;  // quadword store
+  }
+
+  return result;
+}
+
+SpeKernelResult run_spe_accel_kernel_tile(
+    SimdVariant variant, const SpeKernelParams& params, LocalStore& ls,
+    LsAddr positions_own, LsAddr positions_tile, std::uint32_t tile_begin,
+    std::uint32_t tile_count, LsAddr accel_slice, bool first_tile) {
+  EMDPA_REQUIRE(params.i_begin <= params.i_end && params.i_end <= params.n_atoms,
+                "SPE atom range out of bounds");
+  EMDPA_REQUIRE(tile_begin + tile_count <= params.n_atoms,
+                "tile exceeds the atom count");
+  const std::uint32_t n_own = params.i_end - params.i_begin;
+  const auto* own = ls.data_at<emdpa::Vec4f>(positions_own, n_own);
+  const auto* tile = ls.data_at<emdpa::Vec4f>(positions_tile, tile_count);
+  auto* acc = ls.data_at<emdpa::Vec4f>(accel_slice, n_own);
+
+  SpeKernelResult result;
+  SpeWork& work = result.work;
+  PairProcessor processor(variant, params, work, result.stats);
+  const float inv_mass = params.inv_mass;
+
+  for (std::uint32_t k = 0; k < n_own; ++k) {
+    const std::uint32_t i = params.i_begin + k;
+    work.loop_iter += 1;
+    work.branch_taken += 1;
+    work.load_store += 1;
+    const emdpa::Vec4f pi = own[k];
+
+    AccumState state;
+    if (!first_tile) {
+      work.load_store += 1;  // reload the partial accumulator
+      processor.seed(acc[k], inv_mass, state);
+    }
+
+    for (std::uint32_t t = 0; t < tile_count; ++t) {
+      const std::uint32_t j = tile_begin + t;
+      work.loop_iter += 1;
+      work.branch_taken += 1;
+      if (j == i) {
+        work.branch_taken += 1;
+        continue;
+      }
+      processor.process(pi, tile[t], state);
+    }
+
+    acc[k] = processor.finalize(state, inv_mass);
+    work.load_store += 1;
+  }
+
+  return result;
+}
+
+}  // namespace emdpa::cell

@@ -1,0 +1,86 @@
+// The SPE acceleration kernel — step 2 of the MD calculation, ported to the
+// SPE in the six cumulative optimisation stages of the paper's Figure 5:
+//
+//   kOriginal       scalar code; per-axis neighbour-cell search with `if`s
+//   kCopysign       the `if` in the search replaced by branch-free selects
+//   kSimdReflect    the unit-cell search done for all three axes at once
+//                   with SIMD intrinsics (the big, >1.5x win)
+//   kSimdDirection  the direction-vector computation SIMDised (~21%)
+//   kSimdLength     the length calculation SIMDised (~15%)
+//   kSimdAccel      the force-to-acceleration conversion SIMDised (~3%,
+//                   small because so few tested pairs interact)
+//
+// Every variant computes bit-identical single-precision physics; they differ
+// only in the operation mix they issue, which is recorded into SpeWork and
+// priced by SpeOpCosts.  The kernel reads positions from, and writes
+// accelerations to, the SPE local store; each atom's potential-energy
+// contribution rides back in the w component of its acceleration quadword.
+#pragma once
+
+#include <cstdint>
+
+#include "cellsim/cost_model.h"
+#include "cellsim/local_store.h"
+#include "core/vec4.h"
+#include "md/force_kernel.h"
+
+namespace emdpa::cell {
+
+enum class SimdVariant : int {
+  kOriginal = 0,
+  kCopysign = 1,
+  kSimdReflect = 2,
+  kSimdDirection = 3,
+  kSimdLength = 4,
+  kSimdAccel = 5,
+};
+
+const char* to_string(SimdVariant v);
+
+/// All six variants, in staircase order (for Fig 5 sweeps).
+inline constexpr SimdVariant kAllSimdVariants[] = {
+    SimdVariant::kOriginal,      SimdVariant::kCopysign,
+    SimdVariant::kSimdReflect,   SimdVariant::kSimdDirection,
+    SimdVariant::kSimdLength,    SimdVariant::kSimdAccel,
+};
+
+/// Scalar parameters compiled into the SPE program (the constants the PPE
+/// embeds in the thread's argument block).
+struct SpeKernelParams {
+  float box_edge = 0;
+  float cutoff_sq = 0;
+  float epsilon = 1;
+  float sigma = 1;
+  float inv_mass = 1;
+  std::uint32_t n_atoms = 0;
+  std::uint32_t i_begin = 0;  ///< first atom this SPE is responsible for
+  std::uint32_t i_end = 0;    ///< one past the last
+};
+
+struct SpeKernelResult {
+  SpeWork work;          ///< dynamic op counts, priced by SpeOpCosts
+  md::PairStats stats;   ///< candidates / interacting pairs observed
+};
+
+/// Run the acceleration kernel for atoms [i_begin, i_end) against all
+/// n_atoms positions.  `positions` and `accel_out` are LS-resident arrays of
+/// n_atoms Vec4f quadwords (positions' w ignored; accel w receives the
+/// atom's PE contribution).  Positions must be wrapped into the box.
+SpeKernelResult run_spe_accel_kernel(SimdVariant variant,
+                                     const SpeKernelParams& params,
+                                     LocalStore& ls, LsAddr positions,
+                                     LsAddr accel_out);
+
+/// Tiled flavour for the streaming data layout: process the owned atoms
+/// [i_begin, i_end) (positions resident at `positions_own`, own-slice
+/// indexing) against one DMA-streamed tile of `tile_count` atoms whose
+/// global indices start at `tile_begin` (`positions_tile`).  Partial
+/// accelerations accumulate in `accel_slice` ((i_end - i_begin) entries):
+/// zeroed when `first_tile`, read-modified-written otherwise.  Iterating
+/// tiles in ascending order reproduces the resident kernel bit-exactly.
+SpeKernelResult run_spe_accel_kernel_tile(
+    SimdVariant variant, const SpeKernelParams& params, LocalStore& ls,
+    LsAddr positions_own, LsAddr positions_tile, std::uint32_t tile_begin,
+    std::uint32_t tile_count, LsAddr accel_slice, bool first_tile);
+
+}  // namespace emdpa::cell

@@ -1,0 +1,89 @@
+// SPE SIMD register model: a 4-lane float vector with SPU-intrinsic-style
+// operations (spu_add, spu_madd, spu_sel, ...).
+//
+// This is the *functional* half of the SPE model: pure math, no timing.
+// Kernels count the operations they issue into SpeWork (cost_model.h), so
+// the op mix stays explicit and auditable next to the arithmetic.
+//
+// Fidelity note: results must be bit-identical to the scalar code paths so
+// every Fig-5 variant computes the same physics.  We therefore implement
+// multiply-add as separate multiply and add (the kernels count it as the
+// fused op they would issue) and use exact division rather than the
+// estimate+Newton sequence (again, the *cost* of the real sequence is what
+// gets counted).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "core/vec4.h"
+
+namespace emdpa::cell {
+
+struct vfloat4 {
+  float lane[4] = {0, 0, 0, 0};
+
+  static vfloat4 from(const emdpa::Vec4f& v) { return {{v.x, v.y, v.z, v.w}}; }
+  emdpa::Vec4f to_vec4() const { return {lane[0], lane[1], lane[2], lane[3]}; }
+};
+
+/// Lane-wise select mask (all-ones or all-zeros per lane, as on SPU).
+struct vmask4 {
+  bool lane[4] = {false, false, false, false};
+};
+
+inline vfloat4 spu_splats(float s) { return {{s, s, s, s}}; }
+
+inline vfloat4 spu_add(const vfloat4& a, const vfloat4& b) {
+  return {{a.lane[0] + b.lane[0], a.lane[1] + b.lane[1], a.lane[2] + b.lane[2],
+           a.lane[3] + b.lane[3]}};
+}
+
+inline vfloat4 spu_sub(const vfloat4& a, const vfloat4& b) {
+  return {{a.lane[0] - b.lane[0], a.lane[1] - b.lane[1], a.lane[2] - b.lane[2],
+           a.lane[3] - b.lane[3]}};
+}
+
+inline vfloat4 spu_mul(const vfloat4& a, const vfloat4& b) {
+  return {{a.lane[0] * b.lane[0], a.lane[1] * b.lane[1], a.lane[2] * b.lane[2],
+           a.lane[3] * b.lane[3]}};
+}
+
+/// Lane-wise |a| (sign-bit clear on hardware).
+inline vfloat4 spu_abs(const vfloat4& a) {
+  return {{std::fabs(a.lane[0]), std::fabs(a.lane[1]), std::fabs(a.lane[2]),
+           std::fabs(a.lane[3])}};
+}
+
+/// Lane-wise copysign(magnitude, sign_source) — a sign-bit merge on SPU.
+inline vfloat4 spu_copysign(const vfloat4& magnitude, const vfloat4& sign) {
+  return {{std::copysign(magnitude.lane[0], sign.lane[0]),
+           std::copysign(magnitude.lane[1], sign.lane[1]),
+           std::copysign(magnitude.lane[2], sign.lane[2]),
+           std::copysign(magnitude.lane[3], sign.lane[3])}};
+}
+
+inline vmask4 spu_cmpgt(const vfloat4& a, const vfloat4& b) {
+  return {{a.lane[0] > b.lane[0], a.lane[1] > b.lane[1], a.lane[2] > b.lane[2],
+           a.lane[3] > b.lane[3]}};
+}
+
+/// Lane-wise select: mask lane true -> b, false -> a (spu_sel semantics).
+inline vfloat4 spu_sel(const vfloat4& a, const vfloat4& b, const vmask4& mask) {
+  vfloat4 out;
+  for (int l = 0; l < 4; ++l) out.lane[l] = mask.lane[l] ? b.lane[l] : a.lane[l];
+  return out;
+}
+
+/// Extract one lane into a scalar register (free on SPU for lane 0, a
+/// rotate otherwise — kernels count the shuffle).
+inline float spu_extract(const vfloat4& a, int lane) { return a.lane[lane]; }
+
+/// Insert a scalar into one lane (a shuffle on SPU).
+inline vfloat4 spu_insert(float s, const vfloat4& a, int lane) {
+  vfloat4 out = a;
+  out.lane[lane] = s;
+  return out;
+}
+
+}  // namespace emdpa::cell

@@ -1,0 +1,73 @@
+// Heap buffer with guaranteed alignment.
+//
+// The Cell DMA engine (like the hardware MFC) requires 16-byte-aligned host
+// addresses; std::vector only guarantees the element's own alignment.  The
+// device models use AlignedBuffer for every host-side array that crosses a
+// DMA boundary so the alignment contract holds by construction.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+#include "core/error.h"
+
+namespace emdpa {
+
+template <typename T, std::size_t Alignment = 16>
+class AlignedBuffer {
+  static_assert(Alignment >= alignof(T), "alignment must satisfy the type");
+  static_assert((Alignment & (Alignment - 1)) == 0, "alignment must be a power of two");
+
+ public:
+  explicit AlignedBuffer(std::size_t count) : count_(count) {
+    EMDPA_REQUIRE(count > 0, "aligned buffer must hold at least one element");
+    const std::size_t bytes =
+        (count * sizeof(T) + Alignment - 1) / Alignment * Alignment;
+    data_ = static_cast<T*>(::operator new(bytes, std::align_val_t{Alignment}));
+    for (std::size_t i = 0; i < count_; ++i) new (data_ + i) T{};
+  }
+
+  ~AlignedBuffer() {
+    if (data_ != nullptr) {
+      for (std::size_t i = count_; i > 0; --i) data_[i - 1].~T();
+      ::operator delete(data_, std::align_val_t{Alignment});
+    }
+  }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(other.data_), count_(other.count_) {
+    other.data_ = nullptr;
+    other.count_ = 0;
+  }
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      this->~AlignedBuffer();
+      data_ = other.data_;
+      count_ = other.count_;
+      other.data_ = nullptr;
+      other.count_ = 0;
+    }
+    return *this;
+  }
+
+  std::size_t size() const { return count_; }
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  T* begin() { return data_; }
+  T* end() { return data_ + count_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + count_; }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t count_ = 0;
+};
+
+}  // namespace emdpa

@@ -1,0 +1,28 @@
+// CSV output for machine-readable bench results (plotting, regression
+// tracking).  Each bench can mirror its printed table into a CSV file.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace emdpa {
+
+/// Streams rows of comma-separated values with correct quoting.
+class CsvWriter {
+ public:
+  /// Writes to `out`; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  /// Write one row.  Fields containing commas, quotes or newlines are quoted.
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Convenience for a label + numeric series.
+  void write_row(const std::string& label, const std::vector<double>& values);
+
+ private:
+  static std::string escape(const std::string& field);
+  std::ostream& out_;
+};
+
+}  // namespace emdpa

@@ -1,0 +1,50 @@
+// Error handling primitives shared by every emdpa module.
+//
+// The simulators in this project model hardware with hard contracts (local
+// store sizes, alignment rules, stream limits).  Violating such a contract is
+// a programming error in the caller, and we surface it loudly via
+// ContractViolation rather than silently producing garbage timing results.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace emdpa {
+
+/// Thrown when a caller violates a documented precondition of a device model
+/// (e.g. DMA of unaligned data, local-store overflow, reading a texture bound
+/// as a shader output).  These correspond to things that would crash, hang or
+/// corrupt memory on the real hardware.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when an operation fails for an environmental reason (I/O, parse
+/// errors) rather than a caller bug.
+class RuntimeFailure : public std::runtime_error {
+ public:
+  explicit RuntimeFailure(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* expr, const char* file, int line,
+                                       const std::string& msg) {
+  std::string full = std::string(file) + ":" + std::to_string(line) +
+                     ": contract violated: (" + expr + ")";
+  if (!msg.empty()) full += " — " + msg;
+  throw ContractViolation(full);
+}
+}  // namespace detail
+
+}  // namespace emdpa
+
+/// Precondition check.  Always on (the checks guard simulator correctness and
+/// are far off the hot paths; hot paths use EMDPA_ASSUME_AUDITED below).
+#define EMDPA_REQUIRE(expr, msg)                                         \
+  do {                                                                   \
+    if (!(expr)) ::emdpa::detail::contract_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+/// Invariant check for internal consistency (same mechanics, different intent).
+#define EMDPA_ENSURE(expr, msg) EMDPA_REQUIRE(expr, msg)

@@ -1,0 +1,35 @@
+#include "core/op_counter.h"
+
+#include <sstream>
+
+namespace emdpa {
+
+void OpCounter::add(std::string_view name, std::uint64_t n) {
+  auto it = counts_.find(name);
+  if (it == counts_.end()) {
+    counts_.emplace(std::string(name), n);
+  } else {
+    it->second += n;
+  }
+}
+
+std::uint64_t OpCounter::get(std::string_view name) const {
+  auto it = counts_.find(name);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+void OpCounter::merge(const OpCounter& other) {
+  for (const auto& [name, count] : other.counts_) add(name, count);
+}
+
+void OpCounter::clear() { counts_.clear(); }
+
+std::string OpCounter::to_string() const {
+  std::ostringstream os;
+  for (const auto& [name, count] : counts_) {
+    os << name << " = " << count << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace emdpa

@@ -1,0 +1,43 @@
+// Named operation counters.
+//
+// Device kernels increment counters for the events their cost models price
+// (candidate pairs examined, interacting pairs, SIMD ops, DMA bytes, cache
+// misses…).  Keeping the counters separate from the cost models makes the
+// timing methodology auditable: a bench can print exactly which events were
+// counted alongside the derived model time.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace emdpa {
+
+class OpCounter {
+ public:
+  /// Add `n` occurrences of the named event.
+  void add(std::string_view name, std::uint64_t n = 1);
+
+  /// Current count for the named event (0 if never recorded).
+  std::uint64_t get(std::string_view name) const;
+
+  /// Merge another counter set into this one.
+  void merge(const OpCounter& other);
+
+  /// Reset all counters to zero.
+  void clear();
+
+  /// Stable iteration over (name, count) pairs, sorted by name.
+  const std::map<std::string, std::uint64_t, std::less<>>& entries() const {
+    return counts_;
+  }
+
+  /// Render as a compact one-line-per-counter report.
+  std::string to_string() const;
+
+ private:
+  std::map<std::string, std::uint64_t, std::less<>> counts_;
+};
+
+}  // namespace emdpa

@@ -1,0 +1,49 @@
+#include "core/string_util.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace emdpa {
+
+std::string format_fixed(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string format_auto(double value) {
+  const double mag = std::fabs(value);
+  char buf[64];
+  if (value == 0.0) return "0";
+  if (mag >= 1e-3 && mag < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.4g", value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3e", value);
+  }
+  return buf;
+}
+
+std::string pad_left(const std::string& s, std::size_t width) {
+  return s.size() >= width ? s : std::string(width - s.size(), ' ') + s;
+}
+
+std::string pad_right(const std::string& s, std::size_t width) {
+  return s.size() >= width ? s : s + std::string(width - s.size(), ' ');
+}
+
+std::string join(const std::vector<std::string>& parts, const std::string& sep) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) os << sep;
+    os << parts[i];
+  }
+  return os.str();
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace emdpa

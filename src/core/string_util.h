@@ -1,0 +1,27 @@
+// Small string/number formatting helpers used by the report and CSV writers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace emdpa {
+
+/// Format a double with `precision` significant decimal places, trimming a
+/// trailing ".000" only when the value is integral at that precision.
+std::string format_fixed(double value, int precision);
+
+/// Format a double in "engineering-friendly" style: fixed for moderate
+/// magnitudes, scientific outside [1e-3, 1e6).
+std::string format_auto(double value);
+
+/// Left-/right-pad `s` with spaces to `width` (no-op if already wider).
+std::string pad_left(const std::string& s, std::size_t width);
+std::string pad_right(const std::string& s, std::size_t width);
+
+/// Join strings with a separator.
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// True if `s` ends with `suffix`.
+bool ends_with(const std::string& s, const std::string& suffix);
+
+}  // namespace emdpa

@@ -1,0 +1,57 @@
+#include "core/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/error.h"
+#include "core/string_util.h"
+
+namespace emdpa {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  EMDPA_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  EMDPA_REQUIRE(cells.size() == header_.size(),
+                "row arity must match header arity");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_row(const std::string& label, const std::vector<double>& values,
+                    int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) cells.push_back(format_fixed(v, precision));
+  add_row(std::move(cells));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) line += "  ";
+      line += (c == 0) ? pad_right(row[c], widths[c]) : pad_left(row[c], widths[c]);
+    }
+    return line;
+  };
+
+  std::ostringstream os;
+  os << render_row(header_) << "\n";
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c > 0 ? 2 : 0);
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) os << render_row(row) << "\n";
+  return os.str();
+}
+
+}  // namespace emdpa

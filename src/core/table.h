@@ -1,0 +1,35 @@
+// Plain-text table rendering for the benchmark harness.
+//
+// Every reproduction bench prints its figure/table as rows the paper reports;
+// this formatter keeps those reports consistent and diffable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace emdpa {
+
+/// A simple column-aligned text table.  Columns are right-aligned except the
+/// first, which is left-aligned (row labels).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: label + numeric cells formatted with `precision` decimals.
+  void add_row(const std::string& label, const std::vector<double>& values,
+               int precision = 3);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Render with a separator rule under the header.
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace emdpa

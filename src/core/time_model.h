@@ -1,0 +1,95 @@
+// Strong types for the timing methodology.
+//
+// Every device simulator in this project reports *model time*: it counts the
+// operations the real computation performs and converts them to seconds using
+// a clock domain and per-operation cycle costs.  ModelTime and CycleCount are
+// distinct types so that modelled durations can never be silently mixed with
+// host wall-clock measurements or raw cycle counts.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+
+#include "core/error.h"
+
+namespace emdpa {
+
+/// A duration in modelled device seconds.
+class ModelTime {
+ public:
+  constexpr ModelTime() = default;
+
+  static constexpr ModelTime seconds(double s) { return ModelTime(s); }
+  static constexpr ModelTime milliseconds(double ms) { return ModelTime(ms * 1e-3); }
+  static constexpr ModelTime microseconds(double us) { return ModelTime(us * 1e-6); }
+  static constexpr ModelTime zero() { return ModelTime(0.0); }
+
+  constexpr double to_seconds() const { return seconds_; }
+  constexpr double to_milliseconds() const { return seconds_ * 1e3; }
+
+  constexpr ModelTime& operator+=(ModelTime o) { seconds_ += o.seconds_; return *this; }
+  constexpr ModelTime& operator-=(ModelTime o) { seconds_ -= o.seconds_; return *this; }
+  constexpr ModelTime& operator*=(double k) { seconds_ *= k; return *this; }
+
+  friend constexpr ModelTime operator+(ModelTime a, ModelTime b) { return a += b; }
+  friend constexpr ModelTime operator-(ModelTime a, ModelTime b) { return a -= b; }
+  friend constexpr ModelTime operator*(ModelTime a, double k) { return a *= k; }
+  friend constexpr ModelTime operator*(double k, ModelTime a) { return a *= k; }
+  friend constexpr double operator/(ModelTime a, ModelTime b) {
+    return a.seconds_ / b.seconds_;
+  }
+  friend constexpr auto operator<=>(ModelTime, ModelTime) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, ModelTime t) {
+    return os << t.seconds_ << " s";
+  }
+
+ private:
+  explicit constexpr ModelTime(double s) : seconds_(s) {}
+  double seconds_ = 0.0;
+};
+
+/// A count of device clock cycles.  Fractional cycles are allowed because
+/// cost models express average costs (e.g. 0.75 cycles/instruction on a
+/// dual-issue pipeline).
+class CycleCount {
+ public:
+  constexpr CycleCount() = default;
+  explicit constexpr CycleCount(double cycles) : cycles_(cycles) {}
+
+  constexpr double value() const { return cycles_; }
+
+  constexpr CycleCount& operator+=(CycleCount o) { cycles_ += o.cycles_; return *this; }
+  friend constexpr CycleCount operator+(CycleCount a, CycleCount b) { return a += b; }
+  friend constexpr CycleCount operator*(CycleCount a, double k) { return CycleCount(a.cycles_ * k); }
+  friend constexpr CycleCount operator*(double k, CycleCount a) { return a * k; }
+  friend constexpr auto operator<=>(CycleCount, CycleCount) = default;
+
+ private:
+  double cycles_ = 0.0;
+};
+
+/// A clock domain converts cycle counts to modelled time.  Each simulated
+/// device (SPE, PPE, GPU core, MTA processor, Opteron) owns one.
+class ClockDomain {
+ public:
+  /// Construct from a frequency in hertz; must be positive.
+  explicit constexpr ClockDomain(double hz) : hz_(hz) {
+    if (hz <= 0.0) throw ContractViolation("clock frequency must be positive");
+  }
+
+  constexpr double hz() const { return hz_; }
+
+  constexpr ModelTime to_time(CycleCount c) const {
+    return ModelTime::seconds(c.value() / hz_);
+  }
+
+  constexpr CycleCount to_cycles(ModelTime t) const {
+    return CycleCount(t.to_seconds() * hz_);
+  }
+
+ private:
+  double hz_;
+};
+
+}  // namespace emdpa

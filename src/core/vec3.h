@@ -1,0 +1,66 @@
+// Minimal 3-component vector used throughout the MD library.
+//
+// Deliberately a plain aggregate: the device simulators reinterpret particle
+// data in their own native layouts (e.g. the GPU model uses 4-component
+// float4 textures, the SPE model uses 16-byte SIMD registers), so Vec3 stays
+// a dumb value type with value semantics and no hidden state.
+#pragma once
+
+#include <cmath>
+#include <ostream>
+
+namespace emdpa {
+
+template <typename T>
+struct Vec3 {
+  T x{}, y{}, z{};
+
+  constexpr Vec3() = default;
+  constexpr Vec3(T x_, T y_, T z_) : x(x_), y(y_), z(z_) {}
+
+  /// Broadcast constructor: all three components set to s.
+  static constexpr Vec3 splat(T s) { return {s, s, s}; }
+
+  constexpr Vec3& operator+=(const Vec3& o) { x += o.x; y += o.y; z += o.z; return *this; }
+  constexpr Vec3& operator-=(const Vec3& o) { x -= o.x; y -= o.y; z -= o.z; return *this; }
+  constexpr Vec3& operator*=(T s) { x *= s; y *= s; z *= s; return *this; }
+  constexpr Vec3& operator/=(T s) { x /= s; y /= s; z /= s; return *this; }
+
+  friend constexpr Vec3 operator+(Vec3 a, const Vec3& b) { return a += b; }
+  friend constexpr Vec3 operator-(Vec3 a, const Vec3& b) { return a -= b; }
+  friend constexpr Vec3 operator*(Vec3 a, T s) { return a *= s; }
+  friend constexpr Vec3 operator*(T s, Vec3 a) { return a *= s; }
+  friend constexpr Vec3 operator/(Vec3 a, T s) { return a /= s; }
+  friend constexpr Vec3 operator-(const Vec3& a) { return {-a.x, -a.y, -a.z}; }
+
+  friend constexpr bool operator==(const Vec3&, const Vec3&) = default;
+
+  /// Component-wise product (Hadamard).
+  friend constexpr Vec3 hadamard(const Vec3& a, const Vec3& b) {
+    return {a.x * b.x, a.y * b.y, a.z * b.z};
+  }
+
+  friend constexpr T dot(const Vec3& a, const Vec3& b) {
+    return a.x * b.x + a.y * b.y + a.z * b.z;
+  }
+
+  friend constexpr T length_squared(const Vec3& a) { return dot(a, a); }
+
+  friend T length(const Vec3& a) { return std::sqrt(length_squared(a)); }
+
+  friend std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+    return os << "(" << v.x << ", " << v.y << ", " << v.z << ")";
+  }
+};
+
+using Vec3f = Vec3<float>;
+using Vec3d = Vec3<double>;
+
+/// Convert between component precisions (used at the host/device boundary:
+/// Cell and GPU kernels run single precision, the host reference is double).
+template <typename To, typename From>
+constexpr Vec3<To> vec_cast(const Vec3<From>& v) {
+  return {static_cast<To>(v.x), static_cast<To>(v.y), static_cast<To>(v.z)};
+}
+
+}  // namespace emdpa

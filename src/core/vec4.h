@@ -1,0 +1,67 @@
+// 4-component vector: the native element type of the GPU simulator's
+// textures (RGBA) and the logical shape of SPE SIMD registers.
+//
+// The paper exploits the 4th component twice: the Cell port stores x/y/z in
+// the first three lanes of SIMD registers, and the GPU port smuggles each
+// atom's potential-energy contribution back to the host in the w component of
+// the acceleration texture.  Vec4 is the host-visible view of those layouts.
+#pragma once
+
+#include <cmath>
+#include <ostream>
+
+#include "core/vec3.h"
+
+namespace emdpa {
+
+template <typename T>
+struct Vec4 {
+  T x{}, y{}, z{}, w{};
+
+  constexpr Vec4() = default;
+  constexpr Vec4(T x_, T y_, T z_, T w_) : x(x_), y(y_), z(z_), w(w_) {}
+
+  /// Promote a Vec3 into the first three lanes; w defaults to 0.
+  explicit constexpr Vec4(const Vec3<T>& v, T w_ = T{}) : x(v.x), y(v.y), z(v.z), w(w_) {}
+
+  static constexpr Vec4 splat(T s) { return {s, s, s, s}; }
+
+  /// Drop the w lane.
+  constexpr Vec3<T> xyz() const { return {x, y, z}; }
+
+  constexpr Vec4& operator+=(const Vec4& o) { x += o.x; y += o.y; z += o.z; w += o.w; return *this; }
+  constexpr Vec4& operator-=(const Vec4& o) { x -= o.x; y -= o.y; z -= o.z; w -= o.w; return *this; }
+  constexpr Vec4& operator*=(T s) { x *= s; y *= s; z *= s; w *= s; return *this; }
+
+  friend constexpr Vec4 operator+(Vec4 a, const Vec4& b) { return a += b; }
+  friend constexpr Vec4 operator-(Vec4 a, const Vec4& b) { return a -= b; }
+  friend constexpr Vec4 operator*(Vec4 a, T s) { return a *= s; }
+  friend constexpr Vec4 operator*(T s, Vec4 a) { return a *= s; }
+
+  friend constexpr bool operator==(const Vec4&, const Vec4&) = default;
+
+  friend constexpr T dot(const Vec4& a, const Vec4& b) {
+    return a.x * b.x + a.y * b.y + a.z * b.z + a.w * b.w;
+  }
+
+  /// Dot product of the spatial lanes only — the common case in the MD
+  /// kernels, where w carries unrelated payload (mass, PE, padding).
+  friend constexpr T dot3(const Vec4& a, const Vec4& b) {
+    return a.x * b.x + a.y * b.y + a.z * b.z;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const Vec4& v) {
+    return os << "(" << v.x << ", " << v.y << ", " << v.z << ", " << v.w << ")";
+  }
+};
+
+using Vec4f = Vec4<float>;
+using Vec4d = Vec4<double>;
+
+template <typename To, typename From>
+constexpr Vec4<To> vec_cast(const Vec4<From>& v) {
+  return {static_cast<To>(v.x), static_cast<To>(v.y), static_cast<To>(v.z),
+          static_cast<To>(v.w)};
+}
+
+}  // namespace emdpa

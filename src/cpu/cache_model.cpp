@@ -1,0 +1,97 @@
+#include "cpu/cache_model.h"
+
+namespace emdpa::opteron {
+
+namespace {
+bool is_power_of_two(std::size_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+std::size_t log2_floor(std::size_t v) {
+  std::size_t shift = 0;
+  while (v > 1) {
+    v >>= 1;
+    ++shift;
+  }
+  return shift;
+}
+}  // namespace
+
+CacheLevel::CacheLevel(const CacheConfig& config) : config_(config) {
+  EMDPA_REQUIRE(is_power_of_two(config.line_bytes), "line size must be a power of two");
+  EMDPA_REQUIRE(config.associativity > 0, "associativity must be positive");
+  EMDPA_REQUIRE(config.size_bytes % (config.line_bytes * config.associativity) == 0,
+                "cache size must be divisible by line_bytes * associativity");
+  n_sets_ = config.size_bytes / (config.line_bytes * config.associativity);
+  EMDPA_REQUIRE(is_power_of_two(n_sets_), "set count must be a power of two");
+  line_shift_ = log2_floor(config.line_bytes);
+  ways_.assign(n_sets_ * config.associativity, Way{});
+}
+
+bool CacheLevel::access(std::uint64_t addr) {
+  const std::uint64_t line = addr >> line_shift_;
+  const std::size_t set = static_cast<std::size_t>(line) & (n_sets_ - 1);
+  const std::uint64_t tag = line >> log2_floor(n_sets_);
+
+  Way* base = &ways_[set * config_.associativity];
+  ++stamp_;
+
+  Way* lru = base;
+  for (std::size_t w = 0; w < config_.associativity; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == tag) {
+      way.lru_stamp = stamp_;
+      ++hits_;
+      return true;
+    }
+    if (!way.valid) {
+      lru = &way;  // prefer an invalid way for fills
+    } else if (lru->valid && way.lru_stamp < lru->lru_stamp) {
+      lru = &way;
+    }
+  }
+
+  ++misses_;
+  lru->valid = true;
+  lru->tag = tag;
+  lru->lru_stamp = stamp_;
+  return false;
+}
+
+void CacheLevel::reset_stats() {
+  hits_ = 0;
+  misses_ = 0;
+}
+
+void CacheLevel::invalidate_all() {
+  for (auto& way : ways_) way = Way{};
+  stamp_ = 0;
+}
+
+MemoryHierarchy::MemoryHierarchy(const CacheConfig& l1, const CacheConfig& l2)
+    : l1_(l1), l2_(l2) {}
+
+void MemoryHierarchy::access(std::uint64_t addr, std::size_t bytes) {
+  EMDPA_REQUIRE(bytes > 0, "access must touch at least one byte");
+  const std::size_t line = l1_.config().line_bytes;
+  const std::uint64_t first = addr / line;
+  const std::uint64_t last = (addr + bytes - 1) / line;
+  for (std::uint64_t l = first; l <= last; ++l) {
+    ++accesses_;
+    const std::uint64_t line_addr = l * line;
+    if (!l1_.access(line_addr)) {
+      l2_.access(line_addr);
+    }
+  }
+}
+
+void MemoryHierarchy::reset_stats() {
+  l1_.reset_stats();
+  l2_.reset_stats();
+  accesses_ = 0;
+}
+
+void MemoryHierarchy::invalidate_all() {
+  l1_.invalidate_all();
+  l2_.invalidate_all();
+}
+
+}  // namespace emdpa::opteron

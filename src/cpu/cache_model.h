@@ -1,0 +1,84 @@
+// Set-associative cache simulator for the Opteron reference model.
+//
+// Fig 9 of the paper attributes the Opteron's super-quadratic runtime growth
+// to cache capacity: once the position arrays outgrow the caches, every
+// sweep of the inner N^2 loop re-misses.  We model a two-level hierarchy
+// (64 KB 2-way L1D, 1 MB 16-way L2, 64-byte lines — the Opteron K8 geometry)
+// with true LRU replacement, driven by the address trace of the timed kernel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/error.h"
+
+namespace emdpa::opteron {
+
+struct CacheConfig {
+  std::size_t size_bytes = 64 * 1024;
+  std::size_t line_bytes = 64;
+  std::size_t associativity = 2;
+};
+
+/// One cache level with LRU replacement.  Tracks hits and misses.
+class CacheLevel {
+ public:
+  explicit CacheLevel(const CacheConfig& config);
+
+  /// Probe the line containing `addr`.  Returns true on hit; on miss the
+  /// line is installed (evicting LRU).
+  bool access(std::uint64_t addr);
+
+  void reset_stats();
+  void invalidate_all();
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  const CacheConfig& config() const { return config_; }
+
+ private:
+  struct Way {
+    std::uint64_t tag = 0;
+    std::uint64_t lru_stamp = 0;
+    bool valid = false;
+  };
+
+  CacheConfig config_;
+  std::size_t n_sets_;
+  std::size_t line_shift_;
+  std::vector<Way> ways_;  // n_sets * associativity, row-major by set
+  std::uint64_t stamp_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// Aggregated results of one memory access through the hierarchy.
+struct AccessOutcome {
+  bool l1_hit = false;
+  bool l2_hit = false;  ///< meaningful only when !l1_hit
+};
+
+/// Two-level hierarchy: L1 miss probes L2; L2 miss goes to memory.
+/// Inclusive enough for trace-driven miss counting (no writeback modelling —
+/// the kernels are read-dominated and the timing model prices misses only).
+class MemoryHierarchy {
+ public:
+  MemoryHierarchy(const CacheConfig& l1, const CacheConfig& l2);
+
+  /// Touch `bytes` bytes starting at `addr` (every spanned line is probed).
+  void access(std::uint64_t addr, std::size_t bytes);
+
+  void reset_stats();
+  void invalidate_all();
+
+  std::uint64_t l1_misses() const { return l1_.misses(); }
+  std::uint64_t l2_misses() const { return l2_.misses(); }
+  std::uint64_t accesses() const { return accesses_; }
+
+ private:
+  CacheLevel l1_;
+  CacheLevel l2_;
+  std::uint64_t accesses_ = 0;
+};
+
+}  // namespace emdpa::opteron

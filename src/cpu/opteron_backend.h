@@ -1,0 +1,22 @@
+// MdBackend implementation for the Opteron reference model.
+#pragma once
+
+#include "cpu/opteron_model.h"
+#include "md/backend.h"
+
+namespace emdpa::opteron {
+
+class OpteronBackend final : public md::MdBackend {
+ public:
+  explicit OpteronBackend(const OpteronConfig& config = {});
+
+  std::string name() const override { return "opteron-2.2ghz"; }
+  std::string precision() const override { return "double"; }
+
+  md::RunResult run(const md::RunConfig& config) override;
+
+ private:
+  OpteronConfig config_;
+};
+
+}  // namespace emdpa::opteron

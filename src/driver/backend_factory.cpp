@@ -1,0 +1,116 @@
+#include "driver/backend_factory.h"
+
+#include <functional>
+#include <map>
+
+#include "cellsim/cell_dp.h"
+#include "cellsim/cell_md_app.h"
+#include "core/error.h"
+#include "cpu/opteron_backend.h"
+#include "gpusim/gpu_backend.h"
+#include "mtasim/mta_backend.h"
+#include "mtasim/xmt_backend.h"
+
+namespace emdpa::driver {
+
+namespace {
+
+using Factory = std::function<std::unique_ptr<md::MdBackend>()>;
+
+struct Entry {
+  BackendInfo info;
+  Factory make;
+};
+
+const std::vector<Entry>& registry() {
+  static const std::vector<Entry> entries = [] {
+    std::vector<Entry> list;
+
+    list.push_back({{"host", "plain double-precision host reference (no timing model)"},
+                    [] { return std::make_unique<md::HostReferenceBackend>(); }});
+    list.push_back({{"opteron", "2.2 GHz Opteron reference model (Table 1 baseline)"},
+                    [] { return std::make_unique<opteron::OpteronBackend>(); }});
+
+    for (int spes : {1, 2, 4, 8}) {
+      list.push_back(
+          {{"cell-" + std::to_string(spes) + "spe",
+            "Cell BE, " + std::to_string(spes) + " SPE(s), persistent threads"},
+           [spes] {
+             cell::CellRunOptions options;
+             options.n_spes = spes;
+             return std::make_unique<cell::CellBackend>(options);
+           }});
+    }
+    list.push_back({{"cell-8spe-respawn",
+                     "Cell BE, 8 SPEs, thread respawn every step (Fig 6)"},
+                    [] {
+                      cell::CellRunOptions options;
+                      options.launch_mode = cell::LaunchMode::kRespawnEveryStep;
+                      return std::make_unique<cell::CellBackend>(options);
+                    }});
+    list.push_back({{"cell-8spe-tiled",
+                     "Cell BE, 8 SPEs, double-buffered tile streaming"},
+                    [] {
+                      cell::CellRunOptions options;
+                      options.data_layout = cell::SpeDataLayout::kTiledStreaming;
+                      return std::make_unique<cell::CellBackend>(options);
+                    }});
+    list.push_back({{"cell-ppe", "Cell BE, PPE only (unported baseline)"},
+                    [] {
+                      cell::CellRunOptions options;
+                      options.n_spes = 0;
+                      return std::make_unique<cell::CellBackend>(options);
+                    }});
+    list.push_back({{"cell-8spe-dp", "Cell BE, 8 SPEs, double precision"},
+                    [] { return std::make_unique<cell::CellDpBackend>(8); }});
+
+    list.push_back({{"gpu", "NVIDIA 7900GTX model (PE readback in w)"},
+                    [] { return std::make_unique<gpu::GpuBackend>(); }});
+    list.push_back({{"gpu-reduction",
+                     "7900GTX model with the rejected multi-pass PE reduction"},
+                    [] {
+                      gpu::GpuRunOptions options;
+                      options.pe_strategy = gpu::PeStrategy::kGpuReduction;
+                      return std::make_unique<gpu::GpuBackend>(options);
+                    }});
+
+    list.push_back({{"mta2", "Cray MTA-2, fully multithreaded"},
+                    [] { return std::make_unique<mta::MtaBackend>(); }});
+    list.push_back({{"mta2-partial",
+                     "Cray MTA-2, force loop left serial (Fig 8 baseline)"},
+                    [] {
+                      return std::make_unique<mta::MtaBackend>(
+                          mta::ThreadingMode::kPartiallyMultithreaded);
+                    }});
+    list.push_back({{"xmt", "Cray XMT projection, 1 processor"},
+                    [] { return std::make_unique<mta::XmtBackend>(); }});
+
+    return list;
+  }();
+  return entries;
+}
+
+}  // namespace
+
+const std::vector<BackendInfo>& available_backends() {
+  static const std::vector<BackendInfo> infos = [] {
+    std::vector<BackendInfo> list;
+    for (const auto& entry : registry()) list.push_back(entry.info);
+    return list;
+  }();
+  return infos;
+}
+
+std::unique_ptr<md::MdBackend> make_backend(const std::string& key) {
+  for (const auto& entry : registry()) {
+    if (entry.info.key == key) return entry.make();
+  }
+  std::string known;
+  for (const auto& entry : registry()) {
+    if (!known.empty()) known += ", ";
+    known += entry.info.key;
+  }
+  throw ContractViolation("unknown backend '" + key + "' (known: " + known + ")");
+}
+
+}  // namespace emdpa::driver

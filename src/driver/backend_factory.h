@@ -1,0 +1,26 @@
+// Backend factory: every architecture model behind one string-keyed
+// constructor, for the CLI driver and any embedding that selects devices at
+// runtime.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "md/backend.h"
+
+namespace emdpa::driver {
+
+struct BackendInfo {
+  std::string key;          ///< factory name, e.g. "cell-8spe"
+  std::string description;  ///< one-line human description
+};
+
+/// All registered backend keys with descriptions, in display order.
+const std::vector<BackendInfo>& available_backends();
+
+/// Construct a backend by key.  Throws ContractViolation for unknown keys
+/// (the message lists the valid ones).
+std::unique_ptr<md::MdBackend> make_backend(const std::string& key);
+
+}  // namespace emdpa::driver

@@ -1,0 +1,123 @@
+#include "driver/cli_options.h"
+
+#include <charconv>
+
+#include "core/error.h"
+#include "driver/backend_factory.h"
+
+namespace emdpa::driver {
+
+namespace {
+
+double parse_number(const std::string& flag, const std::string& value) {
+  try {
+    std::size_t consumed = 0;
+    const double parsed = std::stod(value, &consumed);
+    if (consumed != value.size()) throw std::invalid_argument(value);
+    return parsed;
+  } catch (const std::exception&) {
+    throw RuntimeFailure("flag " + flag + " needs a number, got '" + value + "'");
+  }
+}
+
+long parse_integer(const std::string& flag, const std::string& value) {
+  const double v = parse_number(flag, value);
+  const long as_long = static_cast<long>(v);
+  if (static_cast<double>(as_long) != v) {
+    throw RuntimeFailure("flag " + flag + " needs an integer, got '" + value + "'");
+  }
+  return as_long;
+}
+
+}  // namespace
+
+std::string cli_usage() {
+  std::string usage =
+      "emdpa — MD on modelled emerging architectures (IPPS 2007 reproduction)\n"
+      "\n"
+      "Usage:\n"
+      "  emdpa list                         list available backends\n"
+      "  emdpa run --backend <key> [opts]   run one backend\n"
+      "  emdpa compare [opts]               run every backend on one workload\n"
+      "\n"
+      "Options (with defaults):\n"
+      "  --atoms N          atom count (256)\n"
+      "  --steps K          velocity-Verlet steps (10)\n"
+      "  --density D        reduced number density (0.8442)\n"
+      "  --temperature T    initial reduced temperature (1.44)\n"
+      "  --dt DT            time step (0.005)\n"
+      "  --cutoff C         LJ cutoff (2.5)\n"
+      "  --seed S           workload seed\n"
+      "  --csv              machine-readable output\n"
+      "\n"
+      "Backends:\n";
+  for (const auto& info : available_backends()) {
+    usage += "  " + info.key;
+    usage.append(info.key.size() < 18 ? 18 - info.key.size() : 1, ' ');
+    usage += info.description + "\n";
+  }
+  return usage;
+}
+
+CliOptions parse_cli(const std::vector<std::string>& args) {
+  CliOptions options;
+  if (args.empty()) return options;  // kHelp
+
+  std::size_t i = 0;
+  const std::string& command = args[i++];
+  if (command == "list") {
+    options.command = CliCommand::kList;
+  } else if (command == "run") {
+    options.command = CliCommand::kRun;
+  } else if (command == "compare") {
+    options.command = CliCommand::kCompare;
+  } else if (command == "help" || command == "--help" || command == "-h") {
+    options.command = CliCommand::kHelp;
+    return options;
+  } else {
+    throw RuntimeFailure("unknown command '" + command + "' (try 'help')");
+  }
+
+  auto need_value = [&](const std::string& flag) -> const std::string& {
+    if (i >= args.size()) throw RuntimeFailure("flag " + flag + " needs a value");
+    return args[i++];
+  };
+
+  while (i < args.size()) {
+    const std::string& flag = args[i++];
+    if (flag == "--backend") {
+      options.backend = need_value(flag);
+    } else if (flag == "--atoms") {
+      const long n = parse_integer(flag, need_value(flag));
+      if (n <= 0) throw RuntimeFailure("--atoms must be positive");
+      options.run_config.workload.n_atoms = static_cast<std::size_t>(n);
+    } else if (flag == "--steps") {
+      const long k = parse_integer(flag, need_value(flag));
+      if (k <= 0) throw RuntimeFailure("--steps must be positive");
+      options.run_config.steps = static_cast<int>(k);
+    } else if (flag == "--density") {
+      options.run_config.workload.density = parse_number(flag, need_value(flag));
+    } else if (flag == "--temperature") {
+      options.run_config.workload.temperature =
+          parse_number(flag, need_value(flag));
+    } else if (flag == "--dt") {
+      options.run_config.dt = parse_number(flag, need_value(flag));
+    } else if (flag == "--cutoff") {
+      options.run_config.lj.cutoff = parse_number(flag, need_value(flag));
+    } else if (flag == "--seed") {
+      options.run_config.workload.seed =
+          static_cast<std::uint64_t>(parse_integer(flag, need_value(flag)));
+    } else if (flag == "--csv") {
+      options.csv = true;
+    } else {
+      throw RuntimeFailure("unknown flag '" + flag + "' (try 'help')");
+    }
+  }
+
+  if (options.command == CliCommand::kRun && options.backend.empty()) {
+    throw RuntimeFailure("'run' needs --backend <key>; see 'emdpa list'");
+  }
+  return options;
+}
+
+}  // namespace emdpa::driver

@@ -1,0 +1,34 @@
+// Command-line parsing for the emdpa CLI — kept in the driver library so
+// the parsing logic is unit-testable away from main().
+//
+// Grammar:
+//   emdpa list
+//   emdpa run --backend <key> [--atoms N] [--steps K] [--density D]
+//             [--temperature T] [--dt DT] [--cutoff C] [--seed S] [--csv]
+//   emdpa compare [--atoms N] [--steps K] ... (runs every backend)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "md/backend.h"
+
+namespace emdpa::driver {
+
+enum class CliCommand { kList, kRun, kCompare, kHelp };
+
+struct CliOptions {
+  CliCommand command = CliCommand::kHelp;
+  std::string backend;        ///< for kRun
+  md::RunConfig run_config;   ///< populated from the flags
+  bool csv = false;           ///< machine-readable output
+};
+
+/// Parse argv (excluding argv[0]).  Throws RuntimeFailure with a
+/// user-actionable message on bad input.
+CliOptions parse_cli(const std::vector<std::string>& args);
+
+/// The --help text.
+std::string cli_usage();
+
+}  // namespace emdpa::driver

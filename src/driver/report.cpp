@@ -1,0 +1,64 @@
+#include "driver/report.h"
+
+#include <sstream>
+
+#include "core/csv.h"
+#include "core/string_util.h"
+#include "core/table.h"
+
+namespace emdpa::driver {
+
+std::string render_run_report(const md::RunResult& result,
+                              const md::RunConfig& config) {
+  std::ostringstream os;
+  os << "backend:       " << result.backend_name << "\n"
+     << "workload:      " << config.workload.n_atoms << " atoms, "
+     << config.steps << " steps, rho* " << format_auto(config.workload.density)
+     << ", T0* " << format_auto(config.workload.temperature) << "\n"
+     << "model time:    " << format_auto(result.device_time.to_seconds())
+     << " s\n";
+
+  if (!result.breakdown.empty()) {
+    os << "breakdown:\n";
+    for (const auto& [key, time] : result.breakdown) {
+      os << "  " << pad_right(key, 16) << format_auto(time.to_seconds())
+         << " s\n";
+    }
+  }
+
+  os << "energies (KE / PE / total):\n";
+  const auto print_row = [&](const char* label, const md::StepEnergies& e) {
+    os << "  " << pad_right(label, 8) << format_fixed(e.kinetic, 4) << " / "
+       << format_fixed(e.potential, 4) << " / " << format_fixed(e.total(), 4)
+       << "\n";
+  };
+  if (!result.energies.empty()) {
+    print_row("initial", result.energies.front());
+    print_row("final", result.energies.back());
+  }
+  return os.str();
+}
+
+std::string render_run_csv(const md::RunResult& result,
+                           const md::RunConfig& config) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.write_row({"backend", "atoms", "steps", "model_seconds", "initial_total_e",
+                 "final_total_e"});
+  csv.write_row({result.backend_name, std::to_string(config.workload.n_atoms),
+                 std::to_string(config.steps),
+                 format_auto(result.device_time.to_seconds()),
+                 result.energies.empty()
+                     ? ""
+                     : format_fixed(result.energies.front().total(), 6),
+                 result.energies.empty()
+                     ? ""
+                     : format_fixed(result.energies.back().total(), 6)});
+  for (const auto& [key, time] : result.breakdown) {
+    csv.write_row({"breakdown:" + key, "", "", format_auto(time.to_seconds()),
+                   "", ""});
+  }
+  return os.str();
+}
+
+}  // namespace emdpa::driver

@@ -1,0 +1,18 @@
+// Result rendering for the CLI driver.
+#pragma once
+
+#include <string>
+
+#include "md/backend.h"
+
+namespace emdpa::driver {
+
+/// Human-readable single-run report: timing, breakdown, energy ledger.
+std::string render_run_report(const md::RunResult& result,
+                              const md::RunConfig& config);
+
+/// CSV single-run report (one header + one row + breakdown rows).
+std::string render_run_csv(const md::RunResult& result,
+                           const md::RunConfig& config);
+
+}  // namespace emdpa::driver

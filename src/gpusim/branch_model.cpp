@@ -1,0 +1,51 @@
+#include "gpusim/branch_model.h"
+
+#include <cmath>
+
+#include "core/error.h"
+
+namespace emdpa::gpu {
+
+BranchingWorkEstimate estimate_branching_pass_work(
+    const std::vector<emdpa::Vec4f>& positions, const md::PeriodicBoxF& box,
+    const md::LjParamsT<float>& lj, std::size_t batch_size,
+    const MdShaderOpSplit& split) {
+  EMDPA_REQUIRE(batch_size > 0, "batch size must be positive");
+  const std::size_t n = positions.size();
+  const float cutoff_sq = lj.cutoff_squared();
+
+  BranchingWorkEstimate est;
+
+  for (std::size_t batch_start = 0; batch_start < n; batch_start += batch_size) {
+    const std::size_t batch_end = std::min(n, batch_start + batch_size);
+    const std::size_t in_batch = batch_end - batch_start;
+
+    for (std::size_t j = 0; j < n; ++j) {
+      // Prologue + branch overhead: every fragment, every iteration.
+      est.work.fetches += in_batch;
+      est.work.alu_vec4 += in_batch * split.prologue_vec4;
+      est.work.alu_scalar +=
+          in_batch * (split.prologue_scalar + split.branch_overhead_scalar);
+      ++est.batch_iterations;
+
+      // Does any fragment in the batch interact with atom j?
+      bool any = false;
+      for (std::size_t i = batch_start; i < batch_end && !any; ++i) {
+        if (i == j) continue;
+        const emdpa::Vec3f dr =
+            box.min_image(positions[i].xyz() - positions[j].xyz());
+        const float r2 = length_squared(dr);
+        any = (r2 < cutoff_sq);
+      }
+      if (any) {
+        // Lock-step: the whole batch executes the LJ block.
+        est.work.alu_vec4 += in_batch * split.lj_vec4;
+        est.work.alu_scalar += in_batch * split.lj_scalar;
+        ++est.lj_blocks_executed;
+      }
+    }
+  }
+  return est;
+}
+
+}  // namespace emdpa::gpu

@@ -1,0 +1,61 @@
+// Dynamic-branching cost model for the MD shader (ablation support).
+//
+// Shader Model 3.0 introduced real data-dependent branching, but on the
+// GeForce 6/7 fragment pipelines branches are only profitable when *whole
+// batches* of fragments take the same path: the hardware evaluates a batch
+// in lock-step, and if any fragment in the batch needs the taken path, the
+// entire batch executes it.  For the MD gather loop the candidate test is
+// per-(atom, j) and interacting pairs are scattered, so for realistic batch
+// sizes some fragment nearly always interacts and the "skipped" LJ math is
+// executed anyway — plus the per-iteration branch overhead.  This module
+// computes the batch-coherent work counts exactly from the positions, which
+// the ablation bench compares against the predicated shader the paper
+// (implicitly, as all 2006 GPGPU codes did) uses.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/vec4.h"
+#include "gpusim/shader.h"
+#include "md/box.h"
+#include "md/lj_potential.h"
+
+namespace emdpa::gpu {
+
+struct BranchingWorkEstimate {
+  GpuWork work;
+  std::uint64_t batch_iterations = 0;      ///< batches x loop trips
+  std::uint64_t lj_blocks_executed = 0;    ///< of those, LJ path taken
+  double taken_fraction() const {
+    return batch_iterations == 0
+               ? 0.0
+               : static_cast<double>(lj_blocks_executed) /
+                     static_cast<double>(batch_iterations);
+  }
+};
+
+/// Per-candidate op counts of the MD shader split into the always-executed
+/// prologue (fetch, direction, image search, length, cutoff test) and the
+/// branch-guarded LJ block, matching MdAccelShader's counts.
+struct MdShaderOpSplit {
+  std::uint64_t prologue_vec4 = 14;   // direction + image search + length
+  std::uint64_t prologue_scalar = 2;  // mask computation
+  /// Per-iteration cost of the branch itself: condition evaluation plus the
+  /// divergence bookkeeping the fragment scheduler performs per batch
+  /// iteration (G7x dynamic branching was never free).
+  std::uint64_t branch_overhead_scalar = 6;
+  std::uint64_t lj_vec4 = 9;          // LJ polynomial + accumulate
+  std::uint64_t lj_scalar = 5;
+};
+
+/// Compute the exact work of a dynamic-branching acceleration pass over
+/// `positions` with fragment batches of `batch_size` consecutive atoms:
+/// iteration j of a batch executes the LJ block iff any atom in the batch
+/// has atom j inside the cutoff.
+BranchingWorkEstimate estimate_branching_pass_work(
+    const std::vector<emdpa::Vec4f>& positions, const md::PeriodicBoxF& box,
+    const md::LjParamsT<float>& lj, std::size_t batch_size,
+    const MdShaderOpSplit& split = {});
+
+}  // namespace emdpa::gpu

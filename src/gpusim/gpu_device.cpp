@@ -1,0 +1,56 @@
+#include "gpusim/gpu_device.h"
+
+#include <cmath>
+
+namespace emdpa::gpu {
+
+GpuDevice::GpuDevice(const GpuDeviceConfig& config, const ShaderLimits& limits)
+    : config_(config), compiler_(limits) {
+  EMDPA_REQUIRE(config.pixel_pipelines > 0, "device needs at least one pipeline");
+}
+
+PassResult GpuDevice::run_pass(const CompiledShader& shader,
+                               const std::vector<Texture2D*>& inputs,
+                               Texture2D& target, std::size_t instances) {
+  EMDPA_REQUIRE(shader.program != nullptr, "shader was not compiled");
+  EMDPA_REQUIRE(instances <= target.texel_count(),
+                "more instances than render-target texels");
+  EMDPA_REQUIRE(inputs.size() == shader.program->input_count(),
+                "bound input count does not match the shader's samplers");
+
+  for (Texture2D* tex : inputs) tex->bind(TextureBinding::kInput);
+  target.bind(TextureBinding::kRenderTarget);
+
+  std::vector<const Texture2D*> input_view(inputs.begin(), inputs.end());
+
+  PassResult result;
+  std::uint64_t max_instance_instr = 0;
+  for (std::size_t texel = 0; texel < instances; ++texel) {
+    GpuWork instance_work;
+    ShaderContext ctx(input_view, texel, instance_work);
+    const emdpa::Vec4f out = shader.program->execute(ctx);
+    target.write(texel, out);
+
+    const std::uint64_t executed =
+        instance_work.alu_vec4 + instance_work.alu_scalar + instance_work.fetches;
+    max_instance_instr = std::max(max_instance_instr, executed);
+    result.work += instance_work;
+  }
+  compiler_.check_dynamic_limit(max_instance_instr);
+
+  for (Texture2D* tex : inputs) tex->unbind();
+  target.unbind();
+
+  const double total_cycles =
+      static_cast<double>(result.work.alu_vec4) * config_.cycles_per_vec4_op +
+      static_cast<double>(result.work.alu_scalar) * config_.cycles_per_scalar_op +
+      static_cast<double>(result.work.fetches) * config_.cycles_per_fetch;
+  result.compute_time = ClockDomain(config_.clock_hz)
+                            .to_time(CycleCount(total_cycles /
+                                                static_cast<double>(
+                                                    config_.pixel_pipelines)));
+  result.dispatch_time = config_.pass_dispatch_overhead;
+  return result;
+}
+
+}  // namespace emdpa::gpu

@@ -1,0 +1,61 @@
+// The GPU device: parallel pixel pipelines executing a shader pass.
+//
+// Modelled part: NVIDIA GeForce 7900GTX (the paper's card) — 24 pixel
+// pipelines at 650 MHz.  A pass executes the shader once per render-target
+// texel; instances are spread across the pipelines, so pass compute time is
+// total work cycles / pipelines / clock, plus a fixed per-pass dispatch
+// overhead (API validation, state setup, rasteriser spin-up).
+//
+// Per-op effective cycle costs are calibrated: 2006 fragment programs on
+// dependent-math gather loops reached a fraction of peak issue rate (long
+// latency chains, un-coalesced dependent fetches), and the calibration
+// (DESIGN.md §6) reproduces the paper's "almost 6x faster than the CPU at
+// 2048 atoms" with the crossover at small N.
+#pragma once
+
+#include <vector>
+
+#include "core/op_counter.h"
+#include "core/time_model.h"
+#include "gpusim/shader.h"
+#include "gpusim/shader_compiler.h"
+
+namespace emdpa::gpu {
+
+struct GpuDeviceConfig {
+  double clock_hz = 650.0e6;  ///< 7900GTX core clock
+  int pixel_pipelines = 24;   ///< 7900GTX fragment pipes
+  double cycles_per_vec4_op = 7.5;   ///< effective, dependent-chain code
+  double cycles_per_scalar_op = 2.5; ///< co-issued half-rate
+  double cycles_per_fetch = 40.0;    ///< dependent texture fetch, unhidden part
+  ModelTime pass_dispatch_overhead = ModelTime::milliseconds(2.0);
+};
+
+struct PassResult {
+  ModelTime compute_time;  ///< shader execution (excl. dispatch overhead)
+  ModelTime dispatch_time; ///< fixed per-pass cost
+  GpuWork work;            ///< dynamic op counts across all instances
+  ModelTime total() const { return compute_time + dispatch_time; }
+};
+
+class GpuDevice {
+ public:
+  explicit GpuDevice(const GpuDeviceConfig& config = {},
+                     const ShaderLimits& limits = {});
+
+  const GpuDeviceConfig& config() const { return config_; }
+  ShaderCompiler& compiler() { return compiler_; }
+
+  /// Execute `shader` once per texel of `target` (first `instances` texels),
+  /// gathering from `inputs`.  Binds/unbinds the textures around the pass so
+  /// the stream restrictions are enforced.
+  PassResult run_pass(const CompiledShader& shader,
+                      const std::vector<Texture2D*>& inputs, Texture2D& target,
+                      std::size_t instances);
+
+ private:
+  GpuDeviceConfig config_;
+  ShaderCompiler compiler_;
+};
+
+}  // namespace emdpa::gpu

@@ -1,0 +1,51 @@
+// The MD acceleration shader (the paper's section 5.2 port).
+//
+// One input array (positions), one output array (accelerations).  Each
+// instance owns one atom: it scans the entire position texture for atoms
+// within the cutoff and accumulates their force contributions into a single
+// acceleration value.  Because shader instances cannot communicate, the
+// per-atom potential-energy contribution cannot be summed on the GPU in the
+// same pass; it rides home "for free" in the otherwise-padding fourth
+// component of the acceleration texel, and the CPU adds the N values in
+// linear time.
+//
+// Flow control: contributions are predicated (computed unconditionally and
+// multiplied by the in-cutoff mask) — the idiomatic and fast form on 2006
+// fragment pipelines, where data-dependent branches serialised badly.  The
+// arithmetic (candidate order, comparison sense) matches the Cell kernels,
+// so GPU and Cell runs produce identical single-precision physics.
+#pragma once
+
+#include "gpusim/shader.h"
+
+namespace emdpa::gpu {
+
+struct MdShaderConstants {
+  float box_edge = 0;
+  float cutoff_sq = 0;
+  float epsilon = 1;
+  float sigma = 1;
+  float inv_mass = 1;
+  std::uint32_t n_atoms = 0;
+};
+
+class MdAccelShader final : public ShaderProgram {
+ public:
+  /// Constants are baked in at construction — the JIT-compile step.
+  explicit MdAccelShader(const MdShaderConstants& constants);
+
+  std::string name() const override { return "md-accel"; }
+  std::size_t input_count() const override { return 1; }  // positions
+
+  /// Static body length of the emitted fragment program, for the compiler's
+  /// resource check (counted from the op mix below: the gather loop body is
+  /// ~34 instructions plus prologue/epilogue).
+  std::uint64_t static_instruction_estimate() const { return 48; }
+
+  emdpa::Vec4f execute(ShaderContext& ctx) override;
+
+ private:
+  MdShaderConstants c_;
+};
+
+}  // namespace emdpa::gpu

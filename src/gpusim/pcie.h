@@ -1,0 +1,62 @@
+// Host <-> GPU transfer model.
+//
+// The paper's per-step costs "include sending the position array and
+// reading the acceleration array across the PCIe bus every time step", and
+// it is exactly these O(N) + constant costs that make the GPU slower than
+// the CPU at small atom counts (Fig 7).  2006 OpenGL transfer paths were
+// asymmetric: uploads (glTexSubImage) streamed reasonably; readbacks
+// (glReadPixels) stalled the pipeline and ran much slower.
+#pragma once
+
+#include <cstdint>
+
+#include "core/time_model.h"
+
+namespace emdpa::gpu {
+
+struct PcieConfig {
+  double upload_bytes_per_s = 2.0e9;    ///< effective host->GPU
+  double readback_bytes_per_s = 0.9e9;  ///< effective GPU->host (glReadPixels)
+  ModelTime upload_latency = ModelTime::microseconds(250);
+  /// Readback forces a pipeline flush + synchronisation before data flows —
+  /// the dominant fixed cost of the per-step round trip.  Calibrated with
+  /// the dispatch overhead against Fig 7's small-N behaviour.
+  ModelTime readback_sync = ModelTime::milliseconds(3.0);
+};
+
+class PcieBus {
+ public:
+  explicit PcieBus(const PcieConfig& config = {}) : config_(config) {}
+
+  const PcieConfig& config() const { return config_; }
+
+  ModelTime upload(std::size_t bytes) {
+    bytes_up_ += bytes;
+    ++uploads_;
+    return config_.upload_latency +
+           ModelTime::seconds(static_cast<double>(bytes) /
+                              config_.upload_bytes_per_s);
+  }
+
+  ModelTime readback(std::size_t bytes) {
+    bytes_down_ += bytes;
+    ++readbacks_;
+    return config_.readback_sync +
+           ModelTime::seconds(static_cast<double>(bytes) /
+                              config_.readback_bytes_per_s);
+  }
+
+  std::uint64_t bytes_uploaded() const { return bytes_up_; }
+  std::uint64_t bytes_read_back() const { return bytes_down_; }
+  std::uint64_t uploads() const { return uploads_; }
+  std::uint64_t readbacks() const { return readbacks_; }
+
+ private:
+  PcieConfig config_;
+  std::uint64_t bytes_up_ = 0;
+  std::uint64_t bytes_down_ = 0;
+  std::uint64_t uploads_ = 0;
+  std::uint64_t readbacks_ = 0;
+};
+
+}  // namespace emdpa::gpu

@@ -1,0 +1,78 @@
+#include "gpusim/reduction.h"
+
+#include <algorithm>
+
+namespace emdpa::gpu {
+
+namespace {
+
+/// 4:1 sum shader: instance k fetches input texels 4k..4k+3 and writes their
+/// component-wise sum.
+class Reduce4Shader final : public ShaderProgram {
+ public:
+  Reduce4Shader(std::size_t input_count_texels)
+      : input_texels_(input_count_texels) {}
+
+  std::string name() const override { return "reduce4-sum"; }
+  std::size_t input_count() const override { return 1; }
+
+  emdpa::Vec4f execute(ShaderContext& ctx) override {
+    const std::size_t base = ctx.output_texel() * 4;
+    emdpa::Vec4f sum{};
+    for (std::size_t k = 0; k < 4; ++k) {
+      const std::size_t idx = base + k;
+      if (idx < input_texels_) {
+        sum += ctx.fetch(0, idx);
+        ctx.count_vec4(1);
+      }
+    }
+    ctx.count_scalar(2);  // addressing
+    return sum;
+  }
+
+ private:
+  std::size_t input_texels_;
+};
+
+}  // namespace
+
+ReductionOutcome reduce_w_on_gpu(GpuDevice& device, PcieBus& pcie,
+                                 const Texture2D& values, std::size_t count) {
+  EMDPA_REQUIRE(count > 0 && count <= values.texel_count(),
+                "reduction count out of range");
+
+  // Ping-pong temporaries.  Seed ping with the source values (on hardware
+  // the first pass would sample `values` directly; copying keeps `values`
+  // const for the caller at identical modelled cost).
+  Texture2D ping = Texture2D::for_elements(count, "reduce-ping");
+  Texture2D pong = Texture2D::for_elements(std::max<std::size_t>(1, (count + 3) / 4),
+                                           "reduce-pong");
+  {
+    const auto& src = values.host_data();
+    auto& dst = ping.host_data();
+    std::copy(src.begin(), src.begin() + static_cast<std::ptrdiff_t>(count),
+              dst.begin());
+  }
+
+  ReductionOutcome outcome;
+  Texture2D* in = &ping;
+  Texture2D* out = &pong;
+  std::size_t remaining = count;
+
+  while (remaining > 1) {
+    const std::size_t out_count = (remaining + 3) / 4;
+    Reduce4Shader shader(remaining);
+    const CompiledShader compiled = device.compiler().compile(shader, 24);
+    const PassResult pass = device.run_pass(compiled, {in}, *out, out_count);
+    outcome.gpu_time += pass.total();
+    ++outcome.passes;
+    std::swap(in, out);
+    remaining = out_count;
+  }
+
+  outcome.readback_time = pcie.readback(sizeof(emdpa::Vec4f));
+  outcome.sum = in->host_data()[0].w;
+  return outcome;
+}
+
+}  // namespace emdpa::gpu

@@ -1,0 +1,30 @@
+// Multi-pass GPU reduction — the alternative PE-summing strategy the paper
+// evaluates and rejects ("this method introduces significant overheads").
+//
+// Because shader instances cannot communicate, summing N values on the GPU
+// requires O(log N) gather passes: each pass sums blocks of 4 texels into
+// one, ping-ponging between two textures, and every pass pays the fixed
+// dispatch overhead.  The ablation bench (A1) quantifies exactly why the
+// paper's readback-in-w trick wins.
+#pragma once
+
+#include "core/time_model.h"
+#include "gpusim/gpu_device.h"
+#include "gpusim/pcie.h"
+
+namespace emdpa::gpu {
+
+struct ReductionOutcome {
+  float sum = 0;          ///< the reduced value (w channel)
+  ModelTime gpu_time;     ///< all reduction passes (compute + dispatch)
+  ModelTime readback_time;///< final 1-texel readback
+  int passes = 0;
+};
+
+/// Sum the w component of the first `count` texels of `values` on the GPU
+/// via 4:1 reduction passes, then read the single result back over PCIe.
+/// `values` must be unbound.
+ReductionOutcome reduce_w_on_gpu(GpuDevice& device, PcieBus& pcie,
+                                 const Texture2D& values, std::size_t count);
+
+}  // namespace emdpa::gpu

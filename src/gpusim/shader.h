@@ -1,0 +1,81 @@
+// Shader program abstraction.
+//
+// A shader program runs once per texel of the render target.  The execution
+// model is gather-based: an instance may *read* any location of any bound
+// input texture, but it has exactly one output location — its own texel —
+// fixed before execution and expressed here by the shader returning its
+// output value.  Instances cannot communicate (the paper: "there is no
+// communication between the executing instances of the shader programs"),
+// which is what makes an on-GPU sum impossible in a single pass and
+// motivates the PE-in-w readback trick.
+//
+// Shaders count the work they issue (vec4 ALU ops, scalar ops, texture
+// fetches) through the ShaderContext; the device prices those counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/vec4.h"
+#include "gpusim/texture.h"
+
+namespace emdpa::gpu {
+
+/// Dynamic work counters for one shader pass.
+struct GpuWork {
+  std::uint64_t alu_vec4 = 0;   ///< 4-wide ALU ops (add/mul/mad/cmp/sel/rcp...)
+  std::uint64_t alu_scalar = 0; ///< scalar/co-issue ops
+  std::uint64_t fetches = 0;    ///< texture fetches
+
+  GpuWork& operator+=(const GpuWork& o) {
+    alu_vec4 += o.alu_vec4;
+    alu_scalar += o.alu_scalar;
+    fetches += o.fetches;
+    return *this;
+  }
+};
+
+/// Per-instance execution context handed to the shader.
+class ShaderContext {
+ public:
+  ShaderContext(const std::vector<const Texture2D*>& inputs,
+                std::size_t output_texel, GpuWork& work)
+      : inputs_(inputs), output_texel_(output_texel), work_(work) {}
+
+  /// Gather read: any texel of any bound input.
+  const emdpa::Vec4f& fetch(std::size_t input_slot, std::size_t texel) {
+    EMDPA_REQUIRE(input_slot < inputs_.size(), "input slot out of range");
+    ++work_.fetches;
+    return inputs_[input_slot]->sample(texel);
+  }
+
+  /// The texel index this instance writes (its designated output location).
+  std::size_t output_texel() const { return output_texel_; }
+
+  // Work accounting the shader calls alongside its arithmetic.
+  void count_vec4(std::uint64_t n) { work_.alu_vec4 += n; }
+  void count_scalar(std::uint64_t n) { work_.alu_scalar += n; }
+
+ private:
+  const std::vector<const Texture2D*>& inputs_;
+  std::size_t output_texel_;
+  GpuWork& work_;
+};
+
+/// A shader program: pure per-instance function from gathered inputs to the
+/// single output value.
+class ShaderProgram {
+ public:
+  virtual ~ShaderProgram() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Number of input textures the program samples.
+  virtual std::size_t input_count() const = 0;
+
+  /// Run one instance; the return value is written to the instance's texel.
+  virtual emdpa::Vec4f execute(ShaderContext& ctx) = 0;
+};
+
+}  // namespace emdpa::gpu

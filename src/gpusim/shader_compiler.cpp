@@ -1,0 +1,30 @@
+#include "gpusim/shader_compiler.h"
+
+namespace emdpa::gpu {
+
+CompiledShader ShaderCompiler::compile(ShaderProgram& program,
+                                       std::uint64_t static_instructions) const {
+  EMDPA_REQUIRE(program.input_count() <= limits_.max_input_textures,
+                "shader '" + program.name() + "' samples too many textures");
+  EMDPA_REQUIRE(static_instructions <= limits_.max_static_instructions,
+                "shader '" + program.name() + "' exceeds the static program size");
+
+  CompiledShader compiled;
+  compiled.program = &program;
+  compiled.static_instructions = static_instructions;
+  // Driver JIT of a Cg program: tens of milliseconds in the 2006 toolchain.
+  compiled.compile_time = ModelTime::milliseconds(40.0) +
+                          ModelTime::microseconds(
+                              static_cast<double>(static_instructions) * 50.0);
+  return compiled;
+}
+
+void ShaderCompiler::check_dynamic_limit(
+    std::uint64_t executed_instructions) const {
+  EMDPA_REQUIRE(executed_instructions <= limits_.max_executed_instructions,
+                "shader instance exceeded the dynamic instruction limit (" +
+                    std::to_string(executed_instructions) + " > " +
+                    std::to_string(limits_.max_executed_instructions) + ")");
+}
+
+}  // namespace emdpa::gpu

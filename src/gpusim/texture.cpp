@@ -1,0 +1,55 @@
+#include "gpusim/texture.h"
+
+#include <cmath>
+
+namespace emdpa::gpu {
+
+Texture2D::Texture2D(std::size_t width, std::size_t height, std::string name)
+    : width_(width), height_(height), name_(std::move(name)),
+      texels_(width * height) {
+  EMDPA_REQUIRE(width > 0 && height > 0, "texture dimensions must be positive");
+}
+
+Texture2D Texture2D::for_elements(std::size_t count, std::string name) {
+  EMDPA_REQUIRE(count > 0, "texture must hold at least one element");
+  std::size_t w = 1;
+  while (w * w < count) ++w;
+  const std::size_t h = (count + w - 1) / w;
+  return Texture2D(w, h, std::move(name));
+}
+
+std::vector<emdpa::Vec4f>& Texture2D::host_data() {
+  EMDPA_REQUIRE(binding_ == TextureBinding::kUnbound,
+                "host access to texture '" + name_ + "' while bound");
+  return texels_;
+}
+
+const std::vector<emdpa::Vec4f>& Texture2D::host_data() const {
+  EMDPA_REQUIRE(binding_ == TextureBinding::kUnbound,
+                "host access to texture '" + name_ + "' while bound");
+  return texels_;
+}
+
+void Texture2D::bind(TextureBinding binding) {
+  EMDPA_REQUIRE(binding != TextureBinding::kUnbound, "use unbind()");
+  EMDPA_REQUIRE(binding_ == TextureBinding::kUnbound,
+                "texture '" + name_ + "' is already bound; an array cannot be "
+                "both input and output of a shader pass");
+  binding_ = binding;
+}
+
+const emdpa::Vec4f& Texture2D::sample(std::size_t texel) const {
+  EMDPA_REQUIRE(binding_ == TextureBinding::kInput,
+                "sampling texture '" + name_ + "' which is not bound as input");
+  EMDPA_REQUIRE(texel < texels_.size(), "texture sample out of range");
+  return texels_[texel];
+}
+
+void Texture2D::write(std::size_t texel, const emdpa::Vec4f& value) {
+  EMDPA_REQUIRE(binding_ == TextureBinding::kRenderTarget,
+                "writing texture '" + name_ + "' which is not the render target");
+  EMDPA_REQUIRE(texel < texels_.size(), "render-target write out of range");
+  texels_[texel] = value;
+}
+
+}  // namespace emdpa::gpu

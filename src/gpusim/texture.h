@@ -1,0 +1,62 @@
+// GPU texture model.
+//
+// 2006-era GPGPU stores arrays as 2D RGBA float textures.  A texture bound
+// as a shader input is read-only; a texture bound as the render target is
+// write-only, and each shader instance may write only its own designated
+// texel.  Those stream restrictions ("arrays must be designated as either
+// input or output, but not both") are enforced structurally by the binding
+// state here: binding a texture both ways, or writing through an input
+// binding, throws.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/error.h"
+#include "core/vec4.h"
+
+namespace emdpa::gpu {
+
+enum class TextureBinding { kUnbound, kInput, kRenderTarget };
+
+class Texture2D {
+ public:
+  /// Create a width x height RGBA32F texture, zero-initialised.
+  Texture2D(std::size_t width, std::size_t height, std::string name);
+
+  /// Smallest square-ish texture holding `count` texels (GPGPU layout).
+  static Texture2D for_elements(std::size_t count, std::string name);
+
+  std::size_t width() const { return width_; }
+  std::size_t height() const { return height_; }
+  std::size_t texel_count() const { return texels_.size(); }
+  std::size_t bytes() const { return texels_.size() * sizeof(emdpa::Vec4f); }
+  const std::string& name() const { return name_; }
+
+  TextureBinding binding() const { return binding_; }
+
+  /// Host-side access (CPU upload/download paths only — a texture must be
+  /// unbound, as the driver requires).
+  std::vector<emdpa::Vec4f>& host_data();
+  const std::vector<emdpa::Vec4f>& host_data() const;
+
+  // Binding state transitions (performed by the device at pass setup).
+  void bind(TextureBinding binding);
+  void unbind() { binding_ = TextureBinding::kUnbound; }
+
+  /// Device-side sampled read; texture must be bound as an input.
+  const emdpa::Vec4f& sample(std::size_t texel) const;
+
+  /// Device-side render-target write; texture must be bound as the target.
+  void write(std::size_t texel, const emdpa::Vec4f& value);
+
+ private:
+  std::size_t width_;
+  std::size_t height_;
+  std::string name_;
+  std::vector<emdpa::Vec4f> texels_;
+  TextureBinding binding_ = TextureBinding::kUnbound;
+};
+
+}  // namespace emdpa::gpu

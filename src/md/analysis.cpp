@@ -1,0 +1,113 @@
+#include "md/analysis.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "core/error.h"
+
+namespace emdpa::md {
+
+RadialDistribution::RadialDistribution(std::size_t bins, double r_max)
+    : counts_(bins, 0), r_max_(r_max), bin_width_(r_max / static_cast<double>(bins)) {
+  EMDPA_REQUIRE(bins > 0, "histogram needs at least one bin");
+  EMDPA_REQUIRE(r_max > 0.0, "r_max must be positive");
+}
+
+void RadialDistribution::accumulate(const ParticleSystem& system,
+                                    const PeriodicBox& box) {
+  const std::size_t n = system.size();
+  EMDPA_REQUIRE(n >= 2, "g(r) needs at least two atoms");
+  if (snapshots_ == 0) {
+    atoms_ = n;
+  } else {
+    EMDPA_REQUIRE(n == atoms_, "atom count changed between snapshots");
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const Vec3d dr =
+          box.min_image(system.positions()[i] - system.positions()[j]);
+      const double r = length(dr);
+      if (r < r_max_) {
+        // Each unordered pair counts twice (i sees j and j sees i).
+        counts_[static_cast<std::size_t>(r / bin_width_)] += 2;
+      }
+    }
+  }
+  density_sum_ += static_cast<double>(n) / box.volume();
+  ++snapshots_;
+}
+
+double RadialDistribution::bin_center(std::size_t b) const {
+  return (static_cast<double>(b) + 0.5) * bin_width_;
+}
+
+std::vector<double> RadialDistribution::normalized() const {
+  std::vector<double> g(counts_.size(), 0.0);
+  if (snapshots_ == 0) return g;
+
+  const double mean_density = density_sum_ / static_cast<double>(snapshots_);
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const double r_lo = static_cast<double>(b) * bin_width_;
+    const double r_hi = r_lo + bin_width_;
+    const double shell_volume =
+        4.0 / 3.0 * std::numbers::pi * (r_hi * r_hi * r_hi - r_lo * r_lo * r_lo);
+    const double ideal_pairs_per_atom = mean_density * shell_volume;
+    const double observed_per_atom =
+        static_cast<double>(counts_[b]) /
+        (static_cast<double>(snapshots_) * static_cast<double>(atoms_));
+    g[b] = observed_per_atom / ideal_pairs_per_atom;
+  }
+  return g;
+}
+
+double RadialDistribution::peak_location() const {
+  const std::vector<double> g = normalized();
+  std::size_t best = 0;
+  for (std::size_t b = 1; b < g.size(); ++b) {
+    if (g[b] > g[best]) best = b;
+  }
+  return bin_center(best);
+}
+
+MeanSquaredDisplacement::MeanSquaredDisplacement(
+    const std::vector<Vec3d>& reference, const PeriodicBox& box)
+    : box_(box), reference_(reference), unwrapped_(reference),
+      last_wrapped_(reference) {
+  EMDPA_REQUIRE(!reference.empty(), "MSD needs at least one atom");
+}
+
+void MeanSquaredDisplacement::update(const ParticleSystem& system) {
+  EMDPA_REQUIRE(system.size() == reference_.size(),
+                "atom count changed between snapshots");
+  for (std::size_t i = 0; i < reference_.size(); ++i) {
+    // Minimum-image displacement since the last snapshot unwraps boundary
+    // crossings (valid while per-interval motion < half a box edge).
+    const Vec3d step = box_.min_image(system.positions()[i] - last_wrapped_[i]);
+    unwrapped_[i] += step;
+    last_wrapped_[i] = system.positions()[i];
+  }
+}
+
+double MeanSquaredDisplacement::value() const {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < reference_.size(); ++i) {
+    sum += length_squared(unwrapped_[i] - reference_[i]);
+  }
+  return sum / static_cast<double>(reference_.size());
+}
+
+double velocity_autocorrelation(const std::vector<Vec3d>& v0,
+                                const ParticleSystem& now) {
+  EMDPA_REQUIRE(v0.size() == now.size(), "atom count mismatch");
+  EMDPA_REQUIRE(!v0.empty(), "autocorrelation needs atoms");
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < v0.size(); ++i) {
+    num += dot(v0[i], now.velocities()[i]);
+    den += dot(v0[i], v0[i]);
+  }
+  EMDPA_REQUIRE(den > 0.0, "reference velocities are all zero");
+  return num / den;
+}
+
+}  // namespace emdpa::md

@@ -1,0 +1,81 @@
+// Trajectory analysis: the standard structural and dynamical diagnostics of
+// an MD study (extension beyond the paper's timing focus, used by the
+// domain examples to show the simulated physics is real).
+//
+//  * Radial distribution function g(r): liquid structure; for the LJ liquid
+//    the first peak sits near the potential minimum 2^(1/6) sigma.
+//  * Mean-squared displacement (MSD): distinguishes solid (bounded) from
+//    liquid (linear growth, slope = 6D).
+//  * Velocity autocorrelation: short-time dynamics.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/vec3.h"
+#include "md/box.h"
+#include "md/particle_system.h"
+
+namespace emdpa::md {
+
+/// Accumulates a radial distribution function over snapshots.
+class RadialDistribution {
+ public:
+  /// Histogram of `bins` bins covering separations [0, r_max).
+  RadialDistribution(std::size_t bins, double r_max);
+
+  /// Accumulate all pairs of one snapshot (minimum-image separations).
+  void accumulate(const ParticleSystem& system, const PeriodicBox& box);
+
+  std::size_t bins() const { return counts_.size(); }
+  double r_max() const { return r_max_; }
+  std::size_t snapshots() const { return snapshots_; }
+
+  /// Bin centre of bin `b`.
+  double bin_center(std::size_t b) const;
+
+  /// Normalised g(r): counts divided by the ideal-gas expectation for the
+  /// accumulated snapshots.  Empty histogram returns zeros.
+  std::vector<double> normalized() const;
+
+  /// Location of the maximum of g(r) (bin centre), the first-peak position
+  /// for liquid-like systems.
+  double peak_location() const;
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  double r_max_;
+  double bin_width_;
+  std::size_t snapshots_ = 0;
+  double density_sum_ = 0.0;   ///< mean density across snapshots
+  std::size_t atoms_ = 0;      ///< atom count (fixed across snapshots)
+};
+
+/// Tracks mean-squared displacement against a reference configuration,
+/// unwrapping periodic crossings between consecutive updates.
+class MeanSquaredDisplacement {
+ public:
+  /// `reference`: positions at t=0 (wrapped or not); box for unwrapping.
+  MeanSquaredDisplacement(const std::vector<emdpa::Vec3d>& reference,
+                          const PeriodicBox& box);
+
+  /// Feed the next snapshot (must be the same atoms, consecutive in time
+  /// with displacements per interval < half a box edge).
+  void update(const ParticleSystem& system);
+
+  /// Current MSD, averaged over atoms.
+  double value() const;
+
+ private:
+  PeriodicBox box_;
+  std::vector<emdpa::Vec3d> reference_;
+  std::vector<emdpa::Vec3d> unwrapped_;
+  std::vector<emdpa::Vec3d> last_wrapped_;
+};
+
+/// Normalised velocity autocorrelation between a reference snapshot and the
+/// current one: <v(0).v(t)> / <v(0).v(0)>.
+double velocity_autocorrelation(const std::vector<emdpa::Vec3d>& v0,
+                                const ParticleSystem& now);
+
+}  // namespace emdpa::md

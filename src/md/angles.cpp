@@ -1,0 +1,73 @@
+#include "md/angles.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "core/error.h"
+
+namespace emdpa::md {
+
+void AngleTopology::add_angle(HarmonicAngle angle) {
+  EMDPA_REQUIRE(angle.i != angle.j && angle.j != angle.k && angle.i != angle.k,
+                "an angle needs three distinct atoms");
+  EMDPA_REQUIRE(angle.stiffness >= 0.0, "angle stiffness must be non-negative");
+  EMDPA_REQUIRE(angle.rest_angle > 0.0 && angle.rest_angle <= std::numbers::pi,
+                "rest angle must be in (0, pi]");
+  angles_.push_back(angle);
+}
+
+AngleTopology AngleTopology::chain_angles(std::size_t n_atoms, double stiffness,
+                                          double rest_angle) {
+  AngleTopology topo;
+  for (std::size_t j = 1; j + 1 < n_atoms; ++j) {
+    topo.add_angle({j - 1, j, j + 1, stiffness, rest_angle});
+  }
+  return topo;
+}
+
+double AngleTopology::accumulate_forces(
+    const std::vector<Vec3d>& positions, const PeriodicBox& box, double mass,
+    std::vector<Vec3d>& accelerations) const {
+  EMDPA_REQUIRE(accelerations.size() == positions.size(),
+                "acceleration array must match position array");
+  const double inv_mass = 1.0 / mass;
+  double pe = 0.0;
+
+  for (const auto& angle : angles_) {
+    EMDPA_REQUIRE(angle.i < positions.size() && angle.j < positions.size() &&
+                      angle.k < positions.size(),
+                  "angle references an atom outside the system");
+
+    const Vec3d a = box.min_image(positions[angle.i] - positions[angle.j]);
+    const Vec3d b = box.min_image(positions[angle.k] - positions[angle.j]);
+    const double la = length(a);
+    const double lb = length(b);
+    if (la == 0.0 || lb == 0.0) continue;  // degenerate geometry: no torque
+
+    double cos_theta = dot(a, b) / (la * lb);
+    cos_theta = std::clamp(cos_theta, -1.0, 1.0);
+    const double theta = std::acos(cos_theta);
+    const double delta = theta - angle.rest_angle;
+    pe += 0.5 * angle.stiffness * delta * delta;
+
+    const double sin_theta = std::sqrt(1.0 - cos_theta * cos_theta);
+    if (sin_theta < 1e-8) continue;  // collinear: force direction undefined
+
+    // F_i = -K*(theta - theta0) * dtheta/dr_i, with
+    // dtheta/dr_i = (cos(theta) a_hat - b_hat) / (|a| sin(theta)), and
+    // symmetrically for k; the vertex takes the recoil.
+    const Vec3d a_hat = a / la;
+    const Vec3d b_hat = b / lb;
+    const double coeff = -angle.stiffness * delta / sin_theta;
+    const Vec3d f_i = (a_hat * cos_theta - b_hat) * (coeff / la);
+    const Vec3d f_k = (b_hat * cos_theta - a_hat) * (coeff / lb);
+
+    accelerations[angle.i] += f_i * inv_mass;
+    accelerations[angle.k] += f_k * inv_mass;
+    accelerations[angle.j] -= (f_i + f_k) * inv_mass;
+  }
+  return pe;
+}
+
+}  // namespace emdpa::md

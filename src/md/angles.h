@@ -1,0 +1,51 @@
+// Harmonic angle interactions (extension).
+//
+// Completes the minimal coarse-grained bio-molecular force field the paper's
+// introduction motivates: bonds hold the backbone together (bonded.h), and
+// angle terms  V(theta) = 1/2 * k * (theta - theta0)^2  over atom triples
+// (i, j, k) — j the vertex — give chains stiffness.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/vec3.h"
+#include "md/box.h"
+
+namespace emdpa::md {
+
+struct HarmonicAngle {
+  std::size_t i = 0;       ///< first arm
+  std::size_t j = 0;       ///< vertex
+  std::size_t k = 0;       ///< second arm
+  double stiffness = 1.0;  ///< k, reduced energy / rad^2
+  double rest_angle = 0;   ///< theta0, radians
+};
+
+class AngleTopology {
+ public:
+  AngleTopology() = default;
+
+  /// Add an angle; the three atoms must be distinct and the rest angle in
+  /// (0, pi].
+  void add_angle(HarmonicAngle angle);
+
+  const std::vector<HarmonicAngle>& angles() const { return angles_; }
+  std::size_t size() const { return angles_.size(); }
+
+  /// Consecutive-triple angles along a linear chain 0-1-2-...-(n-1).
+  static AngleTopology chain_angles(std::size_t n_atoms, double stiffness,
+                                    double rest_angle);
+
+  /// Accumulate angle forces into `accelerations` (adding) and return the
+  /// angle potential energy.  Minimum-image arms, so angles work across the
+  /// periodic boundary.
+  double accumulate_forces(const std::vector<emdpa::Vec3d>& positions,
+                           const PeriodicBox& box, double mass,
+                           std::vector<emdpa::Vec3d>& accelerations) const;
+
+ private:
+  std::vector<HarmonicAngle> angles_;
+};
+
+}  // namespace emdpa::md

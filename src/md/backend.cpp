@@ -1,0 +1,10 @@
+#include "md/backend.h"
+
+namespace emdpa::md {
+
+ModelTime RunResult::breakdown_component(const std::string& key) const {
+  auto it = breakdown.find(key);
+  return it == breakdown.end() ? ModelTime::zero() : it->second;
+}
+
+}  // namespace emdpa::md

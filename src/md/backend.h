@@ -1,0 +1,81 @@
+// MdBackend: the top-level "run this MD workload on this device" interface.
+//
+// A backend owns a device model (or the plain host) and runs the full MD
+// kernel of the paper — prime, then `steps` velocity-Verlet steps — on it,
+// reporting modelled device time with a per-component breakdown (compute,
+// data transfer, thread-launch overhead, …) plus the physics outputs so
+// tests can verify every backend computes the same trajectory.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/op_counter.h"
+#include "core/time_model.h"
+#include "md/integrator.h"
+#include "md/lj_potential.h"
+#include "md/particle_system.h"
+#include "md/workload.h"
+
+namespace emdpa::md {
+
+struct RunConfig {
+  WorkloadSpec workload;
+  LjParams lj{};        ///< epsilon=sigma=1, cutoff=2.5 by default
+  double dt = 0.005;
+  int steps = 10;       ///< the paper's experiments run 10 time steps
+};
+
+struct RunResult {
+  std::string backend_name;
+
+  /// Modelled end-to-end device runtime for the `steps` steps (the quantity
+  /// the paper's tables and figures report).  Zero for the plain host
+  /// backend, which has no device model.
+  ModelTime device_time;
+
+  /// Named components of device_time (e.g. "compute", "spe_launch",
+  /// "pcie_transfer").  Components sum to at most device_time.
+  std::map<std::string, ModelTime> breakdown;
+
+  /// Modelled time of each integration step (size == steps).  Benches use
+  /// these to extrapolate long runs from short ones at large atom counts.
+  std::vector<ModelTime> step_times;
+
+  /// Energies after priming (step 0) followed by one entry per step.
+  std::vector<StepEnergies> energies;
+
+  /// Final state, converted back to double precision at the host boundary.
+  ParticleSystem final_state;
+
+  /// Event counts the timing model priced (pairs, DMA bytes, misses, …).
+  OpCounter ops;
+
+  ModelTime breakdown_component(const std::string& key) const;
+};
+
+class MdBackend {
+ public:
+  virtual ~MdBackend() = default;
+
+  virtual std::string name() const = 0;
+
+  /// "single" or "double" — the arithmetic precision of the device kernels
+  /// (the paper runs Cell/GPU single, MTA-2/Opteron double).
+  virtual std::string precision() const = 0;
+
+  virtual RunResult run(const RunConfig& config) = 0;
+};
+
+/// Plain host reference backend: double precision, reference N^2 kernel, no
+/// device timing model.  Ground truth for the physics tests.
+class HostReferenceBackend final : public MdBackend {
+ public:
+  std::string name() const override { return "host-reference"; }
+  std::string precision() const override { return "double"; }
+  RunResult run(const RunConfig& config) override;
+};
+
+}  // namespace emdpa::md

@@ -1,0 +1,49 @@
+#include "md/bonded.h"
+
+#include <cmath>
+
+#include "core/error.h"
+
+namespace emdpa::md {
+
+void BondTopology::add_bond(HarmonicBond bond) {
+  EMDPA_REQUIRE(bond.i != bond.j, "a bond must connect two distinct atoms");
+  EMDPA_REQUIRE(bond.stiffness >= 0.0, "bond stiffness must be non-negative");
+  EMDPA_REQUIRE(bond.rest_length >= 0.0, "bond rest length must be non-negative");
+  bonds_.push_back(bond);
+}
+
+BondTopology BondTopology::linear_chain(std::size_t n_atoms, double stiffness,
+                                        double rest_length) {
+  BondTopology topo;
+  for (std::size_t i = 0; i + 1 < n_atoms; ++i) {
+    topo.add_bond({i, i + 1, stiffness, rest_length});
+  }
+  return topo;
+}
+
+double BondTopology::accumulate_forces(
+    const std::vector<Vec3d>& positions, const PeriodicBox& box, double mass,
+    std::vector<Vec3d>& accelerations) const {
+  EMDPA_REQUIRE(accelerations.size() == positions.size(),
+                "acceleration array must match position array");
+  const double inv_mass = 1.0 / mass;
+  double pe = 0.0;
+  for (const auto& bond : bonds_) {
+    EMDPA_REQUIRE(bond.i < positions.size() && bond.j < positions.size(),
+                  "bond references an atom outside the system");
+    const Vec3d dr = box.min_image(positions[bond.i] - positions[bond.j]);
+    const double r = length(dr);
+    const double stretch = r - bond.rest_length;
+    pe += 0.5 * bond.stiffness * stretch * stretch;
+    if (r > 0.0) {
+      // F_i = -k * (r - r0) * unit(dr); equal and opposite on j.
+      const Vec3d f = dr * (-bond.stiffness * stretch / r);
+      accelerations[bond.i] += f * inv_mass;
+      accelerations[bond.j] -= f * inv_mass;
+    }
+  }
+  return pe;
+}
+
+}  // namespace emdpa::md

@@ -1,0 +1,53 @@
+// Bonded interactions (extension).
+//
+// The paper notes that "calculation of forces between bonded atoms is
+// straightforward and less computationally intensive" and focuses on the
+// non-bonded LJ kernel.  We provide the straightforward part too so the
+// library covers the full force field of a minimal bio-molecular model:
+// harmonic bonds  V(r) = 1/2 * k * (r - r0)^2  between explicit atom pairs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/vec3.h"
+#include "md/box.h"
+
+namespace emdpa::md {
+
+struct HarmonicBond {
+  std::size_t i = 0;
+  std::size_t j = 0;
+  double stiffness = 1.0;     ///< k, in reduced energy / length^2
+  double rest_length = 1.0;   ///< r0, in reduced length
+};
+
+/// A set of harmonic bonds over a particle system.
+class BondTopology {
+ public:
+  BondTopology() = default;
+
+  /// Add a bond; i and j must be distinct.  Bounds against the particle
+  /// system are validated at evaluation time.
+  void add_bond(HarmonicBond bond);
+
+  const std::vector<HarmonicBond>& bonds() const { return bonds_; }
+  std::size_t size() const { return bonds_.size(); }
+
+  /// Build a linear chain 0-1-2-…-(n-1) with uniform parameters — the shape
+  /// of a coarse-grained polymer backbone.
+  static BondTopology linear_chain(std::size_t n_atoms, double stiffness,
+                                   double rest_length);
+
+  /// Accumulate bonded forces into `accelerations` (adding to existing
+  /// values) and return the bonded potential energy.  Minimum-image is
+  /// applied so bonds work across the periodic boundary.
+  double accumulate_forces(const std::vector<emdpa::Vec3<double>>& positions,
+                           const PeriodicBox& box, double mass,
+                           std::vector<emdpa::Vec3<double>>& accelerations) const;
+
+ private:
+  std::vector<HarmonicBond> bonds_;
+};
+
+}  // namespace emdpa::md

@@ -1,0 +1,114 @@
+#include "md/cell_list_kernel.h"
+
+#include <cmath>
+
+#include "core/error.h"
+
+namespace emdpa::md {
+
+namespace {
+
+/// Map a wrapped coordinate to a cell index along one axis.
+inline std::size_t cell_of(double coord, double inv_cell, std::size_t cells) {
+  auto c = static_cast<long long>(coord * inv_cell);
+  if (c < 0) c = 0;
+  if (c >= static_cast<long long>(cells)) c = static_cast<long long>(cells) - 1;
+  return static_cast<std::size_t>(c);
+}
+
+}  // namespace
+
+template <typename Real>
+ForceResultT<Real> CellListKernelT<Real>::compute(
+    const std::vector<emdpa::Vec3<Real>>& positions,
+    const PeriodicBoxT<Real>& box, const LjParamsT<Real>& lj, Real mass) {
+  const std::size_t n = positions.size();
+  ForceResultT<Real> result;
+  result.accelerations.assign(n, {});
+
+  // Cell grid: at least one cutoff per cell, at least 1 cell.  With fewer
+  // than 3 cells per axis the 27-neighbour sweep would visit a cell twice,
+  // so fall back to covering every cell exactly once via a full sweep guard.
+  const double edge = static_cast<double>(box.edge());
+  auto cells_ll = static_cast<long long>(edge / static_cast<double>(lj.cutoff));
+  if (cells_ll < 1) cells_ll = 1;
+  const auto cells = static_cast<std::size_t>(cells_ll);
+  const bool degenerate = cells < 3;
+  const double inv_cell = static_cast<double>(cells) / edge;
+
+  // Linked list: head[cell] -> first atom, next[atom] -> next in same cell.
+  const std::size_t n_cells = cells * cells * cells;
+  std::vector<long long> head(n_cells, -1);
+  std::vector<long long> next(n, -1);
+  std::vector<emdpa::Vec3<Real>> wrapped(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    wrapped[i] = box.wrap(positions[i]);
+    const std::size_t cx = cell_of(wrapped[i].x, inv_cell, cells);
+    const std::size_t cy = cell_of(wrapped[i].y, inv_cell, cells);
+    const std::size_t cz = cell_of(wrapped[i].z, inv_cell, cells);
+    const std::size_t c = (cx * cells + cy) * cells + cz;
+    next[i] = head[c];
+    head[c] = static_cast<long long>(i);
+  }
+
+  const Real cutoff_sq = lj.cutoff_squared();
+  const Real inv_mass = Real(1) / mass;
+
+  auto interact = [&](std::size_t i, std::size_t j, emdpa::Vec3<Real>& force,
+                      Real& pe) {
+    emdpa::Vec3<Real> dr = box.min_image(wrapped[i] - wrapped[j]);
+    const Real r2 = length_squared(dr);
+    ++result.stats.candidates;
+    if (r2 < cutoff_sq) {
+      ++result.stats.interacting;
+      const Real f_over_r = lj.pair_force_over_r(r2);
+      force += dr * f_over_r;
+      pe += Real(0.5) * lj.pair_energy(r2);
+      result.virial += Real(0.5) * f_over_r * r2;
+    }
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    emdpa::Vec3<Real> force{};
+    Real pe{};
+
+    if (degenerate) {
+      // Too few cells for a distinct 27-neighbourhood: plain N^2 for atom i.
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j != i) interact(i, j, force, pe);
+      }
+    } else {
+      const long long cx =
+          static_cast<long long>(cell_of(wrapped[i].x, inv_cell, cells));
+      const long long cy =
+          static_cast<long long>(cell_of(wrapped[i].y, inv_cell, cells));
+      const long long cz =
+          static_cast<long long>(cell_of(wrapped[i].z, inv_cell, cells));
+      const auto c_ll = static_cast<long long>(cells);
+      for (long long dx = -1; dx <= 1; ++dx) {
+        for (long long dy = -1; dy <= 1; ++dy) {
+          for (long long dz = -1; dz <= 1; ++dz) {
+            const std::size_t nx = static_cast<std::size_t>((cx + dx + c_ll) % c_ll);
+            const std::size_t ny = static_cast<std::size_t>((cy + dy + c_ll) % c_ll);
+            const std::size_t nz = static_cast<std::size_t>((cz + dz + c_ll) % c_ll);
+            const std::size_t c = (nx * cells + ny) * cells + nz;
+            for (long long j = head[c]; j >= 0; j = next[static_cast<std::size_t>(j)]) {
+              if (static_cast<std::size_t>(j) != i) {
+                interact(i, static_cast<std::size_t>(j), force, pe);
+              }
+            }
+          }
+        }
+      }
+    }
+
+    result.accelerations[i] = force * inv_mass;
+    result.potential_energy += pe;
+  }
+  return result;
+}
+
+template class CellListKernelT<double>;
+template class CellListKernelT<float>;
+
+}  // namespace emdpa::md

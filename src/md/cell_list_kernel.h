@@ -1,0 +1,30 @@
+// Cell-list (linked-cell) force kernel — the cache-friendly technique the
+// paper explicitly chooses NOT to use ("We do not employ any optimization
+// technique that has been proposed for cache-based systems").
+//
+// We implement it anyway as the ablation counterpart (bench A2): it shows
+// what the paper's baseline gives up on a cache-based CPU, and it provides an
+// O(N) reference the property tests can cross-check the N^2 kernels against.
+//
+// The box is divided into cubic cells at least one cutoff wide; each atom
+// interacts only with atoms in its own and the 26 neighbouring cells.
+#pragma once
+
+#include "md/force_kernel.h"
+
+namespace emdpa::md {
+
+template <typename Real>
+class CellListKernelT final : public ForceKernelT<Real> {
+ public:
+  std::string name() const override { return "cell-list"; }
+
+  ForceResultT<Real> compute(const std::vector<emdpa::Vec3<Real>>& positions,
+                             const PeriodicBoxT<Real>& box,
+                             const LjParamsT<Real>& lj, Real mass) override;
+};
+
+using CellListKernel = CellListKernelT<double>;
+using CellListKernelF = CellListKernelT<float>;
+
+}  // namespace emdpa::md

@@ -1,0 +1,110 @@
+#include "md/checkpoint.h"
+
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "core/error.h"
+
+namespace emdpa::md {
+
+namespace {
+
+constexpr const char* kMagic = "emdpa-checkpoint";
+constexpr int kVersion = 1;
+
+std::string hex(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+double parse_double(const std::string& token, const char* what) {
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(token, &consumed);
+  } catch (const std::exception&) {
+    throw RuntimeFailure(std::string("checkpoint: malformed ") + what + " '" +
+                         token + "'");
+  }
+  if (consumed != token.size()) {
+    throw RuntimeFailure(std::string("checkpoint: trailing characters in ") +
+                         what + " '" + token + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+void save_checkpoint(std::ostream& out, const ParticleSystem& system,
+                     const PeriodicBox& box, long step) {
+  out << kMagic << ' ' << kVersion << '\n';
+  out << "atoms " << system.size() << " mass " << hex(system.mass()) << " box "
+      << hex(box.edge()) << " step " << step << '\n';
+  for (std::size_t i = 0; i < system.size(); ++i) {
+    const auto& p = system.positions()[i];
+    const auto& v = system.velocities()[i];
+    const auto& a = system.accelerations()[i];
+    out << hex(p.x) << ' ' << hex(p.y) << ' ' << hex(p.z) << ' ' << hex(v.x)
+        << ' ' << hex(v.y) << ' ' << hex(v.z) << ' ' << hex(a.x) << ' '
+        << hex(a.y) << ' ' << hex(a.z) << '\n';
+  }
+  if (!out) throw RuntimeFailure("checkpoint: write failed");
+}
+
+Checkpoint load_checkpoint(std::istream& in) {
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version)) {
+    throw RuntimeFailure("checkpoint: missing header");
+  }
+  if (magic != kMagic) {
+    throw RuntimeFailure("checkpoint: bad magic '" + magic + "'");
+  }
+  if (version != kVersion) {
+    throw RuntimeFailure("checkpoint: unsupported version " +
+                         std::to_string(version));
+  }
+
+  std::string kw_atoms, kw_mass, kw_box, kw_step;
+  std::size_t n = 0;
+  std::string mass_tok, box_tok;
+  long step = 0;
+  if (!(in >> kw_atoms >> n >> kw_mass >> mass_tok >> kw_box >> box_tok >>
+        kw_step >> step) ||
+      kw_atoms != "atoms" || kw_mass != "mass" || kw_box != "box" ||
+      kw_step != "step") {
+    throw RuntimeFailure("checkpoint: malformed state line");
+  }
+
+  Checkpoint cp;
+  cp.system = ParticleSystem(n);
+  cp.system.set_mass(parse_double(mass_tok, "mass"));
+  cp.box_edge = parse_double(box_tok, "box edge");
+  cp.step = step;
+  EMDPA_REQUIRE(cp.box_edge > 0.0, "checkpoint box edge must be positive");
+
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string t[9];
+    for (auto& tok : t) {
+      if (!(in >> tok)) {
+        throw RuntimeFailure("checkpoint: truncated at atom " +
+                             std::to_string(i));
+      }
+    }
+    cp.system.positions()[i] = {parse_double(t[0], "x"), parse_double(t[1], "y"),
+                                parse_double(t[2], "z")};
+    cp.system.velocities()[i] = {parse_double(t[3], "vx"),
+                                 parse_double(t[4], "vy"),
+                                 parse_double(t[5], "vz")};
+    cp.system.accelerations()[i] = {parse_double(t[6], "ax"),
+                                    parse_double(t[7], "ay"),
+                                    parse_double(t[8], "az")};
+  }
+  return cp;
+}
+
+}  // namespace emdpa::md

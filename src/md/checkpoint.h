@@ -1,0 +1,32 @@
+// Checkpointing: save and restore a complete simulation state (extension).
+//
+// Text format, versioned, round-trip exact: floating-point values are
+// written as hex floats so a restored run continues bit-identically.
+//
+//   emdpa-checkpoint 1
+//   atoms <N> mass <m> box <edge> step <k>
+//   <x> <y> <z> <vx> <vy> <vz> <ax> <ay> <az>     (N lines)
+#pragma once
+
+#include <iosfwd>
+
+#include "md/box.h"
+#include "md/particle_system.h"
+
+namespace emdpa::md {
+
+struct Checkpoint {
+  ParticleSystem system;
+  double box_edge = 0.0;
+  long step = 0;
+};
+
+/// Serialise state to `out`.  Throws RuntimeFailure on stream errors.
+void save_checkpoint(std::ostream& out, const ParticleSystem& system,
+                     const PeriodicBox& box, long step);
+
+/// Parse a checkpoint from `in`.  Throws RuntimeFailure on malformed input
+/// (bad magic, wrong version, truncated atom records, trailing garbage).
+Checkpoint load_checkpoint(std::istream& in);
+
+}  // namespace emdpa::md

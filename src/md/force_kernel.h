@@ -1,0 +1,67 @@
+// Force kernel interface: step 2 of the paper's MD kernel.
+//
+// Given positions, a periodic box and LJ parameters, a force kernel produces
+// per-atom accelerations and the total potential energy.  This is the piece
+// each architecture port offloads (to SPEs, to the GPU's shaders, to MTA
+// streams); the host reference implementations live behind the same
+// interface so tests can compare any two kernels on identical inputs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/vec3.h"
+#include "md/box.h"
+#include "md/lj_potential.h"
+
+namespace emdpa::md {
+
+/// Dynamic work statistics a kernel observed — the inputs to the timing
+/// models (e.g. "interacting pairs" drives the cost of the acceleration
+/// accumulation the paper SIMDises last, because so few tested pairs
+/// actually interact).
+struct PairStats {
+  std::uint64_t candidates = 0;   ///< ordered pairs whose distance was tested
+  std::uint64_t interacting = 0;  ///< of those, pairs within the cutoff
+
+  PairStats& operator+=(const PairStats& o) {
+    candidates += o.candidates;
+    interacting += o.interacting;
+    return *this;
+  }
+};
+
+template <typename Real>
+struct ForceResultT {
+  std::vector<emdpa::Vec3<Real>> accelerations;
+  Real potential_energy{};
+  /// Pair virial sum W = sum_{pairs} r_ij . f_ij, the interaction part of
+  /// the pressure: P = (N k T + W/3) / V.  Host kernels fill it; device
+  /// kernels (which reproduce the paper's ports) leave it zero.
+  Real virial{};
+  PairStats stats;
+};
+
+using ForceResult = ForceResultT<double>;
+using ForceResultF = ForceResultT<float>;
+
+/// Abstract force kernel at a fixed precision.
+template <typename Real>
+class ForceKernelT {
+ public:
+  virtual ~ForceKernelT() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Compute accelerations and total PE for the given configuration.
+  /// Positions need not be wrapped; kernels apply minimum-image internally.
+  virtual ForceResultT<Real> compute(
+      const std::vector<emdpa::Vec3<Real>>& positions,
+      const PeriodicBoxT<Real>& box, const LjParamsT<Real>& lj, Real mass) = 0;
+};
+
+using ForceKernel = ForceKernelT<double>;
+using ForceKernelF = ForceKernelT<float>;
+
+}  // namespace emdpa::md

@@ -1,0 +1,26 @@
+#include "md/backend.h"
+#include "md/reference_kernel.h"
+
+namespace emdpa::md {
+
+RunResult HostReferenceBackend::run(const RunConfig& config) {
+  Workload workload = make_lattice_workload(config.workload);
+
+  ReferenceKernel kernel(MinImageStrategy::kRound);
+  VelocityVerlet integrator(config.dt);
+
+  RunResult result;
+  result.backend_name = name();
+
+  result.energies.push_back(
+      integrator.prime(workload.system, workload.box, config.lj, kernel));
+  for (int s = 0; s < config.steps; ++s) {
+    result.energies.push_back(
+        integrator.step(workload.system, workload.box, config.lj, kernel));
+  }
+
+  result.final_state = std::move(workload.system);
+  return result;
+}
+
+}  // namespace emdpa::md

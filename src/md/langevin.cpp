@@ -1,0 +1,27 @@
+#include "md/langevin.h"
+
+#include <cmath>
+
+#include "core/error.h"
+
+namespace emdpa::md {
+
+LangevinThermostat::LangevinThermostat(double target, double friction,
+                                       std::uint64_t seed)
+    : target_(target), friction_(friction), rng_(seed) {
+  EMDPA_REQUIRE(target >= 0.0, "target temperature must be non-negative");
+  EMDPA_REQUIRE(friction > 0.0, "friction must be positive");
+}
+
+void LangevinThermostat::apply(ParticleSystem& system, double dt) {
+  EMDPA_REQUIRE(dt > 0.0, "time step must be positive");
+  const double c1 = std::exp(-friction_ * dt);
+  const double c2 = std::sqrt(target_ / system.mass() * (1.0 - c1 * c1));
+  for (auto& v : system.velocities()) {
+    v.x = c1 * v.x + c2 * rng_.gaussian();
+    v.y = c1 * v.y + c2 * rng_.gaussian();
+    v.z = c1 * v.z + c2 * rng_.gaussian();
+  }
+}
+
+}  // namespace emdpa::md

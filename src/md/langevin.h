@@ -1,0 +1,39 @@
+// Langevin thermostat (extension).
+//
+// The Berendsen rescaler (thermostat.h) controls the mean temperature but
+// produces no canonical fluctuations.  The Langevin thermostat couples each
+// atom to an implicit solvent: per step, velocities are damped and kicked
+// with Gaussian noise in the exact Ornstein-Uhlenbeck discretisation
+//
+//   v <- c1 * v + c2 * xi,   c1 = exp(-gamma*dt),
+//                            c2 = sqrt(T/m * (1 - c1^2)),  xi ~ N(0,1)
+//
+// which samples the Maxwell-Boltzmann distribution at the target
+// temperature for any dt.  Deterministically seeded, so runs reproduce.
+#pragma once
+
+#include <cstdint>
+
+#include "core/random.h"
+#include "md/particle_system.h"
+
+namespace emdpa::md {
+
+class LangevinThermostat {
+ public:
+  /// `target`: reduced temperature; `friction`: gamma, inverse reduced time.
+  LangevinThermostat(double target, double friction, std::uint64_t seed);
+
+  double target() const { return target_; }
+  double friction() const { return friction_; }
+
+  /// Apply one damping + noise sweep for time step `dt`.
+  void apply(ParticleSystem& system, double dt);
+
+ private:
+  double target_;
+  double friction_;
+  Rng rng_;
+};
+
+}  // namespace emdpa::md

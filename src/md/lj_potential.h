@@ -1,0 +1,78 @@
+// The 6-12 Lennard-Jones pair potential used by every kernel in the project.
+//
+//   V(r) = 4*eps * [ (sigma/r)^12 - (sigma/r)^6 ]
+//
+// Interactions are truncated (not shifted) at the cutoff, exactly as in the
+// paper's kernel: atoms beyond the cutoff contribute neither force nor
+// energy, and distances are evaluated on the fly with no neighbour list.
+#pragma once
+
+#include "core/error.h"
+
+namespace emdpa::md {
+
+template <typename Real>
+struct LjParamsT {
+  Real epsilon{1};
+  Real sigma{1};
+  Real cutoff{Real(2.5)};
+
+  /// When true, the pair energy is shifted by -V(cutoff) so it reaches zero
+  /// continuously at the cutoff.  The paper's kernel is plain truncated
+  /// (shifted = false); the shifted form is provided because it removes the
+  /// energy-bookkeeping discontinuity, which the energy-conservation
+  /// property tests rely on.  Forces are identical either way.
+  bool shifted = false;
+
+  Real cutoff_squared() const { return cutoff * cutoff; }
+
+  /// Pair potential energy at squared separation r2 (no cutoff test; the
+  /// caller gates on cutoff_squared, mirroring the kernels' structure).
+  Real pair_energy(Real r2) const {
+    const Real s2 = sigma * sigma / r2;
+    const Real s6 = s2 * s2 * s2;
+    Real e = Real(4) * epsilon * s6 * (s6 - Real(1));
+    if (shifted) e -= energy_shift();
+    return e;
+  }
+
+  /// V(cutoff), the amount subtracted per pair when `shifted` is set.
+  Real energy_shift() const {
+    const Real s2 = sigma * sigma / cutoff_squared();
+    const Real s6 = s2 * s2 * s2;
+    return Real(4) * epsilon * s6 * (s6 - Real(1));
+  }
+
+  /// F(r)/r at squared separation r2, so that the force vector on atom i from
+  /// atom j is  f_over_r * (r_i - r_j).  Positive value = repulsion.
+  ///
+  ///   F(r)/r = 24*eps/r^2 * [ 2*(sigma/r)^12 - (sigma/r)^6 ]
+  Real pair_force_over_r(Real r2) const {
+    const Real inv_r2 = Real(1) / r2;
+    const Real s2 = sigma * sigma * inv_r2;
+    const Real s6 = s2 * s2 * s2;
+    return Real(24) * epsilon * inv_r2 * s6 * (Real(2) * s6 - Real(1));
+  }
+
+  /// Separation at which the potential crosses zero (= sigma).
+  Real zero_crossing() const { return sigma; }
+
+  /// Separation of the potential minimum, 2^(1/6)*sigma.
+  Real minimum_location() const {
+    return sigma * Real(1.1224620483093729814); // 2^(1/6)
+  }
+
+  /// Well depth at the minimum (= -epsilon).
+  Real minimum_energy() const { return -epsilon; }
+
+  template <typename Other>
+  LjParamsT<Other> cast() const {
+    return {static_cast<Other>(epsilon), static_cast<Other>(sigma),
+            static_cast<Other>(cutoff), shifted};
+  }
+};
+
+using LjParams = LjParamsT<double>;
+using LjParamsF = LjParamsT<float>;
+
+}  // namespace emdpa::md

@@ -1,0 +1,80 @@
+#include "md/minimize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.h"
+
+namespace emdpa::md {
+
+namespace {
+
+double max_force_component(const std::vector<Vec3d>& accelerations,
+                           double mass) {
+  double max_f = 0.0;
+  for (const auto& a : accelerations) {
+    max_f = std::max({max_f, std::fabs(a.x * mass), std::fabs(a.y * mass),
+                      std::fabs(a.z * mass)});
+  }
+  return max_f;
+}
+
+}  // namespace
+
+MinimizeResult minimize_energy(ParticleSystem& system, const PeriodicBox& box,
+                               const LjParams& lj, ForceKernel& kernel,
+                               const MinimizeOptions& options) {
+  EMDPA_REQUIRE(options.max_iterations > 0, "need at least one iteration");
+  EMDPA_REQUIRE(options.force_tolerance > 0, "tolerance must be positive");
+  EMDPA_REQUIRE(options.initial_step > 0, "step must be positive");
+
+  const double mass = system.mass();
+  auto forces = kernel.compute(system.positions(), box, lj, mass);
+
+  MinimizeResult result;
+  result.initial_energy = forces.potential_energy;
+  result.final_energy = forces.potential_energy;
+  result.max_force = max_force_component(forces.accelerations, mass);
+
+  double step = options.initial_step;
+  std::vector<Vec3d> backup;
+
+  for (int it = 0; it < options.max_iterations; ++it) {
+    if (result.max_force < options.force_tolerance) {
+      result.converged = true;
+      break;
+    }
+    ++result.iterations;
+
+    backup = system.positions();
+    for (std::size_t i = 0; i < system.size(); ++i) {
+      Vec3d move = forces.accelerations[i] * (mass * step);
+      // Displacement cap keeps a steep overlap from catapulting an atom.
+      const double mag = length(move);
+      if (mag > options.max_displacement) {
+        move *= options.max_displacement / mag;
+      }
+      system.positions()[i] = box.wrap(system.positions()[i] + move);
+    }
+
+    auto trial = kernel.compute(system.positions(), box, lj, mass);
+    if (trial.potential_energy <= result.final_energy) {
+      // Downhill: accept, grow the step.
+      forces = std::move(trial);
+      result.final_energy = forces.potential_energy;
+      result.max_force = max_force_component(forces.accelerations, mass);
+      step *= 1.1;
+    } else {
+      // Uphill: roll back and shrink the step.
+      system.positions() = backup;
+      step *= 0.5;
+      if (step < 1e-12) {
+        break;  // step underflow: as converged as this landscape allows
+      }
+    }
+  }
+
+  return result;
+}
+
+}  // namespace emdpa::md

@@ -1,0 +1,37 @@
+// Energy minimisation (extension): steepest descent with adaptive step —
+// the standard way to relax a constructed configuration (random packing,
+// mutated structure) before dynamics, removing the overlaps that would blow
+// up the integrator.
+#pragma once
+
+#include "md/force_kernel.h"
+#include "md/particle_system.h"
+
+namespace emdpa::md {
+
+struct MinimizeOptions {
+  int max_iterations = 1000;
+  /// Stop when the largest force component magnitude falls below this.
+  double force_tolerance = 1e-4;
+  /// Initial displacement scale (reduced length per unit force).
+  double initial_step = 1e-3;
+  /// Cap on any atom's displacement per iteration.
+  double max_displacement = 0.1;
+};
+
+struct MinimizeResult {
+  int iterations = 0;
+  bool converged = false;
+  double initial_energy = 0;
+  double final_energy = 0;
+  double max_force = 0;  ///< at exit
+};
+
+/// Relax `system`'s positions toward a local potential-energy minimum using
+/// `kernel`.  Velocities are untouched.  The step grows 10% after downhill
+/// moves and halves after rejected (uphill) moves, which are rolled back.
+MinimizeResult minimize_energy(ParticleSystem& system, const PeriodicBox& box,
+                               const LjParams& lj, ForceKernel& kernel,
+                               const MinimizeOptions& options = {});
+
+}  // namespace emdpa::md

@@ -1,0 +1,50 @@
+#include "md/observables.h"
+
+namespace emdpa::md {
+
+template <typename Real>
+Real kinetic_energy_of(const ParticleSystemT<Real>& system) {
+  Real sum{};
+  for (const auto& v : system.velocities()) sum += length_squared(v);
+  return Real(0.5) * system.mass() * sum;
+}
+
+template <typename Real>
+Real temperature_of(const ParticleSystemT<Real>& system) {
+  if (system.empty()) return Real(0);
+  return Real(2) * kinetic_energy_of(system) /
+         (Real(3) * static_cast<Real>(system.size()));
+}
+
+template <typename Real>
+emdpa::Vec3<Real> total_momentum_of(const ParticleSystemT<Real>& system) {
+  emdpa::Vec3<Real> p{};
+  for (const auto& v : system.velocities()) p += v;
+  return p * system.mass();
+}
+
+template <typename Real>
+emdpa::Vec3<Real> center_of_mass_of(const ParticleSystemT<Real>& system) {
+  emdpa::Vec3<Real> c{};
+  if (system.empty()) return c;
+  for (const auto& r : system.positions()) c += r;
+  return c / static_cast<Real>(system.size());
+}
+
+template double kinetic_energy_of(const ParticleSystemT<double>&);
+template float kinetic_energy_of(const ParticleSystemT<float>&);
+template double temperature_of(const ParticleSystemT<double>&);
+template float temperature_of(const ParticleSystemT<float>&);
+template emdpa::Vec3<double> total_momentum_of(const ParticleSystemT<double>&);
+template emdpa::Vec3<float> total_momentum_of(const ParticleSystemT<float>&);
+template <typename Real>
+Real pressure_of(const ParticleSystemT<Real>& system, Real volume, Real virial) {
+  return (Real(2) * kinetic_energy_of(system) + virial) / (Real(3) * volume);
+}
+
+template emdpa::Vec3<double> center_of_mass_of(const ParticleSystemT<double>&);
+template emdpa::Vec3<float> center_of_mass_of(const ParticleSystemT<float>&);
+template double pressure_of(const ParticleSystemT<double>&, double, double);
+template float pressure_of(const ParticleSystemT<float>&, float, float);
+
+}  // namespace emdpa::md

@@ -1,0 +1,36 @@
+// Scalar observables of a particle system (step 5 of the paper's kernel:
+// "calculate new kinetic and total energies").
+#pragma once
+
+#include "core/vec3.h"
+#include "md/particle_system.h"
+
+namespace emdpa::md {
+
+/// Total kinetic energy, 1/2 * m * sum(v^2).
+template <typename Real>
+Real kinetic_energy_of(const ParticleSystemT<Real>& system);
+
+/// Instantaneous temperature from equipartition, T = 2*KE / (3*N).
+/// (We use 3N rather than 3N-3 degrees of freedom, matching the simple
+/// kernel in the paper; the difference is O(1/N).)
+template <typename Real>
+Real temperature_of(const ParticleSystemT<Real>& system);
+
+/// Total linear momentum, m * sum(v).  Conserved exactly by the integrator
+/// (up to roundoff): Newton's third law makes the force sum vanish.
+template <typename Real>
+emdpa::Vec3<Real> total_momentum_of(const ParticleSystemT<Real>& system);
+
+/// Centre of mass of the (equal-mass) system.
+template <typename Real>
+emdpa::Vec3<Real> center_of_mass_of(const ParticleSystemT<Real>& system);
+
+/// Instantaneous pressure from the virial theorem:
+///   P = (2*KE + W) / (3*V)
+/// where W is the pair virial a force kernel reports in ForceResult::virial.
+/// For an ideal gas (W = 0) this reduces to P = rho*T.
+template <typename Real>
+Real pressure_of(const ParticleSystemT<Real>& system, Real volume, Real virial);
+
+}  // namespace emdpa::md

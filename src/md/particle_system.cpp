@@ -1,0 +1,16 @@
+#include "md/particle_system.h"
+
+#include "core/error.h"
+
+namespace emdpa::md {
+
+template <typename Real>
+void ParticleSystemT<Real>::set_mass(Real m) {
+  EMDPA_REQUIRE(m > Real(0), "particle mass must be positive");
+  mass_ = m;
+}
+
+template class ParticleSystemT<double>;
+template class ParticleSystemT<float>;
+
+}  // namespace emdpa::md

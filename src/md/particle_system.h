@@ -1,0 +1,64 @@
+// Structure-of-arrays particle state.
+//
+// Host-side state is double precision; device backends convert to their
+// native precision at the boundary (the paper runs single precision on Cell
+// and GPU, double on MTA-2 and the Opteron).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/vec3.h"
+
+namespace emdpa::md {
+
+template <typename Real>
+class ParticleSystemT {
+ public:
+  ParticleSystemT() = default;
+
+  /// Create `n` particles at the origin with zero velocity and unit mass.
+  explicit ParticleSystemT(std::size_t n)
+      : positions_(n), velocities_(n), accelerations_(n), mass_(Real(1)) {}
+
+  std::size_t size() const { return positions_.size(); }
+  bool empty() const { return positions_.empty(); }
+
+  std::vector<emdpa::Vec3<Real>>& positions() { return positions_; }
+  const std::vector<emdpa::Vec3<Real>>& positions() const { return positions_; }
+
+  std::vector<emdpa::Vec3<Real>>& velocities() { return velocities_; }
+  const std::vector<emdpa::Vec3<Real>>& velocities() const { return velocities_; }
+
+  std::vector<emdpa::Vec3<Real>>& accelerations() { return accelerations_; }
+  const std::vector<emdpa::Vec3<Real>>& accelerations() const { return accelerations_; }
+
+  /// All particles share one mass (the paper's kernel is a single-species
+  /// LJ fluid in reduced units; mass is 1 there).
+  Real mass() const { return mass_; }
+  void set_mass(Real m);
+
+  /// Convert the full state to another precision.
+  template <typename Other>
+  ParticleSystemT<Other> cast() const {
+    ParticleSystemT<Other> out(size());
+    for (std::size_t i = 0; i < size(); ++i) {
+      out.positions()[i] = emdpa::vec_cast<Other>(positions_[i]);
+      out.velocities()[i] = emdpa::vec_cast<Other>(velocities_[i]);
+      out.accelerations()[i] = emdpa::vec_cast<Other>(accelerations_[i]);
+    }
+    out.set_mass(static_cast<Other>(mass_));
+    return out;
+  }
+
+ private:
+  std::vector<emdpa::Vec3<Real>> positions_;
+  std::vector<emdpa::Vec3<Real>> velocities_;
+  std::vector<emdpa::Vec3<Real>> accelerations_;
+  Real mass_{1};
+};
+
+using ParticleSystem = ParticleSystemT<double>;
+using ParticleSystemF = ParticleSystemT<float>;
+
+}  // namespace emdpa::md

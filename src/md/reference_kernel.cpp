@@ -1,0 +1,65 @@
+#include "md/reference_kernel.h"
+
+namespace emdpa::md {
+
+const char* to_string(MinImageStrategy s) {
+  switch (s) {
+    case MinImageStrategy::kSearch27: return "search27";
+    case MinImageStrategy::kBranchy: return "branchy";
+    case MinImageStrategy::kCopysign: return "copysign";
+    case MinImageStrategy::kRound: return "round";
+  }
+  return "unknown";
+}
+
+template <typename Real>
+std::string ReferenceKernelT<Real>::name() const {
+  return std::string("reference-n2[") + to_string(strategy_) + "]";
+}
+
+template <typename Real>
+ForceResultT<Real> ReferenceKernelT<Real>::compute(
+    const std::vector<emdpa::Vec3<Real>>& positions,
+    const PeriodicBoxT<Real>& box, const LjParamsT<Real>& lj, Real mass) {
+  const std::size_t n = positions.size();
+  ForceResultT<Real> result;
+  result.accelerations.assign(n, {});
+
+  const Real cutoff_sq = lj.cutoff_squared();
+  const Real inv_mass = Real(1) / mass;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const emdpa::Vec3<Real> pi = positions[i];
+    emdpa::Vec3<Real> force{};
+    Real pe{};
+    Real virial{};
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      emdpa::Vec3<Real> dr = pi - positions[j];
+      switch (strategy_) {
+        case MinImageStrategy::kSearch27: dr = box.min_image_search27(dr); break;
+        case MinImageStrategy::kBranchy: dr = box.min_image_branchy(dr); break;
+        case MinImageStrategy::kCopysign: dr = box.min_image_copysign(dr); break;
+        case MinImageStrategy::kRound: dr = box.min_image(dr); break;
+      }
+      const Real r2 = length_squared(dr);
+      ++result.stats.candidates;
+      if (r2 < cutoff_sq) {
+        ++result.stats.interacting;
+        const Real f_over_r = lj.pair_force_over_r(r2);
+        force += dr * f_over_r;
+        pe += Real(0.5) * lj.pair_energy(r2);  // half: pair seen from both ends
+        virial += Real(0.5) * f_over_r * r2;   // r.f, same halving
+      }
+    }
+    result.accelerations[i] = force * inv_mass;
+    result.potential_energy += pe;
+    result.virial += virial;
+  }
+  return result;
+}
+
+template class ReferenceKernelT<double>;
+template class ReferenceKernelT<float>;
+
+}  // namespace emdpa::md

@@ -1,0 +1,141 @@
+#include "md/simulation.h"
+
+#include "core/error.h"
+#include "md/cell_list_kernel.h"
+#include "md/checkpoint.h"
+#include "md/reference_kernel.h"
+
+namespace emdpa::md {
+
+namespace {
+
+std::unique_ptr<ForceKernel> make_lj_kernel(bool use_cell_list) {
+  if (use_cell_list) return std::make_unique<CellListKernel>();
+  return std::make_unique<ReferenceKernel>();
+}
+
+/// LJ kernel plus optional bonded/angle topologies behind the ForceKernel
+/// interface.
+class CompositeKernel final : public ForceKernel {
+ public:
+  CompositeKernel(ForceKernel& lj, std::optional<BondTopology> bonds,
+                  std::optional<AngleTopology> angles)
+      : lj_(lj), bonds_(std::move(bonds)), angles_(std::move(angles)) {}
+
+  std::string name() const override { return lj_.name() + "+topology"; }
+
+  ForceResult compute(const std::vector<Vec3d>& positions,
+                      const PeriodicBox& box, const LjParams& lj,
+                      double mass) override {
+    ForceResult result = lj_.compute(positions, box, lj, mass);
+    if (bonds_) {
+      result.potential_energy +=
+          bonds_->accumulate_forces(positions, box, mass, result.accelerations);
+    }
+    if (angles_) {
+      result.potential_energy += angles_->accumulate_forces(
+          positions, box, mass, result.accelerations);
+    }
+    return result;
+  }
+
+ private:
+  ForceKernel& lj_;
+  std::optional<BondTopology> bonds_;
+  std::optional<AngleTopology> angles_;
+};
+
+}  // namespace
+
+Simulation::Simulation(const Options& options)
+    : Simulation(
+          [&] {
+            Workload w = make_lattice_workload(options.workload);
+            return std::move(w.system);
+          }(),
+          PeriodicBox(box_edge_for(options.workload.n_atoms,
+                                   options.workload.density)),
+          /*step=*/0, options) {}
+
+Simulation::Simulation(ParticleSystem system, PeriodicBox box, long step,
+                       const Options& options)
+    : box_(box),
+      system_(std::move(system)),
+      lj_(options.lj),
+      integrator_(options.dt),
+      lj_kernel_(make_lj_kernel(options.use_cell_list)),
+      step_(step) {
+  prime();
+}
+
+Simulation Simulation::resume(std::istream& checkpoint, const Options& options) {
+  Checkpoint cp = load_checkpoint(checkpoint);
+  return Simulation(std::move(cp.system), PeriodicBox(cp.box_edge), cp.step,
+                    options);
+}
+
+void Simulation::prime() {
+  ForceKernel& kernel = composite_ ? *composite_ : *lj_kernel_;
+  last_energies_ = integrator_.prime(system_, box_, lj_, kernel);
+}
+
+void Simulation::rebuild_composite() {
+  composite_ = std::make_unique<CompositeKernel>(*lj_kernel_, bonds_, angles_);
+  prime();  // accelerations must include the new forces
+}
+
+void Simulation::set_bonds(BondTopology bonds) {
+  bonds_ = std::move(bonds);
+  rebuild_composite();
+}
+
+void Simulation::set_angles(AngleTopology angles) {
+  angles_ = std::move(angles);
+  rebuild_composite();
+}
+
+void Simulation::set_thermostat(const BerendsenThermostat& thermostat) {
+  thermostat_ = thermostat;
+  langevin_.reset();
+}
+
+void Simulation::set_thermostat(LangevinThermostat thermostat) {
+  langevin_ = std::move(thermostat);
+  thermostat_.reset();
+}
+
+void Simulation::clear_thermostat() {
+  thermostat_.reset();
+  langevin_.reset();
+}
+
+MinimizeResult Simulation::minimize(const MinimizeOptions& options) {
+  ForceKernel& kernel = composite_ ? *composite_ : *lj_kernel_;
+  const MinimizeResult result =
+      minimize_energy(system_, box_, lj_, kernel, options);
+  prime();
+  return result;
+}
+
+StepEnergies Simulation::step() {
+  ForceKernel& kernel = composite_ ? *composite_ : *lj_kernel_;
+  last_energies_ = integrator_.step(system_, box_, lj_, kernel);
+  if (thermostat_) thermostat_->apply(system_);
+  if (langevin_) langevin_->apply(system_, integrator_.dt());
+  ++step_;
+  return last_energies_;
+}
+
+void Simulation::run(int steps, const Observer& observer) {
+  EMDPA_REQUIRE(steps >= 0, "cannot run a negative number of steps");
+  for (int s = 0; s < steps; ++s) {
+    const StepEnergies e = step();
+    if (observer) observer(step_, e);
+  }
+}
+
+void Simulation::save(std::ostream& out) const {
+  save_checkpoint(out, system_, box_, step_);
+}
+
+}  // namespace emdpa::md

@@ -1,0 +1,95 @@
+// High-level simulation facade.
+//
+// Composes the library's pieces — workload, periodic box, LJ force kernel,
+// optional bonded topology, optional thermostat, velocity-Verlet — behind
+// one object with step/run/observe/checkpoint operations.  The lower-level
+// pieces remain the public API for anyone who needs control (the device
+// backends use them directly); Simulation is the convenient front door the
+// examples use.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+
+#include "md/angles.h"
+#include "md/bonded.h"
+#include "md/force_kernel.h"
+#include "md/integrator.h"
+#include "md/langevin.h"
+#include "md/minimize.h"
+#include "md/thermostat.h"
+#include "md/workload.h"
+
+namespace emdpa::md {
+
+class Simulation {
+ public:
+  struct Options {
+    WorkloadSpec workload;
+    LjParams lj{};
+    double dt = 0.005;
+    /// Use the O(N) cell-list kernel instead of the paper's N^2 kernel.
+    bool use_cell_list = false;
+  };
+
+  explicit Simulation(const Options& options);
+
+  /// Restore from a checkpoint stream written by save().  The LJ/dt options
+  /// must be supplied again (they are simulation parameters, not state).
+  static Simulation resume(std::istream& checkpoint, const Options& options);
+
+  const ParticleSystem& system() const { return system_; }
+  ParticleSystem& system() { return system_; }
+  const PeriodicBox& box() const { return box_; }
+  long current_step() const { return step_; }
+  const StepEnergies& last_energies() const { return last_energies_; }
+
+  /// Attach harmonic bonds (their forces are added to the LJ forces).
+  void set_bonds(BondTopology bonds);
+
+  /// Attach harmonic angles (forces added alongside bonds and LJ).
+  void set_angles(AngleTopology angles);
+
+  /// Attach (or replace) a thermostat applied after every step.  The two
+  /// flavours are mutually exclusive; setting one clears the other.
+  void set_thermostat(const BerendsenThermostat& thermostat);
+  void set_thermostat(LangevinThermostat thermostat);
+  void clear_thermostat();
+
+  /// Relax the positions toward a local energy minimum using the full force
+  /// field (LJ + any attached bonds), then re-prime the integrator.
+  MinimizeResult minimize(const MinimizeOptions& options = {});
+
+  /// Advance one step; returns the post-step energies (bonded PE included).
+  StepEnergies step();
+
+  /// Advance `steps` steps, invoking `observer` (if given) after each.
+  using Observer = std::function<void(long step, const StepEnergies&)>;
+  void run(int steps, const Observer& observer = {});
+
+  /// Serialise the full state.
+  void save(std::ostream& out) const;
+
+ private:
+  Simulation(ParticleSystem system, PeriodicBox box, long step,
+             const Options& options);
+  void prime();
+  void rebuild_composite();
+
+  PeriodicBox box_;
+  ParticleSystem system_;
+  LjParams lj_;
+  VelocityVerlet integrator_;
+  std::unique_ptr<ForceKernel> lj_kernel_;
+  std::unique_ptr<ForceKernel> composite_;  ///< LJ + bonds/angles, if any
+  std::optional<BondTopology> bonds_;
+  std::optional<AngleTopology> angles_;
+  std::optional<BerendsenThermostat> thermostat_;
+  std::optional<LangevinThermostat> langevin_;
+  StepEnergies last_energies_{};
+  long step_ = 0;
+};
+
+}  // namespace emdpa::md

@@ -1,0 +1,24 @@
+#include "md/thermostat.h"
+
+#include <cmath>
+
+#include "core/error.h"
+#include "md/observables.h"
+
+namespace emdpa::md {
+
+BerendsenThermostat::BerendsenThermostat(double target, double coupling)
+    : target_(target), coupling_(coupling) {
+  EMDPA_REQUIRE(target >= 0.0, "target temperature must be non-negative");
+  EMDPA_REQUIRE(coupling > 0.0 && coupling <= 1.0, "coupling must be in (0, 1]");
+}
+
+double BerendsenThermostat::apply(ParticleSystem& system) const {
+  const double t_now = temperature_of(system);
+  if (t_now <= 0.0) return 1.0;
+  const double lambda = std::sqrt(1.0 + coupling_ * (target_ / t_now - 1.0));
+  for (auto& v : system.velocities()) v *= lambda;
+  return lambda;
+}
+
+}  // namespace emdpa::md

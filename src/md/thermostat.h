@@ -1,0 +1,31 @@
+// Velocity-rescaling thermostat (extension).
+//
+// The paper's kernel runs microcanonical (NVE).  For the domain examples
+// (argon melting) we add the simplest canonical control: Berendsen-style
+// velocity rescaling toward a target temperature.
+#pragma once
+
+#include "md/particle_system.h"
+
+namespace emdpa::md {
+
+class BerendsenThermostat {
+ public:
+  /// `target`: desired reduced temperature.  `coupling`: dimensionless
+  /// relaxation strength per step in (0, 1]; 1 rescales to the target
+  /// instantly each application.
+  BerendsenThermostat(double target, double coupling);
+
+  double target() const { return target_; }
+
+  /// Rescale velocities one step toward the target temperature.  Returns the
+  /// scale factor applied (1.0 when the system is already on target or has
+  /// zero temperature).
+  double apply(ParticleSystem& system) const;
+
+ private:
+  double target_;
+  double coupling_;
+};
+
+}  // namespace emdpa::md

@@ -1,0 +1,36 @@
+// Unit conventions for the MD library.
+//
+// All simulations run in reduced Lennard-Jones units: the LJ well depth
+// epsilon, the LJ diameter sigma and the atomic mass m are the units of
+// energy, length and mass.  Temperature is in units of epsilon/k_B, time in
+// units of sigma*sqrt(m/epsilon).  This is the standard convention for LJ
+// benchmark fluids and matches the paper's generic "MD kernel" (the paper
+// never fixes a chemical species).
+//
+// For the argon example we provide the conversion constants: for argon
+// sigma = 3.405 Å, epsilon/k_B = 119.8 K, m = 39.948 u, which makes the
+// reduced time unit 2.156 ps.
+#pragma once
+
+namespace emdpa::md {
+
+/// Conversions from reduced LJ units to physical argon units, for examples
+/// that want human-readable output.
+struct ArgonUnits {
+  static constexpr double sigma_angstrom = 3.405;
+  static constexpr double epsilon_over_kB_kelvin = 119.8;
+  static constexpr double mass_amu = 39.948;
+  static constexpr double time_unit_ps = 2.156;
+
+  static constexpr double temperature_to_kelvin(double t_reduced) {
+    return t_reduced * epsilon_over_kB_kelvin;
+  }
+  static constexpr double length_to_angstrom(double r_reduced) {
+    return r_reduced * sigma_angstrom;
+  }
+  static constexpr double time_to_ps(double t_reduced) {
+    return t_reduced * time_unit_ps;
+  }
+};
+
+}  // namespace emdpa::md

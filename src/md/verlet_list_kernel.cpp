@@ -1,0 +1,146 @@
+#include "md/verlet_list_kernel.h"
+
+#include <cmath>
+
+#include "core/error.h"
+
+namespace emdpa::md {
+
+template <typename Real>
+VerletListKernelT<Real>::VerletListKernelT(Real skin) : skin_(skin) {
+  EMDPA_REQUIRE(skin >= Real(0), "skin must be non-negative");
+}
+
+template <typename Real>
+bool VerletListKernelT<Real>::needs_rebuild(
+    const std::vector<emdpa::Vec3<Real>>& positions,
+    const PeriodicBoxT<Real>& box) const {
+  if (build_positions_.size() != positions.size()) return true;
+  // Valid while no atom moved more than half the skin since the build: two
+  // atoms approaching from opposite sides close at most `skin` total.
+  const Real limit_sq = (skin_ / Real(2)) * (skin_ / Real(2));
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const auto dr = box.min_image(positions[i] - build_positions_[i]);
+    if (length_squared(dr) > limit_sq) return true;
+  }
+  return false;
+}
+
+template <typename Real>
+void VerletListKernelT<Real>::rebuild(
+    const std::vector<emdpa::Vec3<Real>>& positions,
+    const PeriodicBoxT<Real>& box, const LjParamsT<Real>& lj) {
+  const std::size_t n = positions.size();
+  const Real list_cutoff = lj.cutoff + skin_;
+  list_cutoff_sq_ = list_cutoff * list_cutoff;
+
+  neighbours_.assign(n, {});
+  build_positions_ = positions;
+  ++rebuilds_;
+
+  // Cell grid at list_cutoff granularity for an O(N) build; falls back to
+  // all-pairs when the box is too small for 3 cells per axis.
+  const double edge = static_cast<double>(box.edge());
+  auto cells_ll = static_cast<long long>(edge / static_cast<double>(list_cutoff));
+  if (cells_ll < 1) cells_ll = 1;
+  const auto cells = static_cast<std::size_t>(cells_ll);
+
+  auto add_if_close = [&](std::size_t i, std::size_t j) {
+    const auto dr = box.min_image(positions[i] - positions[j]);
+    if (length_squared(dr) < list_cutoff_sq_) {
+      neighbours_[i].push_back(static_cast<std::uint32_t>(j));
+      neighbours_[j].push_back(static_cast<std::uint32_t>(i));
+    }
+  };
+
+  if (cells < 3) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) add_if_close(i, j);
+    }
+    return;
+  }
+
+  const double inv_cell = static_cast<double>(cells) / edge;
+  const std::size_t n_cells = cells * cells * cells;
+  std::vector<long long> head(n_cells, -1), next(n, -1);
+  std::vector<emdpa::Vec3<Real>> wrapped(n);
+  auto cell_of = [&](double coord) {
+    auto c = static_cast<long long>(coord * inv_cell);
+    if (c < 0) c = 0;
+    if (c >= static_cast<long long>(cells)) c = static_cast<long long>(cells) - 1;
+    return static_cast<std::size_t>(c);
+  };
+  auto cell_index = [&](const emdpa::Vec3<Real>& p) {
+    return (cell_of(p.x) * cells + cell_of(p.y)) * cells + cell_of(p.z);
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    wrapped[i] = box.wrap(positions[i]);
+    const std::size_t c = cell_index(wrapped[i]);
+    next[i] = head[c];
+    head[c] = static_cast<long long>(i);
+  }
+
+  const auto c_ll = static_cast<long long>(cells);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto cx = static_cast<long long>(cell_of(wrapped[i].x));
+    const auto cy = static_cast<long long>(cell_of(wrapped[i].y));
+    const auto cz = static_cast<long long>(cell_of(wrapped[i].z));
+    for (long long dx = -1; dx <= 1; ++dx) {
+      for (long long dy = -1; dy <= 1; ++dy) {
+        for (long long dz = -1; dz <= 1; ++dz) {
+          const std::size_t c =
+              ((static_cast<std::size_t>((cx + dx + c_ll) % c_ll)) * cells +
+               static_cast<std::size_t>((cy + dy + c_ll) % c_ll)) *
+                  cells +
+              static_cast<std::size_t>((cz + dz + c_ll) % c_ll);
+          for (long long j = head[c]; j >= 0;
+               j = next[static_cast<std::size_t>(j)]) {
+            // Half the pairs (j < i) to add each unordered pair once.
+            if (static_cast<std::size_t>(j) < i) {
+              add_if_close(i, static_cast<std::size_t>(j));
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+template <typename Real>
+ForceResultT<Real> VerletListKernelT<Real>::compute(
+    const std::vector<emdpa::Vec3<Real>>& positions,
+    const PeriodicBoxT<Real>& box, const LjParamsT<Real>& lj, Real mass) {
+  if (needs_rebuild(positions, box)) rebuild(positions, box, lj);
+  ++evaluations_;
+
+  const std::size_t n = positions.size();
+  ForceResultT<Real> result;
+  result.accelerations.assign(n, {});
+  const Real cutoff_sq = lj.cutoff_squared();
+  const Real inv_mass = Real(1) / mass;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    emdpa::Vec3<Real> force{};
+    Real pe{};
+    for (const std::uint32_t j : neighbours_[i]) {
+      const auto dr = box.min_image(positions[i] - positions[j]);
+      const Real r2 = length_squared(dr);
+      ++result.stats.candidates;
+      if (r2 < cutoff_sq) {
+        ++result.stats.interacting;
+        const Real f_over_r = lj.pair_force_over_r(r2);
+        force += dr * f_over_r;
+        pe += Real(0.5) * lj.pair_energy(r2);
+        result.virial += Real(0.5) * f_over_r * r2;
+      }
+    }
+    result.accelerations[i] = force * inv_mass;
+    result.potential_energy += pe;
+  }
+  return result;
+}
+
+template class VerletListKernelT<double>;
+template class VerletListKernelT<float>;
+
+}  // namespace emdpa::md

@@ -1,0 +1,115 @@
+#include "md/workload.h"
+
+#include <cmath>
+
+#include "core/error.h"
+#include "core/random.h"
+#include "md/observables.h"
+
+namespace emdpa::md {
+
+double box_edge_for(std::size_t n, double density) {
+  EMDPA_REQUIRE(n > 0, "workload needs at least one atom");
+  EMDPA_REQUIRE(density > 0.0, "density must be positive");
+  return std::cbrt(static_cast<double>(n) / density);
+}
+
+Workload make_lattice_workload(const WorkloadSpec& spec) {
+  const double edge = box_edge_for(spec.n_atoms, spec.density);
+  PeriodicBox box(edge);
+  ParticleSystem system(spec.n_atoms);
+
+  // Smallest cubic lattice with at least n sites; fill sites in row-major
+  // order.  Sites are offset by half a spacing so no atom sits on the box
+  // boundary.
+  std::size_t cells = 1;
+  while (cells * cells * cells < spec.n_atoms) ++cells;
+  const double spacing = edge / static_cast<double>(cells);
+
+  std::size_t placed = 0;
+  for (std::size_t ix = 0; ix < cells && placed < spec.n_atoms; ++ix) {
+    for (std::size_t iy = 0; iy < cells && placed < spec.n_atoms; ++iy) {
+      for (std::size_t iz = 0; iz < cells && placed < spec.n_atoms; ++iz) {
+        system.positions()[placed] = {(static_cast<double>(ix) + 0.5) * spacing,
+                                      (static_cast<double>(iy) + 0.5) * spacing,
+                                      (static_cast<double>(iz) + 0.5) * spacing};
+        ++placed;
+      }
+    }
+  }
+
+  assign_thermal_velocities(system, spec.temperature, spec.seed);
+  return {std::move(system), box};
+}
+
+Workload make_random_gas_workload(const WorkloadSpec& spec, double min_separation) {
+  EMDPA_REQUIRE(min_separation >= 0.0, "min_separation must be non-negative");
+  const double edge = box_edge_for(spec.n_atoms, spec.density);
+  PeriodicBox box(edge);
+  ParticleSystem system(spec.n_atoms);
+
+  Rng rng(spec.seed);
+  const double min_sep_sq = min_separation * min_separation;
+  const std::size_t max_tries_per_atom = 10000;
+
+  for (std::size_t i = 0; i < spec.n_atoms; ++i) {
+    bool placed = false;
+    for (std::size_t attempt = 0; attempt < max_tries_per_atom; ++attempt) {
+      const Vec3d candidate = rng.point_in_box(Vec3d::splat(edge));
+      bool ok = true;
+      for (std::size_t j = 0; j < i; ++j) {
+        const Vec3d dr = box.min_image(candidate - system.positions()[j]);
+        if (length_squared(dr) < min_sep_sq) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        system.positions()[i] = candidate;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      throw RuntimeFailure(
+          "make_random_gas_workload: could not place atom " + std::to_string(i) +
+          " with min_separation " + std::to_string(min_separation) +
+          " — lower the separation or the density");
+    }
+  }
+
+  assign_thermal_velocities(system, spec.temperature, spec.seed);
+  return {std::move(system), box};
+}
+
+void assign_thermal_velocities(ParticleSystem& system, double temperature,
+                               std::uint64_t seed) {
+  EMDPA_REQUIRE(temperature >= 0.0, "temperature must be non-negative");
+  const std::size_t n = system.size();
+  if (n < 2 || temperature == 0.0) {
+    for (auto& v : system.velocities()) v = {};
+    return;
+  }
+
+  Rng rng(seed ^ 0x5eedbeefULL);
+  const double stddev = std::sqrt(temperature / system.mass());
+  for (auto& v : system.velocities()) {
+    v = {rng.gaussian(0.0, stddev), rng.gaussian(0.0, stddev),
+         rng.gaussian(0.0, stddev)};
+  }
+
+  // Remove centre-of-mass drift (equal masses: subtract the mean velocity).
+  Vec3d mean{};
+  for (const auto& v : system.velocities()) mean += v;
+  mean /= static_cast<double>(n);
+  for (auto& v : system.velocities()) v -= mean;
+
+  // Rescale so the instantaneous temperature matches exactly.
+  const double t_now = temperature_of(system);
+  if (t_now > 0.0) {
+    const double scale = std::sqrt(temperature / t_now);
+    for (auto& v : system.velocities()) v *= scale;
+  }
+}
+
+}  // namespace emdpa::md

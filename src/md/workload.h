@@ -1,0 +1,55 @@
+// Workload construction: the synthetic bio-molecular systems every
+// experiment runs on.
+//
+// The paper's experiments sweep atom counts (256 … 8192) of a generic LJ
+// fluid.  We generate those systems deterministically: atoms on a simple
+// cubic lattice at a given reduced density, Maxwell–Boltzmann velocities at a
+// given reduced temperature with the centre-of-mass drift removed.  The same
+// (n, density, temperature, seed) tuple always produces the bit-identical
+// double-precision system, so every device backend starts from the same
+// initial condition.
+#pragma once
+
+#include <cstdint>
+
+#include "md/box.h"
+#include "md/particle_system.h"
+
+namespace emdpa::md {
+
+struct WorkloadSpec {
+  std::size_t n_atoms = 256;
+  double density = 0.8442;      ///< reduced number density (LJ liquid standard)
+  double temperature = 1.44;    ///< initial reduced temperature
+  std::uint64_t seed = 20070326; ///< IPPS 2007 start date — arbitrary but fixed
+};
+
+struct Workload {
+  ParticleSystem system;
+  PeriodicBox box;
+};
+
+/// Edge length of the cubic box holding `n` atoms at `density`.
+double box_edge_for(std::size_t n, double density);
+
+/// Build the standard workload: simple cubic lattice positions (first
+/// `n_atoms` sites of the smallest lattice that fits), Maxwell–Boltzmann
+/// velocities at `temperature` with zero total momentum, velocities rescaled
+/// so the instantaneous temperature is exact.
+Workload make_lattice_workload(const WorkloadSpec& spec);
+
+/// Build a random-gas workload: uniformly random positions subject to a
+/// minimum pair separation (rejection sampling), same velocity setup.  Used
+/// by property tests to decouple results from lattice symmetry.
+///
+/// min_separation should be modest (≲ 0.8 of the mean spacing) or placement
+/// may fail; failure throws RuntimeFailure after a bounded number of tries.
+Workload make_random_gas_workload(const WorkloadSpec& spec, double min_separation);
+
+/// Assign Maxwell–Boltzmann velocities at `temperature` to an existing
+/// system: Gaussian components, centre-of-mass momentum removed, then
+/// rescaled to the exact target temperature.  No-op for systems of < 2 atoms.
+void assign_thermal_velocities(ParticleSystem& system, double temperature,
+                               std::uint64_t seed);
+
+}  // namespace emdpa::md

@@ -1,0 +1,25 @@
+#include "md/xyz_writer.h"
+
+#include <algorithm>
+
+#include "core/string_util.h"
+
+namespace emdpa::md {
+
+XyzWriter::XyzWriter(std::ostream& out, std::string element)
+    : out_(out), element_(std::move(element)) {}
+
+void XyzWriter::write_frame(const ParticleSystem& system,
+                            const std::string& comment) {
+  std::string clean = comment;
+  std::replace(clean.begin(), clean.end(), '\n', ' ');
+
+  out_ << system.size() << '\n' << clean << '\n';
+  for (const auto& p : system.positions()) {
+    out_ << element_ << ' ' << format_fixed(p.x, 6) << ' '
+         << format_fixed(p.y, 6) << ' ' << format_fixed(p.z, 6) << '\n';
+  }
+  ++frames_;
+}
+
+}  // namespace emdpa::md

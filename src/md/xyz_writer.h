@@ -1,0 +1,29 @@
+// XYZ trajectory output: the simplest widely-read MD trajectory format
+// (frame = atom count line, comment line, then one "El x y z" line per atom).
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "md/particle_system.h"
+
+namespace emdpa::md {
+
+class XyzWriter {
+ public:
+  /// Writes frames to `out` (must outlive the writer).  `element` is the
+  /// symbol emitted for every atom (single-species systems).
+  explicit XyzWriter(std::ostream& out, std::string element = "Ar");
+
+  /// Append one frame with the given comment line (newlines stripped).
+  void write_frame(const ParticleSystem& system, const std::string& comment);
+
+  std::size_t frames_written() const { return frames_; }
+
+ private:
+  std::ostream& out_;
+  std::string element_;
+  std::size_t frames_ = 0;
+};
+
+}  // namespace emdpa::md

@@ -1,0 +1,73 @@
+// Full/empty-bit synchronised memory, the MTA's signature primitive.
+//
+// Every MTA memory word carries a full/empty tag; synchronised loads and
+// stores wait for the tag, giving free fine-grained producer/consumer and
+// atomic-update patterns (Bokhari & Sauer's MTA-2 sequence alignment codes
+// lean on this heavily, as the paper's related-work section notes).  The
+// fully-multithreaded MD kernel uses an FE accumulator for the potential
+// energy reduction it moved inside the loop body.
+//
+// The simulator is sequential, so "waiting" that could never be satisfied
+// is a deadlock — reported as a contract violation.
+#pragma once
+
+#include "core/error.h"
+
+namespace emdpa::mta {
+
+template <typename T>
+class FullEmptyCell {
+ public:
+  /// Cells start empty (as after `purge`).
+  FullEmptyCell() = default;
+
+  /// Initialise full with a value.
+  explicit FullEmptyCell(const T& value) : value_(value), full_(true) {}
+
+  bool is_full() const { return full_; }
+
+  /// writeef: wait until empty, write, set full.
+  void write_ef(const T& value) {
+    if (full_) {
+      throw ContractViolation(
+          "write_ef on a full cell: would block forever in a serial context");
+    }
+    value_ = value;
+    full_ = true;
+  }
+
+  /// readfe: wait until full, read, set empty.
+  T read_fe() {
+    if (!full_) {
+      throw ContractViolation(
+          "read_fe on an empty cell: would block forever in a serial context");
+    }
+    full_ = false;
+    return value_;
+  }
+
+  /// readff: wait until full, read, leave full.
+  const T& read_ff() const {
+    if (!full_) {
+      throw ContractViolation(
+          "read_ff on an empty cell: would block forever in a serial context");
+    }
+    return value_;
+  }
+
+  /// Atomic fetch-and-add built from readfe/writeef — the MTA reduction
+  /// idiom ("move the reduction inside the loop body").
+  void fetch_add(const T& delta) {
+    const T current = read_fe();
+    write_ef(current + delta);
+  }
+
+  /// purge: force empty regardless of state.
+  void purge() { full_ = false; }
+
+ private:
+  T value_{};
+  bool full_ = false;
+};
+
+}  // namespace emdpa::mta

@@ -1,0 +1,48 @@
+// MdBackend implementation for the Cray MTA-2 (section 5.3).
+//
+// Double precision (the only precision the MTA port uses in the paper).
+// Two build flavours reproduce Fig 8:
+//
+//  - kPartiallyMultithreaded: the code as first compiled.  The MTA compiler
+//    refuses to parallelise the N^2 force loop ("it found a dependency on
+//    the reduction operation"), so step 2 runs on a single stream at one
+//    instruction per pipeline round-trip; the other loops parallelise
+//    automatically.
+//  - kFullyMultithreaded: the reduction moved inside the loop body (a
+//    full/empty-bit accumulator) plus the no-dependence pragma; every loop
+//    runs saturated.
+#pragma once
+
+#include "md/backend.h"
+#include "mtasim/parallel_loop.h"
+#include "mtasim/stream_machine.h"
+
+namespace emdpa::mta {
+
+enum class ThreadingMode {
+  kPartiallyMultithreaded,
+  kFullyMultithreaded,
+};
+
+const char* to_string(ThreadingMode m);
+
+class MtaBackend final : public md::MdBackend {
+ public:
+  explicit MtaBackend(ThreadingMode mode = ThreadingMode::kFullyMultithreaded,
+                      const MtaConfig& config = {});
+
+  std::string name() const override;
+  std::string precision() const override { return "double"; }
+  md::RunResult run(const md::RunConfig& run_config) override;
+
+  /// The force-loop description as the compiler sees it under `mode` — also
+  /// used directly by tests of the compiler model.
+  static LoopDescription force_loop_description(ThreadingMode mode,
+                                                std::uint64_t n_atoms);
+
+ private:
+  ThreadingMode mode_;
+  MtaConfig config_;
+};
+
+}  // namespace emdpa::mta

@@ -1,0 +1,30 @@
+#include "mtasim/parallel_loop.h"
+
+namespace emdpa::mta {
+
+ParallelizationDecision MtaCompiler::analyze(const LoopDescription& loop) {
+  // An unanalysable write is a hard dependence unless asserted away.
+  if (loop.has_unanalyzable_write && !loop.pragma_no_dependence) {
+    return {false, "possible cross-iteration aliasing on '" + loop.name +
+                       "' (no pragma)"};
+  }
+
+  if (loop.has_scalar_reduction) {
+    // A reduction whose update straddles the loop body is a cross-iteration
+    // dependence the compiler will not break on its own.
+    if (!loop.reduction_inside_body) {
+      return {false, "dependency on the reduction operation in '" + loop.name +
+                         "'"};
+    }
+    // Restructured reduction: still needs the programmer's assertion that
+    // the synchronised update carries no ordering requirement.
+    if (!loop.pragma_no_dependence) {
+      return {false, "reduction in '" + loop.name +
+                         "' restructured but not asserted dependence-free"};
+    }
+  }
+
+  return {true, "no loop-carried dependence in '" + loop.name + "'"};
+}
+
+}  // namespace emdpa::mta

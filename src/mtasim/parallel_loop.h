@@ -1,0 +1,55 @@
+// MTA auto-parallelising compiler model.
+//
+// On the MTA-2, parallelism is expressed *implicitly*: the compiler
+// parallelises ordinary loops unless data/control dependences stop it.  The
+// paper's key porting step (section 5.3) is exactly a negotiation with this
+// compiler: the N^2 force loop was NOT parallelised automatically "because
+// it found a dependency on the reduction operation"; moving the reduction
+// inside the loop body and adding a no-dependence pragma made it fully
+// parallel.
+//
+// We model the decision procedure over a small loop-description IR: a loop
+// is parallelisable iff it carries no cross-iteration dependence, where an
+// unrestructured scalar reduction counts as one; the pragma asserts the
+// remaining (reduction) dependence away once the update is self-contained
+// in the body.
+#pragma once
+
+#include <string>
+
+namespace emdpa::mta {
+
+/// What the programmer wrote, as the compiler sees it.
+struct LoopDescription {
+  std::string name;
+  std::uint64_t trip_count = 0;
+
+  /// The body updates a scalar accumulator visible outside the loop
+  /// (sum += ...), i.e. a reduction.
+  bool has_scalar_reduction = false;
+
+  /// The reduction update was restructured to live entirely inside the loop
+  /// body (e.g. through a full/empty-bit synchronised accumulator), so each
+  /// iteration is self-contained.
+  bool reduction_inside_body = false;
+
+  /// The body writes through a subscript the compiler cannot analyse
+  /// (potential cross-iteration aliasing).
+  bool has_unanalyzable_write = false;
+
+  /// `#pragma mta assert no dependence` on the loop.
+  bool pragma_no_dependence = false;
+};
+
+struct ParallelizationDecision {
+  bool parallel = false;
+  std::string reason;
+};
+
+class MtaCompiler {
+ public:
+  /// Decide whether the loop runs multithreaded.
+  static ParallelizationDecision analyze(const LoopDescription& loop);
+};
+
+}  // namespace emdpa::mta

@@ -1,0 +1,62 @@
+#include "mtasim/stream_machine.h"
+
+#include <algorithm>
+
+#include "core/error.h"
+
+namespace emdpa::mta {
+
+StreamMachine::StreamMachine(const MtaConfig& config) : config_(config) {
+  EMDPA_REQUIRE(config.clock_hz > 0, "clock must be positive");
+  EMDPA_REQUIRE(config.streams_per_processor > 0, "need at least one stream");
+  EMDPA_REQUIRE(config.n_processors > 0, "need at least one processor");
+  EMDPA_REQUIRE(config.pipeline_depth >= 1.0, "pipeline depth must be >= 1");
+}
+
+ModelTime StreamMachine::charge_parallel(double instructions,
+                                         std::uint64_t threads) {
+  EMDPA_REQUIRE(instructions >= 0, "negative instruction count");
+  if (instructions == 0 || threads == 0) return ModelTime::zero();
+
+  // Streams actually holding work, capped by the hardware.
+  const double hw_streams = static_cast<double>(config_.streams_per_processor) *
+                            static_cast<double>(config_.n_processors);
+  const double active = std::min(static_cast<double>(threads), hw_streams);
+
+  // Per-processor issue rate ramps linearly until pipeline_depth streams are
+  // resident, then saturates at 1 instruction/cycle.
+  const double streams_per_proc = active / static_cast<double>(config_.n_processors);
+  const double issue_per_proc =
+      std::min(1.0, streams_per_proc / config_.pipeline_depth);
+  const double total_issue = issue_per_proc * static_cast<double>(config_.n_processors);
+
+  const double cycles = instructions / total_issue;
+  const ModelTime t = ClockDomain(config_.clock_hz).to_time(CycleCount(cycles));
+  elapsed_ += t;
+  ops_.add("mta.parallel_instructions", static_cast<std::uint64_t>(instructions));
+  return t;
+}
+
+ModelTime StreamMachine::charge_serial(double instructions) {
+  EMDPA_REQUIRE(instructions >= 0, "negative instruction count");
+  const double cycles = instructions * config_.pipeline_depth;
+  const ModelTime t = ClockDomain(config_.clock_hz).to_time(CycleCount(cycles));
+  elapsed_ += t;
+  ops_.add("mta.serial_instructions", static_cast<std::uint64_t>(instructions));
+  return t;
+}
+
+ModelTime StreamMachine::charge_fe_ops(double count) {
+  const ModelTime t = ClockDomain(config_.clock_hz)
+                          .to_time(CycleCount(count * config_.fe_op_cycles));
+  elapsed_ += t;
+  ops_.add("mta.fe_operations", static_cast<std::uint64_t>(count));
+  return t;
+}
+
+void StreamMachine::reset() {
+  elapsed_ = ModelTime::zero();
+  ops_.clear();
+}
+
+}  // namespace emdpa::mta

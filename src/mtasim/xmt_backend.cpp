@@ -1,0 +1,118 @@
+#include "mtasim/xmt_backend.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.h"
+#include "md/observables.h"
+#include "md/reference_kernel.h"
+
+namespace emdpa::mta {
+
+namespace {
+// Same original C code as the MTA-2 port (see mta_backend.cpp).
+constexpr double kOpsPerCandidate = 3 + 243 + 1 + 4;
+constexpr double kOpsPerInteraction = 30;
+constexpr double kIntegrationOpsPerAtom = 34;
+}  // namespace
+
+double naive_remote_fraction(int p) {
+  EMDPA_REQUIRE(p > 0, "processor count must be positive");
+  return static_cast<double>(p - 1) / static_cast<double>(p);
+}
+
+ModelTime xmt_parallel_time(const XmtConfig& config, double instructions,
+                            double remote_fraction) {
+  EMDPA_REQUIRE(instructions >= 0, "negative instruction count");
+  EMDPA_REQUIRE(remote_fraction >= 0.0 && remote_fraction <= 1.0,
+                "remote fraction must be in [0, 1]");
+  const double p = static_cast<double>(config.n_processors);
+
+  // Bottleneck 1: the issue pipelines — one instruction per cycle per
+  // saturated processor.
+  const double issue_cycles = instructions / p;
+
+  // Bottleneck 2: the network — aggregate remote-reference capacity grows
+  // with the torus bisection, ~P^(2/3), not with P.
+  const double remote_refs =
+      instructions * config.refs_per_instruction * remote_fraction;
+  const double network_capacity =
+      config.remote_refs_per_cycle * std::pow(p, 2.0 / 3.0);
+  const double network_cycles = remote_refs / network_capacity;
+
+  const double cycles = std::max(issue_cycles, network_cycles);
+  return ClockDomain(config.clock_hz).to_time(CycleCount(cycles));
+}
+
+XmtBackend::XmtBackend(const XmtConfig& config) : config_(config) {
+  EMDPA_REQUIRE(config.n_processors >= 1 && config.n_processors <= 8192,
+                "XMT systems scale to 8192 processors");
+}
+
+std::string XmtBackend::name() const {
+  return "xmt[" + std::to_string(config_.n_processors) + "p]";
+}
+
+md::RunResult XmtBackend::run(const md::RunConfig& run_config) {
+  md::Workload workload = md::make_lattice_workload(run_config.workload);
+  md::ParticleSystem& system = workload.system;
+  const md::PeriodicBox& box = workload.box;
+  const std::size_t n = system.size();
+  const double half_dt = 0.5 * run_config.dt;
+  const double remote = naive_remote_fraction(config_.n_processors);
+
+  md::RunResult result;
+  result.backend_name = name();
+  ModelTime total;
+
+  md::ReferenceKernelT<double> kernel(md::MinImageStrategy::kRound);
+
+  auto evaluate = [&]() -> std::pair<double, ModelTime> {
+    auto forces = kernel.compute(system.positions(), box, run_config.lj,
+                                 system.mass());
+    const double instructions =
+        kOpsPerCandidate * static_cast<double>(forces.stats.candidates) +
+        kOpsPerInteraction * static_cast<double>(forces.stats.interacting);
+    const ModelTime t = xmt_parallel_time(config_, instructions, remote);
+    system.accelerations() = std::move(forces.accelerations);
+    result.ops.add("xmt.pair_candidates", forces.stats.candidates);
+    return {forces.potential_energy, t};
+  };
+
+  // Prime (untimed).
+  {
+    auto [pe, ignored] = evaluate();
+    (void)ignored;
+    result.energies.push_back({md::kinetic_energy_of(system), pe});
+  }
+
+  for (int step = 0; step < run_config.steps; ++step) {
+    ModelTime step_time;
+    for (std::size_t i = 0; i < n; ++i) {
+      system.velocities()[i] += system.accelerations()[i] * half_dt;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      system.positions()[i] = box.wrap(system.positions()[i] +
+                                       system.velocities()[i] * run_config.dt);
+    }
+    step_time += xmt_parallel_time(
+        config_, static_cast<double>(n) * kIntegrationOpsPerAtom, remote);
+
+    auto [pe, force_time] = evaluate();
+    step_time += force_time;
+
+    for (std::size_t i = 0; i < n; ++i) {
+      system.velocities()[i] += system.accelerations()[i] * half_dt;
+    }
+    result.energies.push_back({md::kinetic_energy_of(system), pe});
+    result.step_times.push_back(step_time);
+    total += step_time;
+  }
+
+  result.device_time = total;
+  result.breakdown["compute"] = total;
+  result.final_state = std::move(system);
+  return result;
+}
+
+}  // namespace emdpa::mta

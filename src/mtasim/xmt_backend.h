@@ -1,0 +1,67 @@
+// Cray XMT projection model (the paper's "future plans").
+//
+// The paper closes by anticipating "significant performance gains from the
+// upcoming XMT technology" while warning that the XMT "will not have the
+// MTA-2's nearly uniform memory access latency, so data placement and
+// access locality will be an important consideration".  This backend models
+// exactly that trade:
+//
+//  * Threadstorm processors at a higher clock (500 MHz vs the MTA-2's
+//    effective 200 MHz), systems up to 8192 processors (vs 256);
+//  * commodity-network memory: a fraction of references is remote, and
+//    remote references consume extra issue opportunities that grow with
+//    the machine size (the Seastar torus sustains far fewer remote
+//    references per processor per cycle than the MTA-2's flat network).
+//
+// The MD kernel's scattered position reads make its remote fraction roughly
+// (P-1)/P with naive round-robin placement — the worst case the paper's
+// locality warning is about.
+#pragma once
+
+#include "md/backend.h"
+#include "mtasim/stream_machine.h"
+
+namespace emdpa::mta {
+
+struct XmtConfig {
+  double clock_hz = 500.0e6;      ///< Threadstorm
+  int streams_per_processor = 128;
+  int n_processors = 1;
+  double pipeline_depth = 21.0;
+
+  /// Sustainable remote memory references per *network unit* per cycle.
+  /// On the MTA-2's flat network every reference can be remote; on the
+  /// XMT's 3-D torus the aggregate remote capacity grows only with the
+  /// bisection, ~P^(2/3) network units for P processors.
+  double remote_refs_per_cycle = 0.5;
+
+  /// Memory references per executed instruction in this kernel (loads of
+  /// neighbour positions dominate).
+  double refs_per_instruction = 0.35;
+};
+
+/// Fraction of references that leave the local memory under naive
+/// round-robin data placement on `p` processors.
+double naive_remote_fraction(int p);
+
+/// Time for `instructions` of saturated parallel work on the XMT model:
+/// the issue pipeline and the remote-reference budget are both potential
+/// bottlenecks; the slower one governs.
+ModelTime xmt_parallel_time(const XmtConfig& config, double instructions,
+                            double remote_fraction);
+
+/// MdBackend: the MD kernel on a projected XMT, fully multithreaded (the
+/// MTA-2 port carries over unchanged — same ISA family and compiler).
+class XmtBackend final : public md::MdBackend {
+ public:
+  explicit XmtBackend(const XmtConfig& config = {});
+
+  std::string name() const override;
+  std::string precision() const override { return "double"; }
+  md::RunResult run(const md::RunConfig& run_config) override;
+
+ private:
+  XmtConfig config_;
+};
+
+}  // namespace emdpa::mta

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "cellsim/cell_cluster.h"
+#include "cellsim/cell_md_app.h"
+#include "core/error.h"
+#include "md/backend.h"
+
+namespace emdpa::cell {
+namespace {
+
+md::RunConfig config_for(std::size_t n, int steps = 2) {
+  md::RunConfig cfg;
+  cfg.workload.n_atoms = n;
+  cfg.steps = steps;
+  return cfg;
+}
+
+TEST(RingAllgather, SingleRankIsFree) {
+  EXPECT_EQ(ring_allgather_time({}, 1 << 20, 1), ModelTime::zero());
+}
+
+TEST(RingAllgather, TimeScalesWithRoundsAndBytes) {
+  InterconnectConfig net;
+  const ModelTime two = ring_allgather_time(net, 1000, 2);
+  const ModelTime five = ring_allgather_time(net, 1000, 5);
+  EXPECT_NEAR(five / two, 4.0, 1e-9);  // (5-1)/(2-1)
+
+  const ModelTime big = ring_allgather_time(net, 1'000'000, 2);
+  EXPECT_GT(big.to_seconds(), two.to_seconds());
+  // 1 MB at 110 MB/s + 50 us latency ~ 9.14 ms.
+  EXPECT_NEAR(big.to_seconds(), 1e6 / 110e6 + 50e-6, 1e-4);
+}
+
+TEST(CellClusterBackend, ValidatesOptions) {
+  ClusterOptions bad;
+  bad.n_blades = 0;
+  EXPECT_THROW(CellClusterBackend backend(bad), ContractViolation);
+  bad = {};
+  bad.spes_per_blade = 9;
+  EXPECT_THROW(CellClusterBackend backend(bad), ContractViolation);
+}
+
+TEST(CellClusterBackend, Name) {
+  ClusterOptions options;
+  options.n_blades = 4;
+  EXPECT_EQ(CellClusterBackend(options).name(), "cell-cluster[4x8spe]");
+}
+
+TEST(CellClusterBackend, OneBladeMatchesSingleCellPhysics) {
+  const auto cfg = config_for(128, 3);
+  ClusterOptions one;
+  one.n_blades = 1;
+  const auto cluster = CellClusterBackend(one).run(cfg);
+  const auto single = CellBackend().run(cfg);
+  for (std::size_t i = 0; i < cluster.final_state.size(); ++i) {
+    EXPECT_EQ(cluster.final_state.positions()[i],
+              single.final_state.positions()[i]);
+  }
+}
+
+TEST(CellClusterBackend, BladeCountDoesNotChangePhysics) {
+  const auto cfg = config_for(128, 3);
+  ClusterOptions one, four;
+  one.n_blades = 1;
+  four.n_blades = 4;
+  const auto a = CellClusterBackend(one).run(cfg);
+  const auto b = CellClusterBackend(four).run(cfg);
+  for (std::size_t i = 0; i < a.final_state.size(); ++i) {
+    EXPECT_EQ(a.final_state.positions()[i], b.final_state.positions()[i]);
+  }
+}
+
+TEST(CellClusterBackend, ComputeShrinksCommAppears) {
+  const auto cfg = config_for(1024, 2);
+  ClusterOptions one, four;
+  one.n_blades = 1;
+  four.n_blades = 4;
+  const auto a = CellClusterBackend(one).run(cfg);
+  const auto b = CellClusterBackend(four).run(cfg);
+  EXPECT_LT(b.breakdown_component("compute").to_seconds(),
+            0.35 * a.breakdown_component("compute").to_seconds());
+  EXPECT_EQ(a.breakdown_component("interconnect"), ModelTime::zero());
+  EXPECT_GT(b.breakdown_component("interconnect").to_seconds(), 0.0);
+}
+
+TEST(CellClusterBackend, ScalingIsRealButSublinear) {
+  // Steady-state per-step time (step 0 carries the thread launches): blades
+  // split the N^2 compute, but the per-step blade orchestration and the
+  // O(N) position exchange don't shrink — classic strong-scaling loss.
+  const auto cfg = config_for(2048, 2);
+  auto steady_step = [&](int blades) {
+    ClusterOptions options;
+    options.n_blades = blades;
+    const auto r = CellClusterBackend(options).run(cfg);
+    return r.step_times.back().to_seconds();
+  };
+  const double t1 = steady_step(1);
+  const double t8 = steady_step(8);
+  const double speedup = t1 / t8;
+  EXPECT_GT(speedup, 2.0);  // blades genuinely help at 2048 atoms…
+  EXPECT_LT(speedup, 6.5);  // …but fall well short of the ideal 8x
+}
+
+}  // namespace
+}  // namespace emdpa::cell

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cellsim/cell_dp.h"
+#include "cellsim/cell_md_app.h"
+#include "core/error.h"
+#include "md/backend.h"
+
+namespace emdpa::cell {
+namespace {
+
+md::RunConfig small_config(std::size_t n = 128, int steps = 3) {
+  md::RunConfig cfg;
+  cfg.workload.n_atoms = n;
+  cfg.steps = steps;
+  return cfg;
+}
+
+TEST(CellDpBackend, NameAndPrecision) {
+  EXPECT_EQ(CellDpBackend(8).name(), "cell-8spe[double-precision]");
+  EXPECT_EQ(CellDpBackend(1).precision(), "double");
+}
+
+TEST(CellDpBackend, ValidatesSpeCount) {
+  EXPECT_THROW(CellDpBackend backend(0), ContractViolation);
+  EXPECT_THROW(CellDpBackend backend(9), ContractViolation);
+}
+
+TEST(CellDpBackend, PhysicsTracksHostReferenceTightly) {
+  // Double precision: agreement should be at 1e-9 level, far tighter than
+  // the single-precision Cell port.
+  const auto cfg = small_config(128, 4);
+  const auto dp = CellDpBackend(8).run(cfg);
+  const auto host = md::HostReferenceBackend().run(cfg);
+  for (std::size_t s = 0; s < dp.energies.size(); ++s) {
+    EXPECT_NEAR(dp.energies[s].potential, host.energies[s].potential,
+                1e-9 * std::fabs(host.energies[s].potential));
+  }
+  for (std::size_t i = 0; i < dp.final_state.size(); ++i) {
+    EXPECT_NEAR(dp.final_state.positions()[i].x,
+                host.final_state.positions()[i].x, 1e-9);
+  }
+}
+
+TEST(CellDpBackend, MuchSlowerThanSinglePrecision) {
+  const auto cfg = small_config(256, 2);
+  const double sp_compute = CellBackend()
+                                .run(cfg)
+                                .breakdown_component("spe_compute")
+                                .to_seconds();
+  const double dp_compute = CellDpBackend(8)
+                                .run(cfg)
+                                .breakdown_component("spe_compute")
+                                .to_seconds();
+  // The DP ALU multiplier dominates the kernel: expect roughly an order of
+  // magnitude between the ports.
+  EXPECT_GT(dp_compute / sp_compute, 6.0);
+  EXPECT_LT(dp_compute / sp_compute, 20.0);
+}
+
+TEST(CellDpBackend, SpeCountStillScalesRuntime) {
+  // spe_compute sums over SPEs (total work is partition-invariant); the
+  // end-to-end device time is where the parallelism shows, once the work is
+  // large enough to amortise the extra thread launches.
+  const auto cfg = small_config(1024, 2);
+  const auto one = CellDpBackend(1).run(cfg);
+  const auto eight = CellDpBackend(8).run(cfg);
+  EXPECT_NEAR(eight.breakdown_component("spe_compute").to_seconds(),
+              one.breakdown_component("spe_compute").to_seconds(),
+              1e-6);  // same total work
+  EXPECT_LT(eight.device_time.to_seconds(),
+            0.5 * one.device_time.to_seconds());
+}
+
+TEST(CellDpBackend, LocalStoreLimitHalvesVsSinglePrecision) {
+  // DP arrays are 32 B/atom: ~6500 atoms fit in SP, only ~3200 in DP.
+  md::RunConfig big = small_config(4096, 1);
+  EXPECT_THROW(CellDpBackend(8).run(big), ContractViolation);
+  EXPECT_NO_THROW(CellBackend().run(big));
+}
+
+TEST(CellDpBackend, RejectsShiftedPotential) {
+  auto cfg = small_config();
+  cfg.lj.shifted = true;
+  EXPECT_THROW(CellDpBackend(8).run(cfg), ContractViolation);
+}
+
+TEST(SpeDpKernel, RangeValidation) {
+  LocalStore ls;
+  const LsAddr pos = ls.allocate(64 * sizeof(emdpa::Vec4d), "pos");
+  const LsAddr acc = ls.allocate(64 * sizeof(emdpa::Vec4d), "acc");
+  SpeDpKernelParams params;
+  params.n_atoms = 64;
+  params.i_begin = 10;
+  params.i_end = 5;
+  EXPECT_THROW(run_spe_accel_kernel_dp(params, {}, ls, pos, acc),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace emdpa::cell

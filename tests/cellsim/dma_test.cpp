@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cellsim/dma.h"
+#include "core/aligned_buffer.h"
+#include "core/error.h"
+
+namespace emdpa::cell {
+namespace {
+
+class DmaTest : public ::testing::Test {
+ protected:
+  LocalStore ls_;
+  DmaEngine dma_;
+  AlignedBuffer<float> host_{1024};  // 16-byte aligned host storage
+};
+
+TEST_F(DmaTest, GetCopiesHostToLocalStore) {
+  for (int i = 0; i < 8; ++i) host_[i] = static_cast<float>(i);
+  const LsAddr dst = ls_.allocate(32, "in");
+  dma_.get(ls_, dst, host_.data(), 32, /*tag=*/0);
+  const float* p = ls_.data_at<float>(dst, 8);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(p[i], static_cast<float>(i));
+}
+
+TEST_F(DmaTest, PutCopiesLocalStoreToHost) {
+  const LsAddr src = ls_.allocate(32, "out");
+  float* p = ls_.data_at<float>(src, 8);
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<float>(10 + i);
+  dma_.put(ls_, src, host_.data(), 32, 1);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(host_[i], static_cast<float>(10 + i));
+}
+
+TEST_F(DmaTest, RejectsBadTags) {
+  const LsAddr a = ls_.allocate(16, "a");
+  EXPECT_THROW(dma_.get(ls_, a, host_.data(), 16, -1), ContractViolation);
+  EXPECT_THROW(dma_.get(ls_, a, host_.data(), 16, 32), ContractViolation);
+}
+
+TEST_F(DmaTest, RejectsUnalignedSizes) {
+  const LsAddr a = ls_.allocate(32, "a");
+  EXPECT_THROW(dma_.get(ls_, a, host_.data(), 24, 0), ContractViolation);
+  EXPECT_THROW(dma_.get(ls_, a, host_.data(), 0, 0), ContractViolation);
+}
+
+TEST_F(DmaTest, RejectsOversizedRequests) {
+  const LsAddr a = ls_.allocate(32 * 1024, "big");
+  EXPECT_THROW(dma_.get(ls_, a, host_.data(), 32 * 1024, 0), ContractViolation);
+}
+
+TEST_F(DmaTest, RejectsUnalignedHostPointer) {
+  const LsAddr a = ls_.allocate(16, "a");
+  // Offset by one float: 4-byte aligned only.
+  EXPECT_THROW(dma_.get(ls_, a, host_.data() + 1, 16, 0), ContractViolation);
+}
+
+TEST_F(DmaTest, RejectsUnalignedLsAddress) {
+  ls_.allocate(16, "pad");
+  // Hand-crafted unaligned LS address.
+  EXPECT_THROW(dma_.get(ls_, LsAddr{8}, host_.data(), 16, 0), ContractViolation);
+}
+
+TEST_F(DmaTest, LargeTransferSplitsIntoRequests) {
+  AlignedBuffer<float> big(16 * 1024);  // 64 KB
+  const LsAddr dst = ls_.allocate(64 * 1024, "big");
+  dma_.get_large(ls_, dst, big.data(), 64 * 1024, 2);
+  EXPECT_EQ(dma_.requests_issued(), 4u);  // 4 x 16 KB
+  EXPECT_EQ(dma_.bytes_transferred(), 64u * 1024u);
+}
+
+TEST_F(DmaTest, WaitReturnsFullLatencyWithoutOverlap) {
+  const LsAddr a = ls_.allocate(16 * 1024, "buf");
+  AlignedBuffer<float> big(4096);
+  dma_.get(ls_, a, big.data(), 16 * 1024, 3);
+  const ModelTime stall = dma_.wait_on_tags(1u << 3, ModelTime::zero());
+  // 16 KB at 16 GB/s = 1 us, plus request latency 0.3 us.
+  EXPECT_NEAR(stall.to_seconds(), 1.3e-6, 0.2e-6);
+}
+
+TEST_F(DmaTest, ComputeOverlapsTransferTime) {
+  const LsAddr a = ls_.allocate(16 * 1024, "buf");
+  AlignedBuffer<float> big(4096);
+  dma_.get(ls_, a, big.data(), 16 * 1024, 4);
+  // Plenty of compute since issue: no stall remains.
+  const ModelTime stall =
+      dma_.wait_on_tags(1u << 4, ModelTime::microseconds(50));
+  EXPECT_DOUBLE_EQ(stall.to_seconds(), 0.0);
+}
+
+TEST_F(DmaTest, WaitOnlyClearsRequestedTags) {
+  const LsAddr a = ls_.allocate(32, "a");
+  const LsAddr b = ls_.allocate(32, "b");
+  dma_.get(ls_, a, host_.data(), 32, 5);
+  dma_.get(ls_, b, host_.data(), 32, 6);
+  dma_.wait_on_tags(1u << 5, ModelTime::zero());
+  // Tag 6 still pending: waiting for it returns nonzero stall.
+  const ModelTime stall = dma_.wait_on_tags(1u << 6, ModelTime::zero());
+  EXPECT_GT(stall.to_seconds(), 0.0);
+}
+
+TEST_F(DmaTest, WaitTwiceIsZero) {
+  const LsAddr a = ls_.allocate(32, "a");
+  dma_.get(ls_, a, host_.data(), 32, 7);
+  dma_.wait_on_tags(1u << 7, ModelTime::zero());
+  EXPECT_DOUBLE_EQ(dma_.wait_on_tags(1u << 7, ModelTime::zero()).to_seconds(),
+                   0.0);
+}
+
+}  // namespace
+}  // namespace emdpa::cell

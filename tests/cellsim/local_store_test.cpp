@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "cellsim/local_store.h"
+#include "core/error.h"
+
+namespace emdpa::cell {
+namespace {
+
+TEST(LocalStore, DefaultCapacityIs256K) {
+  LocalStore ls;
+  EXPECT_EQ(ls.capacity(), 256u * 1024u);
+  EXPECT_EQ(ls.bytes_allocated(), 0u);
+  EXPECT_EQ(ls.bytes_free(), 256u * 1024u);
+}
+
+TEST(LocalStore, RejectsUnalignedCapacity) {
+  EXPECT_THROW(LocalStore(1000), ContractViolation);
+}
+
+TEST(LocalStore, AllocationsAreQuadwordAligned) {
+  LocalStore ls;
+  const LsAddr a = ls.allocate(10, "a");  // rounds to 16
+  const LsAddr b = ls.allocate(1, "b");
+  EXPECT_EQ(a.offset % 16, 0u);
+  EXPECT_EQ(b.offset % 16, 0u);
+  EXPECT_EQ(b.offset, 16u);
+  EXPECT_EQ(ls.bytes_allocated(), 32u);
+}
+
+TEST(LocalStore, OverflowThrowsWithLabel) {
+  LocalStore ls(1024);
+  ls.allocate(1024, "everything");
+  try {
+    ls.allocate(16, "one-more");
+    FAIL() << "expected overflow";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("one-more"), std::string::npos);
+  }
+}
+
+TEST(LocalStore, ExactFitSucceeds) {
+  LocalStore ls(1024);
+  EXPECT_NO_THROW(ls.allocate(512, "half"));
+  EXPECT_NO_THROW(ls.allocate(512, "other half"));
+  EXPECT_EQ(ls.bytes_free(), 0u);
+}
+
+TEST(LocalStore, TwoFullPositionArraysFor2048AtomsFit) {
+  // The paper's configuration: 2048 atoms x 16 B positions + accelerations
+  // alongside a 48 KB program image leaves plenty of the 256 KB LS.
+  LocalStore ls;
+  ls.allocate(48 * 1024, "program");
+  EXPECT_NO_THROW(ls.allocate(2048 * 16, "positions"));
+  EXPECT_NO_THROW(ls.allocate(2048 * 16, "accelerations"));
+}
+
+TEST(LocalStore, HugeSystemOverflows) {
+  // An 8192-atom system's positions (128 KB) fit next to the program image,
+  // but the acceleration array no longer does — the real porting constraint
+  // that caps the per-SPE resident problem size.
+  LocalStore ls;
+  ls.allocate(48 * 1024, "program");
+  ls.allocate(8192 * 16, "positions");
+  EXPECT_THROW(ls.allocate(8192 * 16, "accelerations"), ContractViolation);
+}
+
+TEST(LocalStore, ResetReclaimsSpace) {
+  LocalStore ls(1024);
+  ls.allocate(1024, "all");
+  ls.reset();
+  EXPECT_EQ(ls.bytes_allocated(), 0u);
+  EXPECT_NO_THROW(ls.allocate(1024, "again"));
+}
+
+TEST(LocalStore, DataRoundTrip) {
+  LocalStore ls;
+  const LsAddr addr = ls.allocate(64, "buf");
+  const float src[4] = {1.5f, -2.5f, 3.5f, 4.5f};
+  ls.write_bytes(addr, src, sizeof(src));
+  float dst[4] = {};
+  ls.read_bytes(addr, dst, sizeof(dst));
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(src[i], dst[i]);
+}
+
+TEST(LocalStore, TypedAccess) {
+  LocalStore ls;
+  const LsAddr addr = ls.allocate(8 * sizeof(float), "floats");
+  float* p = ls.data_at<float>(addr, 8);
+  p[7] = 42.0f;
+  const LocalStore& cls = ls;
+  EXPECT_EQ(cls.data_at<float>(addr, 8)[7], 42.0f);
+}
+
+TEST(LocalStore, OutOfRangeAccessThrows) {
+  LocalStore ls(1024);
+  const LsAddr addr = ls.allocate(16, "buf");
+  EXPECT_THROW(ls.data_at<float>(LsAddr{1020}, 4), ContractViolation);
+  float buf[64];
+  EXPECT_THROW(ls.read_bytes(LsAddr{addr.offset + 1020}, buf, 16),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace emdpa::cell

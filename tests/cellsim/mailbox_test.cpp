@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "cellsim/mailbox.h"
+#include "core/error.h"
+
+namespace emdpa::cell {
+namespace {
+
+TEST(MailboxFifo, StartsEmpty) {
+  MailboxFifo fifo("test", 4);
+  EXPECT_TRUE(fifo.empty());
+  EXPECT_FALSE(fifo.full());
+  EXPECT_EQ(fifo.size(), 0u);
+  EXPECT_EQ(fifo.depth(), 4u);
+}
+
+TEST(MailboxFifo, FifoOrder) {
+  MailboxFifo fifo("test", 4);
+  fifo.push(1);
+  fifo.push(2);
+  fifo.push(3);
+  EXPECT_EQ(fifo.pop(), 1u);
+  EXPECT_EQ(fifo.pop(), 2u);
+  EXPECT_EQ(fifo.pop(), 3u);
+  EXPECT_TRUE(fifo.empty());
+}
+
+TEST(MailboxFifo, FullAtDepth) {
+  MailboxFifo fifo("test", 2);
+  fifo.push(1);
+  EXPECT_FALSE(fifo.full());
+  fifo.push(2);
+  EXPECT_TRUE(fifo.full());
+}
+
+TEST(MailboxFifo, OverflowIsDeadlockContract) {
+  MailboxFifo fifo("test", 1);
+  fifo.push(7);
+  EXPECT_THROW(fifo.push(8), ContractViolation);
+}
+
+TEST(MailboxFifo, UnderflowIsDeadlockContract) {
+  MailboxFifo fifo("test", 1);
+  EXPECT_THROW(fifo.pop(), ContractViolation);
+}
+
+TEST(MailboxFifo, ReusableAfterDraining) {
+  MailboxFifo fifo("test", 1);
+  fifo.push(1);
+  fifo.pop();
+  EXPECT_NO_THROW(fifo.push(2));
+  EXPECT_EQ(fifo.pop(), 2u);
+}
+
+TEST(Mailboxes, HardwareDepths) {
+  Mailboxes boxes;
+  EXPECT_EQ(boxes.inbound.depth(), 4u);   // PPE -> SPE: 4 entries
+  EXPECT_EQ(boxes.outbound.depth(), 1u);  // SPE -> PPE: 1 entry
+}
+
+TEST(Mailboxes, InboundHoldsFourSignals) {
+  Mailboxes boxes;
+  for (std::uint32_t i = 0; i < 4; ++i) boxes.inbound.push(i);
+  EXPECT_THROW(boxes.inbound.push(4), ContractViolation);
+  for (std::uint32_t i = 0; i < 4; ++i) EXPECT_EQ(boxes.inbound.pop(), i);
+}
+
+}  // namespace
+}  // namespace emdpa::cell

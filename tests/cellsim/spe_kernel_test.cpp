@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cellsim/spe_kernel.h"
+#include "md/reference_kernel.h"
+#include "md/workload.h"
+
+namespace emdpa::cell {
+namespace {
+
+/// Fixture: a wrapped single-precision fluid loaded into a local store.
+class SpeKernelTest : public ::testing::Test {
+ protected:
+  void load_fluid(std::size_t n) {
+    md::WorkloadSpec spec;
+    spec.n_atoms = n;
+    md::Workload w = md::make_lattice_workload(spec);
+    for (auto& p : w.system.positions()) p = w.box.wrap(p);
+
+    n_ = n;
+    edge_ = static_cast<float>(w.box.edge());
+    positions_d_.clear();
+    for (const auto& p : w.system.positions()) positions_d_.push_back(p);
+
+    ls_pos_ = ls_.allocate(n * sizeof(emdpa::Vec4f), "pos");
+    ls_acc_ = ls_.allocate(n * sizeof(emdpa::Vec4f), "acc");
+    auto* pos = ls_.data_at<emdpa::Vec4f>(ls_pos_, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      pos[i] = emdpa::Vec4f(emdpa::vec_cast<float>(positions_d_[i]), 0.0f);
+    }
+
+    params_.box_edge = edge_;
+    params_.cutoff_sq = 6.25f;
+    params_.epsilon = 1.0f;
+    params_.sigma = 1.0f;
+    params_.inv_mass = 1.0f;
+    params_.n_atoms = static_cast<std::uint32_t>(n);
+    params_.i_begin = 0;
+    params_.i_end = static_cast<std::uint32_t>(n);
+  }
+
+  std::vector<emdpa::Vec4f> run(SimdVariant variant) {
+    last_result_ = run_spe_accel_kernel(variant, params_, ls_, ls_pos_, ls_acc_);
+    const auto* acc = ls_.data_at<emdpa::Vec4f>(ls_acc_, n_);
+    return {acc, acc + n_};
+  }
+
+  std::size_t n_ = 0;
+  float edge_ = 0;
+  std::vector<emdpa::Vec3d> positions_d_;
+  LocalStore ls_;
+  LsAddr ls_pos_, ls_acc_;
+  SpeKernelParams params_;
+  SpeKernelResult last_result_;
+};
+
+TEST_F(SpeKernelTest, AllVariantsProduceIdenticalPhysics) {
+  load_fluid(125);
+  const auto baseline = run(SimdVariant::kOriginal);
+  for (auto v : kAllSimdVariants) {
+    const auto result = run(v);
+    for (std::size_t i = 0; i < n_; ++i) {
+      EXPECT_EQ(result[i].x, baseline[i].x) << to_string(v) << " atom " << i;
+      EXPECT_EQ(result[i].y, baseline[i].y) << to_string(v);
+      EXPECT_EQ(result[i].z, baseline[i].z) << to_string(v);
+      EXPECT_EQ(result[i].w, baseline[i].w) << to_string(v);  // PE share
+    }
+  }
+}
+
+TEST_F(SpeKernelTest, MatchesDoubleReferenceWithinFloatTolerance) {
+  load_fluid(125);
+  const auto spe = run(SimdVariant::kSimdAccel);
+
+  md::ReferenceKernel ref(md::MinImageStrategy::kRound);
+  md::LjParams lj;
+  const auto expect =
+      ref.compute(positions_d_, md::PeriodicBox(edge_), lj, 1.0);
+
+  double pe_spe = 0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    const double scale = std::fabs(expect.accelerations[i].x) + 1.0;
+    EXPECT_NEAR(spe[i].x, expect.accelerations[i].x, 5e-3 * scale);
+    pe_spe += spe[i].w;
+  }
+  EXPECT_NEAR(pe_spe, expect.potential_energy,
+              5e-4 * std::fabs(expect.potential_energy));
+}
+
+TEST_F(SpeKernelTest, PairStatsMatchBruteForce) {
+  load_fluid(64);
+  run(SimdVariant::kSimdAccel);
+  EXPECT_EQ(last_result_.stats.candidates, 64u * 63u);
+  EXPECT_GT(last_result_.stats.interacting, 0u);
+  EXPECT_LT(last_result_.stats.interacting, last_result_.stats.candidates);
+}
+
+TEST_F(SpeKernelTest, PartialRangeComputesOnlyOwnedAtoms) {
+  load_fluid(64);
+  params_.i_begin = 16;
+  params_.i_end = 32;
+  // Poison the output array to detect stray writes.
+  auto* acc = ls_.data_at<emdpa::Vec4f>(ls_acc_, n_);
+  for (std::size_t i = 0; i < n_; ++i) acc[i] = {-99, -99, -99, -99};
+
+  const auto result = run(SimdVariant::kSimdAccel);
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_EQ(result[i].x, -99.0f);
+  for (std::size_t i = 16; i < 32; ++i) EXPECT_NE(result[i].x, -99.0f);
+  for (std::size_t i = 32; i < n_; ++i) EXPECT_EQ(result[i].x, -99.0f);
+  EXPECT_EQ(last_result_.stats.candidates, 16u * 63u);
+}
+
+TEST_F(SpeKernelTest, DisjointRangesTileTheWholeProblem) {
+  load_fluid(64);
+  // 4 SPE-like slices whose stats must sum to the full run's stats.
+  std::uint64_t candidates = 0;
+  for (int s = 0; s < 4; ++s) {
+    params_.i_begin = static_cast<std::uint32_t>(s * 16);
+    params_.i_end = static_cast<std::uint32_t>((s + 1) * 16);
+    run(SimdVariant::kSimdAccel);
+    candidates += last_result_.stats.candidates;
+  }
+  EXPECT_EQ(candidates, 64u * 63u);
+}
+
+TEST_F(SpeKernelTest, InvalidRangeThrows) {
+  load_fluid(32);
+  params_.i_begin = 20;
+  params_.i_end = 10;
+  EXPECT_THROW(run(SimdVariant::kOriginal), ContractViolation);
+  params_.i_begin = 0;
+  params_.i_end = 33;
+  EXPECT_THROW(run(SimdVariant::kOriginal), ContractViolation);
+}
+
+TEST_F(SpeKernelTest, WorkCountsShrinkAcrossTheStaircase) {
+  load_fluid(125);
+  SpeOpCosts costs;  // default calibration
+  double prev_cycles = 1e300;
+  for (auto v : kAllSimdVariants) {
+    run(v);
+    const double cycles = last_result_.work.cycles(costs).value();
+    EXPECT_LT(cycles, prev_cycles * 1.001) << to_string(v);
+    prev_cycles = cycles;
+  }
+}
+
+TEST_F(SpeKernelTest, OriginalVariantIsBranchHeavy) {
+  load_fluid(64);
+  run(SimdVariant::kOriginal);
+  const auto original_branches = last_result_.work.branch_taken;
+  run(SimdVariant::kSimdAccel);
+  EXPECT_GT(original_branches, 2 * last_result_.work.branch_taken);
+}
+
+TEST_F(SpeKernelTest, SimdVariantsShiftWorkFromScalarToSimd) {
+  load_fluid(64);
+  run(SimdVariant::kOriginal);
+  const auto scalar_v0 = last_result_.work.scalar;
+  EXPECT_EQ(last_result_.work.simd, 0u);  // fully scalar port
+  run(SimdVariant::kSimdAccel);
+  EXPECT_LT(last_result_.work.scalar, scalar_v0 / 3);
+  EXPECT_GT(last_result_.work.simd, 0u);
+}
+
+TEST(SimdVariantNames, AreUniqueAndStable) {
+  EXPECT_STREQ(to_string(SimdVariant::kOriginal), "original");
+  EXPECT_STREQ(to_string(SimdVariant::kSimdReflect), "simd-unit-cell-reflection");
+  EXPECT_STREQ(to_string(SimdVariant::kSimdAccel), "simd-acceleration");
+}
+
+}  // namespace
+}  // namespace emdpa::cell

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "cellsim/spe_simd.h"
+
+namespace emdpa::cell {
+namespace {
+
+TEST(SpeSimd, SplatsFillAllLanes) {
+  const vfloat4 v = spu_splats(2.5f);
+  for (int l = 0; l < 4; ++l) EXPECT_EQ(v.lane[l], 2.5f);
+}
+
+TEST(SpeSimd, Vec4RoundTrip) {
+  const emdpa::Vec4f src{1, 2, 3, 4};
+  EXPECT_EQ(vfloat4::from(src).to_vec4(), src);
+}
+
+TEST(SpeSimd, LaneWiseArithmetic) {
+  const vfloat4 a{{1, 2, 3, 4}};
+  const vfloat4 b{{10, 20, 30, 40}};
+  const vfloat4 sum = spu_add(a, b);
+  const vfloat4 diff = spu_sub(b, a);
+  const vfloat4 prod = spu_mul(a, b);
+  for (int l = 0; l < 4; ++l) {
+    EXPECT_EQ(sum.lane[l], a.lane[l] + b.lane[l]);
+    EXPECT_EQ(diff.lane[l], b.lane[l] - a.lane[l]);
+    EXPECT_EQ(prod.lane[l], a.lane[l] * b.lane[l]);
+  }
+}
+
+TEST(SpeSimd, AbsClearsSignBit) {
+  const vfloat4 v{{-1.0f, 2.0f, -0.0f, -3.5f}};
+  const vfloat4 a = spu_abs(v);
+  EXPECT_EQ(a.lane[0], 1.0f);
+  EXPECT_EQ(a.lane[1], 2.0f);
+  EXPECT_EQ(a.lane[2], 0.0f);
+  EXPECT_EQ(a.lane[3], 3.5f);
+}
+
+TEST(SpeSimd, CopysignMergesSigns) {
+  const vfloat4 mag{{1, 2, 3, 4}};
+  const vfloat4 sign{{-1, 1, -0.0f, 5}};
+  const vfloat4 r = spu_copysign(mag, sign);
+  EXPECT_EQ(r.lane[0], -1.0f);
+  EXPECT_EQ(r.lane[1], 2.0f);
+  EXPECT_EQ(r.lane[2], -3.0f);
+  EXPECT_EQ(r.lane[3], 4.0f);
+}
+
+TEST(SpeSimd, CompareGreaterThanPerLane) {
+  const vfloat4 a{{1, 5, 3, 0}};
+  const vfloat4 b{{2, 2, 3, -1}};
+  const vmask4 m = spu_cmpgt(a, b);
+  EXPECT_FALSE(m.lane[0]);
+  EXPECT_TRUE(m.lane[1]);
+  EXPECT_FALSE(m.lane[2]);  // equal is not greater
+  EXPECT_TRUE(m.lane[3]);
+}
+
+TEST(SpeSimd, SelectPicksBWhereMaskTrue) {
+  const vfloat4 a{{1, 1, 1, 1}};
+  const vfloat4 b{{9, 9, 9, 9}};
+  const vmask4 m{{true, false, true, false}};
+  const vfloat4 r = spu_sel(a, b, m);
+  EXPECT_EQ(r.lane[0], 9.0f);
+  EXPECT_EQ(r.lane[1], 1.0f);
+  EXPECT_EQ(r.lane[2], 9.0f);
+  EXPECT_EQ(r.lane[3], 1.0f);
+}
+
+TEST(SpeSimd, ExtractAndInsert) {
+  vfloat4 v{{1, 2, 3, 4}};
+  EXPECT_EQ(spu_extract(v, 2), 3.0f);
+  v = spu_insert(99.0f, v, 1);
+  EXPECT_EQ(v.lane[1], 99.0f);
+  EXPECT_EQ(v.lane[0], 1.0f);
+}
+
+TEST(SpeSimd, SimdMatchesScalarArithmeticBitExactly) {
+  // The Fig-5 equivalence hinges on SIMD lanes computing exactly what the
+  // scalar path computes.
+  const float xs[4] = {1.7f, -2.3f, 0.001f, 12345.678f};
+  const float ys[4] = {0.9f, 4.25f, -7.5f, 0.333f};
+  vfloat4 a{{xs[0], xs[1], xs[2], xs[3]}};
+  vfloat4 b{{ys[0], ys[1], ys[2], ys[3]}};
+  const vfloat4 r = spu_mul(spu_add(a, b), spu_sub(a, b));
+  for (int l = 0; l < 4; ++l) {
+    const float expect = (xs[l] + ys[l]) * (xs[l] - ys[l]);
+    EXPECT_EQ(r.lane[l], expect);
+  }
+}
+
+}  // namespace
+}  // namespace emdpa::cell

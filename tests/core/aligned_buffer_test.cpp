@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+
+#include "core/aligned_buffer.h"
+#include "core/error.h"
+#include "core/vec4.h"
+
+namespace emdpa {
+namespace {
+
+TEST(AlignedBuffer, DataIs16ByteAligned) {
+  for (std::size_t count : {1u, 3u, 17u, 1000u}) {
+    AlignedBuffer<float> buf(count);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % 16, 0u);
+    EXPECT_EQ(buf.size(), count);
+  }
+}
+
+TEST(AlignedBuffer, CustomAlignment) {
+  AlignedBuffer<double, 64> buf(5);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % 64, 0u);
+}
+
+TEST(AlignedBuffer, ValueInitialised) {
+  AlignedBuffer<Vec4f> buf(8);
+  for (const auto& v : buf) EXPECT_EQ(v, Vec4f{});
+}
+
+TEST(AlignedBuffer, ElementAccess) {
+  AlignedBuffer<int> buf(4);
+  buf[2] = 42;
+  const auto& cbuf = buf;
+  EXPECT_EQ(cbuf[2], 42);
+}
+
+TEST(AlignedBuffer, RangeForWorks) {
+  AlignedBuffer<int> buf(5);
+  int k = 0;
+  for (auto& v : buf) v = k++;
+  EXPECT_EQ(buf[4], 4);
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer<int> a(3);
+  a[0] = 7;
+  AlignedBuffer<int> b(std::move(a));
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(b[0], 7);
+  EXPECT_EQ(a.data(), nullptr);
+
+  AlignedBuffer<int> c(1);
+  c = std::move(b);
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c[0], 7);
+}
+
+TEST(AlignedBuffer, RejectsEmpty) {
+  EXPECT_THROW(AlignedBuffer<int> buf(0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace emdpa

@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/csv.h"
+
+namespace emdpa {
+namespace {
+
+TEST(CsvWriter, PlainRow) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.write_row({"a", "b", "c"});
+  EXPECT_EQ(os.str(), "a,b,c\n");
+}
+
+TEST(CsvWriter, QuotesFieldsWithCommas) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.write_row({"x,y", "z"});
+  EXPECT_EQ(os.str(), "\"x,y\",z\n");
+}
+
+TEST(CsvWriter, EscapesEmbeddedQuotes) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.write_row({"say \"hi\""});
+  EXPECT_EQ(os.str(), "\"say \"\"hi\"\"\"\n");
+}
+
+TEST(CsvWriter, QuotesNewlines) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.write_row({"two\nlines"});
+  EXPECT_EQ(os.str(), "\"two\nlines\"\n");
+}
+
+TEST(CsvWriter, NumericRow) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.write_row("row", {1.0, 2.5});
+  EXPECT_EQ(os.str(), "row,1,2.5\n");
+}
+
+TEST(CsvWriter, MultipleRows) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.write_row({"h1", "h2"});
+  csv.write_row({"1", "2"});
+  EXPECT_EQ(os.str(), "h1,h2\n1,2\n");
+}
+
+}  // namespace
+}  // namespace emdpa

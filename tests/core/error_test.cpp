@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+
+namespace emdpa {
+namespace {
+
+TEST(Error, RequirePassesOnTrue) {
+  EXPECT_NO_THROW(EMDPA_REQUIRE(1 + 1 == 2, "math works"));
+}
+
+TEST(Error, RequireThrowsContractViolation) {
+  EXPECT_THROW(EMDPA_REQUIRE(false, "nope"), ContractViolation);
+}
+
+TEST(Error, MessageIncludesExpressionAndContext) {
+  try {
+    EMDPA_REQUIRE(2 > 3, "two is not bigger");
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 > 3"), std::string::npos);
+    EXPECT_NE(what.find("two is not bigger"), std::string::npos);
+    EXPECT_NE(what.find("error_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, ContractViolationIsLogicError) {
+  EXPECT_THROW(
+      { throw ContractViolation("x"); }, std::logic_error);
+}
+
+TEST(Error, RuntimeFailureIsRuntimeError) {
+  EXPECT_THROW(
+      { throw RuntimeFailure("x"); }, std::runtime_error);
+}
+
+TEST(Error, EnsureBehavesLikeRequire) {
+  EXPECT_THROW(EMDPA_ENSURE(false, "invariant"), ContractViolation);
+}
+
+TEST(Error, SideEffectsEvaluatedExactlyOnce) {
+  int calls = 0;
+  auto check = [&] {
+    ++calls;
+    return true;
+  };
+  EMDPA_REQUIRE(check(), "once");
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace emdpa

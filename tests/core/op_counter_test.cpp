@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "core/op_counter.h"
+
+namespace emdpa {
+namespace {
+
+TEST(OpCounter, UnknownNameIsZero) {
+  OpCounter c;
+  EXPECT_EQ(c.get("nothing"), 0u);
+}
+
+TEST(OpCounter, AddDefaultsToOne) {
+  OpCounter c;
+  c.add("event");
+  EXPECT_EQ(c.get("event"), 1u);
+}
+
+TEST(OpCounter, AddAccumulates) {
+  OpCounter c;
+  c.add("flops", 100);
+  c.add("flops", 23);
+  EXPECT_EQ(c.get("flops"), 123u);
+}
+
+TEST(OpCounter, IndependentCounters) {
+  OpCounter c;
+  c.add("a", 1);
+  c.add("b", 2);
+  EXPECT_EQ(c.get("a"), 1u);
+  EXPECT_EQ(c.get("b"), 2u);
+}
+
+TEST(OpCounter, MergeSumsByName) {
+  OpCounter a, b;
+  a.add("x", 10);
+  a.add("y", 1);
+  b.add("x", 5);
+  b.add("z", 7);
+  a.merge(b);
+  EXPECT_EQ(a.get("x"), 15u);
+  EXPECT_EQ(a.get("y"), 1u);
+  EXPECT_EQ(a.get("z"), 7u);
+}
+
+TEST(OpCounter, ClearResets) {
+  OpCounter c;
+  c.add("x", 5);
+  c.clear();
+  EXPECT_EQ(c.get("x"), 0u);
+  EXPECT_TRUE(c.entries().empty());
+}
+
+TEST(OpCounter, EntriesSortedByName) {
+  OpCounter c;
+  c.add("zeta", 1);
+  c.add("alpha", 2);
+  c.add("mid", 3);
+  std::vector<std::string> names;
+  for (const auto& [name, count] : c.entries()) names.push_back(name);
+  EXPECT_EQ(names, (std::vector<std::string>{"alpha", "mid", "zeta"}));
+}
+
+TEST(OpCounter, ToStringListsAll) {
+  OpCounter c;
+  c.add("a", 1);
+  c.add("b", 2);
+  EXPECT_EQ(c.to_string(), "a = 1\nb = 2\n");
+}
+
+}  // namespace
+}  // namespace emdpa

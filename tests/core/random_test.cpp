@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/error.h"
+#include "core/random.h"
+
+namespace emdpa {
+namespace {
+
+TEST(SplitMix64, KnownSequenceFromSeedZero) {
+  // Reference values of SplitMix64 with seed 0 (widely published).
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xE220A8397B1DCDAFull);
+  EXPECT_EQ(sm.next(), 0x6E789E6AA1B965F4ull);
+  EXPECT_EQ(sm.next(), 0x06C45D188009454Full);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng(123);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexStaysInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.uniform_index(13), 13u);
+}
+
+TEST(Rng, UniformIndexCoversAllValues) {
+  Rng rng(10);
+  std::vector<int> seen(8, 0);
+  for (int i = 0; i < 8000; ++i) ++seen[rng.uniform_index(8)];
+  for (int count : seen) EXPECT_GT(count, 800);  // ~1000 each
+}
+
+TEST(Rng, UniformIndexRejectsZero) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_index(0), ContractViolation);
+}
+
+TEST(Rng, GaussianMomentsMatchStandardNormal) {
+  Rng rng(77);
+  const int n = 200000;
+  double sum = 0, sum_sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.02);
+}
+
+TEST(Rng, GaussianWithParameters) {
+  Rng rng(55);
+  const int n = 100000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += rng.gaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, PointInBoxStaysInside) {
+  Rng rng(3);
+  const Vec3d extent{2.0, 3.0, 4.0};
+  for (int i = 0; i < 1000; ++i) {
+    const Vec3d p = rng.point_in_box(extent);
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LT(p.x, 2.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LT(p.y, 3.0);
+    EXPECT_GE(p.z, 0.0);
+    EXPECT_LT(p.z, 4.0);
+  }
+}
+
+}  // namespace
+}  // namespace emdpa

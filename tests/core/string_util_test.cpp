@@ -1,0 +1,52 @@
+#include <gtest/gtest.h>
+
+#include "core/string_util.h"
+
+namespace emdpa {
+namespace {
+
+TEST(FormatFixed, RespectsPrecision) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(3.14159, 4), "3.1416");
+  EXPECT_EQ(format_fixed(2.0, 3), "2.000");
+}
+
+TEST(FormatAuto, ZeroIsZero) {
+  EXPECT_EQ(format_auto(0.0), "0");
+}
+
+TEST(FormatAuto, ModerateMagnitudesAreFixed) {
+  EXPECT_EQ(format_auto(1.5), "1.5");
+  EXPECT_EQ(format_auto(1234.0), "1234");
+}
+
+TEST(FormatAuto, ExtremeMagnitudesAreScientific) {
+  EXPECT_NE(format_auto(1e-7).find('e'), std::string::npos);
+  EXPECT_NE(format_auto(1e9).find('e'), std::string::npos);
+}
+
+TEST(Padding, PadLeft) {
+  EXPECT_EQ(pad_left("ab", 5), "   ab");
+  EXPECT_EQ(pad_left("abcdef", 3), "abcdef");
+}
+
+TEST(Padding, PadRight) {
+  EXPECT_EQ(pad_right("ab", 5), "ab   ");
+  EXPECT_EQ(pad_right("abcdef", 3), "abcdef");
+}
+
+TEST(Join, JoinsWithSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(EndsWith, Basics) {
+  EXPECT_TRUE(ends_with("hello.csv", ".csv"));
+  EXPECT_FALSE(ends_with("hello.txt", ".csv"));
+  EXPECT_FALSE(ends_with("v", ".csv"));
+  EXPECT_TRUE(ends_with("x", ""));
+}
+
+}  // namespace
+}  // namespace emdpa

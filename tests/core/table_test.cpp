@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "core/table.h"
+
+namespace emdpa {
+namespace {
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), ContractViolation);
+}
+
+TEST(Table, RejectsMismatchedRowArity) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(Table, CountsRows) {
+  Table t({"n", "time"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"256", "1.0"});
+  t.add_row({"512", "4.0"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, NumericRowFormatting) {
+  Table t({"label", "v"});
+  t.add_row("x", {1.23456}, 2);
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("1.23"), std::string::npos);
+  EXPECT_EQ(out.find("1.234"), std::string::npos);
+}
+
+TEST(Table, RendersHeaderRuleAndRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  const std::string out = t.to_string();
+  // Header, rule, one row -> 3 lines.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, ColumnsAlign) {
+  Table t({"n", "runtime"});
+  t.add_row({"8", "1"});
+  t.add_row({"1024", "123"});
+  const std::string out = t.to_string();
+  // All lines equal length (aligned columns).
+  std::size_t prev = std::string::npos;
+  std::size_t start = 0;
+  while (start < out.size()) {
+    const std::size_t end = out.find('\n', start);
+    const std::size_t len = end - start;
+    if (prev != std::string::npos) {
+      EXPECT_EQ(len, prev);
+    }
+    prev = len;
+    start = end + 1;
+  }
+}
+
+}  // namespace
+}  // namespace emdpa

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/error.h"
+#include "core/time_model.h"
+
+namespace emdpa {
+namespace {
+
+TEST(ModelTime, Constructors) {
+  EXPECT_DOUBLE_EQ(ModelTime::seconds(2.0).to_seconds(), 2.0);
+  EXPECT_DOUBLE_EQ(ModelTime::milliseconds(1500.0).to_seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(ModelTime::microseconds(250.0).to_seconds(), 250e-6);
+  EXPECT_DOUBLE_EQ(ModelTime::zero().to_seconds(), 0.0);
+}
+
+TEST(ModelTime, MillisecondView) {
+  EXPECT_DOUBLE_EQ(ModelTime::seconds(0.5).to_milliseconds(), 500.0);
+}
+
+TEST(ModelTime, Arithmetic) {
+  const auto a = ModelTime::seconds(1.0);
+  const auto b = ModelTime::seconds(2.5);
+  EXPECT_DOUBLE_EQ((a + b).to_seconds(), 3.5);
+  EXPECT_DOUBLE_EQ((b - a).to_seconds(), 1.5);
+  EXPECT_DOUBLE_EQ((a * 4.0).to_seconds(), 4.0);
+  EXPECT_DOUBLE_EQ((4.0 * a).to_seconds(), 4.0);
+  EXPECT_DOUBLE_EQ(b / a, 2.5);
+}
+
+TEST(ModelTime, Comparisons) {
+  EXPECT_LT(ModelTime::seconds(1.0), ModelTime::seconds(2.0));
+  EXPECT_EQ(ModelTime::seconds(1.0), ModelTime::milliseconds(1000.0));
+}
+
+TEST(ModelTime, DefaultIsZero) {
+  ModelTime t;
+  EXPECT_EQ(t, ModelTime::zero());
+}
+
+TEST(ModelTime, StreamOutput) {
+  std::ostringstream os;
+  os << ModelTime::seconds(2.0);
+  EXPECT_EQ(os.str(), "2 s");
+}
+
+TEST(CycleCount, AccumulatesAndScales) {
+  CycleCount c(100.0);
+  c += CycleCount(50.0);
+  EXPECT_DOUBLE_EQ(c.value(), 150.0);
+  EXPECT_DOUBLE_EQ((c * 2.0).value(), 300.0);
+  EXPECT_DOUBLE_EQ((2.0 * c).value(), 300.0);
+}
+
+TEST(ClockDomain, CyclesToTime) {
+  const ClockDomain clock(1.0e9);  // 1 GHz
+  EXPECT_DOUBLE_EQ(clock.to_time(CycleCount(1.0e9)).to_seconds(), 1.0);
+  EXPECT_DOUBLE_EQ(clock.to_time(CycleCount(500.0)).to_seconds(), 500e-9);
+}
+
+TEST(ClockDomain, TimeToCycles) {
+  const ClockDomain clock(2.2e9);
+  EXPECT_DOUBLE_EQ(clock.to_cycles(ModelTime::seconds(1.0)).value(), 2.2e9);
+}
+
+TEST(ClockDomain, RoundTrip) {
+  const ClockDomain clock(3.2e9);
+  const CycleCount c(123456.0);
+  EXPECT_NEAR(clock.to_cycles(clock.to_time(c)).value(), c.value(), 1e-6);
+}
+
+TEST(ClockDomain, RejectsNonPositiveFrequency) {
+  EXPECT_THROW(ClockDomain(0.0), ContractViolation);
+  EXPECT_THROW(ClockDomain(-1.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace emdpa

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/vec3.h"
+#include "core/vec4.h"
+
+namespace emdpa {
+namespace {
+
+TEST(Vec3, DefaultIsZero) {
+  Vec3d v;
+  EXPECT_EQ(v.x, 0.0);
+  EXPECT_EQ(v.y, 0.0);
+  EXPECT_EQ(v.z, 0.0);
+}
+
+TEST(Vec3, SplatBroadcasts) {
+  const auto v = Vec3d::splat(2.5);
+  EXPECT_EQ(v, (Vec3d{2.5, 2.5, 2.5}));
+}
+
+TEST(Vec3, AdditionAndSubtraction) {
+  const Vec3d a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_EQ(a + b, (Vec3d{5, 7, 9}));
+  EXPECT_EQ(b - a, (Vec3d{3, 3, 3}));
+}
+
+TEST(Vec3, ScalarMultiplicationCommutes) {
+  const Vec3d a{1, -2, 3};
+  EXPECT_EQ(a * 2.0, 2.0 * a);
+  EXPECT_EQ(a * 2.0, (Vec3d{2, -4, 6}));
+}
+
+TEST(Vec3, Division) {
+  const Vec3d a{2, 4, 8};
+  EXPECT_EQ(a / 2.0, (Vec3d{1, 2, 4}));
+}
+
+TEST(Vec3, Negation) {
+  const Vec3d a{1, -2, 3};
+  EXPECT_EQ(-a, (Vec3d{-1, 2, -3}));
+}
+
+TEST(Vec3, CompoundAssignment) {
+  Vec3d a{1, 1, 1};
+  a += {1, 2, 3};
+  EXPECT_EQ(a, (Vec3d{2, 3, 4}));
+  a -= {1, 1, 1};
+  EXPECT_EQ(a, (Vec3d{1, 2, 3}));
+  a *= 3.0;
+  EXPECT_EQ(a, (Vec3d{3, 6, 9}));
+  a /= 3.0;
+  EXPECT_EQ(a, (Vec3d{1, 2, 3}));
+}
+
+TEST(Vec3, DotProduct) {
+  EXPECT_DOUBLE_EQ(dot(Vec3d{1, 2, 3}, Vec3d{4, 5, 6}), 32.0);
+}
+
+TEST(Vec3, DotOfOrthogonalVectorsIsZero) {
+  EXPECT_DOUBLE_EQ(dot(Vec3d{1, 0, 0}, Vec3d{0, 1, 0}), 0.0);
+}
+
+TEST(Vec3, LengthSquaredMatchesDot) {
+  const Vec3d a{3, 4, 12};
+  EXPECT_DOUBLE_EQ(length_squared(a), dot(a, a));
+  EXPECT_DOUBLE_EQ(length(a), 13.0);
+}
+
+TEST(Vec3, Hadamard) {
+  EXPECT_EQ(hadamard(Vec3d{1, 2, 3}, Vec3d{4, 5, 6}), (Vec3d{4, 10, 18}));
+}
+
+TEST(Vec3, PrecisionCast) {
+  const Vec3d a{1.5, -2.25, 3.125};  // exactly representable in float
+  const Vec3f f = vec_cast<float>(a);
+  EXPECT_EQ(f, (Vec3f{1.5f, -2.25f, 3.125f}));
+  const Vec3d back = vec_cast<double>(f);
+  EXPECT_EQ(back, a);
+}
+
+TEST(Vec3, StreamOutput) {
+  std::ostringstream os;
+  os << Vec3d{1, 2, 3};
+  EXPECT_EQ(os.str(), "(1, 2, 3)");
+}
+
+TEST(Vec4, DefaultIsZero) {
+  Vec4f v;
+  EXPECT_EQ(v, (Vec4f{0, 0, 0, 0}));
+}
+
+TEST(Vec4, FromVec3SetsW) {
+  const Vec4f v(Vec3f{1, 2, 3}, 7.0f);
+  EXPECT_EQ(v, (Vec4f{1, 2, 3, 7}));
+  EXPECT_EQ(Vec4f(Vec3f{1, 2, 3}).w, 0.0f);
+}
+
+TEST(Vec4, XyzDropsW) {
+  const Vec4f v{1, 2, 3, 99};
+  EXPECT_EQ(v.xyz(), (Vec3f{1, 2, 3}));
+}
+
+TEST(Vec4, Arithmetic) {
+  const Vec4f a{1, 2, 3, 4}, b{5, 6, 7, 8};
+  EXPECT_EQ(a + b, (Vec4f{6, 8, 10, 12}));
+  EXPECT_EQ(b - a, (Vec4f{4, 4, 4, 4}));
+  EXPECT_EQ(a * 2.0f, (Vec4f{2, 4, 6, 8}));
+}
+
+TEST(Vec4, Dot3IgnoresW) {
+  const Vec4f a{1, 2, 3, 100}, b{4, 5, 6, 100};
+  EXPECT_FLOAT_EQ(dot3(a, b), 32.0f);
+  EXPECT_FLOAT_EQ(dot(a, b), 32.0f + 10000.0f);
+}
+
+TEST(Vec4, Splat) {
+  EXPECT_EQ(Vec4f::splat(3.0f), (Vec4f{3, 3, 3, 3}));
+}
+
+TEST(Vec4, PrecisionCastRoundTrips) {
+  const Vec4d a{0.5, 0.25, -0.125, 8.0};
+  EXPECT_EQ(vec_cast<double>(vec_cast<float>(a)), a);
+}
+
+}  // namespace
+}  // namespace emdpa

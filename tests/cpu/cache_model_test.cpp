@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "cpu/cache_model.h"
+
+namespace emdpa::opteron {
+namespace {
+
+CacheConfig tiny_cache() {
+  // 4 sets x 2 ways x 64 B lines = 512 B.
+  return {512, 64, 2};
+}
+
+TEST(CacheLevel, ValidatesGeometry) {
+  EXPECT_THROW(CacheLevel({100, 60, 2}), ContractViolation);   // line not pow2
+  EXPECT_THROW(CacheLevel({512, 64, 0}), ContractViolation);   // no ways
+  EXPECT_THROW(CacheLevel({500, 64, 2}), ContractViolation);   // not divisible
+}
+
+TEST(CacheLevel, FirstAccessMissesThenHits) {
+  CacheLevel cache(tiny_cache());
+  EXPECT_FALSE(cache.access(0x1000));
+  EXPECT_TRUE(cache.access(0x1000));
+  EXPECT_TRUE(cache.access(0x1030));  // same 64B line
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 2u);
+}
+
+TEST(CacheLevel, DistinctLinesMissSeparately) {
+  CacheLevel cache(tiny_cache());
+  cache.access(0x0000);
+  cache.access(0x0040);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(CacheLevel, AssociativityHoldsConflictingLines) {
+  CacheLevel cache(tiny_cache());  // 4 sets -> set stride 256 B
+  // Two lines mapping to set 0: offsets 0 and 256.
+  cache.access(0x0000);
+  cache.access(0x0100);
+  EXPECT_TRUE(cache.access(0x0000));
+  EXPECT_TRUE(cache.access(0x0100));
+}
+
+TEST(CacheLevel, LruEvictionOnThirdConflict) {
+  CacheLevel cache(tiny_cache());
+  cache.access(0x0000);  // set 0, way A
+  cache.access(0x0100);  // set 0, way B
+  cache.access(0x0200);  // set 0 -> evicts 0x0000 (LRU)
+  EXPECT_FALSE(cache.access(0x0000));  // was evicted
+  EXPECT_TRUE(cache.access(0x0200));
+}
+
+TEST(CacheLevel, LruUpdatedByHits) {
+  CacheLevel cache(tiny_cache());
+  cache.access(0x0000);
+  cache.access(0x0100);
+  cache.access(0x0000);  // touch A again: B is now LRU
+  cache.access(0x0200);  // evicts B
+  EXPECT_TRUE(cache.access(0x0000));
+  EXPECT_FALSE(cache.access(0x0100));
+}
+
+TEST(CacheLevel, ResetStatsKeepsContents) {
+  CacheLevel cache(tiny_cache());
+  cache.access(0x0000);
+  cache.reset_stats();
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_TRUE(cache.access(0x0000));  // still resident
+}
+
+TEST(CacheLevel, InvalidateAllEmptiesCache) {
+  CacheLevel cache(tiny_cache());
+  cache.access(0x0000);
+  cache.invalidate_all();
+  EXPECT_FALSE(cache.access(0x0000));
+}
+
+TEST(CacheLevel, StreamingBeyondCapacityMissesEverything) {
+  CacheLevel cache(tiny_cache());  // 512 B capacity
+  // Stream 4 KB twice: second pass still misses every line (LRU streaming).
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::uint64_t addr = 0; addr < 4096; addr += 64) cache.access(addr);
+  }
+  EXPECT_EQ(cache.misses(), 128u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(CacheLevel, WorkingSetWithinCapacityFullyHitsOnSecondPass) {
+  CacheLevel cache(tiny_cache());
+  for (std::uint64_t addr = 0; addr < 512; addr += 64) cache.access(addr);
+  cache.reset_stats();
+  for (std::uint64_t addr = 0; addr < 512; addr += 64) cache.access(addr);
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_EQ(cache.hits(), 8u);
+}
+
+TEST(MemoryHierarchy, L1MissProbesL2) {
+  MemoryHierarchy mem(tiny_cache(), CacheConfig{2048, 64, 4});
+  mem.access(0x0000, 8);
+  EXPECT_EQ(mem.l1_misses(), 1u);
+  EXPECT_EQ(mem.l2_misses(), 1u);
+  mem.access(0x0000, 8);  // L1 hit, L2 untouched
+  EXPECT_EQ(mem.l1_misses(), 1u);
+  EXPECT_EQ(mem.l2_misses(), 1u);
+}
+
+TEST(MemoryHierarchy, L2CatchesL1CapacityMisses) {
+  // L1 512 B, L2 8 KB: a 4 KB working set thrashes L1 but lives in L2.
+  MemoryHierarchy mem(tiny_cache(), CacheConfig{8192, 64, 8});
+  for (std::uint64_t addr = 0; addr < 4096; addr += 64) mem.access(addr, 8);
+  const auto l2_after_first = mem.l2_misses();
+  for (std::uint64_t addr = 0; addr < 4096; addr += 64) mem.access(addr, 8);
+  EXPECT_GT(mem.l1_misses(), 64u);             // L1 missed on the second pass too
+  EXPECT_EQ(mem.l2_misses(), l2_after_first);  // but L2 absorbed all of them
+}
+
+TEST(MemoryHierarchy, StraddlingAccessTouchesBothLines) {
+  MemoryHierarchy mem(tiny_cache(), CacheConfig{2048, 64, 4});
+  mem.access(60, 8);  // spans lines 0 and 1
+  EXPECT_EQ(mem.l1_misses(), 2u);
+  EXPECT_EQ(mem.accesses(), 2u);
+}
+
+TEST(MemoryHierarchy, ZeroByteAccessRejected) {
+  MemoryHierarchy mem(tiny_cache(), CacheConfig{2048, 64, 4});
+  EXPECT_THROW(mem.access(0, 0), ContractViolation);
+}
+
+TEST(MemoryHierarchy, OpteronGeometryAcceptsDefaultConfigs) {
+  MemoryHierarchy mem(CacheConfig{64 * 1024, 64, 2},
+                      CacheConfig{1024 * 1024, 64, 16});
+  mem.access(0x12345678, 24);
+  EXPECT_GE(mem.accesses(), 1u);
+}
+
+}  // namespace
+}  // namespace emdpa::opteron

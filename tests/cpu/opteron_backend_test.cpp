@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cpu/opteron_backend.h"
+#include "md/backend.h"
+
+namespace emdpa::opteron {
+namespace {
+
+md::RunConfig small_config(std::size_t n = 128, int steps = 5) {
+  md::RunConfig cfg;
+  cfg.workload.n_atoms = n;
+  cfg.steps = steps;
+  return cfg;
+}
+
+TEST(OpteronBackend, NameAndPrecision) {
+  OpteronBackend backend;
+  EXPECT_EQ(backend.name(), "opteron-2.2ghz");
+  EXPECT_EQ(backend.precision(), "double");
+}
+
+TEST(OpteronBackend, ProducesEnergiesPerStepPlusPrime) {
+  OpteronBackend backend;
+  const auto r = backend.run(small_config(128, 5));
+  EXPECT_EQ(r.energies.size(), 6u);
+  EXPECT_EQ(r.step_times.size(), 5u);
+}
+
+TEST(OpteronBackend, PhysicsMatchesHostReference) {
+  OpteronBackend opteron;
+  md::HostReferenceBackend host;
+  const auto cfg = small_config(128, 5);
+  const auto a = opteron.run(cfg);
+  const auto b = host.run(cfg);
+  ASSERT_EQ(a.energies.size(), b.energies.size());
+  for (std::size_t s = 0; s < a.energies.size(); ++s) {
+    EXPECT_NEAR(a.energies[s].kinetic, b.energies[s].kinetic, 1e-9);
+    EXPECT_NEAR(a.energies[s].potential, b.energies[s].potential, 1e-9);
+  }
+  for (std::size_t i = 0; i < a.final_state.size(); ++i) {
+    EXPECT_NEAR(a.final_state.positions()[i].x, b.final_state.positions()[i].x,
+                1e-9);
+  }
+}
+
+TEST(OpteronBackend, DeviceTimeEqualsSumOfStepTimes) {
+  OpteronBackend backend;
+  const auto r = backend.run(small_config(128, 4));
+  ModelTime sum;
+  for (const auto& t : r.step_times) sum += t;
+  EXPECT_NEAR(sum.to_seconds(), r.device_time.to_seconds(), 1e-12);
+}
+
+TEST(OpteronBackend, StepTimesRoughlyUniform) {
+  OpteronBackend backend;
+  const auto r = backend.run(small_config(256, 5));
+  const double first = r.step_times.front().to_seconds();
+  for (const auto& t : r.step_times) {
+    EXPECT_NEAR(t.to_seconds(), first, 0.3 * first);
+  }
+}
+
+TEST(OpteronBackend, QuadraticScalingOfDeviceTime) {
+  OpteronBackend backend;
+  const auto small = backend.run(small_config(128, 2));
+  const auto big = backend.run(small_config(512, 2));
+  const double ratio = big.device_time / small.device_time;
+  EXPECT_GT(ratio, 10.0);  // ~16x pair work
+  EXPECT_LT(ratio, 24.0);
+}
+
+TEST(OpteronBackend, ReportsCacheCounters) {
+  OpteronBackend backend;
+  const auto r = backend.run(small_config(128, 2));
+  EXPECT_GT(r.ops.get("opteron.flops"), 0u);
+  // Cold-start misses at least load the arrays once.
+  EXPECT_GT(r.ops.get("opteron.l1_misses"), 0u);
+}
+
+TEST(OpteronBackend, BreakdownIsAllCompute) {
+  OpteronBackend backend;
+  const auto r = backend.run(small_config(128, 2));
+  EXPECT_NEAR(r.breakdown_component("compute").to_seconds(),
+              r.device_time.to_seconds(), 1e-12);
+}
+
+}  // namespace
+}  // namespace emdpa::opteron

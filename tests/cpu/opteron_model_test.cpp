@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cpu/opteron_model.h"
+#include "md/reference_kernel.h"
+#include "md/workload.h"
+
+namespace emdpa::opteron {
+namespace {
+
+md::Workload small_fluid(std::size_t n = 125) {
+  md::WorkloadSpec spec;
+  spec.n_atoms = n;
+  return md::make_lattice_workload(spec);
+}
+
+TEST(InstructionProfile, Search27IsByFarTheHeaviest) {
+  const auto s27 = profile_for(md::MinImageStrategy::kSearch27);
+  const auto round = profile_for(md::MinImageStrategy::kRound);
+  const auto branchy = profile_for(md::MinImageStrategy::kBranchy);
+  const auto copysign = profile_for(md::MinImageStrategy::kCopysign);
+  EXPECT_GT(s27.per_candidate, 8 * round.per_candidate);
+  EXPECT_LT(branchy.per_candidate, copysign.per_candidate);
+  EXPECT_LT(copysign.per_candidate, round.per_candidate);
+}
+
+TEST(OpteronMachine, PhysicsMatchesReferenceKernel) {
+  md::Workload w = small_fluid();
+  md::LjParams lj;
+  OpteronMachine machine;
+  const auto timed = machine.compute_forces(w.system.positions(), w.box, lj, 1.0);
+
+  md::ReferenceKernel ref(md::MinImageStrategy::kRound);
+  const auto expect = ref.compute(w.system.positions(), w.box, lj, 1.0);
+
+  EXPECT_EQ(timed.stats.candidates, expect.stats.candidates);
+  EXPECT_EQ(timed.stats.interacting, expect.stats.interacting);
+  EXPECT_NEAR(timed.potential_energy, expect.potential_energy, 1e-10);
+  for (std::size_t i = 0; i < expect.accelerations.size(); ++i) {
+    EXPECT_NEAR(timed.accelerations[i].x, expect.accelerations[i].x, 1e-10);
+  }
+}
+
+TEST(OpteronMachine, BranchyStrategySamePhysics) {
+  md::Workload w = small_fluid();
+  for (auto& p : w.system.positions()) p = w.box.wrap(p);
+  md::LjParams lj;
+
+  OpteronConfig cfg;
+  cfg.strategy = md::MinImageStrategy::kBranchy;
+  OpteronMachine branchy(cfg);
+  OpteronMachine standard;
+  const auto a = branchy.compute_forces(w.system.positions(), w.box, lj, 1.0);
+  const auto b = standard.compute_forces(w.system.positions(), w.box, lj, 1.0);
+  EXPECT_NEAR(a.potential_energy, b.potential_energy, 1e-10);
+}
+
+TEST(OpteronMachine, TimeGrowsWithWork) {
+  md::LjParams lj;
+  OpteronMachine machine;
+  md::Workload small = small_fluid(125);
+  machine.compute_forces(small.system.positions(), small.box, lj, 1.0);
+  const ModelTime t_small = machine.elapsed();
+
+  machine.reset();
+  md::Workload big = small_fluid(512);
+  machine.compute_forces(big.system.positions(), big.box, lj, 1.0);
+  const ModelTime t_big = machine.elapsed();
+
+  // ~ (512/125)^2 = 16.8x more pair work.
+  EXPECT_GT(t_big / t_small, 10.0);
+  EXPECT_LT(t_big / t_small, 25.0);
+}
+
+TEST(OpteronMachine, Search27CostsFarMoreThanRound) {
+  md::Workload w = small_fluid(125);
+  md::LjParams lj;
+
+  OpteronMachine heavy;  // default kSearch27
+  heavy.compute_forces(w.system.positions(), w.box, lj, 1.0);
+
+  OpteronConfig cfg;
+  cfg.strategy = md::MinImageStrategy::kRound;
+  OpteronMachine light(cfg);
+  light.compute_forces(w.system.positions(), w.box, lj, 1.0);
+
+  EXPECT_GT(heavy.elapsed() / light.elapsed(), 4.0);
+}
+
+TEST(OpteronMachine, ResetClearsEverything) {
+  md::Workload w = small_fluid(125);
+  md::LjParams lj;
+  OpteronMachine machine;
+  machine.compute_forces(w.system.positions(), w.box, lj, 1.0);
+  EXPECT_GT(machine.elapsed().to_seconds(), 0.0);
+  machine.reset();
+  EXPECT_DOUBLE_EQ(machine.elapsed().to_seconds(), 0.0);
+  EXPECT_EQ(machine.ops().get("opteron.flops"), 0u);
+  EXPECT_EQ(machine.memory().l1_misses(), 0u);
+}
+
+TEST(OpteronMachine, IntegrationStepChargesStreamingTraffic) {
+  OpteronMachine machine;
+  machine.charge_integration_step(1000);
+  EXPECT_GT(machine.elapsed().to_seconds(), 0.0);
+  EXPECT_GT(machine.memory().accesses(), 1000u);
+}
+
+TEST(OpteronMachine, CountsPairStatsInOps) {
+  md::Workload w = small_fluid(125);
+  md::LjParams lj;
+  OpteronMachine machine;
+  const auto r = machine.compute_forces(w.system.positions(), w.box, lj, 1.0);
+  EXPECT_EQ(machine.ops().get("opteron.pair_candidates"), r.stats.candidates);
+  EXPECT_EQ(machine.ops().get("opteron.pair_interactions"), r.stats.interacting);
+  EXPECT_EQ(r.stats.candidates, 125u * 124u);
+}
+
+TEST(OpteronMachine, MispredictsChargedOnlyForBranchy) {
+  md::Workload w = small_fluid(125);
+  for (auto& p : w.system.positions()) p = w.box.wrap(p);
+  md::LjParams lj;
+
+  OpteronMachine standard;
+  standard.compute_forces(w.system.positions(), w.box, lj, 1.0);
+  EXPECT_EQ(standard.ops().get("opteron.mispredicts"), 0u);
+
+  OpteronConfig cfg;
+  cfg.strategy = md::MinImageStrategy::kBranchy;
+  OpteronMachine branchy(cfg);
+  branchy.compute_forces(w.system.positions(), w.box, lj, 1.0);
+  EXPECT_GT(branchy.ops().get("opteron.mispredicts"), 0u);
+}
+
+TEST(OpteronMachine, TableOneAnchor) {
+  // The calibration contract: 2048 atoms, one force evaluation, priced at
+  // ~1/10th of the paper's 4.084 s total (the N^2 phase dominates).
+  md::Workload w = small_fluid(2048);
+  md::LjParams lj;
+  OpteronMachine machine;
+  machine.compute_forces(w.system.positions(), w.box, lj, 1.0);
+  const double per_step = machine.elapsed().to_seconds();
+  EXPECT_GT(per_step, 0.30);
+  EXPECT_LT(per_step, 0.50);
+}
+
+}  // namespace
+}  // namespace emdpa::opteron

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/error.h"
+#include "driver/backend_factory.h"
+
+namespace emdpa::driver {
+namespace {
+
+TEST(BackendFactory, ListsAtLeastTheCoreBackends) {
+  std::set<std::string> keys;
+  for (const auto& info : available_backends()) keys.insert(info.key);
+  for (const char* expected :
+       {"host", "opteron", "cell-1spe", "cell-8spe", "cell-ppe", "gpu",
+        "mta2", "mta2-partial", "xmt"}) {
+    EXPECT_TRUE(keys.count(expected)) << expected;
+  }
+}
+
+TEST(BackendFactory, KeysAreUniqueAndDescribed) {
+  std::set<std::string> keys;
+  for (const auto& info : available_backends()) {
+    EXPECT_TRUE(keys.insert(info.key).second) << "duplicate " << info.key;
+    EXPECT_FALSE(info.description.empty()) << info.key;
+  }
+}
+
+TEST(BackendFactory, EveryListedKeyConstructs) {
+  for (const auto& info : available_backends()) {
+    auto backend = make_backend(info.key);
+    ASSERT_NE(backend, nullptr) << info.key;
+    EXPECT_FALSE(backend->name().empty());
+    EXPECT_TRUE(backend->precision() == "single" ||
+                backend->precision() == "double");
+  }
+}
+
+TEST(BackendFactory, UnknownKeyThrowsWithSuggestions) {
+  try {
+    make_backend("quantum-annealer");
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("quantum-annealer"), std::string::npos);
+    EXPECT_NE(what.find("cell-8spe"), std::string::npos);  // lists known keys
+  }
+}
+
+TEST(BackendFactory, EveryBackendRunsATinyWorkload) {
+  md::RunConfig cfg;
+  cfg.workload.n_atoms = 64;
+  cfg.steps = 1;
+  for (const auto& info : available_backends()) {
+    auto backend = make_backend(info.key);
+    const md::RunResult r = backend->run(cfg);
+    EXPECT_EQ(r.energies.size(), 2u) << info.key;
+    EXPECT_EQ(r.final_state.size(), 64u) << info.key;
+  }
+}
+
+}  // namespace
+}  // namespace emdpa::driver

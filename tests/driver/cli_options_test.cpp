@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "driver/cli_options.h"
+
+namespace emdpa::driver {
+namespace {
+
+TEST(CliOptions, NoArgsIsHelp) {
+  EXPECT_EQ(parse_cli({}).command, CliCommand::kHelp);
+  EXPECT_EQ(parse_cli({"help"}).command, CliCommand::kHelp);
+  EXPECT_EQ(parse_cli({"--help"}).command, CliCommand::kHelp);
+}
+
+TEST(CliOptions, ListCommand) {
+  EXPECT_EQ(parse_cli({"list"}).command, CliCommand::kList);
+}
+
+TEST(CliOptions, RunRequiresBackend) {
+  EXPECT_THROW(parse_cli({"run"}), RuntimeFailure);
+  const auto options = parse_cli({"run", "--backend", "gpu"});
+  EXPECT_EQ(options.command, CliCommand::kRun);
+  EXPECT_EQ(options.backend, "gpu");
+}
+
+TEST(CliOptions, DefaultsMatchRunConfig) {
+  const auto options = parse_cli({"run", "--backend", "host"});
+  const md::RunConfig defaults;
+  EXPECT_EQ(options.run_config.workload.n_atoms, defaults.workload.n_atoms);
+  EXPECT_EQ(options.run_config.steps, defaults.steps);
+  EXPECT_FALSE(options.csv);
+}
+
+TEST(CliOptions, AllFlagsParsed) {
+  const auto options = parse_cli(
+      {"run", "--backend", "opteron", "--atoms", "2048", "--steps", "10",
+       "--density", "0.9", "--temperature", "1.2", "--dt", "0.002",
+       "--cutoff", "3.0", "--seed", "99", "--csv"});
+  EXPECT_EQ(options.run_config.workload.n_atoms, 2048u);
+  EXPECT_EQ(options.run_config.steps, 10);
+  EXPECT_DOUBLE_EQ(options.run_config.workload.density, 0.9);
+  EXPECT_DOUBLE_EQ(options.run_config.workload.temperature, 1.2);
+  EXPECT_DOUBLE_EQ(options.run_config.dt, 0.002);
+  EXPECT_DOUBLE_EQ(options.run_config.lj.cutoff, 3.0);
+  EXPECT_EQ(options.run_config.workload.seed, 99u);
+  EXPECT_TRUE(options.csv);
+}
+
+TEST(CliOptions, CompareCommandTakesWorkloadFlags) {
+  const auto options = parse_cli({"compare", "--atoms", "512"});
+  EXPECT_EQ(options.command, CliCommand::kCompare);
+  EXPECT_EQ(options.run_config.workload.n_atoms, 512u);
+}
+
+TEST(CliOptions, RejectsBadInput) {
+  EXPECT_THROW(parse_cli({"frobnicate"}), RuntimeFailure);
+  EXPECT_THROW(parse_cli({"run", "--backend"}), RuntimeFailure);
+  EXPECT_THROW(parse_cli({"run", "--backend", "gpu", "--atoms", "many"}),
+               RuntimeFailure);
+  EXPECT_THROW(parse_cli({"run", "--backend", "gpu", "--atoms", "0"}),
+               RuntimeFailure);
+  EXPECT_THROW(parse_cli({"run", "--backend", "gpu", "--atoms", "2.5"}),
+               RuntimeFailure);
+  EXPECT_THROW(parse_cli({"run", "--backend", "gpu", "--steps", "-3"}),
+               RuntimeFailure);
+  EXPECT_THROW(parse_cli({"run", "--backend", "gpu", "--wat"}), RuntimeFailure);
+}
+
+TEST(CliOptions, UsageMentionsEveryBackend) {
+  const std::string usage = cli_usage();
+  EXPECT_NE(usage.find("cell-8spe"), std::string::npos);
+  EXPECT_NE(usage.find("mta2"), std::string::npos);
+  EXPECT_NE(usage.find("--atoms"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace emdpa::driver

@@ -1,0 +1,45 @@
+#include <gtest/gtest.h>
+
+#include "driver/backend_factory.h"
+#include "driver/report.h"
+
+namespace emdpa::driver {
+namespace {
+
+md::RunResult sample_result(md::RunConfig* config) {
+  config->workload.n_atoms = 64;
+  config->steps = 2;
+  return make_backend("opteron")->run(*config);
+}
+
+TEST(Report, HumanReportContainsKeyFacts) {
+  md::RunConfig config;
+  const auto result = sample_result(&config);
+  const std::string report = render_run_report(result, config);
+  EXPECT_NE(report.find("opteron-2.2ghz"), std::string::npos);
+  EXPECT_NE(report.find("64 atoms"), std::string::npos);
+  EXPECT_NE(report.find("model time"), std::string::npos);
+  EXPECT_NE(report.find("compute"), std::string::npos);   // breakdown
+  EXPECT_NE(report.find("initial"), std::string::npos);   // energy ledger
+  EXPECT_NE(report.find("final"), std::string::npos);
+}
+
+TEST(Report, CsvHasHeaderAndDataRow) {
+  md::RunConfig config;
+  const auto result = sample_result(&config);
+  const std::string csv = render_run_csv(result, config);
+  EXPECT_NE(csv.find("backend,atoms,steps,model_seconds"), std::string::npos);
+  EXPECT_NE(csv.find("opteron-2.2ghz,64,2,"), std::string::npos);
+  EXPECT_NE(csv.find("breakdown:compute"), std::string::npos);
+}
+
+TEST(Report, CsvRowCountMatchesBreakdown) {
+  md::RunConfig config;
+  const auto result = sample_result(&config);
+  const std::string csv = render_run_csv(result, config);
+  const auto lines = std::count(csv.begin(), csv.end(), '\n');
+  EXPECT_EQ(static_cast<std::size_t>(lines), 2 + result.breakdown.size());
+}
+
+}  // namespace
+}  // namespace emdpa::driver

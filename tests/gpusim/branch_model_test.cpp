@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "gpusim/branch_model.h"
+#include "md/workload.h"
+
+namespace emdpa::gpu {
+namespace {
+
+std::vector<emdpa::Vec4f> fluid_positions(std::size_t n, md::PeriodicBoxF* box) {
+  md::WorkloadSpec spec;
+  spec.n_atoms = n;
+  md::Workload w = md::make_lattice_workload(spec);
+  *box = md::PeriodicBoxF(static_cast<float>(w.box.edge()));
+  std::vector<emdpa::Vec4f> out;
+  for (const auto& p : w.system.positions()) {
+    out.emplace_back(emdpa::vec_cast<float>(w.box.wrap(p)), 0.0f);
+  }
+  return out;
+}
+
+TEST(BranchModel, ValidatesBatchSize) {
+  md::PeriodicBoxF box(1.0f);
+  std::vector<emdpa::Vec4f> positions(4);
+  EXPECT_THROW(estimate_branching_pass_work(positions, box,
+                                            md::LjParamsT<float>{}, 0),
+               ContractViolation);
+}
+
+TEST(BranchModel, BatchOfOneTakesExactlyPerAtomInteractions) {
+  // 256 atoms: the box is large enough that most candidates are outside the
+  // cutoff (interacting fraction ~22%), unlike tiny boxes where nearly
+  // everything interacts.
+  md::PeriodicBoxF box(1.0f);
+  const auto positions = fluid_positions(256, &box);
+  const auto lj = md::LjParams{}.cast<float>();
+  const auto est = estimate_branching_pass_work(positions, box, lj, 1);
+  // With one fragment per batch, the LJ path runs exactly once per
+  // interacting ordered pair.
+  EXPECT_EQ(est.batch_iterations, 256u * 256u);
+  EXPECT_GT(est.lj_blocks_executed, 0u);
+  EXPECT_LT(est.taken_fraction(), 0.5);
+}
+
+TEST(BranchModel, TakenFractionGrowsWithBatchSize) {
+  md::PeriodicBoxF box(1.0f);
+  const auto positions = fluid_positions(128, &box);
+  const auto lj = md::LjParams{}.cast<float>();
+  double previous = 0.0;
+  for (const std::size_t batch : {1u, 8u, 32u, 128u}) {
+    const auto est = estimate_branching_pass_work(positions, box, lj, batch);
+    EXPECT_GE(est.taken_fraction(), previous) << "batch " << batch;
+    previous = est.taken_fraction();
+  }
+}
+
+TEST(BranchModel, WholeSystemBatchAlwaysTakes) {
+  // One batch spanning all atoms: every j has some interacting partner in a
+  // dense fluid.
+  md::PeriodicBoxF box(1.0f);
+  const auto positions = fluid_positions(128, &box);
+  const auto lj = md::LjParams{}.cast<float>();
+  const auto est = estimate_branching_pass_work(positions, box, lj, 128);
+  EXPECT_DOUBLE_EQ(est.taken_fraction(), 1.0);
+}
+
+TEST(BranchModel, PrologueChargedForEveryCandidate) {
+  md::PeriodicBoxF box(1.0f);
+  const auto positions = fluid_positions(64, &box);
+  const auto lj = md::LjParams{}.cast<float>();
+  MdShaderOpSplit split;
+  const auto est = estimate_branching_pass_work(positions, box, lj, 16, split);
+  EXPECT_EQ(est.work.fetches, 64u * 64u);
+  EXPECT_GE(est.work.alu_vec4, 64u * 64u * split.prologue_vec4);
+}
+
+TEST(BranchModel, IsolatedGasNeverTakesTheLjPath) {
+  // Two atoms far apart in a huge box: no pair interacts (the self-pair is
+  // excluded).
+  md::PeriodicBoxF box(100.0f);
+  std::vector<emdpa::Vec4f> positions = {{1, 1, 1, 0}, {50, 50, 50, 0}};
+  const auto lj = md::LjParams{}.cast<float>();
+  const auto est = estimate_branching_pass_work(positions, box, lj, 2);
+  EXPECT_EQ(est.lj_blocks_executed, 0u);
+}
+
+}  // namespace
+}  // namespace emdpa::gpu

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gpusim/gpu_backend.h"
+#include "md/backend.h"
+
+namespace emdpa::gpu {
+namespace {
+
+md::RunConfig small_config(std::size_t n = 128, int steps = 3) {
+  md::RunConfig cfg;
+  cfg.workload.n_atoms = n;
+  cfg.steps = steps;
+  return cfg;
+}
+
+TEST(GpuBackend, NameAndPrecision) {
+  EXPECT_EQ(GpuBackend().name(), "gpu-7900gtx");
+  EXPECT_EQ(GpuBackend().precision(), "single");
+  GpuRunOptions red;
+  red.pe_strategy = PeStrategy::kGpuReduction;
+  EXPECT_EQ(GpuBackend(red).name(), "gpu-7900gtx[reduction]");
+}
+
+TEST(GpuBackend, RejectsShiftedPotential) {
+  auto cfg = small_config();
+  cfg.lj.shifted = true;
+  GpuBackend backend;
+  EXPECT_THROW(backend.run(cfg), ContractViolation);
+}
+
+TEST(GpuBackend, ShapesOfResult) {
+  const auto r = GpuBackend().run(small_config(128, 4));
+  EXPECT_EQ(r.energies.size(), 5u);
+  EXPECT_EQ(r.step_times.size(), 4u);
+  EXPECT_GT(r.device_time.to_seconds(), 0.0);
+}
+
+TEST(GpuBackend, PhysicsTracksHostReference) {
+  const auto cfg = small_config(128, 4);
+  const auto a = GpuBackend().run(cfg);
+  const auto b = md::HostReferenceBackend().run(cfg);
+  for (std::size_t s = 0; s < a.energies.size(); ++s) {
+    const double scale = std::fabs(b.energies[s].potential) + 1.0;
+    EXPECT_NEAR(a.energies[s].potential, b.energies[s].potential, 1e-3 * scale);
+  }
+  for (std::size_t i = 0; i < a.final_state.size(); ++i) {
+    const double scale = std::fabs(b.final_state.positions()[i].x) + 1.0;
+    EXPECT_NEAR(a.final_state.positions()[i].x, b.final_state.positions()[i].x,
+                1e-2 * scale);
+  }
+}
+
+TEST(GpuBackend, StartupReportedButExcludedFromSteps) {
+  const auto r = GpuBackend().run(small_config(64, 2));
+  const double startup = r.breakdown_component("startup").to_seconds();
+  EXPECT_GT(startup, 0.1);  // context + JIT is a sizeable one-time cost
+  ModelTime steps_sum;
+  for (const auto& t : r.step_times) steps_sum += t;
+  EXPECT_NEAR(steps_sum.to_seconds(), r.device_time.to_seconds(), 1e-12);
+}
+
+TEST(GpuBackend, TransfersEveryStep) {
+  const auto r = GpuBackend().run(small_config(64, 3));
+  // Prime + 3 steps = 4 uploads and 4 readbacks of 64 texels.
+  EXPECT_EQ(r.ops.get("pcie.bytes_up"), 4u * 64u * 16u);
+  EXPECT_EQ(r.ops.get("pcie.bytes_down"), 4u * 64u * 16u);
+  EXPECT_EQ(r.ops.get("gpu.passes"), 4u);
+}
+
+TEST(GpuBackend, ReductionStrategyCostsMore) {
+  const auto cfg = small_config(256, 3);
+  GpuRunOptions readback, reduction;
+  reduction.pe_strategy = PeStrategy::kGpuReduction;
+  const auto a = GpuBackend(readback).run(cfg);
+  const auto b = GpuBackend(reduction).run(cfg);
+  EXPECT_GT(b.device_time.to_seconds(), 1.5 * a.device_time.to_seconds());
+  EXPECT_GT(b.ops.get("gpu.reduction_passes"), 0u);
+}
+
+TEST(GpuBackend, ReductionStrategySamePhysicsDifferentSumOrder) {
+  const auto cfg = small_config(128, 3);
+  GpuRunOptions readback, reduction;
+  reduction.pe_strategy = PeStrategy::kGpuReduction;
+  const auto a = GpuBackend(readback).run(cfg);
+  const auto b = GpuBackend(reduction).run(cfg);
+  // Trajectories identical (accelerations don't depend on the PE path).
+  for (std::size_t i = 0; i < a.final_state.size(); ++i) {
+    EXPECT_EQ(a.final_state.positions()[i], b.final_state.positions()[i]);
+  }
+  // PE equal up to float summation order.
+  for (std::size_t s = 0; s < a.energies.size(); ++s) {
+    const double scale = std::fabs(a.energies[s].potential) + 1.0;
+    EXPECT_NEAR(a.energies[s].potential, b.energies[s].potential, 1e-4 * scale);
+  }
+}
+
+TEST(GpuBackend, SmallSystemsDominatedByFixedCosts) {
+  // Per-step time barely moves between 16 and 64 atoms: dispatch + readback
+  // sync dominate (the Fig-7 small-N regime).
+  const auto small = GpuBackend().run(small_config(16, 2));
+  const auto big = GpuBackend().run(small_config(64, 2));
+  EXPECT_LT(big.device_time.to_seconds() / small.device_time.to_seconds(), 1.5);
+}
+
+TEST(GpuBackend, LargeSystemsScaleQuadratically) {
+  const auto small = GpuBackend().run(small_config(1024, 2));
+  const auto big = GpuBackend().run(small_config(2048, 2));
+  EXPECT_GT(big.device_time.to_seconds() / small.device_time.to_seconds(), 2.5);
+}
+
+TEST(PcieBus, TransferAccounting) {
+  PcieBus bus;
+  bus.upload(1000);
+  bus.upload(500);
+  bus.readback(2000);
+  EXPECT_EQ(bus.bytes_uploaded(), 1500u);
+  EXPECT_EQ(bus.bytes_read_back(), 2000u);
+  EXPECT_EQ(bus.uploads(), 2u);
+  EXPECT_EQ(bus.readbacks(), 1u);
+}
+
+TEST(PcieBus, ReadbackSlowerThanUpload) {
+  PcieBus bus;
+  const double up = bus.upload(1 << 20).to_seconds();
+  const double down = bus.readback(1 << 20).to_seconds();
+  EXPECT_GT(down, up);
+}
+
+}  // namespace
+}  // namespace emdpa::gpu

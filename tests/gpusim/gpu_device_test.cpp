@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "gpusim/gpu_device.h"
+
+namespace emdpa::gpu {
+namespace {
+
+/// Doubles every texel of its single input.
+class DoubleShader final : public ShaderProgram {
+ public:
+  std::string name() const override { return "double"; }
+  std::size_t input_count() const override { return 1; }
+  emdpa::Vec4f execute(ShaderContext& ctx) override {
+    const emdpa::Vec4f v = ctx.fetch(0, ctx.output_texel());
+    ctx.count_vec4(1);
+    return v * 2.0f;
+  }
+};
+
+class GpuDeviceTest : public ::testing::Test {
+ protected:
+  GpuDevice device_;
+  DoubleShader shader_;
+};
+
+TEST_F(GpuDeviceTest, PassComputesPerTexelResults) {
+  Texture2D in(4, 4, "in"), out(4, 4, "out");
+  for (std::size_t i = 0; i < 16; ++i) {
+    in.host_data()[i] = {float(i), 0, 0, 1};
+  }
+  const CompiledShader compiled = device_.compiler().compile(shader_, 4);
+  device_.run_pass(compiled, {&in}, out, 16);
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(out.host_data()[i].x, 2.0f * float(i));
+    EXPECT_EQ(out.host_data()[i].w, 2.0f);
+  }
+}
+
+TEST_F(GpuDeviceTest, TexturesUnboundAfterPass) {
+  Texture2D in(2, 2, "in"), out(2, 2, "out");
+  const CompiledShader compiled = device_.compiler().compile(shader_, 4);
+  device_.run_pass(compiled, {&in}, out, 4);
+  EXPECT_EQ(in.binding(), TextureBinding::kUnbound);
+  EXPECT_EQ(out.binding(), TextureBinding::kUnbound);
+}
+
+TEST_F(GpuDeviceTest, SameTextureAsInputAndOutputRejected) {
+  // The stream restriction: an array is input or output, never both.
+  Texture2D tex(2, 2, "both");
+  const CompiledShader compiled = device_.compiler().compile(shader_, 4);
+  EXPECT_THROW(device_.run_pass(compiled, {&tex}, tex, 4), ContractViolation);
+}
+
+TEST_F(GpuDeviceTest, InputCountMustMatchShader) {
+  Texture2D in(2, 2, "in"), out(2, 2, "out");
+  const CompiledShader compiled = device_.compiler().compile(shader_, 4);
+  EXPECT_THROW(device_.run_pass(compiled, {}, out, 4), ContractViolation);
+  EXPECT_THROW(device_.run_pass(compiled, {&in, &in}, out, 4),
+               ContractViolation);
+}
+
+TEST_F(GpuDeviceTest, MoreInstancesThanTexelsRejected) {
+  Texture2D in(2, 2, "in"), out(2, 2, "out");
+  const CompiledShader compiled = device_.compiler().compile(shader_, 4);
+  EXPECT_THROW(device_.run_pass(compiled, {&in}, out, 5), ContractViolation);
+}
+
+TEST_F(GpuDeviceTest, WorkAggregatesAcrossInstances) {
+  Texture2D in(4, 4, "in"), out(4, 4, "out");
+  const CompiledShader compiled = device_.compiler().compile(shader_, 4);
+  const PassResult r = device_.run_pass(compiled, {&in}, out, 16);
+  EXPECT_EQ(r.work.fetches, 16u);
+  EXPECT_EQ(r.work.alu_vec4, 16u);
+}
+
+TEST_F(GpuDeviceTest, ComputeTimeScalesWithInstances) {
+  Texture2D in(64, 64, "in"), out(64, 64, "out");
+  const CompiledShader compiled = device_.compiler().compile(shader_, 4);
+  const PassResult small = device_.run_pass(compiled, {&in}, out, 64);
+  const PassResult big = device_.run_pass(compiled, {&in}, out, 4096);
+  EXPECT_NEAR(big.compute_time.to_seconds() / small.compute_time.to_seconds(),
+              64.0, 1.0);
+  // Dispatch overhead is fixed.
+  EXPECT_EQ(small.dispatch_time, big.dispatch_time);
+}
+
+TEST_F(GpuDeviceTest, MorePipelinesRunFaster) {
+  GpuDeviceConfig wide;
+  wide.pixel_pipelines = 48;
+  GpuDevice fat(wide);
+  Texture2D in(32, 32, "in"), out(32, 32, "out");
+  const CompiledShader c1 = device_.compiler().compile(shader_, 4);
+  const CompiledShader c2 = fat.compiler().compile(shader_, 4);
+  const auto slow = device_.run_pass(c1, {&in}, out, 1024);
+  const auto fast = fat.run_pass(c2, {&in}, out, 1024);
+  EXPECT_NEAR(slow.compute_time.to_seconds() / fast.compute_time.to_seconds(),
+              2.0, 0.01);
+}
+
+TEST(GpuDeviceConfig, RejectsZeroPipelines) {
+  GpuDeviceConfig cfg;
+  cfg.pixel_pipelines = 0;
+  EXPECT_THROW(GpuDevice device(cfg), ContractViolation);
+}
+
+}  // namespace
+}  // namespace emdpa::gpu

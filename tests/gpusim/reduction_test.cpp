@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gpusim/reduction.h"
+
+namespace emdpa::gpu {
+namespace {
+
+class ReductionTest : public ::testing::Test {
+ protected:
+  GpuDevice device_;
+  PcieBus pcie_;
+};
+
+TEST_F(ReductionTest, SumsWComponent) {
+  Texture2D values = Texture2D::for_elements(100, "v");
+  float expected = 0;
+  for (std::size_t i = 0; i < 100; ++i) {
+    values.host_data()[i] = {0, 0, 0, float(i)};
+    expected += float(i);
+  }
+  const ReductionOutcome r = reduce_w_on_gpu(device_, pcie_, values, 100);
+  EXPECT_FLOAT_EQ(r.sum, expected);
+}
+
+TEST_F(ReductionTest, SingleElementNeedsNoPass) {
+  Texture2D values = Texture2D::for_elements(1, "v");
+  values.host_data()[0] = {0, 0, 0, 42.0f};
+  const ReductionOutcome r = reduce_w_on_gpu(device_, pcie_, values, 1);
+  EXPECT_FLOAT_EQ(r.sum, 42.0f);
+  EXPECT_EQ(r.passes, 0);
+}
+
+TEST_F(ReductionTest, PassCountIsLogBase4) {
+  Texture2D values = Texture2D::for_elements(2048, "v");
+  const ReductionOutcome r = reduce_w_on_gpu(device_, pcie_, values, 2048);
+  // 2048 -> 512 -> 128 -> 32 -> 8 -> 2 -> 1: 6 passes.
+  EXPECT_EQ(r.passes, 6);
+}
+
+TEST_F(ReductionTest, EveryPassPaysDispatchOverhead) {
+  Texture2D values = Texture2D::for_elements(2048, "v");
+  const ReductionOutcome r = reduce_w_on_gpu(device_, pcie_, values, 2048);
+  const GpuDeviceConfig cfg;
+  EXPECT_GE(r.gpu_time.to_seconds(),
+            6 * cfg.pass_dispatch_overhead.to_seconds());
+}
+
+TEST_F(ReductionTest, HandlesNonPowerOfFourCounts) {
+  Texture2D values = Texture2D::for_elements(37, "v");
+  float expected = 0;
+  for (std::size_t i = 0; i < 37; ++i) {
+    values.host_data()[i] = {0, 0, 0, 1.5f};
+    expected += 1.5f;
+  }
+  const ReductionOutcome r = reduce_w_on_gpu(device_, pcie_, values, 37);
+  EXPECT_FLOAT_EQ(r.sum, expected);
+}
+
+TEST_F(ReductionTest, CountOutOfRangeThrows) {
+  Texture2D values = Texture2D::for_elements(16, "v");
+  EXPECT_THROW(reduce_w_on_gpu(device_, pcie_, values, 0), ContractViolation);
+  EXPECT_THROW(reduce_w_on_gpu(device_, pcie_, values, 1000), ContractViolation);
+}
+
+TEST_F(ReductionTest, SourceTextureUntouched) {
+  Texture2D values = Texture2D::for_elements(64, "v");
+  for (std::size_t i = 0; i < 64; ++i) values.host_data()[i] = {1, 2, 3, 4};
+  reduce_w_on_gpu(device_, pcie_, values, 64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(values.host_data()[i], (emdpa::Vec4f{1, 2, 3, 4}));
+  }
+}
+
+}  // namespace
+}  // namespace emdpa::gpu

@@ -1,0 +1,51 @@
+#include <gtest/gtest.h>
+
+#include "gpusim/md_shader.h"
+#include "gpusim/shader_compiler.h"
+
+namespace emdpa::gpu {
+namespace {
+
+TEST(ShaderCompiler, AcceptsTheMdShader) {
+  MdAccelShader shader({});
+  ShaderCompiler compiler;
+  const CompiledShader compiled =
+      compiler.compile(shader, shader.static_instruction_estimate());
+  EXPECT_EQ(compiled.program, &shader);
+  EXPECT_GT(compiled.compile_time.to_seconds(), 0.0);
+}
+
+TEST(ShaderCompiler, RejectsOversizedPrograms) {
+  MdAccelShader shader({});
+  ShaderCompiler compiler;
+  EXPECT_THROW(compiler.compile(shader, 100000), ContractViolation);
+}
+
+TEST(ShaderCompiler, RejectsTooManySamplers) {
+  class GreedyShader final : public ShaderProgram {
+   public:
+    std::string name() const override { return "greedy"; }
+    std::size_t input_count() const override { return 17; }
+    emdpa::Vec4f execute(ShaderContext&) override { return {}; }
+  };
+  GreedyShader shader;
+  ShaderCompiler compiler;
+  EXPECT_THROW(compiler.compile(shader, 10), ContractViolation);
+}
+
+TEST(ShaderCompiler, DynamicLimitEnforced) {
+  ShaderCompiler compiler;
+  EXPECT_NO_THROW(compiler.check_dynamic_limit(1000));
+  EXPECT_THROW(compiler.check_dynamic_limit(1ull << 30), ContractViolation);
+}
+
+TEST(ShaderCompiler, CustomLimits) {
+  ShaderLimits limits;
+  limits.max_static_instructions = 8;
+  ShaderCompiler compiler(limits);
+  MdAccelShader shader({});
+  EXPECT_THROW(compiler.compile(shader, 48), ContractViolation);
+}
+
+}  // namespace
+}  // namespace emdpa::gpu

@@ -1,0 +1,52 @@
+#include <gtest/gtest.h>
+
+#include "gpusim/shader.h"
+
+namespace emdpa::gpu {
+namespace {
+
+TEST(ShaderContext, FetchReadsBoundInputAndCounts) {
+  Texture2D tex(2, 2, "in");
+  tex.host_data()[2] = {5, 6, 7, 8};
+  tex.bind(TextureBinding::kInput);
+
+  std::vector<const Texture2D*> inputs = {&tex};
+  GpuWork work;
+  ShaderContext ctx(inputs, /*output_texel=*/1, work);
+  EXPECT_EQ(ctx.fetch(0, 2), (emdpa::Vec4f{5, 6, 7, 8}));
+  EXPECT_EQ(work.fetches, 1u);
+  EXPECT_EQ(ctx.output_texel(), 1u);
+}
+
+TEST(ShaderContext, BadInputSlotThrows) {
+  std::vector<const Texture2D*> inputs;
+  GpuWork work;
+  ShaderContext ctx(inputs, 0, work);
+  EXPECT_THROW(ctx.fetch(0, 0), ContractViolation);
+}
+
+TEST(ShaderContext, WorkCountersAccumulate) {
+  std::vector<const Texture2D*> inputs;
+  GpuWork work;
+  ShaderContext ctx(inputs, 0, work);
+  ctx.count_vec4(3);
+  ctx.count_scalar(2);
+  ctx.count_vec4(1);
+  EXPECT_EQ(work.alu_vec4, 4u);
+  EXPECT_EQ(work.alu_scalar, 2u);
+}
+
+TEST(GpuWork, PlusEquals) {
+  GpuWork a, b;
+  a.alu_vec4 = 1;
+  a.fetches = 2;
+  b.alu_vec4 = 10;
+  b.alu_scalar = 5;
+  a += b;
+  EXPECT_EQ(a.alu_vec4, 11u);
+  EXPECT_EQ(a.alu_scalar, 5u);
+  EXPECT_EQ(a.fetches, 2u);
+}
+
+}  // namespace
+}  // namespace emdpa::gpu

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "gpusim/texture.h"
+
+namespace emdpa::gpu {
+namespace {
+
+TEST(Texture2D, RejectsEmptyDimensions) {
+  EXPECT_THROW(Texture2D(0, 4, "t"), ContractViolation);
+  EXPECT_THROW(Texture2D(4, 0, "t"), ContractViolation);
+}
+
+TEST(Texture2D, ForElementsCoversCount) {
+  for (std::size_t count : {1u, 2u, 16u, 17u, 100u, 2048u}) {
+    const Texture2D t = Texture2D::for_elements(count, "t");
+    EXPECT_GE(t.texel_count(), count);
+    // Square-ish: width within 1 of the height requirement.
+    EXPECT_LE(t.width() * (t.height() - 1), count);
+  }
+}
+
+TEST(Texture2D, BytesAre16PerTexel) {
+  const Texture2D t(4, 4, "t");
+  EXPECT_EQ(t.bytes(), 16u * 16u);
+}
+
+TEST(Texture2D, HostAccessWhenUnbound) {
+  Texture2D t(2, 2, "t");
+  t.host_data()[3] = {1, 2, 3, 4};
+  EXPECT_EQ(t.host_data()[3], (emdpa::Vec4f{1, 2, 3, 4}));
+}
+
+TEST(Texture2D, CannotBindTwice) {
+  Texture2D t(2, 2, "t");
+  t.bind(TextureBinding::kInput);
+  EXPECT_THROW(t.bind(TextureBinding::kRenderTarget), ContractViolation);
+  t.unbind();
+  EXPECT_NO_THROW(t.bind(TextureBinding::kRenderTarget));
+}
+
+TEST(Texture2D, HostAccessWhileBoundThrows) {
+  Texture2D t(2, 2, "t");
+  t.bind(TextureBinding::kInput);
+  EXPECT_THROW(t.host_data(), ContractViolation);
+}
+
+TEST(Texture2D, SampleRequiresInputBinding) {
+  Texture2D t(2, 2, "t");
+  EXPECT_THROW(t.sample(0), ContractViolation);
+  t.bind(TextureBinding::kRenderTarget);
+  EXPECT_THROW(t.sample(0), ContractViolation);
+  t.unbind();
+  t.bind(TextureBinding::kInput);
+  EXPECT_NO_THROW(t.sample(0));
+}
+
+TEST(Texture2D, WriteRequiresRenderTargetBinding) {
+  Texture2D t(2, 2, "t");
+  EXPECT_THROW(t.write(0, {}), ContractViolation);
+  t.bind(TextureBinding::kInput);
+  EXPECT_THROW(t.write(0, {}), ContractViolation);
+  t.unbind();
+  t.bind(TextureBinding::kRenderTarget);
+  EXPECT_NO_THROW(t.write(0, {1, 2, 3, 4}));
+  t.unbind();
+  EXPECT_EQ(t.host_data()[0], (emdpa::Vec4f{1, 2, 3, 4}));
+}
+
+TEST(Texture2D, OutOfRangeAccessThrows) {
+  Texture2D t(2, 2, "t");
+  t.bind(TextureBinding::kInput);
+  EXPECT_THROW(t.sample(4), ContractViolation);
+  t.unbind();
+  t.bind(TextureBinding::kRenderTarget);
+  EXPECT_THROW(t.write(4, {}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace emdpa::gpu

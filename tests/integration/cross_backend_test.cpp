@@ -1,0 +1,137 @@
+// Cross-backend integration: every device model must compute the same
+// physics as the double-precision host reference, differing only by its
+// arithmetic precision, while reporting device-specific timing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "cellsim/cell_md_app.h"
+#include "cpu/opteron_backend.h"
+#include "gpusim/gpu_backend.h"
+#include "md/backend.h"
+#include "mtasim/mta_backend.h"
+
+namespace emdpa {
+namespace {
+
+std::vector<std::unique_ptr<md::MdBackend>> all_backends() {
+  std::vector<std::unique_ptr<md::MdBackend>> backends;
+  backends.push_back(std::make_unique<md::HostReferenceBackend>());
+  backends.push_back(std::make_unique<opteron::OpteronBackend>());
+  backends.push_back(std::make_unique<cell::CellBackend>());
+  backends.push_back(std::make_unique<gpu::GpuBackend>());
+  backends.push_back(std::make_unique<mta::MtaBackend>());
+  return backends;
+}
+
+md::RunConfig config_for(std::size_t n, int steps) {
+  md::RunConfig cfg;
+  cfg.workload.n_atoms = n;
+  cfg.steps = steps;
+  return cfg;
+}
+
+TEST(CrossBackend, AllBackendsAgreeOnEnergies) {
+  const auto cfg = config_for(128, 4);
+  const auto reference = md::HostReferenceBackend().run(cfg);
+
+  for (const auto& backend : all_backends()) {
+    const auto r = backend->run(cfg);
+    ASSERT_EQ(r.energies.size(), reference.energies.size()) << backend->name();
+    // Single-precision devices get a looser envelope.
+    const double tol = backend->precision() == "single" ? 2e-3 : 1e-9;
+    for (std::size_t s = 0; s < r.energies.size(); ++s) {
+      const double scale = std::fabs(reference.energies[s].potential) + 1.0;
+      EXPECT_NEAR(r.energies[s].potential, reference.energies[s].potential,
+                  tol * scale)
+          << backend->name() << " step " << s;
+    }
+  }
+}
+
+TEST(CrossBackend, AllBackendsAgreeOnTrajectories) {
+  const auto cfg = config_for(128, 4);
+  const auto reference = md::HostReferenceBackend().run(cfg);
+
+  for (const auto& backend : all_backends()) {
+    const auto r = backend->run(cfg);
+    ASSERT_EQ(r.final_state.size(), reference.final_state.size());
+    const double tol = backend->precision() == "single" ? 5e-3 : 1e-9;
+    for (std::size_t i = 0; i < r.final_state.size(); ++i) {
+      const Vec3d d = r.final_state.positions()[i] -
+                      reference.final_state.positions()[i];
+      EXPECT_LT(length(d), tol) << backend->name() << " atom " << i;
+    }
+  }
+}
+
+TEST(CrossBackend, SinglePrecisionDevicesAgreeBitwise) {
+  // Cell and GPU implement identical single-precision arithmetic.
+  const auto cfg = config_for(128, 4);
+  const auto cell = cell::CellBackend().run(cfg);
+  const auto gpu = gpu::GpuBackend().run(cfg);
+  for (std::size_t i = 0; i < cell.final_state.size(); ++i) {
+    EXPECT_EQ(cell.final_state.positions()[i], gpu.final_state.positions()[i])
+        << "atom " << i;
+  }
+  for (std::size_t s = 0; s < cell.energies.size(); ++s) {
+    EXPECT_DOUBLE_EQ(cell.energies[s].kinetic, gpu.energies[s].kinetic);
+  }
+}
+
+TEST(CrossBackend, DoublePrecisionDevicesAgreeBitwise) {
+  const auto cfg = config_for(128, 4);
+  const auto opteron = opteron::OpteronBackend().run(cfg);
+  const auto mta = mta::MtaBackend().run(cfg);
+  for (std::size_t i = 0; i < opteron.final_state.size(); ++i) {
+    EXPECT_EQ(opteron.final_state.positions()[i],
+              mta.final_state.positions()[i]);
+  }
+}
+
+TEST(CrossBackend, PrecisionsDeclaredCorrectly) {
+  EXPECT_EQ(opteron::OpteronBackend().precision(), "double");
+  EXPECT_EQ(mta::MtaBackend().precision(), "double");
+  EXPECT_EQ(cell::CellBackend().precision(), "single");
+  EXPECT_EQ(gpu::GpuBackend().precision(), "single");
+}
+
+TEST(CrossBackend, DeviceTimesAreDeviceSpecific) {
+  const auto cfg = config_for(256, 2);
+  const auto opteron = opteron::OpteronBackend().run(cfg).device_time;
+  const auto cell8 = cell::CellBackend().run(cfg).device_time;
+  const auto gpu = gpu::GpuBackend().run(cfg).device_time;
+  const auto mta = mta::MtaBackend().run(cfg).device_time;
+  // At 256 atoms: every model produces nonzero, distinct times, and the MTA
+  // (200 MHz, saturated) is the slowest device.
+  EXPECT_GT(opteron.to_seconds(), 0.0);
+  EXPECT_GT(cell8.to_seconds(), 0.0);
+  EXPECT_GT(gpu.to_seconds(), 0.0);
+  EXPECT_GT(mta.to_seconds(), opteron.to_seconds());
+}
+
+class CrossBackendSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int>> {};
+
+TEST_P(CrossBackendSweep, EnergiesTrackReferenceAcrossConfigs) {
+  const auto [n, steps] = GetParam();
+  const auto cfg = config_for(n, steps);
+  const auto reference = md::HostReferenceBackend().run(cfg);
+  const auto cell = cell::CellBackend().run(cfg);
+  const auto mta = mta::MtaBackend().run(cfg);
+  const double scale = std::fabs(reference.energies.back().potential) + 1.0;
+  EXPECT_NEAR(cell.energies.back().potential,
+              reference.energies.back().potential, 2e-3 * scale);
+  EXPECT_DOUBLE_EQ(mta.energies.back().potential,
+                   reference.energies.back().potential);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, CrossBackendSweep,
+    ::testing::Combine(::testing::Values(std::size_t{125}, std::size_t{200},
+                                         std::size_t{256}),
+                       ::testing::Values(1, 5)));
+
+}  // namespace
+}  // namespace emdpa

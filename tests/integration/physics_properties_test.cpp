@@ -1,0 +1,145 @@
+// Physics invariants that must hold on every backend: conservation laws and
+// consistency of derived quantities, swept over workload parameters.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "cellsim/cell_md_app.h"
+#include "cpu/opteron_backend.h"
+#include "gpusim/gpu_backend.h"
+#include "md/backend.h"
+#include "md/observables.h"
+#include "mtasim/mta_backend.h"
+
+namespace emdpa {
+namespace {
+
+enum class Which { kHost, kOpteron, kCell, kGpu, kMta };
+
+std::unique_ptr<md::MdBackend> make_backend(Which which) {
+  switch (which) {
+    case Which::kHost: return std::make_unique<md::HostReferenceBackend>();
+    case Which::kOpteron: return std::make_unique<opteron::OpteronBackend>();
+    case Which::kCell: return std::make_unique<cell::CellBackend>();
+    case Which::kGpu: return std::make_unique<gpu::GpuBackend>();
+    case Which::kMta: return std::make_unique<mta::MtaBackend>();
+  }
+  return nullptr;
+}
+
+class BackendProperty : public ::testing::TestWithParam<Which> {};
+
+TEST_P(BackendProperty, MomentumConservedOverRun) {
+  auto backend = make_backend(GetParam());
+  md::RunConfig cfg;
+  cfg.workload.n_atoms = 128;
+  cfg.steps = 8;
+  const auto r = backend->run(cfg);
+  const Vec3d p = md::total_momentum_of(r.final_state);
+  const double tol = backend->precision() == "single" ? 1e-2 : 1e-9;
+  EXPECT_NEAR(length(p), 0.0, tol) << backend->name();
+}
+
+TEST_P(BackendProperty, EnergyBoundedOverShortRun) {
+  // Over 8 steps the (truncated-potential) total energy may drift but must
+  // stay within a few percent — a regression net for integrator bugs, which
+  // diverge immediately.
+  auto backend = make_backend(GetParam());
+  md::RunConfig cfg;
+  cfg.workload.n_atoms = 128;
+  cfg.steps = 8;
+  const auto r = backend->run(cfg);
+  const double e0 = r.energies.front().total();
+  const double ef = r.energies.back().total();
+  EXPECT_NEAR(ef, e0, 0.05 * (std::fabs(e0) + 1.0)) << backend->name();
+}
+
+TEST_P(BackendProperty, KineticEnergyNonNegative) {
+  auto backend = make_backend(GetParam());
+  md::RunConfig cfg;
+  cfg.workload.n_atoms = 64;
+  cfg.steps = 5;
+  const auto r = backend->run(cfg);
+  for (const auto& e : r.energies) EXPECT_GE(e.kinetic, 0.0);
+}
+
+TEST_P(BackendProperty, FinalPositionsInsideBox) {
+  auto backend = make_backend(GetParam());
+  md::RunConfig cfg;
+  cfg.workload.n_atoms = 64;
+  cfg.steps = 5;
+  const auto r = backend->run(cfg);
+  const double edge = md::box_edge_for(64, cfg.workload.density);
+  for (const auto& p : r.final_state.positions()) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, edge);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, edge);
+  }
+}
+
+TEST_P(BackendProperty, DeterministicAcrossRuns) {
+  auto backend_a = make_backend(GetParam());
+  auto backend_b = make_backend(GetParam());
+  md::RunConfig cfg;
+  cfg.workload.n_atoms = 64;
+  cfg.steps = 3;
+  const auto a = backend_a->run(cfg);
+  const auto b = backend_b->run(cfg);
+  for (std::size_t i = 0; i < a.final_state.size(); ++i) {
+    EXPECT_EQ(a.final_state.positions()[i], b.final_state.positions()[i]);
+  }
+  EXPECT_EQ(a.device_time, b.device_time);
+}
+
+TEST_P(BackendProperty, HotterWorkloadsHaveHigherKineticEnergy) {
+  auto backend = make_backend(GetParam());
+  md::RunConfig cold, hot;
+  cold.workload.n_atoms = hot.workload.n_atoms = 64;
+  cold.workload.temperature = 0.3;
+  hot.workload.temperature = 2.0;
+  cold.steps = hot.steps = 1;
+  const auto rc = backend->run(cold);
+  const auto rh = backend->run(hot);
+  EXPECT_GT(rh.energies.front().kinetic, rc.energies.front().kinetic);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, BackendProperty,
+                         ::testing::Values(Which::kHost, Which::kOpteron,
+                                           Which::kCell, Which::kGpu,
+                                           Which::kMta),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Which::kHost: return "Host";
+                             case Which::kOpteron: return "Opteron";
+                             case Which::kCell: return "Cell";
+                             case Which::kGpu: return "Gpu";
+                             case Which::kMta: return "Mta";
+                           }
+                           return "Unknown";
+                         });
+
+class DensitySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DensitySweep, DenserSystemsBindMoreTightly) {
+  // Near the LJ liquid regime, higher density -> more interacting pairs.
+  md::RunConfig a, b;
+  a.workload.n_atoms = b.workload.n_atoms = 256;
+  // The multiplier must move the cutoff across at least one *populated*
+  // lattice shell; 1.3 can land both densities in the same |v|^2 shell
+  // (e.g. |v|^2 = 7 has no integer solutions), so use 1.6.
+  a.workload.density = GetParam();
+  b.workload.density = GetParam() * 1.6;
+  a.steps = b.steps = 1;
+  const auto ra = opteron::OpteronBackend().run(a);
+  const auto rb = opteron::OpteronBackend().run(b);
+  EXPECT_GT(rb.ops.get("opteron.pair_interactions"),
+            ra.ops.get("opteron.pair_interactions"));
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, DensitySweep,
+                         ::testing::Values(0.4, 0.6, 0.8));
+
+}  // namespace
+}  // namespace emdpa

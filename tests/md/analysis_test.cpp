@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.h"
+#include "md/analysis.h"
+#include "md/workload.h"
+
+namespace emdpa::md {
+namespace {
+
+TEST(RadialDistribution, ValidatesConstruction) {
+  EXPECT_THROW(RadialDistribution(0, 1.0), ContractViolation);
+  EXPECT_THROW(RadialDistribution(10, 0.0), ContractViolation);
+}
+
+TEST(RadialDistribution, EmptyHistogramIsZero) {
+  RadialDistribution rdf(10, 2.0);
+  for (double g : rdf.normalized()) EXPECT_EQ(g, 0.0);
+  EXPECT_EQ(rdf.snapshots(), 0u);
+}
+
+TEST(RadialDistribution, BinCenters) {
+  RadialDistribution rdf(4, 2.0);
+  EXPECT_DOUBLE_EQ(rdf.bin_center(0), 0.25);
+  EXPECT_DOUBLE_EQ(rdf.bin_center(3), 1.75);
+}
+
+TEST(RadialDistribution, IdealGasIsFlatAroundOne) {
+  // Uniform random positions: g(r) ~ 1 for r comfortably below r_max.
+  WorkloadSpec spec;
+  spec.n_atoms = 400;
+  spec.density = 0.5;
+  spec.seed = 7;
+  Workload w = make_random_gas_workload(spec, 0.0);
+  RadialDistribution rdf(20, w.box.half_edge());
+  rdf.accumulate(w.system, w.box);
+
+  const auto g = rdf.normalized();
+  // Skip the first bins (few counts) and check the bulk.
+  for (std::size_t b = 5; b < g.size(); ++b) {
+    EXPECT_NEAR(g[b], 1.0, 0.35) << "bin " << b;
+  }
+}
+
+TEST(RadialDistribution, LatticeShowsSharpShellStructure) {
+  WorkloadSpec spec;
+  spec.n_atoms = 512;  // 8^3 exact lattice
+  spec.temperature = 0.0;
+  Workload w = make_lattice_workload(spec);
+  const double spacing = w.box.edge() / 8.0;
+
+  RadialDistribution rdf(300, w.box.half_edge());
+  rdf.accumulate(w.system, w.box);
+  const auto g = rdf.normalized();
+  const double bin_width = w.box.half_edge() / 300;
+
+  // Nothing below the first shell…
+  for (std::size_t b = 0; rdf.bin_center(b) < 0.9 * spacing; ++b) {
+    EXPECT_EQ(g[b], 0.0) << "bin " << b;
+  }
+  // …and a sharp delta-like peak at the nearest-neighbour distance.
+  const auto first_shell_bin = static_cast<std::size_t>(spacing / bin_width);
+  double near_peak = 0.0;
+  for (std::size_t b = first_shell_bin - 1; b <= first_shell_bin + 1; ++b) {
+    near_peak = std::max(near_peak, g[b]);
+  }
+  EXPECT_GT(near_peak, 10.0);
+}
+
+TEST(RadialDistribution, NormalisationCountsEveryPairOnce) {
+  // Two atoms at a known separation: exactly one bin is populated.
+  ParticleSystem ps(2);
+  ps.positions()[0] = {1, 1, 1};
+  ps.positions()[1] = {2, 1, 1};
+  PeriodicBox box(10);
+  RadialDistribution rdf(100, 5.0);
+  rdf.accumulate(ps, box);
+  const auto g = rdf.normalized();
+  int populated = 0;
+  for (double v : g) populated += (v > 0);
+  EXPECT_EQ(populated, 1);
+}
+
+TEST(RadialDistribution, RejectsChangingAtomCounts) {
+  ParticleSystem a(4), b(5);
+  PeriodicBox box(10);
+  RadialDistribution rdf(10, 5.0);
+  rdf.accumulate(a, box);
+  EXPECT_THROW(rdf.accumulate(b, box), ContractViolation);
+}
+
+TEST(MeanSquaredDisplacement, ZeroForStaticSystem) {
+  ParticleSystem ps(3);
+  ps.positions() = {{1, 1, 1}, {2, 2, 2}, {3, 3, 3}};
+  MeanSquaredDisplacement msd(ps.positions(), PeriodicBox(10));
+  msd.update(ps);
+  EXPECT_DOUBLE_EQ(msd.value(), 0.0);
+}
+
+TEST(MeanSquaredDisplacement, TracksSimpleDisplacement) {
+  ParticleSystem ps(1);
+  ps.positions() = {{5, 5, 5}};
+  MeanSquaredDisplacement msd(ps.positions(), PeriodicBox(10));
+  ps.positions()[0] = {6, 5, 5};
+  msd.update(ps);
+  EXPECT_DOUBLE_EQ(msd.value(), 1.0);
+  ps.positions()[0] = {6, 7, 5};
+  msd.update(ps);
+  EXPECT_DOUBLE_EQ(msd.value(), 1.0 + 4.0);
+}
+
+TEST(MeanSquaredDisplacement, UnwrapsBoundaryCrossings) {
+  // Atom walks +0.8 per update in x across the boundary of a 4-box: after 10
+  // updates it has moved 8.0, far beyond the box edge.
+  ParticleSystem ps(1);
+  ps.positions() = {{3.9, 0, 0}};
+  PeriodicBox box(4.0);
+  MeanSquaredDisplacement msd({{3.9, 0, 0}}, box);
+  double x = 3.9;
+  for (int k = 0; k < 10; ++k) {
+    x += 0.8;
+    ps.positions()[0] = box.wrap({x, 0, 0});
+    msd.update(ps);
+  }
+  EXPECT_NEAR(msd.value(), 64.0, 1e-9);
+}
+
+TEST(MeanSquaredDisplacement, RejectsAtomCountChange) {
+  ParticleSystem a(2), b(3);
+  MeanSquaredDisplacement msd(a.positions(), PeriodicBox(10));
+  EXPECT_THROW(msd.update(b), ContractViolation);
+}
+
+TEST(VelocityAutocorrelation, OneAtStart) {
+  ParticleSystem ps(2);
+  ps.velocities() = {{1, 0, 0}, {0, 2, 0}};
+  EXPECT_DOUBLE_EQ(velocity_autocorrelation(ps.velocities(), ps), 1.0);
+}
+
+TEST(VelocityAutocorrelation, MinusOneWhenReversed) {
+  ParticleSystem ps(2);
+  const std::vector<Vec3d> v0 = {{1, 0, 0}, {0, 2, 0}};
+  ps.velocities() = {{-1, 0, 0}, {0, -2, 0}};
+  EXPECT_DOUBLE_EQ(velocity_autocorrelation(v0, ps), -1.0);
+}
+
+TEST(VelocityAutocorrelation, ZeroWhenOrthogonal) {
+  ParticleSystem ps(1);
+  const std::vector<Vec3d> v0 = {{1, 0, 0}};
+  ps.velocities() = {{0, 1, 0}};
+  EXPECT_DOUBLE_EQ(velocity_autocorrelation(v0, ps), 0.0);
+}
+
+TEST(VelocityAutocorrelation, RejectsZeroReference) {
+  ParticleSystem ps(1);
+  EXPECT_THROW(velocity_autocorrelation({{0, 0, 0}}, ps), ContractViolation);
+}
+
+}  // namespace
+}  // namespace emdpa::md

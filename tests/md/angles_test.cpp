@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "core/error.h"
+#include "md/angles.h"
+
+namespace emdpa::md {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(AngleTopology, Validation) {
+  AngleTopology topo;
+  EXPECT_THROW(topo.add_angle({0, 0, 1, 1.0, kPi}), ContractViolation);
+  EXPECT_THROW(topo.add_angle({0, 1, 1, 1.0, kPi}), ContractViolation);
+  EXPECT_THROW(topo.add_angle({0, 1, 0, 1.0, kPi}), ContractViolation);
+  EXPECT_THROW(topo.add_angle({0, 1, 2, -1.0, kPi}), ContractViolation);
+  EXPECT_THROW(topo.add_angle({0, 1, 2, 1.0, 0.0}), ContractViolation);
+  EXPECT_THROW(topo.add_angle({0, 1, 2, 1.0, 4.0}), ContractViolation);
+}
+
+TEST(AngleTopology, ChainAnglesCountAndShape) {
+  const auto topo = AngleTopology::chain_angles(6, 2.0, kPi);
+  EXPECT_EQ(topo.size(), 4u);
+  EXPECT_EQ(topo.angles()[0].j, 1u);  // vertex is the middle atom
+  EXPECT_EQ(topo.angles()[3].i, 3u);
+  EXPECT_EQ(topo.angles()[3].k, 5u);
+}
+
+TEST(AngleTopology, AtRestAngleNoForceNoEnergy) {
+  AngleTopology topo;
+  topo.add_angle({0, 1, 2, 5.0, kPi / 2});
+  // Right angle at atom 1.
+  std::vector<Vec3d> pos = {{1, 0, 0}, {0, 0, 0}, {0, 1, 0}};
+  std::vector<Vec3d> acc(3);
+  const double pe = topo.accumulate_forces(pos, PeriodicBox(20), 1.0, acc);
+  EXPECT_NEAR(pe, 0.0, 1e-14);
+  for (const auto& a : acc) EXPECT_NEAR(length(a), 0.0, 1e-12);
+}
+
+TEST(AngleTopology, BentAngleStoresHarmonicEnergy) {
+  AngleTopology topo;
+  topo.add_angle({0, 1, 2, 4.0, kPi});  // wants straight
+  // 90-degree bend: delta = pi/2.
+  std::vector<Vec3d> pos = {{1, 0, 0}, {0, 0, 0}, {0, 1, 0}};
+  std::vector<Vec3d> acc(3);
+  const double pe = topo.accumulate_forces(pos, PeriodicBox(20), 1.0, acc);
+  EXPECT_NEAR(pe, 0.5 * 4.0 * (kPi / 2) * (kPi / 2), 1e-12);
+}
+
+TEST(AngleTopology, ForcesMatchNumericalGradient) {
+  AngleTopology topo;
+  topo.add_angle({0, 1, 2, 3.0, 2.0});
+  std::vector<Vec3d> pos = {{1.2, 0.1, -0.3}, {0, 0, 0}, {-0.4, 1.1, 0.2}};
+  PeriodicBox box(50);
+
+  std::vector<Vec3d> acc(3);
+  topo.accumulate_forces(pos, box, 1.0, acc);
+
+  const double h = 1e-7;
+  for (std::size_t atom = 0; atom < 3; ++atom) {
+    for (int axis = 0; axis < 3; ++axis) {
+      auto perturbed = pos;
+      double* coord = axis == 0 ? &perturbed[atom].x
+                     : axis == 1 ? &perturbed[atom].y
+                                 : &perturbed[atom].z;
+      std::vector<Vec3d> scratch(3);
+      *coord += h;
+      const double e_plus = topo.accumulate_forces(perturbed, box, 1.0, scratch);
+      *coord -= 2 * h;
+      const double e_minus = topo.accumulate_forces(perturbed, box, 1.0, scratch);
+      const double grad = (e_plus - e_minus) / (2 * h);
+      const double force = axis == 0 ? acc[atom].x
+                           : axis == 1 ? acc[atom].y
+                                       : acc[atom].z;
+      EXPECT_NEAR(force, -grad, 1e-5) << "atom " << atom << " axis " << axis;
+    }
+  }
+}
+
+TEST(AngleTopology, NetForceAndTorqueFreeInternally) {
+  AngleTopology topo;
+  topo.add_angle({0, 1, 2, 2.5, 1.8});
+  std::vector<Vec3d> pos = {{1, 0.2, 0}, {0, 0, 0}, {-0.3, 1.4, 0.5}};
+  std::vector<Vec3d> acc(3);
+  topo.accumulate_forces(pos, PeriodicBox(50), 1.0, acc);
+  Vec3d net{};
+  for (const auto& a : acc) net += a;
+  EXPECT_NEAR(length(net), 0.0, 1e-12);
+}
+
+TEST(AngleTopology, WorksAcrossPeriodicBoundary) {
+  AngleTopology topo;
+  topo.add_angle({0, 1, 2, 4.0, kPi});
+  // Straight chain through the boundary of a 10-box: x = 9.5, 0.5, 1.5.
+  std::vector<Vec3d> pos = {{9.5, 5, 5}, {0.5, 5, 5}, {1.5, 5, 5}};
+  std::vector<Vec3d> acc(3);
+  const double pe = topo.accumulate_forces(pos, PeriodicBox(10), 1.0, acc);
+  EXPECT_NEAR(pe, 0.0, 1e-12);  // straight = at rest angle pi
+}
+
+TEST(AngleTopology, CollinearDegenerateGeometrySkipsForce) {
+  AngleTopology topo;
+  topo.add_angle({0, 1, 2, 4.0, kPi / 2});
+  // Perfectly straight but rest angle pi/2: energy yes, force undefined ->
+  // skipped rather than NaN.
+  std::vector<Vec3d> pos = {{1, 0, 0}, {0, 0, 0}, {-1, 0, 0}};
+  std::vector<Vec3d> acc(3);
+  const double pe = topo.accumulate_forces(pos, PeriodicBox(20), 1.0, acc);
+  EXPECT_GT(pe, 0.0);
+  for (const auto& a : acc) {
+    EXPECT_TRUE(std::isfinite(a.x) && std::isfinite(a.y) && std::isfinite(a.z));
+  }
+}
+
+TEST(AngleTopology, OutOfRangeAtomThrows) {
+  AngleTopology topo;
+  topo.add_angle({0, 1, 9, 1.0, kPi});
+  std::vector<Vec3d> pos(3);
+  std::vector<Vec3d> acc(3);
+  EXPECT_THROW(topo.accumulate_forces(pos, PeriodicBox(10), 1.0, acc),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace emdpa::md

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.h"
+#include "md/bonded.h"
+
+namespace emdpa::md {
+namespace {
+
+TEST(BondTopology, RejectsSelfBond) {
+  BondTopology topo;
+  EXPECT_THROW(topo.add_bond({3, 3, 1.0, 1.0}), ContractViolation);
+}
+
+TEST(BondTopology, RejectsNegativeParameters) {
+  BondTopology topo;
+  EXPECT_THROW(topo.add_bond({0, 1, -1.0, 1.0}), ContractViolation);
+  EXPECT_THROW(topo.add_bond({0, 1, 1.0, -1.0}), ContractViolation);
+}
+
+TEST(BondTopology, LinearChainHasNMinusOneBonds) {
+  const BondTopology topo = BondTopology::linear_chain(10, 5.0, 1.0);
+  EXPECT_EQ(topo.size(), 9u);
+  EXPECT_EQ(topo.bonds()[0].i, 0u);
+  EXPECT_EQ(topo.bonds()[0].j, 1u);
+  EXPECT_EQ(topo.bonds()[8].j, 9u);
+}
+
+TEST(BondTopology, AtRestLengthNoForceNoEnergy) {
+  BondTopology topo;
+  topo.add_bond({0, 1, 10.0, 1.5});
+  std::vector<Vec3d> pos = {{0, 0, 0}, {1.5, 0, 0}};
+  std::vector<Vec3d> acc(2);
+  const double pe = topo.accumulate_forces(pos, PeriodicBox(20), 1.0, acc);
+  EXPECT_NEAR(pe, 0.0, 1e-14);
+  EXPECT_NEAR(length(acc[0]), 0.0, 1e-14);
+}
+
+TEST(BondTopology, StretchedBondPullsTogether) {
+  BondTopology topo;
+  topo.add_bond({0, 1, 4.0, 1.0});
+  std::vector<Vec3d> pos = {{0, 0, 0}, {2.0, 0, 0}};  // stretch = 1
+  std::vector<Vec3d> acc(2);
+  const double pe = topo.accumulate_forces(pos, PeriodicBox(20), 1.0, acc);
+  EXPECT_NEAR(pe, 0.5 * 4.0 * 1.0, 1e-12);   // 1/2 k x^2
+  EXPECT_NEAR(acc[0].x, 4.0, 1e-12);          // pulled toward +x
+  EXPECT_NEAR(acc[1].x, -4.0, 1e-12);
+}
+
+TEST(BondTopology, CompressedBondPushesApart) {
+  BondTopology topo;
+  topo.add_bond({0, 1, 4.0, 2.0});
+  std::vector<Vec3d> pos = {{0, 0, 0}, {1.0, 0, 0}};  // compressed by 1
+  std::vector<Vec3d> acc(2);
+  topo.accumulate_forces(pos, PeriodicBox(20), 1.0, acc);
+  EXPECT_LT(acc[0].x, 0.0);
+  EXPECT_GT(acc[1].x, 0.0);
+}
+
+TEST(BondTopology, NewtonsThirdLawAcrossChain) {
+  const BondTopology topo = BondTopology::linear_chain(6, 3.0, 0.9);
+  std::vector<Vec3d> pos;
+  for (int i = 0; i < 6; ++i) {
+    pos.push_back({i * 1.1, 0.1 * i * i, 0.0});
+  }
+  std::vector<Vec3d> acc(6);
+  topo.accumulate_forces(pos, PeriodicBox(50), 1.0, acc);
+  Vec3d net{};
+  for (const auto& a : acc) net += a;
+  EXPECT_NEAR(length(net), 0.0, 1e-12);
+}
+
+TEST(BondTopology, BondsWorkAcrossPeriodicBoundary) {
+  BondTopology topo;
+  topo.add_bond({0, 1, 2.0, 0.5});
+  // True separation through the boundary: 0.6.
+  std::vector<Vec3d> pos = {{0.2, 0, 0}, {9.6, 0, 0}};
+  std::vector<Vec3d> acc(2);
+  const double pe = topo.accumulate_forces(pos, PeriodicBox(10), 1.0, acc);
+  EXPECT_NEAR(pe, 0.5 * 2.0 * 0.1 * 0.1, 1e-12);
+}
+
+TEST(BondTopology, MassScalesAcceleration) {
+  BondTopology topo;
+  topo.add_bond({0, 1, 4.0, 1.0});
+  std::vector<Vec3d> pos = {{0, 0, 0}, {2, 0, 0}};
+  std::vector<Vec3d> acc1(2), acc2(2);
+  topo.accumulate_forces(pos, PeriodicBox(20), 1.0, acc1);
+  topo.accumulate_forces(pos, PeriodicBox(20), 2.0, acc2);
+  EXPECT_NEAR(acc2[0].x, 0.5 * acc1[0].x, 1e-12);
+}
+
+TEST(BondTopology, OutOfRangeAtomIndexThrows) {
+  BondTopology topo;
+  topo.add_bond({0, 5, 1.0, 1.0});
+  std::vector<Vec3d> pos(2);
+  std::vector<Vec3d> acc(2);
+  EXPECT_THROW(topo.accumulate_forces(pos, PeriodicBox(10), 1.0, acc),
+               ContractViolation);
+}
+
+TEST(BondTopology, MismatchedAccelerationArrayThrows) {
+  BondTopology topo;
+  topo.add_bond({0, 1, 1.0, 1.0});
+  std::vector<Vec3d> pos(2);
+  std::vector<Vec3d> acc(1);
+  EXPECT_THROW(topo.accumulate_forces(pos, PeriodicBox(10), 1.0, acc),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace emdpa::md

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "md/cell_list_kernel.h"
+#include "md/reference_kernel.h"
+#include "md/workload.h"
+
+namespace emdpa::md {
+namespace {
+
+/// The cell-list kernel must reproduce the N^2 kernel exactly — same pairs,
+/// same forces, same PE — on any configuration.
+class CellListAgreement : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CellListAgreement, MatchesReferenceOnLattice) {
+  WorkloadSpec spec;
+  spec.n_atoms = GetParam();
+  Workload w = make_lattice_workload(spec);
+  LjParams lj;
+
+  ReferenceKernel ref;
+  CellListKernel cells;
+  const auto a = ref.compute(w.system.positions(), w.box, lj, 1.0);
+  const auto b = cells.compute(w.system.positions(), w.box, lj, 1.0);
+
+  EXPECT_EQ(a.stats.interacting, b.stats.interacting);
+  EXPECT_NEAR(a.potential_energy, b.potential_energy,
+              1e-9 * std::fabs(a.potential_energy));
+  for (std::size_t i = 0; i < a.accelerations.size(); ++i) {
+    EXPECT_NEAR(a.accelerations[i].x, b.accelerations[i].x, 1e-9);
+    EXPECT_NEAR(a.accelerations[i].y, b.accelerations[i].y, 1e-9);
+    EXPECT_NEAR(a.accelerations[i].z, b.accelerations[i].z, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AtomCounts, CellListAgreement,
+                         ::testing::Values(32, 64, 128, 256, 500));
+
+TEST(CellListKernel, MatchesReferenceOnRandomGas) {
+  WorkloadSpec spec;
+  spec.n_atoms = 100;
+  spec.density = 0.5;
+  Workload w = make_random_gas_workload(spec, 0.8);
+  LjParams lj;
+
+  ReferenceKernel ref;
+  CellListKernel cells;
+  const auto a = ref.compute(w.system.positions(), w.box, lj, 1.0);
+  const auto b = cells.compute(w.system.positions(), w.box, lj, 1.0);
+  EXPECT_EQ(a.stats.interacting, b.stats.interacting);
+  EXPECT_NEAR(a.potential_energy, b.potential_energy, 1e-9);
+}
+
+TEST(CellListKernel, DegenerateSmallBoxFallsBackCorrectly) {
+  // Box smaller than 3 cutoffs: the kernel must still match the reference.
+  WorkloadSpec spec;
+  spec.n_atoms = 27;  // edge ~ 3.2 at rho 0.8442 < 3 * 2.5
+  Workload w = make_lattice_workload(spec);
+  LjParams lj;
+  lj.cutoff = 1.5;  // keep cutoff < edge/2 so min-image is well defined
+
+  ReferenceKernel ref;
+  CellListKernel cells;
+  const auto a = ref.compute(w.system.positions(), w.box, lj, 1.0);
+  const auto b = cells.compute(w.system.positions(), w.box, lj, 1.0);
+  EXPECT_EQ(a.stats.interacting, b.stats.interacting);
+  EXPECT_NEAR(a.potential_energy, b.potential_energy, 1e-10);
+}
+
+TEST(CellListKernel, ExaminesFarFewerCandidatesAtScale) {
+  // Needs >= 5 cells per axis before the 27-cell neighbourhood is a small
+  // fraction of the box; at this density that means a few thousand atoms.
+  WorkloadSpec spec;
+  spec.n_atoms = 2048;
+  Workload w = make_lattice_workload(spec);
+  LjParams lj;
+
+  ReferenceKernel ref;
+  CellListKernel cells;
+  const auto a = ref.compute(w.system.positions(), w.box, lj, 1.0);
+  const auto b = cells.compute(w.system.positions(), w.box, lj, 1.0);
+  // The point of the technique: candidate tests shrink dramatically.
+  EXPECT_LT(b.stats.candidates, a.stats.candidates / 2);
+}
+
+TEST(CellListKernel, HandlesUnwrappedPositions) {
+  LjParams lj;
+  CellListKernel cells;
+  ReferenceKernel ref;
+  std::vector<Vec3d> pos = {{-0.5, 5, 5}, {9.8, 5, 5}, {4.0, 5.0, 5.0}};
+  PeriodicBox box(10);
+  const auto a = ref.compute(pos, box, lj, 1.0);
+  const auto b = cells.compute(pos, box, lj, 1.0);
+  EXPECT_EQ(a.stats.interacting, b.stats.interacting);
+  EXPECT_NEAR(a.potential_energy, b.potential_energy, 1e-10);
+}
+
+TEST(CellListKernel, Name) {
+  EXPECT_EQ(CellListKernel().name(), "cell-list");
+}
+
+}  // namespace
+}  // namespace emdpa::md

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/error.h"
+#include "md/checkpoint.h"
+#include "md/workload.h"
+
+namespace emdpa::md {
+namespace {
+
+ParticleSystem sample_system() {
+  WorkloadSpec spec;
+  spec.n_atoms = 27;
+  Workload w = make_lattice_workload(spec);
+  w.system.accelerations()[3] = {0.1, -0.2, 0.3};
+  return std::move(w.system);
+}
+
+TEST(Checkpoint, RoundTripIsBitExact) {
+  const ParticleSystem original = sample_system();
+  PeriodicBox box(5.5);
+
+  std::stringstream stream;
+  save_checkpoint(stream, original, box, 42);
+  const Checkpoint cp = load_checkpoint(stream);
+
+  EXPECT_EQ(cp.step, 42);
+  EXPECT_DOUBLE_EQ(cp.box_edge, 5.5);
+  ASSERT_EQ(cp.system.size(), original.size());
+  EXPECT_EQ(cp.system.mass(), original.mass());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(cp.system.positions()[i], original.positions()[i]);
+    EXPECT_EQ(cp.system.velocities()[i], original.velocities()[i]);
+    EXPECT_EQ(cp.system.accelerations()[i], original.accelerations()[i]);
+  }
+}
+
+TEST(Checkpoint, PreservesExtremeValues) {
+  ParticleSystem ps(1);
+  ps.positions()[0] = {1e-300, -1e300, 0.1};  // 0.1 is not exact in binary
+  ps.velocities()[0] = {-0.0, 3.14159265358979323846, 1e-17};
+  std::stringstream stream;
+  save_checkpoint(stream, ps, PeriodicBox(1.0), 0);
+  const Checkpoint cp = load_checkpoint(stream);
+  EXPECT_EQ(cp.system.positions()[0], ps.positions()[0]);
+  EXPECT_EQ(cp.system.velocities()[0], ps.velocities()[0]);
+  // Even the sign of zero survives the hex-float round trip.
+  EXPECT_TRUE(std::signbit(cp.system.velocities()[0].x));
+}
+
+TEST(Checkpoint, RejectsBadMagic) {
+  std::stringstream stream("not-a-checkpoint 1\n");
+  EXPECT_THROW(load_checkpoint(stream), RuntimeFailure);
+}
+
+TEST(Checkpoint, RejectsWrongVersion) {
+  std::stringstream stream("emdpa-checkpoint 99\natoms 0 mass 1 box 1 step 0\n");
+  EXPECT_THROW(load_checkpoint(stream), RuntimeFailure);
+}
+
+TEST(Checkpoint, RejectsTruncatedAtoms) {
+  const ParticleSystem original = sample_system();
+  std::stringstream stream;
+  save_checkpoint(stream, original, PeriodicBox(5.5), 0);
+  std::string text = stream.str();
+  text.resize(text.size() * 2 / 3);  // cut mid-atom
+  std::stringstream cut(text);
+  EXPECT_THROW(load_checkpoint(cut), RuntimeFailure);
+}
+
+TEST(Checkpoint, RejectsMalformedNumbers) {
+  std::stringstream stream(
+      "emdpa-checkpoint 1\natoms 1 mass banana box 1 step 0\n"
+      "0 0 0 0 0 0 0 0 0\n");
+  EXPECT_THROW(load_checkpoint(stream), RuntimeFailure);
+}
+
+TEST(Checkpoint, RejectsMissingHeader) {
+  std::stringstream stream("");
+  EXPECT_THROW(load_checkpoint(stream), RuntimeFailure);
+}
+
+TEST(Checkpoint, EmptySystemRoundTrips) {
+  ParticleSystem ps(1);
+  std::stringstream stream;
+  save_checkpoint(stream, ps, PeriodicBox(2.0), 7);
+  const Checkpoint cp = load_checkpoint(stream);
+  EXPECT_EQ(cp.system.size(), 1u);
+  EXPECT_EQ(cp.step, 7);
+}
+
+}  // namespace
+}  // namespace emdpa::md

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.h"
+#include "md/integrator.h"
+#include "md/observables.h"
+#include "md/reference_kernel.h"
+#include "md/workload.h"
+
+namespace emdpa::md {
+namespace {
+
+Workload make_small_fluid(std::size_t n = 64, double temperature = 0.7) {
+  WorkloadSpec spec;
+  spec.n_atoms = n;
+  spec.temperature = temperature;
+  return make_lattice_workload(spec);
+}
+
+TEST(VelocityVerlet, RejectsNonPositiveTimeStep) {
+  EXPECT_THROW(VelocityVerlet(0.0), ContractViolation);
+  EXPECT_THROW(VelocityVerlet(-0.1), ContractViolation);
+}
+
+TEST(VelocityVerlet, PrimeSetsAccelerations) {
+  Workload w = make_small_fluid();
+  LjParams lj;
+  ReferenceKernel kernel;
+  VelocityVerlet vv(0.005);
+  const auto e = vv.prime(w.system, w.box, lj, kernel);
+  EXPECT_GT(e.kinetic, 0.0);
+  EXPECT_LT(e.potential, 0.0);  // bound liquid
+  bool any_nonzero = false;
+  for (const auto& a : w.system.accelerations()) {
+    if (length_squared(a) > 0) any_nonzero = true;
+  }
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(VelocityVerlet, MomentumConservedOverManySteps) {
+  Workload w = make_small_fluid();
+  LjParams lj;
+  ReferenceKernel kernel;
+  VelocityVerlet vv(0.004);
+  vv.prime(w.system, w.box, lj, kernel);
+  for (int s = 0; s < 50; ++s) vv.step(w.system, w.box, lj, kernel);
+  const Vec3d p = total_momentum_of(w.system);
+  EXPECT_NEAR(p.x, 0.0, 1e-9);
+  EXPECT_NEAR(p.y, 0.0, 1e-9);
+  EXPECT_NEAR(p.z, 0.0, 1e-9);
+}
+
+TEST(VelocityVerlet, EnergyConservedWithShiftedPotential) {
+  // Shifted LJ removes the cutoff energy discontinuity; with a small step
+  // the total energy drift over 200 steps must be tiny.
+  Workload w = make_small_fluid(64, 0.5);
+  LjParams lj;
+  lj.shifted = true;
+  ReferenceKernel kernel;
+  VelocityVerlet vv(0.002);
+  const auto e0 = vv.prime(w.system, w.box, lj, kernel);
+  StepEnergies last{};
+  for (int s = 0; s < 200; ++s) last = vv.step(w.system, w.box, lj, kernel);
+  const double scale = std::fabs(e0.total()) + std::fabs(e0.kinetic);
+  EXPECT_NEAR(last.total(), e0.total(), 0.01 * scale);
+}
+
+TEST(VelocityVerlet, StepEnergiesAreConsistentWithState) {
+  Workload w = make_small_fluid();
+  LjParams lj;
+  ReferenceKernel kernel;
+  VelocityVerlet vv(0.005);
+  vv.prime(w.system, w.box, lj, kernel);
+  const auto e = vv.step(w.system, w.box, lj, kernel);
+  EXPECT_NEAR(e.kinetic, kinetic_energy_of(w.system), 1e-12);
+}
+
+TEST(VelocityVerlet, PositionsStayWrapped) {
+  Workload w = make_small_fluid(64, 2.0);
+  LjParams lj;
+  ReferenceKernel kernel;
+  VelocityVerlet vv(0.005);
+  vv.prime(w.system, w.box, lj, kernel);
+  for (int s = 0; s < 20; ++s) vv.step(w.system, w.box, lj, kernel);
+  for (const auto& p : w.system.positions()) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LT(p.x, w.box.edge());
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LT(p.y, w.box.edge());
+    EXPECT_GE(p.z, 0.0);
+    EXPECT_LT(p.z, w.box.edge());
+  }
+}
+
+TEST(VelocityVerlet, TimeReversible) {
+  // Integrate forward, negate velocities, integrate the same number of
+  // steps: the system returns (numerically) to its start.
+  Workload w = make_small_fluid(32, 0.3);
+  const std::vector<Vec3d> start = w.system.positions();
+  LjParams lj;
+  lj.shifted = true;
+  ReferenceKernel kernel;
+  VelocityVerlet vv(0.002);
+  vv.prime(w.system, w.box, lj, kernel);
+  const int steps = 25;
+  for (int s = 0; s < steps; ++s) vv.step(w.system, w.box, lj, kernel);
+  for (auto& v : w.system.velocities()) v = -v;
+  for (int s = 0; s < steps; ++s) vv.step(w.system, w.box, lj, kernel);
+  for (std::size_t i = 0; i < start.size(); ++i) {
+    const Vec3d dr = w.box.min_image(w.system.positions()[i] - start[i]);
+    EXPECT_NEAR(length(dr), 0.0, 1e-8);
+  }
+}
+
+TEST(VelocityVerlet, FrozenLatticeAtEquilibriumSpacingStaysPut) {
+  // A perfect cubic lattice at T=0 is a force-equilibrium configuration by
+  // symmetry: nothing should move.  N = 125 = 5^3 fills the lattice exactly
+  // AND satisfies the minimum-image validity condition cutoff <= edge/2
+  // (edge 5.29 at this density); smaller boxes genuinely break the symmetry
+  // through one-sided minimum images.
+  WorkloadSpec spec;
+  spec.n_atoms = 125;
+  spec.temperature = 0.0;
+  Workload w = make_lattice_workload(spec);
+  LjParams lj;
+  ReferenceKernel kernel;
+  VelocityVerlet vv(0.005);
+  vv.prime(w.system, w.box, lj, kernel);
+  const std::vector<Vec3d> start = w.system.positions();
+  for (int s = 0; s < 10; ++s) vv.step(w.system, w.box, lj, kernel);
+  for (std::size_t i = 0; i < start.size(); ++i) {
+    EXPECT_NEAR(length(w.system.positions()[i] - start[i]), 0.0, 1e-9);
+  }
+}
+
+class TimestepConvergence : public ::testing::TestWithParam<double> {};
+
+TEST_P(TimestepConvergence, SmallerStepsConserveEnergyBetter) {
+  Workload w = make_small_fluid(48, 0.6);
+  LjParams lj;
+  lj.shifted = true;
+  ReferenceKernel kernel;
+  const double dt = GetParam();
+  VelocityVerlet vv(dt);
+  const auto e0 = vv.prime(w.system, w.box, lj, kernel);
+  StepEnergies last{};
+  const int steps = static_cast<int>(0.2 / dt);  // fixed physical time
+  for (int s = 0; s < steps; ++s) last = vv.step(w.system, w.box, lj, kernel);
+  // Velocity Verlet is O(dt^2) away from the cutoff, but atoms crossing the
+  // truncation radius inject O(dt)-ish noise in the (unsmoothed) force, so
+  // assert a looser dt^1.5 envelope — still strong enough to catch a broken
+  // integrator, whose drift would not shrink with dt at all.
+  const double drift = std::fabs(last.total() - e0.total());
+  EXPECT_LT(drift, 0.5 * std::pow(dt / 0.004, 1.5) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Steps, TimestepConvergence,
+                         ::testing::Values(0.001, 0.002, 0.004));
+
+}  // namespace
+}  // namespace emdpa::md

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.h"
+#include "md/langevin.h"
+#include "md/observables.h"
+#include "md/workload.h"
+
+namespace emdpa::md {
+namespace {
+
+TEST(Langevin, Validation) {
+  EXPECT_THROW(LangevinThermostat(-1.0, 1.0, 1), ContractViolation);
+  EXPECT_THROW(LangevinThermostat(1.0, 0.0, 1), ContractViolation);
+  LangevinThermostat ok(1.0, 1.0, 1);
+  ParticleSystem ps(4);
+  EXPECT_THROW(ok.apply(ps, 0.0), ContractViolation);
+}
+
+TEST(Langevin, DeterministicForSameSeed) {
+  ParticleSystem a(16), b(16);
+  LangevinThermostat ta(1.0, 2.0, 7), tb(1.0, 2.0, 7);
+  for (int s = 0; s < 5; ++s) {
+    ta.apply(a, 0.01);
+    tb.apply(b, 0.01);
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.velocities()[i], b.velocities()[i]);
+  }
+}
+
+TEST(Langevin, SamplesTargetTemperatureFromCold) {
+  // Pure OU process (no forces): long-run mean temperature == target.
+  ParticleSystem ps(256);
+  LangevinThermostat thermostat(1.5, 5.0, 42);
+  double t_sum = 0.0;
+  const int steps = 2000;
+  for (int s = 0; s < steps; ++s) {
+    thermostat.apply(ps, 0.01);
+    if (s >= steps / 2) t_sum += temperature_of(ps);
+  }
+  EXPECT_NEAR(t_sum / (steps / 2), 1.5, 0.1);
+}
+
+TEST(Langevin, CoolsHotSystems) {
+  WorkloadSpec spec;
+  spec.n_atoms = 128;
+  spec.temperature = 5.0;
+  Workload w = make_lattice_workload(spec);
+  LangevinThermostat thermostat(0.5, 5.0, 3);
+  for (int s = 0; s < 500; ++s) thermostat.apply(w.system, 0.01);
+  EXPECT_NEAR(temperature_of(w.system), 0.5, 0.2);
+}
+
+TEST(Langevin, ZeroTargetFreezes) {
+  WorkloadSpec spec;
+  spec.n_atoms = 64;
+  spec.temperature = 1.0;
+  Workload w = make_lattice_workload(spec);
+  LangevinThermostat thermostat(0.0, 10.0, 3);
+  for (int s = 0; s < 200; ++s) thermostat.apply(w.system, 0.01);
+  EXPECT_LT(temperature_of(w.system), 1e-6);
+}
+
+TEST(Langevin, ExactOuDiscretisation) {
+  // One application from a known state: v' = c1*v + noise; with enormous
+  // friction c1 ~ 0, the old velocity is forgotten entirely.
+  ParticleSystem ps(1000);
+  for (auto& v : ps.velocities()) v = {100.0, 0, 0};
+  LangevinThermostat thermostat(1.0, 1e6, 11);
+  thermostat.apply(ps, 1.0);
+  EXPECT_NEAR(temperature_of(ps), 1.0, 0.1);  // memoryless resample
+}
+
+TEST(Langevin, MassScalesNoise) {
+  // Heavier atoms get slower thermal velocities at the same temperature;
+  // the *temperature* (which folds in the mass) still matches.
+  ParticleSystem ps(512);
+  ps.set_mass(4.0);
+  LangevinThermostat thermostat(2.0, 1e6, 5);
+  thermostat.apply(ps, 1.0);
+  EXPECT_NEAR(temperature_of(ps), 2.0, 0.2);
+  double v2 = 0;
+  for (const auto& v : ps.velocities()) v2 += length_squared(v);
+  v2 /= ps.size();
+  EXPECT_NEAR(v2, 3.0 * 2.0 / 4.0, 0.2);  // <v^2> = 3T/m
+}
+
+}  // namespace
+}  // namespace emdpa::md

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "md/lj_potential.h"
+
+namespace emdpa::md {
+namespace {
+
+TEST(LjPotential, ZeroCrossingAtSigma) {
+  LjParams lj;
+  EXPECT_NEAR(lj.pair_energy(lj.sigma * lj.sigma), 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(lj.zero_crossing(), 1.0);
+}
+
+TEST(LjPotential, MinimumAtTwoToTheSixth) {
+  LjParams lj;
+  const double rmin = lj.minimum_location();
+  EXPECT_NEAR(rmin, std::pow(2.0, 1.0 / 6.0), 1e-12);
+  EXPECT_NEAR(lj.pair_energy(rmin * rmin), -1.0, 1e-12);
+  // Force crosses zero at the minimum.
+  EXPECT_NEAR(lj.pair_force_over_r(rmin * rmin), 0.0, 1e-10);
+}
+
+TEST(LjPotential, RepulsiveInsideMinimum) {
+  LjParams lj;
+  EXPECT_GT(lj.pair_force_over_r(0.9 * 0.9), 0.0);
+}
+
+TEST(LjPotential, AttractiveOutsideMinimum) {
+  LjParams lj;
+  EXPECT_LT(lj.pair_force_over_r(1.5 * 1.5), 0.0);
+}
+
+TEST(LjPotential, ForceIsNegativeEnergyGradient) {
+  // F(r) = -dV/dr, checked by central differences over a range of r.
+  LjParams lj;
+  for (double r = 0.85; r < 2.4; r += 0.05) {
+    const double h = 1e-6;
+    const double dv = (lj.pair_energy((r + h) * (r + h)) -
+                       lj.pair_energy((r - h) * (r - h))) /
+                      (2 * h);
+    const double force = lj.pair_force_over_r(r * r) * r;  // F = (F/r) * r
+    EXPECT_NEAR(force, -dv, 1e-5 * std::max(1.0, std::fabs(dv)));
+  }
+}
+
+TEST(LjPotential, EpsilonScalesEnergyAndForce) {
+  LjParams lj1;
+  LjParams lj3;
+  lj3.epsilon = 3.0;
+  const double r2 = 1.44;
+  EXPECT_NEAR(lj3.pair_energy(r2), 3.0 * lj1.pair_energy(r2), 1e-12);
+  EXPECT_NEAR(lj3.pair_force_over_r(r2), 3.0 * lj1.pair_force_over_r(r2), 1e-12);
+}
+
+TEST(LjPotential, SigmaScalesLength) {
+  LjParams lj2;
+  lj2.sigma = 2.0;
+  // V_sigma(r) = V_1(r / sigma).
+  LjParams lj1;
+  const double r = 2.6;
+  EXPECT_NEAR(lj2.pair_energy(r * r), lj1.pair_energy((r / 2) * (r / 2)), 1e-12);
+}
+
+TEST(LjPotential, CutoffSquared) {
+  LjParams lj;
+  lj.cutoff = 2.5;
+  EXPECT_DOUBLE_EQ(lj.cutoff_squared(), 6.25);
+}
+
+TEST(LjPotential, ShiftedFormIsZeroAtCutoff) {
+  LjParams lj;
+  lj.shifted = true;
+  EXPECT_NEAR(lj.pair_energy(lj.cutoff_squared()), 0.0, 1e-15);
+}
+
+TEST(LjPotential, ShiftedFormOffsetsByConstant) {
+  LjParams plain, shifted;
+  shifted.shifted = true;
+  const double r2 = 1.21;
+  EXPECT_NEAR(shifted.pair_energy(r2),
+              plain.pair_energy(r2) - plain.energy_shift(), 1e-15);
+}
+
+TEST(LjPotential, ShiftDoesNotChangeForce) {
+  LjParams plain, shifted;
+  shifted.shifted = true;
+  EXPECT_DOUBLE_EQ(shifted.pair_force_over_r(1.1), plain.pair_force_over_r(1.1));
+}
+
+TEST(LjPotential, PrecisionCastPreservesFields) {
+  LjParams lj;
+  lj.epsilon = 2.0;
+  lj.sigma = 1.5;
+  lj.cutoff = 3.0;
+  lj.shifted = true;
+  const auto f = lj.cast<float>();
+  EXPECT_FLOAT_EQ(f.epsilon, 2.0f);
+  EXPECT_FLOAT_EQ(f.sigma, 1.5f);
+  EXPECT_FLOAT_EQ(f.cutoff, 3.0f);
+  EXPECT_TRUE(f.shifted);
+}
+
+TEST(LjPotential, SinglePrecisionAgreesWithDouble) {
+  LjParams d;
+  const auto f = d.cast<float>();
+  for (double r = 0.9; r < 2.4; r += 0.1) {
+    const auto ed = d.pair_energy(r * r);
+    const auto ef = f.pair_energy(static_cast<float>(r * r));
+    EXPECT_NEAR(ed, ef, 1e-4 * std::max(1.0, std::fabs(ed)));
+  }
+}
+
+}  // namespace
+}  // namespace emdpa::md

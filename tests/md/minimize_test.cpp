@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.h"
+#include "md/minimize.h"
+#include "md/reference_kernel.h"
+#include "md/workload.h"
+
+namespace emdpa::md {
+namespace {
+
+TEST(Minimize, ValidatesOptions) {
+  ParticleSystem ps(2);
+  PeriodicBox box(10);
+  LjParams lj;
+  ReferenceKernel kernel;
+  MinimizeOptions bad;
+  bad.max_iterations = 0;
+  EXPECT_THROW(minimize_energy(ps, box, lj, kernel, bad), ContractViolation);
+  bad = {};
+  bad.force_tolerance = 0;
+  EXPECT_THROW(minimize_energy(ps, box, lj, kernel, bad), ContractViolation);
+}
+
+TEST(Minimize, TwoAtomsRelaxToPotentialMinimum) {
+  ParticleSystem ps(2);
+  ps.positions() = {{5.0, 5.0, 5.0}, {6.0, 5.0, 5.0}};  // r = 1.0, repulsive
+  PeriodicBox box(20);
+  LjParams lj;
+  ReferenceKernel kernel;
+
+  const auto result = minimize_energy(ps, box, lj, kernel);
+  EXPECT_TRUE(result.converged);
+  const double r = length(box.min_image(ps.positions()[0] - ps.positions()[1]));
+  EXPECT_NEAR(r, std::pow(2.0, 1.0 / 6.0), 1e-3);
+  EXPECT_NEAR(result.final_energy, -1.0, 1e-5);
+}
+
+TEST(Minimize, EnergyNeverIncreases) {
+  WorkloadSpec spec;
+  spec.n_atoms = 64;
+  spec.density = 0.6;
+  spec.seed = 5;
+  Workload w = make_random_gas_workload(spec, 0.85);
+  LjParams lj;
+  ReferenceKernel kernel;
+
+  MinimizeOptions options;
+  options.max_iterations = 200;
+  const auto result = minimize_energy(w.system, w.box, lj, kernel, options);
+  EXPECT_LE(result.final_energy, result.initial_energy);
+  EXPECT_GT(result.iterations, 0);
+}
+
+TEST(Minimize, RemovesOverlapsFromRandomPacking) {
+  // A dense random gas with mild overlaps has huge positive energy; after
+  // minimisation the system is bound (negative PE).
+  WorkloadSpec spec;
+  spec.n_atoms = 64;
+  spec.density = 0.7;
+  spec.seed = 9;
+  Workload w = make_random_gas_workload(spec, 0.75);
+  LjParams lj;
+  ReferenceKernel kernel;
+
+  MinimizeOptions options;
+  options.max_iterations = 2000;
+  options.force_tolerance = 1e-3;
+  const auto result = minimize_energy(w.system, w.box, lj, kernel, options);
+  EXPECT_LT(result.final_energy, 0.0);
+  EXPECT_LT(result.final_energy, result.initial_energy);
+}
+
+TEST(Minimize, AlreadyRelaxedSystemConvergesImmediately) {
+  // The perfect cubic lattice is a stationary point: zero force, zero
+  // iterations.
+  WorkloadSpec spec;
+  spec.n_atoms = 125;
+  spec.temperature = 0.0;
+  Workload w = make_lattice_workload(spec);
+  LjParams lj;
+  ReferenceKernel kernel;
+  MinimizeOptions options;
+  options.force_tolerance = 1e-6;
+  const auto result = minimize_energy(w.system, w.box, lj, kernel, options);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.iterations, 0);
+}
+
+TEST(Minimize, VelocitiesUntouched) {
+  ParticleSystem ps(2);
+  ps.positions() = {{5, 5, 5}, {6.2, 5, 5}};
+  ps.velocities() = {{1, 2, 3}, {-1, -2, -3}};
+  PeriodicBox box(20);
+  LjParams lj;
+  ReferenceKernel kernel;
+  minimize_energy(ps, box, lj, kernel);
+  EXPECT_EQ(ps.velocities()[0], (Vec3d{1, 2, 3}));
+  EXPECT_EQ(ps.velocities()[1], (Vec3d{-1, -2, -3}));
+}
+
+}  // namespace
+}  // namespace emdpa::md

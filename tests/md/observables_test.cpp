@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "md/observables.h"
+
+namespace emdpa::md {
+namespace {
+
+TEST(Observables, KineticEnergyOfStaticSystemIsZero) {
+  ParticleSystem ps(10);
+  EXPECT_DOUBLE_EQ(kinetic_energy_of(ps), 0.0);
+}
+
+TEST(Observables, KineticEnergySingleParticle) {
+  ParticleSystem ps(1);
+  ps.velocities()[0] = {3, 0, 4};  // |v|^2 = 25
+  EXPECT_DOUBLE_EQ(kinetic_energy_of(ps), 12.5);
+}
+
+TEST(Observables, KineticEnergyScalesWithMass) {
+  ParticleSystem ps(1);
+  ps.velocities()[0] = {1, 1, 1};
+  ps.set_mass(4.0);
+  EXPECT_DOUBLE_EQ(kinetic_energy_of(ps), 6.0);
+}
+
+TEST(Observables, TemperatureFromEquipartition) {
+  // T = 2*KE / (3N): one atom with KE = 1.5 -> T = 1.
+  ParticleSystem ps(1);
+  ps.velocities()[0] = {1, 1, 1};  // KE = 1.5
+  EXPECT_DOUBLE_EQ(temperature_of(ps), 1.0);
+}
+
+TEST(Observables, TemperatureOfEmptySystemIsZero) {
+  ParticleSystem ps;
+  EXPECT_DOUBLE_EQ(temperature_of(ps), 0.0);
+}
+
+TEST(Observables, MomentumSumsVelocities) {
+  ParticleSystem ps(2);
+  ps.velocities()[0] = {1, 2, 3};
+  ps.velocities()[1] = {-1, 0, 1};
+  ps.set_mass(2.0);
+  EXPECT_EQ(total_momentum_of(ps), (Vec3d{0, 4, 8}));
+}
+
+TEST(Observables, CenterOfMass) {
+  ParticleSystem ps(2);
+  ps.positions()[0] = {0, 0, 0};
+  ps.positions()[1] = {2, 4, 6};
+  EXPECT_EQ(center_of_mass_of(ps), (Vec3d{1, 2, 3}));
+}
+
+TEST(Observables, CenterOfMassOfEmptySystem) {
+  ParticleSystem ps;
+  EXPECT_EQ(center_of_mass_of(ps), Vec3d{});
+}
+
+TEST(Observables, SinglePrecisionInstantiations) {
+  ParticleSystemF ps(1);
+  ps.velocities()[0] = {2, 0, 0};
+  EXPECT_FLOAT_EQ(kinetic_energy_of(ps), 2.0f);
+  EXPECT_FLOAT_EQ(total_momentum_of(ps).x, 2.0f);
+}
+
+}  // namespace
+}  // namespace emdpa::md

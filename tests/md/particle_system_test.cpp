@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "md/particle_system.h"
+
+namespace emdpa::md {
+namespace {
+
+TEST(ParticleSystem, DefaultIsEmpty) {
+  ParticleSystem ps;
+  EXPECT_TRUE(ps.empty());
+  EXPECT_EQ(ps.size(), 0u);
+}
+
+TEST(ParticleSystem, SizedConstructionZeroInitialises) {
+  ParticleSystem ps(5);
+  EXPECT_EQ(ps.size(), 5u);
+  EXPECT_EQ(ps.positions().size(), 5u);
+  EXPECT_EQ(ps.velocities().size(), 5u);
+  EXPECT_EQ(ps.accelerations().size(), 5u);
+  for (const auto& p : ps.positions()) EXPECT_EQ(p, Vec3d{});
+  EXPECT_DOUBLE_EQ(ps.mass(), 1.0);
+}
+
+TEST(ParticleSystem, MassValidation) {
+  ParticleSystem ps(1);
+  ps.set_mass(2.5);
+  EXPECT_DOUBLE_EQ(ps.mass(), 2.5);
+  EXPECT_THROW(ps.set_mass(0.0), ContractViolation);
+  EXPECT_THROW(ps.set_mass(-1.0), ContractViolation);
+}
+
+TEST(ParticleSystem, StateIsMutable) {
+  ParticleSystem ps(2);
+  ps.positions()[1] = {1, 2, 3};
+  ps.velocities()[0] = {-1, 0, 1};
+  ps.accelerations()[1] = {9, 9, 9};
+  EXPECT_EQ(ps.positions()[1], (Vec3d{1, 2, 3}));
+  EXPECT_EQ(ps.velocities()[0], (Vec3d{-1, 0, 1}));
+  EXPECT_EQ(ps.accelerations()[1], (Vec3d{9, 9, 9}));
+}
+
+TEST(ParticleSystem, CastConvertsAllState) {
+  ParticleSystem ps(2);
+  ps.positions()[0] = {0.5, 1.5, 2.5};
+  ps.velocities()[1] = {-0.25, 0, 0.25};
+  ps.set_mass(2.0);
+
+  const ParticleSystemF f = ps.cast<float>();
+  EXPECT_EQ(f.size(), 2u);
+  EXPECT_EQ(f.positions()[0], (Vec3f{0.5f, 1.5f, 2.5f}));
+  EXPECT_EQ(f.velocities()[1], (Vec3f{-0.25f, 0.0f, 0.25f}));
+  EXPECT_FLOAT_EQ(f.mass(), 2.0f);
+}
+
+TEST(ParticleSystem, CastRoundTripExactForRepresentableValues) {
+  ParticleSystem ps(1);
+  ps.positions()[0] = {0.125, -4.0, 7.5};
+  const ParticleSystem back = ps.cast<float>().cast<double>();
+  EXPECT_EQ(back.positions()[0], ps.positions()[0]);
+}
+
+}  // namespace
+}  // namespace emdpa::md

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "md/observables.h"
+#include "md/reference_kernel.h"
+#include "md/workload.h"
+
+namespace emdpa::md {
+namespace {
+
+/// Two isolated atoms at separation r along x in a large box.
+struct PairSetup {
+  std::vector<Vec3d> positions;
+  PeriodicBox box{20.0};
+};
+
+PairSetup make_pair(double r) {
+  PairSetup s;
+  s.positions = {{5.0, 5.0, 5.0}, {5.0 + r, 5.0, 5.0}};
+  return s;
+}
+
+TEST(ReferenceKernel, TwoAtomForceMatchesAnalyticLJ) {
+  LjParams lj;
+  ReferenceKernel kernel;
+  const double r = 1.2;
+  const PairSetup s = make_pair(r);
+  const auto result = kernel.compute(s.positions, s.box, lj, 1.0);
+
+  const double expect_fx = lj.pair_force_over_r(r * r) * (-r);  // on atom 0
+  EXPECT_NEAR(result.accelerations[0].x, expect_fx, 1e-12);
+  EXPECT_NEAR(result.accelerations[1].x, -expect_fx, 1e-12);
+  EXPECT_NEAR(result.accelerations[0].y, 0.0, 1e-15);
+  EXPECT_NEAR(result.potential_energy, lj.pair_energy(r * r), 1e-12);
+}
+
+TEST(ReferenceKernel, PairStatsCountBothDirections) {
+  LjParams lj;
+  ReferenceKernel kernel;
+  const auto result = kernel.compute(make_pair(1.2).positions, PeriodicBox(20), lj, 1.0);
+  EXPECT_EQ(result.stats.candidates, 2u);   // ordered pairs
+  EXPECT_EQ(result.stats.interacting, 2u);
+}
+
+TEST(ReferenceKernel, BeyondCutoffNoInteraction) {
+  LjParams lj;
+  ReferenceKernel kernel;
+  const auto result = kernel.compute(make_pair(2.6).positions, PeriodicBox(20), lj, 1.0);
+  EXPECT_EQ(result.stats.interacting, 0u);
+  EXPECT_EQ(result.potential_energy, 0.0);
+  EXPECT_EQ(result.accelerations[0], Vec3d{});
+}
+
+TEST(ReferenceKernel, ExactlyAtCutoffExcluded) {
+  LjParams lj;  // cutoff 2.5, test uses strict <
+  ReferenceKernel kernel;
+  const auto result = kernel.compute(make_pair(2.5).positions, PeriodicBox(20), lj, 1.0);
+  EXPECT_EQ(result.stats.interacting, 0u);
+}
+
+TEST(ReferenceKernel, InteractsAcrossPeriodicBoundary) {
+  LjParams lj;
+  ReferenceKernel kernel;
+  // Atoms at x=0.2 and x=9.4 in a box of 10: true separation 0.8 via the
+  // boundary.
+  std::vector<Vec3d> pos = {{0.2, 5, 5}, {9.4, 5, 5}};
+  const auto result = kernel.compute(pos, PeriodicBox(10), lj, 1.0);
+  EXPECT_EQ(result.stats.interacting, 2u);
+  EXPECT_NEAR(result.potential_energy, lj.pair_energy(0.8 * 0.8), 1e-12);
+  // Atom 0 is pushed in +x? dr = p0 - p1 = -9.2 -> min image +0.8; force on
+  // atom 0 along +dr for repulsive pair (r < sigma): +x.
+  EXPECT_GT(result.accelerations[0].x, 0.0);
+}
+
+TEST(ReferenceKernel, AccelerationInverselyProportionalToMass) {
+  LjParams lj;
+  ReferenceKernel kernel;
+  const PairSetup s = make_pair(1.1);
+  const auto r1 = kernel.compute(s.positions, s.box, lj, 1.0);
+  const auto r2 = kernel.compute(s.positions, s.box, lj, 2.0);
+  EXPECT_NEAR(r2.accelerations[0].x, 0.5 * r1.accelerations[0].x, 1e-12);
+  // Potential energy is mass-independent.
+  EXPECT_DOUBLE_EQ(r1.potential_energy, r2.potential_energy);
+}
+
+/// Property over random fluids: Newton's third law -> total force zero.
+class ReferenceKernelProperty : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  Workload make_fluid() {
+    WorkloadSpec spec;
+    spec.n_atoms = 64;
+    spec.density = 0.6;
+    spec.seed = GetParam();
+    return make_random_gas_workload(spec, 0.8);
+  }
+};
+
+TEST_P(ReferenceKernelProperty, NetForceIsZero) {
+  LjParams lj;
+  ReferenceKernel kernel;
+  Workload w = make_fluid();
+  const auto result = kernel.compute(w.system.positions(), w.box, lj, 1.0);
+  Vec3d net{};
+  for (const auto& a : result.accelerations) net += a;
+  EXPECT_NEAR(net.x, 0.0, 1e-9);
+  EXPECT_NEAR(net.y, 0.0, 1e-9);
+  EXPECT_NEAR(net.z, 0.0, 1e-9);
+}
+
+TEST_P(ReferenceKernelProperty, AllMinImageStrategiesGiveSamePhysics) {
+  LjParams lj;
+  Workload w = make_fluid();
+  for (auto& p : w.system.positions()) p = w.box.wrap(p);
+
+  ReferenceKernel round(MinImageStrategy::kRound);
+  const auto base = round.compute(w.system.positions(), w.box, lj, 1.0);
+
+  for (auto strategy : {MinImageStrategy::kSearch27, MinImageStrategy::kBranchy,
+                        MinImageStrategy::kCopysign}) {
+    ReferenceKernel other(strategy);
+    const auto result = other.compute(w.system.positions(), w.box, lj, 1.0);
+    EXPECT_NEAR(result.potential_energy, base.potential_energy, 1e-10)
+        << to_string(strategy);
+    EXPECT_EQ(result.stats.interacting, base.stats.interacting);
+    for (std::size_t i = 0; i < base.accelerations.size(); ++i) {
+      EXPECT_NEAR(result.accelerations[i].x, base.accelerations[i].x, 1e-9);
+      EXPECT_NEAR(result.accelerations[i].y, base.accelerations[i].y, 1e-9);
+      EXPECT_NEAR(result.accelerations[i].z, base.accelerations[i].z, 1e-9);
+    }
+  }
+}
+
+TEST_P(ReferenceKernelProperty, CandidateCountIsNTimesNMinusOne) {
+  LjParams lj;
+  ReferenceKernel kernel;
+  Workload w = make_fluid();
+  const auto result = kernel.compute(w.system.positions(), w.box, lj, 1.0);
+  EXPECT_EQ(result.stats.candidates, 64u * 63u);
+}
+
+TEST_P(ReferenceKernelProperty, SinglePrecisionTracksDouble) {
+  LjParams lj;
+  Workload w = make_fluid();
+  for (auto& p : w.system.positions()) p = w.box.wrap(p);
+
+  ReferenceKernel dk;
+  const auto dr = dk.compute(w.system.positions(), w.box, lj, 1.0);
+
+  ReferenceKernelF fk;
+  std::vector<Vec3f> fpos;
+  for (const auto& p : w.system.positions()) fpos.push_back(vec_cast<float>(p));
+  const auto fr = fk.compute(fpos, PeriodicBoxF(static_cast<float>(w.box.edge())),
+                             lj.cast<float>(), 1.0f);
+
+  EXPECT_NEAR(fr.potential_energy, dr.potential_energy,
+              2e-4 * std::fabs(dr.potential_energy) + 1e-3);
+  for (std::size_t i = 0; i < dr.accelerations.size(); ++i) {
+    const double scale = std::fabs(dr.accelerations[i].x) + 1.0;
+    EXPECT_NEAR(fr.accelerations[i].x, dr.accelerations[i].x, 2e-3 * scale);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReferenceKernelProperty,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+TEST(ReferenceKernel, NameIncludesStrategy) {
+  EXPECT_EQ(ReferenceKernel(MinImageStrategy::kSearch27).name(),
+            "reference-n2[search27]");
+  EXPECT_EQ(ReferenceKernel(MinImageStrategy::kRound).name(),
+            "reference-n2[round]");
+}
+
+}  // namespace
+}  // namespace emdpa::md

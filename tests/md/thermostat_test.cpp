@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.h"
+#include "md/observables.h"
+#include "md/thermostat.h"
+#include "md/workload.h"
+
+namespace emdpa::md {
+namespace {
+
+TEST(Thermostat, ValidatesParameters) {
+  EXPECT_THROW(BerendsenThermostat(-1.0, 0.5), ContractViolation);
+  EXPECT_THROW(BerendsenThermostat(1.0, 0.0), ContractViolation);
+  EXPECT_THROW(BerendsenThermostat(1.0, 1.5), ContractViolation);
+}
+
+TEST(Thermostat, FullCouplingHitsTargetInOneStep) {
+  WorkloadSpec spec;
+  spec.n_atoms = 64;
+  spec.temperature = 2.0;
+  Workload w = make_lattice_workload(spec);
+  BerendsenThermostat thermostat(1.0, 1.0);
+  thermostat.apply(w.system);
+  EXPECT_NEAR(temperature_of(w.system), 1.0, 1e-10);
+}
+
+TEST(Thermostat, PartialCouplingMovesTowardTarget) {
+  WorkloadSpec spec;
+  spec.n_atoms = 64;
+  spec.temperature = 2.0;
+  Workload w = make_lattice_workload(spec);
+  BerendsenThermostat thermostat(1.0, 0.1);
+  const double t0 = temperature_of(w.system);
+  thermostat.apply(w.system);
+  const double t1 = temperature_of(w.system);
+  EXPECT_LT(t1, t0);
+  EXPECT_GT(t1, 1.0);
+}
+
+TEST(Thermostat, ConvergesUnderRepeatedApplication) {
+  WorkloadSpec spec;
+  spec.n_atoms = 64;
+  spec.temperature = 0.2;
+  Workload w = make_lattice_workload(spec);
+  BerendsenThermostat thermostat(1.5, 0.2);
+  for (int i = 0; i < 100; ++i) thermostat.apply(w.system);
+  EXPECT_NEAR(temperature_of(w.system), 1.5, 1e-6);
+}
+
+TEST(Thermostat, ZeroTemperatureSystemIsLeftAlone) {
+  ParticleSystem ps(8);  // all velocities zero
+  BerendsenThermostat thermostat(1.0, 0.5);
+  EXPECT_DOUBLE_EQ(thermostat.apply(ps), 1.0);
+  EXPECT_DOUBLE_EQ(temperature_of(ps), 0.0);
+}
+
+TEST(Thermostat, OnTargetScaleFactorIsOne) {
+  WorkloadSpec spec;
+  spec.n_atoms = 64;
+  spec.temperature = 1.0;
+  Workload w = make_lattice_workload(spec);
+  BerendsenThermostat thermostat(1.0, 0.5);
+  EXPECT_NEAR(thermostat.apply(w.system), 1.0, 1e-10);
+}
+
+TEST(Thermostat, PreservesMomentumDirection) {
+  // Rescaling is multiplicative: zero total momentum stays zero.
+  WorkloadSpec spec;
+  spec.n_atoms = 64;
+  spec.temperature = 2.0;
+  Workload w = make_lattice_workload(spec);
+  BerendsenThermostat thermostat(0.5, 1.0);
+  thermostat.apply(w.system);
+  EXPECT_NEAR(length(total_momentum_of(w.system)), 0.0, 1e-10);
+}
+
+}  // namespace
+}  // namespace emdpa::md

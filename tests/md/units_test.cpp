@@ -1,0 +1,34 @@
+#include <gtest/gtest.h>
+
+#include "md/units.h"
+
+namespace emdpa::md {
+namespace {
+
+TEST(ArgonUnits, TemperatureConversion) {
+  // T* = 1 is epsilon/k_B = 119.8 K.
+  EXPECT_DOUBLE_EQ(ArgonUnits::temperature_to_kelvin(1.0), 119.8);
+  // Argon melts at 83.8 K ~ T* = 0.7.
+  EXPECT_NEAR(ArgonUnits::temperature_to_kelvin(0.7), 83.86, 0.01);
+}
+
+TEST(ArgonUnits, LengthConversion) {
+  EXPECT_DOUBLE_EQ(ArgonUnits::length_to_angstrom(1.0), 3.405);
+  EXPECT_DOUBLE_EQ(ArgonUnits::length_to_angstrom(2.0), 6.81);
+}
+
+TEST(ArgonUnits, TimeConversion) {
+  // One reduced time unit for argon is ~2.156 ps; a dt of 0.005 is ~10.8 fs,
+  // the canonical MD step size.
+  EXPECT_DOUBLE_EQ(ArgonUnits::time_to_ps(1.0), 2.156);
+  EXPECT_NEAR(ArgonUnits::time_to_ps(0.005) * 1000.0, 10.78, 0.01);
+}
+
+TEST(ArgonUnits, ConversionsAreConstexpr) {
+  static_assert(ArgonUnits::temperature_to_kelvin(1.0) == 119.8);
+  static_assert(ArgonUnits::length_to_angstrom(1.0) == 3.405);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace emdpa::md

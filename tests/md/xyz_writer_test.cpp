@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "md/xyz_writer.h"
+
+namespace emdpa::md {
+namespace {
+
+TEST(XyzWriter, FrameFormat) {
+  ParticleSystem ps(2);
+  ps.positions()[0] = {1.0, 2.0, 3.0};
+  ps.positions()[1] = {4.5, 5.5, 6.5};
+
+  std::ostringstream os;
+  XyzWriter writer(os, "Ar");
+  writer.write_frame(ps, "step 0");
+
+  const std::string expected =
+      "2\n"
+      "step 0\n"
+      "Ar 1.000000 2.000000 3.000000\n"
+      "Ar 4.500000 5.500000 6.500000\n";
+  EXPECT_EQ(os.str(), expected);
+}
+
+TEST(XyzWriter, CountsFrames) {
+  ParticleSystem ps(1);
+  std::ostringstream os;
+  XyzWriter writer(os);
+  EXPECT_EQ(writer.frames_written(), 0u);
+  writer.write_frame(ps, "a");
+  writer.write_frame(ps, "b");
+  EXPECT_EQ(writer.frames_written(), 2u);
+}
+
+TEST(XyzWriter, StripsNewlinesFromComment) {
+  ParticleSystem ps(1);
+  std::ostringstream os;
+  XyzWriter writer(os);
+  writer.write_frame(ps, "line1\nline2");
+  // Comment must remain a single line.
+  std::string out = os.str();
+  int newlines = 0;
+  for (char c : out) newlines += (c == '\n');
+  EXPECT_EQ(newlines, 3);  // count, comment, one atom
+}
+
+TEST(XyzWriter, CustomElementSymbol) {
+  ParticleSystem ps(1);
+  std::ostringstream os;
+  XyzWriter writer(os, "Xe");
+  writer.write_frame(ps, "c");
+  EXPECT_NE(os.str().find("Xe "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace emdpa::md

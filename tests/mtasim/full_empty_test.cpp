@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "mtasim/full_empty.h"
+
+namespace emdpa::mta {
+namespace {
+
+TEST(FullEmptyCell, StartsEmpty) {
+  FullEmptyCell<int> cell;
+  EXPECT_FALSE(cell.is_full());
+}
+
+TEST(FullEmptyCell, ValueConstructorStartsFull) {
+  FullEmptyCell<int> cell(7);
+  EXPECT_TRUE(cell.is_full());
+  EXPECT_EQ(cell.read_ff(), 7);
+}
+
+TEST(FullEmptyCell, WriteEfThenReadFe) {
+  FullEmptyCell<double> cell;
+  cell.write_ef(3.5);
+  EXPECT_TRUE(cell.is_full());
+  EXPECT_EQ(cell.read_fe(), 3.5);
+  EXPECT_FALSE(cell.is_full());
+}
+
+TEST(FullEmptyCell, DoubleWriteDeadlocks) {
+  FullEmptyCell<int> cell;
+  cell.write_ef(1);
+  EXPECT_THROW(cell.write_ef(2), ContractViolation);
+}
+
+TEST(FullEmptyCell, ReadEmptyDeadlocks) {
+  FullEmptyCell<int> cell;
+  EXPECT_THROW(cell.read_fe(), ContractViolation);
+  EXPECT_THROW(cell.read_ff(), ContractViolation);
+}
+
+TEST(FullEmptyCell, ReadFfLeavesFull) {
+  FullEmptyCell<int> cell(5);
+  EXPECT_EQ(cell.read_ff(), 5);
+  EXPECT_TRUE(cell.is_full());
+}
+
+TEST(FullEmptyCell, FetchAddAccumulates) {
+  FullEmptyCell<double> acc(0.0);
+  for (int i = 1; i <= 10; ++i) acc.fetch_add(i);
+  EXPECT_EQ(acc.read_ff(), 55.0);
+  EXPECT_TRUE(acc.is_full());  // fetch_add restores full
+}
+
+TEST(FullEmptyCell, FetchAddOnEmptyDeadlocks) {
+  FullEmptyCell<double> acc;
+  EXPECT_THROW(acc.fetch_add(1.0), ContractViolation);
+}
+
+TEST(FullEmptyCell, PurgeForcesEmpty) {
+  FullEmptyCell<int> cell(1);
+  cell.purge();
+  EXPECT_FALSE(cell.is_full());
+  EXPECT_NO_THROW(cell.write_ef(2));
+}
+
+TEST(FullEmptyCell, ProducerConsumerHandoff) {
+  FullEmptyCell<int> cell;
+  // Producer/consumer alternation: classic MTA pipeline pattern.
+  for (int round = 0; round < 5; ++round) {
+    cell.write_ef(round);
+    EXPECT_EQ(cell.read_fe(), round);
+  }
+}
+
+}  // namespace
+}  // namespace emdpa::mta

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "md/backend.h"
+#include "mtasim/mta_backend.h"
+
+namespace emdpa::mta {
+namespace {
+
+md::RunConfig small_config(std::size_t n = 128, int steps = 3) {
+  md::RunConfig cfg;
+  cfg.workload.n_atoms = n;
+  cfg.steps = steps;
+  return cfg;
+}
+
+TEST(MtaBackend, NamesAndPrecision) {
+  EXPECT_EQ(MtaBackend(ThreadingMode::kFullyMultithreaded).name(),
+            "mta2[fully-multithreaded]");
+  EXPECT_EQ(MtaBackend(ThreadingMode::kPartiallyMultithreaded).name(),
+            "mta2[partially-multithreaded]");
+  EXPECT_EQ(MtaBackend().precision(), "double");
+}
+
+TEST(MtaBackend, PhysicsMatchesHostReferenceExactly) {
+  // Same double-precision arithmetic as the host reference.
+  const auto cfg = small_config(128, 4);
+  const auto a = MtaBackend().run(cfg);
+  const auto b = md::HostReferenceBackend().run(cfg);
+  for (std::size_t s = 0; s < a.energies.size(); ++s) {
+    EXPECT_DOUBLE_EQ(a.energies[s].potential, b.energies[s].potential);
+    EXPECT_DOUBLE_EQ(a.energies[s].kinetic, b.energies[s].kinetic);
+  }
+  for (std::size_t i = 0; i < a.final_state.size(); ++i) {
+    EXPECT_EQ(a.final_state.positions()[i], b.final_state.positions()[i]);
+  }
+}
+
+TEST(MtaBackend, BothModesIdenticalPhysics) {
+  const auto cfg = small_config(128, 3);
+  const auto full = MtaBackend(ThreadingMode::kFullyMultithreaded).run(cfg);
+  const auto part = MtaBackend(ThreadingMode::kPartiallyMultithreaded).run(cfg);
+  for (std::size_t i = 0; i < full.final_state.size(); ++i) {
+    EXPECT_EQ(full.final_state.positions()[i], part.final_state.positions()[i]);
+  }
+}
+
+TEST(MtaBackend, PartialModeIsAboutPipelineDepthSlower) {
+  const auto cfg = small_config(256, 2);
+  const auto full = MtaBackend(ThreadingMode::kFullyMultithreaded).run(cfg);
+  const auto part = MtaBackend(ThreadingMode::kPartiallyMultithreaded).run(cfg);
+  const double ratio = part.device_time / full.device_time;
+  // Step 2 dominates and runs 21x slower serially; the parallel remainder
+  // dilutes slightly.
+  EXPECT_GT(ratio, 15.0);
+  EXPECT_LT(ratio, 21.5);
+}
+
+TEST(MtaBackend, AbsoluteGapGrowsWithAtoms) {
+  const auto small_gap = [] {
+    const auto cfg = small_config(128, 2);
+    return MtaBackend(ThreadingMode::kPartiallyMultithreaded).run(cfg).device_time -
+           MtaBackend(ThreadingMode::kFullyMultithreaded).run(cfg).device_time;
+  }();
+  const auto big_gap = [] {
+    const auto cfg = small_config(512, 2);
+    return MtaBackend(ThreadingMode::kPartiallyMultithreaded).run(cfg).device_time -
+           MtaBackend(ThreadingMode::kFullyMultithreaded).run(cfg).device_time;
+  }();
+  EXPECT_GT(big_gap.to_seconds(), 8.0 * small_gap.to_seconds());
+}
+
+TEST(MtaBackend, RuntimeScalesWithFlopCountNotCache) {
+  // The MTA claim of Fig 9: runtime ratio tracks pair-work ratio.
+  const auto t1 = MtaBackend().run(small_config(256, 2)).device_time;
+  const auto t2 = MtaBackend().run(small_config(1024, 2)).device_time;
+  const double work_ratio =
+      (1024.0 * 1023.0) / (256.0 * 255.0);  // candidate pairs
+  EXPECT_NEAR(t2 / t1, work_ratio, 0.1 * work_ratio);
+}
+
+TEST(MtaBackend, OpsRecordParallelizationDecision) {
+  const auto full = MtaBackend(ThreadingMode::kFullyMultithreaded)
+                        .run(small_config(64, 1));
+  EXPECT_EQ(full.ops.get("mta.force_loop_parallel"), 1u);
+  EXPECT_EQ(full.ops.get("mta.force_loop_serial"), 0u);
+
+  const auto part = MtaBackend(ThreadingMode::kPartiallyMultithreaded)
+                        .run(small_config(64, 1));
+  EXPECT_EQ(part.ops.get("mta.force_loop_serial"), 1u);
+}
+
+TEST(MtaBackend, FullModeUsesFeAccumulator) {
+  const auto r = MtaBackend().run(small_config(64, 2));
+  EXPECT_GT(r.ops.get("mta.fe_operations"), 0u);
+  const auto p = MtaBackend(ThreadingMode::kPartiallyMultithreaded)
+                     .run(small_config(64, 2));
+  EXPECT_EQ(p.ops.get("mta.fe_operations"), 0u);
+}
+
+TEST(MtaBackend, BreakdownDominatedByForceLoop) {
+  const auto r = MtaBackend().run(small_config(256, 2));
+  EXPECT_GT(r.breakdown_component("force_loop").to_seconds(),
+            10.0 * r.breakdown_component("other_loops").to_seconds());
+}
+
+TEST(MtaBackend, StepTimesMatchDeviceTime) {
+  const auto r = MtaBackend().run(small_config(128, 3));
+  ModelTime sum;
+  for (const auto& t : r.step_times) sum += t;
+  EXPECT_NEAR(sum.to_seconds(), r.device_time.to_seconds(), 1e-12);
+}
+
+}  // namespace
+}  // namespace emdpa::mta

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "mtasim/mta_backend.h"
+#include "mtasim/parallel_loop.h"
+
+namespace emdpa::mta {
+namespace {
+
+LoopDescription plain_loop() {
+  LoopDescription loop;
+  loop.name = "plain";
+  loop.trip_count = 1000;
+  return loop;
+}
+
+TEST(MtaCompiler, PlainLoopParallelizes) {
+  const auto d = MtaCompiler::analyze(plain_loop());
+  EXPECT_TRUE(d.parallel);
+}
+
+TEST(MtaCompiler, ScalarReductionBlocksParallelization) {
+  // The paper's exact situation: "it found a dependency on the reduction
+  // operation".
+  LoopDescription loop = plain_loop();
+  loop.has_scalar_reduction = true;
+  const auto d = MtaCompiler::analyze(loop);
+  EXPECT_FALSE(d.parallel);
+  EXPECT_NE(d.reason.find("reduction"), std::string::npos);
+}
+
+TEST(MtaCompiler, RestructuredReductionAloneIsNotEnough) {
+  LoopDescription loop = plain_loop();
+  loop.has_scalar_reduction = true;
+  loop.reduction_inside_body = true;
+  EXPECT_FALSE(MtaCompiler::analyze(loop).parallel);
+}
+
+TEST(MtaCompiler, PragmaAloneIsNotEnough) {
+  // The pragma asserts no dependence, but an un-restructured reduction still
+  // straddles iterations.
+  LoopDescription loop = plain_loop();
+  loop.has_scalar_reduction = true;
+  loop.pragma_no_dependence = true;
+  EXPECT_FALSE(MtaCompiler::analyze(loop).parallel);
+}
+
+TEST(MtaCompiler, RestructuredReductionPlusPragmaParallelizes) {
+  // The paper's fix: reduction moved inside the loop body + MTA directive.
+  LoopDescription loop = plain_loop();
+  loop.has_scalar_reduction = true;
+  loop.reduction_inside_body = true;
+  loop.pragma_no_dependence = true;
+  EXPECT_TRUE(MtaCompiler::analyze(loop).parallel);
+}
+
+TEST(MtaCompiler, UnanalyzableWriteBlocksWithoutPragma) {
+  LoopDescription loop = plain_loop();
+  loop.has_unanalyzable_write = true;
+  EXPECT_FALSE(MtaCompiler::analyze(loop).parallel);
+  loop.pragma_no_dependence = true;
+  EXPECT_TRUE(MtaCompiler::analyze(loop).parallel);
+}
+
+TEST(MtaCompiler, ForceLoopDescriptionsMatchPaperNarrative) {
+  const auto partial = MtaBackend::force_loop_description(
+      ThreadingMode::kPartiallyMultithreaded, 2048);
+  const auto full = MtaBackend::force_loop_description(
+      ThreadingMode::kFullyMultithreaded, 2048);
+  EXPECT_FALSE(MtaCompiler::analyze(partial).parallel);
+  EXPECT_TRUE(MtaCompiler::analyze(full).parallel);
+  EXPECT_EQ(partial.trip_count, 2048u);
+}
+
+}  // namespace
+}  // namespace emdpa::mta

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "mtasim/stream_machine.h"
+
+namespace emdpa::mta {
+namespace {
+
+TEST(StreamMachine, ValidatesConfig) {
+  MtaConfig bad;
+  bad.clock_hz = 0;
+  EXPECT_THROW(StreamMachine{bad}, ContractViolation);
+  bad = MtaConfig{};
+  bad.n_processors = 0;
+  EXPECT_THROW(StreamMachine{bad}, ContractViolation);
+  bad = MtaConfig{};
+  bad.pipeline_depth = 0.5;
+  EXPECT_THROW(StreamMachine{bad}, ContractViolation);
+}
+
+TEST(StreamMachine, SaturatedParallelIssuesOnePerCycle) {
+  StreamMachine machine;  // 200 MHz
+  // 2e8 instructions with plenty of threads: exactly one second.
+  const ModelTime t = machine.charge_parallel(2.0e8, 128);
+  EXPECT_NEAR(t.to_seconds(), 1.0, 1e-9);
+}
+
+TEST(StreamMachine, SerialPaysPipelineDepthPerInstruction) {
+  StreamMachine machine;
+  const ModelTime serial = machine.charge_serial(2.0e8);
+  EXPECT_NEAR(serial.to_seconds(), 21.0, 1e-9);
+}
+
+TEST(StreamMachine, SerialToParallelRatioIsPipelineDepth) {
+  StreamMachine a, b;
+  const ModelTime par = a.charge_parallel(1e6, 128);
+  const ModelTime ser = b.charge_serial(1e6);
+  EXPECT_NEAR(ser / par, 21.0, 1e-9);
+}
+
+TEST(StreamMachine, UndersubscribedLoopRampsLinearly) {
+  StreamMachine machine;
+  // 7 threads on a 21-deep pipeline: one third of full issue rate.
+  const ModelTime t7 = machine.charge_parallel(1e6, 7);
+  StreamMachine other;
+  const ModelTime t21 = other.charge_parallel(1e6, 21);
+  EXPECT_NEAR(t7 / t21, 3.0, 1e-9);
+}
+
+TEST(StreamMachine, ThreadsBeyondHardwareStreamsDontHelp) {
+  StreamMachine a, b;
+  const ModelTime t128 = a.charge_parallel(1e6, 128);
+  const ModelTime t1M = b.charge_parallel(1e6, 1u << 20);
+  EXPECT_EQ(t128, t1M);
+}
+
+TEST(StreamMachine, MultipleProcessorsScaleSaturatedWork) {
+  MtaConfig cfg;
+  cfg.n_processors = 4;
+  StreamMachine quad(cfg);
+  StreamMachine single;
+  const ModelTime t4 = quad.charge_parallel(1e6, 4 * 128);
+  const ModelTime t1 = single.charge_parallel(1e6, 128);
+  EXPECT_NEAR(t1 / t4, 4.0, 1e-9);
+}
+
+TEST(StreamMachine, ZeroWorkIsFree) {
+  StreamMachine machine;
+  EXPECT_EQ(machine.charge_parallel(0, 128), ModelTime::zero());
+  EXPECT_EQ(machine.charge_parallel(100, 0), ModelTime::zero());
+}
+
+TEST(StreamMachine, ElapsedAccumulates) {
+  StreamMachine machine;
+  machine.charge_parallel(2e8, 128);
+  machine.charge_serial(1e6);
+  EXPECT_NEAR(machine.elapsed().to_seconds(), 1.0 + 0.105, 1e-6);
+}
+
+TEST(StreamMachine, FeOpsCharged) {
+  StreamMachine machine;
+  const ModelTime t = machine.charge_fe_ops(1000);
+  EXPECT_NEAR(t.to_seconds(), 1000 * 8.0 / 200e6, 1e-12);
+  EXPECT_EQ(machine.ops().get("mta.fe_operations"), 1000u);
+}
+
+TEST(StreamMachine, ResetClears) {
+  StreamMachine machine;
+  machine.charge_serial(1000);
+  machine.reset();
+  EXPECT_EQ(machine.elapsed(), ModelTime::zero());
+  EXPECT_EQ(machine.ops().get("mta.serial_instructions"), 0u);
+}
+
+TEST(StreamMachine, NegativeWorkRejected) {
+  StreamMachine machine;
+  EXPECT_THROW(machine.charge_parallel(-1, 10), ContractViolation);
+  EXPECT_THROW(machine.charge_serial(-1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace emdpa::mta

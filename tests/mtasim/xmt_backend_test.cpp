@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "md/backend.h"
+#include "mtasim/mta_backend.h"
+#include "mtasim/xmt_backend.h"
+
+namespace emdpa::mta {
+namespace {
+
+md::RunConfig small_config(std::size_t n = 128, int steps = 2) {
+  md::RunConfig cfg;
+  cfg.workload.n_atoms = n;
+  cfg.steps = steps;
+  return cfg;
+}
+
+TEST(XmtBackend, NameAndPrecision) {
+  XmtConfig cfg;
+  cfg.n_processors = 4;
+  EXPECT_EQ(XmtBackend(cfg).name(), "xmt[4p]");
+  EXPECT_EQ(XmtBackend().precision(), "double");
+}
+
+TEST(XmtBackend, RejectsOversizedMachines) {
+  XmtConfig cfg;
+  cfg.n_processors = 9000;
+  EXPECT_THROW(XmtBackend backend(cfg), ContractViolation);
+}
+
+TEST(NaiveRemoteFraction, Values) {
+  EXPECT_DOUBLE_EQ(naive_remote_fraction(1), 0.0);
+  EXPECT_DOUBLE_EQ(naive_remote_fraction(2), 0.5);
+  EXPECT_DOUBLE_EQ(naive_remote_fraction(4), 0.75);
+  EXPECT_THROW(naive_remote_fraction(0), ContractViolation);
+}
+
+TEST(XmtParallelTime, LocalWorkIsIssueBound) {
+  XmtConfig cfg;  // 1 processor, 500 MHz
+  const ModelTime t = xmt_parallel_time(cfg, 5.0e8, 0.0);
+  EXPECT_NEAR(t.to_seconds(), 1.0, 1e-9);
+}
+
+TEST(XmtParallelTime, RemoteTrafficCanDominate) {
+  XmtConfig cfg;
+  cfg.n_processors = 64;
+  // Fully remote: network capacity 0.5 * 64^(2/3) = 8 refs/cycle vs
+  // 0.35 refs/instruction demand -> network-bound.
+  const ModelTime remote = xmt_parallel_time(cfg, 1.0e9, 1.0);
+  const ModelTime local = xmt_parallel_time(cfg, 1.0e9, 0.0);
+  EXPECT_GT(remote.to_seconds(), 2.0 * local.to_seconds());
+}
+
+TEST(XmtParallelTime, ValidatesInputs) {
+  XmtConfig cfg;
+  EXPECT_THROW(xmt_parallel_time(cfg, -1.0, 0.0), ContractViolation);
+  EXPECT_THROW(xmt_parallel_time(cfg, 1.0, 1.5), ContractViolation);
+}
+
+TEST(XmtBackend, PhysicsMatchesMta2Exactly) {
+  // Same double-precision arithmetic as the MTA-2 port.
+  const auto cfg = small_config();
+  const auto xmt = XmtBackend().run(cfg);
+  const auto mta = MtaBackend().run(cfg);
+  for (std::size_t i = 0; i < xmt.final_state.size(); ++i) {
+    EXPECT_EQ(xmt.final_state.positions()[i], mta.final_state.positions()[i]);
+  }
+}
+
+TEST(XmtBackend, SingleProcessorIsClockFasterThanMta2) {
+  const auto cfg = small_config();
+  const double xmt = XmtBackend().run(cfg).device_time.to_seconds();
+  const double mta = MtaBackend().run(cfg).device_time.to_seconds();
+  EXPECT_NEAR(mta / xmt, 2.5, 0.1);  // 500 MHz vs 200 MHz
+}
+
+TEST(XmtBackend, ScalingSaturatesUnderNaivePlacement) {
+  const auto cfg = small_config(256, 2);
+  const double t1 = XmtBackend().run(cfg).device_time.to_seconds();
+
+  XmtConfig two;
+  two.n_processors = 2;
+  const double t2 = XmtBackend(two).run(cfg).device_time.to_seconds();
+  EXPECT_NEAR(t1 / t2, 2.0, 0.1);  // still issue-bound
+
+  XmtConfig sixteen;
+  sixteen.n_processors = 16;
+  const double t16 = XmtBackend(sixteen).run(cfg).device_time.to_seconds();
+  const double speedup16 = t1 / t16;
+  EXPECT_GT(speedup16, 8.0);   // still far better than 8 processors' worth…
+  EXPECT_LT(speedup16, 14.0);  // …but visibly below the ideal 16x
+}
+
+TEST(XmtBackend, StepTimesSumToDeviceTime) {
+  const auto r = XmtBackend().run(small_config());
+  ModelTime sum;
+  for (const auto& t : r.step_times) sum += t;
+  EXPECT_NEAR(sum.to_seconds(), r.device_time.to_seconds(), 1e-12);
+}
+
+}  // namespace
+}  // namespace emdpa::mta

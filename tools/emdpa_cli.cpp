@@ -1,0 +1,85 @@
+// emdpa command-line driver: run any modelled architecture on any workload
+// from the shell.
+//
+//   $ emdpa list
+//   $ emdpa run --backend cell-8spe --atoms 2048 --steps 10
+//   $ emdpa compare --atoms 1024 --csv
+#include <cstdio>
+#include <exception>
+#include <iostream>
+
+#include "core/string_util.h"
+#include "core/table.h"
+#include "driver/backend_factory.h"
+#include "driver/cli_options.h"
+#include "driver/report.h"
+
+namespace {
+
+using namespace emdpa;
+
+int run_one(const driver::CliOptions& options) {
+  auto backend = driver::make_backend(options.backend);
+  const md::RunResult result = backend->run(options.run_config);
+  std::cout << (options.csv
+                    ? driver::render_run_csv(result, options.run_config)
+                    : driver::render_run_report(result, options.run_config));
+  return 0;
+}
+
+int run_compare(const driver::CliOptions& options) {
+  Table table({"backend", "precision", "model time (s)", "final total E"});
+  std::vector<std::string> csv_lines = {
+      "backend,precision,model_seconds,final_total_e"};
+
+  for (const auto& info : driver::available_backends()) {
+    auto backend = driver::make_backend(info.key);
+    std::string time_cell, energy_cell;
+    try {
+      const md::RunResult result = backend->run(options.run_config);
+      time_cell = format_auto(result.device_time.to_seconds());
+      energy_cell = format_fixed(result.energies.back().total(), 4);
+    } catch (const std::exception& e) {
+      time_cell = "error";
+      energy_cell = e.what();
+      if (energy_cell.size() > 40) energy_cell.resize(40);
+    }
+    table.add_row({info.key, backend->precision(), time_cell, energy_cell});
+    csv_lines.push_back(info.key + "," + backend->precision() + "," +
+                        time_cell + "," + energy_cell);
+  }
+
+  if (options.csv) {
+    for (const auto& line : csv_lines) std::cout << line << "\n";
+  } else {
+    std::cout << table.to_string();
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    const driver::CliOptions options = driver::parse_cli(args);
+    switch (options.command) {
+      case driver::CliCommand::kHelp:
+        std::cout << driver::cli_usage();
+        return 0;
+      case driver::CliCommand::kList:
+        for (const auto& info : driver::available_backends()) {
+          std::printf("%-18s %s\n", info.key.c_str(), info.description.c_str());
+        }
+        return 0;
+      case driver::CliCommand::kRun:
+        return run_one(options);
+      case driver::CliCommand::kCompare:
+        return run_compare(options);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "emdpa: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
