@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cell_dp.dir/ablation_cell_dp.cpp.o"
+  "CMakeFiles/ablation_cell_dp.dir/ablation_cell_dp.cpp.o.d"
+  "ablation_cell_dp"
+  "ablation_cell_dp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cell_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

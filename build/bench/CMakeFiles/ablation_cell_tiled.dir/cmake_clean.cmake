@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cell_tiled.dir/ablation_cell_tiled.cpp.o"
+  "CMakeFiles/ablation_cell_tiled.dir/ablation_cell_tiled.cpp.o.d"
+  "ablation_cell_tiled"
+  "ablation_cell_tiled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cell_tiled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gpu_branching.dir/ablation_gpu_branching.cpp.o"
+  "CMakeFiles/ablation_gpu_branching.dir/ablation_gpu_branching.cpp.o.d"
+  "ablation_gpu_branching"
+  "ablation_gpu_branching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gpu_branching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

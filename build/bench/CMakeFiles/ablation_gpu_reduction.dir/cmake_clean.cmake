@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gpu_reduction.dir/ablation_gpu_reduction.cpp.o"
+  "CMakeFiles/ablation_gpu_reduction.dir/ablation_gpu_reduction.cpp.o.d"
+  "ablation_gpu_reduction"
+  "ablation_gpu_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gpu_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_min_image.dir/ablation_min_image.cpp.o"
+  "CMakeFiles/ablation_min_image.dir/ablation_min_image.cpp.o.d"
+  "ablation_min_image"
+  "ablation_min_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_min_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

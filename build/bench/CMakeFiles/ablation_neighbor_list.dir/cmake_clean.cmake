@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_neighbor_list.dir/ablation_neighbor_list.cpp.o"
+  "CMakeFiles/ablation_neighbor_list.dir/ablation_neighbor_list.cpp.o.d"
+  "ablation_neighbor_list"
+  "ablation_neighbor_list.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_neighbor_list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

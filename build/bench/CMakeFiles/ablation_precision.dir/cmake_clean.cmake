@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_precision.dir/ablation_precision.cpp.o"
+  "CMakeFiles/ablation_precision.dir/ablation_precision.cpp.o.d"
+  "ablation_precision"
+  "ablation_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

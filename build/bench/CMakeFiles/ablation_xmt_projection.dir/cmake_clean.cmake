@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_xmt_projection.dir/ablation_xmt_projection.cpp.o"
+  "CMakeFiles/ablation_xmt_projection.dir/ablation_xmt_projection.cpp.o.d"
+  "ablation_xmt_projection"
+  "ablation_xmt_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_xmt_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_simd_staircase.dir/fig5_simd_staircase.cpp.o"
+  "CMakeFiles/fig5_simd_staircase.dir/fig5_simd_staircase.cpp.o.d"
+  "fig5_simd_staircase"
+  "fig5_simd_staircase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_simd_staircase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_mta_multithreading.dir/fig8_mta_multithreading.cpp.o"
+  "CMakeFiles/fig8_mta_multithreading.dir/fig8_mta_multithreading.cpp.o.d"
+  "fig8_mta_multithreading"
+  "fig8_mta_multithreading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_mta_multithreading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8_mta_multithreading.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_scaling_vs_256.dir/fig9_scaling_vs_256.cpp.o"
+  "CMakeFiles/fig9_scaling_vs_256.dir/fig9_scaling_vs_256.cpp.o.d"
+  "fig9_scaling_vs_256"
+  "fig9_scaling_vs_256.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_scaling_vs_256.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

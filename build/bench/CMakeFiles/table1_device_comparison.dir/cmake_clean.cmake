@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_device_comparison.dir/table1_device_comparison.cpp.o"
+  "CMakeFiles/table1_device_comparison.dir/table1_device_comparison.cpp.o.d"
+  "table1_device_comparison"
+  "table1_device_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_device_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/argon_melt.dir/argon_melt.cpp.o"
+  "CMakeFiles/argon_melt.dir/argon_melt.cpp.o.d"
+  "argon_melt"
+  "argon_melt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/argon_melt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

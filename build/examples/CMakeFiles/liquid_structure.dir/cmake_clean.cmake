@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liquid_structure.dir/liquid_structure.cpp.o"
+  "CMakeFiles/liquid_structure.dir/liquid_structure.cpp.o.d"
+  "liquid_structure"
+  "liquid_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liquid_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polymer_chain.dir/polymer_chain.cpp.o"
+  "CMakeFiles/polymer_chain.dir/polymer_chain.cpp.o.d"
+  "polymer_chain"
+  "polymer_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polymer_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cellsim/cell_cluster.cpp" "src/cellsim/CMakeFiles/emdpa_cellsim.dir/cell_cluster.cpp.o" "gcc" "src/cellsim/CMakeFiles/emdpa_cellsim.dir/cell_cluster.cpp.o.d"
+  "/root/repo/src/cellsim/cell_dp.cpp" "src/cellsim/CMakeFiles/emdpa_cellsim.dir/cell_dp.cpp.o" "gcc" "src/cellsim/CMakeFiles/emdpa_cellsim.dir/cell_dp.cpp.o.d"
+  "/root/repo/src/cellsim/cell_md_app.cpp" "src/cellsim/CMakeFiles/emdpa_cellsim.dir/cell_md_app.cpp.o" "gcc" "src/cellsim/CMakeFiles/emdpa_cellsim.dir/cell_md_app.cpp.o.d"
+  "/root/repo/src/cellsim/dma.cpp" "src/cellsim/CMakeFiles/emdpa_cellsim.dir/dma.cpp.o" "gcc" "src/cellsim/CMakeFiles/emdpa_cellsim.dir/dma.cpp.o.d"
+  "/root/repo/src/cellsim/local_store.cpp" "src/cellsim/CMakeFiles/emdpa_cellsim.dir/local_store.cpp.o" "gcc" "src/cellsim/CMakeFiles/emdpa_cellsim.dir/local_store.cpp.o.d"
+  "/root/repo/src/cellsim/ppe_kernel.cpp" "src/cellsim/CMakeFiles/emdpa_cellsim.dir/ppe_kernel.cpp.o" "gcc" "src/cellsim/CMakeFiles/emdpa_cellsim.dir/ppe_kernel.cpp.o.d"
+  "/root/repo/src/cellsim/spe_kernel.cpp" "src/cellsim/CMakeFiles/emdpa_cellsim.dir/spe_kernel.cpp.o" "gcc" "src/cellsim/CMakeFiles/emdpa_cellsim.dir/spe_kernel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/md/CMakeFiles/emdpa_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/emdpa_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

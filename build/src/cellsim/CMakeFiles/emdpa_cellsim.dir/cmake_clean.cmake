@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emdpa_cellsim.dir/cell_cluster.cpp.o"
+  "CMakeFiles/emdpa_cellsim.dir/cell_cluster.cpp.o.d"
+  "CMakeFiles/emdpa_cellsim.dir/cell_dp.cpp.o"
+  "CMakeFiles/emdpa_cellsim.dir/cell_dp.cpp.o.d"
+  "CMakeFiles/emdpa_cellsim.dir/cell_md_app.cpp.o"
+  "CMakeFiles/emdpa_cellsim.dir/cell_md_app.cpp.o.d"
+  "CMakeFiles/emdpa_cellsim.dir/dma.cpp.o"
+  "CMakeFiles/emdpa_cellsim.dir/dma.cpp.o.d"
+  "CMakeFiles/emdpa_cellsim.dir/local_store.cpp.o"
+  "CMakeFiles/emdpa_cellsim.dir/local_store.cpp.o.d"
+  "CMakeFiles/emdpa_cellsim.dir/ppe_kernel.cpp.o"
+  "CMakeFiles/emdpa_cellsim.dir/ppe_kernel.cpp.o.d"
+  "CMakeFiles/emdpa_cellsim.dir/spe_kernel.cpp.o"
+  "CMakeFiles/emdpa_cellsim.dir/spe_kernel.cpp.o.d"
+  "libemdpa_cellsim.a"
+  "libemdpa_cellsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emdpa_cellsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/csv.cpp" "src/core/CMakeFiles/emdpa_core.dir/csv.cpp.o" "gcc" "src/core/CMakeFiles/emdpa_core.dir/csv.cpp.o.d"
+  "/root/repo/src/core/op_counter.cpp" "src/core/CMakeFiles/emdpa_core.dir/op_counter.cpp.o" "gcc" "src/core/CMakeFiles/emdpa_core.dir/op_counter.cpp.o.d"
+  "/root/repo/src/core/random.cpp" "src/core/CMakeFiles/emdpa_core.dir/random.cpp.o" "gcc" "src/core/CMakeFiles/emdpa_core.dir/random.cpp.o.d"
+  "/root/repo/src/core/string_util.cpp" "src/core/CMakeFiles/emdpa_core.dir/string_util.cpp.o" "gcc" "src/core/CMakeFiles/emdpa_core.dir/string_util.cpp.o.d"
+  "/root/repo/src/core/table.cpp" "src/core/CMakeFiles/emdpa_core.dir/table.cpp.o" "gcc" "src/core/CMakeFiles/emdpa_core.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

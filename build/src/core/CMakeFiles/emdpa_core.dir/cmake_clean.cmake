@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emdpa_core.dir/csv.cpp.o"
+  "CMakeFiles/emdpa_core.dir/csv.cpp.o.d"
+  "CMakeFiles/emdpa_core.dir/op_counter.cpp.o"
+  "CMakeFiles/emdpa_core.dir/op_counter.cpp.o.d"
+  "CMakeFiles/emdpa_core.dir/random.cpp.o"
+  "CMakeFiles/emdpa_core.dir/random.cpp.o.d"
+  "CMakeFiles/emdpa_core.dir/string_util.cpp.o"
+  "CMakeFiles/emdpa_core.dir/string_util.cpp.o.d"
+  "CMakeFiles/emdpa_core.dir/table.cpp.o"
+  "CMakeFiles/emdpa_core.dir/table.cpp.o.d"
+  "libemdpa_core.a"
+  "libemdpa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emdpa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libemdpa_core.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/cache_model.cpp" "src/cpu/CMakeFiles/emdpa_cpu.dir/cache_model.cpp.o" "gcc" "src/cpu/CMakeFiles/emdpa_cpu.dir/cache_model.cpp.o.d"
+  "/root/repo/src/cpu/opteron_backend.cpp" "src/cpu/CMakeFiles/emdpa_cpu.dir/opteron_backend.cpp.o" "gcc" "src/cpu/CMakeFiles/emdpa_cpu.dir/opteron_backend.cpp.o.d"
+  "/root/repo/src/cpu/opteron_model.cpp" "src/cpu/CMakeFiles/emdpa_cpu.dir/opteron_model.cpp.o" "gcc" "src/cpu/CMakeFiles/emdpa_cpu.dir/opteron_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/md/CMakeFiles/emdpa_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/emdpa_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

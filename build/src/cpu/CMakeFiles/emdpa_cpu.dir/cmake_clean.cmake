@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emdpa_cpu.dir/cache_model.cpp.o"
+  "CMakeFiles/emdpa_cpu.dir/cache_model.cpp.o.d"
+  "CMakeFiles/emdpa_cpu.dir/opteron_backend.cpp.o"
+  "CMakeFiles/emdpa_cpu.dir/opteron_backend.cpp.o.d"
+  "CMakeFiles/emdpa_cpu.dir/opteron_model.cpp.o"
+  "CMakeFiles/emdpa_cpu.dir/opteron_model.cpp.o.d"
+  "libemdpa_cpu.a"
+  "libemdpa_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emdpa_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/driver/backend_factory.cpp" "src/driver/CMakeFiles/emdpa_driver.dir/backend_factory.cpp.o" "gcc" "src/driver/CMakeFiles/emdpa_driver.dir/backend_factory.cpp.o.d"
+  "/root/repo/src/driver/cli_options.cpp" "src/driver/CMakeFiles/emdpa_driver.dir/cli_options.cpp.o" "gcc" "src/driver/CMakeFiles/emdpa_driver.dir/cli_options.cpp.o.d"
+  "/root/repo/src/driver/report.cpp" "src/driver/CMakeFiles/emdpa_driver.dir/report.cpp.o" "gcc" "src/driver/CMakeFiles/emdpa_driver.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cellsim/CMakeFiles/emdpa_cellsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/emdpa_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mtasim/CMakeFiles/emdpa_mtasim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/emdpa_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/md/CMakeFiles/emdpa_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/emdpa_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

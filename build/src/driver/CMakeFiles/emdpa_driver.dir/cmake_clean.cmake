@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emdpa_driver.dir/backend_factory.cpp.o"
+  "CMakeFiles/emdpa_driver.dir/backend_factory.cpp.o.d"
+  "CMakeFiles/emdpa_driver.dir/cli_options.cpp.o"
+  "CMakeFiles/emdpa_driver.dir/cli_options.cpp.o.d"
+  "CMakeFiles/emdpa_driver.dir/report.cpp.o"
+  "CMakeFiles/emdpa_driver.dir/report.cpp.o.d"
+  "libemdpa_driver.a"
+  "libemdpa_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emdpa_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

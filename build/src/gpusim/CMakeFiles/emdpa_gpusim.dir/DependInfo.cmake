@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/branch_model.cpp" "src/gpusim/CMakeFiles/emdpa_gpusim.dir/branch_model.cpp.o" "gcc" "src/gpusim/CMakeFiles/emdpa_gpusim.dir/branch_model.cpp.o.d"
+  "/root/repo/src/gpusim/gpu_backend.cpp" "src/gpusim/CMakeFiles/emdpa_gpusim.dir/gpu_backend.cpp.o" "gcc" "src/gpusim/CMakeFiles/emdpa_gpusim.dir/gpu_backend.cpp.o.d"
+  "/root/repo/src/gpusim/gpu_device.cpp" "src/gpusim/CMakeFiles/emdpa_gpusim.dir/gpu_device.cpp.o" "gcc" "src/gpusim/CMakeFiles/emdpa_gpusim.dir/gpu_device.cpp.o.d"
+  "/root/repo/src/gpusim/md_shader.cpp" "src/gpusim/CMakeFiles/emdpa_gpusim.dir/md_shader.cpp.o" "gcc" "src/gpusim/CMakeFiles/emdpa_gpusim.dir/md_shader.cpp.o.d"
+  "/root/repo/src/gpusim/reduction.cpp" "src/gpusim/CMakeFiles/emdpa_gpusim.dir/reduction.cpp.o" "gcc" "src/gpusim/CMakeFiles/emdpa_gpusim.dir/reduction.cpp.o.d"
+  "/root/repo/src/gpusim/shader_compiler.cpp" "src/gpusim/CMakeFiles/emdpa_gpusim.dir/shader_compiler.cpp.o" "gcc" "src/gpusim/CMakeFiles/emdpa_gpusim.dir/shader_compiler.cpp.o.d"
+  "/root/repo/src/gpusim/texture.cpp" "src/gpusim/CMakeFiles/emdpa_gpusim.dir/texture.cpp.o" "gcc" "src/gpusim/CMakeFiles/emdpa_gpusim.dir/texture.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/md/CMakeFiles/emdpa_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/emdpa_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emdpa_gpusim.dir/branch_model.cpp.o"
+  "CMakeFiles/emdpa_gpusim.dir/branch_model.cpp.o.d"
+  "CMakeFiles/emdpa_gpusim.dir/gpu_backend.cpp.o"
+  "CMakeFiles/emdpa_gpusim.dir/gpu_backend.cpp.o.d"
+  "CMakeFiles/emdpa_gpusim.dir/gpu_device.cpp.o"
+  "CMakeFiles/emdpa_gpusim.dir/gpu_device.cpp.o.d"
+  "CMakeFiles/emdpa_gpusim.dir/md_shader.cpp.o"
+  "CMakeFiles/emdpa_gpusim.dir/md_shader.cpp.o.d"
+  "CMakeFiles/emdpa_gpusim.dir/reduction.cpp.o"
+  "CMakeFiles/emdpa_gpusim.dir/reduction.cpp.o.d"
+  "CMakeFiles/emdpa_gpusim.dir/shader_compiler.cpp.o"
+  "CMakeFiles/emdpa_gpusim.dir/shader_compiler.cpp.o.d"
+  "CMakeFiles/emdpa_gpusim.dir/texture.cpp.o"
+  "CMakeFiles/emdpa_gpusim.dir/texture.cpp.o.d"
+  "libemdpa_gpusim.a"
+  "libemdpa_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emdpa_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/md/analysis.cpp" "src/md/CMakeFiles/emdpa_md.dir/analysis.cpp.o" "gcc" "src/md/CMakeFiles/emdpa_md.dir/analysis.cpp.o.d"
+  "/root/repo/src/md/angles.cpp" "src/md/CMakeFiles/emdpa_md.dir/angles.cpp.o" "gcc" "src/md/CMakeFiles/emdpa_md.dir/angles.cpp.o.d"
+  "/root/repo/src/md/backend.cpp" "src/md/CMakeFiles/emdpa_md.dir/backend.cpp.o" "gcc" "src/md/CMakeFiles/emdpa_md.dir/backend.cpp.o.d"
+  "/root/repo/src/md/bonded.cpp" "src/md/CMakeFiles/emdpa_md.dir/bonded.cpp.o" "gcc" "src/md/CMakeFiles/emdpa_md.dir/bonded.cpp.o.d"
+  "/root/repo/src/md/cell_list_kernel.cpp" "src/md/CMakeFiles/emdpa_md.dir/cell_list_kernel.cpp.o" "gcc" "src/md/CMakeFiles/emdpa_md.dir/cell_list_kernel.cpp.o.d"
+  "/root/repo/src/md/checkpoint.cpp" "src/md/CMakeFiles/emdpa_md.dir/checkpoint.cpp.o" "gcc" "src/md/CMakeFiles/emdpa_md.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/md/host_backend.cpp" "src/md/CMakeFiles/emdpa_md.dir/host_backend.cpp.o" "gcc" "src/md/CMakeFiles/emdpa_md.dir/host_backend.cpp.o.d"
+  "/root/repo/src/md/integrator.cpp" "src/md/CMakeFiles/emdpa_md.dir/integrator.cpp.o" "gcc" "src/md/CMakeFiles/emdpa_md.dir/integrator.cpp.o.d"
+  "/root/repo/src/md/langevin.cpp" "src/md/CMakeFiles/emdpa_md.dir/langevin.cpp.o" "gcc" "src/md/CMakeFiles/emdpa_md.dir/langevin.cpp.o.d"
+  "/root/repo/src/md/minimize.cpp" "src/md/CMakeFiles/emdpa_md.dir/minimize.cpp.o" "gcc" "src/md/CMakeFiles/emdpa_md.dir/minimize.cpp.o.d"
+  "/root/repo/src/md/observables.cpp" "src/md/CMakeFiles/emdpa_md.dir/observables.cpp.o" "gcc" "src/md/CMakeFiles/emdpa_md.dir/observables.cpp.o.d"
+  "/root/repo/src/md/particle_system.cpp" "src/md/CMakeFiles/emdpa_md.dir/particle_system.cpp.o" "gcc" "src/md/CMakeFiles/emdpa_md.dir/particle_system.cpp.o.d"
+  "/root/repo/src/md/reference_kernel.cpp" "src/md/CMakeFiles/emdpa_md.dir/reference_kernel.cpp.o" "gcc" "src/md/CMakeFiles/emdpa_md.dir/reference_kernel.cpp.o.d"
+  "/root/repo/src/md/simulation.cpp" "src/md/CMakeFiles/emdpa_md.dir/simulation.cpp.o" "gcc" "src/md/CMakeFiles/emdpa_md.dir/simulation.cpp.o.d"
+  "/root/repo/src/md/thermostat.cpp" "src/md/CMakeFiles/emdpa_md.dir/thermostat.cpp.o" "gcc" "src/md/CMakeFiles/emdpa_md.dir/thermostat.cpp.o.d"
+  "/root/repo/src/md/verlet_list_kernel.cpp" "src/md/CMakeFiles/emdpa_md.dir/verlet_list_kernel.cpp.o" "gcc" "src/md/CMakeFiles/emdpa_md.dir/verlet_list_kernel.cpp.o.d"
+  "/root/repo/src/md/workload.cpp" "src/md/CMakeFiles/emdpa_md.dir/workload.cpp.o" "gcc" "src/md/CMakeFiles/emdpa_md.dir/workload.cpp.o.d"
+  "/root/repo/src/md/xyz_writer.cpp" "src/md/CMakeFiles/emdpa_md.dir/xyz_writer.cpp.o" "gcc" "src/md/CMakeFiles/emdpa_md.dir/xyz_writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/emdpa_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mtasim/mta_backend.cpp" "src/mtasim/CMakeFiles/emdpa_mtasim.dir/mta_backend.cpp.o" "gcc" "src/mtasim/CMakeFiles/emdpa_mtasim.dir/mta_backend.cpp.o.d"
+  "/root/repo/src/mtasim/parallel_loop.cpp" "src/mtasim/CMakeFiles/emdpa_mtasim.dir/parallel_loop.cpp.o" "gcc" "src/mtasim/CMakeFiles/emdpa_mtasim.dir/parallel_loop.cpp.o.d"
+  "/root/repo/src/mtasim/stream_machine.cpp" "src/mtasim/CMakeFiles/emdpa_mtasim.dir/stream_machine.cpp.o" "gcc" "src/mtasim/CMakeFiles/emdpa_mtasim.dir/stream_machine.cpp.o.d"
+  "/root/repo/src/mtasim/xmt_backend.cpp" "src/mtasim/CMakeFiles/emdpa_mtasim.dir/xmt_backend.cpp.o" "gcc" "src/mtasim/CMakeFiles/emdpa_mtasim.dir/xmt_backend.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/md/CMakeFiles/emdpa_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/emdpa_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

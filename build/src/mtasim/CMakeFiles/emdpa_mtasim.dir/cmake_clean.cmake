@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emdpa_mtasim.dir/mta_backend.cpp.o"
+  "CMakeFiles/emdpa_mtasim.dir/mta_backend.cpp.o.d"
+  "CMakeFiles/emdpa_mtasim.dir/parallel_loop.cpp.o"
+  "CMakeFiles/emdpa_mtasim.dir/parallel_loop.cpp.o.d"
+  "CMakeFiles/emdpa_mtasim.dir/stream_machine.cpp.o"
+  "CMakeFiles/emdpa_mtasim.dir/stream_machine.cpp.o.d"
+  "CMakeFiles/emdpa_mtasim.dir/xmt_backend.cpp.o"
+  "CMakeFiles/emdpa_mtasim.dir/xmt_backend.cpp.o.d"
+  "libemdpa_mtasim.a"
+  "libemdpa_mtasim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emdpa_mtasim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

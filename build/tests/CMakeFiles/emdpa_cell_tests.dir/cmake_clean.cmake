@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emdpa_cell_tests.dir/cellsim/cell_backend_test.cpp.o"
+  "CMakeFiles/emdpa_cell_tests.dir/cellsim/cell_backend_test.cpp.o.d"
+  "CMakeFiles/emdpa_cell_tests.dir/cellsim/cell_cluster_test.cpp.o"
+  "CMakeFiles/emdpa_cell_tests.dir/cellsim/cell_cluster_test.cpp.o.d"
+  "CMakeFiles/emdpa_cell_tests.dir/cellsim/cell_dp_test.cpp.o"
+  "CMakeFiles/emdpa_cell_tests.dir/cellsim/cell_dp_test.cpp.o.d"
+  "CMakeFiles/emdpa_cell_tests.dir/cellsim/dma_test.cpp.o"
+  "CMakeFiles/emdpa_cell_tests.dir/cellsim/dma_test.cpp.o.d"
+  "CMakeFiles/emdpa_cell_tests.dir/cellsim/local_store_test.cpp.o"
+  "CMakeFiles/emdpa_cell_tests.dir/cellsim/local_store_test.cpp.o.d"
+  "CMakeFiles/emdpa_cell_tests.dir/cellsim/mailbox_test.cpp.o"
+  "CMakeFiles/emdpa_cell_tests.dir/cellsim/mailbox_test.cpp.o.d"
+  "CMakeFiles/emdpa_cell_tests.dir/cellsim/spe_kernel_test.cpp.o"
+  "CMakeFiles/emdpa_cell_tests.dir/cellsim/spe_kernel_test.cpp.o.d"
+  "CMakeFiles/emdpa_cell_tests.dir/cellsim/spe_simd_test.cpp.o"
+  "CMakeFiles/emdpa_cell_tests.dir/cellsim/spe_simd_test.cpp.o.d"
+  "CMakeFiles/emdpa_cell_tests.dir/cellsim/tiled_kernel_test.cpp.o"
+  "CMakeFiles/emdpa_cell_tests.dir/cellsim/tiled_kernel_test.cpp.o.d"
+  "emdpa_cell_tests"
+  "emdpa_cell_tests.pdb"
+  "emdpa_cell_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emdpa_cell_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

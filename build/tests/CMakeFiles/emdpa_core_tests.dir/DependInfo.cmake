@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/aligned_buffer_test.cpp" "tests/CMakeFiles/emdpa_core_tests.dir/core/aligned_buffer_test.cpp.o" "gcc" "tests/CMakeFiles/emdpa_core_tests.dir/core/aligned_buffer_test.cpp.o.d"
+  "/root/repo/tests/core/csv_test.cpp" "tests/CMakeFiles/emdpa_core_tests.dir/core/csv_test.cpp.o" "gcc" "tests/CMakeFiles/emdpa_core_tests.dir/core/csv_test.cpp.o.d"
+  "/root/repo/tests/core/error_test.cpp" "tests/CMakeFiles/emdpa_core_tests.dir/core/error_test.cpp.o" "gcc" "tests/CMakeFiles/emdpa_core_tests.dir/core/error_test.cpp.o.d"
+  "/root/repo/tests/core/op_counter_test.cpp" "tests/CMakeFiles/emdpa_core_tests.dir/core/op_counter_test.cpp.o" "gcc" "tests/CMakeFiles/emdpa_core_tests.dir/core/op_counter_test.cpp.o.d"
+  "/root/repo/tests/core/random_test.cpp" "tests/CMakeFiles/emdpa_core_tests.dir/core/random_test.cpp.o" "gcc" "tests/CMakeFiles/emdpa_core_tests.dir/core/random_test.cpp.o.d"
+  "/root/repo/tests/core/string_util_test.cpp" "tests/CMakeFiles/emdpa_core_tests.dir/core/string_util_test.cpp.o" "gcc" "tests/CMakeFiles/emdpa_core_tests.dir/core/string_util_test.cpp.o.d"
+  "/root/repo/tests/core/table_test.cpp" "tests/CMakeFiles/emdpa_core_tests.dir/core/table_test.cpp.o" "gcc" "tests/CMakeFiles/emdpa_core_tests.dir/core/table_test.cpp.o.d"
+  "/root/repo/tests/core/time_model_test.cpp" "tests/CMakeFiles/emdpa_core_tests.dir/core/time_model_test.cpp.o" "gcc" "tests/CMakeFiles/emdpa_core_tests.dir/core/time_model_test.cpp.o.d"
+  "/root/repo/tests/core/vec_test.cpp" "tests/CMakeFiles/emdpa_core_tests.dir/core/vec_test.cpp.o" "gcc" "tests/CMakeFiles/emdpa_core_tests.dir/core/vec_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cellsim/CMakeFiles/emdpa_cellsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/emdpa_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mtasim/CMakeFiles/emdpa_mtasim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/emdpa_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/md/CMakeFiles/emdpa_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/emdpa_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emdpa_core_tests.dir/core/aligned_buffer_test.cpp.o"
+  "CMakeFiles/emdpa_core_tests.dir/core/aligned_buffer_test.cpp.o.d"
+  "CMakeFiles/emdpa_core_tests.dir/core/csv_test.cpp.o"
+  "CMakeFiles/emdpa_core_tests.dir/core/csv_test.cpp.o.d"
+  "CMakeFiles/emdpa_core_tests.dir/core/error_test.cpp.o"
+  "CMakeFiles/emdpa_core_tests.dir/core/error_test.cpp.o.d"
+  "CMakeFiles/emdpa_core_tests.dir/core/op_counter_test.cpp.o"
+  "CMakeFiles/emdpa_core_tests.dir/core/op_counter_test.cpp.o.d"
+  "CMakeFiles/emdpa_core_tests.dir/core/random_test.cpp.o"
+  "CMakeFiles/emdpa_core_tests.dir/core/random_test.cpp.o.d"
+  "CMakeFiles/emdpa_core_tests.dir/core/string_util_test.cpp.o"
+  "CMakeFiles/emdpa_core_tests.dir/core/string_util_test.cpp.o.d"
+  "CMakeFiles/emdpa_core_tests.dir/core/table_test.cpp.o"
+  "CMakeFiles/emdpa_core_tests.dir/core/table_test.cpp.o.d"
+  "CMakeFiles/emdpa_core_tests.dir/core/time_model_test.cpp.o"
+  "CMakeFiles/emdpa_core_tests.dir/core/time_model_test.cpp.o.d"
+  "CMakeFiles/emdpa_core_tests.dir/core/vec_test.cpp.o"
+  "CMakeFiles/emdpa_core_tests.dir/core/vec_test.cpp.o.d"
+  "emdpa_core_tests"
+  "emdpa_core_tests.pdb"
+  "emdpa_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emdpa_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

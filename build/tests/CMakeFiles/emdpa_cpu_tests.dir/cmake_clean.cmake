@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emdpa_cpu_tests.dir/cpu/cache_model_test.cpp.o"
+  "CMakeFiles/emdpa_cpu_tests.dir/cpu/cache_model_test.cpp.o.d"
+  "CMakeFiles/emdpa_cpu_tests.dir/cpu/opteron_backend_test.cpp.o"
+  "CMakeFiles/emdpa_cpu_tests.dir/cpu/opteron_backend_test.cpp.o.d"
+  "CMakeFiles/emdpa_cpu_tests.dir/cpu/opteron_model_test.cpp.o"
+  "CMakeFiles/emdpa_cpu_tests.dir/cpu/opteron_model_test.cpp.o.d"
+  "emdpa_cpu_tests"
+  "emdpa_cpu_tests.pdb"
+  "emdpa_cpu_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emdpa_cpu_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emdpa_driver_tests.dir/driver/backend_factory_test.cpp.o"
+  "CMakeFiles/emdpa_driver_tests.dir/driver/backend_factory_test.cpp.o.d"
+  "CMakeFiles/emdpa_driver_tests.dir/driver/cli_options_test.cpp.o"
+  "CMakeFiles/emdpa_driver_tests.dir/driver/cli_options_test.cpp.o.d"
+  "CMakeFiles/emdpa_driver_tests.dir/driver/report_test.cpp.o"
+  "CMakeFiles/emdpa_driver_tests.dir/driver/report_test.cpp.o.d"
+  "emdpa_driver_tests"
+  "emdpa_driver_tests.pdb"
+  "emdpa_driver_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emdpa_driver_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

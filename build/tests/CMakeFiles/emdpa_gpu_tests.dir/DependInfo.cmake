@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gpusim/branch_model_test.cpp" "tests/CMakeFiles/emdpa_gpu_tests.dir/gpusim/branch_model_test.cpp.o" "gcc" "tests/CMakeFiles/emdpa_gpu_tests.dir/gpusim/branch_model_test.cpp.o.d"
+  "/root/repo/tests/gpusim/gpu_backend_test.cpp" "tests/CMakeFiles/emdpa_gpu_tests.dir/gpusim/gpu_backend_test.cpp.o" "gcc" "tests/CMakeFiles/emdpa_gpu_tests.dir/gpusim/gpu_backend_test.cpp.o.d"
+  "/root/repo/tests/gpusim/gpu_device_test.cpp" "tests/CMakeFiles/emdpa_gpu_tests.dir/gpusim/gpu_device_test.cpp.o" "gcc" "tests/CMakeFiles/emdpa_gpu_tests.dir/gpusim/gpu_device_test.cpp.o.d"
+  "/root/repo/tests/gpusim/reduction_test.cpp" "tests/CMakeFiles/emdpa_gpu_tests.dir/gpusim/reduction_test.cpp.o" "gcc" "tests/CMakeFiles/emdpa_gpu_tests.dir/gpusim/reduction_test.cpp.o.d"
+  "/root/repo/tests/gpusim/shader_compiler_test.cpp" "tests/CMakeFiles/emdpa_gpu_tests.dir/gpusim/shader_compiler_test.cpp.o" "gcc" "tests/CMakeFiles/emdpa_gpu_tests.dir/gpusim/shader_compiler_test.cpp.o.d"
+  "/root/repo/tests/gpusim/shader_test.cpp" "tests/CMakeFiles/emdpa_gpu_tests.dir/gpusim/shader_test.cpp.o" "gcc" "tests/CMakeFiles/emdpa_gpu_tests.dir/gpusim/shader_test.cpp.o.d"
+  "/root/repo/tests/gpusim/texture_test.cpp" "tests/CMakeFiles/emdpa_gpu_tests.dir/gpusim/texture_test.cpp.o" "gcc" "tests/CMakeFiles/emdpa_gpu_tests.dir/gpusim/texture_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cellsim/CMakeFiles/emdpa_cellsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/emdpa_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mtasim/CMakeFiles/emdpa_mtasim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/emdpa_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/md/CMakeFiles/emdpa_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/emdpa_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emdpa_gpu_tests.dir/gpusim/branch_model_test.cpp.o"
+  "CMakeFiles/emdpa_gpu_tests.dir/gpusim/branch_model_test.cpp.o.d"
+  "CMakeFiles/emdpa_gpu_tests.dir/gpusim/gpu_backend_test.cpp.o"
+  "CMakeFiles/emdpa_gpu_tests.dir/gpusim/gpu_backend_test.cpp.o.d"
+  "CMakeFiles/emdpa_gpu_tests.dir/gpusim/gpu_device_test.cpp.o"
+  "CMakeFiles/emdpa_gpu_tests.dir/gpusim/gpu_device_test.cpp.o.d"
+  "CMakeFiles/emdpa_gpu_tests.dir/gpusim/reduction_test.cpp.o"
+  "CMakeFiles/emdpa_gpu_tests.dir/gpusim/reduction_test.cpp.o.d"
+  "CMakeFiles/emdpa_gpu_tests.dir/gpusim/shader_compiler_test.cpp.o"
+  "CMakeFiles/emdpa_gpu_tests.dir/gpusim/shader_compiler_test.cpp.o.d"
+  "CMakeFiles/emdpa_gpu_tests.dir/gpusim/shader_test.cpp.o"
+  "CMakeFiles/emdpa_gpu_tests.dir/gpusim/shader_test.cpp.o.d"
+  "CMakeFiles/emdpa_gpu_tests.dir/gpusim/texture_test.cpp.o"
+  "CMakeFiles/emdpa_gpu_tests.dir/gpusim/texture_test.cpp.o.d"
+  "emdpa_gpu_tests"
+  "emdpa_gpu_tests.pdb"
+  "emdpa_gpu_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emdpa_gpu_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

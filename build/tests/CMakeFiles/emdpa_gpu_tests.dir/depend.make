@@ -1,0 +1,2 @@
+# Empty dependencies file for emdpa_gpu_tests.
+# This may be replaced when dependencies are built.

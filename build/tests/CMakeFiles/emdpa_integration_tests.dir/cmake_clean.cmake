@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emdpa_integration_tests.dir/integration/cross_backend_test.cpp.o"
+  "CMakeFiles/emdpa_integration_tests.dir/integration/cross_backend_test.cpp.o.d"
+  "CMakeFiles/emdpa_integration_tests.dir/integration/paper_claims_test.cpp.o"
+  "CMakeFiles/emdpa_integration_tests.dir/integration/paper_claims_test.cpp.o.d"
+  "CMakeFiles/emdpa_integration_tests.dir/integration/physics_properties_test.cpp.o"
+  "CMakeFiles/emdpa_integration_tests.dir/integration/physics_properties_test.cpp.o.d"
+  "emdpa_integration_tests"
+  "emdpa_integration_tests.pdb"
+  "emdpa_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emdpa_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/md/analysis_test.cpp" "tests/CMakeFiles/emdpa_md_tests.dir/md/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/emdpa_md_tests.dir/md/analysis_test.cpp.o.d"
+  "/root/repo/tests/md/angles_test.cpp" "tests/CMakeFiles/emdpa_md_tests.dir/md/angles_test.cpp.o" "gcc" "tests/CMakeFiles/emdpa_md_tests.dir/md/angles_test.cpp.o.d"
+  "/root/repo/tests/md/bonded_test.cpp" "tests/CMakeFiles/emdpa_md_tests.dir/md/bonded_test.cpp.o" "gcc" "tests/CMakeFiles/emdpa_md_tests.dir/md/bonded_test.cpp.o.d"
+  "/root/repo/tests/md/box_test.cpp" "tests/CMakeFiles/emdpa_md_tests.dir/md/box_test.cpp.o" "gcc" "tests/CMakeFiles/emdpa_md_tests.dir/md/box_test.cpp.o.d"
+  "/root/repo/tests/md/cell_list_kernel_test.cpp" "tests/CMakeFiles/emdpa_md_tests.dir/md/cell_list_kernel_test.cpp.o" "gcc" "tests/CMakeFiles/emdpa_md_tests.dir/md/cell_list_kernel_test.cpp.o.d"
+  "/root/repo/tests/md/checkpoint_test.cpp" "tests/CMakeFiles/emdpa_md_tests.dir/md/checkpoint_test.cpp.o" "gcc" "tests/CMakeFiles/emdpa_md_tests.dir/md/checkpoint_test.cpp.o.d"
+  "/root/repo/tests/md/integrator_test.cpp" "tests/CMakeFiles/emdpa_md_tests.dir/md/integrator_test.cpp.o" "gcc" "tests/CMakeFiles/emdpa_md_tests.dir/md/integrator_test.cpp.o.d"
+  "/root/repo/tests/md/langevin_test.cpp" "tests/CMakeFiles/emdpa_md_tests.dir/md/langevin_test.cpp.o" "gcc" "tests/CMakeFiles/emdpa_md_tests.dir/md/langevin_test.cpp.o.d"
+  "/root/repo/tests/md/lj_potential_test.cpp" "tests/CMakeFiles/emdpa_md_tests.dir/md/lj_potential_test.cpp.o" "gcc" "tests/CMakeFiles/emdpa_md_tests.dir/md/lj_potential_test.cpp.o.d"
+  "/root/repo/tests/md/minimize_test.cpp" "tests/CMakeFiles/emdpa_md_tests.dir/md/minimize_test.cpp.o" "gcc" "tests/CMakeFiles/emdpa_md_tests.dir/md/minimize_test.cpp.o.d"
+  "/root/repo/tests/md/observables_test.cpp" "tests/CMakeFiles/emdpa_md_tests.dir/md/observables_test.cpp.o" "gcc" "tests/CMakeFiles/emdpa_md_tests.dir/md/observables_test.cpp.o.d"
+  "/root/repo/tests/md/particle_system_test.cpp" "tests/CMakeFiles/emdpa_md_tests.dir/md/particle_system_test.cpp.o" "gcc" "tests/CMakeFiles/emdpa_md_tests.dir/md/particle_system_test.cpp.o.d"
+  "/root/repo/tests/md/pressure_test.cpp" "tests/CMakeFiles/emdpa_md_tests.dir/md/pressure_test.cpp.o" "gcc" "tests/CMakeFiles/emdpa_md_tests.dir/md/pressure_test.cpp.o.d"
+  "/root/repo/tests/md/reference_kernel_test.cpp" "tests/CMakeFiles/emdpa_md_tests.dir/md/reference_kernel_test.cpp.o" "gcc" "tests/CMakeFiles/emdpa_md_tests.dir/md/reference_kernel_test.cpp.o.d"
+  "/root/repo/tests/md/simulation_test.cpp" "tests/CMakeFiles/emdpa_md_tests.dir/md/simulation_test.cpp.o" "gcc" "tests/CMakeFiles/emdpa_md_tests.dir/md/simulation_test.cpp.o.d"
+  "/root/repo/tests/md/thermostat_test.cpp" "tests/CMakeFiles/emdpa_md_tests.dir/md/thermostat_test.cpp.o" "gcc" "tests/CMakeFiles/emdpa_md_tests.dir/md/thermostat_test.cpp.o.d"
+  "/root/repo/tests/md/units_test.cpp" "tests/CMakeFiles/emdpa_md_tests.dir/md/units_test.cpp.o" "gcc" "tests/CMakeFiles/emdpa_md_tests.dir/md/units_test.cpp.o.d"
+  "/root/repo/tests/md/verlet_list_kernel_test.cpp" "tests/CMakeFiles/emdpa_md_tests.dir/md/verlet_list_kernel_test.cpp.o" "gcc" "tests/CMakeFiles/emdpa_md_tests.dir/md/verlet_list_kernel_test.cpp.o.d"
+  "/root/repo/tests/md/workload_test.cpp" "tests/CMakeFiles/emdpa_md_tests.dir/md/workload_test.cpp.o" "gcc" "tests/CMakeFiles/emdpa_md_tests.dir/md/workload_test.cpp.o.d"
+  "/root/repo/tests/md/xyz_writer_test.cpp" "tests/CMakeFiles/emdpa_md_tests.dir/md/xyz_writer_test.cpp.o" "gcc" "tests/CMakeFiles/emdpa_md_tests.dir/md/xyz_writer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cellsim/CMakeFiles/emdpa_cellsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/emdpa_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mtasim/CMakeFiles/emdpa_mtasim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/emdpa_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/md/CMakeFiles/emdpa_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/emdpa_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mtasim/full_empty_test.cpp" "tests/CMakeFiles/emdpa_mta_tests.dir/mtasim/full_empty_test.cpp.o" "gcc" "tests/CMakeFiles/emdpa_mta_tests.dir/mtasim/full_empty_test.cpp.o.d"
+  "/root/repo/tests/mtasim/mta_backend_test.cpp" "tests/CMakeFiles/emdpa_mta_tests.dir/mtasim/mta_backend_test.cpp.o" "gcc" "tests/CMakeFiles/emdpa_mta_tests.dir/mtasim/mta_backend_test.cpp.o.d"
+  "/root/repo/tests/mtasim/parallel_loop_test.cpp" "tests/CMakeFiles/emdpa_mta_tests.dir/mtasim/parallel_loop_test.cpp.o" "gcc" "tests/CMakeFiles/emdpa_mta_tests.dir/mtasim/parallel_loop_test.cpp.o.d"
+  "/root/repo/tests/mtasim/stream_machine_test.cpp" "tests/CMakeFiles/emdpa_mta_tests.dir/mtasim/stream_machine_test.cpp.o" "gcc" "tests/CMakeFiles/emdpa_mta_tests.dir/mtasim/stream_machine_test.cpp.o.d"
+  "/root/repo/tests/mtasim/xmt_backend_test.cpp" "tests/CMakeFiles/emdpa_mta_tests.dir/mtasim/xmt_backend_test.cpp.o" "gcc" "tests/CMakeFiles/emdpa_mta_tests.dir/mtasim/xmt_backend_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cellsim/CMakeFiles/emdpa_cellsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/emdpa_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mtasim/CMakeFiles/emdpa_mtasim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/emdpa_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/md/CMakeFiles/emdpa_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/emdpa_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

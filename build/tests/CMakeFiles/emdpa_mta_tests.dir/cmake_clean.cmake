@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emdpa_mta_tests.dir/mtasim/full_empty_test.cpp.o"
+  "CMakeFiles/emdpa_mta_tests.dir/mtasim/full_empty_test.cpp.o.d"
+  "CMakeFiles/emdpa_mta_tests.dir/mtasim/mta_backend_test.cpp.o"
+  "CMakeFiles/emdpa_mta_tests.dir/mtasim/mta_backend_test.cpp.o.d"
+  "CMakeFiles/emdpa_mta_tests.dir/mtasim/parallel_loop_test.cpp.o"
+  "CMakeFiles/emdpa_mta_tests.dir/mtasim/parallel_loop_test.cpp.o.d"
+  "CMakeFiles/emdpa_mta_tests.dir/mtasim/stream_machine_test.cpp.o"
+  "CMakeFiles/emdpa_mta_tests.dir/mtasim/stream_machine_test.cpp.o.d"
+  "CMakeFiles/emdpa_mta_tests.dir/mtasim/xmt_backend_test.cpp.o"
+  "CMakeFiles/emdpa_mta_tests.dir/mtasim/xmt_backend_test.cpp.o.d"
+  "emdpa_mta_tests"
+  "emdpa_mta_tests.pdb"
+  "emdpa_mta_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emdpa_mta_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/emdpa_core_tests[1]_include.cmake")
+include("/root/repo/build/tests/emdpa_md_tests[1]_include.cmake")
+include("/root/repo/build/tests/emdpa_cpu_tests[1]_include.cmake")
+include("/root/repo/build/tests/emdpa_cell_tests[1]_include.cmake")
+include("/root/repo/build/tests/emdpa_gpu_tests[1]_include.cmake")
+include("/root/repo/build/tests/emdpa_mta_tests[1]_include.cmake")
+include("/root/repo/build/tests/emdpa_driver_tests[1]_include.cmake")
+include("/root/repo/build/tests/emdpa_integration_tests[1]_include.cmake")

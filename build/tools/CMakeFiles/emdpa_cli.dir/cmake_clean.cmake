@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emdpa_cli.dir/emdpa_cli.cpp.o"
+  "CMakeFiles/emdpa_cli.dir/emdpa_cli.cpp.o.d"
+  "emdpa"
+  "emdpa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emdpa_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
