@@ -6,9 +6,11 @@
 #include <benchmark/benchmark.h>
 
 #include "core/random.h"
+#include "core/thread_pool.h"
 #include "md/cell_list_kernel.h"
 #include "md/integrator.h"
 #include "md/reference_kernel.h"
+#include "md/soa_kernel.h"
 #include "md/workload.h"
 
 namespace {
@@ -62,6 +64,64 @@ void BM_ReferenceKernelSingle(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ReferenceKernelSingle)->Arg(256)->Arg(1024);
+
+void BM_SoaKernel(benchmark::State& state) {
+  // Single-threaded SoA/SIMD batch kernel — compare per-size against
+  // BM_ReferenceKernel for the SIMD + hoisting speedup alone.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  md::Workload w = fluid(n);
+  md::LjParams lj;
+  md::SoaKernel kernel;
+  for (auto _ : state) {
+    auto result = kernel.compute(w.system.positions(), w.box, lj, 1.0);
+    benchmark::DoNotOptimize(result.potential_energy);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) *
+                          static_cast<std::int64_t>(n - 1));
+}
+BENCHMARK(BM_SoaKernel)->Arg(256)->Arg(512)->Arg(1024)->Arg(2048);
+
+void BM_SoaKernelParallel(benchmark::State& state) {
+  // SoA kernel with atom rows fanned out over the global thread pool — the
+  // full host-parallel execution path.  Threads are reported so runs on
+  // different machines stay comparable.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  md::Workload w = fluid(n);
+  md::LjParams lj;
+  md::SoaKernel::Options options;
+  options.pool = &ThreadPool::global();
+  md::SoaKernel kernel(options);
+  for (auto _ : state) {
+    auto result = kernel.compute(w.system.positions(), w.box, lj, 1.0);
+    benchmark::DoNotOptimize(result.potential_energy);
+  }
+  state.counters["threads"] =
+      static_cast<double>(ThreadPool::global().size());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) *
+                          static_cast<std::int64_t>(n - 1));
+}
+BENCHMARK(BM_SoaKernelParallel)->Arg(256)->Arg(512)->Arg(1024)->Arg(2048);
+
+void BM_SoaKernelSingle(benchmark::State& state) {
+  // Single-precision SoA kernel: double the lane width of the double path.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  md::Workload w = fluid(n);
+  std::vector<Vec3f> pos;
+  for (const auto& p : w.system.positions()) pos.push_back(vec_cast<float>(p));
+  const md::PeriodicBoxF box(static_cast<float>(w.box.edge()));
+  const auto lj = md::LjParams{}.cast<float>();
+  md::SoaKernelF kernel;
+  for (auto _ : state) {
+    auto result = kernel.compute(pos, box, lj, 1.0f);
+    benchmark::DoNotOptimize(result.potential_energy);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) *
+                          static_cast<std::int64_t>(n - 1));
+}
+BENCHMARK(BM_SoaKernelSingle)->Arg(256)->Arg(1024)->Arg(2048);
 
 void BM_CellListKernel(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -7,6 +7,7 @@
 #include "cellsim/ppe_kernel.h"
 #include "core/aligned_buffer.h"
 #include "core/error.h"
+#include "core/thread_pool.h"
 #include "md/observables.h"
 
 namespace emdpa::cell {
@@ -279,43 +280,55 @@ md::RunResult CellMdApp::run(const md::RunConfig& run_config) {
         }
       }
 
-      // SPEs run concurrently; the step completes with the slowest one.
+      // SPEs run concurrently — for real, one pool worker per SPE.  Each
+      // SPE touches only its own context (local store, DMA engine,
+      // mailboxes) and a disjoint slice of host_acc, so the workers are
+      // independent; the shared accumulators are updated afterwards in SPE
+      // order so the totals stay deterministic.
+      std::vector<SpeStepOutcome> outcomes(
+          static_cast<std::size_t>(options_.n_spes));
+      ThreadPool::global().parallel_for(
+          0, static_cast<std::size_t>(options_.n_spes), 1,
+          [&](std::size_t s_begin, std::size_t s_end) {
+            for (std::size_t s = s_begin; s < s_end; ++s) {
+              auto& spe = *spes[s];
+              if (options_.launch_mode == LaunchMode::kPersistent &&
+                  !first_step) {
+                // Drain the "more data" token the PPE just mailed.
+                spe.mailboxes().inbound.pop();
+              }
+              outcomes[s] =
+                  options_.data_layout == SpeDataLayout::kResident
+                      ? run_spe_step(spe, config_, options_.variant, params[s],
+                                     ls_pos[s], ls_acc[s], host_pos, host_acc)
+                      : run_spe_step_tiled(spe, config_, options_.variant,
+                                           params[s], options_.tile_atoms,
+                                           ls_pos[s], ls_tiles[s][0],
+                                           ls_tiles[s][1], ls_acc[s], host_pos,
+                                           host_acc);
+
+              // Completion notification back to the PPE.
+              spe.mailboxes().outbound.push(0xD0E);
+              spe.mailboxes().outbound.pop();
+
+              if (options_.launch_mode == LaunchMode::kRespawnEveryStep) {
+                spe.terminate_thread();
+              }
+            }
+          });
+
+      // The modelled step completes with the slowest SPE.
       ModelTime slowest;
       for (int s = 0; s < options_.n_spes; ++s) {
-        auto& spe = *spes[static_cast<std::size_t>(s)];
-        if (options_.launch_mode == LaunchMode::kPersistent && !first_step) {
-          // Drain the "more data" token the PPE just mailed.
-          spe.mailboxes().inbound.pop();
-        }
-        const SpeStepOutcome outcome =
-            options_.data_layout == SpeDataLayout::kResident
-                ? run_spe_step(spe, config_, options_.variant,
-                               params[static_cast<std::size_t>(s)],
-                               ls_pos[static_cast<std::size_t>(s)],
-                               ls_acc[static_cast<std::size_t>(s)], host_pos,
-                               host_acc)
-                : run_spe_step_tiled(
-                      spe, config_, options_.variant,
-                      params[static_cast<std::size_t>(s)], options_.tile_atoms,
-                      ls_pos[static_cast<std::size_t>(s)],
-                      ls_tiles[static_cast<std::size_t>(s)][0],
-                      ls_tiles[static_cast<std::size_t>(s)][1],
-                      ls_acc[static_cast<std::size_t>(s)], host_pos, host_acc);
+        const SpeStepOutcome& outcome = outcomes[static_cast<std::size_t>(s)];
         slowest = std::max(slowest, outcome.busy);
         t_dma += outcome.dma;
         t_compute += outcome.busy - outcome.dma;
         result.ops.add("cell.pair_candidates", outcome.kernel.stats.candidates);
         result.ops.add("cell.pair_interactions",
                        outcome.kernel.stats.interacting);
-        result.ops.add("cell.dma_bytes", spe.dma().bytes_transferred());
-
-        // Completion notification back to the PPE.
-        spe.mailboxes().outbound.push(0xD0E);
-        spe.mailboxes().outbound.pop();
-
-        if (options_.launch_mode == LaunchMode::kRespawnEveryStep) {
-          spe.terminate_thread();
-        }
+        result.ops.add("cell.dma_bytes",
+                       spes[static_cast<std::size_t>(s)]->dma().bytes_transferred());
       }
       elapsed += slowest;
 

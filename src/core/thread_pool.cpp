@@ -1,0 +1,155 @@
+#include "core/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace emdpa {
+
+namespace {
+
+// Set while a thread is executing chunks, so a nested parallel_for from a
+// chunk body runs inline instead of deadlocking on the pool.
+thread_local bool t_inside_chunk = false;
+
+struct InsideChunkScope {
+  bool previous = t_inside_chunk;
+  InsideChunkScope() { t_inside_chunk = true; }
+  ~InsideChunkScope() { t_inside_chunk = previous; }
+};
+
+}  // namespace
+
+struct ThreadPool::Task {
+  const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t grain = 1;
+  std::size_t n_chunks = 0;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> completed{0};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+};
+
+ThreadPool::ThreadPool(std::size_t n_threads) {
+  std::size_t total = n_threads == 0 ? default_thread_count() : n_threads;
+  total = std::max<std::size_t>(total, 1);
+  workers_.reserve(total - 1);
+  for (std::size_t i = 0; i + 1 < total; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::size_t ThreadPool::default_thread_count() {
+  if (const char* env = std::getenv("EMDPA_THREADS")) {
+    char* tail = nullptr;
+    const long parsed = std::strtol(env, &tail, 10);
+    if (tail != env && *tail == '\0' && parsed > 0) {
+      return std::min<long>(parsed, 1024);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::work_on(Task& task) {
+  InsideChunkScope scope;
+  std::size_t k;
+  while ((k = task.next.fetch_add(1, std::memory_order_relaxed)) <
+         task.n_chunks) {
+    const std::size_t chunk_begin = task.begin + k * task.grain;
+    const std::size_t chunk_end =
+        std::min(task.end, chunk_begin + task.grain);
+    try {
+      (*task.body)(chunk_begin, chunk_end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(task.error_mutex);
+      if (!task.error) task.error = std::current_exception();
+    }
+    task.completed.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_epoch = 0;
+  while (true) {
+    Task* task = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_cv_.wait(lock, [&] {
+        return stop_ || (current_ != nullptr && epoch_ != seen_epoch);
+      });
+      if (stop_) return;
+      task = current_;
+      seen_epoch = epoch_;
+    }
+    work_on(*task);
+    if (task->completed.load(std::memory_order_acquire) == task->n_chunks) {
+      // Taking the lock orders this notify after the caller either observed
+      // completion or started waiting, so the wakeup cannot be missed.
+      { std::lock_guard<std::mutex> lock(mutex_); }
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (end <= begin) return;
+  const std::size_t g = grain == 0 ? 1 : grain;
+  const std::size_t n_chunks = (end - begin + g - 1) / g;
+
+  // Serial path: no workers, a single chunk, or a nested call from inside a
+  // running chunk.  Chunks execute in order on this thread; exceptions
+  // propagate directly.
+  if (workers_.empty() || n_chunks == 1 || t_inside_chunk) {
+    InsideChunkScope scope;
+    for (std::size_t k = 0; k < n_chunks; ++k) {
+      const std::size_t chunk_begin = begin + k * g;
+      body(chunk_begin, std::min(end, chunk_begin + g));
+    }
+    return;
+  }
+
+  std::lock_guard<std::mutex> run_lock(run_mutex_);
+  Task task;
+  task.body = &body;
+  task.begin = begin;
+  task.end = end;
+  task.grain = g;
+  task.n_chunks = n_chunks;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    current_ = &task;
+    ++epoch_;
+  }
+  wake_cv_.notify_all();
+
+  work_on(task);  // the calling thread participates
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] {
+      return task.completed.load(std::memory_order_acquire) == task.n_chunks;
+    });
+    current_ = nullptr;
+  }
+  if (task.error) std::rethrow_exception(task.error);
+}
+
+}  // namespace emdpa

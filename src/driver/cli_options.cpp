@@ -48,6 +48,7 @@ std::string cli_usage() {
       "  --dt DT            time step (0.005)\n"
       "  --cutoff C         LJ cutoff (2.5)\n"
       "  --seed S           workload seed\n"
+      "  --threads N        host execution threads (default: EMDPA_THREADS or all cores)\n"
       "  --csv              machine-readable output\n"
       "\n"
       "Backends:\n";
@@ -107,6 +108,10 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
     } else if (flag == "--seed") {
       options.run_config.workload.seed =
           static_cast<std::uint64_t>(parse_integer(flag, need_value(flag)));
+    } else if (flag == "--threads") {
+      const long t = parse_integer(flag, need_value(flag));
+      if (t <= 0) throw RuntimeFailure("--threads must be positive");
+      options.threads = static_cast<std::size_t>(t);
     } else if (flag == "--csv") {
       options.csv = true;
     } else {

@@ -4,7 +4,8 @@
 // Grammar:
 //   emdpa list
 //   emdpa run --backend <key> [--atoms N] [--steps K] [--density D]
-//             [--temperature T] [--dt DT] [--cutoff C] [--seed S] [--csv]
+//             [--temperature T] [--dt DT] [--cutoff C] [--seed S]
+//             [--threads N] [--csv]
 //   emdpa compare [--atoms N] [--steps K] ... (runs every backend)
 #pragma once
 
@@ -22,6 +23,10 @@ struct CliOptions {
   std::string backend;        ///< for kRun
   md::RunConfig run_config;   ///< populated from the flags
   bool csv = false;           ///< machine-readable output
+  /// Host execution threads (0 = EMDPA_THREADS / hardware default).  Only
+  /// affects backends that really execute in parallel (host-parallel, the
+  /// Cell SPE workers, the MTA streams).
+  std::size_t threads = 0;
 };
 
 /// Parse argv (excluding argv[0]).  Throws RuntimeFailure with a

@@ -78,4 +78,19 @@ class HostReferenceBackend final : public MdBackend {
   RunResult run(const RunConfig& config) override;
 };
 
+/// Real parallel host backend: double precision SoA/SIMD force kernel with
+/// atom rows spread over the shared thread pool.  No device timing model —
+/// this backend exists to run the physics as fast as the build machine
+/// allows; it reports wall-clock step times plus thread count and SIMD
+/// width in RunResult.breakdown ("threads" / "simd_width", encoded as
+/// dimensionless ModelTime seconds).  Energies match host-reference to
+/// double-precision reduction tolerance and are bit-identical run to run at
+/// any thread count.
+class HostParallelBackend final : public MdBackend {
+ public:
+  std::string name() const override { return "host-parallel"; }
+  std::string precision() const override { return "double"; }
+  RunResult run(const RunConfig& config) override;
+};
+
 }  // namespace emdpa::md

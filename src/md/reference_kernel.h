@@ -7,8 +7,17 @@
 // GPU and SPE ports require (each parallel instance owns one atom's output).
 // Per-atom PE contributions are half the pair energy so the system total
 // comes out right.
+//
+// The min-image strategy is dispatched ONCE per row range, not per pair: the
+// inner loop is instantiated per strategy, so the scalar kernel pays no
+// per-pair switch.  Optionally, atom rows run on a ThreadPool; per-row
+// partials are reduced in row order afterwards, so the parallel result is
+// bit-identical to the serial one at any thread count (the MTA model relies
+// on this to execute its streams concurrently while staying bitwise equal to
+// the sequential ground truth).
 #pragma once
 
+#include "core/thread_pool.h"
 #include "md/force_kernel.h"
 
 namespace emdpa::md {
@@ -28,8 +37,9 @@ const char* to_string(MinImageStrategy s);
 template <typename Real>
 class ReferenceKernelT final : public ForceKernelT<Real> {
  public:
-  explicit ReferenceKernelT(MinImageStrategy strategy = MinImageStrategy::kRound)
-      : strategy_(strategy) {}
+  explicit ReferenceKernelT(MinImageStrategy strategy = MinImageStrategy::kRound,
+                            ThreadPool* pool = nullptr, std::size_t grain = 16)
+      : strategy_(strategy), pool_(pool), grain_(grain) {}
 
   std::string name() const override;
 
@@ -40,7 +50,16 @@ class ReferenceKernelT final : public ForceKernelT<Real> {
                              const LjParamsT<Real>& lj, Real mass) override;
 
  private:
+  template <MinImageStrategy S>
+  void compute_rows(const std::vector<emdpa::Vec3<Real>>& positions,
+                    const PeriodicBoxT<Real>& box, const LjParamsT<Real>& lj,
+                    Real inv_mass, std::size_t i_begin, std::size_t i_end,
+                    ForceResultT<Real>& result, Real* row_pe, Real* row_virial,
+                    std::uint64_t* row_hits) const;
+
   MinImageStrategy strategy_;
+  ThreadPool* pool_;
+  std::size_t grain_;
 };
 
 using ReferenceKernel = ReferenceKernelT<double>;

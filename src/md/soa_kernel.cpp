@@ -1,0 +1,179 @@
+#include "md/soa_kernel.h"
+
+#include <bit>
+#include <string>
+
+namespace emdpa::md {
+
+namespace {
+
+/// One batch-SIMD row range: for each atom i in [i_begin, i_end), sweep all
+/// padded j columns kWidth at a time.  Pure function of its inputs; rows
+/// write disjoint outputs, so ranges can run on any thread.
+template <typename Real>
+void compute_rows(const Real* xs, const Real* ys, const Real* zs,
+                  std::size_t padded, Real edge, Real cutoff_sq,
+                  const LjParamsT<Real>& lj, Real inv_mass,
+                  std::size_t i_begin, std::size_t i_end,
+                  emdpa::Vec3<Real>* accelerations, Real* row_pe,
+                  Real* row_virial, std::uint64_t* row_hits) {
+  using P = simd::NativePack<Real>;
+
+  const P v_edge = P::broadcast(edge);
+  const P v_half = P::broadcast(edge / Real(2));
+  const P v_cut = P::broadcast(cutoff_sq);
+  const P v_zero = P::zero();
+  const P v_one = P::broadcast(Real(1));
+  const P v_two = P::broadcast(Real(2));
+  const P v_sigma2 = P::broadcast(lj.sigma * lj.sigma);
+  const P v_eps24 = P::broadcast(Real(24) * lj.epsilon);
+  const P v_eps4 = P::broadcast(Real(4) * lj.epsilon);
+  const P v_shift =
+      P::broadcast(lj.shifted ? lj.energy_shift() : Real(0));
+
+  for (std::size_t i = i_begin; i < i_end; ++i) {
+    const P xi = P::broadcast(xs[i]);
+    const P yi = P::broadcast(ys[i]);
+    const P zi = P::broadcast(zs[i]);
+    P fx = P::zero(), fy = P::zero(), fz = P::zero();
+    P pe = P::zero(), vir = P::zero();
+    std::uint64_t hits = 0;
+
+    for (std::size_t j = 0; j < padded; j += P::kWidth) {
+      P dx = xi - P::load(xs + j);
+      P dy = yi - P::load(ys + j);
+      P dz = zi - P::load(zs + j);
+
+      // Fused single-reflection minimum image: subtract +-edge where the raw
+      // separation exceeds half the box.  Exact for wrapped positions
+      // (|dr| < edge), where it coincides with every MinImageStrategy.
+      dx = dx - select(cmp_gt(abs(dx), v_half), copysign(v_edge, dx), v_zero);
+      dy = dy - select(cmp_gt(abs(dy), v_half), copysign(v_edge, dy), v_zero);
+      dz = dz - select(cmp_gt(abs(dz), v_half), copysign(v_edge, dz), v_zero);
+
+      const P r2 = dx * dx + dy * dy + dz * dz;
+      // r2 > 0 excludes the self pair; padded columns sit far outside the
+      // cutoff by construction.
+      const auto in_range =
+          P::mask_and(cmp_lt(r2, v_cut), cmp_gt(r2, v_zero));
+      const unsigned bits = P::mask_bits(in_range);
+      if (bits == 0) continue;  // the common case: whole batch out of range
+      hits += static_cast<std::uint64_t>(std::popcount(bits));
+
+      // LJ force and energy on the interacting lanes; rejected lanes may
+      // carry inf (from 1/r2 at the self pair) and are discarded by the
+      // bitwise blend before touching an accumulator.
+      const P inv_r2 = v_one / r2;
+      const P s2 = v_sigma2 * inv_r2;
+      const P s6 = s2 * s2 * s2;
+      const P f_over_r = select(
+          in_range, v_eps24 * inv_r2 * s6 * (v_two * s6 - v_one), v_zero);
+      const P energy =
+          select(in_range, v_eps4 * s6 * (s6 - v_one) - v_shift, v_zero);
+
+      fx = fx + dx * f_over_r;
+      fy = fy + dy * f_over_r;
+      fz = fz + dz * f_over_r;
+      pe = pe + energy;
+      vir = vir + f_over_r * r2;
+    }
+
+    accelerations[i] = emdpa::Vec3<Real>{reduce_add(fx), reduce_add(fy),
+                                         reduce_add(fz)} *
+                       inv_mass;
+    row_pe[i] = Real(0.5) * reduce_add(pe);      // pair seen from both ends
+    row_virial[i] = Real(0.5) * reduce_add(vir);
+    row_hits[i] = hits;
+  }
+}
+
+}  // namespace
+
+template <typename Real>
+std::string SoaKernelT<Real>::name() const {
+  std::string name = std::string("soa-simd[") + simd_name() + ",w" +
+                     std::to_string(simd_width()) + "][" +
+                     to_string(options_.strategy) + "]";
+  if (options_.pool != nullptr) {
+    name += "[threads=" + std::to_string(options_.pool->size()) + "]";
+  }
+  return name;
+}
+
+template <typename Real>
+void SoaKernelT<Real>::ensure_capacity(std::size_t padded, std::size_t n) {
+  if (!xs_ || xs_->size() < padded) {
+    xs_.emplace(padded);
+    ys_.emplace(padded);
+    zs_.emplace(padded);
+  }
+  row_pe_.resize(n);
+  row_virial_.resize(n);
+  row_hits_.resize(n);
+}
+
+template <typename Real>
+ForceResultT<Real> SoaKernelT<Real>::compute(
+    const std::vector<emdpa::Vec3<Real>>& positions,
+    const PeriodicBoxT<Real>& box, const LjParamsT<Real>& lj, Real mass) {
+  const std::size_t n = positions.size();
+  ForceResultT<Real> result;
+  result.accelerations.assign(n, {});
+  if (n == 0) return result;
+
+  constexpr std::size_t kWidth = simd_width();
+  const std::size_t padded = (n + kWidth - 1) / kWidth * kWidth;
+  ensure_capacity(padded, n);
+
+  // Pack into SoA lanes, wrapping once so the fused reflection in the inner
+  // loop is exact (the hoisted part of every min-image strategy).
+  Real* xs = xs_->data();
+  Real* ys = ys_->data();
+  Real* zs = zs_->data();
+  for (std::size_t i = 0; i < n; ++i) {
+    const emdpa::Vec3<Real> p = box.wrap(positions[i]);
+    xs[i] = p.x;
+    ys[i] = p.y;
+    zs[i] = p.z;
+  }
+  // Padding columns: far enough out that one reflection still leaves them
+  // beyond the cutoff, so their lanes never pass the range mask.
+  const Real sentinel = Real(4) * (box.edge() + lj.cutoff);
+  for (std::size_t j = n; j < xs_->size(); ++j) {
+    xs[j] = ys[j] = zs[j] = sentinel;
+  }
+
+  const Real inv_mass = Real(1) / mass;
+  auto rows = [&](std::size_t row_begin, std::size_t row_end) {
+    compute_rows<Real>(xs, ys, zs, padded, box.edge(), lj.cutoff_squared(),
+                       lj, inv_mass, row_begin, row_end,
+                       result.accelerations.data(), row_pe_.data(),
+                       row_virial_.data(), row_hits_.data());
+  };
+  if (options_.pool != nullptr) {
+    options_.pool->parallel_for(0, n, options_.grain, rows);
+  } else {
+    rows(0, n);
+  }
+
+  // Ordered reduction over the per-row partials: totals are independent of
+  // thread count and chunking, bit-identical run to run.
+  Real pe{}, virial{};
+  std::uint64_t interacting = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    pe += row_pe_[i];
+    virial += row_virial_[i];
+    interacting += row_hits_[i];
+  }
+  result.potential_energy = pe;
+  result.virial = virial;
+  result.stats.candidates =
+      static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n - 1);
+  result.stats.interacting = interacting;
+  return result;
+}
+
+template class SoaKernelT<double>;
+template class SoaKernelT<float>;
+
+}  // namespace emdpa::md

@@ -1,6 +1,7 @@
 #include "mtasim/mta_backend.h"
 
 #include "core/error.h"
+#include "core/thread_pool.h"
 #include "md/observables.h"
 #include "md/reference_kernel.h"
 #include "mtasim/full_empty.h"
@@ -69,7 +70,14 @@ md::RunResult MtaBackend::run(const md::RunConfig& run_config) {
   // One force evaluation: real physics + instruction charging per the
   // compiler's parallelisation decision.  Returns total PE.
   auto evaluate = [&]() -> double {
-    md::ReferenceKernelT<double> kernel(md::MinImageStrategy::kRound);
+    // When the compiler parallelises the loop, the modelled streams run for
+    // real: atom rows execute concurrently on the host pool.  The per-row
+    // accumulation + ordered reduction inside ReferenceKernelT keeps the
+    // result bit-identical to the serial kernel, which the cross-backend
+    // bitwise tests rely on.
+    md::ReferenceKernelT<double> kernel(
+        md::MinImageStrategy::kRound,
+        decision.parallel ? &ThreadPool::global() : nullptr);
     auto forces = kernel.compute(system.positions(), box, run_config.lj,
                                  system.mass());
 

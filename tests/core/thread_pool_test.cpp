@@ -1,0 +1,132 @@
+#include "core/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+namespace emdpa {
+namespace {
+
+TEST(ThreadPool, SizeCountsTheCallingThread) {
+  EXPECT_EQ(ThreadPool(1).size(), 1u);
+  EXPECT_EQ(ThreadPool(4).size(), 4u);
+}
+
+TEST(ThreadPool, EveryIndexRunsExactlyOnce) {
+  ThreadPool pool(4);
+  // Sweep begin/end/grain shapes: empty, single chunk, grain dividing the
+  // range, grain not dividing it, grain zero (clamped to 1), grain larger
+  // than the whole range.
+  const struct {
+    std::size_t begin, end, grain;
+  } cases[] = {{0, 0, 1},   {0, 1, 1},    {0, 64, 8},  {3, 50, 7},
+               {0, 100, 0}, {10, 20, 100}, {0, 1000, 1}};
+  for (const auto& c : cases) {
+    std::vector<std::atomic<int>> counts(c.end);
+    for (auto& count : counts) count = 0;
+    pool.parallel_for(c.begin, c.end, c.grain,
+                      [&](std::size_t lo, std::size_t hi) {
+                        ASSERT_LE(lo, hi);
+                        for (std::size_t i = lo; i < hi; ++i) counts[i]++;
+                      });
+    for (std::size_t i = 0; i < c.end; ++i) {
+      EXPECT_EQ(counts[i], i >= c.begin ? 1 : 0)
+          << "index " << i << " of [" << c.begin << ", " << c.end
+          << ") grain " << c.grain;
+    }
+  }
+}
+
+TEST(ThreadPool, ZeroLengthRangeNeverCallsBody) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(5, 5, 1, [&](std::size_t, std::size_t) { called = true; });
+  pool.parallel_for(7, 3, 1, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ExceptionsPropagateToCaller) {
+  ThreadPool pool(4);
+  auto boom = [&] {
+    pool.parallel_for(0, 100, 1, [](std::size_t lo, std::size_t) {
+      if (lo == 42) throw std::runtime_error("chunk 42 failed");
+    });
+  };
+  EXPECT_THROW(boom(), std::runtime_error);
+
+  // The pool survives the failed run.
+  std::atomic<int> sum{0};
+  pool.parallel_for(0, 10, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) sum += static_cast<int>(i);
+  });
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(16 * 16);
+  for (auto& count : counts) count = 0;
+  pool.parallel_for(0, 16, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      // Inner call from inside a chunk: must not deadlock, covers its whole
+      // range serially on this worker.
+      pool.parallel_for(0, 16, 4, [&](std::size_t jlo, std::size_t jhi) {
+        for (std::size_t j = jlo; j < jhi; ++j) counts[i * 16 + j]++;
+      });
+    }
+  });
+  for (const auto& count : counts) EXPECT_EQ(count, 1);
+}
+
+TEST(ThreadPool, ParallelReduceIsOrderedAndThreadCountInvariant) {
+  // Sum a float sequence whose result depends on accumulation order; the
+  // ordered per-chunk fold must give bitwise-equal totals at any pool size.
+  std::vector<float> values(10000);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = 1.0f / static_cast<float>(i + 1);
+  }
+  auto map = [&](std::size_t lo, std::size_t hi) {
+    float s = 0.0f;
+    for (std::size_t i = lo; i < hi; ++i) s += values[i];
+    return s;
+  };
+  auto combine = [](float a, float b) { return a + b; };
+
+  ThreadPool serial(1);
+  ThreadPool wide(8);
+  const float expect =
+      serial.parallel_reduce(0, values.size(), 64, 0.0f, map, combine);
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    const float got =
+        wide.parallel_reduce(0, values.size(), 64, 0.0f, map, combine);
+    EXPECT_EQ(expect, got);
+  }
+}
+
+TEST(ThreadPool, DefaultThreadCountHonoursEnvironment) {
+  setenv("EMDPA_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::default_thread_count(), 3u);
+  EXPECT_EQ(ThreadPool(0).size(), 3u);
+
+  setenv("EMDPA_THREADS", "not-a-number", 1);
+  EXPECT_GE(ThreadPool::default_thread_count(), 1u);
+
+  setenv("EMDPA_THREADS", "-2", 1);
+  EXPECT_GE(ThreadPool::default_thread_count(), 1u);
+
+  unsetenv("EMDPA_THREADS");
+  EXPECT_GE(ThreadPool::default_thread_count(), 1u);
+}
+
+TEST(ThreadPool, GlobalPoolIsShared) {
+  ThreadPool& a = ThreadPool::global();
+  ThreadPool& b = ThreadPool::global();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.size(), 1u);
+}
+
+}  // namespace
+}  // namespace emdpa

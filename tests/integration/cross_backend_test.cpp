@@ -7,9 +7,13 @@
 #include <memory>
 
 #include "cellsim/cell_md_app.h"
+#include "core/thread_pool.h"
 #include "cpu/opteron_backend.h"
 #include "gpusim/gpu_backend.h"
 #include "md/backend.h"
+#include "md/reference_kernel.h"
+#include "md/soa_kernel.h"
+#include "md/workload.h"
 #include "mtasim/mta_backend.h"
 
 namespace emdpa {
@@ -109,6 +113,103 @@ TEST(CrossBackend, DeviceTimesAreDeviceSpecific) {
   EXPECT_GT(cell8.to_seconds(), 0.0);
   EXPECT_GT(gpu.to_seconds(), 0.0);
   EXPECT_GT(mta.to_seconds(), opteron.to_seconds());
+}
+
+TEST(CrossBackend, SoaKernelMatchesReferenceForEveryStrategy) {
+  // The SIMD batch kernel must reproduce the scalar reference under all four
+  // minimum-image strategies — they are the same physics on wrapped
+  // coordinates, which is exactly what the SoA kernel computes.
+  md::WorkloadSpec spec;
+  spec.n_atoms = 200;
+  md::Workload w = md::make_lattice_workload(spec);
+  const md::LjParams lj;
+
+  for (const auto strategy :
+       {md::MinImageStrategy::kSearch27, md::MinImageStrategy::kBranchy,
+        md::MinImageStrategy::kCopysign, md::MinImageStrategy::kRound}) {
+    md::ReferenceKernel reference(strategy);
+    md::SoaKernel soa(strategy);
+    const auto want = reference.compute(w.system.positions(), w.box, lj, 1.0);
+    const auto got = soa.compute(w.system.positions(), w.box, lj, 1.0);
+
+    const double scale = std::fabs(want.potential_energy) + 1.0;
+    EXPECT_NEAR(got.potential_energy, want.potential_energy, 1e-10 * scale)
+        << soa.name();
+    EXPECT_NEAR(got.virial, want.virial, 1e-10 * scale) << soa.name();
+    EXPECT_EQ(got.stats.candidates, want.stats.candidates);
+    EXPECT_EQ(got.stats.interacting, want.stats.interacting);
+    ASSERT_EQ(got.accelerations.size(), want.accelerations.size());
+    for (std::size_t i = 0; i < want.accelerations.size(); ++i) {
+      const double fscale = length(want.accelerations[i]) + 1.0;
+      EXPECT_LT(length(got.accelerations[i] - want.accelerations[i]),
+                1e-10 * fscale)
+          << soa.name() << " atom " << i;
+    }
+  }
+}
+
+TEST(CrossBackend, SoaKernelSinglePrecisionMatchesReference) {
+  md::WorkloadSpec spec;
+  spec.n_atoms = 200;
+  md::Workload w = md::make_lattice_workload(spec);
+  std::vector<Vec3f> pos;
+  for (const auto& p : w.system.positions()) pos.push_back(vec_cast<float>(p));
+  const md::PeriodicBoxF box(static_cast<float>(w.box.edge()));
+  const auto lj = md::LjParams{}.cast<float>();
+
+  md::ReferenceKernelF reference;
+  md::SoaKernelF soa;
+  const auto want = reference.compute(pos, box, lj, 1.0f);
+  const auto got = soa.compute(pos, box, lj, 1.0f);
+
+  const float scale = std::fabs(want.potential_energy) + 1.0f;
+  EXPECT_NEAR(got.potential_energy, want.potential_energy, 1e-4f * scale);
+  EXPECT_EQ(got.stats.interacting, want.stats.interacting);
+}
+
+TEST(CrossBackend, SoaKernelParallelIsBitIdenticalToSerial) {
+  // Chunk boundaries are thread-count independent and the row reduction is
+  // ordered, so a pooled run must match the serial run bitwise.
+  md::WorkloadSpec spec;
+  spec.n_atoms = 171;  // deliberately not a multiple of any SIMD width
+  md::Workload w = md::make_lattice_workload(spec);
+  const md::LjParams lj;
+
+  ThreadPool pool(4);
+  md::SoaKernel::Options options;
+  options.pool = &pool;
+  options.grain = 8;
+  md::SoaKernel parallel(options);
+  md::SoaKernel serial;
+
+  const auto want = serial.compute(w.system.positions(), w.box, lj, 1.0);
+  const auto got = parallel.compute(w.system.positions(), w.box, lj, 1.0);
+  EXPECT_EQ(got.potential_energy, want.potential_energy);
+  EXPECT_EQ(got.virial, want.virial);
+  for (std::size_t i = 0; i < want.accelerations.size(); ++i) {
+    EXPECT_EQ(got.accelerations[i], want.accelerations[i]) << "atom " << i;
+  }
+}
+
+TEST(CrossBackend, HostParallelBackendMatchesHostReference) {
+  const auto cfg = config_for(128, 4);
+  const auto reference = md::HostReferenceBackend().run(cfg);
+  const auto parallel = md::HostParallelBackend().run(cfg);
+
+  ASSERT_EQ(parallel.energies.size(), reference.energies.size());
+  for (std::size_t s = 0; s < parallel.energies.size(); ++s) {
+    const double scale = std::fabs(reference.energies[s].potential) + 1.0;
+    EXPECT_NEAR(parallel.energies[s].potential,
+                reference.energies[s].potential, 1e-10 * scale)
+        << "step " << s;
+    EXPECT_NEAR(parallel.energies[s].kinetic, reference.energies[s].kinetic,
+                1e-10 * scale)
+        << "step " << s;
+  }
+  // The backend reports its real execution configuration.
+  EXPECT_GE(parallel.breakdown.at("threads").to_seconds(), 1.0);
+  EXPECT_GE(parallel.breakdown.at("simd_width").to_seconds(), 1.0);
+  EXPECT_GT(parallel.breakdown.at("host_wall").to_seconds(), 0.0);
 }
 
 class CrossBackendSweep

@@ -5,8 +5,10 @@
 //   $ emdpa run --backend cell-8spe --atoms 2048 --steps 10
 //   $ emdpa compare --atoms 1024 --csv
 #include <cstdio>
+#include <cstdlib>
 #include <exception>
 #include <iostream>
+#include <string>
 
 #include "core/string_util.h"
 #include "core/table.h"
@@ -63,6 +65,11 @@ int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   try {
     const driver::CliOptions options = driver::parse_cli(args);
+    if (options.threads > 0) {
+      // The global ThreadPool reads EMDPA_THREADS on first use; nothing has
+      // touched it yet, so --threads takes effect for every backend below.
+      setenv("EMDPA_THREADS", std::to_string(options.threads).c_str(), 1);
+    }
     switch (options.command) {
       case driver::CliCommand::kHelp:
         std::cout << driver::cli_usage();
