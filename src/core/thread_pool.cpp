@@ -17,6 +17,12 @@ struct InsideChunkScope {
   ~InsideChunkScope() { t_inside_chunk = previous; }
 };
 
+// State for ThreadPool::configure_global / global().  0 means "use the
+// default thread count"; the created flag flips permanently once global()
+// has run so a late configure_global can fail instead of silently no-op.
+std::atomic<std::size_t> g_global_threads{0};
+std::atomic<bool> g_global_created{false};
+
 }  // namespace
 
 struct ThreadPool::Task {
@@ -62,8 +68,17 @@ std::size_t ThreadPool::default_thread_count() {
 }
 
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
+  // The flag is raised before construction: a configure_global racing with
+  // the first global() use reports failure rather than being half-applied.
+  g_global_created.store(true, std::memory_order_release);
+  static ThreadPool pool(g_global_threads.load(std::memory_order_acquire));
   return pool;
+}
+
+bool ThreadPool::configure_global(std::size_t n_threads) {
+  if (g_global_created.load(std::memory_order_acquire)) return false;
+  g_global_threads.store(n_threads, std::memory_order_release);
+  return true;
 }
 
 void ThreadPool::work_on(Task& task) {
@@ -96,14 +111,19 @@ void ThreadPool::worker_loop() {
       if (stop_) return;
       task = current_;
       seen_epoch = epoch_;
+      // Registered under the same lock hold that read current_, so the
+      // caller's done predicate (which also runs under mutex_) can never see
+      // "all chunks done, nobody active" while this worker still holds a
+      // pointer to the Task.  The Task lives on the caller's stack; the
+      // caller must not return until this count drains back to zero.
+      ++n_active_;
     }
     work_on(*task);
-    if (task->completed.load(std::memory_order_acquire) == task->n_chunks) {
-      // Taking the lock orders this notify after the caller either observed
-      // completion or started waiting, so the wakeup cannot be missed.
-      { std::lock_guard<std::mutex> lock(mutex_); }
-      done_cv_.notify_all();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --n_active_;
     }
+    done_cv_.notify_all();
   }
 }
 
@@ -144,8 +164,13 @@ void ThreadPool::parallel_for(
 
   {
     std::unique_lock<std::mutex> lock(mutex_);
+    // Wait until every chunk ran AND every worker that picked up the Task
+    // pointer has dropped it (n_active_ back to zero) — only then is it safe
+    // to destroy the stack-allocated Task.  Workers that wake after
+    // current_ is cleared see no task and go back to sleep.
     done_cv_.wait(lock, [&] {
-      return task.completed.load(std::memory_order_acquire) == task.n_chunks;
+      return n_active_ == 0 &&
+             task.completed.load(std::memory_order_acquire) == task.n_chunks;
     });
     current_ = nullptr;
   }

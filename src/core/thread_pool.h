@@ -50,6 +50,12 @@ class ThreadPool {
   /// count.  Backends use this so one run reuses one set of threads.
   static ThreadPool& global();
 
+  /// Fix the thread count global() will be created with (0 = default).  Must
+  /// be called before the first global() use; returns false (and changes
+  /// nothing) if the global pool already exists.  Unlike an EMDPA_THREADS
+  /// setenv round-trip, a late call fails loudly instead of silently.
+  static bool configure_global(std::size_t n_threads);
+
   /// Run body(chunk_begin, chunk_end) over [begin, end) split into chunks of
   /// at most max(grain, 1) indices.  Blocks until every chunk completed; the
   /// first exception thrown by a chunk is rethrown here.  Chunk boundaries
@@ -92,6 +98,9 @@ class ThreadPool {
   std::mutex run_mutex_;              ///< serialises concurrent parallel_for calls
   Task* current_ = nullptr;
   std::uint64_t epoch_ = 0;
+  /// Workers currently holding a pointer to current_ (guarded by mutex_).
+  /// parallel_for waits for this to drain before destroying its Task.
+  std::size_t n_active_ = 0;
   bool stop_ = false;
   std::vector<std::thread> workers_;
 };

@@ -14,6 +14,12 @@
 //    (the property the reference-kernel tests assert), so every strategy
 //    runs the same branch-free single-reflection inner loop.  The strategy
 //    is kept for naming/API parity with ReferenceKernelT.
+//  * Self-pair exclusion by distance, not index: the lane mask requires
+//    r2 > 0, which drops the i==j pair but ALSO any distinct pair of atoms
+//    at exactly coincident positions.  ReferenceKernelT only skips j==i and
+//    would return inf/NaN forces for such a pair, so on degenerate inputs
+//    forces and stats.interacting intentionally diverge; the bitwise-parity
+//    claim below is scoped to configurations with no coincident atoms.
 //  * Determinism: forces, PE and virial are accumulated per atom row and
 //    reduced in row order, so results are bit-identical run to run at ANY
 //    thread count (stronger than the per-chunk guarantee parallel_reduce

@@ -128,5 +128,29 @@ TEST(ThreadPool, GlobalPoolIsShared) {
   EXPECT_GE(a.size(), 1u);
 }
 
+TEST(ThreadPool, ConfigureGlobalFailsOnceGlobalExists) {
+  ThreadPool::global();
+  EXPECT_FALSE(ThreadPool::configure_global(3));
+}
+
+TEST(ThreadPool, BackToBackShortRunsAreSafe) {
+  // Regression for a use-after-free: the Task lives on parallel_for's stack,
+  // and workers that grabbed the Task pointer could still touch it after the
+  // caller (having seen all chunks complete) returned and destroyed it.
+  // Tiny ranges maximise the window where a worker wakes up only to find
+  // every chunk already claimed; run many in a row so a stale Task from run
+  // k would be scribbled on during run k+1 (caught by ASan/TSan, and often
+  // by the count checks below).
+  ThreadPool pool(8);
+  for (int run = 0; run < 2000; ++run) {
+    std::atomic<int> count{0};
+    pool.parallel_for(0, 2, 1,
+                      [&](std::size_t lo, std::size_t hi) {
+                        count += static_cast<int>(hi - lo);
+                      });
+    ASSERT_EQ(count, 2);
+  }
+}
+
 }  // namespace
 }  // namespace emdpa

@@ -12,6 +12,7 @@
 
 #include "core/string_util.h"
 #include "core/table.h"
+#include "core/thread_pool.h"
 #include "driver/backend_factory.h"
 #include "driver/cli_options.h"
 #include "driver/report.h"
@@ -65,10 +66,15 @@ int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   try {
     const driver::CliOptions options = driver::parse_cli(args);
-    if (options.threads > 0) {
-      // The global ThreadPool reads EMDPA_THREADS on first use; nothing has
-      // touched it yet, so --threads takes effect for every backend below.
-      setenv("EMDPA_THREADS", std::to_string(options.threads).c_str(), 1);
+    if (options.threads > 0 &&
+        !ThreadPool::configure_global(options.threads)) {
+      // Fail loudly if anything constructed the global pool before we got
+      // here (e.g. a future static initializer) instead of silently running
+      // with the wrong thread count.
+      std::fprintf(stderr,
+                   "emdpa: --threads ignored: the global thread pool was "
+                   "already created\n");
+      return 1;
     }
     switch (options.command) {
       case driver::CliCommand::kHelp:
