@@ -9,6 +9,7 @@
 #include "core/thread_pool.h"
 #include "md/cell_list_kernel.h"
 #include "md/integrator.h"
+#include "md/parallel_neighbor.h"
 #include "md/reference_kernel.h"
 #include "md/soa_kernel.h"
 #include "md/workload.h"
@@ -102,7 +103,67 @@ void BM_SoaKernelParallel(benchmark::State& state) {
                           static_cast<std::int64_t>(n) *
                           static_cast<std::int64_t>(n - 1));
 }
-BENCHMARK(BM_SoaKernelParallel)->Arg(256)->Arg(512)->Arg(1024)->Arg(2048);
+BENCHMARK(BM_SoaKernelParallel)
+    ->Arg(256)->Arg(512)->Arg(1024)->Arg(2048)->Arg(4096);
+
+void BM_NeighborListSerial(benchmark::State& state) {
+  // Steady-state list traversal, single-threaded: the O(N) answer to
+  // BM_SoaKernel's O(N^2) sweep.  The list is built once outside the timed
+  // region and reused, as in a real simulation between rebuilds.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  md::Workload w = fluid(n);
+  md::LjParams lj;
+  md::NeighborListKernel kernel;
+  kernel.compute(w.system.positions(), w.box, lj, 1.0);  // prime the list
+  for (auto _ : state) {
+    auto result = kernel.compute(w.system.positions(), w.box, lj, 1.0);
+    benchmark::DoNotOptimize(result.potential_energy);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_NeighborListSerial)->Arg(1024)->Arg(2048)->Arg(4096);
+
+void BM_NeighborListParallel(benchmark::State& state) {
+  // The host fast path: pool-parallel list traversal.  Compare against
+  // BM_SoaKernelParallel at the same size for the list-vs-N^2 crossover.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  md::Workload w = fluid(n);
+  md::LjParams lj;
+  md::NeighborListKernel::Options options;
+  options.pool = &ThreadPool::global();
+  md::NeighborListKernel kernel(options);
+  kernel.compute(w.system.positions(), w.box, lj, 1.0);  // prime the list
+  for (auto _ : state) {
+    auto result = kernel.compute(w.system.positions(), w.box, lj, 1.0);
+    benchmark::DoNotOptimize(result.potential_energy);
+  }
+  state.counters["threads"] =
+      static_cast<double>(ThreadPool::global().size());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_NeighborListParallel)
+    ->Arg(1024)->Arg(2048)->Arg(4096)->Arg(16384);
+
+void BM_NeighborListBuild(benchmark::State& state) {
+  // Price the rebuild itself (bin + count + prefix + fill, pool-parallel):
+  // what a simulation pays every few steps when atoms outrun the skin.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  md::Workload w = fluid(n);
+  md::LjParams lj;
+  md::NeighborListKernel::Options options;
+  options.pool = &ThreadPool::global();
+  md::NeighborListKernel kernel(options);
+  for (auto _ : state) {
+    kernel.invalidate();
+    auto result = kernel.compute(w.system.positions(), w.box, lj, 1.0);
+    benchmark::DoNotOptimize(result.potential_energy);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_NeighborListBuild)->Arg(2048)->Arg(16384);
 
 void BM_SoaKernelSingle(benchmark::State& state) {
   // Single-precision SoA kernel: double the lane width of the double path.

@@ -72,6 +72,7 @@ struct Pack<Real, SimdType::kScalar> {
   }
   friend Mask cmp_lt(Pack a, Pack b) { return a.v < b.v; }
   friend Mask cmp_gt(Pack a, Pack b) { return a.v > b.v; }
+  friend Mask cmp_ge(Pack a, Pack b) { return a.v >= b.v; }
   static Mask mask_and(Mask a, Mask b) { return a && b; }
   friend Pack select(Mask m, Pack a, Pack b) { return m ? a : b; }
   static unsigned mask_bits(Mask m) { return m ? 1u : 0u; }
@@ -107,6 +108,7 @@ struct Pack<float, SimdType::kSse2> {
   }
   friend Mask cmp_lt(Pack a, Pack b) { return _mm_cmplt_ps(a.v, b.v); }
   friend Mask cmp_gt(Pack a, Pack b) { return _mm_cmpgt_ps(a.v, b.v); }
+  friend Mask cmp_ge(Pack a, Pack b) { return _mm_cmpge_ps(a.v, b.v); }
   static Mask mask_and(Mask a, Mask b) { return _mm_and_ps(a, b); }
   friend Pack select(Mask m, Pack a, Pack b) {
     return {_mm_or_ps(_mm_and_ps(m, a.v), _mm_andnot_ps(m, b.v))};
@@ -146,6 +148,7 @@ struct Pack<double, SimdType::kSse2> {
   }
   friend Mask cmp_lt(Pack a, Pack b) { return _mm_cmplt_pd(a.v, b.v); }
   friend Mask cmp_gt(Pack a, Pack b) { return _mm_cmpgt_pd(a.v, b.v); }
+  friend Mask cmp_ge(Pack a, Pack b) { return _mm_cmpge_pd(a.v, b.v); }
   static Mask mask_and(Mask a, Mask b) { return _mm_and_pd(a, b); }
   friend Pack select(Mask m, Pack a, Pack b) {
     return {_mm_or_pd(_mm_and_pd(m, a.v), _mm_andnot_pd(m, b.v))};
@@ -194,6 +197,9 @@ struct Pack<float, SimdType::kAvx2> {
   friend Mask cmp_gt(Pack a, Pack b) {
     return _mm256_cmp_ps(a.v, b.v, _CMP_GT_OQ);
   }
+  friend Mask cmp_ge(Pack a, Pack b) {
+    return _mm256_cmp_ps(a.v, b.v, _CMP_GE_OQ);
+  }
   static Mask mask_and(Mask a, Mask b) { return _mm256_and_ps(a, b); }
   friend Pack select(Mask m, Pack a, Pack b) {
     return {_mm256_blendv_ps(b.v, a.v, m)};
@@ -238,6 +244,9 @@ struct Pack<double, SimdType::kAvx2> {
   }
   friend Mask cmp_gt(Pack a, Pack b) {
     return _mm256_cmp_pd(a.v, b.v, _CMP_GT_OQ);
+  }
+  friend Mask cmp_ge(Pack a, Pack b) {
+    return _mm256_cmp_pd(a.v, b.v, _CMP_GE_OQ);
   }
   static Mask mask_and(Mask a, Mask b) { return _mm256_and_pd(a, b); }
   friend Pack select(Mask m, Pack a, Pack b) {

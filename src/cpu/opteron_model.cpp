@@ -135,13 +135,16 @@ md::ForceResult OpteronMachine::compute_forces(
     charge_access(acc_addr(i), kVecBytes);
   }
 
-  // Price the counted work.
+  // The i/j loop above visited every pair from both ends; price that
+  // directed work, then report unordered pairs (the PairStats contract).
   const auto candidates = static_cast<double>(result.stats.candidates);
   const auto interacting = static_cast<double>(result.stats.interacting);
   charge_flops(candidates * profile.per_candidate +
                interacting * profile.per_interaction +
                static_cast<double>(reflections));
   charge_divs(interacting * profile.divs_per_interaction);
+  result.stats.candidates /= 2;
+  result.stats.interacting /= 2;
 
   if (config_.strategy == md::MinImageStrategy::kBranchy && reflections > 0) {
     // A reflection branch is data-dependent and mispredicts about half the

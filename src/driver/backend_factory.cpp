@@ -29,7 +29,7 @@ const std::vector<Entry>& registry() {
     list.push_back({{"host", "plain double-precision host reference (no timing model)"},
                     [] { return std::make_unique<md::HostReferenceBackend>(); }});
     list.push_back({{"host-parallel",
-                     "real parallel SoA/SIMD host kernel (thread pool, EMDPA_THREADS)"},
+                     "real parallel SIMD host kernels, N^2 or neighbour-list (--kernel)"},
                     [] { return std::make_unique<md::HostParallelBackend>(); }});
     list.push_back({{"opteron", "2.2 GHz Opteron reference model (Table 1 baseline)"},
                     [] { return std::make_unique<opteron::OpteronBackend>(); }});

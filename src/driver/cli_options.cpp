@@ -49,6 +49,8 @@ std::string cli_usage() {
       "  --cutoff C         LJ cutoff (2.5)\n"
       "  --seed S           workload seed\n"
       "  --threads N        host execution threads (default: EMDPA_THREADS or all cores)\n"
+      "  --kernel MODE      host force kernel: n2, list, or auto (crossover on\n"
+      "                     atom count; only host-parallel honours it)\n"
       "  --csv              machine-readable output\n"
       "\n"
       "Backends:\n";
@@ -112,6 +114,18 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       const long t = parse_integer(flag, need_value(flag));
       if (t <= 0) throw RuntimeFailure("--threads must be positive");
       options.threads = static_cast<std::size_t>(t);
+    } else if (flag == "--kernel") {
+      const std::string& mode = need_value(flag);
+      if (mode == "n2") {
+        options.run_config.host_kernel = md::HostKernel::kN2;
+      } else if (mode == "list") {
+        options.run_config.host_kernel = md::HostKernel::kList;
+      } else if (mode == "auto") {
+        options.run_config.host_kernel = md::HostKernel::kAuto;
+      } else {
+        throw RuntimeFailure("flag --kernel needs n2, list or auto, got '" +
+                             mode + "'");
+      }
     } else if (flag == "--csv") {
       options.csv = true;
     } else {

@@ -5,7 +5,7 @@
 //   emdpa list
 //   emdpa run --backend <key> [--atoms N] [--steps K] [--density D]
 //             [--temperature T] [--dt DT] [--cutoff C] [--seed S]
-//             [--threads N] [--csv]
+//             [--threads N] [--kernel n2|list|auto] [--csv]
 //   emdpa compare [--atoms N] [--steps K] ... (runs every backend)
 #pragma once
 

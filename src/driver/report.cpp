@@ -26,6 +26,15 @@ std::string render_run_report(const md::RunResult& result,
     }
   }
 
+  // Dimensionless execution facts (thread count, SIMD width, ...): no unit,
+  // unlike the time breakdown above.
+  if (!result.metadata.empty()) {
+    os << "execution:\n";
+    for (const auto& [key, value] : result.metadata) {
+      os << "  " << pad_right(key, 16) << format_auto(value) << "\n";
+    }
+  }
+
   os << "energies (KE / PE / total):\n";
   const auto print_row = [&](const char* label, const md::StepEnergies& e) {
     os << "  " << pad_right(label, 8) << format_fixed(e.kinetic, 4) << " / "
@@ -44,7 +53,7 @@ std::string render_run_csv(const md::RunResult& result,
   std::ostringstream os;
   CsvWriter csv(os);
   csv.write_row({"backend", "atoms", "steps", "model_seconds", "initial_total_e",
-                 "final_total_e"});
+                 "final_total_e", "metadata_value"});
   csv.write_row({result.backend_name, std::to_string(config.workload.n_atoms),
                  std::to_string(config.steps),
                  format_auto(result.device_time.to_seconds()),
@@ -53,10 +62,16 @@ std::string render_run_csv(const md::RunResult& result,
                      : format_fixed(result.energies.front().total(), 6),
                  result.energies.empty()
                      ? ""
-                     : format_fixed(result.energies.back().total(), 6)});
+                     : format_fixed(result.energies.back().total(), 6),
+                 ""});
   for (const auto& [key, time] : result.breakdown) {
     csv.write_row({"breakdown:" + key, "", "", format_auto(time.to_seconds()),
-                   "", ""});
+                   "", "", ""});
+  }
+  // Metadata rows carry their value in the dedicated trailing column —
+  // never in model_seconds, so a thread count can't be misread as a time.
+  for (const auto& [key, value] : result.metadata) {
+    csv.write_row({"metadata:" + key, "", "", "", "", "", format_auto(value)});
   }
   return os.str();
 }

@@ -21,11 +21,20 @@
 
 namespace emdpa::md {
 
+/// Force-kernel selection for backends that execute on the real host
+/// (currently host-parallel).  kAuto picks the N^2 SoA batch kernel below
+/// the measured crossover atom count and the O(N) neighbour-list path above
+/// it; device-model backends ignore the choice entirely.
+enum class HostKernel { kAuto, kN2, kList };
+
+const char* to_string(HostKernel kernel);
+
 struct RunConfig {
   WorkloadSpec workload;
   LjParams lj{};        ///< epsilon=sigma=1, cutoff=2.5 by default
   double dt = 0.005;
   int steps = 10;       ///< the paper's experiments run 10 time steps
+  HostKernel host_kernel = HostKernel::kAuto;
 };
 
 struct RunResult {
@@ -39,6 +48,11 @@ struct RunResult {
   /// Named components of device_time (e.g. "compute", "spe_launch",
   /// "pcie_transfer").  Components sum to at most device_time.
   std::map<std::string, ModelTime> breakdown;
+
+  /// Dimensionless execution-layer facts (thread count, SIMD width,
+  /// neighbour-list rebuilds, ...).  Kept apart from `breakdown` so reports
+  /// never render a thread count with an "s" unit.
+  std::map<std::string, double> metadata;
 
   /// Modelled time of each integration step (size == steps).  Benches use
   /// these to extrapolate long runs from short ones at large atom counts.
@@ -78,16 +92,24 @@ class HostReferenceBackend final : public MdBackend {
   RunResult run(const RunConfig& config) override;
 };
 
-/// Real parallel host backend: double precision SoA/SIMD force kernel with
+/// Real parallel host backend: double precision SoA/SIMD force kernels with
 /// atom rows spread over the shared thread pool.  No device timing model —
 /// this backend exists to run the physics as fast as the build machine
-/// allows; it reports wall-clock step times plus thread count and SIMD
-/// width in RunResult.breakdown ("threads" / "simd_width", encoded as
-/// dimensionless ModelTime seconds).  Energies match host-reference to
+/// allows.  Per RunConfig::host_kernel it runs either the N^2 SoA batch
+/// kernel or the O(N) neighbour-list path (kAuto crosses over at
+/// kListCrossoverAtoms); wall-clock time lands in breakdown["host_wall"]
+/// and the execution facts (threads, simd_width, kernel_list,
+/// list_rebuilds) in RunResult::metadata.  Energies match host-reference to
 /// double-precision reduction tolerance and are bit-identical run to run at
 /// any thread count.
 class HostParallelBackend final : public MdBackend {
  public:
+  /// Atom count at which kAuto switches from the N^2 SoA kernel to the
+  /// neighbour-list path (BM_SoaKernelParallel vs BM_NeighborListParallel:
+  /// the list path wins from ~1k atoms on CI-class x86 and the gap grows
+  /// linearly with N).
+  static constexpr std::size_t kListCrossoverAtoms = 1024;
+
   std::string name() const override { return "host-parallel"; }
   std::string precision() const override { return "double"; }
   RunResult run(const RunConfig& config) override;

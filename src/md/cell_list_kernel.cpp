@@ -105,6 +105,9 @@ ForceResultT<Real> CellListKernelT<Real>::compute(
     result.accelerations[i] = force * inv_mass;
     result.potential_energy += pe;
   }
+  // The cell sweep visits every pair from both ends; report unordered pairs.
+  result.stats.candidates /= 2;
+  result.stats.interacting /= 2;
   return result;
 }
 

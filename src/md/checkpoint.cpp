@@ -1,5 +1,6 @@
 #include "md/checkpoint.h"
 
+#include <cmath>
 #include <cstdio>
 #include <istream>
 #include <ostream>
@@ -33,6 +34,13 @@ double parse_double(const std::string& token, const char* what) {
   if (consumed != token.size()) {
     throw RuntimeFailure(std::string("checkpoint: trailing characters in ") +
                          what + " '" + token + "'");
+  }
+  // stod happily parses "inf" and "nan"; a state with non-finite values can
+  // only come from a corrupt file (or a blown-up run) and would silently
+  // poison every downstream kernel, so reject it at the boundary.
+  if (!std::isfinite(value)) {
+    throw RuntimeFailure(std::string("checkpoint: non-finite ") + what + " '" +
+                         token + "'");
   }
   return value;
 }

@@ -21,8 +21,16 @@ namespace emdpa::md {
 /// models (e.g. "interacting pairs" drives the cost of the acceleration
 /// accumulation the paper SIMDises last, because so few tested pairs
 /// actually interact).
+///
+/// Counts are UNORDERED pairs: every md:: host kernel (reference, SoA,
+/// cell-list, Verlet/neighbour list) reports {i,j} once however many times
+/// its traversal visits it, so stats compare 1:1 across kernels.  Timing
+/// models whose loops really visit each pair from both ends (MTA/XMT and
+/// the Opteron machine run "for each i, all j != i") price 2x these counts;
+/// the cellsim device kernels keep their own per-visit counters because a
+/// directed visit there is real modelled device work.
 struct PairStats {
-  std::uint64_t candidates = 0;   ///< ordered pairs whose distance was tested
+  std::uint64_t candidates = 0;   ///< unordered pairs whose distance was tested
   std::uint64_t interacting = 0;  ///< of those, pairs within the cutoff
 
   PairStats& operator+=(const PairStats& o) {

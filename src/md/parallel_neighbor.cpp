@@ -1,0 +1,368 @@
+#include "md/parallel_neighbor.h"
+
+#include <bit>
+#include <cmath>
+#include <string>
+
+#include "core/error.h"
+#include "md/lj_simd.h"
+
+namespace emdpa::md {
+
+namespace {
+
+/// Round `count` up to a whole number of SIMD batches.
+template <typename Real>
+constexpr std::uint32_t padded_count(std::uint32_t count) {
+  constexpr auto w = static_cast<std::uint32_t>(simd::native_width<Real>());
+  return (count + w - 1) / w * w;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ParallelNeighborListT
+// ---------------------------------------------------------------------------
+
+template <typename Real>
+ParallelNeighborListT<Real>::ParallelNeighborListT(Real skin, ThreadPool* pool,
+                                                   std::size_t grain)
+    : skin_(skin), pool_(pool), grain_(grain) {
+  EMDPA_REQUIRE(skin >= Real(0), "skin must be non-negative");
+}
+
+template <typename Real>
+void ParallelNeighborListT<Real>::run_rows(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t)>& body) const {
+  if (pool_ != nullptr) {
+    pool_->parallel_for(0, n, grain_, body);
+  } else {
+    body(0, n);
+  }
+}
+
+template <typename Real>
+bool ParallelNeighborListT<Real>::needs_rebuild(
+    const std::vector<emdpa::Vec3<Real>>& positions,
+    const PeriodicBoxT<Real>& box, Real cutoff) const {
+  if (build_positions_.size() != positions.size()) return true;
+  // A list built for one cutoff silently drops interactions at a larger one
+  // — invalidate on ANY cutoff (or box) change, not just growth.
+  if (cutoff != build_cutoff_ || box.edge() != build_edge_) return true;
+  // Valid while no atom moved more than half the skin since the build: two
+  // atoms approaching from opposite sides close at most `skin` total.
+  const Real limit_sq = (skin_ / Real(2)) * (skin_ / Real(2));
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const auto dr = box.min_image(positions[i] - build_positions_[i]);
+    if (length_squared(dr) > limit_sq) return true;
+  }
+  return false;
+}
+
+template <typename Real>
+bool ParallelNeighborListT<Real>::ensure(
+    const std::vector<emdpa::Vec3<Real>>& positions,
+    const PeriodicBoxT<Real>& box, Real cutoff) {
+  if (!needs_rebuild(positions, box, cutoff)) return false;
+  build(positions, box, cutoff);
+  return true;
+}
+
+template <typename Real>
+void ParallelNeighborListT<Real>::build_all_pairs(
+    const std::vector<emdpa::Vec3<Real>>& wrapped,
+    const PeriodicBoxT<Real>& box) {
+  // Degenerate box (fewer than 3 cells per axis): O(N^2) build through the
+  // same two-pass CSR layout, still row-parallel.
+  const std::size_t n = wrapped.size();
+  row_count_.assign(n, 0);
+  run_rows(n, [&](std::size_t i_begin, std::size_t i_end) {
+    for (std::size_t i = i_begin; i < i_end; ++i) {
+      std::uint32_t count = 0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const auto dr = box.min_image(wrapped[i] - wrapped[j]);
+        if (length_squared(dr) < list_cutoff_sq_) ++count;
+      }
+      row_count_[i] = count;
+    }
+  });
+
+  row_begin_.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    row_begin_[i + 1] = row_begin_[i] + padded_count<Real>(row_count_[i]);
+    directed_entries_ += row_count_[i];
+  }
+
+  entries_.assign(row_begin_[n], 0);
+  run_rows(n, [&](std::size_t i_begin, std::size_t i_end) {
+    for (std::size_t i = i_begin; i < i_end; ++i) {
+      std::uint32_t slot = row_begin_[i];
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const auto dr = box.min_image(wrapped[i] - wrapped[j]);
+        if (length_squared(dr) < list_cutoff_sq_) {
+          entries_[slot++] = static_cast<std::uint32_t>(j);
+        }
+      }
+      for (; slot < row_begin_[i + 1]; ++slot) {
+        entries_[slot] = static_cast<std::uint32_t>(i);  // self pad, r2 == 0
+      }
+    }
+  });
+}
+
+template <typename Real>
+void ParallelNeighborListT<Real>::build(
+    const std::vector<emdpa::Vec3<Real>>& positions,
+    const PeriodicBoxT<Real>& box, Real cutoff) {
+  const std::size_t n = positions.size();
+  const Real list_cutoff = cutoff + skin_;
+  list_cutoff_sq_ = list_cutoff * list_cutoff;
+  build_cutoff_ = cutoff;
+  build_edge_ = box.edge();
+  build_positions_ = positions;
+  directed_entries_ = 0;
+  ++rebuilds_;
+
+  wrapped_.resize(n);
+  run_rows(n, [&](std::size_t i_begin, std::size_t i_end) {
+    for (std::size_t i = i_begin; i < i_end; ++i) {
+      wrapped_[i] = box.wrap(positions[i]);
+    }
+  });
+
+  if (n == 0) {
+    row_begin_.assign(1, 0);
+    entries_.clear();
+    return;
+  }
+
+  const double edge = static_cast<double>(box.edge());
+  auto cells_ll = static_cast<long long>(edge / static_cast<double>(list_cutoff));
+  if (cells_ll < 1) cells_ll = 1;
+  const auto cells = static_cast<std::size_t>(cells_ll);
+  if (cells < 3) {
+    build_all_pairs(wrapped_, box);
+    return;
+  }
+
+  // Serial O(N) counting sort into cells — cheap next to the distance
+  // sweeps, and atoms stay in index order within each cell, which makes the
+  // sweep order (and so the list) independent of thread count.
+  const double inv_cell = static_cast<double>(cells) / edge;
+  const std::size_t n_cells = cells * cells * cells;
+  auto axis_cell = [&](double coord) {
+    auto c = static_cast<long long>(coord * inv_cell);
+    if (c < 0) c = 0;
+    if (c >= static_cast<long long>(cells)) c = static_cast<long long>(cells) - 1;
+    return static_cast<std::size_t>(c);
+  };
+  cell_of_atom_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t c = (axis_cell(wrapped_[i].x) * cells +
+                           axis_cell(wrapped_[i].y)) *
+                              cells +
+                          axis_cell(wrapped_[i].z);
+    cell_of_atom_[i] = static_cast<std::uint32_t>(c);
+  }
+  cell_start_.assign(n_cells + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) ++cell_start_[cell_of_atom_[i] + 1];
+  for (std::size_t c = 0; c < n_cells; ++c) cell_start_[c + 1] += cell_start_[c];
+  cell_atoms_.resize(n);
+  {
+    std::vector<std::uint32_t> cursor(cell_start_.begin(),
+                                      cell_start_.end() - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      cell_atoms_[cursor[cell_of_atom_[i]]++] = static_cast<std::uint32_t>(i);
+    }
+  }
+
+  // One fixed sweep order over the 27 neighbouring cells (atoms within a
+  // cell in index order): the count and fill passes below must — and do —
+  // visit candidates identically.
+  const auto c_ll = static_cast<long long>(cells);
+  auto sweep = [&](std::size_t i, auto&& visit) {
+    const auto cx = static_cast<long long>(axis_cell(wrapped_[i].x));
+    const auto cy = static_cast<long long>(axis_cell(wrapped_[i].y));
+    const auto cz = static_cast<long long>(axis_cell(wrapped_[i].z));
+    for (long long dx = -1; dx <= 1; ++dx) {
+      for (long long dy = -1; dy <= 1; ++dy) {
+        for (long long dz = -1; dz <= 1; ++dz) {
+          const std::size_t c =
+              (static_cast<std::size_t>((cx + dx + c_ll) % c_ll) * cells +
+               static_cast<std::size_t>((cy + dy + c_ll) % c_ll)) *
+                  cells +
+              static_cast<std::size_t>((cz + dz + c_ll) % c_ll);
+          for (std::uint32_t s = cell_start_[c]; s < cell_start_[c + 1]; ++s) {
+            const std::uint32_t j = cell_atoms_[s];
+            if (j == static_cast<std::uint32_t>(i)) continue;
+            const auto dr = box.min_image(wrapped_[i] - wrapped_[j]);
+            if (length_squared(dr) < list_cutoff_sq_) visit(j);
+          }
+        }
+      }
+    }
+  };
+
+  // Count pass.
+  row_count_.assign(n, 0);
+  run_rows(n, [&](std::size_t i_begin, std::size_t i_end) {
+    for (std::size_t i = i_begin; i < i_end; ++i) {
+      std::uint32_t count = 0;
+      sweep(i, [&](std::uint32_t) { ++count; });
+      row_count_[i] = count;
+    }
+  });
+
+  // Serial prefix sum over SIMD-padded row extents.
+  row_begin_.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    row_begin_[i + 1] = row_begin_[i] + padded_count<Real>(row_count_[i]);
+    directed_entries_ += row_count_[i];
+  }
+
+  // Fill pass into disjoint slot ranges.
+  entries_.assign(row_begin_[n], 0);
+  run_rows(n, [&](std::size_t i_begin, std::size_t i_end) {
+    for (std::size_t i = i_begin; i < i_end; ++i) {
+      std::uint32_t slot = row_begin_[i];
+      sweep(i, [&](std::uint32_t j) { entries_[slot++] = j; });
+      for (; slot < row_begin_[i + 1]; ++slot) {
+        entries_[slot] = static_cast<std::uint32_t>(i);  // self pad, r2 == 0
+      }
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// NeighborListKernelT
+// ---------------------------------------------------------------------------
+
+template <typename Real>
+NeighborListKernelT<Real>::NeighborListKernelT(Options options)
+    : options_(options),
+      list_(options.skin, options.pool,
+            options.grain < 64 ? 64 : options.grain) {}
+
+template <typename Real>
+std::string NeighborListKernelT<Real>::name() const {
+  std::string name = std::string("neighbor-list-soa[") +
+                     simd::to_string(simd::fastest_simd_type()) + ",w" +
+                     std::to_string(simd_width()) + "]";
+  if (options_.pool != nullptr) {
+    name += "[threads=" + std::to_string(options_.pool->size()) + "]";
+  }
+  return name;
+}
+
+template <typename Real>
+ForceResultT<Real> NeighborListKernelT<Real>::compute(
+    const std::vector<emdpa::Vec3<Real>>& positions,
+    const PeriodicBoxT<Real>& box, const LjParamsT<Real>& lj, Real mass) {
+  using P = simd::NativePack<Real>;
+  constexpr std::size_t kWidth = P::kWidth;
+
+  const std::size_t n = positions.size();
+  ForceResultT<Real> result;
+  result.accelerations.assign(n, {});
+  if (n == 0) return result;
+
+  list_.ensure(positions, box, lj.cutoff);
+  ++evaluations_;
+
+  if (!xs_ || xs_->size() < n) {
+    xs_.emplace(n);
+    ys_.emplace(n);
+    zs_.emplace(n);
+  }
+  row_pe_.resize(n);
+  row_virial_.resize(n);
+  row_hits_.resize(n);
+
+  // Pack current positions into SoA lanes, wrapping once so the fused
+  // reflection in the lane kernel is exact.
+  Real* xs = xs_->data();
+  Real* ys = ys_->data();
+  Real* zs = zs_->data();
+  auto pack = [&](std::size_t i_begin, std::size_t i_end) {
+    for (std::size_t i = i_begin; i < i_end; ++i) {
+      const emdpa::Vec3<Real> p = box.wrap(positions[i]);
+      xs[i] = p.x;
+      ys[i] = p.y;
+      zs[i] = p.z;
+    }
+  };
+
+  const LjLaneKernel<Real> lanes(box.edge(), lj.cutoff_squared(), lj);
+  const Real inv_mass = Real(1) / mass;
+  const std::uint32_t* row_begin = list_.row_begin().data();
+  const std::uint32_t* entries = list_.entries().data();
+
+  auto rows = [&](std::size_t i_begin, std::size_t i_end) {
+    alignas(32) Real lx[kWidth], ly[kWidth], lz[kWidth];
+    for (std::size_t i = i_begin; i < i_end; ++i) {
+      const P xi = P::broadcast(xs[i]);
+      const P yi = P::broadcast(ys[i]);
+      const P zi = P::broadcast(zs[i]);
+      P fx = P::zero(), fy = P::zero(), fz = P::zero();
+      P pe = P::zero(), vir = P::zero();
+      std::uint64_t hits = 0;
+
+      // Walk this atom's neighbour lane batches: gather the j coordinates,
+      // then the same masked LJ step as the N^2 kernel.  Padding entries
+      // are the atom itself, rejected by the r2 > 0 lane mask.
+      for (std::uint32_t k = row_begin[i]; k < row_begin[i + 1]; k += kWidth) {
+        for (std::size_t l = 0; l < kWidth; ++l) {
+          const std::uint32_t j = entries[k + l];
+          lx[l] = xs[j];
+          ly[l] = ys[j];
+          lz[l] = zs[j];
+        }
+        const unsigned bits =
+            lanes.accumulate(xi - P::load(lx), yi - P::load(ly),
+                             zi - P::load(lz), fx, fy, fz, pe, vir);
+        hits += static_cast<std::uint64_t>(std::popcount(bits));
+      }
+
+      result.accelerations[i] = emdpa::Vec3<Real>{reduce_add(fx),
+                                                  reduce_add(fy),
+                                                  reduce_add(fz)} *
+                                inv_mass;
+      row_pe_[i] = Real(0.5) * reduce_add(pe);  // pair seen from both ends
+      row_virial_[i] = Real(0.5) * reduce_add(vir);
+      row_hits_[i] = hits;
+    }
+  };
+
+  if (options_.pool != nullptr) {
+    options_.pool->parallel_for(0, n, 512, pack);
+    options_.pool->parallel_for(0, n, options_.grain, rows);
+  } else {
+    pack(0, n);
+    rows(0, n);
+  }
+
+  // Ordered reduction over the per-row partials: totals are independent of
+  // thread count and chunking, bit-identical run to run.
+  Real total_pe{}, total_virial{};
+  std::uint64_t hits = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total_pe += row_pe_[i];
+    total_virial += row_virial_[i];
+    hits += row_hits_[i];
+  }
+  result.potential_energy = total_pe;
+  result.virial = total_virial;
+  result.stats.candidates = list_.directed_entries() / 2;  // unordered pairs
+  result.stats.interacting = hits / 2;
+  return result;
+}
+
+template class ParallelNeighborListT<double>;
+template class ParallelNeighborListT<float>;
+template class NeighborListKernelT<double>;
+template class NeighborListKernelT<float>;
+
+}  // namespace emdpa::md

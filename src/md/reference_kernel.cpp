@@ -133,8 +133,10 @@ ForceResultT<Real> ReferenceKernelT<Real>::compute(
     result.virial += row_virial[i];
     result.stats.interacting += row_hits[i];
   }
+  // The row sweep visits every pair from both ends; report unordered pairs.
+  result.stats.interacting /= 2;
   result.stats.candidates =
-      static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n - 1);
+      static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n - 1) / 2;
   return result;
 }
 

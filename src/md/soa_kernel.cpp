@@ -3,6 +3,8 @@
 #include <bit>
 #include <string>
 
+#include "md/lj_simd.h"
+
 namespace emdpa::md {
 
 namespace {
@@ -18,18 +20,7 @@ void compute_rows(const Real* xs, const Real* ys, const Real* zs,
                   emdpa::Vec3<Real>* accelerations, Real* row_pe,
                   Real* row_virial, std::uint64_t* row_hits) {
   using P = simd::NativePack<Real>;
-
-  const P v_edge = P::broadcast(edge);
-  const P v_half = P::broadcast(edge / Real(2));
-  const P v_cut = P::broadcast(cutoff_sq);
-  const P v_zero = P::zero();
-  const P v_one = P::broadcast(Real(1));
-  const P v_two = P::broadcast(Real(2));
-  const P v_sigma2 = P::broadcast(lj.sigma * lj.sigma);
-  const P v_eps24 = P::broadcast(Real(24) * lj.epsilon);
-  const P v_eps4 = P::broadcast(Real(4) * lj.epsilon);
-  const P v_shift =
-      P::broadcast(lj.shifted ? lj.energy_shift() : Real(0));
+  const LjLaneKernel<Real> lanes(edge, cutoff_sq, lj);
 
   for (std::size_t i = i_begin; i < i_end; ++i) {
     const P xi = P::broadcast(xs[i]);
@@ -40,42 +31,12 @@ void compute_rows(const Real* xs, const Real* ys, const Real* zs,
     std::uint64_t hits = 0;
 
     for (std::size_t j = 0; j < padded; j += P::kWidth) {
-      P dx = xi - P::load(xs + j);
-      P dy = yi - P::load(ys + j);
-      P dz = zi - P::load(zs + j);
-
-      // Fused single-reflection minimum image: subtract +-edge where the raw
-      // separation exceeds half the box.  Exact for wrapped positions
-      // (|dr| < edge), where it coincides with every MinImageStrategy.
-      dx = dx - select(cmp_gt(abs(dx), v_half), copysign(v_edge, dx), v_zero);
-      dy = dy - select(cmp_gt(abs(dy), v_half), copysign(v_edge, dy), v_zero);
-      dz = dz - select(cmp_gt(abs(dz), v_half), copysign(v_edge, dz), v_zero);
-
-      const P r2 = dx * dx + dy * dy + dz * dz;
-      // r2 > 0 excludes the self pair; padded columns sit far outside the
-      // cutoff by construction.
-      const auto in_range =
-          P::mask_and(cmp_lt(r2, v_cut), cmp_gt(r2, v_zero));
-      const unsigned bits = P::mask_bits(in_range);
-      if (bits == 0) continue;  // the common case: whole batch out of range
+      // r2 > 0 in the lane mask excludes the self pair; padded columns sit
+      // far outside the cutoff by construction.
+      const unsigned bits =
+          lanes.accumulate(xi - P::load(xs + j), yi - P::load(ys + j),
+                           zi - P::load(zs + j), fx, fy, fz, pe, vir);
       hits += static_cast<std::uint64_t>(std::popcount(bits));
-
-      // LJ force and energy on the interacting lanes; rejected lanes may
-      // carry inf (from 1/r2 at the self pair) and are discarded by the
-      // bitwise blend before touching an accumulator.
-      const P inv_r2 = v_one / r2;
-      const P s2 = v_sigma2 * inv_r2;
-      const P s6 = s2 * s2 * s2;
-      const P f_over_r = select(
-          in_range, v_eps24 * inv_r2 * s6 * (v_two * s6 - v_one), v_zero);
-      const P energy =
-          select(in_range, v_eps4 * s6 * (s6 - v_one) - v_shift, v_zero);
-
-      fx = fx + dx * f_over_r;
-      fy = fy + dy * f_over_r;
-      fz = fz + dz * f_over_r;
-      pe = pe + energy;
-      vir = vir + f_over_r * r2;
     }
 
     accelerations[i] = emdpa::Vec3<Real>{reduce_add(fx), reduce_add(fy),
@@ -167,9 +128,10 @@ ForceResultT<Real> SoaKernelT<Real>::compute(
   }
   result.potential_energy = pe;
   result.virial = virial;
+  // The row sweep visits every pair from both ends; report unordered pairs.
   result.stats.candidates =
-      static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n - 1);
-  result.stats.interacting = interacting;
+      static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n - 1) / 2;
+  result.stats.interacting = interacting / 2;
   return result;
 }
 

@@ -14,8 +14,12 @@ VerletListKernelT<Real>::VerletListKernelT(Real skin) : skin_(skin) {
 template <typename Real>
 bool VerletListKernelT<Real>::needs_rebuild(
     const std::vector<emdpa::Vec3<Real>>& positions,
-    const PeriodicBoxT<Real>& box) const {
+    const PeriodicBoxT<Real>& box, const LjParamsT<Real>& lj) const {
   if (build_positions_.size() != positions.size()) return true;
+  // The list only covers pairs within build-time cutoff + skin; reusing it
+  // after the cutoff changed would silently drop (or spuriously keep)
+  // interactions.
+  if (lj.cutoff != build_cutoff_) return true;
   // Valid while no atom moved more than half the skin since the build: two
   // atoms approaching from opposite sides close at most `skin` total.
   const Real limit_sq = (skin_ / Real(2)) * (skin_ / Real(2));
@@ -33,6 +37,7 @@ void VerletListKernelT<Real>::rebuild(
   const std::size_t n = positions.size();
   const Real list_cutoff = lj.cutoff + skin_;
   list_cutoff_sq_ = list_cutoff * list_cutoff;
+  build_cutoff_ = lj.cutoff;
 
   neighbours_.assign(n, {});
   build_positions_ = positions;
@@ -110,7 +115,7 @@ template <typename Real>
 ForceResultT<Real> VerletListKernelT<Real>::compute(
     const std::vector<emdpa::Vec3<Real>>& positions,
     const PeriodicBoxT<Real>& box, const LjParamsT<Real>& lj, Real mass) {
-  if (needs_rebuild(positions, box)) rebuild(positions, box, lj);
+  if (needs_rebuild(positions, box, lj)) rebuild(positions, box, lj);
   ++evaluations_;
 
   const std::size_t n = positions.size();
@@ -137,6 +142,9 @@ ForceResultT<Real> VerletListKernelT<Real>::compute(
     result.accelerations[i] = force * inv_mass;
     result.potential_energy += pe;
   }
+  // Lists hold both directions of every pair; report unordered pairs.
+  result.stats.candidates /= 2;
+  result.stats.interacting /= 2;
   return result;
 }
 

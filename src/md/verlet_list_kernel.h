@@ -37,11 +37,16 @@ class VerletListKernelT final : public ForceKernelT<Real> {
 
  private:
   bool needs_rebuild(const std::vector<emdpa::Vec3<Real>>& positions,
-                     const PeriodicBoxT<Real>& box) const;
+                     const PeriodicBoxT<Real>& box,
+                     const LjParamsT<Real>& lj) const;
   void rebuild(const std::vector<emdpa::Vec3<Real>>& positions,
                const PeriodicBoxT<Real>& box, const LjParamsT<Real>& lj);
 
   Real skin_;
+  /// lj.cutoff at the last build: a list built for one cutoff is silently
+  /// wrong at any other (larger drops interactions), so any change forces a
+  /// rebuild.  Negative = never built.
+  Real build_cutoff_ = Real(-1);
   Real list_cutoff_sq_ = 0;
   std::vector<std::vector<std::uint32_t>> neighbours_;
   std::vector<emdpa::Vec3<Real>> build_positions_;

@@ -81,9 +81,13 @@ md::RunResult MtaBackend::run(const md::RunConfig& run_config) {
     auto forces = kernel.compute(system.positions(), box, run_config.lj,
                                  system.mass());
 
+    // PairStats are unordered pairs; the modelled MTA loop ("for each atom,
+    // all j != i") really executes each pair from both ends, so the
+    // instruction charge prices the directed visit count.
     const double instructions =
-        kOpsPerCandidate * static_cast<double>(forces.stats.candidates) +
-        kOpsPerInteraction * static_cast<double>(forces.stats.interacting);
+        2.0 * (kOpsPerCandidate * static_cast<double>(forces.stats.candidates) +
+               kOpsPerInteraction *
+                   static_cast<double>(forces.stats.interacting));
 
     if (decision.parallel) {
       // Fully multithreaded: iterations spread across the streams; the PE

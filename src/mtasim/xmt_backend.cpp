@@ -74,9 +74,12 @@ md::RunResult XmtBackend::run(const md::RunConfig& run_config) {
   auto evaluate = [&]() -> std::pair<double, ModelTime> {
     auto forces = kernel.compute(system.positions(), box, run_config.lj,
                                  system.mass());
+    // PairStats are unordered pairs; the modelled loop visits each pair from
+    // both ends, so the instruction charge prices the directed count.
     const double instructions =
-        kOpsPerCandidate * static_cast<double>(forces.stats.candidates) +
-        kOpsPerInteraction * static_cast<double>(forces.stats.interacting);
+        2.0 * (kOpsPerCandidate * static_cast<double>(forces.stats.candidates) +
+               kOpsPerInteraction *
+                   static_cast<double>(forces.stats.interacting));
     const ModelTime t = xmt_parallel_time(config_, instructions, remote);
     system.accelerations() = std::move(forces.accelerations);
     result.ops.add("xmt.pair_candidates", forces.stats.candidates);

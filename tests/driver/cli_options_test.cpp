@@ -52,6 +52,29 @@ TEST(CliOptions, CompareCommandTakesWorkloadFlags) {
   EXPECT_EQ(options.run_config.workload.n_atoms, 512u);
 }
 
+TEST(CliOptions, KernelFlagSelectsHostKernel) {
+  EXPECT_EQ(parse_cli({"run", "--backend", "host-parallel"})
+                .run_config.host_kernel,
+            md::HostKernel::kAuto);
+  EXPECT_EQ(parse_cli({"run", "--backend", "host-parallel", "--kernel", "n2"})
+                .run_config.host_kernel,
+            md::HostKernel::kN2);
+  EXPECT_EQ(parse_cli({"run", "--backend", "host-parallel", "--kernel", "list"})
+                .run_config.host_kernel,
+            md::HostKernel::kList);
+  EXPECT_EQ(parse_cli({"run", "--backend", "host-parallel", "--kernel", "auto"})
+                .run_config.host_kernel,
+            md::HostKernel::kAuto);
+}
+
+TEST(CliOptions, KernelFlagRejectsUnknownMode) {
+  EXPECT_THROW(
+      parse_cli({"run", "--backend", "host-parallel", "--kernel", "verlet"}),
+      RuntimeFailure);
+  EXPECT_THROW(parse_cli({"run", "--backend", "host-parallel", "--kernel"}),
+               RuntimeFailure);
+}
+
 TEST(CliOptions, RejectsBadInput) {
   EXPECT_THROW(parse_cli({"frobnicate"}), RuntimeFailure);
   EXPECT_THROW(parse_cli({"run", "--backend"}), RuntimeFailure);
@@ -71,6 +94,7 @@ TEST(CliOptions, UsageMentionsEveryBackend) {
   EXPECT_NE(usage.find("cell-8spe"), std::string::npos);
   EXPECT_NE(usage.find("mta2"), std::string::npos);
   EXPECT_NE(usage.find("--atoms"), std::string::npos);
+  EXPECT_NE(usage.find("--kernel"), std::string::npos);
 }
 
 }  // namespace

@@ -33,12 +33,42 @@ TEST(Report, CsvHasHeaderAndDataRow) {
   EXPECT_NE(csv.find("breakdown:compute"), std::string::npos);
 }
 
-TEST(Report, CsvRowCountMatchesBreakdown) {
+TEST(Report, CsvRowCountMatchesBreakdownAndMetadata) {
   md::RunConfig config;
   const auto result = sample_result(&config);
   const std::string csv = render_run_csv(result, config);
   const auto lines = std::count(csv.begin(), csv.end(), '\n');
-  EXPECT_EQ(static_cast<std::size_t>(lines), 2 + result.breakdown.size());
+  EXPECT_EQ(static_cast<std::size_t>(lines),
+            2 + result.breakdown.size() + result.metadata.size());
+}
+
+md::RunResult parallel_result(md::RunConfig* config) {
+  config->workload.n_atoms = 64;
+  config->steps = 2;
+  return make_backend("host-parallel")->run(*config);
+}
+
+TEST(Report, MetadataRendersWithoutTimeUnit) {
+  // Thread counts and SIMD widths are dimensionless; they must appear in the
+  // execution section, never in the breakdown with an " s" suffix.
+  md::RunConfig config;
+  const auto result = parallel_result(&config);
+  ASSERT_GT(result.metadata.count("threads"), 0u);
+  const std::string report = render_run_report(result, config);
+  EXPECT_NE(report.find("execution:"), std::string::npos);
+  EXPECT_NE(report.find("threads"), std::string::npos);
+  const auto pos = report.find("threads");
+  const auto line_end = report.find('\n', pos);
+  EXPECT_EQ(report.substr(pos, line_end - pos).find(" s"), std::string::npos);
+}
+
+TEST(Report, MetadataCsvRowsUseDedicatedColumn) {
+  md::RunConfig config;
+  const auto result = parallel_result(&config);
+  const std::string csv = render_run_csv(result, config);
+  EXPECT_NE(csv.find("metadata_value"), std::string::npos);
+  EXPECT_NE(csv.find("metadata:threads,,,,,,"), std::string::npos);
+  EXPECT_NE(csv.find("metadata:simd_width,,,,,,"), std::string::npos);
 }
 
 }  // namespace

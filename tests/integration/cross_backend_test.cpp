@@ -206,10 +206,42 @@ TEST(CrossBackend, HostParallelBackendMatchesHostReference) {
                 1e-10 * scale)
         << "step " << s;
   }
-  // The backend reports its real execution configuration.
-  EXPECT_GE(parallel.breakdown.at("threads").to_seconds(), 1.0);
-  EXPECT_GE(parallel.breakdown.at("simd_width").to_seconds(), 1.0);
+  // The backend reports its real execution configuration through the
+  // dimensionless metadata channel, not the timing breakdown.
+  EXPECT_GE(parallel.metadata.at("threads"), 1.0);
+  EXPECT_GE(parallel.metadata.at("simd_width"), 1.0);
+  EXPECT_EQ(parallel.metadata.at("kernel_list"), 0.0);  // 128 < crossover
+  EXPECT_EQ(parallel.breakdown.count("threads"), 0u);
   EXPECT_GT(parallel.breakdown.at("host_wall").to_seconds(), 0.0);
+}
+
+TEST(CrossBackend, HostParallelListKernelMatchesHostReference) {
+  auto cfg = config_for(128, 4);
+  cfg.host_kernel = md::HostKernel::kList;
+  const auto reference = md::HostReferenceBackend().run(cfg);
+  const auto parallel = md::HostParallelBackend().run(cfg);
+
+  ASSERT_EQ(parallel.energies.size(), reference.energies.size());
+  for (std::size_t s = 0; s < parallel.energies.size(); ++s) {
+    const double scale = std::fabs(reference.energies[s].potential) + 1.0;
+    EXPECT_NEAR(parallel.energies[s].potential,
+                reference.energies[s].potential, 1e-10 * scale)
+        << "step " << s;
+  }
+  EXPECT_EQ(parallel.metadata.at("kernel_list"), 1.0);
+  EXPECT_GE(parallel.metadata.at("list_rebuilds"), 1.0);
+}
+
+TEST(CrossBackend, HostParallelAutoSelectsListAboveCrossover) {
+  auto cfg = config_for(md::HostParallelBackend::kListCrossoverAtoms, 1);
+  const auto r = md::HostParallelBackend().run(cfg);
+  EXPECT_EQ(r.metadata.at("kernel_list"), 1.0);
+
+  auto small = config_for(128, 1);
+  small.host_kernel = md::HostKernel::kN2;
+  const auto s = md::HostParallelBackend().run(small);
+  EXPECT_EQ(s.metadata.at("kernel_list"), 0.0);
+  EXPECT_EQ(s.metadata.count("list_rebuilds"), 0u);
 }
 
 class CrossBackendSweep

@@ -49,6 +49,75 @@ TEST(Checkpoint, PreservesExtremeValues) {
   EXPECT_TRUE(std::signbit(cp.system.velocities()[0].x));
 }
 
+TEST(Checkpoint, DenormalsRoundTripExactly) {
+  ParticleSystem ps(1);
+  // 5e-324 is the smallest positive subnormal double; the others sit just
+  // below the normal range.  %a / stod must carry them through unchanged.
+  ps.positions()[0] = {5e-324, -5e-324, 2.2250738585072009e-308};
+  ps.velocities()[0] = {-2.2250738585072014e-308, 0.0, 1e-310};
+  std::stringstream stream;
+  save_checkpoint(stream, ps, PeriodicBox(1.0), 0);
+  const Checkpoint cp = load_checkpoint(stream);
+  EXPECT_EQ(cp.system.positions()[0], ps.positions()[0]);
+  EXPECT_EQ(cp.system.velocities()[0], ps.velocities()[0]);
+}
+
+TEST(Checkpoint, NegativeZeroSignSurvivesEveryField) {
+  ParticleSystem ps(1);
+  ps.positions()[0] = {-0.0, 0.0, -0.0};
+  ps.accelerations()[0] = {0.0, -0.0, 0.0};
+  std::stringstream stream;
+  save_checkpoint(stream, ps, PeriodicBox(1.0), 0);
+  const Checkpoint cp = load_checkpoint(stream);
+  EXPECT_TRUE(std::signbit(cp.system.positions()[0].x));
+  EXPECT_FALSE(std::signbit(cp.system.positions()[0].y));
+  EXPECT_TRUE(std::signbit(cp.system.positions()[0].z));
+  EXPECT_TRUE(std::signbit(cp.system.accelerations()[0].y));
+}
+
+TEST(Checkpoint, RejectsInfinityInState) {
+  // stod parses "inf" happily; the loader must not — a non-finite state can
+  // only come from corruption or a blown-up run.
+  std::stringstream stream(
+      "emdpa-checkpoint 1\natoms 1 mass 0x1p+0 box 0x1p+0 step 0\n"
+      "inf 0 0 0 0 0 0 0 0\n");
+  EXPECT_THROW(load_checkpoint(stream), RuntimeFailure);
+}
+
+TEST(Checkpoint, RejectsNanInState) {
+  std::stringstream stream(
+      "emdpa-checkpoint 1\natoms 1 mass 0x1p+0 box 0x1p+0 step 0\n"
+      "0 0 0 nan 0 0 0 0 0\n");
+  EXPECT_THROW(load_checkpoint(stream), RuntimeFailure);
+}
+
+TEST(Checkpoint, RejectsNonFiniteMass) {
+  std::stringstream stream(
+      "emdpa-checkpoint 1\natoms 1 mass inf box 0x1p+0 step 0\n"
+      "0 0 0 0 0 0 0 0 0\n");
+  EXPECT_THROW(load_checkpoint(stream), RuntimeFailure);
+}
+
+TEST(Checkpoint, RejectsGarbledStateLineKeyword) {
+  // "atoms" misspelt: the state line must be rejected before any parsing.
+  std::stringstream stream(
+      "emdpa-checkpoint 1\natomz 1 mass 0x1p+0 box 0x1p+0 step 0\n"
+      "0 0 0 0 0 0 0 0 0\n");
+  EXPECT_THROW(load_checkpoint(stream), RuntimeFailure);
+}
+
+TEST(Checkpoint, RejectsTruncatedStateLine) {
+  std::stringstream stream("emdpa-checkpoint 1\natoms 1 mass 0x1p+0\n");
+  EXPECT_THROW(load_checkpoint(stream), RuntimeFailure);
+}
+
+TEST(Checkpoint, RejectsTrailingGarbageInNumber) {
+  std::stringstream stream(
+      "emdpa-checkpoint 1\natoms 1 mass 1.0x box 0x1p+0 step 0\n"
+      "0 0 0 0 0 0 0 0 0\n");
+  EXPECT_THROW(load_checkpoint(stream), RuntimeFailure);
+}
+
 TEST(Checkpoint, RejectsBadMagic) {
   std::stringstream stream("not-a-checkpoint 1\n");
   EXPECT_THROW(load_checkpoint(stream), RuntimeFailure);

@@ -27,6 +27,7 @@ TEST_P(VerletListAgreement, MatchesReferenceKernel) {
   VerletListKernel verlet;
   const auto a = ref.compute(w.system.positions(), w.box, lj, 1.0);
   const auto b = verlet.compute(w.system.positions(), w.box, lj, 1.0);
+  // PairStats speak the same unordered-pair language across kernels.
   EXPECT_EQ(a.stats.interacting, b.stats.interacting);
   EXPECT_NEAR(a.potential_energy, b.potential_energy,
               1e-9 * std::fabs(a.potential_energy));
@@ -91,6 +92,35 @@ TEST(VerletListKernel, CandidatesBoundedByListNotNSquared) {
   // List candidates ~ N * (neighbours within cutoff+skin) << N^2.
   EXPECT_LT(r.stats.candidates, 2048ull * 200ull);
   EXPECT_GT(r.stats.interacting, 0u);
+}
+
+TEST(VerletListKernel, CutoffChangeForcesRebuild) {
+  // Regression: the kernel used to reuse a list built for a smaller cutoff,
+  // silently dropping every pair between the old and new radius.  Two atoms
+  // at r = 2.0: invisible at cutoff 1.5, interacting at cutoff 2.5.
+  std::vector<Vec3d> pos = {{5.0, 5.0, 5.0}, {7.0, 5.0, 5.0}};
+  PeriodicBox box(20.0);
+  VerletListKernel kernel(0.3);
+
+  LjParams narrow;
+  narrow.cutoff = 1.5;
+  const auto before = kernel.compute(pos, box, narrow, 1.0);
+  EXPECT_EQ(before.stats.interacting, 0u);
+  EXPECT_EQ(before.potential_energy, 0.0);
+
+  LjParams wide;
+  wide.cutoff = 2.5;
+  const auto after = kernel.compute(pos, box, wide, 1.0);
+  EXPECT_EQ(kernel.rebuilds(), 2u);
+  EXPECT_EQ(after.stats.interacting, 1u);
+  EXPECT_NEAR(after.potential_energy, wide.pair_energy(4.0), 1e-12);
+  EXPECT_NE(after.accelerations[0].x, 0.0);
+
+  // Shrinking back must also rebuild: the wide list holds pairs the narrow
+  // cutoff-plus-skin radius should never have admitted as candidates.
+  const auto again = kernel.compute(pos, box, narrow, 1.0);
+  EXPECT_EQ(kernel.rebuilds(), 3u);
+  EXPECT_EQ(again.stats.candidates, 0u);
 }
 
 TEST(VerletListKernel, AtomCountChangeForcesRebuild) {
