@@ -13,11 +13,16 @@
 #include <chrono>
 #include <functional>
 
+#include "cellsim/cell_pairlist.h"
 #include "core/string_util.h"
+#include "cpu/opteron_pairlist.h"
+#include "gpusim/gpu_pairlist.h"
 #include "md/cell_list_kernel.h"
+#include "md/pairlist_cost.h"
 #include "md/reference_kernel.h"
 #include "md/verlet_list_kernel.h"
 #include "md/workload.h"
+#include "mtasim/mta_pairlist.h"
 
 namespace {
 
@@ -89,5 +94,77 @@ int main() {
                "describes — the trade the emerging architectures attack from\n"
                "the other side.\n\n";
   eb::print_csv_block("ablation_neighbor_list", csv);
+
+  // ---- The section-3.4 trade-off, priced on each modelled device ----
+  //
+  // Each device family exposes an analytic pairlist variant of its force
+  // loop next to the on-the-fly N^2 price (see *_pairlist.h).  All consume
+  // one measured workload description, so the speedups are comparable.
+  std::cout << "\n";
+  eb::print_banner(
+      "Ablation A2b", "Pairlist vs on-the-fly N^2 on the modelled devices",
+      "Per-step force time (ms); 'x' columns are N^2 / pairlist speedup.\n"
+      "Work measured from the real neighbour-list kernel (skin 0.3).");
+
+  Table model_table({"atoms", "entries/cand", "rebuild per", "Opteron x",
+                     "MTA-2 x", "Cell x", "GPU x"});
+  std::vector<std::vector<std::string>> model_csv = {
+      {"atoms", "list_entries_directed", "candidates_directed",
+       "rebuild_period", "opteron_n2_ms", "opteron_list_ms", "mta_n2_ms",
+       "mta_list_ms", "cell_n2_ms", "cell_list_ms", "gpu_n2_ms",
+       "gpu_list_ms"}};
+
+  const opteron::OpteronConfig opteron_cfg;
+  const mta::MtaConfig mta_cfg;
+  const cell::CellConfig cell_cfg;
+  const gpu::GpuDeviceConfig gpu_cfg;
+  const gpu::PcieConfig pcie_cfg;
+
+  for (const std::size_t n : {512u, 1024u, 2048u, 4096u}) {
+    md::WorkloadSpec spec;
+    spec.n_atoms = n;
+    const md::PairlistStepWork work =
+        md::measure_pairlist_step_work(spec, lj, /*skin=*/0.3, /*dt=*/0.005,
+                                       /*steps=*/20);
+
+    const ModelTime opt_n2 = opteron::n2_step_time(opteron_cfg, work);
+    const ModelTime opt_pl = opteron::pairlist_step_time(opteron_cfg, work);
+    const ModelTime mta_n2 = mta::mta_n2_step_time(mta_cfg, work);
+    const ModelTime mta_pl = mta::mta_pairlist_step_time(mta_cfg, work);
+    const ModelTime cell_n2 = cell::cell_n2_step_time(cell_cfg, work);
+    const ModelTime cell_pl = cell::cell_pairlist_step_time(cell_cfg, work);
+    const ModelTime gpu_n2 = gpu::gpu_n2_step_time(gpu_cfg, pcie_cfg, work);
+    const ModelTime gpu_pl =
+        gpu::gpu_pairlist_step_time(gpu_cfg, pcie_cfg, work);
+
+    model_table.add_row(
+        {std::to_string(n),
+         format_fixed(work.list_entries_directed / work.candidates_directed,
+                      3),
+         format_fixed(work.rebuild_period_steps, 1),
+         format_fixed(opt_n2 / opt_pl, 2), format_fixed(mta_n2 / mta_pl, 2),
+         format_fixed(cell_n2 / cell_pl, 2), format_fixed(gpu_n2 / gpu_pl, 2)});
+    model_csv.push_back(
+        {std::to_string(n), format_fixed(work.list_entries_directed, 0),
+         format_fixed(work.candidates_directed, 0),
+         format_fixed(work.rebuild_period_steps, 2),
+         format_fixed(opt_n2.to_milliseconds(), 3),
+         format_fixed(opt_pl.to_milliseconds(), 3),
+         format_fixed(mta_n2.to_milliseconds(), 3),
+         format_fixed(mta_pl.to_milliseconds(), 3),
+         format_fixed(cell_n2.to_milliseconds(), 3),
+         format_fixed(cell_pl.to_milliseconds(), 3),
+         format_fixed(gpu_n2.to_milliseconds(), 3),
+         format_fixed(gpu_pl.to_milliseconds(), 3)});
+  }
+
+  eb::print_table(model_table);
+  std::cout << "The MTA-2 banks the full instruction reduction (irregular\n"
+               "gather is free on the flat network); the Opteron keeps most\n"
+               "of it while the gather fits in cache; the Cell forfeits its\n"
+               "SIMD win to the scalar gather; the GPU's dependent fetches\n"
+               "and PCIe floor leave it the least to gain — why the paper's\n"
+               "streaming ports recompute distances instead (section 3.4).\n\n";
+  eb::print_csv_block("ablation_neighbor_list_model", model_csv);
   return 0;
 }

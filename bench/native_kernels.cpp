@@ -11,6 +11,7 @@
 #include "md/integrator.h"
 #include "md/parallel_neighbor.h"
 #include "md/reference_kernel.h"
+#include "md/simulation.h"
 #include "md/soa_kernel.h"
 #include "md/workload.h"
 
@@ -164,6 +165,57 @@ void BM_NeighborListBuild(benchmark::State& state) {
                           static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_NeighborListBuild)->Arg(2048)->Arg(16384);
+
+void BM_SimulationSoaN2(benchmark::State& state) {
+  // Whole simulation runs through the SimKernel seam, N^2 SoA path: the
+  // end-to-end baseline the neighbour-list run below must beat at large N.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const int steps = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    md::Simulation::Options options;
+    options.workload.n_atoms = n;
+    options.kernel = md::SimKernel::kSoaN2;
+    options.pool = &ThreadPool::global();
+    md::Simulation sim(options);
+    sim.run(steps);
+    benchmark::DoNotOptimize(sim.last_energies().kinetic);
+  }
+  state.counters["threads"] =
+      static_cast<double>(ThreadPool::global().size());
+  state.counters["steps"] = static_cast<double>(steps);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          steps);
+}
+BENCHMARK(BM_SimulationSoaN2)
+    ->Args({2048, 500})->Unit(benchmark::kMillisecond);
+
+void BM_SimulationNeighborList(benchmark::State& state) {
+  // Same run on the neighbour-list path.  'rebuilds' counts list builds
+  // over the whole run — far fewer than 'steps' when the skin is doing its
+  // job, which is where the wall-clock win over BM_SimulationSoaN2 comes
+  // from.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const int steps = static_cast<int>(state.range(1));
+  double rebuilds = 0;
+  for (auto _ : state) {
+    md::Simulation::Options options;
+    options.workload.n_atoms = n;
+    options.kernel = md::SimKernel::kNeighborList;
+    options.pool = &ThreadPool::global();
+    md::Simulation sim(options);
+    sim.run(steps);
+    benchmark::DoNotOptimize(sim.last_energies().kinetic);
+    rebuilds = static_cast<double>(sim.list_rebuilds());
+  }
+  state.counters["threads"] =
+      static_cast<double>(ThreadPool::global().size());
+  state.counters["steps"] = static_cast<double>(steps);
+  state.counters["rebuilds"] = rebuilds;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          steps);
+}
+BENCHMARK(BM_SimulationNeighborList)
+    ->Args({2048, 500})->Unit(benchmark::kMillisecond);
 
 void BM_SoaKernelSingle(benchmark::State& state) {
   // Single-precision SoA kernel: double the lane width of the double path.

@@ -1,0 +1,82 @@
+#include "cellsim/cell_pairlist.h"
+
+#include <cmath>
+
+namespace emdpa::cell {
+
+namespace {
+
+constexpr double kBytesPerPosition = 16.0;  // float4 texel-style layout
+constexpr double kBytesPerListEntry = 4.0;
+
+constexpr double kBuildOpsPerTest = 31.0;
+constexpr double kBinOpsPerAtom = 12.0;
+
+/// Time to DMA `bytes` into local stores, requests capped at 16 KB.
+ModelTime dma_stream_time(const CellConfig& config, double bytes) {
+  const double requests =
+      std::ceil(bytes / static_cast<double>(DmaConfig::kMaxRequestBytes));
+  return ModelTime::seconds(bytes / config.dma.bandwidth_bytes_per_s) +
+         config.dma.request_latency * requests;
+}
+
+ModelTime spe_cycles_to_time(const CellConfig& config, const SpeWork& work) {
+  return ModelTime::seconds(work.cycles(config.spe_costs).value() /
+                            (config.spe_clock_hz *
+                             static_cast<double>(config.n_spes)));
+}
+
+}  // namespace
+
+ModelTime cell_n2_step_time(const CellConfig& config,
+                            const md::PairlistStepWork& work) {
+  const double chunks = work.candidates_directed / 4.0;
+
+  SpeWork spe;
+  spe.simd = static_cast<std::uint64_t>(23.0 * chunks);
+  spe.shuffle = static_cast<std::uint64_t>(2.0 * chunks);
+  spe.load_store = static_cast<std::uint64_t>(chunks);
+  spe.loop_iter = static_cast<std::uint64_t>(chunks);
+  spe.fdiv_simd = static_cast<std::uint64_t>(chunks);
+
+  ModelTime time = spe_cycles_to_time(config, spe);
+  time += dma_stream_time(config,
+                          static_cast<double>(work.n_atoms) * kBytesPerPosition);
+  time += config.ppe_step_overhead;
+  return time;
+}
+
+ModelTime cell_pairlist_step_time(const CellConfig& config,
+                                  const md::PairlistStepWork& work) {
+  const double entries = work.list_entries_directed;
+
+  SpeWork spe;
+  spe.scalar = static_cast<std::uint64_t>(
+      27.0 * entries + 19.0 * work.interacting_directed);
+  spe.load_store = static_cast<std::uint64_t>(4.0 * entries);
+  spe.loop_iter = static_cast<std::uint64_t>(entries);
+  spe.branch_taken = static_cast<std::uint64_t>(0.5 * entries);
+  spe.fdiv_scalar = static_cast<std::uint64_t>(work.interacting_directed);
+
+  ModelTime time = spe_cycles_to_time(config, spe);
+
+  // Per-step traffic: position tiles plus the list stream.
+  const double list_bytes = entries * kBytesPerListEntry;
+  time += dma_stream_time(config,
+                          static_cast<double>(work.n_atoms) * kBytesPerPosition +
+                              list_bytes);
+
+  // Amortised rebuild: the PPE walks the cell grid and re-uploads the list.
+  const double build_ops =
+      kBuildOpsPerTest * work.build_tests_directed +
+      kBinOpsPerAtom * static_cast<double>(work.n_atoms);
+  ModelTime rebuild =
+      ModelTime::seconds(build_ops * config.ppe_cpi / config.ppe_clock_hz);
+  rebuild += dma_stream_time(config, list_bytes);
+  time += rebuild * (1.0 / work.rebuild_period_steps);
+
+  time += config.ppe_step_overhead;
+  return time;
+}
+
+}  // namespace emdpa::cell

@@ -1,0 +1,41 @@
+// Analytic Cell BE price of the section-3.4 pairlist trade-off.
+//
+// The streaming N^2 port is the Cell's natural shape: neighbour positions
+// arrive in LS tiles by DMA and the force loop runs 4-wide SIMD over them.
+// A pairlist breaks exactly that: list-driven neighbour access is a random
+// gather inside the LS, and the 2006 toolchain's scalar path (rotate to the
+// preferred slot, compute, rotate back) forfeits the SIMD win — the reason
+// the paper's port recomputes distances instead of carrying a list.
+//
+// Modelled shape (per directed event, SpeOpCosts classes):
+//  * N^2, per 4-candidate SIMD chunk: 23 simd (dr, round minimum image,
+//    r^2, masked LJ evaluated on all lanes), 2 shuffle, 1 load_store
+//    (streamed tile access), 1 loop_iter, 1 fdiv_simd.
+//  * pairlist, per entry (scalar): 4 load_store (list word + 3 gathered
+//    coords at unaligned LS slots), 27 scalar ops, 1 loop_iter, 0.5
+//    branch_taken (cutoff test, ~half taken); per interacting pair:
+//    19 scalar + 1 fdiv_scalar.
+//  * both: per-step DMA of the position tiles; the pairlist additionally
+//    streams the list in and, on each rebuild, has the PPE rebuild it
+//    (31 ops/test + 12/atom at ppe_cpi) and re-upload it — amortised over
+//    rebuild_period_steps.
+//  * both: ppe_step_overhead, so the figures are comparable absolute
+//    per-step times for the persistent-threads configuration.
+#pragma once
+
+#include "cellsim/cost_model.h"
+#include "core/time_model.h"
+#include "md/pairlist_cost.h"
+
+namespace emdpa::cell {
+
+/// One force evaluation of the streaming SIMD N^2 loop across all SPEs.
+ModelTime cell_n2_step_time(const CellConfig& config,
+                            const md::PairlistStepWork& work);
+
+/// The same evaluation through a Verlet pairlist (scalar gather on the
+/// SPEs, PPE rebuild amortised).
+ModelTime cell_pairlist_step_time(const CellConfig& config,
+                                  const md::PairlistStepWork& work);
+
+}  // namespace emdpa::cell

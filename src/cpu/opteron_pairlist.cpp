@@ -1,0 +1,91 @@
+#include "cpu/opteron_pairlist.h"
+
+#include <algorithm>
+
+namespace emdpa::opteron {
+
+namespace {
+
+constexpr double kBytesPerPosition = 24.0;  // Vec3<double>
+constexpr double kBytesPerListEntry = 4.0;  // uint32 index
+constexpr double kLineBytes = 64.0;
+
+constexpr double kPairlistEntryOps = 27.0;  // see opteron_pairlist.h
+constexpr double kBuildTestOps = 31.0;      // entry ops + grid bookkeeping
+constexpr double kBinOpsPerAtom = 12.0;
+constexpr double kInteractionOps = 19.0;    // + 1 FDIV, charged separately
+
+/// Fraction of a uniformly re-touched footprint that does NOT fit in a
+/// cache of `capacity` bytes.
+double miss_fraction(double footprint_bytes, std::size_t capacity) {
+  if (footprint_bytes <= static_cast<double>(capacity)) return 0.0;
+  return 1.0 - static_cast<double>(capacity) / footprint_bytes;
+}
+
+ModelTime cycles_to_time(const OpteronConfig& config, double cycles) {
+  return ModelTime::seconds(cycles / config.clock_hz);
+}
+
+}  // namespace
+
+ModelTime n2_step_time(const OpteronConfig& config,
+                       const md::PairlistStepWork& work) {
+  const PairInstructionProfile profile = profile_for(config.strategy);
+  const double positions_bytes =
+      static_cast<double>(work.n_atoms) * kBytesPerPosition;
+
+  double cycles = (profile.per_candidate * work.candidates_directed +
+                   profile.per_interaction * work.interacting_directed) *
+                  config.cpi;
+  cycles += work.interacting_directed * profile.divs_per_interaction *
+            config.div_cycles;
+
+  // Streaming inner loop: each candidate advances sequentially through the
+  // position array, so misses occur at line granularity over whatever part
+  // of the footprint each cache level cannot retain across outer iterations.
+  const double lines_touched =
+      work.candidates_directed * (kBytesPerPosition / kLineBytes);
+  cycles += lines_touched * miss_fraction(positions_bytes, config.l1.size_bytes) *
+            config.l1_miss_cycles;
+  cycles += lines_touched * miss_fraction(positions_bytes, config.l2.size_bytes) *
+            config.l2_miss_cycles;
+
+  return cycles_to_time(config, cycles);
+}
+
+ModelTime pairlist_step_time(const OpteronConfig& config,
+                             const md::PairlistStepWork& work) {
+  const double positions_bytes =
+      static_cast<double>(work.n_atoms) * kBytesPerPosition;
+  const double list_bytes = work.list_entries_directed * kBytesPerListEntry;
+
+  double cycles = (kPairlistEntryOps * work.list_entries_directed +
+                   kInteractionOps * work.interacting_directed) *
+                  config.cpi;
+  cycles += work.interacting_directed * config.div_cycles;
+
+  // The gather: one quasi-random position load per entry, charged as a
+  // whole miss (no streaming amortisation) per level it overflows.
+  cycles += work.list_entries_directed *
+            miss_fraction(positions_bytes, config.l1.size_bytes) *
+            config.l1_miss_cycles;
+  cycles += work.list_entries_directed *
+            miss_fraction(positions_bytes, config.l2.size_bytes) *
+            config.l2_miss_cycles;
+
+  // The list itself streams at line granularity.
+  const double list_lines = list_bytes / kLineBytes;
+  cycles += list_lines * miss_fraction(list_bytes, config.l1.size_bytes) *
+            config.l1_miss_cycles;
+  cycles += list_lines * miss_fraction(list_bytes, config.l2.size_bytes) *
+            config.l2_miss_cycles;
+
+  // Amortised rebuild: cell-grid sweep plus binning.
+  cycles += (kBuildTestOps * work.build_tests_directed +
+             kBinOpsPerAtom * static_cast<double>(work.n_atoms)) *
+            config.cpi / work.rebuild_period_steps;
+
+  return cycles_to_time(config, cycles);
+}
+
+}  // namespace emdpa::opteron

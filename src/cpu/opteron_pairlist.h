@@ -1,0 +1,42 @@
+// Analytic Opteron price of the section-3.4 pairlist trade-off.
+//
+// The trace-driven OpteronMachine times the paper's actual on-the-fly N^2
+// kernel.  These closed-form variants price the same machine running (a)
+// that N^2 loop and (b) a classic Verlet-pairlist force loop, from the
+// measured PairlistStepWork, so bench A2 can put the cache machine next to
+// the streaming architectures on the same axis.
+//
+// Modelling choices (per directed event, cycles at config.cpi unless noted):
+//  * N^2 candidate: the configured minimum-image strategy's instruction
+//    profile (251 ops for the paper's 27-image search).  The inner loop
+//    streams the position array; lines are charged at cache-line
+//    granularity against the capacity each level can hold.
+//  * pairlist entry: 27 ops — list entries are known to lie within
+//    cutoff+skin, so the cheap round-to-nearest minimum image replaces the
+//    27-image search (dr 3, round image 12, r^2 5, compare 1, index +
+//    gather addressing 6).  That instruction reduction is most of the win.
+//  * the gather: each entry loads one neighbour position from an
+//    effectively random address, so it is charged a *whole* miss (no
+//    line-granularity amortisation) with probability 1 - capacity/footprint
+//    per level — the irregular-access cost the paper's streaming ports
+//    avoid by recomputing distances.
+//  * build (amortised over rebuild_period_steps): 31 ops per cell-grid
+//    distance test plus 12 ops/atom of binning.
+//  * both variants pay 19 flops + 1 FDIV per interacting pair.
+#pragma once
+
+#include "core/time_model.h"
+#include "cpu/opteron_model.h"
+#include "md/pairlist_cost.h"
+
+namespace emdpa::opteron {
+
+/// One velocity-Verlet force evaluation with the on-the-fly N^2 loop.
+ModelTime n2_step_time(const OpteronConfig& config,
+                       const md::PairlistStepWork& work);
+
+/// The same evaluation through a Verlet pairlist, build cost amortised.
+ModelTime pairlist_step_time(const OpteronConfig& config,
+                             const md::PairlistStepWork& work);
+
+}  // namespace emdpa::opteron

@@ -50,7 +50,8 @@ std::string cli_usage() {
       "  --seed S           workload seed\n"
       "  --threads N        host execution threads (default: EMDPA_THREADS or all cores)\n"
       "  --kernel MODE      host force kernel: n2, list, or auto (crossover on\n"
-      "                     atom count; only host-parallel honours it)\n"
+      "                     atom count); honoured by host-parallel in both run\n"
+      "                     and compare mode — device models ignore it\n"
       "  --csv              machine-readable output\n"
       "\n"
       "Backends:\n";

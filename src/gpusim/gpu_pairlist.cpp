@@ -1,0 +1,66 @@
+#include "gpusim/gpu_pairlist.h"
+
+namespace emdpa::gpu {
+
+namespace {
+
+constexpr double kBytesPerTexel = 16.0;     // RGBA32F
+constexpr double kBytesPerListEntry = 4.0;  // index texel component
+
+constexpr double kVec4OpsPerCandidate = 6.0;
+constexpr double kCoherentFetchFraction = 0.25;  // broadcast-cached N^2 fetch
+constexpr double kDependentFetchesPerEntry = 2.0;
+
+// CPU-side list rebuild: ~31 host ops per cell-grid distance test at a
+// 2006-class core's effective throughput.
+constexpr double kHostSecondsPerBuildTest = 31.0 / 2.2e9;
+
+ModelTime shader_time(const GpuDeviceConfig& device, double cycles) {
+  return ModelTime::seconds(
+      cycles / (device.clock_hz * static_cast<double>(device.pixel_pipelines)));
+}
+
+ModelTime step_pcie(const PcieConfig& pcie, std::size_t n_atoms) {
+  PcieBus bus(pcie);
+  const auto bytes = static_cast<std::size_t>(
+      static_cast<double>(n_atoms) * kBytesPerTexel);
+  return bus.upload(bytes) + bus.readback(bytes);
+}
+
+}  // namespace
+
+ModelTime gpu_n2_step_time(const GpuDeviceConfig& device,
+                           const PcieConfig& pcie,
+                           const md::PairlistStepWork& work) {
+  const double per_candidate =
+      kVec4OpsPerCandidate * device.cycles_per_vec4_op +
+      kCoherentFetchFraction * device.cycles_per_fetch;
+  ModelTime time =
+      shader_time(device, per_candidate * work.candidates_directed);
+  time += device.pass_dispatch_overhead;
+  time += step_pcie(pcie, work.n_atoms);
+  return time;
+}
+
+ModelTime gpu_pairlist_step_time(const GpuDeviceConfig& device,
+                                 const PcieConfig& pcie,
+                                 const md::PairlistStepWork& work) {
+  const double per_entry =
+      kVec4OpsPerCandidate * device.cycles_per_vec4_op +
+      kDependentFetchesPerEntry * device.cycles_per_fetch;
+  ModelTime time =
+      shader_time(device, per_entry * work.list_entries_directed);
+  time += device.pass_dispatch_overhead;
+  time += step_pcie(pcie, work.n_atoms);
+
+  // Amortised CPU rebuild + list texture upload.
+  PcieBus bus(pcie);
+  ModelTime rebuild = ModelTime::seconds(kHostSecondsPerBuildTest *
+                                         work.build_tests_directed);
+  rebuild += bus.upload(static_cast<std::size_t>(work.list_entries_directed *
+                                                 kBytesPerListEntry));
+  time += rebuild * (1.0 / work.rebuild_period_steps);
+  return time;
+}
+
+}  // namespace emdpa::gpu

@@ -1,0 +1,42 @@
+// Analytic 7900GTX price of the section-3.4 pairlist trade-off.
+//
+// The 2006 GPU port's strength is exactly what a pairlist takes away: the
+// N^2 shader reads neighbour positions in the same order from every
+// fragment, so the texture cache broadcasts each texel and the fetch cost
+// is mostly hidden.  A pairlist shader must first fetch its list texel and
+// then fetch the position it points at — two *dependent*, un-coalesced
+// fetches per entry at the full unhidden latency — and the list texture has
+// to come across PCIe after every CPU-side rebuild.  On top of the per-step
+// PCIe floor (positions up, accelerations back, pass dispatch) that makes
+// the GPU the architecture with the least to gain from the list.
+//
+// Modelled shape (per directed event):
+//  * N^2 candidate: 6 vec4 ops + 1 coherent fetch at 25% of
+//    cycles_per_fetch (broadcast across the pipelines' shared cache).
+//  * pairlist entry: 6 vec4 ops + 2 dependent fetches at cycles_per_fetch.
+//  * both: one pass dispatch, position upload and acceleration readback
+//    per step (16 bytes/atom each way, the RGBA32F texel).
+//  * pairlist: amortised CPU rebuild (31 host ops per cell-grid test at
+//    ~1 ns each) and list upload per rebuild.
+#pragma once
+
+#include "core/time_model.h"
+#include "gpusim/gpu_device.h"
+#include "gpusim/pcie.h"
+#include "md/pairlist_cost.h"
+
+namespace emdpa::gpu {
+
+/// One force evaluation of the on-the-fly N^2 shader, PCIe round trip
+/// included.
+ModelTime gpu_n2_step_time(const GpuDeviceConfig& device,
+                           const PcieConfig& pcie,
+                           const md::PairlistStepWork& work);
+
+/// The same evaluation through a pairlist shader (dependent gather), CPU
+/// rebuild and list upload amortised.
+ModelTime gpu_pairlist_step_time(const GpuDeviceConfig& device,
+                                 const PcieConfig& pcie,
+                                 const md::PairlistStepWork& work);
+
+}  // namespace emdpa::gpu

@@ -1,14 +1,16 @@
 // host-parallel backend: the one backend that runs on real hardware at full
-// speed rather than under a device timing model.  Below the crossover atom
+// speed rather than under a device timing model.  Since PR 3 it is a thin
+// veneer over md::Simulation's SimKernel seam: below the crossover atom
 // count the N^2 SoA/SIMD batch kernel wins (no list to build, perfect
-// streaming); above it the O(N) neighbour-list path takes over — the
-// standard MD optimisation the paper's streaming ports had to forgo.
-// RunConfig::host_kernel overrides the automatic choice.
+// streaming); above it the O(N) neighbour-list path takes over, and its
+// skin-radius reuse pays off across the velocity-Verlet steps the
+// simulation loop drives.  RunConfig::host_kernel overrides the automatic
+// choice.
 #include <chrono>
 
 #include "core/thread_pool.h"
 #include "md/backend.h"
-#include "md/parallel_neighbor.h"
+#include "md/simulation.h"
 #include "md/soa_kernel.h"
 
 namespace emdpa::md {
@@ -22,40 +24,40 @@ const char* to_string(HostKernel kernel) {
   return "unknown";
 }
 
+SimKernel to_sim_kernel(HostKernel kernel) {
+  switch (kernel) {
+    case HostKernel::kAuto: return SimKernel::kAuto;
+    case HostKernel::kN2: return SimKernel::kSoaN2;
+    case HostKernel::kList: return SimKernel::kNeighborList;
+  }
+  return SimKernel::kAuto;
+}
+
 RunResult HostParallelBackend::run(const RunConfig& config) {
-  Workload workload = make_lattice_workload(config.workload);
-
   ThreadPool& pool = ThreadPool::global();
-  const bool use_list =
-      config.host_kernel == HostKernel::kList ||
-      (config.host_kernel == HostKernel::kAuto &&
-       config.workload.n_atoms >= kListCrossoverAtoms);
 
-  SoaKernel::Options n2_options;
-  n2_options.pool = &pool;
-  SoaKernel n2_kernel(n2_options);
-  NeighborListKernel::Options list_options;
-  list_options.pool = &pool;
-  NeighborListKernel list_kernel(list_options);
-  ForceKernel& kernel =
-      use_list ? static_cast<ForceKernel&>(list_kernel) : n2_kernel;
-
-  VelocityVerlet integrator(config.dt);
+  Simulation::Options options;
+  options.workload = config.workload;
+  options.lj = config.lj;
+  options.dt = config.dt;
+  options.kernel = to_sim_kernel(config.host_kernel);
+  options.pool = &pool;
 
   RunResult result;
   result.backend_name = name();
 
   const auto wall_start = std::chrono::steady_clock::now();
-  result.energies.push_back(
-      integrator.prime(workload.system, workload.box, config.lj, kernel));
-  for (int s = 0; s < config.steps; ++s) {
-    result.energies.push_back(
-        integrator.step(workload.system, workload.box, config.lj, kernel));
-  }
+  Simulation sim(options);
+  result.energies.push_back(sim.last_energies());
+  sim.run(config.steps, [&](long /*step*/, const StepEnergies& e) {
+    result.energies.push_back(e);
+  });
   const double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
           .count();
+
+  const bool use_list = sim.kernel() == SimKernel::kNeighborList;
 
   // No device model: device_time stays zero and the wall clock is the only
   // real time.  Execution-layer facts ride in the metadata channel.
@@ -64,14 +66,13 @@ RunResult HostParallelBackend::run(const RunConfig& config) {
   result.metadata["simd_width"] = static_cast<double>(SoaKernel::simd_width());
   result.metadata["kernel_list"] = use_list ? 1.0 : 0.0;
   if (use_list) {
-    result.metadata["list_rebuilds"] =
-        static_cast<double>(list_kernel.rebuilds());
+    result.metadata["list_rebuilds"] = static_cast<double>(sim.list_rebuilds());
   }
   result.ops.add("host.threads", pool.size());
   result.ops.add("host.simd_width", SoaKernel::simd_width());
-  if (use_list) result.ops.add("host.list_rebuilds", list_kernel.rebuilds());
+  if (use_list) result.ops.add("host.list_rebuilds", sim.list_rebuilds());
 
-  result.final_state = std::move(workload.system);
+  result.final_state = std::move(sim.system());
   return result;
 }
 

@@ -1,0 +1,90 @@
+#include "md/pairlist_cost.h"
+
+#include "core/error.h"
+#include "md/integrator.h"
+#include "md/parallel_neighbor.h"
+
+namespace emdpa::md {
+
+namespace {
+
+/// ForceKernel decorator that accumulates the wrapped kernel's PairStats
+/// across evaluations (the integrator consumes the ForceResult, so the
+/// stats would otherwise be lost).
+class CountingKernel final : public ForceKernel {
+ public:
+  explicit CountingKernel(ForceKernel& inner) : inner_(inner) {}
+
+  std::string name() const override { return inner_.name(); }
+
+  ForceResult compute(const std::vector<Vec3d>& positions,
+                      const PeriodicBox& box, const LjParams& lj,
+                      double mass) override {
+    ForceResult result = inner_.compute(positions, box, lj, mass);
+    stats_ += result.stats;
+    ++evaluations_;
+    return result;
+  }
+
+  const PairStats& stats() const { return stats_; }
+  std::uint64_t evaluations() const { return evaluations_; }
+
+ private:
+  ForceKernel& inner_;
+  PairStats stats_{};
+  std::uint64_t evaluations_ = 0;
+};
+
+}  // namespace
+
+PairlistStepWork measure_pairlist_step_work(const WorkloadSpec& workload,
+                                            const LjParams& lj, double skin,
+                                            double dt, int steps) {
+  EMDPA_REQUIRE(steps > 0, "measurement horizon must be positive");
+  EMDPA_REQUIRE(skin > 0, "pairlist skin must be positive");
+
+  Workload w = make_lattice_workload(workload);
+
+  NeighborListKernel::Options options;
+  options.skin = skin;  // serial build: the counts are thread-independent
+  NeighborListKernel kernel(options);
+  CountingKernel counting(kernel);
+
+  VelocityVerlet integrator(dt);
+  integrator.prime(w.system, w.box, lj, counting);
+
+  // Sample the list after every evaluation: entries change on each rebuild,
+  // and build_distance_tests() describes only the most recent build.
+  double entries_sum = static_cast<double>(kernel.list().directed_entries());
+  double build_tests_sum =
+      static_cast<double>(kernel.list().build_distance_tests());
+  std::uint64_t builds_seen = kernel.rebuilds();
+
+  for (int s = 0; s < steps; ++s) {
+    integrator.step(w.system, w.box, lj, counting);
+    entries_sum += static_cast<double>(kernel.list().directed_entries());
+    if (kernel.rebuilds() > builds_seen) {
+      builds_seen = kernel.rebuilds();
+      build_tests_sum +=
+          static_cast<double>(kernel.list().build_distance_tests());
+    }
+  }
+
+  const double evaluations = static_cast<double>(counting.evaluations());
+  const double n = static_cast<double>(w.system.size());
+
+  PairlistStepWork work;
+  work.n_atoms = w.system.size();
+  work.skin = skin;
+  work.steps_measured = evaluations;
+  work.candidates_directed = n * (n - 1.0);
+  work.interacting_directed =
+      2.0 * static_cast<double>(counting.stats().interacting) / evaluations;
+  work.list_entries_directed = entries_sum / evaluations;
+  work.build_tests_directed =
+      build_tests_sum / static_cast<double>(builds_seen);
+  work.rebuild_period_steps = evaluations / static_cast<double>(builds_seen);
+  return work;
+}
+
+}  // namespace emdpa::md

@@ -1,0 +1,53 @@
+// Measured per-step work of the section-3.4 pairlist trade-off, in the
+// directed units the device cost models price.
+//
+// The paper's ports all compute distances on the fly because the streaming
+// architectures cannot exploit a neighbour pairlist ("updated every few
+// simulation time steps") the way a cache machine can.  To model that trade
+// concretely, each device family exposes an analytic pairlist variant of its
+// force-loop price (opteron_pairlist.h, mta_pairlist.h, cell_pairlist.h,
+// gpu_pairlist.h); they all consume the same measured workload description
+// produced here, so the four families are compared on identical physics.
+//
+// Counts are *directed* ((i,j) and (j,i) both counted), matching the device
+// models' convention of pricing loops that visit each pair from both ends;
+// see the PairStats contract in force_kernel.h.
+#pragma once
+
+#include <cstddef>
+
+#include "md/force_kernel.h"
+#include "md/workload.h"
+
+namespace emdpa::md {
+
+/// Per-step force work of one workload, measured by running the real
+/// neighbour-list kernel under velocity-Verlet for a short horizon.
+struct PairlistStepWork {
+  std::size_t n_atoms = 0;
+  double skin = 0;                 ///< list shell radius beyond the cutoff
+  double steps_measured = 0;       ///< horizon the averages come from
+
+  /// Distance tests per step of the on-the-fly N^2 loop: N*(N-1).
+  double candidates_directed = 0;
+  /// Directed within-cutoff pairs per force evaluation (average).
+  double interacting_directed = 0;
+  /// Directed pairlist entries walked per force evaluation (average; the
+  /// cutoff+skin shell, excluding SIMD padding).
+  double list_entries_directed = 0;
+  /// Directed distance tests one list build performs (cell-grid sweep,
+  /// average over the builds observed).
+  double build_tests_directed = 0;
+  /// Force evaluations per list rebuild (the amortisation denominator for
+  /// build costs; > 1 whenever the skin buys any reuse).
+  double rebuild_period_steps = 1;
+};
+
+/// Run `steps` velocity-Verlet steps of `workload` with the parallel
+/// neighbour-list kernel at `skin` and return the averaged work counts.
+/// Deterministic: serial kernel, fixed workload seed.
+PairlistStepWork measure_pairlist_step_work(const WorkloadSpec& workload,
+                                            const LjParams& lj, double skin,
+                                            double dt, int steps);
+
+}  // namespace emdpa::md

@@ -20,14 +20,23 @@ constexpr std::uint32_t padded_count(std::uint32_t count) {
 
 }  // namespace
 
+const char* to_string(SkinPolicy policy) {
+  switch (policy) {
+    case SkinPolicy::kHalfSkinDisplacement: return "half-skin-displacement";
+    case SkinPolicy::kNeverRebuild: return "never-rebuild";
+  }
+  return "unknown";
+}
+
 // ---------------------------------------------------------------------------
 // ParallelNeighborListT
 // ---------------------------------------------------------------------------
 
 template <typename Real>
 ParallelNeighborListT<Real>::ParallelNeighborListT(Real skin, ThreadPool* pool,
-                                                   std::size_t grain)
-    : skin_(skin), pool_(pool), grain_(grain) {
+                                                   std::size_t grain,
+                                                   SkinPolicy policy)
+    : skin_(skin), pool_(pool), grain_(grain), policy_(policy) {
   EMDPA_REQUIRE(skin >= Real(0), "skin must be non-negative");
 }
 
@@ -50,6 +59,7 @@ bool ParallelNeighborListT<Real>::needs_rebuild(
   // A list built for one cutoff silently drops interactions at a larger one
   // — invalidate on ANY cutoff (or box) change, not just growth.
   if (cutoff != build_cutoff_ || box.edge() != build_edge_) return true;
+  if (policy_ == SkinPolicy::kNeverRebuild) return false;  // broken on purpose
   // Valid while no atom moved more than half the skin since the build: two
   // atoms approaching from opposite sides close at most `skin` total.
   const Real limit_sq = (skin_ / Real(2)) * (skin_ / Real(2));
@@ -94,6 +104,7 @@ void ParallelNeighborListT<Real>::build_all_pairs(
     row_begin_[i + 1] = row_begin_[i] + padded_count<Real>(row_count_[i]);
     directed_entries_ += row_count_[i];
   }
+  build_distance_tests_ = n == 0 ? 0 : static_cast<std::uint64_t>(n) * (n - 1);
 
   entries_.assign(row_begin_[n], 0);
   run_rows(n, [&](std::size_t i_begin, std::size_t i_end) {
@@ -124,6 +135,7 @@ void ParallelNeighborListT<Real>::build(
   build_edge_ = box.edge();
   build_positions_ = positions;
   directed_entries_ = 0;
+  build_distance_tests_ = 0;
   ++rebuilds_;
 
   wrapped_.resize(n);
@@ -139,11 +151,23 @@ void ParallelNeighborListT<Real>::build(
     return;
   }
 
+  // Cell edge targets HALF the list radius: cutoff-sized cells sweep the
+  // classic 27-cell stencil, ~16x the volume of the list sphere, while a
+  // radius-2 stencil over half-sized cells sweeps ~6x — far fewer wasted
+  // distance tests per build.  `range` is however many cells it takes to
+  // cover the list radius at the realised cell edge.
   const double edge = static_cast<double>(box.edge());
-  auto cells_ll = static_cast<long long>(edge / static_cast<double>(list_cutoff));
+  auto cells_ll =
+      static_cast<long long>(edge / (static_cast<double>(list_cutoff) * 0.5));
   if (cells_ll < 1) cells_ll = 1;
   const auto cells = static_cast<std::size_t>(cells_ll);
-  if (cells < 3) {
+  const double cell_edge = edge / static_cast<double>(cells);
+  const auto range = static_cast<long long>(
+      std::ceil(static_cast<double>(list_cutoff) / cell_edge));
+  const std::size_t width = static_cast<std::size_t>(2 * range + 1);
+  if (width > cells) {
+    // Box too small for a proper stencil (wrap-around would visit a cell
+    // twice and duplicate entries): O(N^2) build instead.
     build_all_pairs(wrapped_, box);
     return;
   }
@@ -179,40 +203,84 @@ void ParallelNeighborListT<Real>::build(
     }
   }
 
-  // One fixed sweep order over the 27 neighbouring cells (atoms within a
-  // cell in index order): the count and fill passes below must — and do —
-  // visit candidates identically.
-  const auto c_ll = static_cast<long long>(cells);
-  auto sweep = [&](std::size_t i, auto&& visit) {
-    const auto cx = static_cast<long long>(axis_cell(wrapped_[i].x));
-    const auto cy = static_cast<long long>(axis_cell(wrapped_[i].y));
-    const auto cz = static_cast<long long>(axis_cell(wrapped_[i].z));
-    for (long long dx = -1; dx <= 1; ++dx) {
-      for (long long dy = -1; dy <= 1; ++dy) {
-        for (long long dz = -1; dz <= 1; ++dz) {
-          const std::size_t c =
-              (static_cast<std::size_t>((cx + dx + c_ll) % c_ll) * cells +
-               static_cast<std::size_t>((cy + dy + c_ll) % c_ll)) *
-                  cells +
-              static_cast<std::size_t>((cz + dz + c_ll) % c_ll);
-          for (std::uint32_t s = cell_start_[c]; s < cell_start_[c + 1]; ++s) {
-            const std::uint32_t j = cell_atoms_[s];
-            if (j == static_cast<std::uint32_t>(i)) continue;
-            const auto dr = box.min_image(wrapped_[i] - wrapped_[j]);
-            if (length_squared(dr) < list_cutoff_sq_) visit(j);
+  // Per-axis wrapped stencil indices: row a of this table lists the `width`
+  // cell indices covering [a-range, a+range] on one axis.  Precomputing them
+  // keeps the modulo arithmetic out of the sweep's inner loops.
+  stencil_axis_.resize(cells * width);
+  for (std::size_t a = 0; a < cells; ++a) {
+    for (std::size_t k = 0; k < width; ++k) {
+      stencil_axis_[a * width + k] = static_cast<std::uint32_t>(
+          (a + k + cells - static_cast<std::size_t>(range)) % cells);
+    }
+  }
+
+  // Stencil population per cell.  Every atom in a cell sweeps exactly the
+  // atoms of that cell's stencil (minus itself), so this is the EXACT
+  // per-row distance-test count — which lets the single sweep below write
+  // hits straight into disjoint scratch ranges with no counting pass.
+  stencil_pop_.assign(n_cells, 0);
+  for (std::size_t cx = 0; cx < cells; ++cx) {
+    for (std::size_t cy = 0; cy < cells; ++cy) {
+      for (std::size_t cz = 0; cz < cells; ++cz) {
+        std::uint32_t pop = 0;
+        for (std::size_t kx = 0; kx < width; ++kx) {
+          const std::size_t px = stencil_axis_[cx * width + kx];
+          for (std::size_t ky = 0; ky < width; ++ky) {
+            const std::size_t py = stencil_axis_[cy * width + ky];
+            const std::size_t row = (px * cells + py) * cells;
+            for (std::size_t kz = 0; kz < width; ++kz) {
+              const std::size_t c = row + stencil_axis_[cz * width + kz];
+              pop += cell_start_[c + 1] - cell_start_[c];
+            }
           }
         }
+        stencil_pop_[(cx * cells + cy) * cells + cz] = pop;
       }
     }
-  };
+  }
 
-  // Count pass.
+  // Exact scratch CSR offsets (serial prefix — deterministic, so the sweep's
+  // output layout is independent of thread count).
+  scratch_begin_.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    scratch_begin_[i + 1] =
+        scratch_begin_[i] + stencil_pop_[cell_of_atom_[i]] - 1;  // minus self
+  }
+  build_distance_tests_ = scratch_begin_[n];
+  scratch_entries_.resize(scratch_begin_[n]);
+
+  // The single distance sweep: unlike the classic count-then-fill scheme it
+  // pays each distance test exactly once (matching what the device cost
+  // models price), writing hits into the row's scratch range in one fixed
+  // order — stencil cells in table order, atoms within a cell in index
+  // order — so the list contents are a pure function of the inputs.
   row_count_.assign(n, 0);
   run_rows(n, [&](std::size_t i_begin, std::size_t i_end) {
     for (std::size_t i = i_begin; i < i_end; ++i) {
-      std::uint32_t count = 0;
-      sweep(i, [&](std::uint32_t) { ++count; });
-      row_count_[i] = count;
+      const std::size_t cx = axis_cell(wrapped_[i].x);
+      const std::size_t cy = axis_cell(wrapped_[i].y);
+      const std::size_t cz = axis_cell(wrapped_[i].z);
+      std::uint64_t slot = scratch_begin_[i];
+      for (std::size_t kx = 0; kx < width; ++kx) {
+        const std::size_t px = stencil_axis_[cx * width + kx];
+        for (std::size_t ky = 0; ky < width; ++ky) {
+          const std::size_t py = stencil_axis_[cy * width + ky];
+          const std::size_t row = (px * cells + py) * cells;
+          for (std::size_t kz = 0; kz < width; ++kz) {
+            const std::size_t c = row + stencil_axis_[cz * width + kz];
+            for (std::uint32_t s = cell_start_[c]; s < cell_start_[c + 1];
+                 ++s) {
+              const std::uint32_t j = cell_atoms_[s];
+              if (j == static_cast<std::uint32_t>(i)) continue;
+              const auto dr = box.min_image(wrapped_[i] - wrapped_[j]);
+              if (length_squared(dr) < list_cutoff_sq_) {
+                scratch_entries_[slot++] = j;
+              }
+            }
+          }
+        }
+      }
+      row_count_[i] = static_cast<std::uint32_t>(slot - scratch_begin_[i]);
     }
   });
 
@@ -223,12 +291,16 @@ void ParallelNeighborListT<Real>::build(
     directed_entries_ += row_count_[i];
   }
 
-  // Fill pass into disjoint slot ranges.
-  entries_.assign(row_begin_[n], 0);
+  // Compaction: copy each scratch row into its padded slot range.  Pure
+  // data movement, no distance math.
+  entries_.resize(row_begin_[n]);
   run_rows(n, [&](std::size_t i_begin, std::size_t i_end) {
     for (std::size_t i = i_begin; i < i_end; ++i) {
+      const std::uint32_t* src = scratch_entries_.data() + scratch_begin_[i];
       std::uint32_t slot = row_begin_[i];
-      sweep(i, [&](std::uint32_t j) { entries_[slot++] = j; });
+      for (std::uint32_t k = 0; k < row_count_[i]; ++k) {
+        entries_[slot++] = src[k];
+      }
       for (; slot < row_begin_[i + 1]; ++slot) {
         entries_[slot] = static_cast<std::uint32_t>(i);  // self pad, r2 == 0
       }
@@ -244,7 +316,7 @@ template <typename Real>
 NeighborListKernelT<Real>::NeighborListKernelT(Options options)
     : options_(options),
       list_(options.skin, options.pool,
-            options.grain < 64 ? 64 : options.grain) {}
+            options.grain < 64 ? 64 : options.grain, options.skin_policy) {}
 
 template <typename Real>
 std::string NeighborListKernelT<Real>::name() const {

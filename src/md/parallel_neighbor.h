@@ -8,11 +8,15 @@
 //
 //  * ParallelNeighborListT — a SIMD-padded CSR neighbour list built with a
 //    cell-grid bin-and-sweep.  Binning is a serial O(N) counting sort (cheap,
-//    and trivially deterministic); the expensive 27-cell distance sweep runs
-//    twice over the pool — a count pass, a serial prefix sum over row
-//    extents, then a fill pass — so every row's slot range and contents are
-//    a pure function of the inputs, independent of thread count.  Each row
-//    is padded to the SIMD width with the atom's own index: a self entry
+//    and trivially deterministic).  Cells are sized to about HALF the list
+//    radius with a correspondingly wider stencil — much tighter around the
+//    list sphere than a cutoff-sized 27-cell grid — and because every row's
+//    distance-test count is known exactly up front (the population of its
+//    cell's stencil), a SINGLE pool-parallel sweep writes hits straight into
+//    disjoint scratch ranges; a serial prefix sum and a copy-only compaction
+//    then produce the padded CSR.  Row slot ranges and contents are a pure
+//    function of the inputs, independent of thread count.  Each row is
+//    padded to the SIMD width with the atom's own index: a self entry
 //    yields r2 == 0, which the shared lane mask (lj_simd.h) already rejects.
 //
 //  * NeighborListKernelT — a ForceKernelT that walks each atom's neighbour
@@ -39,16 +43,37 @@
 
 namespace emdpa::md {
 
+/// When a built list considers itself stale.  Structural invalidation
+/// (atom-count, cutoff or box-edge change) is always on — a list indexed for
+/// a different configuration is memory-unsafe, not merely inaccurate — the
+/// policy only governs the displacement check between structurally valid
+/// configurations.
+enum class SkinPolicy {
+  /// Rebuild once any atom has moved more than skin/2 since the last build
+  /// (two atoms approaching head-on close the gap by at most `skin`).  The
+  /// correct MD policy; the default everywhere.
+  kHalfSkinDisplacement,
+  /// Never rebuild on displacement.  Deliberately broken: exists so the
+  /// trajectory tests can prove the displacement check is load-bearing (a
+  /// fast atom silently leaves its stale neighbourhood and the physics
+  /// drifts).  Not exposed through any CLI.
+  kNeverRebuild,
+};
+
+const char* to_string(SkinPolicy policy);
+
 /// SIMD-padded CSR neighbour list with a deterministic pool-parallel build.
 template <typename Real>
 class ParallelNeighborListT {
  public:
   /// `skin`: extra shell radius beyond the cutoff; `pool`: nullptr builds
   /// serially on the caller.
-  explicit ParallelNeighborListT(Real skin, ThreadPool* pool = nullptr,
-                                 std::size_t grain = 64);
+  explicit ParallelNeighborListT(
+      Real skin, ThreadPool* pool = nullptr, std::size_t grain = 64,
+      SkinPolicy policy = SkinPolicy::kHalfSkinDisplacement);
 
   Real skin() const { return skin_; }
+  SkinPolicy policy() const { return policy_; }
   std::uint64_t rebuilds() const { return rebuilds_; }
 
   /// True when the list no longer covers `positions` at `cutoff`: atom count
@@ -79,6 +104,11 @@ class ParallelNeighborListT {
   /// count within cutoff+skin.
   std::uint64_t directed_entries() const { return directed_entries_; }
 
+  /// Directed distance tests the most recent build performed — each
+  /// candidate in the stencil sweep is tested exactly once, which is also
+  /// what the device cost models price.
+  std::uint64_t build_distance_tests() const { return build_distance_tests_; }
+
  private:
   void build_all_pairs(const std::vector<emdpa::Vec3<Real>>& wrapped,
                        const PeriodicBoxT<Real>& box);
@@ -88,6 +118,7 @@ class ParallelNeighborListT {
   Real skin_;
   ThreadPool* pool_;
   std::size_t grain_;
+  SkinPolicy policy_;
 
   Real build_cutoff_ = Real(-1);   ///< lj cutoff the list was built for
   Real build_edge_ = Real(-1);     ///< box edge the list was built for
@@ -97,6 +128,7 @@ class ParallelNeighborListT {
   std::vector<std::uint32_t> entries_;     ///< padded neighbour indices
   std::vector<std::uint32_t> row_count_;   ///< true (unpadded) counts
   std::uint64_t directed_entries_ = 0;
+  std::uint64_t build_distance_tests_ = 0;
   std::uint64_t rebuilds_ = 0;
 
   // Cell-grid scratch reused across builds.
@@ -104,6 +136,10 @@ class ParallelNeighborListT {
   std::vector<std::uint32_t> cell_of_atom_;
   std::vector<std::uint32_t> cell_start_;
   std::vector<std::uint32_t> cell_atoms_;
+  std::vector<std::uint32_t> stencil_axis_;  ///< per-axis wrapped cell indices
+  std::vector<std::uint32_t> stencil_pop_;   ///< atoms per cell stencil
+  std::vector<std::uint64_t> scratch_begin_; ///< exact per-row test offsets
+  std::vector<std::uint32_t> scratch_entries_;
 };
 
 /// Neighbour-list force kernel: the host fast path at large N.  Same
@@ -119,6 +155,8 @@ class NeighborListKernelT final : public ForceKernelT<Real> {
     ThreadPool* pool = nullptr;
     /// Atom rows per parallel chunk.
     std::size_t grain = 16;
+    /// Displacement-staleness policy (kNeverRebuild is for tests only).
+    SkinPolicy skin_policy = SkinPolicy::kHalfSkinDisplacement;
   };
 
   explicit NeighborListKernelT(Options options = {});
@@ -128,6 +166,10 @@ class NeighborListKernelT final : public ForceKernelT<Real> {
   Real skin() const { return list_.skin(); }
   std::uint64_t rebuilds() const { return list_.rebuilds(); }
   std::uint64_t evaluations() const { return evaluations_; }
+
+  /// The underlying list, for inspection (rebuild counters, entry counts —
+  /// the pairlist device cost models read their workload from here).
+  const ParallelNeighborListT<Real>& list() const { return list_; }
 
   /// Force the next compute() to rebuild the list (benchmarks use this to
   /// price the build; steady-state evaluation reuses the list).

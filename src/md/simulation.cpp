@@ -1,17 +1,56 @@
 #include "md/simulation.h"
 
 #include "core/error.h"
+#include "md/backend.h"
 #include "md/cell_list_kernel.h"
 #include "md/checkpoint.h"
 #include "md/reference_kernel.h"
+#include "md/soa_kernel.h"
 
 namespace emdpa::md {
 
 namespace {
 
-std::unique_ptr<ForceKernel> make_lj_kernel(bool use_cell_list) {
-  if (use_cell_list) return std::make_unique<CellListKernel>();
-  return std::make_unique<ReferenceKernel>();
+SimKernel resolve_kernel(const Simulation::Options& options,
+                         std::size_t n_atoms) {
+  EMDPA_REQUIRE(!options.use_cell_list ||
+                    options.kernel == SimKernel::kAuto ||
+                    options.kernel == SimKernel::kCellList,
+                "use_cell_list conflicts with an explicit kernel choice");
+  if (options.kernel != SimKernel::kAuto) return options.kernel;
+  if (options.use_cell_list) return SimKernel::kCellList;
+  return n_atoms >= HostParallelBackend::kListCrossoverAtoms
+             ? SimKernel::kNeighborList
+             : SimKernel::kSoaN2;
+}
+
+std::unique_ptr<ForceKernel> make_lj_kernel(SimKernel kind,
+                                            const Simulation::Options& options,
+                                            NeighborListKernel** list_view) {
+  *list_view = nullptr;
+  switch (kind) {
+    case SimKernel::kReference:
+      return std::make_unique<ReferenceKernel>();
+    case SimKernel::kCellList:
+      return std::make_unique<CellListKernel>();
+    case SimKernel::kSoaN2: {
+      SoaKernel::Options o;
+      o.pool = options.pool;
+      return std::make_unique<SoaKernel>(o);
+    }
+    case SimKernel::kNeighborList: {
+      NeighborListKernel::Options o;
+      o.skin = options.skin;
+      o.pool = options.pool;
+      o.skin_policy = options.skin_policy;
+      auto kernel = std::make_unique<NeighborListKernel>(o);
+      *list_view = kernel.get();
+      return kernel;
+    }
+    case SimKernel::kAuto:
+      break;  // resolved before we get here
+  }
+  throw ContractViolation("unresolved SimKernel");
 }
 
 /// LJ kernel plus optional bonded/angle topologies behind the ForceKernel
@@ -47,6 +86,17 @@ class CompositeKernel final : public ForceKernel {
 
 }  // namespace
 
+const char* to_string(SimKernel kernel) {
+  switch (kernel) {
+    case SimKernel::kAuto: return "auto";
+    case SimKernel::kReference: return "reference";
+    case SimKernel::kCellList: return "cell-list";
+    case SimKernel::kSoaN2: return "soa-n2";
+    case SimKernel::kNeighborList: return "neighbor-list";
+  }
+  return "unknown";
+}
+
 Simulation::Simulation(const Options& options)
     : Simulation(
           [&] {
@@ -63,7 +113,8 @@ Simulation::Simulation(ParticleSystem system, PeriodicBox box, long step,
       system_(std::move(system)),
       lj_(options.lj),
       integrator_(options.dt),
-      lj_kernel_(make_lj_kernel(options.use_cell_list)),
+      kernel_kind_(resolve_kernel(options, system_.size())),
+      lj_kernel_(make_lj_kernel(kernel_kind_, options, &list_kernel_)),
       step_(step) {
   prime();
 }
@@ -74,9 +125,19 @@ Simulation Simulation::resume(std::istream& checkpoint, const Options& options) 
                     options);
 }
 
+ForceKernel& Simulation::active_kernel() {
+  return composite_ ? *composite_ : *lj_kernel_;
+}
+
+std::string Simulation::kernel_name() const { return lj_kernel_->name(); }
+
+std::uint64_t Simulation::list_rebuilds() const {
+  return list_kernel_ != nullptr ? list_kernel_->rebuilds() : 0;
+}
+
 void Simulation::prime() {
-  ForceKernel& kernel = composite_ ? *composite_ : *lj_kernel_;
-  last_energies_ = integrator_.prime(system_, box_, lj_, kernel);
+  last_energies_ = integrator_.prime(system_, box_, lj_, active_kernel());
+  ++force_evaluations_;
 }
 
 void Simulation::rebuild_composite() {
@@ -110,16 +171,15 @@ void Simulation::clear_thermostat() {
 }
 
 MinimizeResult Simulation::minimize(const MinimizeOptions& options) {
-  ForceKernel& kernel = composite_ ? *composite_ : *lj_kernel_;
   const MinimizeResult result =
-      minimize_energy(system_, box_, lj_, kernel, options);
+      minimize_energy(system_, box_, lj_, active_kernel(), options);
   prime();
   return result;
 }
 
 StepEnergies Simulation::step() {
-  ForceKernel& kernel = composite_ ? *composite_ : *lj_kernel_;
-  last_energies_ = integrator_.step(system_, box_, lj_, kernel);
+  last_energies_ = integrator_.step(system_, box_, lj_, active_kernel());
+  ++force_evaluations_;
   if (thermostat_) thermostat_->apply(system_);
   if (langevin_) langevin_->apply(system_, integrator_.dt());
   ++step_;

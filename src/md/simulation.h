@@ -5,7 +5,13 @@
 // one object with step/run/observe/checkpoint operations.  The lower-level
 // pieces remain the public API for anyone who needs control (the device
 // backends use them directly); Simulation is the convenient front door the
-// examples use.
+// examples and the host-parallel backend use.
+//
+// The force evaluation under the integrator is pluggable (SimKernel): the
+// scalar reference kernel, the O(N) cell-list kernel, the SoA/SIMD N^2
+// batch kernel, or the pool-parallel neighbour-list path whose skin logic
+// pays off precisely across the timesteps this loop drives.  kAuto picks
+// the host execution layer's fast path for the workload size.
 #pragma once
 
 #include <functional>
@@ -13,16 +19,31 @@
 #include <memory>
 #include <optional>
 
+#include "core/thread_pool.h"
 #include "md/angles.h"
+#include "md/backend.h"
 #include "md/bonded.h"
 #include "md/force_kernel.h"
 #include "md/integrator.h"
 #include "md/langevin.h"
 #include "md/minimize.h"
+#include "md/parallel_neighbor.h"
 #include "md/thermostat.h"
 #include "md/workload.h"
 
 namespace emdpa::md {
+
+/// Which LJ force kernel drives the simulation loop.  kAuto resolves at
+/// construction: the SoA N^2 batch kernel below the host layer's measured
+/// list crossover (HostParallelBackend::kListCrossoverAtoms) and the
+/// parallel neighbour-list path at or above it.
+enum class SimKernel { kAuto, kReference, kCellList, kSoaN2, kNeighborList };
+
+const char* to_string(SimKernel kernel);
+
+/// Map the backend-facing HostKernel choice (--kernel) onto the simulation
+/// seam: auto -> kAuto, n2 -> kSoaN2, list -> kNeighborList.
+SimKernel to_sim_kernel(HostKernel kernel);
 
 class Simulation {
  public:
@@ -30,8 +51,19 @@ class Simulation {
     WorkloadSpec workload;
     LjParams lj{};
     double dt = 0.005;
-    /// Use the O(N) cell-list kernel instead of the paper's N^2 kernel.
+    /// Legacy switch, honoured only with kernel == kAuto (resolves to
+    /// kCellList); combining it with another explicit kernel throws.
     bool use_cell_list = false;
+    /// Force-kernel strategy for every evaluation (prime, step, minimize).
+    SimKernel kernel = SimKernel::kAuto;
+    /// Neighbour-list skin radius (kNeighborList only).
+    double skin = 0.3;
+    /// Neighbour-list staleness policy; tests inject kNeverRebuild to prove
+    /// the displacement check matters.  (kNeighborList only.)
+    SkinPolicy skin_policy = SkinPolicy::kHalfSkinDisplacement;
+    /// Pool for the SoA/list kernels' row parallelism; nullptr runs serial.
+    /// Results are bitwise identical at any thread count either way.
+    ThreadPool* pool = nullptr;
   };
 
   explicit Simulation(const Options& options);
@@ -45,6 +77,16 @@ class Simulation {
   const PeriodicBox& box() const { return box_; }
   long current_step() const { return step_; }
   const StepEnergies& last_energies() const { return last_energies_; }
+
+  /// The kernel kAuto resolved to (or the explicitly requested one).
+  SimKernel kernel() const { return kernel_kind_; }
+  /// The driving LJ kernel's self-reported name (includes SIMD/thread info).
+  std::string kernel_name() const;
+  /// Neighbour-list rebuilds so far; 0 for the stateless kernels.
+  std::uint64_t list_rebuilds() const;
+  /// Integrator-driven LJ force evaluations so far (primes + steps; the
+  /// minimizer's internal probes are not counted).
+  std::uint64_t force_evaluations() const { return force_evaluations_; }
 
   /// Attach harmonic bonds (their forces are added to the LJ forces).
   void set_bonds(BondTopology bonds);
@@ -77,11 +119,18 @@ class Simulation {
              const Options& options);
   void prime();
   void rebuild_composite();
+  ForceKernel& active_kernel();
 
   PeriodicBox box_;
   ParticleSystem system_;
   LjParams lj_;
   VelocityVerlet integrator_;
+  SimKernel kernel_kind_;                   ///< resolved, never kAuto
+  /// Non-owning view of lj_kernel_ when it is the neighbour-list kernel
+  /// (rebuild statistics); nullptr otherwise.  Declared BEFORE lj_kernel_:
+  /// make_lj_kernel fills it while lj_kernel_ initialises, so its own
+  /// default-initialisation must have happened already.
+  NeighborListKernel* list_kernel_ = nullptr;
   std::unique_ptr<ForceKernel> lj_kernel_;
   std::unique_ptr<ForceKernel> composite_;  ///< LJ + bonds/angles, if any
   std::optional<BondTopology> bonds_;
@@ -90,6 +139,7 @@ class Simulation {
   std::optional<LangevinThermostat> langevin_;
   StepEnergies last_energies_{};
   long step_ = 0;
+  std::uint64_t force_evaluations_ = 0;
 };
 
 }  // namespace emdpa::md

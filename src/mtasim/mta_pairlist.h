@@ -1,0 +1,51 @@
+// Analytic MTA-2 / XMT price of the section-3.4 pairlist trade-off.
+//
+// The MTA-2 is the architecture where the pairlist pays off purely as an
+// instruction reduction: a saturated processor issues one instruction per
+// cycle regardless of access pattern, so the gather that punishes cache
+// machines, SPEs and GPUs is free here ("no penalty for irregular access",
+// section 5.3).  The modelled speedup is therefore simply the ratio of
+// instructions retired, minus the amortised build.
+//
+// The projected XMT is the interesting contrast: its commodity network makes
+// remote references a second potential bottleneck, and the pairlist loop is
+// *more* reference-dense per instruction than the N^2 loop (one list load
+// plus one gathered position per 27 instructions vs long stretches of
+// arithmetic in the 27-image search) — so on large XMT configurations the
+// network can claw back part of the instruction win, exactly the locality
+// warning the paper closes with.
+//
+// Instruction counts (per directed event) mirror the backends':
+//  * N^2 candidate: 251 (the 27-image search), interaction: 30.
+//  * pairlist entry: 27 (round minimum image suffices inside cutoff+skin:
+//    dr 3, image 12, r^2 5, compare 1, list index + addressing 6).
+//  * build: 31 per cell-grid test + 12/atom binning, amortised over
+//    rebuild_period_steps; the build loops parallelise like the force loop.
+#pragma once
+
+#include "core/time_model.h"
+#include "md/pairlist_cost.h"
+#include "mtasim/stream_machine.h"
+#include "mtasim/xmt_backend.h"
+
+namespace emdpa::mta {
+
+/// One fully-multithreaded force evaluation with the on-the-fly N^2 loop.
+ModelTime mta_n2_step_time(const MtaConfig& config,
+                           const md::PairlistStepWork& work);
+
+/// The same evaluation through a Verlet pairlist, build cost amortised.
+ModelTime mta_pairlist_step_time(const MtaConfig& config,
+                                 const md::PairlistStepWork& work);
+
+/// XMT projections of the same two loops under naive round-robin placement.
+ModelTime xmt_n2_step_time(const XmtConfig& config,
+                           const md::PairlistStepWork& work);
+ModelTime xmt_pairlist_step_time(const XmtConfig& config,
+                                 const md::PairlistStepWork& work);
+
+/// Memory references per instruction of the pairlist loop relative to the
+/// XmtConfig's (N^2) refs_per_instruction — the gather's reference density.
+constexpr double kPairlistRefDensityFactor = 1.6;
+
+}  // namespace emdpa::mta

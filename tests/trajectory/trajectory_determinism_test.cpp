@@ -1,0 +1,101 @@
+// Determinism guarantees of the simulation seam: thread-count invariance
+// (bitwise, not approximate) for both pool-parallel kernels, and kAuto
+// resolving to exactly the run an explicit kernel choice would produce.
+#include <gtest/gtest.h>
+
+#include "trajectory_fixture.h"
+
+namespace emdpa::md::testing {
+namespace {
+
+void expect_bitwise_equal(const Trajectory& a, const Trajectory& b,
+                          const std::string& label) {
+  ASSERT_EQ(a.energies.size(), b.energies.size()) << label;
+  for (std::size_t s = 0; s < a.energies.size(); ++s) {
+    ASSERT_EQ(a.energies[s].kinetic, b.energies[s].kinetic)
+        << label << " step " << s;
+    ASSERT_EQ(a.energies[s].potential, b.energies[s].potential)
+        << label << " step " << s;
+  }
+  ASSERT_EQ(a.positions.size(), b.positions.size()) << label;
+  for (std::size_t i = 0; i < a.positions.size(); ++i) {
+    ASSERT_EQ(a.positions[i].x, b.positions[i].x) << label << " atom " << i;
+    ASSERT_EQ(a.positions[i].y, b.positions[i].y) << label << " atom " << i;
+    ASSERT_EQ(a.positions[i].z, b.positions[i].z) << label << " atom " << i;
+  }
+}
+
+class ThreadInvariance : public ::testing::TestWithParam<SimKernel> {};
+
+TEST_P(ThreadInvariance, RunIsBitwiseIdenticalAtAnyThreadCount) {
+  MeltSpec spec;
+  spec.n_atoms = 256;
+  spec.steps = 60;
+  spec.kernel = GetParam();
+  const Trajectory serial = run_melt(spec);  // pool == nullptr
+
+  for (const std::size_t threads : {std::size_t(1), std::size_t(2),
+                                    std::size_t(8)}) {
+    ThreadPool pool(threads);
+    spec.pool = &pool;
+    const Trajectory pooled = run_melt(spec);
+    expect_bitwise_equal(serial, pooled,
+                         std::string(to_string(GetParam())) + " @" +
+                             std::to_string(threads) + " threads");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PoolKernels, ThreadInvariance,
+                         ::testing::Values(SimKernel::kSoaN2,
+                                           SimKernel::kNeighborList),
+                         [](const auto& info) {
+                           std::string name = to_string(info.param);
+                           for (char& c : name)
+                             if (c == '-') c = '_';
+                           return name;
+                         });
+
+TEST(AutoKernel, ResolvesToSoaBelowTheCrossover) {
+  Simulation::Options options;
+  options.workload.n_atoms = 256;
+  Simulation sim(options);
+  EXPECT_EQ(sim.kernel(), SimKernel::kSoaN2);
+}
+
+TEST(AutoKernel, ResolvesToNeighborListAtTheCrossover) {
+  Simulation::Options options;
+  options.workload.n_atoms = HostParallelBackend::kListCrossoverAtoms;
+  Simulation sim(options);
+  EXPECT_EQ(sim.kernel(), SimKernel::kNeighborList);
+}
+
+TEST(AutoKernel, AutoRunMatchesExplicitChoiceBitwise) {
+  // Below the crossover: auto == explicit SoA.
+  {
+    MeltSpec spec;
+    spec.n_atoms = 256;
+    spec.steps = 40;
+    spec.kernel = SimKernel::kAuto;
+    const Trajectory auto_run = run_melt(spec);
+    spec.kernel = SimKernel::kSoaN2;
+    const Trajectory explicit_run = run_melt(spec);
+    expect_bitwise_equal(auto_run, explicit_run, "auto vs soa-n2");
+  }
+  // At/above the crossover: auto == explicit neighbour list, rebuilds and
+  // all.
+  {
+    MeltSpec spec;
+    spec.n_atoms = HostParallelBackend::kListCrossoverAtoms;
+    spec.steps = 25;
+    spec.kernel = SimKernel::kAuto;
+    const Trajectory auto_run = run_melt(spec);
+    spec.kernel = SimKernel::kNeighborList;
+    const Trajectory explicit_run = run_melt(spec);
+    expect_bitwise_equal(auto_run, explicit_run, "auto vs neighbor-list");
+    EXPECT_EQ(auto_run.list_rebuilds, explicit_run.list_rebuilds);
+    EXPECT_GE(auto_run.list_rebuilds, 1u);
+  }
+}
+
+}  // namespace
+}  // namespace emdpa::md::testing

@@ -31,25 +31,50 @@ int run_one(const driver::CliOptions& options) {
 }
 
 int run_compare(const driver::CliOptions& options) {
-  Table table({"backend", "precision", "model time (s)", "final total E"});
+  // Host rows execute for real (device_time is zero there): report their
+  // wall clock and which kernel the simulation seam selected, so the
+  // parallel path is visible next to the modelled devices.
+  Table table({"backend", "precision", "model time (s)", "wall (s)", "kernel",
+               "final total E"});
   std::vector<std::string> csv_lines = {
-      "backend,precision,model_seconds,final_total_e"};
+      "backend,precision,model_seconds,wall_seconds,host_kernel,final_total_e"};
 
   for (const auto& info : driver::available_backends()) {
     auto backend = driver::make_backend(info.key);
-    std::string time_cell, energy_cell;
+    std::string time_cell, wall_cell = "-", kernel_cell = "-", energy_cell;
     try {
       const md::RunResult result = backend->run(options.run_config);
       time_cell = format_auto(result.device_time.to_seconds());
       energy_cell = format_fixed(result.energies.back().total(), 4);
+      const auto wall = result.breakdown.find("host_wall");
+      if (wall != result.breakdown.end()) {
+        wall_cell = format_auto(wall->second.to_seconds());
+      }
+      const auto kernel_list = result.metadata.find("kernel_list");
+      if (kernel_list != result.metadata.end()) {
+        kernel_cell = kernel_list->second != 0.0 ? "list" : "n2";
+        const auto threads = result.metadata.find("threads");
+        if (threads != result.metadata.end()) {
+          kernel_cell +=
+              "@" + std::to_string(static_cast<long>(threads->second)) + "t";
+        }
+        const auto rebuilds = result.metadata.find("list_rebuilds");
+        if (rebuilds != result.metadata.end()) {
+          kernel_cell += "," +
+                         std::to_string(static_cast<long>(rebuilds->second)) +
+                         "rb";
+        }
+      }
     } catch (const std::exception& e) {
       time_cell = "error";
       energy_cell = e.what();
       if (energy_cell.size() > 40) energy_cell.resize(40);
     }
-    table.add_row({info.key, backend->precision(), time_cell, energy_cell});
+    table.add_row({info.key, backend->precision(), time_cell, wall_cell,
+                   kernel_cell, energy_cell});
     csv_lines.push_back(info.key + "," + backend->precision() + "," +
-                        time_cell + "," + energy_cell);
+                        time_cell + "," + wall_cell + "," + kernel_cell + "," +
+                        energy_cell);
   }
 
   if (options.csv) {
