@@ -15,11 +15,14 @@
 
 #include "cellsim/cell_pairlist.h"
 #include "core/string_util.h"
+#include "core/thread_pool.h"
 #include "cpu/opteron_pairlist.h"
 #include "gpusim/gpu_pairlist.h"
 #include "md/cell_list_kernel.h"
 #include "md/pairlist_cost.h"
+#include "md/parallel_neighbor.h"
 #include "md/reference_kernel.h"
+#include "md/simulation.h"
 #include "md/verlet_list_kernel.h"
 #include "md/workload.h"
 #include "mtasim/mta_pairlist.h"
@@ -166,5 +169,73 @@ int main() {
                "and PCIe floor leave it the least to gain — why the paper's\n"
                "streaming ports recompute distances instead (section 3.4).\n\n";
   eb::print_csv_block("ablation_neighbor_list_model", model_csv);
+
+  // ---- A2c: the 100k-atom build/simulate path on the real host ----
+  //
+  // The parallel neighbour-list build at scale: per-chunk histogram binning
+  // + separable stencil tables ("bin") and the single distance sweep +
+  // compaction ("fill"), serial vs the machine's thread pool.  The list
+  // entries are bitwise identical either way (asserted by the md test
+  // label); only the wall clock may differ.
+  std::cout << "\n";
+  eb::print_banner("Ablation A2c",
+                   "Parallel neighbour-list build + simulate at 100k atoms",
+                   "Build phases in ms, 1 thread vs the host pool; 'sim' is\n"
+                   "wall ms/step of a 10-step neighbour-list simulation.");
+
+  ThreadPool serial_pool(1);
+  ThreadPool& pool = ThreadPool::global();
+  Table build_table({"atoms", "bin@1 (ms)", "fill@1 (ms)", "bin@T (ms)",
+                     "fill@T (ms)", "build x", "sim ms/step"});
+  std::vector<std::vector<std::string>> build_csv = {
+      {"atoms", "threads", "bin1_ms", "fill1_ms", "binT_ms", "fillT_ms",
+       "build_speedup", "sim_ms_per_step"}};
+
+  for (const std::size_t n : {16384u, 100000u}) {
+    md::WorkloadSpec spec;
+    spec.n_atoms = n;
+    md::Workload w = md::make_lattice_workload(spec);
+
+    auto timed_build = [&](ThreadPool* p, double& bin_ms, double& fill_ms) {
+      md::ParallelNeighborListT<double> list(0.3, p);
+      // Two builds, report the second: the first pays scratch allocation.
+      list.build(w.system.positions(), w.box, lj.cutoff);
+      list.invalidate();
+      list.build(w.system.positions(), w.box, lj.cutoff);
+      bin_ms = list.last_bin_seconds() * 1e3;
+      fill_ms = list.last_fill_seconds() * 1e3;
+    };
+    double bin1 = 0, fill1 = 0, bin_t = 0, fill_t = 0;
+    timed_build(&serial_pool, bin1, fill1);
+    timed_build(&pool, bin_t, fill_t);
+
+    md::Simulation::Options options;
+    options.workload.n_atoms = n;
+    options.kernel = md::SimKernel::kNeighborList;
+    options.pool = &pool;
+    const int sim_steps = 10;
+    md::Simulation sim(options);
+    const double t_sim = wall_seconds([&] { sim.run(sim_steps); });
+    const double sim_ms_step = t_sim * 1e3 / sim_steps;
+
+    const double speedup = (bin1 + fill1) / (bin_t + fill_t);
+    build_table.add_row({std::to_string(n), format_fixed(bin1, 2),
+                         format_fixed(fill1, 2), format_fixed(bin_t, 2),
+                         format_fixed(fill_t, 2), format_fixed(speedup, 2),
+                         format_fixed(sim_ms_step, 2)});
+    build_csv.push_back({std::to_string(n), std::to_string(pool.size()),
+                         format_fixed(bin1, 3), format_fixed(fill1, 3),
+                         format_fixed(bin_t, 3), format_fixed(fill_t, 3),
+                         format_fixed(speedup, 3),
+                         format_fixed(sim_ms_step, 3)});
+  }
+
+  eb::print_table(build_table);
+  std::cout << "Binning is a stable counting sort (per-chunk histograms +\n"
+               "prefix-merge), the stencil population table is three 1-D\n"
+               "window passes, and the distance sweep writes disjoint exact\n"
+               "scratch ranges — every phase parallelises, so the build no\n"
+               "longer caps the atom count the list path can serve.\n\n";
+  eb::print_csv_block("ablation_neighbor_list_build", build_csv);
   return 0;
 }

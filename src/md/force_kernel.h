@@ -24,11 +24,20 @@ namespace emdpa::md {
 ///
 /// Counts are UNORDERED pairs: every md:: host kernel (reference, SoA,
 /// cell-list, Verlet/neighbour list) reports {i,j} once however many times
-/// its traversal visits it, so stats compare 1:1 across kernels.  Timing
-/// models whose loops really visit each pair from both ends (MTA/XMT and
-/// the Opteron machine run "for each i, all j != i") price 2x these counts;
-/// the cellsim device kernels keep their own per-visit counters because a
-/// directed visit there is real modelled device work.
+/// its traversal visits it, so stats compare 1:1 across kernels.
+///
+/// PERMANENT divergence — do not "fix": the cellsim SPE/PPE kernels report
+/// DIRECTED per-visit counts instead (candidates = N*(N-1), exactly 2x the
+/// unordered convention).  Their loops, like the Cell hardware port they
+/// model, really do visit each pair from both ends, and that directed visit
+/// is the unit of modelled device work (FLOPs, DMA traffic, local-store
+/// touches) their timing models price.  Collapsing the device counters to
+/// unordered pairs would silently halve those model inputs.  The two
+/// conventions are mutually convertible (directed = 2 * unordered);
+/// tests/cellsim/visit_contract_test.cpp asserts the factor stays exact.
+/// Timing models whose loops visit each pair from both ends (MTA/XMT and
+/// the Opteron machine run "for each i, all j != i") likewise price 2x the
+/// unordered counts reported here.
 struct PairStats {
   std::uint64_t candidates = 0;   ///< unordered pairs whose distance was tested
   std::uint64_t interacting = 0;  ///< of those, pairs within the cutoff

@@ -67,6 +67,10 @@ RunResult HostParallelBackend::run(const RunConfig& config) {
   result.metadata["kernel_list"] = use_list ? 1.0 : 0.0;
   if (use_list) {
     result.metadata["list_rebuilds"] = static_cast<double>(sim.list_rebuilds());
+    // Cumulative build-phase wall time over the whole run, so the CI bench
+    // jobs can track the binning and fill passes separately.
+    result.metadata["list_build_bin_ms"] = sim.list_build_bin_seconds() * 1e3;
+    result.metadata["list_build_fill_ms"] = sim.list_build_fill_seconds() * 1e3;
   }
   result.ops.add("host.threads", pool.size());
   result.ops.add("host.simd_width", SoaKernel::simd_width());

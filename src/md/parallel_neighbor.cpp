@@ -1,6 +1,8 @@
 #include "md/parallel_neighbor.h"
 
+#include <algorithm>
 #include <bit>
+#include <chrono>
 #include <cmath>
 #include <string>
 
@@ -16,6 +18,25 @@ template <typename Real>
 constexpr std::uint32_t padded_count(std::uint32_t count) {
   constexpr auto w = static_cast<std::uint32_t>(simd::native_width<Real>());
   return (count + w - 1) / w * w;
+}
+
+/// Atoms per histogram chunk in the parallel counting sort.  The chunk
+/// decomposition is a function of N ONLY — never the thread count — because
+/// the scatter pass routes each chunk's atoms through per-chunk cursors and
+/// the resulting stable order must not depend on how many workers ran.  The
+/// cap bounds the bin_hist_ footprint (chunks * cells) for huge systems.
+constexpr std::size_t kBinChunkAtoms = 2048;
+constexpr std::size_t kMaxBinChunks = 256;
+
+std::size_t bin_chunk_size(std::size_t n) {
+  std::size_t chunk = kBinChunkAtoms;
+  while ((n + chunk - 1) / chunk > kMaxBinChunks) chunk *= 2;
+  return chunk;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
 }
 
 }  // namespace
@@ -44,8 +65,15 @@ template <typename Real>
 void ParallelNeighborListT<Real>::run_rows(
     std::size_t n,
     const std::function<void(std::size_t, std::size_t)>& body) const {
+  run_span(n, grain_, body);
+}
+
+template <typename Real>
+void ParallelNeighborListT<Real>::run_span(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) const {
   if (pool_ != nullptr) {
-    pool_->parallel_for(0, n, grain_, body);
+    pool_->parallel_for(0, n, grain, body);
   } else {
     body(0, n);
   }
@@ -125,6 +153,138 @@ void ParallelNeighborListT<Real>::build_all_pairs(
 }
 
 template <typename Real>
+void ParallelNeighborListT<Real>::bin_atoms(std::size_t n, std::size_t cells,
+                                            std::size_t n_cells,
+                                            double inv_cell) {
+  const std::size_t chunk = bin_chunk_size(n);
+  const std::size_t n_chunks = (n + chunk - 1) / chunk;
+
+  auto axis_cell = [&](double coord) {
+    auto c = static_cast<long long>(coord * inv_cell);
+    if (c < 0) c = 0;
+    if (c >= static_cast<long long>(cells)) c = static_cast<long long>(cells) - 1;
+    return static_cast<std::size_t>(c);
+  };
+
+  // Pass 1 — per-chunk histograms.  Each chunk owns a disjoint row of
+  // bin_hist_ and a disjoint range of cell_of_atom_, so chunks are
+  // embarrassingly parallel.
+  cell_of_atom_.resize(n);
+  bin_hist_.assign(n_chunks * n_cells, 0);
+  run_span(n_chunks, 1, [&](std::size_t k_begin, std::size_t k_end) {
+    for (std::size_t k = k_begin; k < k_end; ++k) {
+      std::uint32_t* hist = bin_hist_.data() + k * n_cells;
+      const std::size_t i_end = std::min(n, (k + 1) * chunk);
+      for (std::size_t i = k * chunk; i < i_end; ++i) {
+        const std::size_t c = (axis_cell(wrapped_[i].x) * cells +
+                               axis_cell(wrapped_[i].y)) *
+                                  cells +
+                              axis_cell(wrapped_[i].z);
+        cell_of_atom_[i] = static_cast<std::uint32_t>(c);
+        ++hist[c];
+      }
+    }
+  });
+
+  // Pass 2 — prefix-merge: per-cell totals (parallel over cells), a serial
+  // exclusive prefix over cells, then each per-chunk histogram column turns
+  // into that chunk's write cursor for the cell.  Every cell's column is
+  // independent, so both cell passes parallelise cleanly.
+  cell_start_.assign(n_cells + 1, 0);
+  run_span(n_cells, 4096, [&](std::size_t c_begin, std::size_t c_end) {
+    for (std::size_t c = c_begin; c < c_end; ++c) {
+      std::uint32_t total = 0;
+      for (std::size_t k = 0; k < n_chunks; ++k) {
+        total += bin_hist_[k * n_cells + c];
+      }
+      cell_start_[c + 1] = total;
+    }
+  });
+  for (std::size_t c = 0; c < n_cells; ++c) {
+    cell_start_[c + 1] += cell_start_[c];
+  }
+  run_span(n_cells, 4096, [&](std::size_t c_begin, std::size_t c_end) {
+    for (std::size_t c = c_begin; c < c_end; ++c) {
+      std::uint32_t cursor = cell_start_[c];
+      for (std::size_t k = 0; k < n_chunks; ++k) {
+        std::uint32_t& h = bin_hist_[k * n_cells + c];
+        const std::uint32_t count = h;
+        h = cursor;
+        cursor += count;
+      }
+    }
+  });
+
+  // Pass 3 — scatter.  Within a chunk atoms are visited in index order and
+  // chunk cursors are ordered by chunk id, so cell_atoms_ is the stable
+  // counting sort by cell: the unique order a serial sort would produce,
+  // independent of thread count and chunk execution order.
+  cell_atoms_.resize(n);
+  run_span(n_chunks, 1, [&](std::size_t k_begin, std::size_t k_end) {
+    for (std::size_t k = k_begin; k < k_end; ++k) {
+      std::uint32_t* cursor = bin_hist_.data() + k * n_cells;
+      const std::size_t i_end = std::min(n, (k + 1) * chunk);
+      for (std::size_t i = k * chunk; i < i_end; ++i) {
+        cell_atoms_[cursor[cell_of_atom_[i]]++] = static_cast<std::uint32_t>(i);
+      }
+    }
+  });
+}
+
+template <typename Real>
+void ParallelNeighborListT<Real>::populate_stencil(std::size_t cells,
+                                                   std::size_t range) {
+  const std::size_t n_cells = cells * cells * cells;
+  const std::size_t n_lines = cells * cells;
+  const std::size_t width = 2 * range + 1;
+  stencil_pop_.resize(n_cells);
+  stencil_tmp_.resize(n_cells);
+
+  // One separable pass: out[a] = sum_{|k| <= range} in[(a+k) mod cells]
+  // along the axis with the given stride, as a wrap-around sliding window
+  // (add the entering cell, drop the leaving one) — O(cells) per line
+  // instead of O(cells * width).  Valid because width <= cells (the
+  // all-pairs fallback catches smaller boxes), so the window never visits a
+  // cell twice.
+  auto window_pass = [&](const std::uint32_t* in, std::uint32_t* out,
+                         std::size_t stride,
+                         const std::function<std::size_t(std::size_t)>& base) {
+    run_span(n_lines, 16, [&](std::size_t l_begin, std::size_t l_end) {
+      for (std::size_t l = l_begin; l < l_end; ++l) {
+        const std::size_t b = base(l);
+        std::uint32_t window = 0;
+        for (std::size_t k = 0; k < width; ++k) {
+          window += in[b + ((k + cells - range) % cells) * stride];
+        }
+        out[b] = window;
+        for (std::size_t a = 1; a < cells; ++a) {
+          window += in[b + ((a + range) % cells) * stride];
+          window -= in[b + ((a + cells - range - 1) % cells) * stride];
+          out[b + a * stride] = window;
+        }
+      }
+    });
+  };
+
+  // Seed with the per-cell populations, then one window pass per axis.
+  // Three passes flip between the two buffers and land in stencil_pop_:
+  //   populations (tmp) --z--> pop --y--> tmp --x--> pop.
+  run_span(n_cells, 4096, [&](std::size_t c_begin, std::size_t c_end) {
+    for (std::size_t c = c_begin; c < c_end; ++c) {
+      stencil_tmp_[c] = cell_start_[c + 1] - cell_start_[c];
+    }
+  });
+  window_pass(stencil_tmp_.data(), stencil_pop_.data(), 1,
+              [&](std::size_t l) { return l * cells; });  // lines over (x, y)
+  window_pass(stencil_pop_.data(), stencil_tmp_.data(), cells,
+              [&](std::size_t l) {  // lines over (x, z)
+                return (l / cells) * n_lines + (l % cells);
+              });
+  window_pass(stencil_tmp_.data(), stencil_pop_.data(), n_lines,
+              [&](std::size_t l) { return l; });  // lines over (y, z)
+}
+
+template <typename Real>
 void ParallelNeighborListT<Real>::build(
     const std::vector<emdpa::Vec3<Real>>& positions,
     const PeriodicBoxT<Real>& box, Real cutoff) {
@@ -136,8 +296,11 @@ void ParallelNeighborListT<Real>::build(
   build_positions_ = positions;
   directed_entries_ = 0;
   build_distance_tests_ = 0;
+  last_bin_seconds_ = 0;
+  last_fill_seconds_ = 0;
   ++rebuilds_;
 
+  const auto t_start = std::chrono::steady_clock::now();
   wrapped_.resize(n);
   run_rows(n, [&](std::size_t i_begin, std::size_t i_end) {
     for (std::size_t i = i_begin; i < i_end; ++i) {
@@ -167,14 +330,21 @@ void ParallelNeighborListT<Real>::build(
   const std::size_t width = static_cast<std::size_t>(2 * range + 1);
   if (width > cells) {
     // Box too small for a proper stencil (wrap-around would visit a cell
-    // twice and duplicate entries): O(N^2) build instead.
+    // twice and duplicate entries): O(N^2) build instead.  All of it counts
+    // as fill — there is no binning phase to speak of.
+    last_bin_seconds_ = seconds_since(t_start);
+    bin_seconds_total_ += last_bin_seconds_;
+    const auto t_fill = std::chrono::steady_clock::now();
     build_all_pairs(wrapped_, box);
+    last_fill_seconds_ = seconds_since(t_fill);
+    fill_seconds_total_ += last_fill_seconds_;
     return;
   }
 
-  // Serial O(N) counting sort into cells — cheap next to the distance
-  // sweeps, and atoms stay in index order within each cell, which makes the
-  // sweep order (and so the list) independent of thread count.
+  // Pool-parallel stable counting sort into cells (per-chunk histograms +
+  // prefix-merge + scatter).  Atoms stay in index order within each cell,
+  // which makes the sweep order (and so the list) independent of thread
+  // count.
   const double inv_cell = static_cast<double>(cells) / edge;
   const std::size_t n_cells = cells * cells * cells;
   auto axis_cell = [&](double coord) {
@@ -183,25 +353,7 @@ void ParallelNeighborListT<Real>::build(
     if (c >= static_cast<long long>(cells)) c = static_cast<long long>(cells) - 1;
     return static_cast<std::size_t>(c);
   };
-  cell_of_atom_.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::size_t c = (axis_cell(wrapped_[i].x) * cells +
-                           axis_cell(wrapped_[i].y)) *
-                              cells +
-                          axis_cell(wrapped_[i].z);
-    cell_of_atom_[i] = static_cast<std::uint32_t>(c);
-  }
-  cell_start_.assign(n_cells + 1, 0);
-  for (std::size_t i = 0; i < n; ++i) ++cell_start_[cell_of_atom_[i] + 1];
-  for (std::size_t c = 0; c < n_cells; ++c) cell_start_[c + 1] += cell_start_[c];
-  cell_atoms_.resize(n);
-  {
-    std::vector<std::uint32_t> cursor(cell_start_.begin(),
-                                      cell_start_.end() - 1);
-    for (std::size_t i = 0; i < n; ++i) {
-      cell_atoms_[cursor[cell_of_atom_[i]]++] = static_cast<std::uint32_t>(i);
-    }
-  }
+  bin_atoms(n, cells, n_cells, inv_cell);
 
   // Per-axis wrapped stencil indices: row a of this table lists the `width`
   // cell indices covering [a-range, a+range] on one axis.  Precomputing them
@@ -218,26 +370,8 @@ void ParallelNeighborListT<Real>::build(
   // atoms of that cell's stencil (minus itself), so this is the EXACT
   // per-row distance-test count — which lets the single sweep below write
   // hits straight into disjoint scratch ranges with no counting pass.
-  stencil_pop_.assign(n_cells, 0);
-  for (std::size_t cx = 0; cx < cells; ++cx) {
-    for (std::size_t cy = 0; cy < cells; ++cy) {
-      for (std::size_t cz = 0; cz < cells; ++cz) {
-        std::uint32_t pop = 0;
-        for (std::size_t kx = 0; kx < width; ++kx) {
-          const std::size_t px = stencil_axis_[cx * width + kx];
-          for (std::size_t ky = 0; ky < width; ++ky) {
-            const std::size_t py = stencil_axis_[cy * width + ky];
-            const std::size_t row = (px * cells + py) * cells;
-            for (std::size_t kz = 0; kz < width; ++kz) {
-              const std::size_t c = row + stencil_axis_[cz * width + kz];
-              pop += cell_start_[c + 1] - cell_start_[c];
-            }
-          }
-        }
-        stencil_pop_[(cx * cells + cy) * cells + cz] = pop;
-      }
-    }
-  }
+  // Computed separably: one 1-D wrap-around window pass per axis.
+  populate_stencil(cells, static_cast<std::size_t>(range));
 
   // Exact scratch CSR offsets (serial prefix — deterministic, so the sweep's
   // output layout is independent of thread count).
@@ -248,6 +382,10 @@ void ParallelNeighborListT<Real>::build(
   }
   build_distance_tests_ = scratch_begin_[n];
   scratch_entries_.resize(scratch_begin_[n]);
+
+  last_bin_seconds_ = seconds_since(t_start);
+  bin_seconds_total_ += last_bin_seconds_;
+  const auto t_fill = std::chrono::steady_clock::now();
 
   // The single distance sweep: unlike the classic count-then-fill scheme it
   // pays each distance test exactly once (matching what the device cost
@@ -306,6 +444,9 @@ void ParallelNeighborListT<Real>::build(
       }
     }
   });
+
+  last_fill_seconds_ = seconds_since(t_fill);
+  fill_seconds_total_ += last_fill_seconds_;
 }
 
 // ---------------------------------------------------------------------------

@@ -7,17 +7,28 @@
 // Two cooperating pieces:
 //
 //  * ParallelNeighborListT — a SIMD-padded CSR neighbour list built with a
-//    cell-grid bin-and-sweep.  Binning is a serial O(N) counting sort (cheap,
-//    and trivially deterministic).  Cells are sized to about HALF the list
-//    radius with a correspondingly wider stencil — much tighter around the
-//    list sphere than a cutoff-sized 27-cell grid — and because every row's
-//    distance-test count is known exactly up front (the population of its
-//    cell's stencil), a SINGLE pool-parallel sweep writes hits straight into
-//    disjoint scratch ranges; a serial prefix sum and a copy-only compaction
-//    then produce the padded CSR.  Row slot ranges and contents are a pure
-//    function of the inputs, independent of thread count.  Each row is
-//    padded to the SIMD width with the atom's own index: a self entry
-//    yields r2 == 0, which the shared lane mask (lj_simd.h) already rejects.
+//    cell-grid bin-and-sweep.  Binning is a pool-parallel stable counting
+//    sort: fixed atom chunks build per-chunk cell histograms, a prefix-merge
+//    pass turns the per-chunk columns into write cursors, and a second
+//    chunk-parallel pass scatters atoms into their cells.  The output is the
+//    unique stable sort by cell — atoms stay in index order within each cell
+//    — so the list is a pure function of the inputs at any thread count (the
+//    chunk decomposition depends only on N).  Cells are sized to about HALF
+//    the list radius with a correspondingly wider stencil — much tighter
+//    around the list sphere than a cutoff-sized 27-cell grid — and because
+//    every row's distance-test count is known exactly up front (the
+//    population of its cell's stencil, computed by three separable 1-D
+//    wrap-around window passes, O(cells^3) instead of O(cells^3 * width^3)),
+//    a SINGLE pool-parallel sweep writes hits straight into disjoint scratch
+//    ranges; a serial prefix sum and a copy-only compaction then produce the
+//    padded CSR.  Row slot ranges and contents are a pure function of the
+//    inputs, independent of thread count.  Each row is padded to the SIMD
+//    width with the atom's own index: a self entry yields r2 == 0, which the
+//    shared lane mask (lj_simd.h) already rejects.  The build reports two
+//    phase timings — "bin" (wrap + counting sort + stencil tables + scratch
+//    offsets) and "fill" (distance sweep + prefix + compaction) — which the
+//    host-parallel backend surfaces as RunResult::metadata keys
+//    list_build_bin_ms / list_build_fill_ms.
 //
 //  * NeighborListKernelT — a ForceKernelT that walks each atom's neighbour
 //    lanes kWidth at a time (scalar gather into aligned lane buffers, then
@@ -109,11 +120,26 @@ class ParallelNeighborListT {
   /// what the device cost models price.
   std::uint64_t build_distance_tests() const { return build_distance_tests_; }
 
+  /// Wall-clock seconds the most recent build spent in the binning phase
+  /// (wrap + parallel counting sort + stencil tables + scratch offsets) and
+  /// in the fill phase (distance sweep + prefix + compaction).  The
+  /// *_seconds_total accessors accumulate across every build since
+  /// construction — what the backend metadata and benchmarks report.
+  double last_bin_seconds() const { return last_bin_seconds_; }
+  double last_fill_seconds() const { return last_fill_seconds_; }
+  double bin_seconds_total() const { return bin_seconds_total_; }
+  double fill_seconds_total() const { return fill_seconds_total_; }
+
  private:
   void build_all_pairs(const std::vector<emdpa::Vec3<Real>>& wrapped,
                        const PeriodicBoxT<Real>& box);
   void run_rows(std::size_t n,
                 const std::function<void(std::size_t, std::size_t)>& body) const;
+  void run_span(std::size_t n, std::size_t grain,
+                const std::function<void(std::size_t, std::size_t)>& body) const;
+  void bin_atoms(std::size_t n, std::size_t cells, std::size_t n_cells,
+                 double inv_cell);
+  void populate_stencil(std::size_t cells, std::size_t range);
 
   Real skin_;
   ThreadPool* pool_;
@@ -131,13 +157,20 @@ class ParallelNeighborListT {
   std::uint64_t build_distance_tests_ = 0;
   std::uint64_t rebuilds_ = 0;
 
+  double last_bin_seconds_ = 0;
+  double last_fill_seconds_ = 0;
+  double bin_seconds_total_ = 0;
+  double fill_seconds_total_ = 0;
+
   // Cell-grid scratch reused across builds.
   std::vector<emdpa::Vec3<Real>> wrapped_;
   std::vector<std::uint32_t> cell_of_atom_;
   std::vector<std::uint32_t> cell_start_;
   std::vector<std::uint32_t> cell_atoms_;
+  std::vector<std::uint32_t> bin_hist_;      ///< per-chunk cell histograms
   std::vector<std::uint32_t> stencil_axis_;  ///< per-axis wrapped cell indices
   std::vector<std::uint32_t> stencil_pop_;   ///< atoms per cell stencil
+  std::vector<std::uint32_t> stencil_tmp_;   ///< separable-pass intermediate
   std::vector<std::uint64_t> scratch_begin_; ///< exact per-row test offsets
   std::vector<std::uint32_t> scratch_entries_;
 };

@@ -135,6 +135,15 @@ std::uint64_t Simulation::list_rebuilds() const {
   return list_kernel_ != nullptr ? list_kernel_->rebuilds() : 0;
 }
 
+double Simulation::list_build_bin_seconds() const {
+  return list_kernel_ != nullptr ? list_kernel_->list().bin_seconds_total() : 0;
+}
+
+double Simulation::list_build_fill_seconds() const {
+  return list_kernel_ != nullptr ? list_kernel_->list().fill_seconds_total()
+                                 : 0;
+}
+
 void Simulation::prime() {
   last_energies_ = integrator_.prime(system_, box_, lj_, active_kernel());
   ++force_evaluations_;

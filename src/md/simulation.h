@@ -84,6 +84,12 @@ class Simulation {
   std::string kernel_name() const;
   /// Neighbour-list rebuilds so far; 0 for the stateless kernels.
   std::uint64_t list_rebuilds() const;
+  /// Cumulative wall-clock seconds the neighbour-list builds spent binning
+  /// (counting sort + stencil tables) and filling (distance sweep +
+  /// compaction); 0 for the stateless kernels.  The host-parallel backend
+  /// reports these as metadata keys list_build_bin_ms / list_build_fill_ms.
+  double list_build_bin_seconds() const;
+  double list_build_fill_seconds() const;
   /// Integrator-driven LJ force evaluations so far (primes + steps; the
   /// minimizer's internal probes are not counted).
   std::uint64_t force_evaluations() const { return force_evaluations_; }

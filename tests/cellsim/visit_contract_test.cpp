@@ -1,0 +1,97 @@
+// The PairStats divergence contract, asserted.
+//
+// Every md:: host kernel reports UNORDERED pair stats ({i,j} counted once);
+// the cellsim device kernels (SPE and PPE) deliberately keep DIRECTED
+// per-visit counters, because their loops — like the hardware ports they
+// model — really do visit each pair from both ends, and that directed visit
+// is the unit of modelled device work (ops, DMA traffic, local-store
+// touches).  force_kernel.h documents this as a permanent contract; this
+// test is the executable form: directed counts are exactly 2x the unordered
+// ones, so the two conventions are mutually convertible and neither can
+// silently drift.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cellsim/ppe_kernel.h"
+#include "cellsim/spe_kernel.h"
+#include "md/reference_kernel.h"
+#include "md/workload.h"
+
+namespace emdpa::cell {
+namespace {
+
+struct FluidFixture {
+  explicit FluidFixture(std::size_t n) : n_atoms(n) {
+    md::WorkloadSpec spec;
+    spec.n_atoms = n;
+    md::Workload w = md::make_lattice_workload(spec);
+    for (auto& p : w.system.positions()) p = w.box.wrap(p);
+    edge = static_cast<float>(w.box.edge());
+    positions_d = w.system.positions();
+    for (const auto& p : positions_d) {
+      positions_f.push_back(emdpa::Vec4f(emdpa::vec_cast<float>(p), 0.0f));
+    }
+  }
+
+  std::size_t n_atoms;
+  float edge = 0;
+  std::vector<emdpa::Vec3d> positions_d;
+  std::vector<emdpa::Vec4f> positions_f;
+};
+
+TEST(VisitContract, PpeDirectedCandidatesAreTwiceUnordered) {
+  FluidFixture f(64);
+  std::vector<emdpa::Vec4f> accel(f.n_atoms);
+  const auto ppe = run_ppe_accel_kernel(f.edge, 6.25f, 1.0f, 1.0f, 1.0f,
+                                        f.positions_f.data(), accel.data(),
+                                        f.n_atoms);
+
+  md::ReferenceKernel ref;
+  const auto host =
+      ref.compute(f.positions_d, md::PeriodicBox(f.edge), md::LjParams{}, 1.0);
+
+  // Candidates: the PPE loop runs "for each i, all j != i" — exactly twice
+  // the unordered N*(N-1)/2 the host kernels report.
+  EXPECT_EQ(ppe.stats.candidates, 2 * host.stats.candidates);
+  EXPECT_EQ(ppe.stats.candidates, 64u * 63u);
+
+  // Interacting: directed visits are symmetric (the separation only flips
+  // sign), so the count is even; halving it recovers the unordered
+  // convention up to single-vs-double rounding exactly at the cutoff shell.
+  EXPECT_EQ(ppe.stats.interacting % 2, 0u);
+  EXPECT_NEAR(static_cast<double>(ppe.stats.interacting) / 2.0,
+              static_cast<double>(host.stats.interacting),
+              0.01 * static_cast<double>(host.stats.interacting) + 1.0);
+}
+
+TEST(VisitContract, SpeDirectedCandidatesAreTwiceUnordered) {
+  FluidFixture f(64);
+  LocalStore ls;
+  const LsAddr ls_pos = ls.allocate(f.n_atoms * sizeof(emdpa::Vec4f), "pos");
+  const LsAddr ls_acc = ls.allocate(f.n_atoms * sizeof(emdpa::Vec4f), "acc");
+  auto* pos = ls.data_at<emdpa::Vec4f>(ls_pos, f.n_atoms);
+  for (std::size_t i = 0; i < f.n_atoms; ++i) pos[i] = f.positions_f[i];
+
+  SpeKernelParams params;
+  params.box_edge = f.edge;
+  params.cutoff_sq = 6.25f;
+  params.n_atoms = static_cast<std::uint32_t>(f.n_atoms);
+  params.i_begin = 0;
+  params.i_end = static_cast<std::uint32_t>(f.n_atoms);
+  const auto spe =
+      run_spe_accel_kernel(SimdVariant::kSimdAccel, params, ls, ls_pos, ls_acc);
+
+  md::ReferenceKernel ref;
+  const auto host =
+      ref.compute(f.positions_d, md::PeriodicBox(f.edge), md::LjParams{}, 1.0);
+
+  EXPECT_EQ(spe.stats.candidates, 2 * host.stats.candidates);
+  EXPECT_EQ(spe.stats.interacting % 2, 0u);
+  EXPECT_NEAR(static_cast<double>(spe.stats.interacting) / 2.0,
+              static_cast<double>(host.stats.interacting),
+              0.01 * static_cast<double>(host.stats.interacting) + 1.0);
+}
+
+}  // namespace
+}  // namespace emdpa::cell

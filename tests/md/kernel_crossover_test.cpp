@@ -1,0 +1,59 @@
+// Regression pin for the kAuto N^2-vs-list crossover.
+//
+// HostParallelBackend::kListCrossoverAtoms = 1024 is a measured value, not a
+// guess: in the CI native-bench artifacts (BENCH_native.json, Release +
+// -march=native) BM_NeighborListParallel beats BM_SoaKernelParallel at 1024
+// atoms (~0.6x the N^2 time), is ~3x faster by 2048 and ~10x by 4096, while
+// at 512 atoms the list's gather overhead still loses to the N^2 batch
+// sweep's perfect streaming.  The margin at 1024 is modest, so the exact
+// boundary matters less than its stability: these tests pin the resolution
+// rule so a refactor cannot silently change which kernel serves which
+// workload size.
+#include <gtest/gtest.h>
+
+#include "md/backend.h"
+#include "md/simulation.h"
+
+namespace emdpa::md {
+namespace {
+
+Simulation make_auto_sim(std::size_t n_atoms) {
+  Simulation::Options options;
+  options.workload.n_atoms = n_atoms;
+  options.kernel = SimKernel::kAuto;
+  return Simulation(options);
+}
+
+TEST(KernelCrossover, MeasuredBoundaryIsPinned) {
+  // If this value changes, re-measure: the native-bench job's
+  // BM_SoaKernelParallel / BM_NeighborListParallel rows at 512/1024/2048
+  // atoms are the evidence that must move with it.
+  EXPECT_EQ(HostParallelBackend::kListCrossoverAtoms, 1024u);
+}
+
+TEST(KernelCrossover, AutoSelectsN2BelowBoundary) {
+  EXPECT_EQ(make_auto_sim(HostParallelBackend::kListCrossoverAtoms - 1).kernel(),
+            SimKernel::kSoaN2);
+  EXPECT_EQ(make_auto_sim(256).kernel(), SimKernel::kSoaN2);
+}
+
+TEST(KernelCrossover, AutoSelectsListAtAndAboveBoundary) {
+  EXPECT_EQ(make_auto_sim(HostParallelBackend::kListCrossoverAtoms).kernel(),
+            SimKernel::kNeighborList);
+  EXPECT_EQ(make_auto_sim(HostParallelBackend::kListCrossoverAtoms + 1).kernel(),
+            SimKernel::kNeighborList);
+}
+
+TEST(KernelCrossover, ExplicitChoiceOverridesAuto) {
+  Simulation::Options options;
+  options.workload.n_atoms = HostParallelBackend::kListCrossoverAtoms * 2;
+  options.kernel = SimKernel::kSoaN2;
+  EXPECT_EQ(Simulation(options).kernel(), SimKernel::kSoaN2);
+
+  options.workload.n_atoms = 128;
+  options.kernel = SimKernel::kNeighborList;
+  EXPECT_EQ(Simulation(options).kernel(), SimKernel::kNeighborList);
+}
+
+}  // namespace
+}  // namespace emdpa::md
