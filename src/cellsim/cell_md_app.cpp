@@ -407,6 +407,10 @@ md::RunResult CellMdApp::run(const md::RunConfig& run_config) {
   result.breakdown["dma"] = t_dma;
   result.breakdown["mailbox"] = t_mailbox;
   result.breakdown["ppe"] = t_ppe;
+  for (const auto& spe : spes) {
+    result.ops.add("cell.dma_retries", spe->dma().retries());
+    result.ops.add("cell.mailbox_retries", spe->signal_retries());
+  }
   result.final_state = system.cast<double>();
   return result;
 }

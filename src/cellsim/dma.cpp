@@ -1,5 +1,7 @@
 #include "cellsim/dma.h"
 
+#include "core/fault_injection.h"
+
 namespace emdpa::cell {
 
 DmaEngine::DmaEngine(const DmaConfig& config) : config_(config) {}
@@ -15,6 +17,20 @@ void DmaEngine::check_request(const void* host, std::size_t bytes, int tag) cons
 }
 
 void DmaEngine::account(std::size_t bytes, int tag) {
+  // Fault site "cellsim.dma": each injected failure models the MFC
+  // re-issuing the request, charging another request_latency on the tag.
+  // The data copy already happened (the simulator is sequential), so only
+  // the modelled time and the retry counter change.
+  int attempts = 1;
+  while (fault::injected("cellsim.dma")) {
+    ++retries_;
+    pending_[static_cast<std::size_t>(tag)] += config_.request_latency;
+    if (++attempts > kMaxAttempts) {
+      throw RuntimeFailure("dma: transfer failed after " +
+                           std::to_string(kMaxAttempts) +
+                           " attempts (injected)");
+    }
+  }
   pending_[static_cast<std::size_t>(tag)] +=
       config_.request_latency +
       ModelTime::seconds(static_cast<double>(bytes) / config_.bandwidth_bytes_per_s);

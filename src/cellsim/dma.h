@@ -66,6 +66,12 @@ class DmaEngine {
   /// Total bytes moved (both directions) and request count, for reports.
   std::uint64_t bytes_transferred() const { return bytes_transferred_; }
   std::uint64_t requests_issued() const { return requests_issued_; }
+  /// Transfers re-issued after an injected failure (fault site
+  /// "cellsim.dma").  Each retry charges another request_latency on the
+  /// request's tag; kMaxAttempts consecutive failures raise RuntimeFailure.
+  std::uint64_t retries() const { return retries_; }
+
+  static constexpr int kMaxAttempts = 3;
 
  private:
   void check_request(const void* host, std::size_t bytes, int tag) const;
@@ -76,6 +82,7 @@ class DmaEngine {
   std::array<ModelTime, DmaConfig::kNumTags> pending_{};
   std::uint64_t bytes_transferred_ = 0;
   std::uint64_t requests_issued_ = 0;
+  std::uint64_t retries_ = 0;
 };
 
 }  // namespace emdpa::cell

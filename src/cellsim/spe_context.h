@@ -11,6 +11,7 @@
 #include "cellsim/dma.h"
 #include "cellsim/local_store.h"
 #include "cellsim/mailbox.h"
+#include "core/fault_injection.h"
 
 namespace emdpa::cell {
 
@@ -46,11 +47,33 @@ class SpeContext {
 
   /// Signal a running thread through its inbound mailbox.  Returns the
   /// modelled signalling cost.
+  ///
+  /// Fault site "cellsim.mailbox": an injected failure models the PPE
+  /// finding the 4-entry inbound mailbox full and re-issuing the write, so
+  /// each drop charges another mailbox_signal; kMaxSignalAttempts
+  /// consecutive drops raise RuntimeFailure (a wedged SPE).
   ModelTime signal(std::uint32_t word) {
     EMDPA_REQUIRE(thread_running_, "cannot signal an SPE with no thread");
+    ModelTime cost = config_->mailbox_signal;
+    int attempts = 1;
+    while (fault::injected("cellsim.mailbox")) {
+      ++signal_retries_;
+      cost += config_->mailbox_signal;
+      if (++attempts > kMaxSignalAttempts) {
+        throw RuntimeFailure("mailbox: SPE " + std::to_string(index_) +
+                             " unresponsive after " +
+                             std::to_string(kMaxSignalAttempts) +
+                             " signal attempts (injected)");
+      }
+    }
     mailboxes_.inbound.push(word);
-    return config_->mailbox_signal;
+    return cost;
   }
+
+  /// Signals re-issued after an injected mailbox-full drop.
+  std::uint64_t signal_retries() const { return signal_retries_; }
+
+  static constexpr int kMaxSignalAttempts = 3;
 
  private:
   int index_;
@@ -58,6 +81,7 @@ class SpeContext {
   LocalStore local_store_;
   DmaEngine dma_;
   Mailboxes mailboxes_;
+  std::uint64_t signal_retries_ = 0;
   bool thread_running_ = false;
 };
 

@@ -1,0 +1,24 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) — the checksum guarding the
+// checkpoint format's integrity footer.
+//
+// Chosen over a cryptographic hash deliberately: the threat model is bit
+// rot, truncation and torn writes, not adversaries, and CRC-32 detects all
+// burst errors up to 32 bits plus any odd number of bit flips at a few
+// cycles per byte with zero dependencies.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace emdpa {
+
+/// CRC of `size` bytes at `data`.  `seed` chains incremental computations:
+/// crc32(b, crc32(a)) == crc32(a ++ b).
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed = 0);
+
+inline std::uint32_t crc32(const std::string& data, std::uint32_t seed = 0) {
+  return crc32(data.data(), data.size(), seed);
+}
+
+}  // namespace emdpa

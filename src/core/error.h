@@ -8,24 +8,87 @@
 
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace emdpa {
+
+/// Structured context an error can carry about where in a run it happened.
+/// The fields are filled incrementally as the exception unwinds: the thrower
+/// knows the kernel, the simulation loop knows the step, the backend knows
+/// its own name — each layer annotates what it knows and rethrows.  The
+/// driver prints the assembled context on abort instead of a bare what().
+struct ErrorContext {
+  long step = -1;       ///< simulation step the failure surfaced at (-1 unknown)
+  std::string kernel;   ///< force kernel driving the run, if any
+  std::string backend;  ///< backend name, if the failure crossed a backend
+
+  bool empty() const { return step < 0 && kernel.empty() && backend.empty(); }
+
+  std::string to_string() const {
+    std::string out;
+    auto append = [&](const std::string& part) {
+      if (!out.empty()) out += ", ";
+      out += part;
+    };
+    if (step >= 0) append("step " + std::to_string(step));
+    if (!kernel.empty()) append("kernel " + kernel);
+    if (!backend.empty()) append("backend " + backend);
+    return out;
+  }
+};
+
+/// Mixin giving an exception type an ErrorContext.  Retrieved from a caught
+/// std::exception via dynamic_cast (see error_context() below), so callers
+/// that only know std::exception still reach the context.
+class HasErrorContext {
+ public:
+  ErrorContext& context() { return context_; }
+  const ErrorContext& context() const { return context_; }
+
+ protected:
+  HasErrorContext() = default;
+  explicit HasErrorContext(ErrorContext context) : context_(std::move(context)) {}
+  ~HasErrorContext() = default;
+
+ private:
+  ErrorContext context_;
+};
 
 /// Thrown when a caller violates a documented precondition of a device model
 /// (e.g. DMA of unaligned data, local-store overflow, reading a texture bound
 /// as a shader output).  These correspond to things that would crash, hang or
 /// corrupt memory on the real hardware.
-class ContractViolation : public std::logic_error {
+class ContractViolation : public std::logic_error, public HasErrorContext {
  public:
-  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+  explicit ContractViolation(const std::string& what, ErrorContext context = {})
+      : std::logic_error(what), HasErrorContext(std::move(context)) {}
 };
 
 /// Thrown when an operation fails for an environmental reason (I/O, parse
 /// errors) rather than a caller bug.
-class RuntimeFailure : public std::runtime_error {
+class RuntimeFailure : public std::runtime_error, public HasErrorContext {
  public:
-  explicit RuntimeFailure(const std::string& what) : std::runtime_error(what) {}
+  explicit RuntimeFailure(const std::string& what, ErrorContext context = {})
+      : std::runtime_error(what), HasErrorContext(std::move(context)) {}
 };
+
+/// Thrown by the numerical-health watchdog when a run's physics has gone bad
+/// (non-finite state, runaway energy drift, displacement explosion).  A
+/// distinct type so the driver can turn it into a checkpoint-then-abort with
+/// its own exit code, or a graceful kernel downgrade under --degrade.
+class NumericalFailure : public RuntimeFailure {
+ public:
+  explicit NumericalFailure(const std::string& what, ErrorContext context = {})
+      : RuntimeFailure(what, std::move(context)) {}
+};
+
+/// The context attached to `e`, or nullptr when its dynamic type carries
+/// none.  Works on any caught std::exception.
+inline const ErrorContext* error_context(const std::exception& e) {
+  const auto* contextual = dynamic_cast<const HasErrorContext*>(&e);
+  if (contextual == nullptr || contextual->context().empty()) return nullptr;
+  return &contextual->context();
+}
 
 namespace detail {
 [[noreturn]] inline void contract_fail(const char* expr, const char* file, int line,

@@ -1,0 +1,161 @@
+#include "core/fault_injection.h"
+
+#include <cstdlib>
+
+#include "core/error.h"
+
+namespace emdpa::fault {
+
+namespace {
+
+/// splitmix64: a tiny, high-quality mixer.  Hashing (seed, hit) gives every
+/// hit an independent, reproducible draw without any sequential RNG state.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+bool plan_fires(const Plan& plan, std::uint64_t hit) {
+  if (plan.probability >= 0.0) {
+    // Map the hash to [0, 1); strictly-less keeps probability 0 silent and
+    // probability 1 certain.
+    const double draw =
+        static_cast<double>(splitmix64(plan.seed ^ (hit * 0x9E3779B97F4A7C15ull)) >> 11) *
+        0x1.0p-53;
+    return draw < plan.probability;
+  }
+  return hit >= plan.first_hit && hit < plan.first_hit + plan.count;
+}
+
+std::uint64_t parse_u64(const std::string& spec, const std::string& token) {
+  try {
+    std::size_t consumed = 0;
+    const unsigned long long v = std::stoull(token, &consumed);
+    if (consumed != token.size()) throw std::invalid_argument(token);
+    return v;
+  } catch (const std::exception&) {
+    throw RuntimeFailure("fault spec '" + spec + "': bad integer '" + token + "'");
+  }
+}
+
+double parse_probability(const std::string& spec, const std::string& token) {
+  try {
+    std::size_t consumed = 0;
+    const double v = std::stod(token, &consumed);
+    if (consumed != token.size() || v < 0.0 || v > 1.0) {
+      throw std::invalid_argument(token);
+    }
+    return v;
+  } catch (const std::exception&) {
+    throw RuntimeFailure("fault spec '" + spec + "': bad probability '" + token +
+                         "' (want 0..1)");
+  }
+}
+
+/// Parse one ';'-separated entry: "site:first[xcount]" or "site%prob[@seed]".
+std::pair<std::string, Plan> parse_entry(const std::string& entry) {
+  const std::size_t colon = entry.find(':');
+  const std::size_t percent = entry.find('%');
+  Plan plan;
+  std::string site;
+  if (colon != std::string::npos && (percent == std::string::npos || colon < percent)) {
+    site = entry.substr(0, colon);
+    std::string rest = entry.substr(colon + 1);
+    const std::size_t x = rest.find('x');
+    if (x != std::string::npos) {
+      plan.count = parse_u64(entry, rest.substr(x + 1));
+      rest.resize(x);
+    }
+    plan.first_hit = parse_u64(entry, rest);
+    if (plan.first_hit == 0) {
+      throw RuntimeFailure("fault spec '" + entry + "': hit indices are 1-based");
+    }
+  } else if (percent != std::string::npos) {
+    site = entry.substr(0, percent);
+    std::string rest = entry.substr(percent + 1);
+    const std::size_t at = rest.find('@');
+    if (at != std::string::npos) {
+      plan.seed = parse_u64(entry, rest.substr(at + 1));
+      rest.resize(at);
+    }
+    plan.probability = parse_probability(entry, rest);
+  } else {
+    throw RuntimeFailure("fault spec '" + entry +
+                         "': want site:first[xcount] or site%prob[@seed]");
+  }
+  if (site.empty()) {
+    throw RuntimeFailure("fault spec '" + entry + "': empty site name");
+  }
+  return {std::move(site), plan};
+}
+
+}  // namespace
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+Registry::Registry() {
+  if (const char* env = std::getenv("EMDPA_FAULTS")) {
+    arm_from_spec(env);
+  }
+}
+
+void Registry::arm_from_spec(const std::string& spec) {
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find(';', begin);
+    if (end == std::string::npos) end = spec.size();
+    if (end > begin) {
+      auto [site, plan] = parse_entry(spec.substr(begin, end - begin));
+      arm(site, plan);
+    }
+    begin = end + 1;
+  }
+}
+
+void Registry::arm(const std::string& site, const Plan& plan) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  // Re-arming an existing site replaces its plan but keeps its counters.
+  sites_[site].plan = plan;
+  armed_count_.store(static_cast<int>(sites_.size()), std::memory_order_relaxed);
+}
+
+void Registry::disarm(const std::string& site) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  sites_.erase(site);
+  armed_count_.store(static_cast<int>(sites_.size()), std::memory_order_relaxed);
+}
+
+void Registry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  sites_.clear();
+  armed_count_.store(0, std::memory_order_relaxed);
+}
+
+bool Registry::any_armed() const {
+  return armed_count_.load(std::memory_order_relaxed) > 0;
+}
+
+SiteStats Registry::stats(const std::string& site) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sites_.find(site);
+  return it != sites_.end() ? it->second.stats : SiteStats{};
+}
+
+bool Registry::should_fail(const char* site) {
+  if (armed_count_.load(std::memory_order_relaxed) == 0) return false;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sites_.find(site);
+  if (it == sites_.end()) return false;
+  SiteState& state = it->second;
+  const std::uint64_t hit = ++state.stats.hits;
+  const bool fires = plan_fires(state.plan, hit);
+  if (fires) ++state.stats.fires;
+  return fires;
+}
+
+}  // namespace emdpa::fault

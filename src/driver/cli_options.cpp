@@ -54,6 +54,23 @@ std::string cli_usage() {
       "                     and compare mode — device models ignore it\n"
       "  --csv              machine-readable output\n"
       "\n"
+      "Resilience (host-parallel backend):\n"
+      "  --checkpoint PATH      checkpoint file; written atomically (temp file +\n"
+      "                         CRC-32 footer + rename), previous generation kept\n"
+      "                         at PATH.prev; also the emergency-checkpoint\n"
+      "                         destination on a numerical failure (exit code 3)\n"
+      "  --checkpoint-every N   save every N steps (requires --checkpoint);\n"
+      "                         a transient write failure retries next interval\n"
+      "  --resume PATH          resume from a checkpoint (falls back to\n"
+      "                         PATH.prev on corruption); --steps is the TOTAL\n"
+      "                         step target, not an increment\n"
+      "  --degrade              on a neighbour-list failure, fall back to the\n"
+      "                         reference kernel instead of aborting\n"
+      "  --drift-tol X          arm the numerical-health watchdog: relative\n"
+      "                         energy drift beyond X aborts with exit code 3\n"
+      "  (fault injection is armed via the EMDPA_FAULTS environment variable;\n"
+      "   see src/core/fault_injection.h for the site list and spec grammar)\n"
+      "\n"
       "Backends:\n";
   for (const auto& info : available_backends()) {
     usage += "  " + info.key;
@@ -127,6 +144,20 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
         throw RuntimeFailure("flag --kernel needs n2, list or auto, got '" +
                              mode + "'");
       }
+    } else if (flag == "--checkpoint") {
+      options.run_config.checkpoint_path = need_value(flag);
+    } else if (flag == "--checkpoint-every") {
+      const long n = parse_integer(flag, need_value(flag));
+      if (n <= 0) throw RuntimeFailure("--checkpoint-every must be positive");
+      options.run_config.checkpoint_every = static_cast<int>(n);
+    } else if (flag == "--resume") {
+      options.run_config.resume_path = need_value(flag);
+    } else if (flag == "--degrade") {
+      options.run_config.degrade = true;
+    } else if (flag == "--drift-tol") {
+      const double tol = parse_number(flag, need_value(flag));
+      if (tol <= 0) throw RuntimeFailure("--drift-tol must be positive");
+      options.run_config.drift_tolerance = tol;
     } else if (flag == "--csv") {
       options.csv = true;
     } else {
@@ -136,6 +167,10 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
 
   if (options.command == CliCommand::kRun && options.backend.empty()) {
     throw RuntimeFailure("'run' needs --backend <key>; see 'emdpa list'");
+  }
+  if (options.run_config.checkpoint_every > 0 &&
+      options.run_config.checkpoint_path.empty()) {
+    throw RuntimeFailure("--checkpoint-every needs --checkpoint <path>");
   }
   return options;
 }

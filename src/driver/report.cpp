@@ -31,7 +31,9 @@ std::string render_run_report(const md::RunResult& result,
   if (!result.metadata.empty()) {
     os << "execution:\n";
     for (const auto& [key, value] : result.metadata) {
-      os << "  " << pad_right(key, 16) << format_auto(value) << "\n";
+      // 22 fits the longest resilience key ("resume_used_fallback") plus a
+      // separating space.
+      os << "  " << pad_right(key, 22) << format_auto(value) << "\n";
     }
   }
 

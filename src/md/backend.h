@@ -35,6 +35,27 @@ struct RunConfig {
   double dt = 0.005;
   int steps = 10;       ///< the paper's experiments run 10 time steps
   HostKernel host_kernel = HostKernel::kAuto;
+
+  // Resilience knobs, honoured by the host-parallel backend (the device
+  // timing models ignore them — they replay a fixed workload, not a
+  // long-running production job).
+  /// Save a checkpoint to checkpoint_path every N completed steps (0 = off).
+  /// Writes are atomic (temp file + CRC-32 footer + rename) and a transient
+  /// I/O failure skips the interval and retries at the next one.
+  int checkpoint_every = 0;
+  /// Destination for periodic checkpoints and for the emergency checkpoint
+  /// written when a run aborts on a NumericalFailure with finite state.
+  std::string checkpoint_path;
+  /// Resume from this checkpoint (latest generation, falling back to the
+  /// rotated previous one on corruption).  `steps` is then the TOTAL step
+  /// target: a run resumed at step 250 with steps=500 executes 250 more.
+  std::string resume_path;
+  /// On a neighbour-list kernel failure, restore the pre-step state and fall
+  /// back to the reference N^2 kernel instead of aborting.
+  bool degrade = false;
+  /// >0 arms the numerical-health watchdog with this relative energy-drift
+  /// tolerance (plus the default finite/displacement checks).
+  double drift_tolerance = 0.0;
 };
 
 struct RunResult {

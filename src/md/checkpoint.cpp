@@ -7,6 +7,7 @@
 #include <sstream>
 #include <string>
 
+#include "core/crc32.h"
 #include "core/error.h"
 
 namespace emdpa::md {
@@ -14,7 +15,7 @@ namespace emdpa::md {
 namespace {
 
 constexpr const char* kMagic = "emdpa-checkpoint";
-constexpr int kVersion = 1;
+constexpr int kVersion = 2;
 
 std::string hex(double v) {
   char buf[40];
@@ -45,38 +46,9 @@ double parse_double(const std::string& token, const char* what) {
   return value;
 }
 
-}  // namespace
-
-void save_checkpoint(std::ostream& out, const ParticleSystem& system,
-                     const PeriodicBox& box, long step) {
-  out << kMagic << ' ' << kVersion << '\n';
-  out << "atoms " << system.size() << " mass " << hex(system.mass()) << " box "
-      << hex(box.edge()) << " step " << step << '\n';
-  for (std::size_t i = 0; i < system.size(); ++i) {
-    const auto& p = system.positions()[i];
-    const auto& v = system.velocities()[i];
-    const auto& a = system.accelerations()[i];
-    out << hex(p.x) << ' ' << hex(p.y) << ' ' << hex(p.z) << ' ' << hex(v.x)
-        << ' ' << hex(v.y) << ' ' << hex(v.z) << ' ' << hex(a.x) << ' '
-        << hex(a.y) << ' ' << hex(a.z) << '\n';
-  }
-  if (!out) throw RuntimeFailure("checkpoint: write failed");
-}
-
-Checkpoint load_checkpoint(std::istream& in) {
-  std::string magic;
-  int version = 0;
-  if (!(in >> magic >> version)) {
-    throw RuntimeFailure("checkpoint: missing header");
-  }
-  if (magic != kMagic) {
-    throw RuntimeFailure("checkpoint: bad magic '" + magic + "'");
-  }
-  if (version != kVersion) {
-    throw RuntimeFailure("checkpoint: unsupported version " +
-                         std::to_string(version));
-  }
-
+/// Header + atom records (everything between the version line and the v2
+/// footer), shared by both format versions.
+Checkpoint parse_body(std::istream& in, int version) {
   std::string kw_atoms, kw_mass, kw_box, kw_step;
   std::size_t n = 0;
   std::string mass_tok, box_tok;
@@ -94,6 +66,15 @@ Checkpoint load_checkpoint(std::istream& in) {
   cp.box_edge = parse_double(box_tok, "box edge");
   cp.step = step;
   EMDPA_REQUIRE(cp.box_edge > 0.0, "checkpoint box edge must be positive");
+
+  if (version >= 2) {
+    std::string kw_pe, pe_tok;
+    if (!(in >> kw_pe >> pe_tok) || kw_pe != "pe") {
+      throw RuntimeFailure("checkpoint: malformed state line (missing pe)");
+    }
+    cp.potential = parse_double(pe_tok, "potential energy");
+    cp.has_potential = true;
+  }
 
   for (std::size_t i = 0; i < n; ++i) {
     std::string t[9];
@@ -113,6 +94,89 @@ Checkpoint load_checkpoint(std::istream& in) {
                                     parse_double(t[8], "az")};
   }
   return cp;
+}
+
+}  // namespace
+
+void save_checkpoint(std::ostream& out, const ParticleSystem& system,
+                     const PeriodicBox& box, long step, double potential) {
+  // Build the body first: the footer is its checksum.
+  std::ostringstream body;
+  body << kMagic << ' ' << kVersion << '\n';
+  body << "atoms " << system.size() << " mass " << hex(system.mass()) << " box "
+       << hex(box.edge()) << " step " << step << " pe " << hex(potential)
+       << '\n';
+  for (std::size_t i = 0; i < system.size(); ++i) {
+    const auto& p = system.positions()[i];
+    const auto& v = system.velocities()[i];
+    const auto& a = system.accelerations()[i];
+    body << hex(p.x) << ' ' << hex(p.y) << ' ' << hex(p.z) << ' ' << hex(v.x)
+         << ' ' << hex(v.y) << ' ' << hex(v.z) << ' ' << hex(a.x) << ' '
+         << hex(a.y) << ' ' << hex(a.z) << '\n';
+  }
+  const std::string text = body.str();
+  char footer[24];
+  std::snprintf(footer, sizeof(footer), "crc %08x\n", crc32(text));
+  out << text << footer;
+  if (!out) throw RuntimeFailure("checkpoint: write failed");
+}
+
+Checkpoint load_checkpoint(std::istream& in) {
+  std::string content{std::istreambuf_iterator<char>(in),
+                      std::istreambuf_iterator<char>()};
+  std::istringstream header(content);
+  std::string magic;
+  int version = 0;
+  if (!(header >> magic >> version)) {
+    throw RuntimeFailure("checkpoint: missing header");
+  }
+  if (magic != kMagic) {
+    throw RuntimeFailure("checkpoint: bad magic '" + magic + "'");
+  }
+  if (version != 1 && version != kVersion) {
+    throw RuntimeFailure("checkpoint: unsupported version " +
+                         std::to_string(version));
+  }
+
+  if (version >= 2) {
+    // Locate and verify the CRC footer before trusting any field.  The
+    // footer is the last line; searching from the end keeps a hex-float that
+    // can never contain "crc" unambiguous anyway.
+    const std::size_t pos = content.rfind("\ncrc ");
+    if (pos == std::string::npos) {
+      throw RuntimeFailure("checkpoint: missing crc footer (truncated file?)");
+    }
+    const std::string data = content.substr(0, pos + 1);
+    std::istringstream footer(content.substr(pos + 1));
+    std::string kw_crc, crc_tok, trailing;
+    if (!(footer >> kw_crc >> crc_tok) || kw_crc != "crc" ||
+        crc_tok.size() != 8 || (footer >> trailing)) {
+      throw RuntimeFailure("checkpoint: malformed crc footer");
+    }
+    std::uint32_t stored = 0;
+    try {
+      std::size_t consumed = 0;
+      stored = static_cast<std::uint32_t>(std::stoul(crc_tok, &consumed, 16));
+      if (consumed != crc_tok.size()) throw std::invalid_argument(crc_tok);
+    } catch (const std::exception&) {
+      throw RuntimeFailure("checkpoint: malformed crc value '" + crc_tok + "'");
+    }
+    const std::uint32_t computed = crc32(data);
+    if (computed != stored) {
+      char msg[80];
+      std::snprintf(msg, sizeof(msg),
+                    "checkpoint: crc mismatch (stored %08x, computed %08x)",
+                    stored, computed);
+      throw RuntimeFailure(msg);
+    }
+    content = data;
+  }
+
+  std::istringstream body(content);
+  std::string skip_magic;
+  int skip_version = 0;
+  body >> skip_magic >> skip_version;
+  return parse_body(body, version);
 }
 
 }  // namespace emdpa::md

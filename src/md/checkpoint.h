@@ -3,9 +3,20 @@
 // Text format, versioned, round-trip exact: floating-point values are
 // written as hex floats so a restored run continues bit-identically.
 //
-//   emdpa-checkpoint 1
-//   atoms <N> mass <m> box <edge> step <k>
+// Version 2 (written by save_checkpoint; version 1 files still load):
+//
+//   emdpa-checkpoint 2
+//   atoms <N> mass <m> box <edge> step <k> pe <pe>
 //   <x> <y> <z> <vx> <vy> <vz> <ax> <ay> <az>     (N lines)
+//   crc <8 hex digits>
+//
+// The footer is the CRC-32 of every byte before the "crc" line; a flipped
+// bit, a truncated tail or a torn write fails verification, which is what
+// lets CheckpointManager fall back to the previous generation instead of
+// resuming from silent corruption.  The `pe` field carries the potential
+// energy of the stored state so a resumed run can skip the re-priming force
+// evaluation entirely — the stored accelerations ARE the primed state, the
+// property the bitwise resume guarantee rests on.
 #pragma once
 
 #include <iosfwd>
@@ -19,14 +30,22 @@ struct Checkpoint {
   ParticleSystem system;
   double box_edge = 0.0;
   long step = 0;
+  /// Potential energy of the stored state (version >= 2).
+  double potential = 0.0;
+  /// False for version-1 files, which predate the pe field; a resume from
+  /// such a file must re-prime instead of trusting `potential`.
+  bool has_potential = false;
 };
 
-/// Serialise state to `out`.  Throws RuntimeFailure on stream errors.
+/// Serialise state to `out` (format version 2: pe field + CRC-32 footer).
+/// Throws RuntimeFailure on stream errors.
 void save_checkpoint(std::ostream& out, const ParticleSystem& system,
-                     const PeriodicBox& box, long step);
+                     const PeriodicBox& box, long step, double potential = 0.0);
 
-/// Parse a checkpoint from `in`.  Throws RuntimeFailure on malformed input
-/// (bad magic, wrong version, truncated atom records, trailing garbage).
+/// Parse a checkpoint from `in`.  Accepts versions 1 and 2; version 2 files
+/// are verified against their CRC footer.  Throws RuntimeFailure on
+/// malformed or corrupt input (bad magic, wrong version, truncated atom
+/// records, checksum mismatch, non-finite values).
 Checkpoint load_checkpoint(std::istream& in);
 
 }  // namespace emdpa::md

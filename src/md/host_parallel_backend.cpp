@@ -6,10 +6,14 @@
 // skin-radius reuse pays off across the velocity-Verlet steps the
 // simulation loop drives.  RunConfig::host_kernel overrides the automatic
 // choice.
+#include <algorithm>
 #include <chrono>
+#include <optional>
 
+#include "core/error.h"
 #include "core/thread_pool.h"
 #include "md/backend.h"
+#include "md/checkpoint_manager.h"
 #include "md/simulation.h"
 #include "md/soa_kernel.h"
 
@@ -42,16 +46,72 @@ RunResult HostParallelBackend::run(const RunConfig& config) {
   options.dt = config.dt;
   options.kernel = to_sim_kernel(config.host_kernel);
   options.pool = &pool;
+  options.degrade_to_reference = config.degrade;
+  if (config.drift_tolerance > 0.0) {
+    HealthPolicy policy;
+    policy.max_energy_drift = config.drift_tolerance;
+    options.health = policy;
+  }
 
   RunResult result;
   result.backend_name = name();
 
+  std::optional<CheckpointManager> manager;
+  if (!config.checkpoint_path.empty()) manager.emplace(config.checkpoint_path);
+
   const auto wall_start = std::chrono::steady_clock::now();
-  Simulation sim(options);
+
+  long resumed_from = -1;
+  bool resume_used_fallback = false;
+  Simulation sim = [&] {
+    if (config.resume_path.empty()) return Simulation(options);
+    CheckpointLoad loaded = CheckpointManager(config.resume_path).load();
+    resumed_from = loaded.checkpoint.step;
+    resume_used_fallback = loaded.used_fallback;
+    return Simulation::resume(std::move(loaded.checkpoint), options);
+  }();
+
+  // With --resume, config.steps is the total target; a checkpoint already at
+  // or past it leaves nothing to run (the report still shows the state).
+  const long remaining =
+      resumed_from >= 0 ? std::max(0L, config.steps - resumed_from)
+                        : config.steps;
+
+  std::uint64_t checkpoint_failures = 0;
+  auto save_now = [&] {
+    manager->save([&](std::ostream& out) { sim.save(out); });
+  };
+
   result.energies.push_back(sim.last_energies());
-  sim.run(config.steps, [&](long /*step*/, const StepEnergies& e) {
-    result.energies.push_back(e);
-  });
+  try {
+    sim.run(static_cast<int>(remaining), [&](long step, const StepEnergies& e) {
+      result.energies.push_back(e);
+      if (manager && config.checkpoint_every > 0 &&
+          step % config.checkpoint_every == 0) {
+        try {
+          save_now();
+        } catch (const RuntimeFailure&) {
+          // Transient I/O failure (e.g. injected EIO): the temp file was
+          // discarded, the committed generations are untouched, and the next
+          // interval retries.  The run itself continues.
+          ++checkpoint_failures;
+        }
+      }
+    });
+  } catch (RuntimeFailure& e) {
+    if (e.context().backend.empty()) e.context().backend = name();
+    // Checkpoint-then-abort: preserve the last finite state so the operator
+    // can resume after fixing the cause.  Never let the rescue attempt mask
+    // the original failure.
+    if (manager && state_is_finite(sim.system())) {
+      try {
+        save_now();
+      } catch (...) {
+      }
+    }
+    throw;
+  }
+
   const double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
@@ -71,6 +131,21 @@ RunResult HostParallelBackend::run(const RunConfig& config) {
     // jobs can track the binning and fill passes separately.
     result.metadata["list_build_bin_ms"] = sim.list_build_bin_seconds() * 1e3;
     result.metadata["list_build_fill_ms"] = sim.list_build_fill_seconds() * 1e3;
+  }
+  // Resilience facts, only when the corresponding knob was armed so the
+  // default report keeps its exact historical shape.
+  if (config.degrade) result.metadata["degraded"] = sim.degraded() ? 1.0 : 0.0;
+  if (options.health) {
+    result.metadata["health_checks"] = static_cast<double>(sim.health_checks());
+  }
+  if (manager && config.checkpoint_every > 0) {
+    result.metadata["checkpoint_saves"] = static_cast<double>(manager->saves());
+    result.metadata["checkpoint_failures"] =
+        static_cast<double>(checkpoint_failures);
+  }
+  if (resumed_from >= 0) {
+    result.metadata["resumed_from_step"] = static_cast<double>(resumed_from);
+    result.metadata["resume_used_fallback"] = resume_used_fallback ? 1.0 : 0.0;
   }
   result.ops.add("host.threads", pool.size());
   result.ops.add("host.simd_width", SoaKernel::simd_width());

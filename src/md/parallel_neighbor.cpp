@@ -7,6 +7,7 @@
 #include <string>
 
 #include "core/error.h"
+#include "core/fault_injection.h"
 #include "md/lj_simd.h"
 
 namespace emdpa::md {
@@ -288,6 +289,12 @@ template <typename Real>
 void ParallelNeighborListT<Real>::build(
     const std::vector<emdpa::Vec3<Real>>& positions,
     const PeriodicBoxT<Real>& box, Real cutoff) {
+  if (fault::injected("md.list_build")) {
+    // Leave the list invalidated so a degraded-then-retried evaluation (or a
+    // later healthy step) starts from a clean rebuild, not a half-built CSR.
+    invalidate();
+    throw RuntimeFailure("neighbour list: injected rebuild failure");
+  }
   const std::size_t n = positions.size();
   const Real list_cutoff = cutoff + skin_;
   list_cutoff_sq_ = list_cutoff * list_cutoff;

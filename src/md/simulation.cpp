@@ -4,6 +4,7 @@
 #include "md/backend.h"
 #include "md/cell_list_kernel.h"
 #include "md/checkpoint.h"
+#include "md/observables.h"
 #include "md/reference_kernel.h"
 #include "md/soa_kernel.h"
 
@@ -108,21 +109,36 @@ Simulation::Simulation(const Options& options)
           /*step=*/0, options) {}
 
 Simulation::Simulation(ParticleSystem system, PeriodicBox box, long step,
-                       const Options& options)
+                       const Options& options, const double* restored_potential)
     : box_(box),
       system_(std::move(system)),
       lj_(options.lj),
       integrator_(options.dt),
       kernel_kind_(resolve_kernel(options, system_.size())),
       lj_kernel_(make_lj_kernel(kernel_kind_, options, &list_kernel_)),
+      degrade_enabled_(options.degrade_to_reference),
       step_(step) {
-  prime();
+  if (options.health) health_.emplace(*options.health);
+  if (restored_potential != nullptr) {
+    // The checkpointed accelerations ARE the primed state (save_checkpoint
+    // stores them alongside the potential energy); re-evaluating forces here
+    // would rebuild the neighbour list one step earlier than the run that
+    // wrote the checkpoint and break bitwise resume.
+    last_energies_ = {kinetic_energy_of(system_), *restored_potential};
+  } else {
+    prime();
+  }
+  if (health_) health_->reset_baseline(last_energies_);
 }
 
 Simulation Simulation::resume(std::istream& checkpoint, const Options& options) {
-  Checkpoint cp = load_checkpoint(checkpoint);
-  return Simulation(std::move(cp.system), PeriodicBox(cp.box_edge), cp.step,
-                    options);
+  return resume(load_checkpoint(checkpoint), options);
+}
+
+Simulation Simulation::resume(Checkpoint checkpoint, const Options& options) {
+  return Simulation(std::move(checkpoint.system),
+                    PeriodicBox(checkpoint.box_edge), checkpoint.step, options,
+                    checkpoint.has_potential ? &checkpoint.potential : nullptr);
 }
 
 ForceKernel& Simulation::active_kernel() {
@@ -186,13 +202,70 @@ MinimizeResult Simulation::minimize(const MinimizeOptions& options) {
   return result;
 }
 
-StepEnergies Simulation::step() {
-  last_energies_ = integrator_.step(system_, box_, lj_, active_kernel());
+StepEnergies Simulation::step_once() {
+  try {
+    last_energies_ = integrator_.step(system_, box_, lj_, active_kernel());
+  } catch (RuntimeFailure& e) {
+    // Annotate what this layer knows (the kernel threw mid-step, so the
+    // failing step is the one about to complete) and let it unwind.
+    if (e.context().step < 0) e.context().step = step_ + 1;
+    if (e.context().kernel.empty()) e.context().kernel = to_string(kernel_kind_);
+    throw;
+  }
   ++force_evaluations_;
   if (thermostat_) thermostat_->apply(system_);
   if (langevin_) langevin_->apply(system_, integrator_.dt());
   ++step_;
+  if (health_ && health_->due(step_)) {
+    health_->check(step_, system_, last_energies_, integrator_.dt(),
+                   to_string(kernel_kind_),
+                   /*conserves_energy=*/!thermostat_ && !langevin_);
+  }
   return last_energies_;
+}
+
+void Simulation::degrade_now() {
+  kernel_kind_ = SimKernel::kReference;
+  list_kernel_ = nullptr;
+  // The composite (if any) holds a reference to the old kernel; rebuild it
+  // against the replacement before anything evaluates forces again.
+  lj_kernel_ = std::make_unique<ReferenceKernel>();
+  degraded_ = true;
+  if (bonds_ || angles_) {
+    rebuild_composite();  // re-primes internally
+  } else {
+    composite_.reset();
+    prime();
+  }
+  // Fresh baseline: the reference kernel's summation order shifts the total
+  // energy by rounding, and the pre-failure baseline may itself be drifted.
+  if (health_) health_->reset_baseline(last_energies_);
+}
+
+StepEnergies Simulation::step() {
+  const bool can_degrade = degrade_enabled_ && !degraded_ &&
+                           kernel_kind_ == SimKernel::kNeighborList;
+  if (!can_degrade) return step_once();
+
+  // Snapshot so a failed step can be retried cleanly on the fallback kernel
+  // (the failure may surface mid-step, after positions already advanced).
+  const std::vector<Vec3d> positions = system_.positions();
+  const std::vector<Vec3d> velocities = system_.velocities();
+  const std::vector<Vec3d> accelerations = system_.accelerations();
+  const StepEnergies energies = last_energies_;
+  const long step_before = step_;
+  try {
+    return step_once();
+  } catch (const RuntimeFailure&) {
+    system_.positions() = positions;
+    system_.velocities() = velocities;
+    system_.accelerations() = accelerations;
+    last_energies_ = energies;
+    step_ = step_before;
+    if (!state_is_finite(system_)) throw;  // nothing trustworthy to retry from
+    degrade_now();
+    return step_once();
+  }
 }
 
 void Simulation::run(int steps, const Observer& observer) {
@@ -203,8 +276,12 @@ void Simulation::run(int steps, const Observer& observer) {
   }
 }
 
-void Simulation::save(std::ostream& out) const {
-  save_checkpoint(out, system_, box_, step_);
+void Simulation::save(std::ostream& out) {
+  save_checkpoint(out, system_, box_, step_, last_energies_.potential);
+  // Saving is a bitwise synchronisation point: drop the neighbour list so
+  // the continuing run and any future resume from this checkpoint both
+  // rebuild it from exactly the state just written.
+  if (list_kernel_ != nullptr) list_kernel_->invalidate();
 }
 
 }  // namespace emdpa::md

@@ -23,7 +23,9 @@
 #include "md/angles.h"
 #include "md/backend.h"
 #include "md/bonded.h"
+#include "md/checkpoint.h"
 #include "md/force_kernel.h"
+#include "md/health.h"
 #include "md/integrator.h"
 #include "md/langevin.h"
 #include "md/minimize.h"
@@ -64,6 +66,15 @@ class Simulation {
     /// Pool for the SoA/list kernels' row parallelism; nullptr runs serial.
     /// Results are bitwise identical at any thread count either way.
     ThreadPool* pool = nullptr;
+    /// Numerical-health watchdog (md/health.h): engaged when set, consulted
+    /// every policy.check_every steps after the step completes.  Violations
+    /// raise NumericalFailure with step/kernel context.
+    std::optional<HealthPolicy> health;
+    /// When a step fails under the neighbour-list kernel (injected rebuild
+    /// fault, or a watchdog violation while the state is still finite),
+    /// restore the pre-step state and fall back to the reference N^2 kernel
+    /// for the remainder of the run instead of aborting.
+    bool degrade_to_reference = false;
   };
 
   explicit Simulation(const Options& options);
@@ -71,6 +82,14 @@ class Simulation {
   /// Restore from a checkpoint stream written by save().  The LJ/dt options
   /// must be supplied again (they are simulation parameters, not state).
   static Simulation resume(std::istream& checkpoint, const Options& options);
+
+  /// Restore from an already-parsed checkpoint (e.g. via CheckpointManager's
+  /// verified, fallback-aware load).  Version-2 checkpoints carry the stored
+  /// potential energy, so the restored accelerations are trusted as the
+  /// primed state and NO re-priming force evaluation runs — the property
+  /// that makes a resumed run continue bit-identically.  Version-1
+  /// checkpoints re-prime as before.
+  static Simulation resume(Checkpoint checkpoint, const Options& options);
 
   const ParticleSystem& system() const { return system_; }
   ParticleSystem& system() { return system_; }
@@ -93,6 +112,13 @@ class Simulation {
   /// Integrator-driven LJ force evaluations so far (primes + steps; the
   /// minimizer's internal probes are not counted).
   std::uint64_t force_evaluations() const { return force_evaluations_; }
+  /// True once a failure made the run fall back to the reference kernel
+  /// (Options::degrade_to_reference).
+  bool degraded() const { return degraded_; }
+  /// Watchdog checks performed so far (0 when no health policy is set).
+  std::uint64_t health_checks() const {
+    return health_ ? health_->checks_run() : 0;
+  }
 
   /// Attach harmonic bonds (their forces are added to the LJ forces).
   void set_bonds(BondTopology bonds);
@@ -117,14 +143,23 @@ class Simulation {
   using Observer = std::function<void(long step, const StepEnergies&)>;
   void run(int steps, const Observer& observer = {});
 
-  /// Serialise the full state.
-  void save(std::ostream& out) const;
+  /// Serialise the full state (checkpoint format v2: potential energy +
+  /// CRC-32 footer).  Non-const because saving is a bitwise synchronisation
+  /// point: the neighbour list is invalidated so the continuing run and any
+  /// future resume from this checkpoint both rebuild it from exactly the
+  /// state written — the trajectories stay bit-identical.
+  void save(std::ostream& out);
 
  private:
+  /// `restored_potential` non-null restores a checkpointed state verbatim:
+  /// the stored accelerations are the primed state, so prime() is skipped
+  /// and *restored_potential supplies the potential energy.
   Simulation(ParticleSystem system, PeriodicBox box, long step,
-             const Options& options);
+             const Options& options, const double* restored_potential = nullptr);
   void prime();
   void rebuild_composite();
+  StepEnergies step_once();
+  void degrade_now();
   ForceKernel& active_kernel();
 
   PeriodicBox box_;
@@ -143,6 +178,9 @@ class Simulation {
   std::optional<AngleTopology> angles_;
   std::optional<BerendsenThermostat> thermostat_;
   std::optional<LangevinThermostat> langevin_;
+  std::optional<HealthMonitor> health_;
+  bool degrade_enabled_ = false;
+  bool degraded_ = false;
   StepEnergies last_energies_{};
   long step_ = 0;
   std::uint64_t force_evaluations_ = 0;

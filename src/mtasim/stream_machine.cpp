@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/error.h"
+#include "core/fault_injection.h"
 
 namespace emdpa::mta {
 
@@ -31,7 +32,20 @@ ModelTime StreamMachine::charge_parallel(double instructions,
   const double total_issue = issue_per_proc * static_cast<double>(config_.n_processors);
 
   const double cycles = instructions / total_issue;
-  const ModelTime t = ClockDomain(config_.clock_hz).to_time(CycleCount(cycles));
+  ModelTime t = ClockDomain(config_.clock_hz).to_time(CycleCount(cycles));
+
+  // Fault site "mtasim.stream": an injected failure models one stream
+  // trapping mid-region.  The runtime retires its share of the iterations on
+  // a single fresh stream — serial pipeline cost — after the parallel
+  // region drains.  Recovery is built in; nothing propagates to the caller.
+  if (fault::injected("mtasim.stream")) {
+    const double share = instructions / static_cast<double>(threads);
+    const double retry_cycles = share * config_.pipeline_depth;
+    t += ClockDomain(config_.clock_hz).to_time(CycleCount(retry_cycles));
+    ops_.add("mta.stream_reissues", 1);
+    ops_.add("mta.reissued_instructions", static_cast<std::uint64_t>(share));
+  }
+
   elapsed_ += t;
   ops_.add("mta.parallel_instructions", static_cast<std::uint64_t>(instructions));
   return t;

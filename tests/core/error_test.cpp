@@ -49,5 +49,79 @@ TEST(Error, SideEffectsEvaluatedExactlyOnce) {
   EXPECT_EQ(calls, 1);
 }
 
+TEST(ErrorContext, FormatsOnlyPopulatedFields) {
+  ErrorContext ctx;
+  EXPECT_TRUE(ctx.empty());
+  ctx.step = 412;
+  EXPECT_EQ(ctx.to_string(), "step 412");
+  ctx.kernel = "neighbor-list";
+  ctx.backend = "host-parallel";
+  EXPECT_EQ(ctx.to_string(),
+            "step 412, kernel neighbor-list, backend host-parallel");
+}
+
+TEST(ErrorContext, RuntimeFailureCarriesContext) {
+  ErrorContext ctx;
+  ctx.step = 7;
+  ctx.kernel = "soa-n2";
+  try {
+    throw RuntimeFailure("boom", ctx);
+  } catch (const std::exception& e) {
+    // Retrieved through the base std::exception, the way main() catches it.
+    const ErrorContext* found = error_context(e);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->step, 7);
+    EXPECT_EQ(found->kernel, "soa-n2");
+    EXPECT_EQ(std::string(e.what()), "boom");
+  }
+}
+
+TEST(ErrorContext, EmptyContextReadsAsAbsent) {
+  try {
+    throw RuntimeFailure("plain");
+  } catch (const std::exception& e) {
+    EXPECT_EQ(error_context(e), nullptr);
+  }
+}
+
+TEST(ErrorContext, ForeignExceptionsHaveNoContext) {
+  const std::runtime_error plain("not ours");
+  EXPECT_EQ(error_context(plain), nullptr);
+}
+
+TEST(ErrorContext, LayersAnnotateDuringUnwind) {
+  // The idiom used across the tree: each layer fills in only what it knows,
+  // then rethrows the ORIGINAL exception object.
+  try {
+    try {
+      try {
+        throw RuntimeFailure("kernel blew up");
+      } catch (RuntimeFailure& e) {
+        e.context().step = 99;  // the simulation loop knows the step
+        throw;
+      }
+    } catch (RuntimeFailure& e) {
+      e.context().backend = "host-parallel";  // the backend adds its name
+      throw;
+    }
+  } catch (const RuntimeFailure& e) {
+    const ErrorContext* ctx = error_context(e);
+    ASSERT_NE(ctx, nullptr);
+    EXPECT_EQ(ctx->step, 99);
+    EXPECT_EQ(ctx->backend, "host-parallel");
+  }
+}
+
+TEST(ErrorContext, NumericalFailureIsARuntimeFailure) {
+  ErrorContext ctx;
+  ctx.step = 10;
+  try {
+    throw NumericalFailure("energy drift", ctx);
+  } catch (const RuntimeFailure& e) {
+    EXPECT_NE(error_context(e), nullptr);
+  }
+  EXPECT_THROW({ throw NumericalFailure("x"); }, std::runtime_error);
+}
+
 }  // namespace
 }  // namespace emdpa

@@ -97,5 +97,46 @@ TEST(CliOptions, UsageMentionsEveryBackend) {
   EXPECT_NE(usage.find("--kernel"), std::string::npos);
 }
 
+TEST(CliOptions, ResilienceFlagsPopulateRunConfig) {
+  const CliOptions options = parse_cli(
+      {"run", "--backend", "host-parallel", "--checkpoint", "run.ckpt",
+       "--checkpoint-every", "50", "--resume", "old.ckpt", "--degrade",
+       "--drift-tol", "0.01"});
+  EXPECT_EQ(options.run_config.checkpoint_path, "run.ckpt");
+  EXPECT_EQ(options.run_config.checkpoint_every, 50);
+  EXPECT_EQ(options.run_config.resume_path, "old.ckpt");
+  EXPECT_TRUE(options.run_config.degrade);
+  EXPECT_EQ(options.run_config.drift_tolerance, 0.01);
+}
+
+TEST(CliOptions, ResilienceDefaultsAreOff) {
+  const CliOptions options = parse_cli({"run", "--backend", "host-parallel"});
+  EXPECT_TRUE(options.run_config.checkpoint_path.empty());
+  EXPECT_EQ(options.run_config.checkpoint_every, 0);
+  EXPECT_TRUE(options.run_config.resume_path.empty());
+  EXPECT_FALSE(options.run_config.degrade);
+  EXPECT_EQ(options.run_config.drift_tolerance, 0.0);
+}
+
+TEST(CliOptions, ResilienceFlagsRejectBadInput) {
+  EXPECT_THROW(parse_cli({"run", "--backend", "x", "--checkpoint-every", "0",
+                          "--checkpoint", "c"}),
+               RuntimeFailure);
+  EXPECT_THROW(parse_cli({"run", "--backend", "x", "--drift-tol", "-1"}),
+               RuntimeFailure);
+  // Periodic saves need somewhere to go.
+  EXPECT_THROW(parse_cli({"run", "--backend", "x", "--checkpoint-every", "5"}),
+               RuntimeFailure);
+}
+
+TEST(CliOptions, UsageDocumentsResilience) {
+  const std::string usage = cli_usage();
+  EXPECT_NE(usage.find("--checkpoint-every"), std::string::npos);
+  EXPECT_NE(usage.find("--resume"), std::string::npos);
+  EXPECT_NE(usage.find("--degrade"), std::string::npos);
+  EXPECT_NE(usage.find("--drift-tol"), std::string::npos);
+  EXPECT_NE(usage.find("EMDPA_FAULTS"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace emdpa::driver

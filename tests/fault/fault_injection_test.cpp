@@ -1,0 +1,151 @@
+// Registry semantics of the deterministic fault-injection layer: hit-range
+// and Bernoulli plans, spec parsing, counters, and the RAII test helper.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/error.h"
+#include "core/fault_injection.h"
+
+namespace emdpa::fault {
+namespace {
+
+/// Every test leaves the process-wide registry empty; a leaked armed site
+/// would poison unrelated suites in the same binary.
+class FaultRegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Registry::instance().reset(); }
+  void TearDown() override { Registry::instance().reset(); }
+};
+
+std::vector<bool> fire_pattern(const char* site, int hits) {
+  std::vector<bool> pattern;
+  for (int i = 0; i < hits; ++i) {
+    pattern.push_back(Registry::instance().should_fail(site));
+  }
+  return pattern;
+}
+
+TEST_F(FaultRegistryTest, DisarmedSiteNeverFires) {
+  EXPECT_FALSE(Registry::instance().any_armed());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(Registry::instance().should_fail("md.list_build"));
+  }
+  // Unarmed hits are not even counted: the fast path must stay free.
+  EXPECT_EQ(Registry::instance().stats("md.list_build").hits, 0u);
+}
+
+TEST_F(FaultRegistryTest, FiresOnExactHitIndex) {
+  Plan plan;
+  plan.first_hit = 3;
+  ScopedFault fault("site.a", plan);
+  EXPECT_EQ(fire_pattern("site.a", 5),
+            (std::vector<bool>{false, false, true, false, false}));
+  EXPECT_EQ(fault.stats().hits, 5u);
+  EXPECT_EQ(fault.stats().fires, 1u);
+}
+
+TEST_F(FaultRegistryTest, FiresOnConsecutiveRange) {
+  Plan plan;
+  plan.first_hit = 2;
+  plan.count = 3;
+  ScopedFault fault("site.a", plan);
+  EXPECT_EQ(fire_pattern("site.a", 6),
+            (std::vector<bool>{false, true, true, true, false, false}));
+}
+
+TEST_F(FaultRegistryTest, SitesAreIndependent) {
+  Plan first;  // default: hit 1 only
+  Plan second;
+  second.first_hit = 2;
+  ScopedFault a("site.a", first);
+  ScopedFault b("site.b", second);
+  EXPECT_TRUE(Registry::instance().should_fail("site.a"));
+  EXPECT_FALSE(Registry::instance().should_fail("site.b"));
+  EXPECT_TRUE(Registry::instance().should_fail("site.b"));
+  EXPECT_FALSE(Registry::instance().should_fail("site.c"));
+}
+
+TEST_F(FaultRegistryTest, BernoulliDrawsAreReproducible) {
+  Plan plan;
+  plan.probability = 0.5;
+  plan.seed = 42;
+  std::vector<bool> first_run, second_run;
+  {
+    ScopedFault fault("site.p", plan);
+    first_run = fire_pattern("site.p", 64);
+  }
+  {
+    ScopedFault fault("site.p", plan);
+    second_run = fire_pattern("site.p", 64);
+  }
+  EXPECT_EQ(first_run, second_run);
+  // p=0.5 over 64 independent draws: both outcomes must appear.
+  EXPECT_NE(std::count(first_run.begin(), first_run.end(), true), 0);
+  EXPECT_NE(std::count(first_run.begin(), first_run.end(), false), 0);
+}
+
+TEST_F(FaultRegistryTest, BernoulliEdgeProbabilities) {
+  Plan never;
+  never.probability = 0.0;
+  Plan always;
+  always.probability = 1.0;
+  ScopedFault n("site.never", never);
+  ScopedFault a("site.always", always);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_FALSE(Registry::instance().should_fail("site.never"));
+    EXPECT_TRUE(Registry::instance().should_fail("site.always"));
+  }
+}
+
+TEST_F(FaultRegistryTest, ScopedFaultDisarmsOnDestruction) {
+  {
+    ScopedFault fault("site.a");
+    EXPECT_TRUE(Registry::instance().any_armed());
+  }
+  EXPECT_FALSE(Registry::instance().any_armed());
+  EXPECT_FALSE(Registry::instance().should_fail("site.a"));
+}
+
+TEST_F(FaultRegistryTest, SpecParsesSingleHit) {
+  Registry::instance().arm_from_spec("md.list_build:2");
+  EXPECT_EQ(fire_pattern("md.list_build", 3),
+            (std::vector<bool>{false, true, false}));
+}
+
+TEST_F(FaultRegistryTest, SpecParsesHitRangeAndMultipleSites) {
+  Registry::instance().arm_from_spec("cellsim.dma:1x2;md.checkpoint_io:3");
+  EXPECT_EQ(fire_pattern("cellsim.dma", 3),
+            (std::vector<bool>{true, true, false}));
+  EXPECT_EQ(fire_pattern("md.checkpoint_io", 3),
+            (std::vector<bool>{false, false, true}));
+}
+
+TEST_F(FaultRegistryTest, SpecParsesProbabilityWithSeed) {
+  Registry::instance().arm_from_spec("mtasim.stream%1.0@7");
+  EXPECT_TRUE(Registry::instance().should_fail("mtasim.stream"));
+}
+
+TEST_F(FaultRegistryTest, SpecRejectsMalformedEntries) {
+  auto& registry = Registry::instance();
+  EXPECT_THROW(registry.arm_from_spec("no-separator"), RuntimeFailure);
+  EXPECT_THROW(registry.arm_from_spec("site:banana"), RuntimeFailure);
+  EXPECT_THROW(registry.arm_from_spec("site:0"), RuntimeFailure);  // 1-based
+  EXPECT_THROW(registry.arm_from_spec("site%2.0"), RuntimeFailure);
+  EXPECT_THROW(registry.arm_from_spec("site%-0.5"), RuntimeFailure);
+  EXPECT_THROW(registry.arm_from_spec(":1"), RuntimeFailure);  // empty site
+  EXPECT_THROW(registry.arm_from_spec("site%0.5@x"), RuntimeFailure);
+}
+
+TEST_F(FaultRegistryTest, ResetClearsSitesAndCounters) {
+  Registry::instance().arm_from_spec("site.a:1");
+  (void)Registry::instance().should_fail("site.a");
+  Registry::instance().reset();
+  EXPECT_FALSE(Registry::instance().any_armed());
+  EXPECT_EQ(Registry::instance().stats("site.a").hits, 0u);
+}
+
+}  // namespace
+}  // namespace emdpa::fault

@@ -1,0 +1,261 @@
+// Proves the documented recovery behaviour at every fault-injection site:
+//
+//   cellsim.dma       -> the MFC retries, charging request_latency per
+//                        attempt; a third consecutive failure aborts typed
+//   cellsim.mailbox   -> the PPE re-signals at mailbox_signal cost each
+//   mtasim.stream     -> the lost stream's share is re-issued serially
+//   md.list_build     -> --degrade falls back to the reference kernel,
+//                        otherwise a RuntimeFailure with step/kernel context
+//   md.checkpoint_io  -> the interval is skipped and the next one retries
+//
+// Each failure path here is unreachable in a healthy run; these tests are
+// the only thing standing between "documented" and "assumed".
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <sstream>
+#include <string>
+
+#include "cellsim/cost_model.h"
+#include "cellsim/dma.h"
+#include "cellsim/spe_context.h"
+#include "core/aligned_buffer.h"
+#include "core/error.h"
+#include "core/fault_injection.h"
+#include "md/backend.h"
+#include "md/checkpoint_manager.h"
+#include "md/simulation.h"
+#include "mtasim/stream_machine.h"
+
+namespace emdpa {
+namespace {
+
+class FaultRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::Registry::instance().reset(); }
+  void TearDown() override { fault::Registry::instance().reset(); }
+};
+
+fault::Plan hit(std::uint64_t first, std::uint64_t count = 1) {
+  fault::Plan plan;
+  plan.first_hit = first;
+  plan.count = count;
+  return plan;
+}
+
+// --- cellsim.dma ----------------------------------------------------------
+
+TEST_F(FaultRecoveryTest, DmaRetryChargesOneRequestLatencyPerAttempt) {
+  cell::LocalStore ls;
+  AlignedBuffer<float> host(64);
+  const cell::DmaConfig config;
+
+  cell::DmaEngine clean(config);
+  const cell::LsAddr a = ls.allocate(64, "a");
+  clean.get(ls, a, host.data(), 64, /*tag=*/0);
+  const double clean_wait =
+      clean.wait_on_tags(1u, ModelTime::zero()).to_seconds();
+
+  cell::DmaEngine faulted(config);
+  {
+    fault::ScopedFault fault("cellsim.dma", hit(1, 2));  // two transient drops
+    faulted.get(ls, a, host.data(), 64, /*tag=*/0);
+  }
+  EXPECT_EQ(faulted.retries(), 2u);
+  EXPECT_DOUBLE_EQ(faulted.wait_on_tags(1u, ModelTime::zero()).to_seconds(),
+                   clean_wait + 2 * config.request_latency.to_seconds());
+  // The data still arrived despite the modelled retries.
+  EXPECT_EQ(faulted.bytes_transferred(), clean.bytes_transferred());
+}
+
+TEST_F(FaultRecoveryTest, DmaGivesUpAfterMaxAttempts) {
+  cell::LocalStore ls;
+  AlignedBuffer<float> host(64);
+  cell::DmaEngine dma;
+  const cell::LsAddr a = ls.allocate(64, "a");
+  fault::ScopedFault fault("cellsim.dma",
+                           hit(1, cell::DmaEngine::kMaxAttempts));
+  EXPECT_THROW(dma.get(ls, a, host.data(), 64, 0), RuntimeFailure);
+}
+
+// --- cellsim.mailbox ------------------------------------------------------
+
+TEST_F(FaultRecoveryTest, MailboxDropIsReSignalled) {
+  cell::CellConfig config;
+  cell::SpeContext spe(0, config);
+  spe.launch_thread();
+
+  const double one_signal = config.mailbox_signal.to_seconds();
+  ModelTime cost;
+  {
+    fault::ScopedFault fault("cellsim.mailbox", hit(1));
+    cost = spe.signal(7);
+  }
+  EXPECT_DOUBLE_EQ(cost.to_seconds(), 2 * one_signal);
+  EXPECT_EQ(spe.signal_retries(), 1u);
+  // The word was delivered on the retry.
+  EXPECT_EQ(spe.mailboxes().inbound.pop(), 7u);
+}
+
+TEST_F(FaultRecoveryTest, MailboxWedgedSpeAbortsTyped) {
+  cell::CellConfig config;
+  cell::SpeContext spe(0, config);
+  spe.launch_thread();
+  fault::ScopedFault fault("cellsim.mailbox",
+                           hit(1, cell::SpeContext::kMaxSignalAttempts));
+  EXPECT_THROW(spe.signal(7), RuntimeFailure);
+}
+
+// --- mtasim.stream --------------------------------------------------------
+
+TEST_F(FaultRecoveryTest, StreamFaultReissuesItsShareSerially) {
+  const mta::MtaConfig config;
+  mta::StreamMachine clean(config);
+  clean.charge_parallel(12800.0, 128);
+
+  mta::StreamMachine faulted(config);
+  {
+    fault::ScopedFault fault("mtasim.stream", hit(1));
+    faulted.charge_parallel(12800.0, 128);
+  }
+  // One stream's share (100 instructions) re-issued at serial pipeline cost.
+  const double serial_share_s =
+      100.0 * config.pipeline_depth / config.clock_hz;
+  EXPECT_NEAR(faulted.elapsed().to_seconds(),
+              clean.elapsed().to_seconds() + serial_share_s, 1e-15);
+  EXPECT_EQ(faulted.ops().get("mta.stream_reissues"), 1u);
+  EXPECT_EQ(faulted.ops().get("mta.reissued_instructions"), 100u);
+  // Total useful work is unchanged.
+  EXPECT_EQ(faulted.ops().get("mta.parallel_instructions"),
+            clean.ops().get("mta.parallel_instructions"));
+}
+
+// --- md.list_build --------------------------------------------------------
+
+md::Simulation::Options list_sim_options(bool degrade) {
+  md::Simulation::Options options;
+  options.workload.n_atoms = 256;
+  options.kernel = md::SimKernel::kNeighborList;
+  options.skin = 0.1;  // tight skin: the hot liquid forces rebuilds quickly
+  options.degrade_to_reference = degrade;
+  return options;
+}
+
+TEST_F(FaultRecoveryTest, ListBuildFailureDegradesToReferenceKernel) {
+  md::Simulation sim(list_sim_options(/*degrade=*/true));
+  ASSERT_EQ(sim.kernel(), md::SimKernel::kNeighborList);
+
+  // Every rebuild from now on fails; the first one the skin policy triggers
+  // must flip the run onto the reference kernel and keep going.
+  fault::ScopedFault fault("md.list_build", hit(1, 1u << 20));
+  sim.run(100);
+
+  EXPECT_TRUE(sim.degraded());
+  EXPECT_EQ(sim.kernel(), md::SimKernel::kReference);
+  EXPECT_EQ(sim.current_step(), 100);
+  EXPECT_TRUE(md::state_is_finite(sim.system()));
+  EXPECT_TRUE(std::isfinite(sim.last_energies().total()));
+}
+
+TEST_F(FaultRecoveryTest, ListBuildFailureWithoutDegradeAbortsWithContext) {
+  md::Simulation sim(list_sim_options(/*degrade=*/false));
+  fault::ScopedFault fault("md.list_build", hit(1, 1u << 20));
+  try {
+    sim.run(100);
+    FAIL() << "the injected rebuild failure should have aborted the run";
+  } catch (const RuntimeFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("injected"), std::string::npos);
+    const ErrorContext* ctx = error_context(e);
+    ASSERT_NE(ctx, nullptr);
+    EXPECT_GT(ctx->step, 0);
+    EXPECT_EQ(ctx->kernel, "neighbor-list");
+  }
+}
+
+TEST_F(FaultRecoveryTest, DegradedTrajectoryStaysOnReferencePhysics) {
+  // After the fallback, stepping from the restored state on the reference
+  // kernel must match a reference-kernel run resumed from the same state.
+  md::Simulation faulted(list_sim_options(/*degrade=*/true));
+  {
+    fault::ScopedFault fault("md.list_build", hit(1, 1u << 20));
+    faulted.run(40);
+  }
+  ASSERT_TRUE(faulted.degraded());
+
+  std::stringstream checkpoint;
+  faulted.save(checkpoint);
+
+  md::Simulation::Options reference_options;
+  reference_options.workload.n_atoms = 256;
+  reference_options.kernel = md::SimKernel::kReference;
+  md::Simulation replay = md::Simulation::resume(checkpoint, reference_options);
+  faulted.run(10);
+  replay.run(10);
+  for (std::size_t i = 0; i < faulted.system().size(); ++i) {
+    EXPECT_EQ(faulted.system().positions()[i], replay.system().positions()[i]);
+  }
+}
+
+// --- md.checkpoint_io (through the backend's periodic-save loop) ----------
+
+TEST_F(FaultRecoveryTest, BackendSkipsFailedCheckpointAndRetriesNextInterval) {
+  const std::string path =
+      std::filesystem::path(::testing::TempDir()) / "eio.ckpt";
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".prev");
+
+  md::RunConfig config;
+  config.workload.n_atoms = 64;
+  config.steps = 20;
+  config.checkpoint_every = 5;
+  config.checkpoint_path = path;
+
+  md::HostParallelBackend backend;
+  fault::ScopedFault fault("md.checkpoint_io", hit(1));  // first save EIOs
+  const md::RunResult result = backend.run(config);
+
+  // Intervals at steps 5/10/15/20: the first failed, the other three
+  // committed, and the run itself never noticed.
+  EXPECT_EQ(result.metadata.at("checkpoint_failures"), 1.0);
+  EXPECT_EQ(result.metadata.at("checkpoint_saves"), 3.0);
+  EXPECT_EQ(result.energies.size(), 21u);
+
+  const md::Checkpoint cp = md::CheckpointManager::load_file(path);
+  EXPECT_EQ(cp.step, 20);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+// --- NumericalFailure: checkpoint-then-abort ------------------------------
+
+TEST_F(FaultRecoveryTest, WatchdogAbortWritesEmergencyCheckpoint) {
+  const std::string path =
+      std::filesystem::path(::testing::TempDir()) / "abort.ckpt";
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".prev");
+
+  md::RunConfig config;
+  config.workload.n_atoms = 64;
+  config.steps = 200;
+  config.checkpoint_path = path;  // emergency destination, no periodic saves
+  config.drift_tolerance = 1e-15;  // no integrator satisfies this
+
+  md::HostParallelBackend backend;
+  try {
+    backend.run(config);
+    FAIL() << "an impossible drift tolerance should have tripped the watchdog";
+  } catch (const NumericalFailure& e) {
+    const ErrorContext* ctx = error_context(e);
+    ASSERT_NE(ctx, nullptr);
+    EXPECT_GT(ctx->step, 0);
+    EXPECT_EQ(ctx->backend, "host-parallel");
+
+    // The state was still finite, so the backend parked it for --resume.
+    const md::Checkpoint cp = md::CheckpointManager::load_file(path);
+    EXPECT_EQ(cp.step, ctx->step);
+    EXPECT_TRUE(md::state_is_finite(cp.system));
+  }
+}
+
+}  // namespace
+}  // namespace emdpa

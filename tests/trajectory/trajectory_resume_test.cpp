@@ -1,0 +1,109 @@
+// Resume bitwise-equivalence: a run checkpointed at its midpoint and resumed
+// from that checkpoint must finish bit-for-bit identical to the run that
+// kept going — across every host kernel and thread count.
+//
+// Two properties make this hold and both are exercised here: save() is a
+// synchronisation point (it invalidates the neighbour list, so the
+// continuing run and the resumed run both rebuild from exactly the saved
+// positions), and v2 checkpoints carry the potential energy so resume
+// trusts the stored accelerations instead of re-priming.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/thread_pool.h"
+#include "md/simulation.h"
+
+namespace emdpa::md {
+namespace {
+
+struct ResumeCase {
+  const char* name;
+  SimKernel kernel;
+  bool pooled;
+};
+
+class TrajectoryResumeTest : public ::testing::TestWithParam<ResumeCase> {};
+
+Simulation::Options melt_options(const ResumeCase& c, ThreadPool* pool) {
+  Simulation::Options options;
+  options.workload.n_atoms = 256;
+  options.kernel = c.kernel;
+  options.skin = 0.3;
+  options.pool = c.pooled ? pool : nullptr;
+  return options;
+}
+
+TEST_P(TrajectoryResumeTest, MidpointResumeIsBitIdentical) {
+  const ResumeCase& c = GetParam();
+  ThreadPool pool(4);
+  const Simulation::Options options = melt_options(c, &pool);
+  constexpr int kTotalSteps = 500;
+  constexpr int kCheckpointStep = 250;
+
+  // The uninterrupted run still saves at the midpoint: checkpointing is a
+  // synchronisation point, so equivalence is defined against a run with the
+  // same checkpoint schedule.
+  Simulation uninterrupted(options);
+  uninterrupted.run(kCheckpointStep);
+  std::stringstream checkpoint;
+  uninterrupted.save(checkpoint);
+  uninterrupted.run(kTotalSteps - kCheckpointStep);
+
+  Simulation resumed = Simulation::resume(checkpoint, options);
+  ASSERT_EQ(resumed.current_step(), kCheckpointStep);
+  resumed.run(kTotalSteps - kCheckpointStep);
+
+  ASSERT_EQ(resumed.system().size(), uninterrupted.system().size());
+  for (std::size_t i = 0; i < resumed.system().size(); ++i) {
+    EXPECT_EQ(resumed.system().positions()[i],
+              uninterrupted.system().positions()[i])
+        << "position diverged at atom " << i;
+    EXPECT_EQ(resumed.system().velocities()[i],
+              uninterrupted.system().velocities()[i])
+        << "velocity diverged at atom " << i;
+    EXPECT_EQ(resumed.system().accelerations()[i],
+              uninterrupted.system().accelerations()[i])
+        << "acceleration diverged at atom " << i;
+  }
+  EXPECT_EQ(resumed.last_energies().kinetic,
+            uninterrupted.last_energies().kinetic);
+  EXPECT_EQ(resumed.last_energies().potential,
+            uninterrupted.last_energies().potential);
+}
+
+TEST_P(TrajectoryResumeTest, ResumeDoesNotRePrime) {
+  const ResumeCase& c = GetParam();
+  ThreadPool pool(4);
+  const Simulation::Options options = melt_options(c, &pool);
+
+  Simulation original(options);
+  original.run(50);
+  std::stringstream checkpoint;
+  original.save(checkpoint);
+
+  Simulation resumed = Simulation::resume(checkpoint, options);
+  // A v2 resume restores the primed state instead of re-evaluating forces:
+  // the energies must match the instant of the save bit-for-bit.
+  EXPECT_EQ(resumed.last_energies().kinetic, original.last_energies().kinetic);
+  EXPECT_EQ(resumed.last_energies().potential,
+            original.last_energies().potential);
+  EXPECT_EQ(resumed.force_evaluations(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, TrajectoryResumeTest,
+    ::testing::Values(
+        ResumeCase{"reference", SimKernel::kReference, false},
+        ResumeCase{"cell_list", SimKernel::kCellList, false},
+        ResumeCase{"soa_n2_serial", SimKernel::kSoaN2, false},
+        ResumeCase{"soa_n2_pool", SimKernel::kSoaN2, true},
+        ResumeCase{"neighbor_list_serial", SimKernel::kNeighborList, false},
+        ResumeCase{"neighbor_list_pool", SimKernel::kNeighborList, true}),
+    [](const ::testing::TestParamInfo<ResumeCase>& info) {
+      return std::string(info.param.name);
+    });
+
+}  // namespace
+}  // namespace emdpa::md

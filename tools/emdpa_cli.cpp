@@ -10,6 +10,7 @@
 #include <iostream>
 #include <string>
 
+#include "core/error.h"
 #include "core/string_util.h"
 #include "core/table.h"
 #include "core/thread_pool.h"
@@ -85,12 +86,27 @@ int run_compare(const driver::CliOptions& options) {
   return 0;
 }
 
+/// "emdpa: <what> [step 412, kernel neighbor-list, backend host-parallel]" —
+/// the structured context layers attached while the failure unwound, when
+/// there is any.
+void print_failure(const char* prefix, const std::exception& e) {
+  const ErrorContext* ctx = error_context(e);
+  if (ctx != nullptr) {
+    std::fprintf(stderr, "emdpa: %s%s [%s]\n", prefix, e.what(),
+                 ctx->to_string().c_str());
+  } else {
+    std::fprintf(stderr, "emdpa: %s%s\n", prefix, e.what());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
+  std::string checkpoint_path;  // for the abort-path hint
   try {
     const driver::CliOptions options = driver::parse_cli(args);
+    checkpoint_path = options.run_config.checkpoint_path;
     if (options.threads > 0 &&
         !ThreadPool::configure_global(options.threads)) {
       // Fail loudly if anything constructed the global pool before we got
@@ -115,8 +131,20 @@ int main(int argc, char** argv) {
       case driver::CliCommand::kCompare:
         return run_compare(options);
     }
+  } catch (const NumericalFailure& e) {
+    // The backend already attempted an emergency checkpoint (when a
+    // --checkpoint path was configured and the state was still finite);
+    // exit code 3 distinguishes "the physics went bad" from usage errors.
+    print_failure("numerical failure: ", e);
+    if (!checkpoint_path.empty()) {
+      std::fprintf(stderr,
+                   "emdpa: resume from the last good checkpoint with "
+                   "--resume %s\n",
+                   checkpoint_path.c_str());
+    }
+    return 3;
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "emdpa: %s\n", e.what());
+    print_failure("", e);
     return 1;
   }
   return 0;
