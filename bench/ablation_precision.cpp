@@ -13,7 +13,9 @@
 #include "md/backend.h"
 #include "md/integrator.h"
 #include "md/observables.h"
+#include "md/parallel_neighbor.h"
 #include "md/reference_kernel.h"
+#include "md/single_precision.h"
 #include "md/workload.h"
 
 int main() {
@@ -76,5 +78,69 @@ int main() {
                "dynamics would amplify the gap over long production runs\n"
                "(the conclusions' double-precision concern).\n\n";
   eb::print_csv_block("ablation_precision", csv);
+
+  // Part 2: the same drift question for the host fast path — the
+  // neighbour-list kernel behind --precision sp / mixed.  All three runs
+  // integrate the identical initial state in full double precision; only
+  // the force kernel's lane arithmetic differs, so the gap isolates the
+  // precision seam rather than integrator rounding.
+  std::cout << "\nNeighbour-list kernel, --precision sp / mixed vs dp\n"
+               "(double integrator throughout; 10 steps):\n\n";
+  Table ltable({"atoms", "sp max |dr|", "sp rel PE", "mixed max |dr|",
+                "mixed rel PE"});
+  std::vector<std::vector<std::string>> lcsv = {
+      {"atoms", "sp_max_displacement", "sp_rel_pe_err", "mixed_max_displacement",
+       "mixed_rel_pe_err"}};
+
+  for (const std::size_t n : {1024u, 4096u}) {
+    md::WorkloadSpec spec;
+    spec.n_atoms = n;
+    md::LjParams lj;
+
+    md::Workload dp = md::make_lattice_workload(spec);
+    md::Workload sp = md::make_lattice_workload(spec);
+    md::Workload mx = md::make_lattice_workload(spec);
+
+    md::NeighborListKernel dk;
+    md::SingleNeighborListKernel sk;
+    md::NeighborListKernelMixed mk;
+    md::VelocityVerlet dvv(0.005), svv(0.005), mvv(0.005);
+
+    dvv.prime(dp.system, dp.box, lj, dk);
+    svv.prime(sp.system, sp.box, lj, sk);
+    mvv.prime(mx.system, mx.box, lj, mk);
+    md::StepEnergies de{}, se{}, me{};
+    for (int s = 0; s < 10; ++s) {
+      de = dvv.step(dp.system, dp.box, lj, dk);
+      se = svv.step(sp.system, sp.box, lj, sk);
+      me = mvv.step(mx.system, mx.box, lj, mk);
+    }
+
+    double sp_dr = 0.0, mx_dr = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sp_dr = std::max(sp_dr, length(dp.box.min_image(
+                                  dp.system.positions()[i] -
+                                  sp.system.positions()[i])));
+      mx_dr = std::max(mx_dr, length(dp.box.min_image(
+                                  dp.system.positions()[i] -
+                                  mx.system.positions()[i])));
+    }
+    const double sp_pe =
+        std::fabs(se.potential - de.potential) / std::fabs(de.potential);
+    const double mx_pe =
+        std::fabs(me.potential - de.potential) / std::fabs(de.potential);
+
+    ltable.add_row({std::to_string(n), format_auto(sp_dr), format_auto(sp_pe),
+                    format_auto(mx_dr), format_auto(mx_pe)});
+    lcsv.push_back({std::to_string(n), format_auto(sp_dr), format_auto(sp_pe),
+                    format_auto(mx_dr), format_auto(mx_pe)});
+  }
+
+  eb::print_table(ltable);
+  std::cout << "The list kernel's sp and mixed modes stay within the same\n"
+               "~1e-6 PE band as the N^2 float ablation above; mixed buys\n"
+               "float-width lanes while the FP64 reduction keeps the energy\n"
+               "ledger double-clean (tests/trajectory asserts the bounds).\n\n";
+  eb::print_csv_block("ablation_precision_list", lcsv);
   return 0;
 }

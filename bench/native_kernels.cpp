@@ -12,6 +12,7 @@
 #include "md/parallel_neighbor.h"
 #include "md/reference_kernel.h"
 #include "md/simulation.h"
+#include "md/single_precision.h"
 #include "md/soa_kernel.h"
 #include "md/workload.h"
 
@@ -272,6 +273,58 @@ void BM_SoaKernelSingle(benchmark::State& state) {
                           static_cast<std::int64_t>(n - 1));
 }
 BENCHMARK(BM_SoaKernelSingle)->Arg(256)->Arg(1024)->Arg(2048);
+
+void BM_SoaKernelMixed(benchmark::State& state) {
+  // The --precision mixed N^2 path: float lane math, double-facing API with
+  // FP64 accumulation of the lane totals.  Runs on the double positions
+  // directly — the per-call narrowing is part of what's being priced.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  md::Workload w = fluid(n);
+  md::LjParams lj;
+  md::SoaKernelMixed kernel;
+  for (auto _ : state) {
+    auto result = kernel.compute(w.system.positions(), w.box, lj, 1.0);
+    benchmark::DoNotOptimize(result.potential_energy);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) *
+                          static_cast<std::int64_t>(n - 1));
+}
+BENCHMARK(BM_SoaKernelMixed)->Arg(256)->Arg(1024)->Arg(2048);
+
+void BM_NeighborListSingle(benchmark::State& state) {
+  // The --precision sp list path (SingleNeighborListKernel: narrow, float
+  // traversal, widen).  Compare against BM_NeighborListSerial at the same
+  // size — the acceptance bar for the precision seam is >= 1.5x here.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  md::Workload w = fluid(n);
+  md::LjParams lj;
+  md::SingleNeighborListKernel kernel;
+  kernel.compute(w.system.positions(), w.box, lj, 1.0);  // prime the list
+  for (auto _ : state) {
+    auto result = kernel.compute(w.system.positions(), w.box, lj, 1.0);
+    benchmark::DoNotOptimize(result.potential_energy);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_NeighborListSingle)->Arg(1024)->Arg(2048)->Arg(4096);
+
+void BM_NeighborListMixed(benchmark::State& state) {
+  // The --precision mixed list path: float rows reduced into FP64 totals.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  md::Workload w = fluid(n);
+  md::LjParams lj;
+  md::NeighborListKernelMixed kernel;
+  kernel.compute(w.system.positions(), w.box, lj, 1.0);  // prime the list
+  for (auto _ : state) {
+    auto result = kernel.compute(w.system.positions(), w.box, lj, 1.0);
+    benchmark::DoNotOptimize(result.potential_energy);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_NeighborListMixed)->Arg(1024)->Arg(2048)->Arg(4096);
 
 void BM_CellListKernel(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

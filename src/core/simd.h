@@ -1,42 +1,47 @@
-// Portable SIMD pack abstraction with compile-time dispatch.
+// Portable SIMD pack abstraction.
 //
 // Follows the ViterbiDecoderCpp idiom: each instruction set gets a Pack
-// specialisation, and fastest_simd_type() picks the widest one the current
-// translation unit was compiled for (constexpr, driven by the compiler's
-// feature macros).  A plain scalar specialisation is always valid, so code
-// written against Pack<Real, fastest_simd_type()> compiles everywhere and
-// vectorises wherever -msse2 / -mavx2 / -march=native is in effect.
-// x86-64 guarantees SSE2, so the practical floor on that target is 2-wide
-// double / 4-wide float.
+// specialisation (one header per ISA under core/simd/), and code is written
+// against Pack<Real, S> with the SimdType a template parameter.  Two ways to
+// pick S:
+//
+//  * Compile-time: fastest_simd_type() returns the widest ISA the current
+//    translation unit was compiled for (driven by the compiler's feature
+//    macros), and NativePack<Real> aliases its Pack.  This is how the
+//    device-model kernels and any single-ISA TU use the abstraction.
+//  * Runtime: the md layer compiles its hot row loops once per ISA (each TU
+//    with its own -m flags; see md/simd_rows_*.cpp) and picks a table of
+//    function pointers at startup via core/simd_dispatch.h.  A TU only
+//    instantiates Pack for the ISA it was compiled for, so every Pack
+//    specialisation's symbols stay confined to a TU that may legally
+//    execute them.
 //
 // Masks are opaque lane masks: produced by cmp_*, consumed by select() (a
-// bitwise blend, safe even when the rejected lanes hold inf/NaN) and
-// mask_bits() (one bit per lane, for popcounts and any-lane tests).
+// blend, safe even when the rejected lanes hold inf/NaN) and mask_bits()
+// (one bit per lane, for popcounts and any-lane tests).
+//
+// block_lanes() defines the ISA-INDEPENDENT accumulation block: 64 bytes, 8
+// doubles or 16 floats — the widest pack (AVX-512) exactly once, narrower
+// packs several sub-packs.  Kernels that accumulate per block lane and
+// reduce the block lanes in a fixed order produce bitwise-identical results
+// on every ISA, which is what lets the runtime dispatcher change the ISA
+// without changing the physics.
 #pragma once
 
-#include <cmath>
 #include <cstddef>
-#include <cstdint>
 
-#if defined(__SSE2__)
-#include <immintrin.h>
-#endif
+#include "core/simd/pack_avx2.h"
+#include "core/simd/pack_avx512.h"
+#include "core/simd/pack_fwd.h"
+#include "core/simd/pack_scalar.h"
+#include "core/simd/pack_sse2.h"
 
 namespace emdpa::simd {
 
-enum class SimdType { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
-
-constexpr const char* to_string(SimdType t) {
-  switch (t) {
-    case SimdType::kScalar: return "scalar";
-    case SimdType::kSse2: return "sse2";
-    case SimdType::kAvx2: return "avx2";
-  }
-  return "unknown";
-}
-
 constexpr SimdType fastest_simd_type() {
-#if defined(__AVX2__)
+#if defined(__AVX512F__)
+  return SimdType::kAvx512;
+#elif defined(__AVX2__)
   return SimdType::kAvx2;
 #elif defined(__SSE2__)
   return SimdType::kSse2;
@@ -45,224 +50,6 @@ constexpr SimdType fastest_simd_type() {
 #endif
 }
 
-template <typename Real, SimdType Type>
-struct Pack;
-
-// ---------------------------------------------------------------------------
-// Scalar fallback: one lane, plain arithmetic.  Always valid.
-// ---------------------------------------------------------------------------
-template <typename Real>
-struct Pack<Real, SimdType::kScalar> {
-  static constexpr std::size_t kWidth = 1;
-  using Mask = bool;
-  Real v;
-
-  static Pack load(const Real* p) { return {*p}; }
-  static Pack broadcast(Real s) { return {s}; }
-  static Pack zero() { return {Real(0)}; }
-  void store(Real* p) const { *p = v; }
-
-  friend Pack operator+(Pack a, Pack b) { return {a.v + b.v}; }
-  friend Pack operator-(Pack a, Pack b) { return {a.v - b.v}; }
-  friend Pack operator*(Pack a, Pack b) { return {a.v * b.v}; }
-  friend Pack operator/(Pack a, Pack b) { return {a.v / b.v}; }
-  friend Pack abs(Pack a) { return {std::fabs(a.v)}; }
-  friend Pack copysign(Pack mag, Pack sgn) {
-    return {std::copysign(mag.v, sgn.v)};
-  }
-  friend Mask cmp_lt(Pack a, Pack b) { return a.v < b.v; }
-  friend Mask cmp_gt(Pack a, Pack b) { return a.v > b.v; }
-  friend Mask cmp_ge(Pack a, Pack b) { return a.v >= b.v; }
-  static Mask mask_and(Mask a, Mask b) { return a && b; }
-  friend Pack select(Mask m, Pack a, Pack b) { return m ? a : b; }
-  static unsigned mask_bits(Mask m) { return m ? 1u : 0u; }
-  friend Real reduce_add(Pack a) { return a.v; }
-};
-
-#if defined(__SSE2__)
-// ---------------------------------------------------------------------------
-// SSE2: 4-wide float / 2-wide double (the x86-64 baseline).
-// ---------------------------------------------------------------------------
-template <>
-struct Pack<float, SimdType::kSse2> {
-  static constexpr std::size_t kWidth = 4;
-  using Mask = __m128;
-  __m128 v;
-
-  static Pack load(const float* p) { return {_mm_load_ps(p)}; }
-  static Pack broadcast(float s) { return {_mm_set1_ps(s)}; }
-  static Pack zero() { return {_mm_setzero_ps()}; }
-  void store(float* p) const { _mm_store_ps(p, v); }
-
-  friend Pack operator+(Pack a, Pack b) { return {_mm_add_ps(a.v, b.v)}; }
-  friend Pack operator-(Pack a, Pack b) { return {_mm_sub_ps(a.v, b.v)}; }
-  friend Pack operator*(Pack a, Pack b) { return {_mm_mul_ps(a.v, b.v)}; }
-  friend Pack operator/(Pack a, Pack b) { return {_mm_div_ps(a.v, b.v)}; }
-  friend Pack abs(Pack a) {
-    return {_mm_andnot_ps(_mm_set1_ps(-0.0f), a.v)};
-  }
-  friend Pack copysign(Pack mag, Pack sgn) {
-    const __m128 sign_bit = _mm_set1_ps(-0.0f);
-    return {_mm_or_ps(_mm_and_ps(sign_bit, sgn.v),
-                      _mm_andnot_ps(sign_bit, mag.v))};
-  }
-  friend Mask cmp_lt(Pack a, Pack b) { return _mm_cmplt_ps(a.v, b.v); }
-  friend Mask cmp_gt(Pack a, Pack b) { return _mm_cmpgt_ps(a.v, b.v); }
-  friend Mask cmp_ge(Pack a, Pack b) { return _mm_cmpge_ps(a.v, b.v); }
-  static Mask mask_and(Mask a, Mask b) { return _mm_and_ps(a, b); }
-  friend Pack select(Mask m, Pack a, Pack b) {
-    return {_mm_or_ps(_mm_and_ps(m, a.v), _mm_andnot_ps(m, b.v))};
-  }
-  static unsigned mask_bits(Mask m) {
-    return static_cast<unsigned>(_mm_movemask_ps(m));
-  }
-  friend float reduce_add(Pack a) {
-    alignas(16) float lanes[kWidth];
-    _mm_store_ps(lanes, a.v);
-    return ((lanes[0] + lanes[1]) + lanes[2]) + lanes[3];
-  }
-};
-
-template <>
-struct Pack<double, SimdType::kSse2> {
-  static constexpr std::size_t kWidth = 2;
-  using Mask = __m128d;
-  __m128d v;
-
-  static Pack load(const double* p) { return {_mm_load_pd(p)}; }
-  static Pack broadcast(double s) { return {_mm_set1_pd(s)}; }
-  static Pack zero() { return {_mm_setzero_pd()}; }
-  void store(double* p) const { _mm_store_pd(p, v); }
-
-  friend Pack operator+(Pack a, Pack b) { return {_mm_add_pd(a.v, b.v)}; }
-  friend Pack operator-(Pack a, Pack b) { return {_mm_sub_pd(a.v, b.v)}; }
-  friend Pack operator*(Pack a, Pack b) { return {_mm_mul_pd(a.v, b.v)}; }
-  friend Pack operator/(Pack a, Pack b) { return {_mm_div_pd(a.v, b.v)}; }
-  friend Pack abs(Pack a) {
-    return {_mm_andnot_pd(_mm_set1_pd(-0.0), a.v)};
-  }
-  friend Pack copysign(Pack mag, Pack sgn) {
-    const __m128d sign_bit = _mm_set1_pd(-0.0);
-    return {_mm_or_pd(_mm_and_pd(sign_bit, sgn.v),
-                      _mm_andnot_pd(sign_bit, mag.v))};
-  }
-  friend Mask cmp_lt(Pack a, Pack b) { return _mm_cmplt_pd(a.v, b.v); }
-  friend Mask cmp_gt(Pack a, Pack b) { return _mm_cmpgt_pd(a.v, b.v); }
-  friend Mask cmp_ge(Pack a, Pack b) { return _mm_cmpge_pd(a.v, b.v); }
-  static Mask mask_and(Mask a, Mask b) { return _mm_and_pd(a, b); }
-  friend Pack select(Mask m, Pack a, Pack b) {
-    return {_mm_or_pd(_mm_and_pd(m, a.v), _mm_andnot_pd(m, b.v))};
-  }
-  static unsigned mask_bits(Mask m) {
-    return static_cast<unsigned>(_mm_movemask_pd(m));
-  }
-  friend double reduce_add(Pack a) {
-    alignas(16) double lanes[kWidth];
-    _mm_store_pd(lanes, a.v);
-    return lanes[0] + lanes[1];
-  }
-};
-#endif  // __SSE2__
-
-#if defined(__AVX2__)
-// ---------------------------------------------------------------------------
-// AVX2: 8-wide float / 4-wide double.
-// ---------------------------------------------------------------------------
-template <>
-struct Pack<float, SimdType::kAvx2> {
-  static constexpr std::size_t kWidth = 8;
-  using Mask = __m256;
-  __m256 v;
-
-  static Pack load(const float* p) { return {_mm256_load_ps(p)}; }
-  static Pack broadcast(float s) { return {_mm256_set1_ps(s)}; }
-  static Pack zero() { return {_mm256_setzero_ps()}; }
-  void store(float* p) const { _mm256_store_ps(p, v); }
-
-  friend Pack operator+(Pack a, Pack b) { return {_mm256_add_ps(a.v, b.v)}; }
-  friend Pack operator-(Pack a, Pack b) { return {_mm256_sub_ps(a.v, b.v)}; }
-  friend Pack operator*(Pack a, Pack b) { return {_mm256_mul_ps(a.v, b.v)}; }
-  friend Pack operator/(Pack a, Pack b) { return {_mm256_div_ps(a.v, b.v)}; }
-  friend Pack abs(Pack a) {
-    return {_mm256_andnot_ps(_mm256_set1_ps(-0.0f), a.v)};
-  }
-  friend Pack copysign(Pack mag, Pack sgn) {
-    const __m256 sign_bit = _mm256_set1_ps(-0.0f);
-    return {_mm256_or_ps(_mm256_and_ps(sign_bit, sgn.v),
-                         _mm256_andnot_ps(sign_bit, mag.v))};
-  }
-  friend Mask cmp_lt(Pack a, Pack b) {
-    return _mm256_cmp_ps(a.v, b.v, _CMP_LT_OQ);
-  }
-  friend Mask cmp_gt(Pack a, Pack b) {
-    return _mm256_cmp_ps(a.v, b.v, _CMP_GT_OQ);
-  }
-  friend Mask cmp_ge(Pack a, Pack b) {
-    return _mm256_cmp_ps(a.v, b.v, _CMP_GE_OQ);
-  }
-  static Mask mask_and(Mask a, Mask b) { return _mm256_and_ps(a, b); }
-  friend Pack select(Mask m, Pack a, Pack b) {
-    return {_mm256_blendv_ps(b.v, a.v, m)};
-  }
-  static unsigned mask_bits(Mask m) {
-    return static_cast<unsigned>(_mm256_movemask_ps(m));
-  }
-  friend float reduce_add(Pack a) {
-    alignas(32) float lanes[kWidth];
-    _mm256_store_ps(lanes, a.v);
-    float acc = lanes[0];
-    for (std::size_t i = 1; i < kWidth; ++i) acc += lanes[i];
-    return acc;
-  }
-};
-
-template <>
-struct Pack<double, SimdType::kAvx2> {
-  static constexpr std::size_t kWidth = 4;
-  using Mask = __m256d;
-  __m256d v;
-
-  static Pack load(const double* p) { return {_mm256_load_pd(p)}; }
-  static Pack broadcast(double s) { return {_mm256_set1_pd(s)}; }
-  static Pack zero() { return {_mm256_setzero_pd()}; }
-  void store(double* p) const { _mm256_store_pd(p, v); }
-
-  friend Pack operator+(Pack a, Pack b) { return {_mm256_add_pd(a.v, b.v)}; }
-  friend Pack operator-(Pack a, Pack b) { return {_mm256_sub_pd(a.v, b.v)}; }
-  friend Pack operator*(Pack a, Pack b) { return {_mm256_mul_pd(a.v, b.v)}; }
-  friend Pack operator/(Pack a, Pack b) { return {_mm256_div_pd(a.v, b.v)}; }
-  friend Pack abs(Pack a) {
-    return {_mm256_andnot_pd(_mm256_set1_pd(-0.0), a.v)};
-  }
-  friend Pack copysign(Pack mag, Pack sgn) {
-    const __m256d sign_bit = _mm256_set1_pd(-0.0);
-    return {_mm256_or_pd(_mm256_and_pd(sign_bit, sgn.v),
-                         _mm256_andnot_pd(sign_bit, mag.v))};
-  }
-  friend Mask cmp_lt(Pack a, Pack b) {
-    return _mm256_cmp_pd(a.v, b.v, _CMP_LT_OQ);
-  }
-  friend Mask cmp_gt(Pack a, Pack b) {
-    return _mm256_cmp_pd(a.v, b.v, _CMP_GT_OQ);
-  }
-  friend Mask cmp_ge(Pack a, Pack b) {
-    return _mm256_cmp_pd(a.v, b.v, _CMP_GE_OQ);
-  }
-  static Mask mask_and(Mask a, Mask b) { return _mm256_and_pd(a, b); }
-  friend Pack select(Mask m, Pack a, Pack b) {
-    return {_mm256_blendv_pd(b.v, a.v, m)};
-  }
-  static unsigned mask_bits(Mask m) {
-    return static_cast<unsigned>(_mm256_movemask_pd(m));
-  }
-  friend double reduce_add(Pack a) {
-    alignas(32) double lanes[kWidth];
-    _mm256_store_pd(lanes, a.v);
-    return ((lanes[0] + lanes[1]) + lanes[2]) + lanes[3];
-  }
-};
-#endif  // __AVX2__
-
 /// The widest pack available for Real in this translation unit.
 template <typename Real>
 using NativePack = Pack<Real, fastest_simd_type()>;
@@ -270,6 +57,20 @@ using NativePack = Pack<Real, fastest_simd_type()>;
 template <typename Real>
 constexpr std::size_t native_width() {
   return NativePack<Real>::kWidth;
+}
+
+/// Bytes per accumulation block: one full AVX-512 register, a whole number
+/// of packs on every narrower ISA.
+inline constexpr std::size_t kBlockBytes = 64;
+
+/// Lanes per accumulation block for Real (8 doubles / 16 floats).  Kernels
+/// pad their rows to this, not to the pack width, so the padded layout —
+/// and therefore the accumulation and reduction order — is the same on
+/// every ISA.
+template <typename Real>
+constexpr std::size_t block_lanes() {
+  static_assert(kBlockBytes % sizeof(Real) == 0);
+  return kBlockBytes / sizeof(Real);
 }
 
 }  // namespace emdpa::simd

@@ -1,0 +1,129 @@
+// AVX-512 Pack specialisations: 16-wide float / 8-wide double, using only
+// AVX-512F (Foundation) instructions so the runtime requirement is the
+// single "avx512f" CPUID bit.  Compiled away entirely when the translation
+// unit was not built with -mavx512f.
+//
+// Differences from the narrower packs, forced by the ISA:
+//  * Masks are k-register lane masks (__mmask8/__mmask16), not vector
+//    registers; select() is a mask blend, which agrees with the bitwise
+//    blend of the narrower packs because cmp_* masks are all-or-nothing per
+//    lane.
+//  * abs/copysign go through the 512-bit integer domain (no andnot_ps in
+//    AVX-512F) — bit-identical to the andnot/or idiom of SSE2/AVX2.
+//  * reduce_add stores the lanes and sums them SEQUENTIALLY, matching the
+//    lane-order reduction of the other packs; _mm512_reduce_add_pd would be
+//    a tree reduction with a different rounding trace.
+#pragma once
+
+#include "core/simd/pack_fwd.h"
+
+#if defined(__AVX512F__)
+
+#include <immintrin.h>
+
+#include <cstddef>
+#include <cstdint>
+
+namespace emdpa::simd {
+
+template <>
+struct Pack<float, SimdType::kAvx512> {
+  static constexpr std::size_t kWidth = 16;
+  using Mask = __mmask16;
+  __m512 v;
+
+  static Pack load(const float* p) { return {_mm512_load_ps(p)}; }
+  static Pack broadcast(float s) { return {_mm512_set1_ps(s)}; }
+  static Pack zero() { return {_mm512_setzero_ps()}; }
+  void store(float* p) const { _mm512_store_ps(p, v); }
+
+  friend Pack operator+(Pack a, Pack b) { return {_mm512_add_ps(a.v, b.v)}; }
+  friend Pack operator-(Pack a, Pack b) { return {_mm512_sub_ps(a.v, b.v)}; }
+  friend Pack operator*(Pack a, Pack b) { return {_mm512_mul_ps(a.v, b.v)}; }
+  friend Pack operator/(Pack a, Pack b) { return {_mm512_div_ps(a.v, b.v)}; }
+  friend Pack abs(Pack a) {
+    const __m512i mag = _mm512_set1_epi32(0x7fffffff);
+    return {_mm512_castsi512_ps(
+        _mm512_and_epi32(_mm512_castps_si512(a.v), mag))};
+  }
+  friend Pack copysign(Pack mag, Pack sgn) {
+    const __m512i sign_bit = _mm512_set1_epi32(INT32_MIN);
+    return {_mm512_castsi512_ps(_mm512_or_epi32(
+        _mm512_and_epi32(_mm512_castps_si512(sgn.v), sign_bit),
+        _mm512_andnot_epi32(sign_bit, _mm512_castps_si512(mag.v))))};
+  }
+  friend Mask cmp_lt(Pack a, Pack b) {
+    return _mm512_cmp_ps_mask(a.v, b.v, _CMP_LT_OQ);
+  }
+  friend Mask cmp_gt(Pack a, Pack b) {
+    return _mm512_cmp_ps_mask(a.v, b.v, _CMP_GT_OQ);
+  }
+  friend Mask cmp_ge(Pack a, Pack b) {
+    return _mm512_cmp_ps_mask(a.v, b.v, _CMP_GE_OQ);
+  }
+  static Mask mask_and(Mask a, Mask b) { return static_cast<Mask>(a & b); }
+  friend Pack select(Mask m, Pack a, Pack b) {
+    return {_mm512_mask_blend_ps(m, b.v, a.v)};
+  }
+  static unsigned mask_bits(Mask m) { return static_cast<unsigned>(m); }
+  friend float reduce_add(Pack a) {
+    alignas(64) float lanes[kWidth];
+    _mm512_store_ps(lanes, a.v);
+    float acc = lanes[0];
+    for (std::size_t i = 1; i < kWidth; ++i) acc += lanes[i];
+    return acc;
+  }
+};
+
+template <>
+struct Pack<double, SimdType::kAvx512> {
+  static constexpr std::size_t kWidth = 8;
+  using Mask = __mmask8;
+  __m512d v;
+
+  static Pack load(const double* p) { return {_mm512_load_pd(p)}; }
+  static Pack broadcast(double s) { return {_mm512_set1_pd(s)}; }
+  static Pack zero() { return {_mm512_setzero_pd()}; }
+  void store(double* p) const { _mm512_store_pd(p, v); }
+
+  friend Pack operator+(Pack a, Pack b) { return {_mm512_add_pd(a.v, b.v)}; }
+  friend Pack operator-(Pack a, Pack b) { return {_mm512_sub_pd(a.v, b.v)}; }
+  friend Pack operator*(Pack a, Pack b) { return {_mm512_mul_pd(a.v, b.v)}; }
+  friend Pack operator/(Pack a, Pack b) { return {_mm512_div_pd(a.v, b.v)}; }
+  friend Pack abs(Pack a) {
+    const __m512i mag = _mm512_set1_epi64(0x7fffffffffffffffLL);
+    return {_mm512_castsi512_pd(
+        _mm512_and_epi64(_mm512_castpd_si512(a.v), mag))};
+  }
+  friend Pack copysign(Pack mag, Pack sgn) {
+    const __m512i sign_bit = _mm512_set1_epi64(INT64_MIN);
+    return {_mm512_castsi512_pd(_mm512_or_epi64(
+        _mm512_and_epi64(_mm512_castpd_si512(sgn.v), sign_bit),
+        _mm512_andnot_epi64(sign_bit, _mm512_castpd_si512(mag.v))))};
+  }
+  friend Mask cmp_lt(Pack a, Pack b) {
+    return _mm512_cmp_pd_mask(a.v, b.v, _CMP_LT_OQ);
+  }
+  friend Mask cmp_gt(Pack a, Pack b) {
+    return _mm512_cmp_pd_mask(a.v, b.v, _CMP_GT_OQ);
+  }
+  friend Mask cmp_ge(Pack a, Pack b) {
+    return _mm512_cmp_pd_mask(a.v, b.v, _CMP_GE_OQ);
+  }
+  static Mask mask_and(Mask a, Mask b) { return static_cast<Mask>(a & b); }
+  friend Pack select(Mask m, Pack a, Pack b) {
+    return {_mm512_mask_blend_pd(m, b.v, a.v)};
+  }
+  static unsigned mask_bits(Mask m) { return static_cast<unsigned>(m); }
+  friend double reduce_add(Pack a) {
+    alignas(64) double lanes[kWidth];
+    _mm512_store_pd(lanes, a.v);
+    double acc = lanes[0];
+    for (std::size_t i = 1; i < kWidth; ++i) acc += lanes[i];
+    return acc;
+  }
+};
+
+}  // namespace emdpa::simd
+
+#endif  // __AVX512F__

@@ -1,0 +1,31 @@
+// SIMD instruction-set enumeration and the Pack primary template.
+//
+// Shared by every per-ISA pack header (core/simd/pack_*.h) and by the
+// runtime dispatch layer (core/simd_dispatch.h), which must name ISAs
+// without pulling in any intrinsics.
+#pragma once
+
+#include <cstddef>
+
+namespace emdpa::simd {
+
+/// Instruction sets the Pack abstraction can target, in ranking order:
+/// larger enum value = wider = preferred by the runtime dispatcher.
+enum class SimdType { kScalar = 0, kSse2 = 1, kAvx2 = 2, kAvx512 = 3 };
+
+inline constexpr std::size_t kSimdTypeCount = 4;
+
+constexpr const char* to_string(SimdType t) {
+  switch (t) {
+    case SimdType::kScalar: return "scalar";
+    case SimdType::kSse2: return "sse2";
+    case SimdType::kAvx2: return "avx2";
+    case SimdType::kAvx512: return "avx512";
+  }
+  return "unknown";
+}
+
+template <typename Real, SimdType Type>
+struct Pack;
+
+}  // namespace emdpa::simd

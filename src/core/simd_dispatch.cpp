@@ -1,0 +1,62 @@
+#include "core/simd_dispatch.h"
+
+#include <cstdlib>
+
+#include "core/error.h"
+
+namespace emdpa::simd {
+
+bool cpu_supports(SimdType isa) {
+  if (isa == SimdType::kScalar) return true;
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+  switch (isa) {
+    case SimdType::kSse2: return __builtin_cpu_supports("sse2") != 0;
+    case SimdType::kAvx2: return __builtin_cpu_supports("avx2") != 0;
+    case SimdType::kAvx512: return __builtin_cpu_supports("avx512f") != 0;
+    case SimdType::kScalar: return true;
+  }
+#endif
+  // Non-x86 (or unknown compiler): only the scalar path is trustworthy.
+  return false;
+}
+
+SimdType parse_simd_type(const std::string& text) {
+  for (const SimdType isa : kIsaRanking) {
+    if (text == to_string(isa)) return isa;
+  }
+  throw RuntimeFailure("unknown SIMD ISA '" + text +
+                       "' (valid: scalar, sse2, avx2, avx512)");
+}
+
+std::optional<SimdType> env_simd_override() {
+  const char* value = std::getenv("EMDPA_SIMD");
+  if (value == nullptr || *value == '\0') return std::nullopt;
+  try {
+    return parse_simd_type(value);
+  } catch (const RuntimeFailure& e) {
+    throw RuntimeFailure(std::string("EMDPA_SIMD: ") + e.what());
+  }
+}
+
+SimdType choose_isa(unsigned compiled_mask, std::optional<SimdType> request) {
+  if (request) {
+    const SimdType isa = *request;
+    if ((compiled_mask & isa_bit(isa)) == 0u) {
+      throw RuntimeFailure(std::string("SIMD ISA '") + to_string(isa) +
+                           "' was requested but is not compiled into this "
+                           "binary (the compiler lacked the -m flag)");
+    }
+    if (!cpu_supports(isa)) {
+      throw RuntimeFailure(std::string("SIMD ISA '") + to_string(isa) +
+                           "' was requested but this CPU does not support it");
+    }
+    return isa;
+  }
+  for (const SimdType isa : kIsaRanking) {
+    if ((compiled_mask & isa_bit(isa)) != 0u && cpu_supports(isa)) return isa;
+  }
+  throw RuntimeFailure(
+      "no usable SIMD ISA: not even the scalar kernel table was compiled in");
+}
+
+}  // namespace emdpa::simd

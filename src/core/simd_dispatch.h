@@ -1,0 +1,53 @@
+// Runtime SIMD instruction-set selection.
+//
+// This layer answers three questions, and nothing more (it knows no kernels
+// — the md layer owns the per-ISA function tables and asks this one which
+// table to use):
+//
+//  * cpu_supports(isa)  — does the machine we are RUNNING on have the ISA?
+//    (CPUID via __builtin_cpu_supports; the binary may well contain AVX-512
+//    code paths that this CPU must never execute.)
+//  * env_simd_override() — did the user force an ISA with EMDPA_SIMD=
+//    scalar|sse2|avx2|avx512?  Unset or empty means "no preference".
+//  * choose_isa(compiled_mask, request) — rank the ISAs widest-first and
+//    return the best one that is both compiled into the binary and
+//    supported by the CPU; or validate an explicit request, failing loudly
+//    (RuntimeFailure with the reason) instead of silently running slower or
+//    crashing on an illegal instruction.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/simd/pack_fwd.h"
+
+namespace emdpa::simd {
+
+/// ISAs in dispatch preference order, widest first.
+inline constexpr SimdType kIsaRanking[] = {SimdType::kAvx512, SimdType::kAvx2,
+                                           SimdType::kSse2, SimdType::kScalar};
+
+/// Bit for `isa` in a compiled-ISA bitmask.
+constexpr unsigned isa_bit(SimdType isa) {
+  return 1u << static_cast<unsigned>(isa);
+}
+
+/// True when the CPU executing this process can run `isa` (kScalar always).
+bool cpu_supports(SimdType isa);
+
+/// Parse "scalar" / "sse2" / "avx2" / "avx512"; throws RuntimeFailure (with
+/// the valid spellings) on anything else.
+SimdType parse_simd_type(const std::string& text);
+
+/// The EMDPA_SIMD environment override, if set and non-empty.  Throws
+/// RuntimeFailure on an unparseable value — a typo must not silently fall
+/// back to auto-dispatch.
+std::optional<SimdType> env_simd_override();
+
+/// Pick the ISA to run: an explicit `request` is validated against
+/// `compiled_mask` (an OR of isa_bit()s for the tables present in the
+/// binary) and the CPU, and any failure throws with an actionable message;
+/// no request walks kIsaRanking and returns the first available ISA.
+SimdType choose_isa(unsigned compiled_mask, std::optional<SimdType> request);
+
+}  // namespace emdpa::simd

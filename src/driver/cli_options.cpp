@@ -3,7 +3,9 @@
 #include <charconv>
 
 #include "core/error.h"
+#include "core/simd_dispatch.h"
 #include "driver/backend_factory.h"
+#include "md/precision.h"
 
 namespace emdpa::driver {
 
@@ -52,6 +54,14 @@ std::string cli_usage() {
       "  --kernel MODE      host force kernel: n2, list, or auto (crossover on\n"
       "                     atom count); honoured by host-parallel in both run\n"
       "                     and compare mode — device models ignore it\n"
+      "  --simd ISA         force the host kernels' instruction set: scalar,\n"
+      "                     sse2, avx2 or avx512 (default: EMDPA_SIMD env var,\n"
+      "                     else the fastest this CPU supports); errors out if\n"
+      "                     the choice is not compiled in or not supported here\n"
+      "  --precision MODE   host kernel numerics: dp (double, default), sp\n"
+      "                     (float end to end) or mixed (float lanes, double\n"
+      "                     accumulation); device models keep their paper-\n"
+      "                     mandated precisions\n"
       "  --csv              machine-readable output\n"
       "\n"
       "Resilience (host-parallel backend):\n"
@@ -144,6 +154,10 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
         throw RuntimeFailure("flag --kernel needs n2, list or auto, got '" +
                              mode + "'");
       }
+    } else if (flag == "--simd") {
+      options.run_config.simd_isa = simd::parse_simd_type(need_value(flag));
+    } else if (flag == "--precision") {
+      options.run_config.precision = md::parse_precision(need_value(flag));
     } else if (flag == "--checkpoint") {
       options.run_config.checkpoint_path = need_value(flag);
     } else if (flag == "--checkpoint-every") {

@@ -26,10 +26,14 @@ std::string render_run_report(const md::RunResult& result,
     }
   }
 
-  // Dimensionless execution facts (thread count, SIMD width, ...): no unit,
-  // unlike the time breakdown above.
-  if (!result.metadata.empty()) {
+  // Dimensionless execution facts (thread count, SIMD width, ...) and their
+  // textual companions (dispatched ISA, precision): no unit, unlike the time
+  // breakdown above.
+  if (!result.metadata.empty() || !result.labels.empty()) {
     os << "execution:\n";
+    for (const auto& [key, value] : result.labels) {
+      os << "  " << pad_right(key, 22) << value << "\n";
+    }
     for (const auto& [key, value] : result.metadata) {
       // 22 fits the longest resilience key ("resume_used_fallback") plus a
       // separating space.
@@ -72,6 +76,10 @@ std::string render_run_csv(const md::RunResult& result,
   }
   // Metadata rows carry their value in the dedicated trailing column —
   // never in model_seconds, so a thread count can't be misread as a time.
+  // Textual labels (simd_isa, precision) share the same row shape.
+  for (const auto& [key, value] : result.labels) {
+    csv.write_row({"metadata:" + key, "", "", "", "", "", value});
+  }
   for (const auto& [key, value] : result.metadata) {
     csv.write_row({"metadata:" + key, "", "", "", "", "", format_auto(value)});
   }

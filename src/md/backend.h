@@ -9,14 +9,17 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/op_counter.h"
+#include "core/simd/pack_fwd.h"
 #include "core/time_model.h"
 #include "md/integrator.h"
 #include "md/lj_potential.h"
 #include "md/particle_system.h"
+#include "md/precision.h"
 #include "md/workload.h"
 
 namespace emdpa::md {
@@ -35,6 +38,14 @@ struct RunConfig {
   double dt = 0.005;
   int steps = 10;       ///< the paper's experiments run 10 time steps
   HostKernel host_kernel = HostKernel::kAuto;
+  /// Numeric precision of the host fast-path kernels (--precision; honoured
+  /// by the host-parallel backend, the device models keep the precisions
+  /// the paper mandates for them).
+  PrecisionMode precision = PrecisionMode::kDouble;
+  /// Force the SIMD instruction set of the host fast-path kernels (--simd;
+  /// host-parallel backend only).  Empty resolves the EMDPA_SIMD
+  /// environment override, then the fastest this CPU supports.
+  std::optional<simd::SimdType> simd_isa;
 
   // Resilience knobs, honoured by the host-parallel backend (the device
   // timing models ignore them — they replay a fixed workload, not a
@@ -75,6 +86,11 @@ struct RunResult {
   /// never render a thread count with an "s" unit.
   std::map<std::string, double> metadata;
 
+  /// Textual execution-layer facts (simd_isa, precision, ...) — the
+  /// non-numeric companions of `metadata`, rendered in the same report
+  /// section.
+  std::map<std::string, std::string> labels;
+
   /// Modelled time of each integration step (size == steps).  Benches use
   /// these to extrapolate long runs from short ones at large atom counts.
   std::vector<ModelTime> step_times;
@@ -113,16 +129,19 @@ class HostReferenceBackend final : public MdBackend {
   RunResult run(const RunConfig& config) override;
 };
 
-/// Real parallel host backend: double precision SoA/SIMD force kernels with
-/// atom rows spread over the shared thread pool.  No device timing model —
-/// this backend exists to run the physics as fast as the build machine
-/// allows.  Per RunConfig::host_kernel it runs either the N^2 SoA batch
-/// kernel or the O(N) neighbour-list path (kAuto crosses over at
-/// kListCrossoverAtoms); wall-clock time lands in breakdown["host_wall"]
-/// and the execution facts (threads, simd_width, kernel_list,
-/// list_rebuilds) in RunResult::metadata.  Energies match host-reference to
+/// Real parallel host backend: SoA/SIMD force kernels with atom rows spread
+/// over the shared thread pool.  No device timing model — this backend
+/// exists to run the physics as fast as the build machine allows.  Per
+/// RunConfig::host_kernel it runs either the N^2 SoA batch kernel or the
+/// O(N) neighbour-list path (kAuto crosses over at kListCrossoverAtoms);
+/// RunConfig::precision / simd_isa pick the kernels' numeric mode and
+/// instruction set (runtime-dispatched, not compile-time).  Wall-clock time
+/// lands in breakdown["host_wall"], the numeric execution facts (threads,
+/// the dispatched kernel's actual simd_width, kernel_list, list_rebuilds)
+/// in RunResult::metadata, and the textual ones (simd_isa, precision) in
+/// RunResult::labels.  In dp mode energies match host-reference to
 /// double-precision reduction tolerance and are bit-identical run to run at
-/// any thread count.
+/// any thread count — and across dispatched ISAs.
 class HostParallelBackend final : public MdBackend {
  public:
   /// Atom count at which kAuto switches from the N^2 SoA kernel to the

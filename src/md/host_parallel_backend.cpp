@@ -15,7 +15,6 @@
 #include "md/backend.h"
 #include "md/checkpoint_manager.h"
 #include "md/simulation.h"
-#include "md/soa_kernel.h"
 
 namespace emdpa::md {
 
@@ -46,6 +45,8 @@ RunResult HostParallelBackend::run(const RunConfig& config) {
   options.dt = config.dt;
   options.kernel = to_sim_kernel(config.host_kernel);
   options.pool = &pool;
+  options.precision = config.precision;
+  options.simd_isa = config.simd_isa;
   options.degrade_to_reference = config.degrade;
   if (config.drift_tolerance > 0.0) {
     HealthPolicy policy;
@@ -123,8 +124,13 @@ RunResult HostParallelBackend::run(const RunConfig& config) {
   // real time.  Execution-layer facts ride in the metadata channel.
   result.breakdown["host_wall"] = ModelTime::seconds(wall_seconds);
   result.metadata["threads"] = static_cast<double>(pool.size());
-  result.metadata["simd_width"] = static_cast<double>(SoaKernel::simd_width());
+  // The width the dispatched kernel actually executes — a runtime property
+  // of the selected ISA and precision, not the compile-time native width.
+  result.metadata["simd_width"] = static_cast<double>(sim.simd_width());
   result.metadata["kernel_list"] = use_list ? 1.0 : 0.0;
+  result.labels["simd_isa"] =
+      sim.simd_isa() ? simd::to_string(*sim.simd_isa()) : "none";
+  result.labels["precision"] = to_string(sim.precision());
   if (use_list) {
     result.metadata["list_rebuilds"] = static_cast<double>(sim.list_rebuilds());
     // Cumulative build-phase wall time over the whole run, so the CI bench
@@ -148,7 +154,7 @@ RunResult HostParallelBackend::run(const RunConfig& config) {
     result.metadata["resume_used_fallback"] = resume_used_fallback ? 1.0 : 0.0;
   }
   result.ops.add("host.threads", pool.size());
-  result.ops.add("host.simd_width", SoaKernel::simd_width());
+  result.ops.add("host.simd_width", sim.simd_width());
   if (use_list) result.ops.add("host.list_rebuilds", sim.list_rebuilds());
 
   result.final_state = std::move(sim.system());

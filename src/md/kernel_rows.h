@@ -1,0 +1,160 @@
+// The hot row loops of the two host LJ fast paths, templated on
+// <Real, Acc, SimdType> so one definition serves every precision mode and
+// every instruction set.  Each per-ISA translation unit
+// (md/simd_rows_*.cpp) instantiates RowKernels for exactly one SimdType —
+// the one it was compiled with -m flags for — and exports the resulting
+// function pointers through the md/simd_kernels.h registry; nothing else
+// may include this header with a vector SimdType it cannot execute.
+//
+// Bitwise ISA independence.  The kernels do NOT accumulate at the pack
+// width: every row is processed in fixed 64-byte blocks
+// (simd::block_lanes<Real>() lanes — 8 doubles / 16 floats), held as
+// kBlock/kWidth sub-pack accumulators.  Lane l of a block accumulates the
+// same j columns on every ISA (only the grouping into hardware registers
+// differs), and reduce_block() sums the block lanes in lane order — so
+// scalar, SSE2, AVX2 and AVX-512 produce BITWISE IDENTICAL forces, energies
+// and virials, and the runtime dispatcher can switch ISAs without touching
+// the physics.  The per-sub-pack early-out cannot break this: skipping an
+// all-out-of-range batch adds exactly nothing, and the accumulators can
+// never hold -0.0 (they start at +0.0, and +0.0 + x never yields -0.0 for
+// the x these loops produce), so "skip" and "add zero" are the same bits.
+// The per-ISA TUs are compiled with -ffp-contract=off, keeping the lane
+// arithmetic (mul-then-add, no FMA contraction) identical across TUs even
+// in a -march=native build.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "core/simd.h"
+#include "core/vec3.h"
+#include "md/lj_simd.h"
+#include "md/lj_potential.h"
+
+namespace emdpa::md::rows {
+
+template <typename Real, typename Acc, simd::SimdType S>
+struct RowKernels {
+  using P = simd::Pack<Real, S>;
+  static constexpr std::size_t kWidth = P::kWidth;
+  static constexpr std::size_t kBlock = simd::block_lanes<Real>();
+  static constexpr std::size_t kSub = kBlock / kWidth;
+  static_assert(kBlock % kWidth == 0,
+                "the 64-byte block must hold a whole number of packs");
+
+  /// Per-row accumulators for one 64-byte block, one sub-pack per kWidth
+  /// lanes.  The same logical lanes on every ISA.
+  struct BlockAcc {
+    P fx[kSub], fy[kSub], fz[kSub], pe[kSub], vir[kSub];
+    BlockAcc() {
+      for (std::size_t s = 0; s < kSub; ++s) {
+        fx[s] = P::zero();
+        fy[s] = P::zero();
+        fz[s] = P::zero();
+        pe[s] = P::zero();
+        vir[s] = P::zero();
+      }
+    }
+  };
+
+  /// Sum a block's lanes in lane order (0..kBlock-1), widening each lane to
+  /// Acc first — the ISA-independent, mixed-precision-correct reduction.
+  static Acc reduce_block(const P* packs) {
+    alignas(simd::kBlockBytes) Real lanes[kBlock];
+    for (std::size_t s = 0; s < kSub; ++s) packs[s].store(lanes + s * kWidth);
+    Acc total = Acc(0);
+    for (std::size_t l = 0; l < kBlock; ++l) {
+      total += static_cast<Acc>(lanes[l]);
+    }
+    return total;
+  }
+
+  static void finish_row(const BlockAcc& a, Acc inv_mass,
+                         emdpa::Vec3<Acc>& accel, Acc& pe, Acc& vir) {
+    accel = emdpa::Vec3<Acc>{reduce_block(a.fx), reduce_block(a.fy),
+                             reduce_block(a.fz)} *
+            inv_mass;
+    pe = Acc(0.5) * reduce_block(a.pe);      // pair seen from both ends
+    vir = Acc(0.5) * reduce_block(a.vir);
+  }
+
+  /// N^2 SoA row range: for each atom i in [i_begin, i_end), sweep all
+  /// padded j columns one block at a time.  `padded` is a multiple of
+  /// kBlock; rows write disjoint outputs, so ranges can run on any thread.
+  static void soa_rows(const Real* xs, const Real* ys, const Real* zs,
+                       std::size_t padded, Real edge, Real cutoff_sq,
+                       const LjParamsT<Real>& lj, Acc inv_mass,
+                       std::size_t i_begin, std::size_t i_end,
+                       emdpa::Vec3<Acc>* accelerations, Acc* row_pe,
+                       Acc* row_virial, std::uint64_t* row_hits) {
+    const LjLaneKernel<Real, S> lanes(edge, cutoff_sq, lj);
+    for (std::size_t i = i_begin; i < i_end; ++i) {
+      const P xi = P::broadcast(xs[i]);
+      const P yi = P::broadcast(ys[i]);
+      const P zi = P::broadcast(zs[i]);
+      BlockAcc a;
+      std::uint64_t hits = 0;
+
+      for (std::size_t j = 0; j < padded; j += kBlock) {
+        // r2 > 0 in the lane mask excludes the self pair; padded columns
+        // sit far outside the cutoff by construction.
+        for (std::size_t s = 0; s < kSub; ++s) {
+          const std::size_t js = j + s * kWidth;
+          const unsigned bits = lanes.accumulate(
+              xi - P::load(xs + js), yi - P::load(ys + js),
+              zi - P::load(zs + js), a.fx[s], a.fy[s], a.fz[s], a.pe[s],
+              a.vir[s]);
+          hits += static_cast<std::uint64_t>(std::popcount(bits));
+        }
+      }
+
+      finish_row(a, inv_mass, accelerations[i], row_pe[i], row_virial[i]);
+      row_hits[i] = hits;
+    }
+  }
+
+  /// Neighbour-list row range: walk each atom's padded CSR row one block at
+  /// a time (scalar gather into aligned lane buffers, then the same masked
+  /// LJ step as the N^2 kernel).  Row extents are multiples of kBlock;
+  /// padding entries are the atom itself, rejected by the r2 > 0 lane mask.
+  static void list_rows(const Real* xs, const Real* ys, const Real* zs,
+                        const std::uint32_t* row_begin,
+                        const std::uint32_t* entries, Real edge,
+                        Real cutoff_sq, const LjParamsT<Real>& lj,
+                        Acc inv_mass, std::size_t i_begin, std::size_t i_end,
+                        emdpa::Vec3<Acc>* accelerations, Acc* row_pe,
+                        Acc* row_virial, std::uint64_t* row_hits) {
+    const LjLaneKernel<Real, S> lanes(edge, cutoff_sq, lj);
+    alignas(simd::kBlockBytes) Real lx[kBlock], ly[kBlock], lz[kBlock];
+    for (std::size_t i = i_begin; i < i_end; ++i) {
+      const P xi = P::broadcast(xs[i]);
+      const P yi = P::broadcast(ys[i]);
+      const P zi = P::broadcast(zs[i]);
+      BlockAcc a;
+      std::uint64_t hits = 0;
+
+      for (std::uint32_t k = row_begin[i]; k < row_begin[i + 1]; k += kBlock) {
+        for (std::size_t l = 0; l < kBlock; ++l) {
+          const std::uint32_t j = entries[k + l];
+          lx[l] = xs[j];
+          ly[l] = ys[j];
+          lz[l] = zs[j];
+        }
+        for (std::size_t s = 0; s < kSub; ++s) {
+          const std::size_t ls = s * kWidth;
+          const unsigned bits = lanes.accumulate(
+              xi - P::load(lx + ls), yi - P::load(ly + ls),
+              zi - P::load(lz + ls), a.fx[s], a.fy[s], a.fz[s], a.pe[s],
+              a.vir[s]);
+          hits += static_cast<std::uint64_t>(std::popcount(bits));
+        }
+      }
+
+      finish_row(a, inv_mass, accelerations[i], row_pe[i], row_virial[i]);
+      row_hits[i] = hits;
+    }
+  }
+};
+
+}  // namespace emdpa::md::rows

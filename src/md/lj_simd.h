@@ -3,15 +3,19 @@
 // Both host fast paths — the N^2 SoA batch kernel and the neighbour-list
 // traversal kernel — evaluate the same per-lane physics: fused
 // single-reflection minimum image on wrapped coordinates, a combined
-// (r2 < cutoff^2) && (r2 > 0) lane mask, and bitwise-blended LJ force /
-// energy / virial accumulation.  Keeping the lane math in one place makes
-// "the list path computes the same physics as the N^2 path" true by
-// construction rather than by parallel maintenance.
+// (r2 < cutoff^2) && (r2 > 0) lane mask, and blended LJ force / energy /
+// virial accumulation.  Keeping the lane math in one place makes "the list
+// path computes the same physics as the N^2 path" true by construction
+// rather than by parallel maintenance.
+//
+// The SimdType parameter selects the Pack the lanes run on; the per-ISA row
+// translation units (md/simd_rows_*.cpp) each instantiate exactly one S, so
+// no TU emits vector code it was not compiled for.
 //
 // The r2 > 0 term excludes the self pair (and any exactly coincident pair;
 // see the divergence note in soa_kernel.h).  Rejected lanes may carry
-// inf/NaN from the 1/r2 at the self pair; select() is a bitwise blend, so
-// they never reach an accumulator.
+// inf/NaN from the 1/r2 at the self pair; select() is a blend, so they
+// never reach an accumulator.
 #pragma once
 
 #include "core/simd.h"
@@ -20,10 +24,10 @@
 namespace emdpa::md {
 
 /// Broadcast constants plus the fused min-image + LJ accumulation step for
-/// one batch of kWidth j-lanes against a fixed atom i.
-template <typename Real>
+/// one batch of Pack<Real, S>::kWidth j-lanes against a fixed atom i.
+template <typename Real, simd::SimdType S = simd::fastest_simd_type()>
 struct LjLaneKernel {
-  using P = simd::NativePack<Real>;
+  using P = simd::Pack<Real, S>;
 
   P v_edge, v_half, v_cut, v_zero, v_one, v_two;
   P v_sigma2, v_eps24, v_eps4, v_shift;

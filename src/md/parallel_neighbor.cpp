@@ -1,23 +1,23 @@
 #include "md/parallel_neighbor.h"
 
 #include <algorithm>
-#include <bit>
 #include <chrono>
 #include <cmath>
 #include <string>
+#include <type_traits>
 
 #include "core/error.h"
 #include "core/fault_injection.h"
-#include "md/lj_simd.h"
 
 namespace emdpa::md {
 
 namespace {
 
-/// Round `count` up to a whole number of SIMD batches.
+/// Round `count` up to a whole number of 64-byte accumulation blocks — the
+/// ISA-independent padding unit (see the header comment).
 template <typename Real>
 constexpr std::uint32_t padded_count(std::uint32_t count) {
-  constexpr auto w = static_cast<std::uint32_t>(simd::native_width<Real>());
+  constexpr auto w = static_cast<std::uint32_t>(simd::block_lanes<Real>());
   return (count + w - 1) / w * w;
 }
 
@@ -460,36 +460,56 @@ void ParallelNeighborListT<Real>::build(
 // NeighborListKernelT
 // ---------------------------------------------------------------------------
 
-template <typename Real>
-NeighborListKernelT<Real>::NeighborListKernelT(Options options)
+template <typename Real, typename Acc>
+NeighborListKernelT<Real, Acc>::NeighborListKernelT(Options options)
     : options_(options),
-      list_(options.skin, options.pool,
-            options.grain < 64 ? 64 : options.grain, options.skin_policy) {}
+      list_(static_cast<Real>(options.skin), options.pool,
+            options.grain < 64 ? 64 : options.grain, options.skin_policy),
+      isa_(simd_kernels::resolve_isa(options.isa)) {
+  const simd_kernels::KernelRows& table = simd_kernels::rows(isa_);
+  width_ = simd_kernels::width<Real>(table);
+  rows_fn_ = simd_kernels::list_rows<Real, Acc>(table);
+}
 
-template <typename Real>
-std::string NeighborListKernelT<Real>::name() const {
-  std::string name = std::string("neighbor-list-soa[") +
-                     simd::to_string(simd::fastest_simd_type()) + ",w" +
-                     std::to_string(simd_width()) + "]";
+template <typename Real, typename Acc>
+std::string NeighborListKernelT<Real, Acc>::name() const {
+  std::string name = std::string("neighbor-list-soa[") + simd::to_string(isa_) +
+                     ",w" + std::to_string(simd_width()) + "," +
+                     precision_tag<Real, Acc>() + "]";
   if (options_.pool != nullptr) {
     name += "[threads=" + std::to_string(options_.pool->size()) + "]";
   }
   return name;
 }
 
-template <typename Real>
-ForceResultT<Real> NeighborListKernelT<Real>::compute(
-    const std::vector<emdpa::Vec3<Real>>& positions,
-    const PeriodicBoxT<Real>& box, const LjParamsT<Real>& lj, Real mass) {
-  using P = simd::NativePack<Real>;
-  constexpr std::size_t kWidth = P::kWidth;
-
+template <typename Real, typename Acc>
+ForceResultT<Acc> NeighborListKernelT<Real, Acc>::compute(
+    const std::vector<emdpa::Vec3<Acc>>& positions,
+    const PeriodicBoxT<Acc>& box, const LjParamsT<Acc>& lj, Acc mass) {
   const std::size_t n = positions.size();
-  ForceResultT<Real> result;
+  ForceResultT<Acc> result;
   result.accelerations.assign(n, {});
   if (n == 0) return result;
 
-  list_.ensure(positions, box, lj.cutoff);
+  // The list build and the lane math both run in Real: narrow the box, LJ
+  // parameters and (when Real != Acc) the positions once, so sp and mixed
+  // traverse exactly the list their lane coordinates were tested against.
+  const PeriodicBoxT<Real> rbox(static_cast<Real>(box.edge()));
+  const LjParamsT<Real> ljr = lj.template cast<Real>();
+  const std::vector<emdpa::Vec3<Real>>* real_positions;
+  if constexpr (std::is_same_v<Real, Acc>) {
+    real_positions = &positions;
+  } else {
+    cast_positions_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      cast_positions_[i] = emdpa::Vec3<Real>{static_cast<Real>(positions[i].x),
+                                             static_cast<Real>(positions[i].y),
+                                             static_cast<Real>(positions[i].z)};
+    }
+    real_positions = &cast_positions_;
+  }
+
+  list_.ensure(*real_positions, rbox, ljr.cutoff);
   ++evaluations_;
 
   if (!xs_ || xs_->size() < n) {
@@ -508,52 +528,23 @@ ForceResultT<Real> NeighborListKernelT<Real>::compute(
   Real* zs = zs_->data();
   auto pack = [&](std::size_t i_begin, std::size_t i_end) {
     for (std::size_t i = i_begin; i < i_end; ++i) {
-      const emdpa::Vec3<Real> p = box.wrap(positions[i]);
+      const emdpa::Vec3<Real> p = rbox.wrap((*real_positions)[i]);
       xs[i] = p.x;
       ys[i] = p.y;
       zs[i] = p.z;
     }
   };
 
-  const LjLaneKernel<Real> lanes(box.edge(), lj.cutoff_squared(), lj);
-  const Real inv_mass = Real(1) / mass;
+  const Acc inv_mass = Acc(1) / mass;
   const std::uint32_t* row_begin = list_.row_begin().data();
   const std::uint32_t* entries = list_.entries().data();
 
+  // The dispatched per-ISA row loop (kernel_rows.h): gather each padded CSR
+  // block, masked LJ accumulate, lane-order reduce.
   auto rows = [&](std::size_t i_begin, std::size_t i_end) {
-    alignas(32) Real lx[kWidth], ly[kWidth], lz[kWidth];
-    for (std::size_t i = i_begin; i < i_end; ++i) {
-      const P xi = P::broadcast(xs[i]);
-      const P yi = P::broadcast(ys[i]);
-      const P zi = P::broadcast(zs[i]);
-      P fx = P::zero(), fy = P::zero(), fz = P::zero();
-      P pe = P::zero(), vir = P::zero();
-      std::uint64_t hits = 0;
-
-      // Walk this atom's neighbour lane batches: gather the j coordinates,
-      // then the same masked LJ step as the N^2 kernel.  Padding entries
-      // are the atom itself, rejected by the r2 > 0 lane mask.
-      for (std::uint32_t k = row_begin[i]; k < row_begin[i + 1]; k += kWidth) {
-        for (std::size_t l = 0; l < kWidth; ++l) {
-          const std::uint32_t j = entries[k + l];
-          lx[l] = xs[j];
-          ly[l] = ys[j];
-          lz[l] = zs[j];
-        }
-        const unsigned bits =
-            lanes.accumulate(xi - P::load(lx), yi - P::load(ly),
-                             zi - P::load(lz), fx, fy, fz, pe, vir);
-        hits += static_cast<std::uint64_t>(std::popcount(bits));
-      }
-
-      result.accelerations[i] = emdpa::Vec3<Real>{reduce_add(fx),
-                                                  reduce_add(fy),
-                                                  reduce_add(fz)} *
-                                inv_mass;
-      row_pe_[i] = Real(0.5) * reduce_add(pe);  // pair seen from both ends
-      row_virial_[i] = Real(0.5) * reduce_add(vir);
-      row_hits_[i] = hits;
-    }
+    rows_fn_(xs, ys, zs, row_begin, entries, rbox.edge(), ljr.cutoff_squared(),
+             ljr, inv_mass, i_begin, i_end, result.accelerations.data(),
+             row_pe_.data(), row_virial_.data(), row_hits_.data());
   };
 
   if (options_.pool != nullptr) {
@@ -566,7 +557,7 @@ ForceResultT<Real> NeighborListKernelT<Real>::compute(
 
   // Ordered reduction over the per-row partials: totals are independent of
   // thread count and chunking, bit-identical run to run.
-  Real total_pe{}, total_virial{};
+  Acc total_pe{}, total_virial{};
   std::uint64_t hits = 0;
   for (std::size_t i = 0; i < n; ++i) {
     total_pe += row_pe_[i];
@@ -584,5 +575,6 @@ template class ParallelNeighborListT<double>;
 template class ParallelNeighborListT<float>;
 template class NeighborListKernelT<double>;
 template class NeighborListKernelT<float>;
+template class NeighborListKernelT<float, double>;
 
 }  // namespace emdpa::md

@@ -22,20 +22,24 @@
 //    a SINGLE pool-parallel sweep writes hits straight into disjoint scratch
 //    ranges; a serial prefix sum and a copy-only compaction then produce the
 //    padded CSR.  Row slot ranges and contents are a pure function of the
-//    inputs, independent of thread count.  Each row is padded to the SIMD
-//    width with the atom's own index: a self entry yields r2 == 0, which the
-//    shared lane mask (lj_simd.h) already rejects.  The build reports two
-//    phase timings — "bin" (wrap + counting sort + stencil tables + scratch
-//    offsets) and "fill" (distance sweep + prefix + compaction) — which the
-//    host-parallel backend surfaces as RunResult::metadata keys
-//    list_build_bin_ms / list_build_fill_ms.
+//    inputs, independent of thread count.  Each row is padded to the 64-byte
+//    ACCUMULATION BLOCK (simd::block_lanes<Real>() — 8 doubles / 16 floats),
+//    not the hardware pack width, so the padded layout is identical on every
+//    runtime-dispatched ISA; padding slots hold the atom's own index, whose
+//    r2 == 0 the shared lane mask (lj_simd.h) already rejects.  The build
+//    reports two phase timings — "bin" (wrap + counting sort + stencil
+//    tables + scratch offsets) and "fill" (distance sweep + prefix +
+//    compaction) — which the host-parallel backend surfaces as
+//    RunResult::metadata keys list_build_bin_ms / list_build_fill_ms.
 //
 //  * NeighborListKernelT — a ForceKernelT that walks each atom's neighbour
-//    lanes kWidth at a time (scalar gather into aligned lane buffers, then
-//    the same fused min-image + masked LJ accumulation as the N^2 SoA
-//    kernel).  Atom rows spread over the pool; per-row partials reduce in
-//    row order, so forces, PE and virial are bitwise identical run to run
-//    at ANY thread count.
+//    lanes one block at a time (scalar gather into aligned lane buffers,
+//    then the same fused min-image + masked LJ accumulation as the N^2 SoA
+//    kernel, through the same runtime-dispatched per-ISA row loops — see
+//    soa_kernel.h for the dispatch and <Real, Acc> precision seams).  Atom
+//    rows spread over the pool; per-row partials reduce in row order, so
+//    forces, PE and virial are bitwise identical run to run at ANY thread
+//    count, and bitwise identical across dispatched ISAs.
 //
 // List validity mirrors VerletListKernelT — rebuilt when an atom has moved
 // more than half the skin since the build — and additionally invalidates on
@@ -51,6 +55,8 @@
 #include "core/simd.h"
 #include "core/thread_pool.h"
 #include "md/force_kernel.h"
+#include "md/precision.h"
+#include "md/simd_kernels.h"
 
 namespace emdpa::md {
 
@@ -72,6 +78,20 @@ enum class SkinPolicy {
 };
 
 const char* to_string(SkinPolicy policy);
+
+/// What the simulation seam needs from any neighbour-list kernel regardless
+/// of its numeric types: rebuild statistics for the run report, and the
+/// checkpoint-time invalidation that keeps a continuing run and a future
+/// resume bitwise identical.  Every NeighborListKernelT instantiation (dp,
+/// sp, mixed) implements it.
+class NeighborListControl {
+ public:
+  virtual ~NeighborListControl() = default;
+  virtual std::uint64_t list_rebuilds() const = 0;
+  virtual void invalidate_list() = 0;
+  virtual double list_bin_seconds() const = 0;
+  virtual double list_fill_seconds() const = 0;
+};
 
 /// SIMD-padded CSR neighbour list with a deterministic pool-parallel build.
 template <typename Real>
@@ -106,8 +126,14 @@ class ParallelNeighborListT {
 
   std::size_t size() const { return build_positions_.size(); }
 
-  /// Row i's padded entry range in entries(): a multiple of the SIMD width;
-  /// padding slots hold i itself.
+  /// Lanes every row's entry range is padded to — the ISA-independent
+  /// accumulation block, so one built list serves any dispatched ISA.
+  static constexpr std::size_t padded_multiple() {
+    return simd::block_lanes<Real>();
+  }
+
+  /// Row i's padded entry range in entries(): a multiple of
+  /// padded_multiple(); padding slots hold i itself.
   const std::vector<std::uint32_t>& row_begin() const { return row_begin_; }
   const std::vector<std::uint32_t>& entries() const { return entries_; }
 
@@ -176,20 +202,27 @@ class ParallelNeighborListT {
 };
 
 /// Neighbour-list force kernel: the host fast path at large N.  Same
-/// physics, determinism guarantees and coincident-atom caveat as SoaKernelT
-/// (see soa_kernel.h); PairStats count unordered pairs, with candidates
-/// bounded by the list size rather than N^2.
-template <typename Real>
-class NeighborListKernelT final : public ForceKernelT<Real> {
+/// physics, ISA dispatch, precision seam, determinism guarantees and
+/// coincident-atom caveat as SoaKernelT (see soa_kernel.h); PairStats count
+/// unordered pairs, with candidates bounded by the list size rather than
+/// N^2.  For Real != Acc the interface positions are narrowed once per
+/// evaluation and BOTH the list build and the lane math run on the same
+/// narrowed coordinates, so sp and mixed traverse identical lists.
+template <typename Real, typename Acc = Real>
+class NeighborListKernelT final : public ForceKernelT<Acc>,
+                                  public NeighborListControl {
  public:
   struct Options {
-    Real skin = Real(0.3);
+    double skin = 0.3;
     /// Pool to split the list build and atom rows over; nullptr runs serial.
     ThreadPool* pool = nullptr;
     /// Atom rows per parallel chunk.
     std::size_t grain = 16;
     /// Displacement-staleness policy (kNeverRebuild is for tests only).
     SkinPolicy skin_policy = SkinPolicy::kHalfSkinDisplacement;
+    /// Force this instruction set; empty resolves EMDPA_SIMD, then the
+    /// fastest available (same seam as SoaKernelT::Options::isa).
+    std::optional<simd::SimdType> isa;
   };
 
   explicit NeighborListKernelT(Options options = {});
@@ -208,25 +241,44 @@ class NeighborListKernelT final : public ForceKernelT<Real> {
   /// price the build; steady-state evaluation reuses the list).
   void invalidate() { list_.invalidate(); }
 
-  static constexpr std::size_t simd_width() {
-    return simd::native_width<Real>();
+  /// The instruction set the dispatcher selected for this instance, and the
+  /// lane count it executes per pack (runtime properties; see soa_kernel.h).
+  simd::SimdType isa() const { return isa_; }
+  std::size_t simd_width() const { return width_; }
+  static constexpr std::size_t block_width() {
+    return simd::block_lanes<Real>();
   }
 
-  ForceResultT<Real> compute(const std::vector<emdpa::Vec3<Real>>& positions,
-                             const PeriodicBoxT<Real>& box,
-                             const LjParamsT<Real>& lj, Real mass) override;
+  // NeighborListControl — the type-erased seam md::Simulation drives.
+  std::uint64_t list_rebuilds() const override { return list_.rebuilds(); }
+  void invalidate_list() override { list_.invalidate(); }
+  double list_bin_seconds() const override {
+    return list_.bin_seconds_total();
+  }
+  double list_fill_seconds() const override {
+    return list_.fill_seconds_total();
+  }
+
+  ForceResultT<Acc> compute(const std::vector<emdpa::Vec3<Acc>>& positions,
+                            const PeriodicBoxT<Acc>& box,
+                            const LjParamsT<Acc>& lj, Acc mass) override;
 
  private:
   Options options_;
   ParallelNeighborListT<Real> list_;
+  simd::SimdType isa_;
+  std::size_t width_;
+  simd_kernels::ListRowsFn<Real, Acc> rows_fn_;
   std::uint64_t evaluations_ = 0;
   // Scratch reused across steps.
-  std::optional<AlignedBuffer<Real, 32>> xs_, ys_, zs_;
-  std::vector<Real> row_pe_, row_virial_;
+  std::optional<AlignedBuffer<Real, 64>> xs_, ys_, zs_;
+  std::vector<emdpa::Vec3<Real>> cast_positions_;  ///< Real != Acc only
+  std::vector<Acc> row_pe_, row_virial_;
   std::vector<std::uint64_t> row_hits_;
 };
 
 using NeighborListKernel = NeighborListKernelT<double>;
 using NeighborListKernelF = NeighborListKernelT<float>;
+using NeighborListKernelMixed = NeighborListKernelT<float, double>;
 
 }  // namespace emdpa::md

@@ -1,0 +1,24 @@
+#include "md/precision.h"
+
+#include "core/error.h"
+
+namespace emdpa::md {
+
+const char* to_string(PrecisionMode mode) {
+  switch (mode) {
+    case PrecisionMode::kDouble: return "dp";
+    case PrecisionMode::kSingle: return "sp";
+    case PrecisionMode::kMixed: return "mixed";
+  }
+  return "unknown";
+}
+
+PrecisionMode parse_precision(const std::string& text) {
+  if (text == "dp" || text == "double") return PrecisionMode::kDouble;
+  if (text == "sp" || text == "single") return PrecisionMode::kSingle;
+  if (text == "mixed") return PrecisionMode::kMixed;
+  throw RuntimeFailure("unknown precision '" + text +
+                       "' (valid: dp, sp, mixed)");
+}
+
+}  // namespace emdpa::md

@@ -1,0 +1,53 @@
+#include "md/simd_kernels.h"
+
+#include "core/error.h"
+#include "core/simd_dispatch.h"
+
+namespace emdpa::md::simd_kernels {
+
+const KernelRows* rows_for(simd::SimdType isa) {
+  switch (isa) {
+    case simd::SimdType::kScalar: return detail::rows_scalar();
+    case simd::SimdType::kSse2: return detail::rows_sse2();
+    case simd::SimdType::kAvx2: return detail::rows_avx2();
+    case simd::SimdType::kAvx512: return detail::rows_avx512();
+  }
+  return nullptr;
+}
+
+unsigned compiled_mask() {
+  unsigned mask = 0;
+  for (const simd::SimdType isa : simd::kIsaRanking) {
+    if (rows_for(isa) != nullptr) mask |= simd::isa_bit(isa);
+  }
+  return mask;
+}
+
+bool isa_available(simd::SimdType isa) {
+  return rows_for(isa) != nullptr && simd::cpu_supports(isa);
+}
+
+std::vector<simd::SimdType> available_isas() {
+  std::vector<simd::SimdType> isas;
+  for (const simd::SimdType isa : simd::kIsaRanking) {
+    if (isa_available(isa)) isas.push_back(isa);
+  }
+  return isas;
+}
+
+simd::SimdType resolve_isa(std::optional<simd::SimdType> request) {
+  if (!request) request = simd::env_simd_override();
+  return simd::choose_isa(compiled_mask(), request);
+}
+
+const KernelRows& rows(simd::SimdType isa) {
+  const KernelRows* table = rows_for(isa);
+  if (table == nullptr) {
+    throw ContractViolation(std::string("SIMD kernel table for '") +
+                            simd::to_string(isa) +
+                            "' requested without resolve_isa()");
+  }
+  return *table;
+}
+
+}  // namespace emdpa::md::simd_kernels

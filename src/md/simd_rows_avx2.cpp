@@ -1,0 +1,18 @@
+// AVX2 row kernels.  Built with -mavx2 -ffp-contract=off; reports "absent"
+// when the compiler could not target AVX2.  The dispatcher only hands out
+// this table on CPUs whose CPUID advertises AVX2, so no AVX2 instruction
+// ever runs on a narrower machine.
+#include "md/simd_rows_impl.h"
+
+namespace emdpa::md::simd_kernels::detail {
+
+#if defined(__AVX2__)
+const KernelRows* rows_avx2() {
+  static const KernelRows table = make_rows<simd::SimdType::kAvx2>();
+  return &table;
+}
+#else
+const KernelRows* rows_avx2() { return nullptr; }
+#endif
+
+}  // namespace emdpa::md::simd_kernels::detail

@@ -1,0 +1,18 @@
+// AVX-512 row kernels (AVX-512F only; see core/simd/pack_avx512.h).  Built
+// with -mavx512f -ffp-contract=off; reports "absent" when the compiler
+// could not target AVX-512F, and the dispatcher additionally gates on the
+// avx512f CPUID bit at runtime.
+#include "md/simd_rows_impl.h"
+
+namespace emdpa::md::simd_kernels::detail {
+
+#if defined(__AVX512F__)
+const KernelRows* rows_avx512() {
+  static const KernelRows table = make_rows<simd::SimdType::kAvx512>();
+  return &table;
+}
+#else
+const KernelRows* rows_avx512() { return nullptr; }
+#endif
+
+}  // namespace emdpa::md::simd_kernels::detail

@@ -1,0 +1,13 @@
+// Scalar row kernels — the always-available dispatch floor.  Built with
+// -ffp-contract=off like every other row TU so the lane arithmetic stays
+// bitwise identical to the vector ISAs even under -march=native.
+#include "md/simd_rows_impl.h"
+
+namespace emdpa::md::simd_kernels::detail {
+
+const KernelRows* rows_scalar() {
+  static const KernelRows table = make_rows<simd::SimdType::kScalar>();
+  return &table;
+}
+
+}  // namespace emdpa::md::simd_kernels::detail

@@ -1,0 +1,16 @@
+// SSE2 row kernels.  Built with -msse2 -ffp-contract=off; reports "absent"
+// when the compiler could not target SSE2 (non-x86 builds).
+#include "md/simd_rows_impl.h"
+
+namespace emdpa::md::simd_kernels::detail {
+
+#if defined(__SSE2__)
+const KernelRows* rows_sse2() {
+  static const KernelRows table = make_rows<simd::SimdType::kSse2>();
+  return &table;
+}
+#else
+const KernelRows* rows_sse2() { return nullptr; }
+#endif
+
+}  // namespace emdpa::md::simd_kernels::detail

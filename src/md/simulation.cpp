@@ -6,6 +6,7 @@
 #include "md/checkpoint.h"
 #include "md/observables.h"
 #include "md/reference_kernel.h"
+#include "md/single_precision.h"
 #include "md/soa_kernel.h"
 
 namespace emdpa::md {
@@ -25,28 +26,87 @@ SimKernel resolve_kernel(const Simulation::Options& options,
              : SimKernel::kSoaN2;
 }
 
-std::unique_ptr<ForceKernel> make_lj_kernel(SimKernel kind,
-                                            const Simulation::Options& options,
-                                            NeighborListKernel** list_view) {
-  *list_view = nullptr;
+/// What make_lj_kernel hands back: the owning kernel plus the non-owning
+/// views and dispatch properties Simulation records about it.
+struct KernelBuild {
+  std::unique_ptr<ForceKernel> kernel;
+  NeighborListControl* list_control = nullptr;
+  std::optional<simd::SimdType> isa;
+  std::size_t width = 1;
+};
+
+KernelBuild make_lj_kernel(SimKernel kind, const Simulation::Options& options) {
+  KernelBuild b;
+  const PrecisionMode precision = options.precision;
   switch (kind) {
     case SimKernel::kReference:
-      return std::make_unique<ReferenceKernel>();
     case SimKernel::kCellList:
-      return std::make_unique<CellListKernel>();
+      if (precision != PrecisionMode::kDouble) {
+        throw RuntimeFailure(
+            std::string("precision '") + to_string(precision) +
+            "' requires a SIMD kernel (soa-n2 or neighbor-list); '" +
+            to_string(kind) + "' runs double only");
+      }
+      if (kind == SimKernel::kReference) {
+        b.kernel = std::make_unique<ReferenceKernel>();
+      } else {
+        b.kernel = std::make_unique<CellListKernel>();
+      }
+      return b;
     case SimKernel::kSoaN2: {
-      SoaKernel::Options o;
-      o.pool = options.pool;
-      return std::make_unique<SoaKernel>(o);
+      auto adopt = [&](auto kernel) {
+        b.isa = kernel->isa();
+        b.width = kernel->simd_width();
+        b.kernel = std::move(kernel);
+      };
+      if (precision == PrecisionMode::kSingle) {
+        SoaKernelF::Options o;
+        o.pool = options.pool;
+        o.isa = options.simd_isa;
+        adopt(std::make_unique<SingleSoaKernel>(o));
+      } else if (precision == PrecisionMode::kMixed) {
+        SoaKernelMixed::Options o;
+        o.pool = options.pool;
+        o.isa = options.simd_isa;
+        adopt(std::make_unique<SoaKernelMixed>(o));
+      } else {
+        SoaKernel::Options o;
+        o.pool = options.pool;
+        o.isa = options.simd_isa;
+        adopt(std::make_unique<SoaKernel>(o));
+      }
+      return b;
     }
     case SimKernel::kNeighborList: {
-      NeighborListKernel::Options o;
-      o.skin = options.skin;
-      o.pool = options.pool;
-      o.skin_policy = options.skin_policy;
-      auto kernel = std::make_unique<NeighborListKernel>(o);
-      *list_view = kernel.get();
-      return kernel;
+      auto adopt = [&](auto kernel) {
+        b.isa = kernel->isa();
+        b.width = kernel->simd_width();
+        b.list_control = kernel.get();
+        b.kernel = std::move(kernel);
+      };
+      if (precision == PrecisionMode::kSingle) {
+        NeighborListKernelF::Options o;
+        o.skin = options.skin;
+        o.pool = options.pool;
+        o.skin_policy = options.skin_policy;
+        o.isa = options.simd_isa;
+        adopt(std::make_unique<SingleNeighborListKernel>(o));
+      } else if (precision == PrecisionMode::kMixed) {
+        NeighborListKernelMixed::Options o;
+        o.skin = options.skin;
+        o.pool = options.pool;
+        o.skin_policy = options.skin_policy;
+        o.isa = options.simd_isa;
+        adopt(std::make_unique<NeighborListKernelMixed>(o));
+      } else {
+        NeighborListKernel::Options o;
+        o.skin = options.skin;
+        o.pool = options.pool;
+        o.skin_policy = options.skin_policy;
+        o.isa = options.simd_isa;
+        adopt(std::make_unique<NeighborListKernel>(o));
+      }
+      return b;
     }
     case SimKernel::kAuto:
       break;  // resolved before we get here
@@ -115,9 +175,14 @@ Simulation::Simulation(ParticleSystem system, PeriodicBox box, long step,
       lj_(options.lj),
       integrator_(options.dt),
       kernel_kind_(resolve_kernel(options, system_.size())),
-      lj_kernel_(make_lj_kernel(kernel_kind_, options, &list_kernel_)),
+      precision_(options.precision),
       degrade_enabled_(options.degrade_to_reference),
       step_(step) {
+  KernelBuild build = make_lj_kernel(kernel_kind_, options);
+  lj_kernel_ = std::move(build.kernel);
+  list_control_ = build.list_control;
+  simd_isa_ = build.isa;
+  simd_width_ = build.width;
   if (options.health) health_.emplace(*options.health);
   if (restored_potential != nullptr) {
     // The checkpointed accelerations ARE the primed state (save_checkpoint
@@ -148,16 +213,15 @@ ForceKernel& Simulation::active_kernel() {
 std::string Simulation::kernel_name() const { return lj_kernel_->name(); }
 
 std::uint64_t Simulation::list_rebuilds() const {
-  return list_kernel_ != nullptr ? list_kernel_->rebuilds() : 0;
+  return list_control_ != nullptr ? list_control_->list_rebuilds() : 0;
 }
 
 double Simulation::list_build_bin_seconds() const {
-  return list_kernel_ != nullptr ? list_kernel_->list().bin_seconds_total() : 0;
+  return list_control_ != nullptr ? list_control_->list_bin_seconds() : 0;
 }
 
 double Simulation::list_build_fill_seconds() const {
-  return list_kernel_ != nullptr ? list_kernel_->list().fill_seconds_total()
-                                 : 0;
+  return list_control_ != nullptr ? list_control_->list_fill_seconds() : 0;
 }
 
 void Simulation::prime() {
@@ -226,7 +290,9 @@ StepEnergies Simulation::step_once() {
 
 void Simulation::degrade_now() {
   kernel_kind_ = SimKernel::kReference;
-  list_kernel_ = nullptr;
+  list_control_ = nullptr;
+  simd_isa_.reset();
+  simd_width_ = 1;
   // The composite (if any) holds a reference to the old kernel; rebuild it
   // against the replacement before anything evaluates forces again.
   lj_kernel_ = std::make_unique<ReferenceKernel>();
@@ -281,7 +347,7 @@ void Simulation::save(std::ostream& out) {
   // Saving is a bitwise synchronisation point: drop the neighbour list so
   // the continuing run and any future resume from this checkpoint both
   // rebuild it from exactly the state just written.
-  if (list_kernel_ != nullptr) list_kernel_->invalidate();
+  if (list_control_ != nullptr) list_control_->invalidate_list();
 }
 
 }  // namespace emdpa::md

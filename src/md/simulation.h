@@ -30,6 +30,7 @@
 #include "md/langevin.h"
 #include "md/minimize.h"
 #include "md/parallel_neighbor.h"
+#include "md/precision.h"
 #include "md/thermostat.h"
 #include "md/workload.h"
 
@@ -66,6 +67,17 @@ class Simulation {
     /// Pool for the SoA/list kernels' row parallelism; nullptr runs serial.
     /// Results are bitwise identical at any thread count either way.
     ThreadPool* pool = nullptr;
+    /// Numeric precision of the LJ fast path (md/precision.h): dp runs
+    /// double end to end, sp runs the float kernels behind a narrowing
+    /// adapter, mixed narrows the lane math but accumulates in double.
+    /// Only the SIMD kernels (kSoaN2 / kNeighborList, or kAuto which
+    /// resolves to one of them) support non-dp; combining sp/mixed with
+    /// kReference or kCellList throws at construction.
+    PrecisionMode precision = PrecisionMode::kDouble;
+    /// Force the SIMD instruction set of the fast-path kernels (throws at
+    /// construction when it cannot run here); empty resolves the EMDPA_SIMD
+    /// environment override, then the fastest this CPU supports.
+    std::optional<simd::SimdType> simd_isa;
     /// Numerical-health watchdog (md/health.h): engaged when set, consulted
     /// every policy.check_every steps after the step completes.  Violations
     /// raise NumericalFailure with step/kernel context.
@@ -101,6 +113,16 @@ class Simulation {
   SimKernel kernel() const { return kernel_kind_; }
   /// The driving LJ kernel's self-reported name (includes SIMD/thread info).
   std::string kernel_name() const;
+  /// Precision mode the run was configured with (Options::precision).
+  PrecisionMode precision() const { return precision_; }
+  /// Instruction set the fast-path kernel dispatched to at construction;
+  /// empty for the scalar kernels (reference, cell-list) and after a
+  /// degrade-to-reference fallback.
+  std::optional<simd::SimdType> simd_isa() const { return simd_isa_; }
+  /// SIMD lane count the dispatched kernel executes per pack — a runtime
+  /// property of the selected ISA, NOT the compile-time native width.
+  /// 1 for the scalar kernels.
+  std::size_t simd_width() const { return simd_width_; }
   /// Neighbour-list rebuilds so far; 0 for the stateless kernels.
   std::uint64_t list_rebuilds() const;
   /// Cumulative wall-clock seconds the neighbour-list builds spent binning
@@ -167,11 +189,13 @@ class Simulation {
   LjParams lj_;
   VelocityVerlet integrator_;
   SimKernel kernel_kind_;                   ///< resolved, never kAuto
-  /// Non-owning view of lj_kernel_ when it is the neighbour-list kernel
-  /// (rebuild statistics); nullptr otherwise.  Declared BEFORE lj_kernel_:
-  /// make_lj_kernel fills it while lj_kernel_ initialises, so its own
-  /// default-initialisation must have happened already.
-  NeighborListKernel* list_kernel_ = nullptr;
+  PrecisionMode precision_ = PrecisionMode::kDouble;
+  std::optional<simd::SimdType> simd_isa_;  ///< dispatched ISA; see simd_isa()
+  std::size_t simd_width_ = 1;
+  /// Non-owning control view of lj_kernel_ when it is one of the
+  /// neighbour-list kernels (dp, sp or mixed): rebuild statistics plus the
+  /// checkpoint-time invalidation sync point.  nullptr otherwise.
+  NeighborListControl* list_control_ = nullptr;
   std::unique_ptr<ForceKernel> lj_kernel_;
   std::unique_ptr<ForceKernel> composite_;  ///< LJ + bonds/angles, if any
   std::optional<BondTopology> bonds_;

@@ -1,0 +1,77 @@
+// Double-facing adapters over the fp32 kernels — the `--precision sp` path.
+//
+// md::Simulation (and everything above it: backends, reports, checkpoints)
+// speaks double.  The sp kernels (SoaKernelT<float>, NeighborListKernelT
+// <float>) speak float end to end — that is the point, ALL their math
+// including the accumulation runs at single precision, reproducing the
+// trade the paper's Cell port makes when it keeps the SPE pipelines in
+// fp32.  These adapters sit on the seam: narrow the double interface once
+// per evaluation, run the float kernel, widen the results back.  The
+// rounding happens exactly where the narrowing casts are written and
+// nowhere else.
+//
+// Contrast with the mixed kernels (<float, double>): those are natively
+// double-facing (ForceKernelT<double>), narrow only the lane inputs and
+// accumulate in double, so they need no adapter.
+#pragma once
+
+#include "md/force_kernel.h"
+#include "md/parallel_neighbor.h"
+#include "md/soa_kernel.h"
+
+namespace emdpa::md {
+
+/// SoaKernelT<float> behind the double ForceKernel interface.
+class SingleSoaKernel final : public ForceKernel {
+ public:
+  explicit SingleSoaKernel(SoaKernelF::Options options = {})
+      : inner_(options) {}
+
+  std::string name() const override { return inner_.name(); }
+  simd::SimdType isa() const { return inner_.isa(); }
+  std::size_t simd_width() const { return inner_.simd_width(); }
+
+  ForceResult compute(const std::vector<emdpa::Vec3<double>>& positions,
+                      const PeriodicBox& box, const LjParams& lj,
+                      double mass) override;
+
+ private:
+  SoaKernelF inner_;
+  std::vector<emdpa::Vec3<float>> positions_f_;
+};
+
+/// NeighborListKernelT<float> behind the double ForceKernel interface;
+/// forwards the NeighborListControl seam to the inner kernel so
+/// md::Simulation can checkpoint-invalidate and report rebuilds as usual.
+class SingleNeighborListKernel final : public ForceKernel,
+                                       public NeighborListControl {
+ public:
+  explicit SingleNeighborListKernel(NeighborListKernelF::Options options = {})
+      : inner_(options) {}
+
+  std::string name() const override { return inner_.name(); }
+  simd::SimdType isa() const { return inner_.isa(); }
+  std::size_t simd_width() const { return inner_.simd_width(); }
+  const NeighborListKernelF& inner() const { return inner_; }
+
+  std::uint64_t list_rebuilds() const override {
+    return inner_.list_rebuilds();
+  }
+  void invalidate_list() override { inner_.invalidate_list(); }
+  double list_bin_seconds() const override {
+    return inner_.list_bin_seconds();
+  }
+  double list_fill_seconds() const override {
+    return inner_.list_fill_seconds();
+  }
+
+  ForceResult compute(const std::vector<emdpa::Vec3<double>>& positions,
+                      const PeriodicBox& box, const LjParams& lj,
+                      double mass) override;
+
+ private:
+  NeighborListKernelF inner_;
+  std::vector<emdpa::Vec3<float>> positions_f_;
+};
+
+}  // namespace emdpa::md

@@ -1,59 +1,22 @@
 #include "md/soa_kernel.h"
 
-#include <bit>
 #include <string>
-
-#include "md/lj_simd.h"
 
 namespace emdpa::md {
 
-namespace {
-
-/// One batch-SIMD row range: for each atom i in [i_begin, i_end), sweep all
-/// padded j columns kWidth at a time.  Pure function of its inputs; rows
-/// write disjoint outputs, so ranges can run on any thread.
-template <typename Real>
-void compute_rows(const Real* xs, const Real* ys, const Real* zs,
-                  std::size_t padded, Real edge, Real cutoff_sq,
-                  const LjParamsT<Real>& lj, Real inv_mass,
-                  std::size_t i_begin, std::size_t i_end,
-                  emdpa::Vec3<Real>* accelerations, Real* row_pe,
-                  Real* row_virial, std::uint64_t* row_hits) {
-  using P = simd::NativePack<Real>;
-  const LjLaneKernel<Real> lanes(edge, cutoff_sq, lj);
-
-  for (std::size_t i = i_begin; i < i_end; ++i) {
-    const P xi = P::broadcast(xs[i]);
-    const P yi = P::broadcast(ys[i]);
-    const P zi = P::broadcast(zs[i]);
-    P fx = P::zero(), fy = P::zero(), fz = P::zero();
-    P pe = P::zero(), vir = P::zero();
-    std::uint64_t hits = 0;
-
-    for (std::size_t j = 0; j < padded; j += P::kWidth) {
-      // r2 > 0 in the lane mask excludes the self pair; padded columns sit
-      // far outside the cutoff by construction.
-      const unsigned bits =
-          lanes.accumulate(xi - P::load(xs + j), yi - P::load(ys + j),
-                           zi - P::load(zs + j), fx, fy, fz, pe, vir);
-      hits += static_cast<std::uint64_t>(std::popcount(bits));
-    }
-
-    accelerations[i] = emdpa::Vec3<Real>{reduce_add(fx), reduce_add(fy),
-                                         reduce_add(fz)} *
-                       inv_mass;
-    row_pe[i] = Real(0.5) * reduce_add(pe);      // pair seen from both ends
-    row_virial[i] = Real(0.5) * reduce_add(vir);
-    row_hits[i] = hits;
-  }
+template <typename Real, typename Acc>
+SoaKernelT<Real, Acc>::SoaKernelT(Options options)
+    : options_(options), isa_(simd_kernels::resolve_isa(options.isa)) {
+  const simd_kernels::KernelRows& table = simd_kernels::rows(isa_);
+  width_ = simd_kernels::width<Real>(table);
+  rows_fn_ = simd_kernels::soa_rows<Real, Acc>(table);
 }
 
-}  // namespace
-
-template <typename Real>
-std::string SoaKernelT<Real>::name() const {
+template <typename Real, typename Acc>
+std::string SoaKernelT<Real, Acc>::name() const {
   std::string name = std::string("soa-simd[") + simd_name() + ",w" +
-                     std::to_string(simd_width()) + "][" +
+                     std::to_string(simd_width()) + "," +
+                     precision_tag<Real, Acc>() + "][" +
                      to_string(options_.strategy) + "]";
   if (options_.pool != nullptr) {
     name += "[threads=" + std::to_string(options_.pool->size()) + "]";
@@ -61,8 +24,9 @@ std::string SoaKernelT<Real>::name() const {
   return name;
 }
 
-template <typename Real>
-void SoaKernelT<Real>::ensure_capacity(std::size_t padded, std::size_t n) {
+template <typename Real, typename Acc>
+void SoaKernelT<Real, Acc>::ensure_capacity(std::size_t padded,
+                                            std::size_t n) {
   if (!xs_ || xs_->size() < padded) {
     xs_.emplace(padded);
     ys_.emplace(padded);
@@ -73,43 +37,53 @@ void SoaKernelT<Real>::ensure_capacity(std::size_t padded, std::size_t n) {
   row_hits_.resize(n);
 }
 
-template <typename Real>
-ForceResultT<Real> SoaKernelT<Real>::compute(
-    const std::vector<emdpa::Vec3<Real>>& positions,
-    const PeriodicBoxT<Real>& box, const LjParamsT<Real>& lj, Real mass) {
+template <typename Real, typename Acc>
+ForceResultT<Acc> SoaKernelT<Real, Acc>::compute(
+    const std::vector<emdpa::Vec3<Acc>>& positions,
+    const PeriodicBoxT<Acc>& box, const LjParamsT<Acc>& lj, Acc mass) {
   const std::size_t n = positions.size();
-  ForceResultT<Real> result;
+  ForceResultT<Acc> result;
   result.accelerations.assign(n, {});
   if (n == 0) return result;
 
-  constexpr std::size_t kWidth = simd_width();
-  const std::size_t padded = (n + kWidth - 1) / kWidth * kWidth;
+  // Pad to whole accumulation blocks (not packs): the padded layout, and so
+  // the accumulation order, is identical on every dispatched ISA.
+  constexpr std::size_t kBlock = block_width();
+  const std::size_t padded = (n + kBlock - 1) / kBlock * kBlock;
   ensure_capacity(padded, n);
 
-  // Pack into SoA lanes, wrapping once so the fused reflection in the inner
-  // loop is exact (the hoisted part of every min-image strategy).
+  // The lane math runs in Real: narrow the box and LJ parameters once (a
+  // no-op in dp) so sp and mixed share one code path bit for bit.
+  const PeriodicBoxT<Real> rbox(static_cast<Real>(box.edge()));
+  const LjParamsT<Real> ljr = lj.template cast<Real>();
+
+  // Pack into SoA lanes, narrowing then wrapping once so the fused
+  // reflection in the inner loop is exact (the hoisted part of every
+  // min-image strategy) on exactly the coordinates the lanes will see.
   Real* xs = xs_->data();
   Real* ys = ys_->data();
   Real* zs = zs_->data();
   for (std::size_t i = 0; i < n; ++i) {
-    const emdpa::Vec3<Real> p = box.wrap(positions[i]);
+    const emdpa::Vec3<Real> p = rbox.wrap(
+        emdpa::Vec3<Real>{static_cast<Real>(positions[i].x),
+                          static_cast<Real>(positions[i].y),
+                          static_cast<Real>(positions[i].z)});
     xs[i] = p.x;
     ys[i] = p.y;
     zs[i] = p.z;
   }
   // Padding columns: far enough out that one reflection still leaves them
   // beyond the cutoff, so their lanes never pass the range mask.
-  const Real sentinel = Real(4) * (box.edge() + lj.cutoff);
+  const Real sentinel = Real(4) * (rbox.edge() + ljr.cutoff);
   for (std::size_t j = n; j < xs_->size(); ++j) {
     xs[j] = ys[j] = zs[j] = sentinel;
   }
 
-  const Real inv_mass = Real(1) / mass;
+  const Acc inv_mass = Acc(1) / mass;
   auto rows = [&](std::size_t row_begin, std::size_t row_end) {
-    compute_rows<Real>(xs, ys, zs, padded, box.edge(), lj.cutoff_squared(),
-                       lj, inv_mass, row_begin, row_end,
-                       result.accelerations.data(), row_pe_.data(),
-                       row_virial_.data(), row_hits_.data());
+    rows_fn_(xs, ys, zs, padded, rbox.edge(), ljr.cutoff_squared(), ljr,
+             inv_mass, row_begin, row_end, result.accelerations.data(),
+             row_pe_.data(), row_virial_.data(), row_hits_.data());
   };
   if (options_.pool != nullptr) {
     options_.pool->parallel_for(0, n, options_.grain, rows);
@@ -119,7 +93,7 @@ ForceResultT<Real> SoaKernelT<Real>::compute(
 
   // Ordered reduction over the per-row partials: totals are independent of
   // thread count and chunking, bit-identical run to run.
-  Real pe{}, virial{};
+  Acc pe{}, virial{};
   std::uint64_t interacting = 0;
   for (std::size_t i = 0; i < n; ++i) {
     pe += row_pe_[i];
@@ -137,5 +111,6 @@ ForceResultT<Real> SoaKernelT<Real>::compute(
 
 template class SoaKernelT<double>;
 template class SoaKernelT<float>;
+template class SoaKernelT<float, double>;
 
 }  // namespace emdpa::md

@@ -3,12 +3,22 @@
 // ports, running as fast as the build machine allows.
 //
 // Differences from ReferenceKernelT, in the order they matter:
-//  * SoA layout: positions live in separate 32-byte-aligned x/y/z arrays, so
+//  * SoA layout: positions live in separate 64-byte-aligned x/y/z arrays, so
 //    a SIMD lane load touches contiguous memory (no AoS gather).
-//  * Batch inner loop: each atom row tests kWidth j-atoms at a time; the
-//    cutoff test and the force/energy accumulation are fused behind one lane
-//    mask (a bitwise blend), with an any-lane early-out for the ~97% of
-//    batches with no interacting pair.
+//  * Batch inner loop: each atom row tests j-atoms one 64-byte block at a
+//    time (simd::block_lanes lanes, a whole number of packs on every ISA);
+//    the cutoff test and the force/energy accumulation are fused behind one
+//    lane mask (a blend), with an any-lane early-out per pack for the ~97%
+//    of batches with no interacting pair.
+//  * Runtime ISA dispatch: the row loop is compiled once per instruction
+//    set (md/simd_rows_*.cpp) and the constructor resolves which table to
+//    run — Options::isa, else EMDPA_SIMD, else the fastest this CPU
+//    supports.  Because rows accumulate in fixed blocks reduced in lane
+//    order, every ISA produces BITWISE IDENTICAL results (kernel_rows.h).
+//  * Precision seam: `Real` is the packed coordinate / lane-math type and
+//    `Acc` the interface/reduction type (md/precision.h) — <double,double>
+//    is the dp default, <float,float> the sp kernel behind the narrowing
+//    adapter, <float,double> the natively double-facing mixed kernel.
 //  * Min-image hoisted and fused: positions are wrapped into the box once at
 //    pack time, after which all four MinImageStrategy variants agree exactly
 //    (the property the reference-kernel tests assert), so every strategy
@@ -32,12 +42,14 @@
 #include "core/simd.h"
 #include "core/thread_pool.h"
 #include "md/force_kernel.h"
+#include "md/precision.h"
 #include "md/reference_kernel.h"
+#include "md/simd_kernels.h"
 
 namespace emdpa::md {
 
-template <typename Real>
-class SoaKernelT final : public ForceKernelT<Real> {
+template <typename Real, typename Acc = Real>
+class SoaKernelT final : public ForceKernelT<Acc> {
  public:
   struct Options {
     MinImageStrategy strategy = MinImageStrategy::kRound;
@@ -45,39 +57,51 @@ class SoaKernelT final : public ForceKernelT<Real> {
     ThreadPool* pool = nullptr;
     /// Atom rows per parallel chunk.
     std::size_t grain = 16;
+    /// Force this instruction set (throws at construction when it cannot
+    /// run here); empty resolves EMDPA_SIMD, then the fastest available.
+    std::optional<simd::SimdType> isa;
   };
 
-  explicit SoaKernelT(Options options = {}) : options_(options) {}
+  explicit SoaKernelT(Options options = {});
   explicit SoaKernelT(MinImageStrategy strategy)
-      : options_(Options{strategy, nullptr, 16}) {}
+      : SoaKernelT(Options{strategy, nullptr, 16, {}}) {}
 
   std::string name() const override;
 
   MinImageStrategy strategy() const { return options_.strategy; }
 
-  /// SIMD lane count this build executes per batch (compile-time dispatch).
-  static constexpr std::size_t simd_width() {
-    return simd::native_width<Real>();
-  }
-  static constexpr const char* simd_name() {
-    return simd::to_string(simd::fastest_simd_type());
+  /// The instruction set the dispatcher selected for this instance.
+  simd::SimdType isa() const { return isa_; }
+  const char* simd_name() const { return simd::to_string(isa_); }
+
+  /// SIMD lane count the dispatched kernel executes per pack — a runtime
+  /// property of the selected ISA, NOT the compile-time native width.
+  std::size_t simd_width() const { return width_; }
+
+  /// Lanes per accumulation block; rows are padded to this on every ISA.
+  static constexpr std::size_t block_width() {
+    return simd::block_lanes<Real>();
   }
 
-  ForceResultT<Real> compute(const std::vector<emdpa::Vec3<Real>>& positions,
-                             const PeriodicBoxT<Real>& box,
-                             const LjParamsT<Real>& lj, Real mass) override;
+  ForceResultT<Acc> compute(const std::vector<emdpa::Vec3<Acc>>& positions,
+                            const PeriodicBoxT<Acc>& box,
+                            const LjParamsT<Acc>& lj, Acc mass) override;
 
  private:
   void ensure_capacity(std::size_t padded, std::size_t n);
 
   Options options_;
+  simd::SimdType isa_;
+  std::size_t width_;
+  simd_kernels::SoaRowsFn<Real, Acc> rows_fn_;
   // Scratch reused across steps (one kernel instance drives a whole run).
-  std::optional<AlignedBuffer<Real, 32>> xs_, ys_, zs_;
-  std::vector<Real> row_pe_, row_virial_;
+  std::optional<AlignedBuffer<Real, 64>> xs_, ys_, zs_;
+  std::vector<Acc> row_pe_, row_virial_;
   std::vector<std::uint64_t> row_hits_;
 };
 
 using SoaKernel = SoaKernelT<double>;
 using SoaKernelF = SoaKernelT<float>;
+using SoaKernelMixed = SoaKernelT<float, double>;
 
 }  // namespace emdpa::md

@@ -1,0 +1,152 @@
+// core/simd_dispatch.h: CPUID gating, ISA parsing, the EMDPA_SIMD
+// environment override and the ranked choose_isa() policy.  Everything here
+// exercises the selection logic with synthetic compiled-masks — which
+// tables the actual binary carries is md-layer territory
+// (tests/md/simd_isa_test.cpp).
+#include "core/simd_dispatch.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "core/error.h"
+
+namespace emdpa::simd {
+namespace {
+
+/// Sets EMDPA_SIMD for one test, restoring the previous value on exit so
+/// tests cannot leak an override into each other (or into a CI matrix leg
+/// that set the variable for the whole suite).
+class ScopedSimdEnv {
+ public:
+  explicit ScopedSimdEnv(const char* value) {
+    const char* old = std::getenv("EMDPA_SIMD");
+    if (old != nullptr) saved_ = old;
+    had_value_ = old != nullptr;
+    if (value != nullptr) {
+      ::setenv("EMDPA_SIMD", value, 1);
+    } else {
+      ::unsetenv("EMDPA_SIMD");
+    }
+  }
+  ~ScopedSimdEnv() {
+    if (had_value_) {
+      ::setenv("EMDPA_SIMD", saved_.c_str(), 1);
+    } else {
+      ::unsetenv("EMDPA_SIMD");
+    }
+  }
+
+ private:
+  std::string saved_;
+  bool had_value_ = false;
+};
+
+constexpr unsigned kAllIsas =
+    isa_bit(SimdType::kScalar) | isa_bit(SimdType::kSse2) |
+    isa_bit(SimdType::kAvx2) | isa_bit(SimdType::kAvx512);
+
+TEST(SimdDispatch, ParseRoundTripsEverySpelling) {
+  for (const SimdType isa : kIsaRanking) {
+    EXPECT_EQ(parse_simd_type(to_string(isa)), isa);
+  }
+}
+
+TEST(SimdDispatch, ParseRejectsUnknownWithValidSpellings) {
+  try {
+    parse_simd_type("avx9000");
+    FAIL() << "expected RuntimeFailure";
+  } catch (const RuntimeFailure& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("avx9000"), std::string::npos);
+    EXPECT_NE(what.find("valid: scalar, sse2, avx2, avx512"),
+              std::string::npos);
+  }
+}
+
+TEST(SimdDispatch, ScalarIsAlwaysSupported) {
+  EXPECT_TRUE(cpu_supports(SimdType::kScalar));
+}
+
+TEST(SimdDispatch, CpuSupportIsMonotoneDownTheRanking) {
+  // A CPU with AVX-512F has AVX2; a CPU with AVX2 has SSE2.  This is both
+  // an architectural fact and what makes "first supported in ranking order"
+  // a safe dispatch policy.
+  if (cpu_supports(SimdType::kAvx512)) {
+    EXPECT_TRUE(cpu_supports(SimdType::kAvx2));
+  }
+  if (cpu_supports(SimdType::kAvx2)) {
+    EXPECT_TRUE(cpu_supports(SimdType::kSse2));
+  }
+}
+
+TEST(SimdDispatch, ChooseWalksRankingWithoutRequest) {
+  // With every table compiled in, auto-dispatch returns the first ISA this
+  // CPU supports, in ranking (widest-first) order.
+  const SimdType chosen = choose_isa(kAllIsas, std::nullopt);
+  EXPECT_TRUE(cpu_supports(chosen));
+  for (const SimdType isa : kIsaRanking) {
+    if (isa == chosen) break;
+    EXPECT_FALSE(cpu_supports(isa)) << "skipped a supported wider ISA";
+  }
+}
+
+TEST(SimdDispatch, ChooseRespectsCompiledMask) {
+  // A binary carrying only the scalar table must select scalar no matter
+  // how wide the CPU is.
+  EXPECT_EQ(choose_isa(isa_bit(SimdType::kScalar), std::nullopt),
+            SimdType::kScalar);
+}
+
+TEST(SimdDispatch, ExplicitRequestNotCompiledInThrows) {
+  try {
+    choose_isa(isa_bit(SimdType::kScalar), SimdType::kAvx2);
+    FAIL() << "expected RuntimeFailure";
+  } catch (const RuntimeFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("not compiled into this binary"),
+              std::string::npos);
+  }
+}
+
+TEST(SimdDispatch, ExplicitScalarRequestAlwaysWorks) {
+  EXPECT_EQ(choose_isa(kAllIsas, SimdType::kScalar), SimdType::kScalar);
+}
+
+TEST(SimdDispatch, EmptyMaskThrows) {
+  EXPECT_THROW(choose_isa(0u, std::nullopt), RuntimeFailure);
+}
+
+TEST(SimdDispatch, EnvOverrideUnsetOrEmptyMeansNoPreference) {
+  {
+    ScopedSimdEnv env(nullptr);
+    EXPECT_FALSE(env_simd_override().has_value());
+  }
+  {
+    // CI matrix legs default the variable to "" for the unforced leg; that
+    // must read as unset, not as a parse error.
+    ScopedSimdEnv env("");
+    EXPECT_FALSE(env_simd_override().has_value());
+  }
+}
+
+TEST(SimdDispatch, EnvOverrideParsesAndNamesItselfOnError) {
+  {
+    ScopedSimdEnv env("scalar");
+    ASSERT_TRUE(env_simd_override().has_value());
+    EXPECT_EQ(*env_simd_override(), SimdType::kScalar);
+  }
+  {
+    ScopedSimdEnv env("pentium");
+    try {
+      env_simd_override();
+      FAIL() << "expected RuntimeFailure";
+    } catch (const RuntimeFailure& e) {
+      // A typo must fail loudly, naming the variable, not silently
+      // auto-dispatch.
+      EXPECT_NE(std::string(e.what()).find("EMDPA_SIMD"), std::string::npos);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace emdpa::simd

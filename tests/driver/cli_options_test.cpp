@@ -129,6 +129,36 @@ TEST(CliOptions, ResilienceFlagsRejectBadInput) {
                RuntimeFailure);
 }
 
+TEST(CliOptions, SimdAndPrecisionFlagsPopulateRunConfig) {
+  const CliOptions defaults = parse_cli({"run", "--backend", "host-parallel"});
+  EXPECT_FALSE(defaults.run_config.simd_isa.has_value());
+  EXPECT_EQ(defaults.run_config.precision, md::PrecisionMode::kDouble);
+
+  const CliOptions options =
+      parse_cli({"run", "--backend", "host-parallel", "--simd", "sse2",
+                 "--precision", "mixed"});
+  ASSERT_TRUE(options.run_config.simd_isa.has_value());
+  EXPECT_EQ(*options.run_config.simd_isa, simd::SimdType::kSse2);
+  EXPECT_EQ(options.run_config.precision, md::PrecisionMode::kMixed);
+}
+
+TEST(CliOptions, SimdAndPrecisionFlagsRejectBadInput) {
+  EXPECT_THROW(parse_cli({"run", "--backend", "x", "--simd", "altivec"}),
+               RuntimeFailure);
+  EXPECT_THROW(parse_cli({"run", "--backend", "x", "--simd"}), RuntimeFailure);
+  EXPECT_THROW(parse_cli({"run", "--backend", "x", "--precision", "fp16"}),
+               RuntimeFailure);
+  EXPECT_THROW(parse_cli({"run", "--backend", "x", "--precision"}),
+               RuntimeFailure);
+}
+
+TEST(CliOptions, UsageDocumentsSimdAndPrecision) {
+  const std::string usage = cli_usage();
+  EXPECT_NE(usage.find("--simd"), std::string::npos);
+  EXPECT_NE(usage.find("--precision"), std::string::npos);
+  EXPECT_NE(usage.find("EMDPA_SIMD"), std::string::npos);
+}
+
 TEST(CliOptions, UsageDocumentsResilience) {
   const std::string usage = cli_usage();
   EXPECT_NE(usage.find("--checkpoint-every"), std::string::npos);

@@ -39,7 +39,8 @@ TEST(Report, CsvRowCountMatchesBreakdownAndMetadata) {
   const std::string csv = render_run_csv(result, config);
   const auto lines = std::count(csv.begin(), csv.end(), '\n');
   EXPECT_EQ(static_cast<std::size_t>(lines),
-            2 + result.breakdown.size() + result.metadata.size());
+            2 + result.breakdown.size() + result.labels.size() +
+                result.metadata.size());
 }
 
 md::RunResult parallel_result(md::RunConfig* config) {
@@ -69,6 +70,21 @@ TEST(Report, MetadataCsvRowsUseDedicatedColumn) {
   EXPECT_NE(csv.find("metadata_value"), std::string::npos);
   EXPECT_NE(csv.find("metadata:threads,,,,,,"), std::string::npos);
   EXPECT_NE(csv.find("metadata:simd_width,,,,,,"), std::string::npos);
+  // Textual labels ride the same metadata row shape.
+  EXPECT_NE(csv.find("metadata:simd_isa,,,,,,"), std::string::npos);
+  EXPECT_NE(csv.find("metadata:precision,,,,,,dp"), std::string::npos);
+}
+
+TEST(Report, LabelsRenderInExecutionSection) {
+  md::RunConfig config;
+  const auto result = parallel_result(&config);
+  ASSERT_GT(result.labels.count("simd_isa"), 0u);
+  ASSERT_GT(result.labels.count("precision"), 0u);
+  const std::string report = render_run_report(result, config);
+  const auto execution = report.find("execution:");
+  ASSERT_NE(execution, std::string::npos);
+  EXPECT_GT(report.find("simd_isa"), execution);
+  EXPECT_GT(report.find("precision"), execution);
 }
 
 }  // namespace

@@ -204,7 +204,9 @@ TEST(ParallelNeighborList, PaddedRowsHoldSelfIndex) {
   const auto& begin = list.row_begin();
   const auto& entries = list.entries();
   ASSERT_EQ(begin.size(), 65u);
-  const std::size_t width = NeighborListKernel::simd_width();
+  // Rows are padded to the ISA-independent accumulation block, not the
+  // dispatched pack width, so one list layout serves every runtime ISA.
+  const std::size_t width = NeighborListKernel::block_width();
   std::uint64_t directed = 0;
   for (std::size_t i = 0; i < 64; ++i) {
     const std::size_t extent = begin[i + 1] - begin[i];

@@ -26,6 +26,10 @@ struct MeltSpec {
   double skin = 0.3;
   SkinPolicy skin_policy = SkinPolicy::kHalfSkinDisplacement;
   double dt = 0.005;
+  /// Force the SIMD kernels' instruction set; empty auto-dispatches.
+  std::optional<simd::SimdType> isa;
+  /// Numeric precision of the fast-path kernels (dp / sp / mixed).
+  PrecisionMode precision = PrecisionMode::kDouble;
 };
 
 inline Trajectory run_melt(const MeltSpec& spec) {
@@ -36,6 +40,8 @@ inline Trajectory run_melt(const MeltSpec& spec) {
   options.skin = spec.skin;
   options.skin_policy = spec.skin_policy;
   options.pool = spec.pool;
+  options.simd_isa = spec.isa;
+  options.precision = spec.precision;
 
   Simulation sim(options);
   Trajectory trajectory;

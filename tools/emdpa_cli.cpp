@@ -43,10 +43,17 @@ int run_compare(const driver::CliOptions& options) {
   for (const auto& info : driver::available_backends()) {
     auto backend = driver::make_backend(info.key);
     std::string time_cell, wall_cell = "-", kernel_cell = "-", energy_cell;
+    std::string precision_cell = backend->precision();
     try {
       const md::RunResult result = backend->run(options.run_config);
       time_cell = format_auto(result.device_time.to_seconds());
       energy_cell = format_fixed(result.energies.back().total(), 4);
+      // Host rows report the precision mode the run actually used (dp, sp,
+      // mixed) rather than the backend's static default.
+      const auto precision = result.labels.find("precision");
+      if (precision != result.labels.end()) {
+        precision_cell = precision->second;
+      }
       const auto wall = result.breakdown.find("host_wall");
       if (wall != result.breakdown.end()) {
         wall_cell = format_auto(wall->second.to_seconds());
@@ -71,10 +78,10 @@ int run_compare(const driver::CliOptions& options) {
       energy_cell = e.what();
       if (energy_cell.size() > 40) energy_cell.resize(40);
     }
-    table.add_row({info.key, backend->precision(), time_cell, wall_cell,
+    table.add_row({info.key, precision_cell, time_cell, wall_cell,
                    kernel_cell, energy_cell});
-    csv_lines.push_back(info.key + "," + backend->precision() + "," +
-                        time_cell + "," + wall_cell + "," + kernel_cell + "," +
+    csv_lines.push_back(info.key + "," + precision_cell + "," + time_cell +
+                        "," + wall_cell + "," + kernel_cell + "," +
                         energy_cell);
   }
 
