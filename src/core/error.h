@@ -82,6 +82,23 @@ class NumericalFailure : public RuntimeFailure {
       : RuntimeFailure(what, std::move(context)) {}
 };
 
+/// Thrown when a run stops cooperatively on an operator signal (SIGINT /
+/// SIGTERM, see core/interrupt.h) after the state was checkpointed.  A
+/// distinct type so the driver can exit with its own code: orchestrators
+/// must be able to tell "interrupted but resumable" from a crash or a
+/// numerical failure.
+class Interrupted : public RuntimeFailure {
+ public:
+  Interrupted(const std::string& what, int signal, ErrorContext context = {})
+      : RuntimeFailure(what, std::move(context)), signal_(signal) {}
+
+  /// The signal number that triggered the stop (SIGINT, SIGTERM).
+  int signal() const { return signal_; }
+
+ private:
+  int signal_;
+};
+
 /// The context attached to `e`, or nullptr when its dynamic type carries
 /// none.  Works on any caught std::exception.
 inline const ErrorContext* error_context(const std::exception& e) {

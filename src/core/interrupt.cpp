@@ -1,0 +1,33 @@
+#include "core/interrupt.h"
+
+#include <csignal>
+
+namespace emdpa {
+
+namespace {
+
+// The only thing a handler may touch: a lock-free sig_atomic_t latch.
+volatile std::sig_atomic_t g_signal = 0;
+
+void latch_signal(int signal) { g_signal = signal; }
+
+}  // namespace
+
+void arm_interrupt_handlers() {
+  std::signal(SIGINT, latch_signal);
+  std::signal(SIGTERM, latch_signal);
+}
+
+int interrupt_signal() { return static_cast<int>(g_signal); }
+
+void clear_interrupt() { g_signal = 0; }
+
+const char* interrupt_signal_name(int signal) {
+  switch (signal) {
+    case SIGINT: return "SIGINT";
+    case SIGTERM: return "SIGTERM";
+    default: return "signal";
+  }
+}
+
+}  // namespace emdpa

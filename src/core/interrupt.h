@@ -1,0 +1,35 @@
+// Cooperative SIGINT/SIGTERM handling (resilience layer).
+//
+// The emergency-checkpoint machinery exists so no failure mode discards
+// completed work — yet before this seam an operator's Ctrl-C or an
+// orchestrator's TERM did exactly that, killing the process between two
+// periodic checkpoints.  arm_interrupt_handlers() installs async-signal-safe
+// handlers that only latch the signal number; the simulation loops poll
+// interrupt_requested() at their natural boundaries (per step in the
+// host-parallel backend, per slice in the job scheduler), write a final
+// checkpoint and unwind with core/error.h's Interrupted so the driver can
+// exit with a distinct, resumable-meaning code.
+//
+// The latch is process-global by design (a signal is a process-level event),
+// and nothing in the library polls it unless a driver armed the handlers —
+// library embedders keep their own signal disposition untouched.
+#pragma once
+
+namespace emdpa {
+
+/// Install the latching SIGINT/SIGTERM handlers.  Idempotent.
+void arm_interrupt_handlers();
+
+/// The latched signal number, or 0 when no signal has arrived.
+int interrupt_signal();
+
+/// True once a latched SIGINT/SIGTERM is pending.
+inline bool interrupt_requested() { return interrupt_signal() != 0; }
+
+/// Reset the latch (tests; a driver drains by exiting instead).
+void clear_interrupt();
+
+/// "SIGINT" / "SIGTERM" / "signal <n>" for messages.
+const char* interrupt_signal_name(int signal);
+
+}  // namespace emdpa

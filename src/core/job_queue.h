@@ -1,0 +1,62 @@
+// Deterministic priority queue for the cooperative job scheduler.
+//
+// A scheduler multiplexing simulations over shared compute needs two
+// orderings at once: strict priority between bands, and fairness inside a
+// band.  Both must be deterministic — the batch determinism guarantee
+// ("time-sliced jobs finish bitwise identical to standalone runs") only
+// composes into a reproducible *batch* if the interleaving itself replays.
+//
+// Entries are therefore ranked by (priority desc, push sequence asc): no
+// timestamps, no pointer order.  Re-pushing a job after its time slice
+// assigns a fresh sequence number, sending it to the back of its priority
+// band — exactly round-robin among equal-priority jobs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "core/error.h"
+
+namespace emdpa {
+
+/// Max-priority queue of opaque job ids (indices into the caller's job
+/// table).  Not thread-safe: the scheduler's control loop is single-threaded
+/// by design — parallelism lives inside each job's force kernels.
+class JobQueue {
+ public:
+  void push(std::size_t id, int priority) {
+    heap_.push(Entry{priority, next_sequence_++, id});
+  }
+
+  /// Remove and return the highest-priority (then longest-waiting) id.
+  std::size_t pop() {
+    EMDPA_REQUIRE(!heap_.empty(), "pop from an empty job queue");
+    const std::size_t id = heap_.top().id;
+    heap_.pop();
+    return id;
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+ private:
+  struct Entry {
+    int priority;
+    std::uint64_t sequence;
+    std::size_t id;
+
+    /// std::priority_queue is a max-heap on operator<: "less" means "served
+    /// later", i.e. lower priority, or same priority but pushed later.
+    bool operator<(const Entry& other) const {
+      if (priority != other.priority) return priority < other.priority;
+      return sequence > other.sequence;
+    }
+  };
+
+  std::priority_queue<Entry> heap_;
+  std::uint64_t next_sequence_ = 0;
+};
+
+}  // namespace emdpa

@@ -41,6 +41,8 @@ std::string cli_usage() {
       "  emdpa list                         list available backends\n"
       "  emdpa run --backend <key> [opts]   run one backend\n"
       "  emdpa compare [opts]               run every backend on one workload\n"
+      "  emdpa batch --manifest FILE --checkpoint-dir DIR [opts]\n"
+      "                                     run a job manifest cooperatively\n"
       "\n"
       "Options (with defaults):\n"
       "  --atoms N          atom count (256)\n"
@@ -74,12 +76,33 @@ std::string cli_usage() {
       "  --resume PATH          resume from a checkpoint (falls back to\n"
       "                         PATH.prev on corruption); --steps is the TOTAL\n"
       "                         step target, not an increment\n"
+      "  --resume-force         resume even when the checkpoint records a\n"
+      "                         different kernel/precision/ISA than this run\n"
+      "                         (default: mismatch aborts — the arithmetic\n"
+      "                         would change and break bitwise resume)\n"
       "  --degrade              on a neighbour-list failure, fall back to the\n"
       "                         reference kernel instead of aborting\n"
       "  --drift-tol X          arm the numerical-health watchdog: relative\n"
       "                         energy drift beyond X aborts with exit code 3\n"
       "  (fault injection is armed via the EMDPA_FAULTS environment variable;\n"
       "   see src/core/fault_injection.h for the site list and spec grammar)\n"
+      "  SIGINT/SIGTERM drain cooperatively: the current step (or batch time\n"
+      "  slice) finishes, an emergency checkpoint is written, exit code 4.\n"
+      "\n"
+      "Batch mode (cooperative ensemble over one shared thread pool):\n"
+      "  --manifest FILE        job manifest: one '<name> key=value ...' line\n"
+      "                         per job (keys: priority, atoms, steps, density,\n"
+      "                         temperature, dt, cutoff, seed, kernel,\n"
+      "                         precision, simd, degrade, drift_tol)\n"
+      "  --checkpoint-dir DIR   per-job suspend checkpoints (<name>.ckpt) and\n"
+      "                         completion markers (<name>.done); reusing the\n"
+      "                         directory resumes the batch recorded in it\n"
+      "  --slice N              steps per time slice, also the checkpoint\n"
+      "                         cadence (100)\n"
+      "  --max-in-flight N      jobs resident in memory at once (4)\n"
+      "  exit codes: 0 all jobs completed; 3 at least one job failed (isolated,\n"
+      "  the rest ran to completion); 4 interrupted by SIGINT/SIGTERM after a\n"
+      "  drain — rerun the same command to resume\n"
       "\n"
       "Backends:\n";
   for (const auto& info : available_backends()) {
@@ -102,6 +125,8 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
     options.command = CliCommand::kRun;
   } else if (command == "compare") {
     options.command = CliCommand::kCompare;
+  } else if (command == "batch") {
+    options.command = CliCommand::kBatch;
   } else if (command == "help" || command == "--help" || command == "-h") {
     options.command = CliCommand::kHelp;
     return options;
@@ -166,6 +191,20 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       options.run_config.checkpoint_every = static_cast<int>(n);
     } else if (flag == "--resume") {
       options.run_config.resume_path = need_value(flag);
+    } else if (flag == "--resume-force") {
+      options.run_config.resume_force = true;
+    } else if (flag == "--manifest") {
+      options.manifest_path = need_value(flag);
+    } else if (flag == "--checkpoint-dir") {
+      options.checkpoint_dir = need_value(flag);
+    } else if (flag == "--slice") {
+      const long n = parse_integer(flag, need_value(flag));
+      if (n <= 0) throw RuntimeFailure("--slice must be positive");
+      options.slice_steps = static_cast<int>(n);
+    } else if (flag == "--max-in-flight") {
+      const long n = parse_integer(flag, need_value(flag));
+      if (n <= 0) throw RuntimeFailure("--max-in-flight must be positive");
+      options.max_in_flight = static_cast<std::size_t>(n);
     } else if (flag == "--degrade") {
       options.run_config.degrade = true;
     } else if (flag == "--drift-tol") {
@@ -185,6 +224,20 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
   if (options.run_config.checkpoint_every > 0 &&
       options.run_config.checkpoint_path.empty()) {
     throw RuntimeFailure("--checkpoint-every needs --checkpoint <path>");
+  }
+  if (options.run_config.resume_force &&
+      options.run_config.resume_path.empty() &&
+      options.command != CliCommand::kBatch) {
+    throw RuntimeFailure("--resume-force needs --resume <path>");
+  }
+  if (options.command == CliCommand::kBatch) {
+    if (options.manifest_path.empty()) {
+      throw RuntimeFailure("'batch' needs --manifest <file>");
+    }
+    if (options.checkpoint_dir.empty()) {
+      throw RuntimeFailure(
+          "'batch' needs --checkpoint-dir <dir> (suspend state lives there)");
+    }
   }
   return options;
 }

@@ -9,6 +9,8 @@
 //             [--simd scalar|sse2|avx2|avx512] [--precision dp|sp|mixed]
 //             [--csv]
 //   emdpa compare [--atoms N] [--steps K] ... (runs every backend)
+//   emdpa batch --manifest FILE --checkpoint-dir DIR [--slice N]
+//               [--max-in-flight N] [--threads N] [--csv]
 #pragma once
 
 #include <string>
@@ -18,7 +20,7 @@
 
 namespace emdpa::driver {
 
-enum class CliCommand { kList, kRun, kCompare, kHelp };
+enum class CliCommand { kList, kRun, kCompare, kBatch, kHelp };
 
 struct CliOptions {
   CliCommand command = CliCommand::kHelp;
@@ -29,6 +31,12 @@ struct CliOptions {
   /// affects backends that really execute in parallel (host-parallel, the
   /// Cell SPE workers, the MTA streams).
   std::size_t threads = 0;
+
+  // kBatch: cooperative ensemble scheduling (md/job_scheduler.h).
+  std::string manifest_path;     ///< --manifest (required)
+  std::string checkpoint_dir;    ///< --checkpoint-dir (required)
+  int slice_steps = 100;         ///< --slice: steps per time slice
+  std::size_t max_in_flight = 4; ///< --max-in-flight: resident job cap
 };
 
 /// Parse argv (excluding argv[0]).  Throws RuntimeFailure with a

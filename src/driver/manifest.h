@@ -1,0 +1,41 @@
+// Batch manifest parsing for `emdpa batch` — one job per line, each a full
+// per-job run configuration for the cooperative scheduler
+// (md/job_scheduler.h).
+//
+// Grammar (text, line-oriented):
+//
+//   # comment (blank lines ignored)
+//   <name> [key=value ...]
+//
+// `name` is the unique job identifier (also its checkpoint file stem, so
+// [A-Za-z0-9._-] only).  Keys, all optional, defaulting like the `run`
+// flags of the same name:
+//
+//   priority=N      scheduling priority (higher first; default 0)
+//   atoms=N         steps=K  density=D  temperature=T  dt=DT  cutoff=C
+//   seed=S          kernel=n2|list|auto
+//   precision=dp|sp|mixed    simd=scalar|sse2|avx2|avx512
+//   degrade=0|1     fall back to the reference kernel on failure
+//   drift_tol=X     arm the health watchdog with this drift tolerance
+//
+// Errors carry the manifest line number; duplicate names are rejected here
+// (and again by the scheduler, for callers that build specs directly).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "md/job_scheduler.h"
+
+namespace emdpa::driver {
+
+/// Parse a manifest stream.  Throws RuntimeFailure with `source` and the
+/// line number on malformed input.
+std::vector<md::JobSpec> parse_manifest(std::istream& in,
+                                        const std::string& source = "manifest");
+
+/// Read and parse a manifest file; throws RuntimeFailure if unreadable.
+std::vector<md::JobSpec> load_manifest(const std::string& path);
+
+}  // namespace emdpa::driver

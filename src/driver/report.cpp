@@ -8,6 +8,19 @@
 
 namespace emdpa::driver {
 
+namespace {
+
+/// One-character-ish status marks keep the batch table narrow; the full
+/// word still appears in the CSV.
+std::string batch_flags(const md::JobResult& job) {
+  std::string flags;
+  if (job.resumed) flags += "r";
+  if (job.degraded) flags += "d";
+  return flags.empty() ? "-" : flags;
+}
+
+}  // namespace
+
 std::string render_run_report(const md::RunResult& result,
                               const md::RunConfig& config) {
   std::ostringstream os;
@@ -82,6 +95,61 @@ std::string render_run_csv(const md::RunResult& result,
   }
   for (const auto& [key, value] : result.metadata) {
     csv.write_row({"metadata:" + key, "", "", "", "", "", format_auto(value)});
+  }
+  return os.str();
+}
+
+std::string render_batch_report(const md::BatchResult& batch) {
+  Table table({"job", "prio", "status", "steps", "slices", "saves", "flags",
+               "wall (s)", "final total E", "error"});
+  for (const auto& job : batch.jobs) {
+    std::string error = job.error;
+    if (error.size() > 48) {
+      error.resize(45);
+      error += "...";
+    }
+    table.add_row({job.name, std::to_string(job.priority),
+                   md::to_string(job.status),
+                   std::to_string(job.steps_done) + "/" +
+                       std::to_string(job.steps_target),
+                   std::to_string(job.slices), std::to_string(job.checkpoint_saves),
+                   batch_flags(job), format_auto(job.wall_seconds),
+                   job.status == md::JobStatus::kPending
+                       ? "-"
+                       : format_fixed(job.final_energies.total(), 4),
+                   error});
+  }
+
+  std::ostringstream os;
+  os << table.to_string();
+  os << "summary: " << batch.jobs.size() << " jobs, "
+     << batch.count(md::JobStatus::kCompleted) << " completed, "
+     << batch.count(md::JobStatus::kFailed) << " failed, "
+     << batch.count(md::JobStatus::kInterrupted) << " interrupted"
+     << (batch.interrupted ? " (batch drained on signal; rerun to resume)"
+                           : "")
+     << "\n";
+  return os.str();
+}
+
+std::string render_batch_csv(const md::BatchResult& batch) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.write_row({"job", "priority", "status", "steps_done", "steps_target",
+                 "slices", "checkpoint_saves", "resumed", "degraded",
+                 "wall_seconds", "final_kinetic", "final_potential",
+                 "final_total_e", "error"});
+  for (const auto& job : batch.jobs) {
+    csv.write_row({job.name, std::to_string(job.priority),
+                   md::to_string(job.status), std::to_string(job.steps_done),
+                   std::to_string(job.steps_target),
+                   std::to_string(job.slices),
+                   std::to_string(job.checkpoint_saves),
+                   job.resumed ? "1" : "0", job.degraded ? "1" : "0",
+                   format_auto(job.wall_seconds),
+                   format_fixed(job.final_energies.kinetic, 6),
+                   format_fixed(job.final_energies.potential, 6),
+                   format_fixed(job.final_energies.total(), 6), job.error});
   }
   return os.str();
 }

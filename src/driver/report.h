@@ -4,6 +4,7 @@
 #include <string>
 
 #include "md/backend.h"
+#include "md/job_scheduler.h"
 
 namespace emdpa::driver {
 
@@ -14,5 +15,12 @@ std::string render_run_report(const md::RunResult& result,
 /// CSV single-run report (one header + one row + breakdown rows).
 std::string render_run_csv(const md::RunResult& result,
                            const md::RunConfig& config);
+
+/// Human-readable batch report: one row per job (status, steps, slices,
+/// saves, wall time, final energy, error) plus a summary line.
+std::string render_batch_report(const md::BatchResult& batch);
+
+/// CSV batch report: header + one row per job.
+std::string render_batch_csv(const md::BatchResult& batch);
 
 }  // namespace emdpa::driver

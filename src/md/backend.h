@@ -61,6 +61,11 @@ struct RunConfig {
   /// rotated previous one on corruption).  `steps` is then the TOTAL step
   /// target: a run resumed at step 250 with steps=500 executes 250 more.
   std::string resume_path;
+  /// Resume even when the checkpoint records a different kernel/precision/
+  /// ISA than this run resolves to (--resume-force).  Default: mismatch
+  /// fails loudly — continuing under different arithmetic silently breaks
+  /// the bitwise-resume guarantee.
+  bool resume_force = false;
   /// On a neighbour-list kernel failure, restore the pre-step state and fall
   /// back to the reference N^2 kernel instead of aborting.
   bool degrade = false;

@@ -1,5 +1,6 @@
 #include "md/checkpoint.h"
 
+#include <cinttypes>
 #include <cmath>
 #include <cstdio>
 #include <istream>
@@ -15,11 +16,17 @@ namespace emdpa::md {
 namespace {
 
 constexpr const char* kMagic = "emdpa-checkpoint";
-constexpr int kVersion = 2;
+constexpr int kVersion = 3;
 
 std::string hex(double v) {
   char buf[40];
   std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+std::string hex_u64(std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, v);
   return buf;
 }
 
@@ -46,8 +53,20 @@ double parse_double(const std::string& token, const char* what) {
   return value;
 }
 
-/// Header + atom records (everything between the version line and the v2
-/// footer), shared by both format versions.
+std::uint64_t parse_u64_hex(const std::string& token, const char* what) {
+  try {
+    std::size_t consumed = 0;
+    const std::uint64_t value = std::stoull(token, &consumed, 16);
+    if (consumed != token.size()) throw std::invalid_argument(token);
+    return value;
+  } catch (const std::exception&) {
+    throw RuntimeFailure(std::string("checkpoint: malformed ") + what + " '" +
+                         token + "'");
+  }
+}
+
+/// Header + atom records (everything between the version line and the v2+
+/// footer), shared by all format versions.
 Checkpoint parse_body(std::istream& in, int version) {
   std::string kw_atoms, kw_mass, kw_box, kw_step;
   std::size_t n = 0;
@@ -76,14 +95,54 @@ Checkpoint parse_body(std::istream& in, int version) {
     cp.has_potential = true;
   }
 
+  // Version 3 inserts up to two keyworded lines between the state line and
+  // the atom records.  Token-wise reading means one token of lookahead: the
+  // first non-section token is the leading coordinate of atom 0.
+  std::string pending;
+  bool have_pending = false;
+  if (version >= 3) {
+    have_pending = static_cast<bool>(in >> pending);
+    if (have_pending && pending == "config") {
+      std::string kw_k, kernel, kw_p, precision, kw_s, simd;
+      if (!(in >> kw_k >> kernel >> kw_p >> precision >> kw_s >> simd) ||
+          kw_k != "kernel" || kw_p != "precision" || kw_s != "simd") {
+        throw RuntimeFailure("checkpoint: malformed config line");
+      }
+      cp.config = CheckpointConfig{kernel, precision, simd};
+      have_pending = static_cast<bool>(in >> pending);
+    }
+    if (have_pending && pending == "rng") {
+      std::string kw, s0, s1, s2, s3, cached, flag;
+      if (!(in >> kw >> s0 >> s1 >> s2 >> s3 >> cached >> flag) ||
+          kw != "langevin" || (flag != "0" && flag != "1")) {
+        throw RuntimeFailure("checkpoint: malformed rng line");
+      }
+      Rng::State state;
+      state.s = {parse_u64_hex(s0, "rng state"), parse_u64_hex(s1, "rng state"),
+                 parse_u64_hex(s2, "rng state"), parse_u64_hex(s3, "rng state")};
+      state.cached_gaussian = parse_double(cached, "rng cached gaussian");
+      state.has_cached_gaussian = flag == "1";
+      cp.langevin_rng = state;
+      have_pending = static_cast<bool>(in >> pending);
+    }
+  }
+
+  auto next_token = [&](std::size_t atom) -> std::string {
+    if (have_pending) {
+      have_pending = false;
+      return pending;
+    }
+    std::string token;
+    if (!(in >> token)) {
+      throw RuntimeFailure("checkpoint: truncated at atom " +
+                           std::to_string(atom));
+    }
+    return token;
+  };
+
   for (std::size_t i = 0; i < n; ++i) {
     std::string t[9];
-    for (auto& tok : t) {
-      if (!(in >> tok)) {
-        throw RuntimeFailure("checkpoint: truncated at atom " +
-                             std::to_string(i));
-      }
-    }
+    for (auto& tok : t) tok = next_token(i);
     cp.system.positions()[i] = {parse_double(t[0], "x"), parse_double(t[1], "y"),
                                 parse_double(t[2], "z")};
     cp.system.velocities()[i] = {parse_double(t[3], "vx"),
@@ -96,20 +155,28 @@ Checkpoint parse_body(std::istream& in, int version) {
   return cp;
 }
 
-}  // namespace
-
-void save_checkpoint(std::ostream& out, const ParticleSystem& system,
-                     const PeriodicBox& box, long step, double potential) {
+void write_checkpoint_text(std::ostream& out, const Checkpoint& cp) {
   // Build the body first: the footer is its checksum.
   std::ostringstream body;
   body << kMagic << ' ' << kVersion << '\n';
-  body << "atoms " << system.size() << " mass " << hex(system.mass()) << " box "
-       << hex(box.edge()) << " step " << step << " pe " << hex(potential)
-       << '\n';
-  for (std::size_t i = 0; i < system.size(); ++i) {
-    const auto& p = system.positions()[i];
-    const auto& v = system.velocities()[i];
-    const auto& a = system.accelerations()[i];
+  body << "atoms " << cp.system.size() << " mass " << hex(cp.system.mass())
+       << " box " << hex(cp.box_edge) << " step " << cp.step << " pe "
+       << hex(cp.potential) << '\n';
+  if (cp.config) {
+    body << "config kernel " << cp.config->kernel << " precision "
+         << cp.config->precision << " simd " << cp.config->simd << '\n';
+  }
+  if (cp.langevin_rng) {
+    const Rng::State& rng = *cp.langevin_rng;
+    body << "rng langevin " << hex_u64(rng.s[0]) << ' ' << hex_u64(rng.s[1])
+         << ' ' << hex_u64(rng.s[2]) << ' ' << hex_u64(rng.s[3]) << ' '
+         << hex(rng.cached_gaussian) << ' ' << (rng.has_cached_gaussian ? 1 : 0)
+         << '\n';
+  }
+  for (std::size_t i = 0; i < cp.system.size(); ++i) {
+    const auto& p = cp.system.positions()[i];
+    const auto& v = cp.system.velocities()[i];
+    const auto& a = cp.system.accelerations()[i];
     body << hex(p.x) << ' ' << hex(p.y) << ' ' << hex(p.z) << ' ' << hex(v.x)
          << ' ' << hex(v.y) << ' ' << hex(v.z) << ' ' << hex(a.x) << ' '
          << hex(a.y) << ' ' << hex(a.z) << '\n';
@@ -119,6 +186,22 @@ void save_checkpoint(std::ostream& out, const ParticleSystem& system,
   std::snprintf(footer, sizeof(footer), "crc %08x\n", crc32(text));
   out << text << footer;
   if (!out) throw RuntimeFailure("checkpoint: write failed");
+}
+
+}  // namespace
+
+void save_checkpoint(std::ostream& out, const ParticleSystem& system,
+                     const PeriodicBox& box, long step, double potential) {
+  Checkpoint cp;
+  cp.system = system;
+  cp.box_edge = box.edge();
+  cp.step = step;
+  cp.potential = potential;
+  write_checkpoint_text(out, cp);
+}
+
+void save_checkpoint(std::ostream& out, const Checkpoint& cp) {
+  write_checkpoint_text(out, cp);
 }
 
 Checkpoint load_checkpoint(std::istream& in) {
@@ -133,7 +216,7 @@ Checkpoint load_checkpoint(std::istream& in) {
   if (magic != kMagic) {
     throw RuntimeFailure("checkpoint: bad magic '" + magic + "'");
   }
-  if (version != 1 && version != kVersion) {
+  if (version < 1 || version > kVersion) {
     throw RuntimeFailure("checkpoint: unsupported version " +
                          std::to_string(version));
   }

@@ -3,11 +3,13 @@
 // Text format, versioned, round-trip exact: floating-point values are
 // written as hex floats so a restored run continues bit-identically.
 //
-// Version 2 (written by save_checkpoint; version 1 files still load):
+// Version 3 (written by save_checkpoint; versions 1 and 2 still load):
 //
-//   emdpa-checkpoint 2
+//   emdpa-checkpoint 3
 //   atoms <N> mass <m> box <edge> step <k> pe <pe>
-//   <x> <y> <z> <vx> <vy> <vz> <ax> <ay> <az>     (N lines)
+//   config kernel <kernel> precision <mode> simd <isa>     (optional line)
+//   rng langevin <s0> <s1> <s2> <s3> <cached> <flag>       (optional line)
+//   <x> <y> <z> <vx> <vy> <vz> <ax> <ay> <az>              (N lines)
 //   crc <8 hex digits>
 //
 // The footer is the CRC-32 of every byte before the "crc" line; a flipped
@@ -17,14 +19,46 @@
 // energy of the stored state so a resumed run can skip the re-priming force
 // evaluation entirely — the stored accelerations ARE the primed state, the
 // property the bitwise resume guarantee rests on.
+//
+// The two optional v3 lines close the resume-correctness holes the v2
+// format left open:
+//
+//  * `config` records the force kernel, precision mode and dispatched SIMD
+//    ISA that produced the state.  Earlier formats stored none of it, so
+//    resuming an `sp`/`sse2` run under different flags silently continued
+//    with different arithmetic — bitwise-identical-looking files, divergent
+//    trajectories.  Simulation::resume now compares the recorded
+//    configuration against the resumed run's resolved one and fails loudly
+//    on any mismatch (Options::ignore_checkpoint_config / --resume-force
+//    overrides explicitly).
+//  * `rng langevin` carries the full Xoshiro256** state of the Langevin
+//    thermostat — the four state words plus the cached Box–Muller second
+//    deviate — so a resumed thermostatted run continues the identical noise
+//    sequence instead of re-seeding and diverging.
 #pragma once
 
 #include <iosfwd>
+#include <optional>
+#include <string>
 
+#include "core/random.h"
 #include "md/box.h"
 #include "md/particle_system.h"
 
 namespace emdpa::md {
+
+/// Run configuration recorded in a v3 checkpoint: the three knobs that
+/// change the arithmetic of the trajectory without changing the state
+/// layout.  Stored as the report-facing strings (to_string(SimKernel),
+/// to_string(PrecisionMode), simd::to_string or "none") so the file stays
+/// self-describing.
+struct CheckpointConfig {
+  std::string kernel;
+  std::string precision;
+  std::string simd;
+
+  bool operator==(const CheckpointConfig& other) const = default;
+};
 
 struct Checkpoint {
   ParticleSystem system;
@@ -35,17 +69,27 @@ struct Checkpoint {
   /// False for version-1 files, which predate the pe field; a resume from
   /// such a file must re-prime instead of trusting `potential`.
   bool has_potential = false;
+  /// Producing run's configuration, when the writer recorded it (version 3
+  /// files written by Simulation::save; absent in raw-state saves and older
+  /// files, which resume unverified as before).
+  std::optional<CheckpointConfig> config;
+  /// Langevin thermostat RNG state, when one was attached at save time.
+  std::optional<Rng::State> langevin_rng;
 };
 
-/// Serialise state to `out` (format version 2: pe field + CRC-32 footer).
+/// Serialise raw state to `out` (format version 3, no config/rng lines).
 /// Throws RuntimeFailure on stream errors.
 void save_checkpoint(std::ostream& out, const ParticleSystem& system,
                      const PeriodicBox& box, long step, double potential = 0.0);
 
-/// Parse a checkpoint from `in`.  Accepts versions 1 and 2; version 2 files
-/// are verified against their CRC footer.  Throws RuntimeFailure on
-/// malformed or corrupt input (bad magic, wrong version, truncated atom
-/// records, checksum mismatch, non-finite values).
+/// Serialise a full checkpoint including the optional config and RNG
+/// sections.  `cp.has_potential` is ignored: the v3 format always stores pe.
+void save_checkpoint(std::ostream& out, const Checkpoint& cp);
+
+/// Parse a checkpoint from `in`.  Accepts versions 1–3; versions >= 2 are
+/// verified against their CRC footer.  Throws RuntimeFailure on malformed or
+/// corrupt input (bad magic, wrong version, truncated atom records, checksum
+/// mismatch, non-finite values).
 Checkpoint load_checkpoint(std::istream& in);
 
 }  // namespace emdpa::md

@@ -11,6 +11,7 @@
 #include <optional>
 
 #include "core/error.h"
+#include "core/interrupt.h"
 #include "core/thread_pool.h"
 #include "md/backend.h"
 #include "md/checkpoint_manager.h"
@@ -39,20 +40,7 @@ SimKernel to_sim_kernel(HostKernel kernel) {
 RunResult HostParallelBackend::run(const RunConfig& config) {
   ThreadPool& pool = ThreadPool::global();
 
-  Simulation::Options options;
-  options.workload = config.workload;
-  options.lj = config.lj;
-  options.dt = config.dt;
-  options.kernel = to_sim_kernel(config.host_kernel);
-  options.pool = &pool;
-  options.precision = config.precision;
-  options.simd_isa = config.simd_isa;
-  options.degrade_to_reference = config.degrade;
-  if (config.drift_tolerance > 0.0) {
-    HealthPolicy policy;
-    policy.max_energy_drift = config.drift_tolerance;
-    options.health = policy;
-  }
+  const Simulation::Options options = simulation_options_from(config, &pool);
 
   RunResult result;
   result.backend_name = name();
@@ -97,6 +85,18 @@ RunResult HostParallelBackend::run(const RunConfig& config) {
           // interval retries.  The run itself continues.
           ++checkpoint_failures;
         }
+      }
+      if (interrupt_requested()) {
+        // Cooperative drain on SIGINT/SIGTERM (core/interrupt.h): unwind
+        // with the distinct Interrupted type; the catch below writes the
+        // emergency checkpoint so no completed step is lost.
+        const int signal = interrupt_signal();
+        ErrorContext context;
+        context.step = step;
+        throw Interrupted(std::string("interrupted by ") +
+                              interrupt_signal_name(signal) + " at step " +
+                              std::to_string(step),
+                          signal, context);
       }
     });
   } catch (RuntimeFailure& e) {

@@ -1,0 +1,328 @@
+#include "md/job_scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "core/error.h"
+#include "core/job_queue.h"
+#include "md/health.h"
+
+namespace emdpa::md {
+
+namespace fs = std::filesystem;
+
+const char* to_string(JobStatus status) {
+  switch (status) {
+    case JobStatus::kPending: return "pending";
+    case JobStatus::kCompleted: return "completed";
+    case JobStatus::kFailed: return "failed";
+    case JobStatus::kInterrupted: return "interrupted";
+  }
+  return "unknown";
+}
+
+std::size_t BatchResult::count(JobStatus status) const {
+  return static_cast<std::size_t>(
+      std::count_if(jobs.begin(), jobs.end(),
+                    [&](const JobResult& j) { return j.status == status; }));
+}
+
+namespace {
+
+bool filesystem_safe(const std::string& name) {
+  if (name.empty()) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+bool job_finished(JobStatus status) {
+  return status == JobStatus::kCompleted || status == JobStatus::kFailed;
+}
+
+std::string describe(const RuntimeFailure& error) {
+  std::string text = error.what();
+  if (!error.context().empty()) {
+    text += " (" + error.context().to_string() + ")";
+  }
+  return text;
+}
+
+}  // namespace
+
+JobScheduler::JobState::JobState(JobSpec s, std::string checkpoint_path)
+    : spec(std::move(s)), manager(std::move(checkpoint_path)) {
+  result.name = spec.name;
+  result.priority = spec.priority;
+  result.steps_target = spec.config.steps;
+}
+
+JobScheduler::JobScheduler(std::vector<JobSpec> jobs, SchedulerOptions options)
+    : options_(std::move(options)) {
+  EMDPA_REQUIRE(!jobs.empty(), "scheduler: manifest has no jobs");
+  EMDPA_REQUIRE(options_.slice_steps > 0,
+                "scheduler: slice_steps must be positive");
+  EMDPA_REQUIRE(options_.max_in_flight > 0,
+                "scheduler: max_in_flight must be positive");
+  EMDPA_REQUIRE(!options_.checkpoint_dir.empty(),
+                "scheduler: checkpoint_dir is required (suspend state lives "
+                "there)");
+
+  std::error_code ec;
+  fs::create_directories(options_.checkpoint_dir, ec);
+  if (ec) {
+    throw RuntimeFailure("scheduler: cannot create checkpoint directory '" +
+                         options_.checkpoint_dir + "': " + ec.message());
+  }
+
+  jobs_.reserve(jobs.size());
+  for (JobSpec& spec : jobs) {
+    if (!filesystem_safe(spec.name)) {
+      throw RuntimeFailure("scheduler: job name '" + spec.name +
+                           "' is not filesystem-safe (use [A-Za-z0-9._-])");
+    }
+    EMDPA_REQUIRE(spec.config.steps > 0, "scheduler: job '" + spec.name +
+                                             "' has no steps to run");
+    for (const JobState& existing : jobs_) {
+      if (existing.spec.name == spec.name) {
+        throw RuntimeFailure("scheduler: duplicate job name '" + spec.name +
+                             "'");
+      }
+    }
+    const std::string path =
+        (fs::path(options_.checkpoint_dir) / (spec.name + ".ckpt")).string();
+    jobs_.emplace_back(std::move(spec), path);
+  }
+}
+
+std::string JobScheduler::marker_path(const JobState& job) const {
+  return (fs::path(options_.checkpoint_dir) / (job.spec.name + ".done"))
+      .string();
+}
+
+// Completion markers make batch resume idempotent: a finished job (success
+// OR isolated failure) is never re-run when the same manifest is pointed at
+// the same checkpoint directory again.  Plain key/value text, one line each.
+void JobScheduler::write_marker(const JobState& job) const {
+  std::ofstream out(marker_path(job), std::ios::trunc);
+  out << "status " << to_string(job.result.status) << "\n";
+  out << "steps " << job.result.steps_done << "\n";
+  out << "kinetic " << std::hexfloat << job.result.final_energies.kinetic
+      << "\n";
+  out << "potential " << job.result.final_energies.potential << "\n";
+  if (!job.result.error.empty()) {
+    std::string one_line = job.result.error;
+    std::replace(one_line.begin(), one_line.end(), '\n', ' ');
+    out << "error " << one_line << "\n";
+  }
+}
+
+bool JobScheduler::load_marker(JobState& job) const {
+  std::ifstream in(marker_path(job));
+  if (!in) return false;
+  std::string line;
+  JobStatus status = JobStatus::kPending;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    if (key == "status") {
+      std::string value;
+      ls >> value;
+      if (value == "completed") status = JobStatus::kCompleted;
+      else if (value == "failed") status = JobStatus::kFailed;
+    } else if (key == "steps") {
+      ls >> job.result.steps_done;
+    } else if (key == "kinetic" || key == "potential") {
+      // %a hexfloat: istream extraction cannot parse it, strtod can.
+      std::string value;
+      ls >> value;
+      const double parsed = std::strtod(value.c_str(), nullptr);
+      (key == "kinetic" ? job.result.final_energies.kinetic
+                        : job.result.final_energies.potential) = parsed;
+    } else if (key == "error") {
+      std::string rest;
+      std::getline(ls, rest);
+      if (!rest.empty() && rest.front() == ' ') rest.erase(0, 1);
+      job.result.error = rest;
+    }
+  }
+  if (!job_finished(status)) return false;  // torn or foreign file: re-run
+  job.result.status = status;
+  return true;
+}
+
+void JobScheduler::ensure_resident(JobState& job) {
+  job.last_scheduled = ++schedule_clock_;
+  if (job.sim) return;
+
+  const Simulation::Options sim_options =
+      simulation_options_from(job.spec.config, options_.pool);
+
+  // A checkpoint generation on disk (latest or rotated) means this job was
+  // suspended or is being resumed from a previous batch: restore it
+  // bit-exactly instead of starting over.  Config verification (v3) rides
+  // the normal resume path, so a manifest edited to different arithmetic
+  // fails THIS job loudly rather than silently forking its trajectory.
+  const bool has_checkpoint = fs::exists(job.manager.path()) ||
+                              fs::exists(job.manager.previous_path());
+  if (has_checkpoint) {
+    CheckpointLoad loaded = job.manager.load();
+    job.sim.emplace(
+        Simulation::resume(std::move(loaded.checkpoint), sim_options));
+    job.result.resumed = true;
+  } else {
+    job.sim.emplace(sim_options);
+  }
+}
+
+void JobScheduler::run_slice(JobState& job) {
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    ensure_resident(job);
+    Simulation& sim = *job.sim;
+    const long remaining = job.spec.config.steps - sim.current_step();
+    if (remaining > 0) {
+      sim.run(static_cast<int>(
+          std::min<long>(options_.slice_steps, remaining)));
+    }
+    ++job.result.slices;
+    job.result.steps_done = sim.current_step();
+    job.result.final_energies = sim.last_energies();
+    job.result.degraded = sim.degraded();
+
+    // Suspend = checkpoint.  save() is a bitwise synchronisation point, so
+    // resuming this file continues the exact trajectory; a transient I/O
+    // failure leaves the committed generations intact but means the only
+    // up-to-date state is in memory — pin the job resident until a later
+    // suspend commits.
+    try {
+      job.manager.save([&](std::ostream& out) { sim.save(out); });
+      ++job.result.checkpoint_saves;
+      job.pinned = false;
+    } catch (const RuntimeFailure&) {
+      job.pinned = true;
+    }
+
+    if (sim.current_step() >= job.spec.config.steps) complete(job);
+  } catch (const RuntimeFailure& e) {
+    fail(job, e);
+  }
+  job.result.wall_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+}
+
+void JobScheduler::complete(JobState& job) {
+  job.result.status = JobStatus::kCompleted;
+  job.result.final_state = job.sim->system();
+  finish(job, JobStatus::kCompleted);
+}
+
+// Fault isolation: any RuntimeFailure — NumericalFailure from the physics
+// or the watchdog, a corrupt checkpoint, a config mismatch on resume —
+// fails this job only.  Mirrors the single-run backend's checkpoint-then-
+// abort: preserve the last finite state for post-mortem resume, never let
+// the rescue attempt mask the original failure.  ContractViolation
+// (programming error) is NOT caught and still aborts the whole batch.
+void JobScheduler::fail(JobState& job, const RuntimeFailure& error) {
+  job.result.error = describe(error);
+  if (job.sim) {
+    job.result.steps_done = job.sim->current_step();
+    job.result.final_energies = job.sim->last_energies();
+    job.result.degraded = job.sim->degraded();
+    if (state_is_finite(job.sim->system())) {
+      try {
+        job.manager.save([&](std::ostream& out) { job.sim->save(out); });
+        ++job.result.checkpoint_saves;
+      } catch (...) {
+      }
+    }
+  }
+  finish(job, JobStatus::kFailed);
+}
+
+void JobScheduler::finish(JobState& job, JobStatus status) {
+  job.result.status = status;
+  write_marker(job);
+  job.sim.reset();
+  job.pinned = false;
+}
+
+// Backpressure: evict the least-recently-scheduled unpinned resident until
+// at most max_in_flight jobs hold live Simulation state.  Eviction is free
+// of information loss — the suspend checkpoint just committed is the exact
+// state — it only trades memory for the resume parse on the next slice.
+void JobScheduler::evict_over_limit() {
+  while (true) {
+    std::size_t resident = 0;
+    JobState* victim = nullptr;
+    for (JobState& job : jobs_) {
+      if (!job.sim) continue;
+      ++resident;
+      if (job.pinned) continue;
+      if (!victim || job.last_scheduled < victim->last_scheduled) {
+        victim = &job;
+      }
+    }
+    if (resident <= options_.max_in_flight || !victim) return;
+    victim->sim.reset();
+  }
+}
+
+BatchResult JobScheduler::run() {
+  EMDPA_REQUIRE(!ran_, "scheduler: run() is callable once");
+  ran_ = true;
+
+  JobQueue queue;
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    JobState& job = jobs_[i];
+    // A completion marker from a previous batch over the same checkpoint
+    // directory keeps its verdict; everything else (re)enters the queue.
+    if (load_marker(job)) {
+      job.result.resumed = true;
+      continue;
+    }
+    queue.push(i, job.spec.priority);
+  }
+
+  BatchResult batch;
+  while (!queue.empty()) {
+    if (options_.stop_requested && options_.stop_requested()) {
+      batch.interrupted = true;
+      break;
+    }
+    JobState& job = jobs_[queue.pop()];
+    run_slice(job);
+    if (!job_finished(job.result.status)) {
+      queue.push(static_cast<std::size_t>(&job - jobs_.data()),
+                 job.spec.priority);
+    }
+    evict_over_limit();
+  }
+
+  if (batch.interrupted) {
+    // Drain: the last slice of every resident job was checkpointed by its
+    // suspend, so dropping the in-memory state loses nothing — re-running
+    // the batch resumes each interrupted job from its last slice boundary.
+    for (JobState& job : jobs_) {
+      if (job_finished(job.result.status)) continue;
+      job.result.status = JobStatus::kInterrupted;
+      job.sim.reset();
+    }
+  }
+
+  batch.jobs.reserve(jobs_.size());
+  for (JobState& job : jobs_) batch.jobs.push_back(std::move(job.result));
+  return batch;
+}
+
+}  // namespace emdpa::md

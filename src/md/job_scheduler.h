@@ -1,0 +1,149 @@
+// Cooperative ensemble scheduler: many simulations, one thread pool.
+//
+// The paper evaluates one simulation per architecture; the production story
+// is aggregate throughput — replica ensembles and parameter sweeps
+// multiplexed over shared compute, jobs/sec rather than steps/sec.  This
+// scheduler is the first step from "a simulation" to "a service": it runs a
+// manifest of N independent jobs (each a full RunConfig) cooperatively over
+// ONE shared ThreadPool by time-slicing at checkpoint boundaries.
+//
+//   suspend = CheckpointManager save   (atomic commit, CRC-32, rotation)
+//   resume  = bit-exact restore        (v3 config-verified, no re-priming)
+//
+// Because PR 5 made save/resume bitwise, a time-sliced job's trajectory is
+// bit-for-bit identical to the same job run standalone with the same
+// checkpoint cadence — the scheduling layer is invisible to the physics
+// (tests/trajectory/trajectory_batch_test.cpp proves it at 1 and 8
+// threads).  On top of that seam:
+//
+//  * Priority queue (core/job_queue.h): strict priority between bands,
+//    deterministic round-robin inside one.
+//  * Backpressure: at most max_in_flight jobs keep live Simulation state in
+//    memory; the rest exist only as checkpoint files until rescheduled.
+//  * Per-job fault isolation: a NumericalFailure (or any RuntimeFailure —
+//    corrupt checkpoint, config mismatch) in one job fails THAT job, with
+//    an emergency checkpoint when its state is still finite; every other
+//    job runs to completion.  Per-job --degrade rides through RunConfig.
+//  * Drain: stop_requested (the driver wires SIGINT/SIGTERM here) finishes
+//    the current slice — whose suspend already checkpointed it — and marks
+//    the unfinished jobs interrupted.  Re-running the same manifest against
+//    the same checkpoint directory resumes them and skips completed ones
+//    (recorded in `<name>.done` markers).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/thread_pool.h"
+#include "md/backend.h"
+#include "md/checkpoint_manager.h"
+#include "md/integrator.h"
+#include "md/particle_system.h"
+#include "md/simulation.h"
+
+namespace emdpa::md {
+
+/// One manifest entry: a named, prioritised, fully configured run.
+struct JobSpec {
+  /// Unique within the batch; also the checkpoint file stem, so restricted
+  /// to [A-Za-z0-9._-].
+  std::string name;
+  /// Higher runs first; equal priorities round-robin deterministically.
+  int priority = 0;
+  /// Full per-job run configuration (atoms, steps, kernel, precision, seed,
+  /// dt, degrade, drift_tolerance, ...).  `steps` is the total target.
+  RunConfig config;
+};
+
+enum class JobStatus { kPending, kCompleted, kFailed, kInterrupted };
+
+const char* to_string(JobStatus status);
+
+/// Per-job outcome row for the report/CSV layer.
+struct JobResult {
+  std::string name;
+  int priority = 0;
+  JobStatus status = JobStatus::kPending;
+  long steps_done = 0;
+  long steps_target = 0;
+  std::uint64_t slices = 0;            ///< time slices executed this batch
+  std::uint64_t checkpoint_saves = 0;  ///< committed suspend checkpoints
+  bool degraded = false;               ///< fell back to the reference kernel
+  bool resumed = false;  ///< started from a pre-existing checkpoint
+  double wall_seconds = 0.0;           ///< this job's slices, wall clock
+  StepEnergies final_energies{};
+  /// Failure message with structured context (kFailed only).
+  std::string error;
+  /// Final state of a job completed in THIS batch (empty otherwise; a job
+  /// already completed in a previous batch lives in its checkpoint file).
+  ParticleSystem final_state;
+};
+
+struct BatchResult {
+  std::vector<JobResult> jobs;  ///< manifest order
+  bool interrupted = false;     ///< drained on stop_requested
+  std::size_t count(JobStatus status) const;
+};
+
+struct SchedulerOptions {
+  /// Steps per time slice; also the checkpoint cadence (every suspend
+  /// saves), so a standalone run with --checkpoint-every <slice_steps> is
+  /// the bitwise-equivalence reference.
+  int slice_steps = 100;
+  /// Jobs allowed to keep live Simulation state in memory at once.  Beyond
+  /// it the least-recently-scheduled resident is evicted to its checkpoint
+  /// file (a job whose last save failed transiently stays pinned resident —
+  /// evicting it would lose state).
+  std::size_t max_in_flight = 4;
+  /// Directory for `<name>.ckpt` checkpoint generations and `<name>.done`
+  /// completion markers; created if missing.  Reusing a directory resumes
+  /// the batch recorded in it.
+  std::string checkpoint_dir;
+  /// Shared pool the jobs' force kernels ride on; nullptr runs serial.
+  ThreadPool* pool = nullptr;
+  /// Polled between slices; true drains the batch (see header comment).
+  std::function<bool()> stop_requested;
+};
+
+class JobScheduler {
+ public:
+  /// Validates the manifest (unique filesystem-safe names, positive steps)
+  /// and scheduler options, and creates the checkpoint directory.  Throws
+  /// RuntimeFailure/ContractViolation on invalid input.
+  JobScheduler(std::vector<JobSpec> jobs, SchedulerOptions options);
+
+  /// Run the batch to completion (or drain).  Callable once.
+  BatchResult run();
+
+ private:
+  struct JobState {
+    JobSpec spec;
+    JobResult result;
+    CheckpointManager manager;
+    std::optional<Simulation> sim;
+    bool pinned = false;           ///< last suspend save failed; do not evict
+    std::uint64_t last_scheduled = 0;
+
+    JobState(JobSpec s, std::string checkpoint_path);
+  };
+
+  void ensure_resident(JobState& job);
+  void run_slice(JobState& job);
+  void complete(JobState& job);
+  void fail(JobState& job, const RuntimeFailure& error);
+  void finish(JobState& job, JobStatus status);
+  void evict_over_limit();
+  std::string marker_path(const JobState& job) const;
+  void write_marker(const JobState& job) const;
+  bool load_marker(JobState& job) const;
+
+  std::vector<JobState> jobs_;
+  SchedulerOptions options_;
+  std::uint64_t schedule_clock_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace emdpa::md

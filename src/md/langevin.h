@@ -30,6 +30,13 @@ class LangevinThermostat {
   /// Apply one damping + noise sweep for time step `dt`.
   void apply(ParticleSystem& system, double dt);
 
+  /// Checkpoint seam: the thermostat's full RNG state.  target/friction are
+  /// parameters (re-supplied on resume, like dt); the noise stream position
+  /// is *state* — without restoring it, a resumed run draws a different
+  /// sequence and diverges from the uninterrupted one.
+  Rng::State rng_state() const { return rng_.state(); }
+  void restore_rng(const Rng::State& state) { rng_.restore(state); }
+
  private:
   double target_;
   double friction_;

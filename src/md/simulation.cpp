@@ -201,9 +201,36 @@ Simulation Simulation::resume(std::istream& checkpoint, const Options& options) 
 }
 
 Simulation Simulation::resume(Checkpoint checkpoint, const Options& options) {
-  return Simulation(std::move(checkpoint.system),
-                    PeriodicBox(checkpoint.box_edge), checkpoint.step, options,
-                    checkpoint.has_potential ? &checkpoint.potential : nullptr);
+  Simulation sim(std::move(checkpoint.system), PeriodicBox(checkpoint.box_edge),
+                 checkpoint.step, options,
+                 checkpoint.has_potential ? &checkpoint.potential : nullptr);
+  if (checkpoint.config && !options.ignore_checkpoint_config) {
+    // The three knobs recorded in the checkpoint change the arithmetic of
+    // every subsequent step; resuming under different ones silently breaks
+    // the bitwise-resume guarantee, so any mismatch is fatal by default.
+    const CheckpointConfig resumed{
+        to_string(sim.kernel_kind_), to_string(sim.precision_),
+        sim.simd_isa_ ? simd::to_string(*sim.simd_isa_) : "none"};
+    const CheckpointConfig& saved = *checkpoint.config;
+    std::string mismatches;
+    auto compare = [&](const char* what, const std::string& was,
+                       const std::string& now) {
+      if (was == now) return;
+      if (!mismatches.empty()) mismatches += ", ";
+      mismatches += std::string(what) + " '" + was + "' vs resumed '" + now + "'";
+    };
+    compare("kernel", saved.kernel, resumed.kernel);
+    compare("precision", saved.precision, resumed.precision);
+    compare("simd", saved.simd, resumed.simd);
+    if (!mismatches.empty()) {
+      throw RuntimeFailure(
+          "checkpoint: run configuration mismatch on resume (" + mismatches +
+          "); rerun with the recorded flags, or override explicitly "
+          "(--resume-force / Options::ignore_checkpoint_config)");
+    }
+  }
+  sim.pending_langevin_rng_ = checkpoint.langevin_rng;
+  return sim;
 }
 
 ForceKernel& Simulation::active_kernel() {
@@ -247,16 +274,25 @@ void Simulation::set_angles(AngleTopology angles) {
 void Simulation::set_thermostat(const BerendsenThermostat& thermostat) {
   thermostat_ = thermostat;
   langevin_.reset();
+  pending_langevin_rng_.reset();
 }
 
 void Simulation::set_thermostat(LangevinThermostat thermostat) {
   langevin_ = std::move(thermostat);
   thermostat_.reset();
+  if (pending_langevin_rng_) {
+    // Resumed run: continue the checkpointed noise sequence.  The freshly
+    // constructed thermostat's seed is discarded — the stream position is
+    // state, and re-seeding it would diverge from the uninterrupted run.
+    langevin_->restore_rng(*pending_langevin_rng_);
+    pending_langevin_rng_.reset();
+  }
 }
 
 void Simulation::clear_thermostat() {
   thermostat_.reset();
   langevin_.reset();
+  pending_langevin_rng_.reset();
 }
 
 MinimizeResult Simulation::minimize(const MinimizeOptions& options) {
@@ -343,11 +379,43 @@ void Simulation::run(int steps, const Observer& observer) {
 }
 
 void Simulation::save(std::ostream& out) {
-  save_checkpoint(out, system_, box_, step_, last_energies_.potential);
+  Checkpoint cp;
+  cp.system = system_;
+  cp.box_edge = box_.edge();
+  cp.step = step_;
+  cp.potential = last_energies_.potential;
+  // Record the arithmetic-determining configuration (resolved, never kAuto;
+  // a degraded run records the reference kernel it actually executes) so a
+  // resume under different flags fails loudly instead of silently diverging.
+  cp.config =
+      CheckpointConfig{to_string(kernel_kind_), to_string(precision_),
+                       simd_isa_ ? simd::to_string(*simd_isa_) : "none"};
+  if (langevin_) cp.langevin_rng = langevin_->rng_state();
+  save_checkpoint(out, cp);
   // Saving is a bitwise synchronisation point: drop the neighbour list so
   // the continuing run and any future resume from this checkpoint both
   // rebuild it from exactly the state just written.
   if (list_control_ != nullptr) list_control_->invalidate_list();
+}
+
+Simulation::Options simulation_options_from(const RunConfig& config,
+                                            ThreadPool* pool) {
+  Simulation::Options options;
+  options.workload = config.workload;
+  options.lj = config.lj;
+  options.dt = config.dt;
+  options.kernel = to_sim_kernel(config.host_kernel);
+  options.pool = pool;
+  options.precision = config.precision;
+  options.simd_isa = config.simd_isa;
+  options.degrade_to_reference = config.degrade;
+  options.ignore_checkpoint_config = config.resume_force;
+  if (config.drift_tolerance > 0.0) {
+    HealthPolicy policy;
+    policy.max_energy_drift = config.drift_tolerance;
+    options.health = policy;
+  }
+  return options;
 }
 
 }  // namespace emdpa::md

@@ -48,6 +48,8 @@ const char* to_string(SimKernel kernel);
 /// seam: auto -> kAuto, n2 -> kSoaN2, list -> kNeighborList.
 SimKernel to_sim_kernel(HostKernel kernel);
 
+struct RunConfig;
+
 class Simulation {
  public:
   struct Options {
@@ -87,6 +89,11 @@ class Simulation {
     /// restore the pre-step state and fall back to the reference N^2 kernel
     /// for the remainder of the run instead of aborting.
     bool degrade_to_reference = false;
+    /// Resume normally fails loudly when the checkpoint records a different
+    /// kernel/precision/ISA than this run resolves to (the arithmetic would
+    /// silently change and break the bitwise-resume guarantee).  True skips
+    /// the check — an explicit operator decision (--resume-force).
+    bool ignore_checkpoint_config = false;
   };
 
   explicit Simulation(const Options& options);
@@ -96,11 +103,18 @@ class Simulation {
   static Simulation resume(std::istream& checkpoint, const Options& options);
 
   /// Restore from an already-parsed checkpoint (e.g. via CheckpointManager's
-  /// verified, fallback-aware load).  Version-2 checkpoints carry the stored
-  /// potential energy, so the restored accelerations are trusted as the
-  /// primed state and NO re-priming force evaluation runs — the property
+  /// verified, fallback-aware load).  Version-2+ checkpoints carry the
+  /// stored potential energy, so the restored accelerations are trusted as
+  /// the primed state and NO re-priming force evaluation runs — the property
   /// that makes a resumed run continue bit-identically.  Version-1
   /// checkpoints re-prime as before.
+  ///
+  /// When the checkpoint records its producing run's configuration (v3),
+  /// the resolved kernel/precision/ISA of this resume must match it; any
+  /// mismatch throws RuntimeFailure unless Options::ignore_checkpoint_config
+  /// is set.  A recorded Langevin RNG state is held until the caller
+  /// re-attaches a Langevin thermostat (set_thermostat), which then
+  /// continues the checkpointed noise sequence instead of re-seeding.
   static Simulation resume(Checkpoint checkpoint, const Options& options);
 
   const ParticleSystem& system() const { return system_; }
@@ -165,11 +179,13 @@ class Simulation {
   using Observer = std::function<void(long step, const StepEnergies&)>;
   void run(int steps, const Observer& observer = {});
 
-  /// Serialise the full state (checkpoint format v2: potential energy +
-  /// CRC-32 footer).  Non-const because saving is a bitwise synchronisation
-  /// point: the neighbour list is invalidated so the continuing run and any
-  /// future resume from this checkpoint both rebuild it from exactly the
-  /// state written — the trajectories stay bit-identical.
+  /// Serialise the full state (checkpoint format v3: potential energy,
+  /// CRC-32 footer, the resolved kernel/precision/ISA configuration, and
+  /// the Langevin thermostat RNG state when one is attached).  Non-const
+  /// because saving is a bitwise synchronisation point: the neighbour list
+  /// is invalidated so the continuing run and any future resume from this
+  /// checkpoint both rebuild it from exactly the state written — the
+  /// trajectories stay bit-identical.
   void save(std::ostream& out);
 
  private:
@@ -202,6 +218,9 @@ class Simulation {
   std::optional<AngleTopology> angles_;
   std::optional<BerendsenThermostat> thermostat_;
   std::optional<LangevinThermostat> langevin_;
+  /// Checkpointed Langevin RNG state awaiting re-attachment of the
+  /// thermostat after a resume; consumed by set_thermostat(Langevin).
+  std::optional<Rng::State> pending_langevin_rng_;
   std::optional<HealthMonitor> health_;
   bool degrade_enabled_ = false;
   bool degraded_ = false;
@@ -209,5 +228,13 @@ class Simulation {
   long step_ = 0;
   std::uint64_t force_evaluations_ = 0;
 };
+
+/// Map the backend-facing RunConfig onto Simulation options: workload, LJ
+/// parameters, dt, kernel choice, precision, ISA, degrade flag, health
+/// policy (drift_tolerance > 0) and the resume-force override.  One mapping
+/// shared by the host-parallel backend, the job scheduler and the tests that
+/// must construct bitwise-equivalent standalone runs.
+Simulation::Options simulation_options_from(const RunConfig& config,
+                                            ThreadPool* pool);
 
 }  // namespace emdpa::md

@@ -1,0 +1,60 @@
+// The SIGINT/SIGTERM latch: handlers only record the signal, the simulation
+// loops poll it cooperatively.  raise() delivers synchronously, so the latch
+// is observable immediately after.
+#include <gtest/gtest.h>
+
+#include <csignal>
+
+#include "core/interrupt.h"
+
+namespace emdpa {
+namespace {
+
+class InterruptTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    arm_interrupt_handlers();
+    clear_interrupt();
+  }
+  void TearDown() override { clear_interrupt(); }
+};
+
+TEST_F(InterruptTest, StartsClear) {
+  EXPECT_FALSE(interrupt_requested());
+  EXPECT_EQ(interrupt_signal(), 0);
+}
+
+TEST_F(InterruptTest, SigintLatches) {
+  ASSERT_EQ(std::raise(SIGINT), 0);
+  EXPECT_TRUE(interrupt_requested());
+  EXPECT_EQ(interrupt_signal(), SIGINT);
+}
+
+TEST_F(InterruptTest, SigtermLatches) {
+  ASSERT_EQ(std::raise(SIGTERM), 0);
+  EXPECT_TRUE(interrupt_requested());
+  EXPECT_EQ(interrupt_signal(), SIGTERM);
+}
+
+TEST_F(InterruptTest, ClearResetsTheLatch) {
+  ASSERT_EQ(std::raise(SIGTERM), 0);
+  ASSERT_TRUE(interrupt_requested());
+  clear_interrupt();
+  EXPECT_FALSE(interrupt_requested());
+  EXPECT_EQ(interrupt_signal(), 0);
+}
+
+TEST_F(InterruptTest, ArmingIsIdempotent) {
+  arm_interrupt_handlers();
+  arm_interrupt_handlers();
+  ASSERT_EQ(std::raise(SIGINT), 0);
+  EXPECT_EQ(interrupt_signal(), SIGINT);
+}
+
+TEST_F(InterruptTest, SignalNames) {
+  EXPECT_STREQ(interrupt_signal_name(SIGINT), "SIGINT");
+  EXPECT_STREQ(interrupt_signal_name(SIGTERM), "SIGTERM");
+}
+
+}  // namespace
+}  // namespace emdpa

@@ -168,5 +168,54 @@ TEST(CliOptions, UsageDocumentsResilience) {
   EXPECT_NE(usage.find("EMDPA_FAULTS"), std::string::npos);
 }
 
+TEST(CliOptions, ResumeForceFlag) {
+  const CliOptions options = parse_cli(
+      {"run", "--backend", "host-parallel", "--resume", "x.ckpt",
+       "--resume-force"});
+  EXPECT_TRUE(options.run_config.resume_force);
+  // Forcing without a resume source is meaningless in run mode.
+  EXPECT_THROW(
+      parse_cli({"run", "--backend", "host-parallel", "--resume-force"}),
+      RuntimeFailure);
+}
+
+TEST(CliOptions, BatchCommandParsesItsFlags) {
+  const CliOptions options = parse_cli(
+      {"batch", "--manifest", "jobs.txt", "--checkpoint-dir", "ck",
+       "--slice", "50", "--max-in-flight", "2", "--threads", "4", "--csv"});
+  EXPECT_EQ(options.command, CliCommand::kBatch);
+  EXPECT_EQ(options.manifest_path, "jobs.txt");
+  EXPECT_EQ(options.checkpoint_dir, "ck");
+  EXPECT_EQ(options.slice_steps, 50);
+  EXPECT_EQ(options.max_in_flight, 2u);
+  EXPECT_EQ(options.threads, 4u);
+  EXPECT_TRUE(options.csv);
+}
+
+TEST(CliOptions, BatchDefaultsAndValidation) {
+  const CliOptions options = parse_cli(
+      {"batch", "--manifest", "jobs.txt", "--checkpoint-dir", "ck"});
+  EXPECT_EQ(options.slice_steps, 100);
+  EXPECT_EQ(options.max_in_flight, 4u);
+
+  EXPECT_THROW(parse_cli({"batch", "--checkpoint-dir", "ck"}), RuntimeFailure);
+  EXPECT_THROW(parse_cli({"batch", "--manifest", "jobs.txt"}), RuntimeFailure);
+  EXPECT_THROW(parse_cli({"batch", "--manifest", "jobs.txt",
+                          "--checkpoint-dir", "ck", "--slice", "0"}),
+               RuntimeFailure);
+  EXPECT_THROW(parse_cli({"batch", "--manifest", "jobs.txt",
+                          "--checkpoint-dir", "ck", "--max-in-flight", "-1"}),
+               RuntimeFailure);
+}
+
+TEST(CliOptions, UsageDocumentsBatchMode) {
+  const std::string usage = cli_usage();
+  EXPECT_NE(usage.find("emdpa batch"), std::string::npos);
+  EXPECT_NE(usage.find("--manifest"), std::string::npos);
+  EXPECT_NE(usage.find("--checkpoint-dir"), std::string::npos);
+  EXPECT_NE(usage.find("--max-in-flight"), std::string::npos);
+  EXPECT_NE(usage.find("--resume-force"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace emdpa::driver

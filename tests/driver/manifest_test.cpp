@@ -1,0 +1,86 @@
+// Manifest parsing: the `emdpa batch` job-list grammar.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/error.h"
+#include "driver/manifest.h"
+#include "md/precision.h"
+
+namespace emdpa::driver {
+namespace {
+
+std::vector<md::JobSpec> parse(const std::string& text) {
+  std::istringstream in(text);
+  return parse_manifest(in, "test");
+}
+
+TEST(ManifestTest, ParsesJobsWithDefaults) {
+  const auto jobs = parse("alpha\nbeta steps=50\n");
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0].name, "alpha");
+  EXPECT_EQ(jobs[0].priority, 0);
+  EXPECT_EQ(jobs[0].config.steps, 10);  // RunConfig default
+  EXPECT_EQ(jobs[1].name, "beta");
+  EXPECT_EQ(jobs[1].config.steps, 50);
+}
+
+TEST(ManifestTest, ParsesEveryKey) {
+  const auto jobs = parse(
+      "full priority=3 atoms=512 steps=200 density=0.9 temperature=1.2 "
+      "dt=0.004 cutoff=3.0 seed=42 kernel=list precision=mixed "
+      "degrade=1 drift_tol=0.05\n");
+  ASSERT_EQ(jobs.size(), 1u);
+  const md::JobSpec& job = jobs[0];
+  EXPECT_EQ(job.priority, 3);
+  EXPECT_EQ(job.config.workload.n_atoms, 512u);
+  EXPECT_EQ(job.config.steps, 200);
+  EXPECT_DOUBLE_EQ(job.config.workload.density, 0.9);
+  EXPECT_DOUBLE_EQ(job.config.workload.temperature, 1.2);
+  EXPECT_DOUBLE_EQ(job.config.dt, 0.004);
+  EXPECT_DOUBLE_EQ(job.config.lj.cutoff, 3.0);
+  EXPECT_EQ(job.config.workload.seed, 42u);
+  EXPECT_EQ(job.config.host_kernel, md::HostKernel::kList);
+  EXPECT_EQ(job.config.precision, md::PrecisionMode::kMixed);
+  EXPECT_TRUE(job.config.degrade);
+  EXPECT_DOUBLE_EQ(job.config.drift_tolerance, 0.05);
+}
+
+TEST(ManifestTest, SkipsCommentsAndBlankLines) {
+  const auto jobs = parse("# a comment\n\n  \njob1\n# another\njob2\n");
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0].name, "job1");
+  EXPECT_EQ(jobs[1].name, "job2");
+}
+
+TEST(ManifestTest, ErrorsCarryLineNumbers) {
+  try {
+    parse("ok\nbad atoms=-4\n");
+    FAIL() << "expected RuntimeFailure";
+  } catch (const RuntimeFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("test:2"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ManifestTest, RejectsMalformedInput) {
+  EXPECT_THROW(parse("job steps\n"), RuntimeFailure);          // no '='
+  EXPECT_THROW(parse("job steps=\n"), RuntimeFailure);         // empty value
+  EXPECT_THROW(parse("job =5\n"), RuntimeFailure);             // empty key
+  EXPECT_THROW(parse("job steps=ten\n"), RuntimeFailure);      // not a number
+  EXPECT_THROW(parse("job steps=2.5\n"), RuntimeFailure);      // not integral
+  EXPECT_THROW(parse("job frobnicate=1\n"), RuntimeFailure);   // unknown key
+  EXPECT_THROW(parse("job kernel=cuda\n"), RuntimeFailure);    // bad enum
+  EXPECT_THROW(parse("job degrade=yes\n"), RuntimeFailure);    // bad bool
+  EXPECT_THROW(parse("job drift_tol=0\n"), RuntimeFailure);    // must be > 0
+  EXPECT_THROW(parse("dup\ndup\n"), RuntimeFailure);           // duplicate
+  EXPECT_THROW(parse("# only comments\n"), RuntimeFailure);    // no jobs
+  EXPECT_THROW(parse(""), RuntimeFailure);                     // empty
+}
+
+TEST(ManifestTest, LoadManifestRejectsMissingFile) {
+  EXPECT_THROW(load_manifest("/nonexistent/manifest.txt"), RuntimeFailure);
+}
+
+}  // namespace
+}  // namespace emdpa::driver

@@ -75,6 +75,62 @@ TEST(Report, MetadataCsvRowsUseDedicatedColumn) {
   EXPECT_NE(csv.find("metadata:precision,,,,,,dp"), std::string::npos);
 }
 
+md::BatchResult sample_batch() {
+  md::BatchResult batch;
+  md::JobResult ok;
+  ok.name = "replica-a";
+  ok.priority = 2;
+  ok.status = md::JobStatus::kCompleted;
+  ok.steps_done = ok.steps_target = 500;
+  ok.slices = 5;
+  ok.checkpoint_saves = 5;
+  ok.resumed = true;
+  ok.wall_seconds = 1.25;
+  ok.final_energies = {100.0, -286.5};
+  md::JobResult bad;
+  bad.name = "replica-b";
+  bad.status = md::JobStatus::kFailed;
+  bad.steps_done = 120;
+  bad.steps_target = 500;
+  bad.slices = 2;
+  bad.error = "watchdog: energy drift";
+  batch.jobs = {ok, bad};
+  return batch;
+}
+
+TEST(Report, BatchReportListsEveryJobAndASummary) {
+  const std::string report = render_batch_report(sample_batch());
+  EXPECT_NE(report.find("replica-a"), std::string::npos);
+  EXPECT_NE(report.find("replica-b"), std::string::npos);
+  EXPECT_NE(report.find("completed"), std::string::npos);
+  EXPECT_NE(report.find("failed"), std::string::npos);
+  EXPECT_NE(report.find("500/500"), std::string::npos);
+  EXPECT_NE(report.find("120/500"), std::string::npos);
+  EXPECT_NE(report.find("watchdog: energy drift"), std::string::npos);
+  EXPECT_NE(report.find("2 jobs, 1 completed, 1 failed, 0 interrupted"),
+            std::string::npos);
+}
+
+TEST(Report, BatchCsvHasOneRowPerJob) {
+  const std::string csv = render_batch_csv(sample_batch());
+  EXPECT_NE(csv.find("job,priority,status,steps_done"), std::string::npos);
+  EXPECT_NE(csv.find("replica-a,2,completed,500,500,5,5,1,0,"),
+            std::string::npos);
+  EXPECT_NE(csv.find("replica-b,0,failed,120,500,2,0,0,0,"),
+            std::string::npos);
+  EXPECT_NE(csv.find("watchdog: energy drift"), std::string::npos);
+}
+
+TEST(Report, BatchReportFlagsInterruption) {
+  md::BatchResult batch = sample_batch();
+  batch.jobs[1].status = md::JobStatus::kInterrupted;
+  batch.jobs[1].error.clear();
+  batch.interrupted = true;
+  const std::string report = render_batch_report(batch);
+  EXPECT_NE(report.find("interrupted"), std::string::npos);
+  EXPECT_NE(report.find("rerun to resume"), std::string::npos);
+}
+
 TEST(Report, LabelsRenderInExecutionSection) {
   md::RunConfig config;
   const auto result = parallel_result(&config);

@@ -1,13 +1,23 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <sstream>
 
+#include "core/crc32.h"
 #include "core/error.h"
 #include "md/checkpoint.h"
 #include "md/workload.h"
 
 namespace emdpa::md {
 namespace {
+
+/// v2+ files end in a CRC-32 footer over everything before it; hand-written
+/// fixtures need a valid one to reach the parser under test.
+std::string with_crc_footer(const std::string& body) {
+  char footer[24];
+  std::snprintf(footer, sizeof(footer), "crc %08x\n", crc32(body));
+  return body + footer;
+}
 
 ParticleSystem sample_system() {
   WorkloadSpec spec;
@@ -157,6 +167,92 @@ TEST(Checkpoint, EmptySystemRoundTrips) {
   const Checkpoint cp = load_checkpoint(stream);
   EXPECT_EQ(cp.system.size(), 1u);
   EXPECT_EQ(cp.step, 7);
+}
+
+// --- v3: optional run-configuration and Langevin RNG sections ------------
+
+TEST(Checkpoint, RawSaveRecordsNoConfigOrRng) {
+  // The raw state overload has no configuration to record; the optional
+  // sections stay absent so old callers keep their exact behaviour.
+  std::stringstream stream;
+  save_checkpoint(stream, sample_system(), PeriodicBox(5.5), 1);
+  const Checkpoint cp = load_checkpoint(stream);
+  EXPECT_FALSE(cp.config.has_value());
+  EXPECT_FALSE(cp.langevin_rng.has_value());
+}
+
+TEST(Checkpoint, ConfigSectionRoundTrips) {
+  Checkpoint original;
+  original.system = sample_system();
+  original.box_edge = 5.5;
+  original.step = 99;
+  original.potential = -123.456;
+  original.config = CheckpointConfig{"neighbor-list", "mixed", "avx2"};
+
+  std::stringstream stream;
+  save_checkpoint(stream, original);
+  const Checkpoint cp = load_checkpoint(stream);
+
+  ASSERT_TRUE(cp.config.has_value());
+  EXPECT_EQ(cp.config->kernel, "neighbor-list");
+  EXPECT_EQ(cp.config->precision, "mixed");
+  EXPECT_EQ(cp.config->simd, "avx2");
+  EXPECT_EQ(cp.step, 99);
+  EXPECT_DOUBLE_EQ(cp.potential, -123.456);
+}
+
+TEST(Checkpoint, LangevinRngSectionRoundTripsBitExact) {
+  Checkpoint original;
+  original.system = sample_system();
+  original.box_edge = 5.5;
+  original.step = 3;
+  Rng::State rng;
+  rng.s = {0xdeadbeefcafebabeull, 0x0123456789abcdefull,
+           0xffffffffffffffffull, 0x1ull};
+  rng.cached_gaussian = -0.73205080756887729;  // arbitrary, not exact binary
+  rng.has_cached_gaussian = true;
+  original.langevin_rng = rng;
+
+  std::stringstream stream;
+  save_checkpoint(stream, original);
+  const Checkpoint cp = load_checkpoint(stream);
+
+  ASSERT_TRUE(cp.langevin_rng.has_value());
+  EXPECT_EQ(cp.langevin_rng->s, rng.s);
+  EXPECT_EQ(cp.langevin_rng->cached_gaussian, rng.cached_gaussian);
+  EXPECT_TRUE(cp.langevin_rng->has_cached_gaussian);
+}
+
+TEST(Checkpoint, V2WithoutOptionalSectionsStillLoads) {
+  // A pre-v3 checkpoint (no config, no rng lines) must parse exactly as
+  // before: both optionals absent, state intact.
+  std::stringstream stream(with_crc_footer(
+      "emdpa-checkpoint 2\n"
+      "atoms 1 mass 0x1p+0 box 0x1p+2 step 5 pe -0x1.8p+1\n"
+      "0 0 0 0 0 0 0 0 0\n"));
+  const Checkpoint cp = load_checkpoint(stream);
+  EXPECT_EQ(cp.step, 5);
+  EXPECT_TRUE(cp.has_potential);
+  EXPECT_FALSE(cp.config.has_value());
+  EXPECT_FALSE(cp.langevin_rng.has_value());
+}
+
+TEST(Checkpoint, RejectsTruncatedConfigLine) {
+  std::stringstream stream(with_crc_footer(
+      "emdpa-checkpoint 3\n"
+      "atoms 1 mass 0x1p+0 box 0x1p+2 step 0 pe 0x0p+0\n"
+      "config kernel reference precision\n"
+      "0 0 0 0 0 0 0 0 0\n"));
+  EXPECT_THROW(load_checkpoint(stream), RuntimeFailure);
+}
+
+TEST(Checkpoint, RejectsMalformedRngLine) {
+  std::stringstream stream(with_crc_footer(
+      "emdpa-checkpoint 3\n"
+      "atoms 1 mass 0x1p+0 box 0x1p+2 step 0 pe 0x0p+0\n"
+      "rng langevin zzzz 0 0 0 0x0p+0 0\n"
+      "0 0 0 0 0 0 0 0 0\n"));
+  EXPECT_THROW(load_checkpoint(stream), RuntimeFailure);
 }
 
 }  // namespace

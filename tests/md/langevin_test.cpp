@@ -73,6 +73,46 @@ TEST(Langevin, ExactOuDiscretisation) {
   EXPECT_NEAR(temperature_of(ps), 1.0, 0.1);  // memoryless resample
 }
 
+TEST(Langevin, RngStateRoundTripContinuesTheNoiseSequence) {
+  // The checkpoint seam: capturing rng_state() and restoring it into a
+  // FRESH thermostat (different seed — the restore must fully overwrite it)
+  // continues the noise sequence bit-for-bit.
+  ParticleSystem a(32), b(32);
+  for (std::size_t i = 0; i < 32; ++i) {
+    a.velocities()[i] = b.velocities()[i] = {0.1 * static_cast<double>(i), 0, 0};
+  }
+  LangevinThermostat original(1.0, 2.0, 7);
+  for (int s = 0; s < 3; ++s) original.apply(a, 0.01);
+
+  LangevinThermostat restored(1.0, 2.0, 999);
+  restored.restore_rng(original.rng_state());
+  // Bring b to the same pre-restore velocity state via a twin of `original`.
+  LangevinThermostat twin(1.0, 2.0, 7);
+  for (int s = 0; s < 3; ++s) twin.apply(b, 0.01);
+
+  original.apply(a, 0.01);
+  restored.apply(b, 0.01);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.velocities()[i], b.velocities()[i]) << "atom " << i;
+  }
+}
+
+TEST(Langevin, RngStateCapturesTheCachedGaussian) {
+  // Box–Muller produces gaussians in pairs; an odd draw count leaves one
+  // cached.  3 atoms * 3 components = 9 draws per apply — odd — so the
+  // cached-value flag must be set and must survive the round trip.
+  LangevinThermostat thermostat(1.0, 2.0, 13);
+  ParticleSystem ps(3);
+  thermostat.apply(ps, 0.01);
+  const Rng::State state = thermostat.rng_state();
+  EXPECT_TRUE(state.has_cached_gaussian);
+
+  LangevinThermostat restored(1.0, 2.0, 13);
+  restored.restore_rng(state);
+  EXPECT_EQ(restored.rng_state().cached_gaussian, state.cached_gaussian);
+  EXPECT_EQ(restored.rng_state().s, state.s);
+}
+
 TEST(Langevin, MassScalesNoise) {
   // Heavier atoms get slower thermal velocities at the same temperature;
   // the *temperature* (which folds in the mass) still matches.

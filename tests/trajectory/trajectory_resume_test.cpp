@@ -12,6 +12,7 @@
 #include <sstream>
 #include <string>
 
+#include "core/error.h"
 #include "core/thread_pool.h"
 #include "md/simulation.h"
 
@@ -90,6 +91,93 @@ TEST_P(TrajectoryResumeTest, ResumeDoesNotRePrime) {
   EXPECT_EQ(resumed.last_energies().potential,
             original.last_energies().potential);
   EXPECT_EQ(resumed.force_evaluations(), 0u);
+}
+
+TEST(TrajectoryLangevinResume, MidpointResumeIsBitIdentical) {
+  // The Langevin thermostat's RNG state rides in the v3 checkpoint: a
+  // resumed run re-attaching the thermostat — even with a DIFFERENT seed —
+  // continues the checkpointed noise sequence, so the stochastic trajectory
+  // stays bit-identical to the uninterrupted one.
+  Simulation::Options options;
+  options.workload.n_atoms = 256;
+  constexpr int kTotalSteps = 300;
+  constexpr int kCheckpointStep = 150;
+
+  Simulation uninterrupted(options);
+  uninterrupted.set_thermostat(LangevinThermostat(1.2, 2.0, 77));
+  uninterrupted.run(kCheckpointStep);
+  std::stringstream checkpoint;
+  uninterrupted.save(checkpoint);
+  uninterrupted.run(kTotalSteps - kCheckpointStep);
+
+  Simulation resumed = Simulation::resume(checkpoint, options);
+  // Seed 999: the restored checkpoint state must fully override it.
+  resumed.set_thermostat(LangevinThermostat(1.2, 2.0, 999));
+  resumed.run(kTotalSteps - kCheckpointStep);
+
+  ASSERT_EQ(resumed.system().size(), uninterrupted.system().size());
+  for (std::size_t i = 0; i < resumed.system().size(); ++i) {
+    EXPECT_EQ(resumed.system().positions()[i],
+              uninterrupted.system().positions()[i])
+        << "position diverged at atom " << i;
+    EXPECT_EQ(resumed.system().velocities()[i],
+              uninterrupted.system().velocities()[i])
+        << "velocity diverged at atom " << i;
+  }
+  EXPECT_EQ(resumed.last_energies().kinetic,
+            uninterrupted.last_energies().kinetic);
+  EXPECT_EQ(resumed.last_energies().potential,
+            uninterrupted.last_energies().potential);
+}
+
+TEST(TrajectoryResumeConfig, KernelMismatchFailsLoudly) {
+  // v3 checkpoints record the producing run's kernel/precision/ISA; resuming
+  // under different arithmetic would silently fork the trajectory, so it
+  // must throw unless explicitly overridden.
+  Simulation::Options options;
+  options.workload.n_atoms = 64;
+  options.kernel = SimKernel::kSoaN2;
+
+  Simulation sim(options);
+  sim.run(20);
+  std::stringstream checkpoint;
+  sim.save(checkpoint);
+
+  Simulation::Options mismatched = options;
+  mismatched.kernel = SimKernel::kReference;
+  EXPECT_THROW(Simulation::resume(checkpoint, mismatched), RuntimeFailure);
+}
+
+TEST(TrajectoryResumeConfig, IgnoreFlagOverridesTheMismatch) {
+  Simulation::Options options;
+  options.workload.n_atoms = 64;
+  options.kernel = SimKernel::kSoaN2;
+
+  Simulation sim(options);
+  sim.run(20);
+  std::stringstream checkpoint;
+  sim.save(checkpoint);
+
+  Simulation::Options mismatched = options;
+  mismatched.kernel = SimKernel::kReference;
+  mismatched.ignore_checkpoint_config = true;  // --resume-force
+  Simulation resumed = Simulation::resume(checkpoint, mismatched);
+  EXPECT_EQ(resumed.current_step(), 20);
+  EXPECT_EQ(resumed.kernel(), SimKernel::kReference);
+}
+
+TEST(TrajectoryResumeConfig, MatchingConfigResumesQuietly) {
+  Simulation::Options options;
+  options.workload.n_atoms = 64;
+  options.kernel = SimKernel::kSoaN2;
+
+  Simulation sim(options);
+  sim.run(20);
+  std::stringstream checkpoint;
+  sim.save(checkpoint);
+
+  Simulation resumed = Simulation::resume(checkpoint, options);
+  EXPECT_EQ(resumed.current_step(), 20);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -11,12 +11,15 @@
 #include <string>
 
 #include "core/error.h"
+#include "core/interrupt.h"
 #include "core/string_util.h"
 #include "core/table.h"
 #include "core/thread_pool.h"
 #include "driver/backend_factory.h"
 #include "driver/cli_options.h"
+#include "driver/manifest.h"
 #include "driver/report.h"
+#include "md/job_scheduler.h"
 
 namespace {
 
@@ -93,6 +96,36 @@ int run_compare(const driver::CliOptions& options) {
   return 0;
 }
 
+int run_batch(const driver::CliOptions& options) {
+  std::vector<md::JobSpec> jobs = driver::load_manifest(options.manifest_path);
+
+  md::SchedulerOptions scheduler_options;
+  scheduler_options.slice_steps = options.slice_steps;
+  scheduler_options.max_in_flight = options.max_in_flight;
+  scheduler_options.checkpoint_dir = options.checkpoint_dir;
+  scheduler_options.pool = &ThreadPool::global();
+  // SIGINT/SIGTERM latch (armed in main); polled between time slices, so a
+  // signal drains the batch at the next slice boundary — every resident
+  // job's suspend checkpoint is already on disk by then.
+  scheduler_options.stop_requested = [] { return interrupt_requested(); };
+
+  md::JobScheduler scheduler(std::move(jobs), scheduler_options);
+  const md::BatchResult batch = scheduler.run();
+
+  std::cout << (options.csv ? driver::render_batch_csv(batch)
+                            : driver::render_batch_report(batch));
+
+  if (batch.interrupted) {
+    std::fprintf(stderr,
+                 "emdpa: batch interrupted by %s; rerun the same command to "
+                 "resume from the per-job checkpoints in %s\n",
+                 interrupt_signal_name(interrupt_signal()),
+                 options.checkpoint_dir.c_str());
+    return 4;
+  }
+  return batch.count(md::JobStatus::kFailed) > 0 ? 3 : 0;
+}
+
 /// "emdpa: <what> [step 412, kernel neighbor-list, backend host-parallel]" —
 /// the structured context layers attached while the failure unwound, when
 /// there is any.
@@ -111,6 +144,10 @@ void print_failure(const char* prefix, const std::exception& e) {
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   std::string checkpoint_path;  // for the abort-path hint
+  // Trap SIGINT/SIGTERM into the cooperative latch before any run starts:
+  // runs and batches drain at the next step/slice boundary with their state
+  // checkpointed, instead of dying mid-write (exit code 4, resumable).
+  arm_interrupt_handlers();
   try {
     const driver::CliOptions options = driver::parse_cli(args);
     checkpoint_path = options.run_config.checkpoint_path;
@@ -137,7 +174,19 @@ int main(int argc, char** argv) {
         return run_one(options);
       case driver::CliCommand::kCompare:
         return run_compare(options);
+      case driver::CliCommand::kBatch:
+        return run_batch(options);
     }
+  } catch (const Interrupted& e) {
+    // The backend checkpointed before unwinding (when a --checkpoint path
+    // was configured); exit code 4 tells orchestrators "stopped on request,
+    // resumable" — distinct from a crash (1) or bad physics (3).
+    print_failure("", e);
+    if (!checkpoint_path.empty()) {
+      std::fprintf(stderr,
+                   "emdpa: resume with --resume %s\n", checkpoint_path.c_str());
+    }
+    return 4;
   } catch (const NumericalFailure& e) {
     // The backend already attempted an emergency checkpoint (when a
     // --checkpoint path was configured and the state was still finite);
