@@ -5,6 +5,8 @@
 // itself.
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+
 #include "core/random.h"
 #include "core/thread_pool.h"
 #include "md/cell_list_kernel.h"
@@ -14,6 +16,7 @@
 #include "md/simulation.h"
 #include "md/single_precision.h"
 #include "md/soa_kernel.h"
+#include "md/trajectory_store.h"
 #include "md/workload.h"
 
 namespace {
@@ -254,6 +257,47 @@ void BM_SimulationNeighborList(benchmark::State& state) {
 // skin policy.
 BENCHMARK(BM_SimulationNeighborList)
     ->Args({2048, 500})->Args({100000, 25})->Unit(benchmark::kMillisecond);
+
+void BM_SimulationStore(benchmark::State& state) {
+  // The neighbour-list run with the time-travel store enabled: snapshot
+  // every range(2) steps into a delta-compressed ring.  Compare against
+  // BM_SimulationNeighborList at the same {atoms, steps} for the store
+  // overhead; 'store_bytes' is the on-disk cost of one recorded run.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const int steps = static_cast<int>(state.range(1));
+  const long stride = static_cast<long>(state.range(2));
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "emdpa_bench_store";
+  double snapshots = 0, bytes = 0;
+  for (auto _ : state) {
+    std::filesystem::remove_all(dir);
+    md::TrajectoryStoreOptions store_options;
+    store_options.directory = dir.string();
+    md::TrajectoryStore store(store_options);
+    md::Simulation::Options options;
+    options.workload.n_atoms = n;
+    options.kernel = md::SimKernel::kNeighborList;
+    options.pool = &ThreadPool::global();
+    md::Simulation sim(options);
+    store.append(sim.snapshot());
+    sim.run(steps, [&](long step, const md::StepEnergies&) {
+      if (step % stride == 0 || step == steps) {
+        if (!store.has_step(step)) store.append(sim.snapshot());
+      }
+    });
+    benchmark::DoNotOptimize(sim.last_energies().kinetic);
+    snapshots = static_cast<double>(store.stats().snapshots);
+    bytes = static_cast<double>(store.stats().bytes);
+  }
+  std::filesystem::remove_all(dir);
+  state.counters["steps"] = static_cast<double>(steps);
+  state.counters["snapshots"] = snapshots;
+  state.counters["store_bytes"] = bytes;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          steps);
+}
+BENCHMARK(BM_SimulationStore)
+    ->Args({2048, 500, 25})->Unit(benchmark::kMillisecond);
 
 void BM_SoaKernelSingle(benchmark::State& state) {
   // Single-precision SoA kernel: double the lane width of the double path.

@@ -1,6 +1,9 @@
 #include "core/crc32.h"
 
 #include <array>
+#include <cstdio>
+
+#include "core/error.h"
 
 namespace emdpa {
 
@@ -29,6 +32,52 @@ std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
     crc = kTable[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
   }
   return crc ^ 0xFFFFFFFFu;
+}
+
+std::string with_crc_footer(std::string body) {
+  char footer[24];
+  std::snprintf(footer, sizeof(footer), "crc %08x\n", crc32(body));
+  body += footer;
+  return body;
+}
+
+std::string strip_crc_footer(const std::string& content, const char* what) {
+  // The footer is the last line; searching from the end keeps any body that
+  // could legally contain "crc " unambiguous.
+  const std::size_t pos = content.rfind("\ncrc ");
+  if (pos == std::string::npos) {
+    throw RuntimeFailure(std::string(what) +
+                         ": missing crc footer (truncated file?)");
+  }
+  const std::string body = content.substr(0, pos + 1);
+  const std::string footer = content.substr(pos + 1);
+  // Exactly "crc " + 8 hex digits + newline; anything else is corruption.
+  if (footer.size() != 13 || footer.compare(0, 4, "crc ") != 0 ||
+      footer.back() != '\n') {
+    throw RuntimeFailure(std::string(what) + ": malformed crc footer");
+  }
+  std::uint32_t stored = 0;
+  for (int i = 0; i < 8; ++i) {
+    const char c = footer[4 + i];
+    std::uint32_t digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<std::uint32_t>(c - 'a' + 10);
+    } else {
+      throw RuntimeFailure(std::string(what) + ": malformed crc value");
+    }
+    stored = (stored << 4) | digit;
+  }
+  const std::uint32_t computed = crc32(body);
+  if (computed != stored) {
+    char msg[96];
+    std::snprintf(msg, sizeof(msg),
+                  "%s: crc mismatch (stored %08x, computed %08x)", what,
+                  stored, computed);
+    throw RuntimeFailure(msg);
+  }
+  return body;
 }
 
 }  // namespace emdpa

@@ -21,4 +21,15 @@ inline std::uint32_t crc32(const std::string& data, std::uint32_t seed = 0) {
   return crc32(data.data(), data.size(), seed);
 }
 
+/// Append the standard integrity footer — a final "crc <8 hex digits>\n"
+/// line whose value covers every preceding byte — to a serialised body.
+/// Shared by the checkpoint format and the trajectory-store frame formats.
+std::string with_crc_footer(std::string body);
+
+/// Verify the trailing footer written by with_crc_footer and return the body
+/// without it.  Throws RuntimeFailure (naming `what`) when the footer is
+/// missing, malformed, or does not match — a flipped bit, a truncated tail
+/// or a torn write all land here.
+std::string strip_crc_footer(const std::string& content, const char* what);
+
 }  // namespace emdpa

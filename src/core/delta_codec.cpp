@@ -1,0 +1,137 @@
+#include "core/delta_codec.h"
+
+#include <cstdio>
+
+#include "core/error.h"
+
+namespace emdpa {
+
+namespace {
+
+constexpr std::size_t kWrapColumn = 76;
+
+const char kHexDigits[] = "0123456789abcdef";
+
+void append_token(std::string& out, std::size_t& column,
+                  const std::string& token) {
+  if (column != 0 && column + 1 + token.size() > kWrapColumn) {
+    out += '\n';
+    column = 0;
+  }
+  if (column != 0) {
+    out += ' ';
+    ++column;
+  }
+  out += token;
+  column += token.size();
+}
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string delta_encode(const std::vector<std::uint8_t>& base,
+                         const std::vector<std::uint8_t>& next) {
+  if (base.size() != next.size()) {
+    throw RuntimeFailure("delta_encode: buffer size mismatch");
+  }
+  std::string out;
+  std::size_t column = 0;
+  std::size_t i = 0;
+  const std::size_t n = base.size();
+  while (i < n) {
+    if (base[i] == next[i]) {
+      std::size_t run = 0;
+      while (i < n && base[i] == next[i]) {
+        ++run;
+        ++i;
+      }
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "z%zu", run);
+      append_token(out, column, buf);
+    } else {
+      std::string token;
+      while (i < n && base[i] != next[i]) {
+        const std::uint8_t x = base[i] ^ next[i];
+        token += kHexDigits[x >> 4];
+        token += kHexDigits[x & 0xF];
+        ++i;
+      }
+      append_token(out, column, token);
+    }
+  }
+  if (column != 0) out += '\n';
+  return out;
+}
+
+std::vector<std::uint8_t> delta_apply(const std::vector<std::uint8_t>& base,
+                                      const std::string& delta) {
+  std::vector<std::uint8_t> out(base);
+  std::size_t pos = 0;  // next output byte to patch
+  std::size_t i = 0;
+  const std::size_t len = delta.size();
+  while (i < len) {
+    const char c = delta[i];
+    if (c == ' ' || c == '\n' || c == '\t' || c == '\r') {
+      ++i;
+      continue;
+    }
+    // Token runs until the next whitespace.
+    std::size_t end = i;
+    while (end < len && delta[end] != ' ' && delta[end] != '\n' &&
+           delta[end] != '\t' && delta[end] != '\r') {
+      ++end;
+    }
+    if (c == 'z') {
+      std::size_t run = 0;
+      if (end == i + 1) {
+        throw RuntimeFailure("delta_apply: empty zero-run token");
+      }
+      for (std::size_t j = i + 1; j < end; ++j) {
+        const char d = delta[j];
+        if (d < '0' || d > '9') {
+          throw RuntimeFailure("delta_apply: malformed zero-run token '" +
+                               delta.substr(i, end - i) + "'");
+        }
+        run = run * 10 + static_cast<std::size_t>(d - '0');
+        if (run > base.size()) {
+          throw RuntimeFailure("delta_apply: zero run exceeds buffer size");
+        }
+      }
+      pos += run;  // zero XOR: bytes already copied from base
+      if (pos > out.size()) {
+        throw RuntimeFailure("delta_apply: delta overruns buffer");
+      }
+    } else {
+      if ((end - i) % 2 != 0) {
+        throw RuntimeFailure("delta_apply: odd-length hex token '" +
+                             delta.substr(i, end - i) + "'");
+      }
+      for (std::size_t j = i; j < end; j += 2) {
+        const int hi = hex_value(delta[j]);
+        const int lo = hex_value(delta[j + 1]);
+        if (hi < 0 || lo < 0) {
+          throw RuntimeFailure("delta_apply: malformed hex token '" +
+                               delta.substr(i, end - i) + "'");
+        }
+        if (pos >= out.size()) {
+          throw RuntimeFailure("delta_apply: delta overruns buffer");
+        }
+        out[pos] ^= static_cast<std::uint8_t>((hi << 4) | lo);
+        ++pos;
+      }
+    }
+    i = end;
+  }
+  if (pos != out.size()) {
+    throw RuntimeFailure("delta_apply: delta covers " + std::to_string(pos) +
+                         " of " + std::to_string(out.size()) + " bytes");
+  }
+  return out;
+}
+
+}  // namespace emdpa

@@ -146,6 +146,18 @@ SiteStats Registry::stats(const std::string& site) const {
   return it != sites_.end() ? it->second.stats : SiteStats{};
 }
 
+bool Registry::should_fail_at(const char* site, std::uint64_t index) {
+  if (armed_count_.load(std::memory_order_relaxed) == 0) return false;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sites_.find(site);
+  if (it == sites_.end()) return false;
+  SiteState& state = it->second;
+  ++state.stats.hits;
+  const bool fires = plan_fires(state.plan, index);
+  if (fires) ++state.stats.fires;
+  return fires;
+}
+
 bool Registry::should_fail(const char* site) {
   if (armed_count_.load(std::memory_order_relaxed) == 0) return false;
   const std::lock_guard<std::mutex> lock(mutex_);

@@ -29,6 +29,10 @@
 //   md.list_build      neighbour-list rebuild failure  -> degrade / abort
 //   md.checkpoint_io   EIO while writing a checkpoint  -> skip + retry next
 //                                                         interval
+//   md.step_perturb    one-ulp velocity kick before an exact step (keyed to
+//                      the absolute step number, not the hit counter, so a
+//                      replayed window re-fires identically) -> the known
+//                      divergence `emdpa bisect` must localise
 //
 // Production builds can compile every hook to a constant-false no-op with
 // -DEMDPA_FAULT_INJECTION=OFF (CMake option); the registry itself still
@@ -84,6 +88,14 @@ class Registry {
   /// are only counted while armed (the disarmed fast path must stay free).
   bool should_fail(const char* site);
 
+  /// Evaluate `site`'s armed plan against a CALLER-SUPPLIED 1-based index
+  /// instead of the internal hit counter — for sites keyed to an absolute
+  /// quantity like the simulation step number.  Replay-consistent by
+  /// construction: restoring a snapshot and re-running a step window asks
+  /// about the same indices and gets the same answers, which hit counters
+  /// cannot promise.  Counts a hit (and a fire) like should_fail.
+  bool should_fail_at(const char* site, std::uint64_t index);
+
  private:
   Registry();
 
@@ -102,8 +114,17 @@ class Registry {
 inline bool injected(const char* site) {
   return Registry::instance().should_fail(site);
 }
+/// Step-indexed hook: fires when the armed plan covers `index` (1-based),
+/// independent of how many times the site has been reached.  The hook the
+/// replayable sites (md.step_perturb) use.
+inline bool injected_at(const char* site, std::uint64_t index) {
+  return Registry::instance().should_fail_at(site, index);
+}
 #else
 constexpr bool injected(const char* /*site*/) { return false; }
+constexpr bool injected_at(const char* /*site*/, std::uint64_t /*index*/) {
+  return false;
+}
 #endif
 
 /// RAII test helper: arms `site` on construction, disarms it on destruction

@@ -1,0 +1,39 @@
+// Hexfloat text serialisation — the round-trip-exact number encoding under
+// every on-disk state format (checkpoints, trajectory-store frames).
+//
+// Values are written with printf "%a" and parsed with strtod: the hex
+// mantissa/exponent form represents every finite double exactly, including
+// denormals and the sign of zero, so a value survives any number of
+// save/load cycles bit-identically — the property the bitwise resume and
+// replay guarantees rest on.  Non-finite values are REJECTED at the parse
+// boundary: "inf" and "nan" can only reach a state file through corruption
+// or a blown-up run, and admitting them would silently poison every
+// downstream kernel.
+//
+// Factored out of CheckpointManager (PR 8) so the checkpoint format and the
+// trajectory-store frame formats share one implementation and one test
+// surface.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace emdpa::hexio {
+
+/// Format a double as a hexfloat token ("%a": e.g. "0x1.5bf0a8b145769p+1").
+/// Exact for every finite value; -0.0 keeps its sign.
+std::string format_double(double value);
+
+/// Format a u64 as 16 fixed-width lowercase hex digits.
+std::string format_u64(std::uint64_t value);
+
+/// Parse a token written by format_double (also accepts plain decimal —
+/// strtod grammar).  Throws RuntimeFailure naming `what` on malformed or
+/// partially-consumed input, and on any non-finite value.
+double parse_double(const std::string& token, const char* what);
+
+/// Parse a hex u64 token.  Throws RuntimeFailure naming `what` on malformed
+/// or partially-consumed input.
+std::uint64_t parse_u64(const std::string& token, const char* what);
+
+}  // namespace emdpa::hexio

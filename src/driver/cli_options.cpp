@@ -6,6 +6,7 @@
 #include "core/simd_dispatch.h"
 #include "driver/backend_factory.h"
 #include "md/precision.h"
+#include "md/watch.h"
 
 namespace emdpa::driver {
 
@@ -31,6 +32,15 @@ long parse_integer(const std::string& flag, const std::string& value) {
   return as_long;
 }
 
+md::HostKernel parse_host_kernel(const std::string& flag,
+                                 const std::string& mode) {
+  if (mode == "n2") return md::HostKernel::kN2;
+  if (mode == "list") return md::HostKernel::kList;
+  if (mode == "auto") return md::HostKernel::kAuto;
+  throw RuntimeFailure("flag " + flag + " needs n2, list or auto, got '" +
+                       mode + "'");
+}
+
 }  // namespace
 
 std::string cli_usage() {
@@ -43,6 +53,9 @@ std::string cli_usage() {
       "  emdpa compare [opts]               run every backend on one workload\n"
       "  emdpa batch --manifest FILE --checkpoint-dir DIR [opts]\n"
       "                                     run a job manifest cooperatively\n"
+      "  emdpa bisect --store-dir DIR [opts] [--a-* --b-* overrides]\n"
+      "                                     localise the first diverging step\n"
+      "                                     between two run configurations\n"
       "\n"
       "Options (with defaults):\n"
       "  --atoms N          atom count (256)\n"
@@ -89,6 +102,38 @@ std::string cli_usage() {
       "  SIGINT/SIGTERM drain cooperatively: the current step (or batch time\n"
       "  slice) finishes, an emergency checkpoint is written, exit code 4.\n"
       "\n"
+      "Time travel & bisection (host-parallel backend; `run` and `bisect`):\n"
+      "  --store-dir DIR        trajectory store: delta-compressed CRC-checked\n"
+      "                         snapshot ring any stored step restores from\n"
+      "                         bit-exactly; snapshots are pure observers, the\n"
+      "                         run stays bitwise identical with the store on\n"
+      "  --snapshot-every N     snapshot stride (step 0 and the final step are\n"
+      "                         always stored; default endpoints only)\n"
+      "  --keyframe-every K     every K-th snapshot is a full keyframe, the\n"
+      "                         rest XOR deltas against the previous one (8)\n"
+      "  --store-max-bytes B    disk budget; oldest whole keyframe chains are\n"
+      "                         evicted beyond it (default unbounded)\n"
+      "  --watch LIST           stream observables as 'watch step=N k=v' lines\n"
+      "                         (energy, ke, pe, max_disp; comma-separated)\n"
+      "  --watch-every N        watch emission stride (1)\n"
+      "  bisect runs the shared workload twice — side a and side b — then\n"
+      "  binary-searches the stored snapshots and replays one window to report\n"
+      "  the first step, atom and component where the two trajectories'\n"
+      "  positions/velocities differ (abs and ulp deltas), in at most\n"
+      "  ceil(log2(steps/stride)) + 1 replays per side.  Each side inherits\n"
+      "  the shared flags unless overridden:\n"
+      "  --a-kernel M / --b-kernel M          n2, list or auto\n"
+      "  --a-precision M / --b-precision M    dp, sp or mixed\n"
+      "  --a-simd I / --b-simd I              scalar, sse2, avx2, avx512\n"
+      "  --a-threads N / --b-threads N        per-side thread count\n"
+      "  --a-faults S / --b-faults S          EMDPA_FAULTS-style spec armed\n"
+      "                                       only while that side executes\n"
+      "                                       (use the step-indexed site\n"
+      "                                       md.step_perturb:STEP)\n"
+      "  exit code 0 whether or not a divergence exists; the report line\n"
+      "  'bisect: first divergence at step N' / 'bisect: no divergence' is\n"
+      "  grep-stable\n"
+      "\n"
       "Batch mode (cooperative ensemble over one shared thread pool):\n"
       "  --manifest FILE        job manifest: one '<name> key=value ...' line\n"
       "                         per job (keys: priority, atoms, steps, density,\n"
@@ -127,6 +172,8 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
     options.command = CliCommand::kCompare;
   } else if (command == "batch") {
     options.command = CliCommand::kBatch;
+  } else if (command == "bisect") {
+    options.command = CliCommand::kBisect;
   } else if (command == "help" || command == "--help" || command == "-h") {
     options.command = CliCommand::kHelp;
     return options;
@@ -168,17 +215,7 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       if (t <= 0) throw RuntimeFailure("--threads must be positive");
       options.threads = static_cast<std::size_t>(t);
     } else if (flag == "--kernel") {
-      const std::string& mode = need_value(flag);
-      if (mode == "n2") {
-        options.run_config.host_kernel = md::HostKernel::kN2;
-      } else if (mode == "list") {
-        options.run_config.host_kernel = md::HostKernel::kList;
-      } else if (mode == "auto") {
-        options.run_config.host_kernel = md::HostKernel::kAuto;
-      } else {
-        throw RuntimeFailure("flag --kernel needs n2, list or auto, got '" +
-                             mode + "'");
-      }
+      options.run_config.host_kernel = parse_host_kernel(flag, need_value(flag));
     } else if (flag == "--simd") {
       options.run_config.simd_isa = simd::parse_simd_type(need_value(flag));
     } else if (flag == "--precision") {
@@ -205,6 +242,51 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       const long n = parse_integer(flag, need_value(flag));
       if (n <= 0) throw RuntimeFailure("--max-in-flight must be positive");
       options.max_in_flight = static_cast<std::size_t>(n);
+    } else if (flag == "--store-dir") {
+      options.run_config.store_dir = need_value(flag);
+    } else if (flag == "--snapshot-every") {
+      const long n = parse_integer(flag, need_value(flag));
+      if (n <= 0) throw RuntimeFailure("--snapshot-every must be positive");
+      options.run_config.store_every = static_cast<int>(n);
+    } else if (flag == "--keyframe-every") {
+      const long n = parse_integer(flag, need_value(flag));
+      if (n <= 0) throw RuntimeFailure("--keyframe-every must be positive");
+      options.run_config.store_keyframe_every = static_cast<int>(n);
+    } else if (flag == "--store-max-bytes") {
+      const long n = parse_integer(flag, need_value(flag));
+      if (n <= 0) throw RuntimeFailure("--store-max-bytes must be positive");
+      options.run_config.store_max_bytes = static_cast<std::uint64_t>(n);
+    } else if (flag == "--watch") {
+      options.run_config.watch = need_value(flag);
+      md::WatchEmitter::parse_spec(options.run_config.watch);  // validate now
+    } else if (flag == "--watch-every") {
+      const long n = parse_integer(flag, need_value(flag));
+      if (n <= 0) throw RuntimeFailure("--watch-every must be positive");
+      options.run_config.watch_every = static_cast<int>(n);
+    } else if (flag == "--a-kernel") {
+      options.bisect_a.kernel = parse_host_kernel(flag, need_value(flag));
+    } else if (flag == "--b-kernel") {
+      options.bisect_b.kernel = parse_host_kernel(flag, need_value(flag));
+    } else if (flag == "--a-precision") {
+      options.bisect_a.precision = md::parse_precision(need_value(flag));
+    } else if (flag == "--b-precision") {
+      options.bisect_b.precision = md::parse_precision(need_value(flag));
+    } else if (flag == "--a-simd") {
+      options.bisect_a.simd_isa = simd::parse_simd_type(need_value(flag));
+    } else if (flag == "--b-simd") {
+      options.bisect_b.simd_isa = simd::parse_simd_type(need_value(flag));
+    } else if (flag == "--a-threads") {
+      const long t = parse_integer(flag, need_value(flag));
+      if (t <= 0) throw RuntimeFailure("--a-threads must be positive");
+      options.bisect_a.threads = static_cast<std::size_t>(t);
+    } else if (flag == "--b-threads") {
+      const long t = parse_integer(flag, need_value(flag));
+      if (t <= 0) throw RuntimeFailure("--b-threads must be positive");
+      options.bisect_b.threads = static_cast<std::size_t>(t);
+    } else if (flag == "--a-faults") {
+      options.bisect_a.faults = need_value(flag);
+    } else if (flag == "--b-faults") {
+      options.bisect_b.faults = need_value(flag);
     } else if (flag == "--degrade") {
       options.run_config.degrade = true;
     } else if (flag == "--drift-tol") {
@@ -238,6 +320,25 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       throw RuntimeFailure(
           "'batch' needs --checkpoint-dir <dir> (suspend state lives there)");
     }
+  }
+  if (options.run_config.store_every > 0 &&
+      options.run_config.store_dir.empty()) {
+    throw RuntimeFailure("--snapshot-every needs --store-dir <dir>");
+  }
+  const auto side_configured = [](const CliBisectSide& side) {
+    return side.kernel || side.precision || side.simd_isa ||
+           side.threads > 0 || !side.faults.empty();
+  };
+  if (options.command == CliCommand::kBisect) {
+    if (options.run_config.store_dir.empty()) {
+      throw RuntimeFailure(
+          "'bisect' needs --store-dir <dir> (both sides record their "
+          "snapshot stores under it)");
+    }
+  } else if (side_configured(options.bisect_a) ||
+             side_configured(options.bisect_b)) {
+    throw RuntimeFailure(
+        "--a-*/--b-* side overrides only apply to the 'bisect' command");
   }
   return options;
 }

@@ -11,16 +11,32 @@
 //   emdpa compare [--atoms N] [--steps K] ... (runs every backend)
 //   emdpa batch --manifest FILE --checkpoint-dir DIR [--slice N]
 //               [--max-in-flight N] [--threads N] [--csv]
+//   emdpa bisect --store-dir DIR [--snapshot-every N] [shared opts]
+//                [--a-kernel M] [--a-precision M] [--a-simd I]
+//                [--a-threads N] [--a-faults SPEC] [--b-...]
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "md/backend.h"
+#include "md/precision.h"
 
 namespace emdpa::driver {
 
-enum class CliCommand { kList, kRun, kCompare, kBatch, kHelp };
+enum class CliCommand { kList, kRun, kCompare, kBatch, kBisect, kHelp };
+
+/// Per-side knob overrides for `emdpa bisect` (--a-* / --b-* flags).  Unset
+/// members inherit the shared flags, so a pair differing in exactly one knob
+/// needs exactly one override.
+struct CliBisectSide {
+  std::optional<md::HostKernel> kernel;
+  std::optional<md::PrecisionMode> precision;
+  std::optional<simd::SimdType> simd_isa;
+  std::size_t threads = 0;  ///< 0 = inherit --threads
+  std::string faults;       ///< EMDPA_FAULTS-style spec armed only for this side
+};
 
 struct CliOptions {
   CliCommand command = CliCommand::kHelp;
@@ -37,6 +53,11 @@ struct CliOptions {
   std::string checkpoint_dir;    ///< --checkpoint-dir (required)
   int slice_steps = 100;         ///< --slice: steps per time slice
   std::size_t max_in_flight = 4; ///< --max-in-flight: resident job cap
+
+  // kBisect: the two sides' overrides; everything else (workload, steps,
+  // store/watch knobs) comes from the shared flags in run_config.
+  CliBisectSide bisect_a;
+  CliBisectSide bisect_b;
 };
 
 /// Parse argv (excluding argv[0]).  Throws RuntimeFailure with a

@@ -7,6 +7,8 @@
 // tests can verify every backend computes the same trajectory.
 #pragma once
 
+#include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <optional>
@@ -72,6 +74,29 @@ struct RunConfig {
   /// >0 arms the numerical-health watchdog with this relative energy-drift
   /// tolerance (plus the default finite/displacement checks).
   double drift_tolerance = 0.0;
+
+  // Time-travel trajectory store (md/trajectory_store.h), honoured by the
+  // host-parallel backend.  Snapshots are pure observers: a store-enabled
+  // run's trajectory is bitwise identical to a store-disabled one.
+  /// Directory for the snapshot ring; empty = no store.
+  std::string store_dir;
+  /// Snapshot every N completed steps (plus step 0 and the final step).
+  /// 0 with a store_dir set still snapshots the endpoints.
+  int store_every = 0;
+  /// Every K-th snapshot is a full keyframe; the rest are XOR deltas.
+  int store_keyframe_every = 8;
+  /// Disk budget across all frames (ring eviction of oldest whole chains);
+  /// 0 = unbounded.
+  std::uint64_t store_max_bytes = 0;
+
+  // Streaming observables channel (md/watch.h; --watch energy,max_disp).
+  /// Comma-separated observable list; empty = off.
+  std::string watch;
+  /// Emit on steps divisible by this (the baseline state also emits).
+  int watch_every = 1;
+  /// Where watch lines go; the CLI points this at std::cout.  Ignored when
+  /// `watch` is empty; must be non-null when it is not.
+  std::ostream* watch_stream = nullptr;
 };
 
 struct RunResult {

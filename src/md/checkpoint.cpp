@@ -1,8 +1,5 @@
 #include "md/checkpoint.h"
 
-#include <cinttypes>
-#include <cmath>
-#include <cstdio>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -10,60 +7,16 @@
 
 #include "core/crc32.h"
 #include "core/error.h"
+#include "core/hexio.h"
 
 namespace emdpa::md {
 
 namespace {
 
 constexpr const char* kMagic = "emdpa-checkpoint";
-constexpr int kVersion = 3;
+constexpr int kVersion = 4;
 
-std::string hex(double v) {
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%a", v);
-  return buf;
-}
-
-std::string hex_u64(std::uint64_t v) {
-  char buf[20];
-  std::snprintf(buf, sizeof(buf), "%016" PRIx64, v);
-  return buf;
-}
-
-double parse_double(const std::string& token, const char* what) {
-  std::size_t consumed = 0;
-  double value = 0.0;
-  try {
-    value = std::stod(token, &consumed);
-  } catch (const std::exception&) {
-    throw RuntimeFailure(std::string("checkpoint: malformed ") + what + " '" +
-                         token + "'");
-  }
-  if (consumed != token.size()) {
-    throw RuntimeFailure(std::string("checkpoint: trailing characters in ") +
-                         what + " '" + token + "'");
-  }
-  // stod happily parses "inf" and "nan"; a state with non-finite values can
-  // only come from a corrupt file (or a blown-up run) and would silently
-  // poison every downstream kernel, so reject it at the boundary.
-  if (!std::isfinite(value)) {
-    throw RuntimeFailure(std::string("checkpoint: non-finite ") + what + " '" +
-                         token + "'");
-  }
-  return value;
-}
-
-std::uint64_t parse_u64_hex(const std::string& token, const char* what) {
-  try {
-    std::size_t consumed = 0;
-    const std::uint64_t value = std::stoull(token, &consumed, 16);
-    if (consumed != token.size()) throw std::invalid_argument(token);
-    return value;
-  } catch (const std::exception&) {
-    throw RuntimeFailure(std::string("checkpoint: malformed ") + what + " '" +
-                         token + "'");
-  }
-}
+std::string hex(double v) { return hexio::format_double(v); }
 
 /// Header + atom records (everything between the version line and the v2+
 /// footer), shared by all format versions.
@@ -81,8 +34,8 @@ Checkpoint parse_body(std::istream& in, int version) {
 
   Checkpoint cp;
   cp.system = ParticleSystem(n);
-  cp.system.set_mass(parse_double(mass_tok, "mass"));
-  cp.box_edge = parse_double(box_tok, "box edge");
+  cp.system.set_mass(hexio::parse_double(mass_tok, "mass"));
+  cp.box_edge = hexio::parse_double(box_tok, "box edge");
   cp.step = step;
   EMDPA_REQUIRE(cp.box_edge > 0.0, "checkpoint box edge must be positive");
 
@@ -91,13 +44,14 @@ Checkpoint parse_body(std::istream& in, int version) {
     if (!(in >> kw_pe >> pe_tok) || kw_pe != "pe") {
       throw RuntimeFailure("checkpoint: malformed state line (missing pe)");
     }
-    cp.potential = parse_double(pe_tok, "potential energy");
+    cp.potential = hexio::parse_double(pe_tok, "potential energy");
     cp.has_potential = true;
   }
 
-  // Version 3 inserts up to two keyworded lines between the state line and
-  // the atom records.  Token-wise reading means one token of lookahead: the
-  // first non-section token is the leading coordinate of atom 0.
+  // Versions 3 and 4 insert optional keyworded sections between the state
+  // line and the atom records.  Token-wise reading means one token of
+  // lookahead: the first non-section token is the leading coordinate of
+  // atom 0.
   std::string pending;
   bool have_pending = false;
   if (version >= 3) {
@@ -118,11 +72,40 @@ Checkpoint parse_body(std::istream& in, int version) {
         throw RuntimeFailure("checkpoint: malformed rng line");
       }
       Rng::State state;
-      state.s = {parse_u64_hex(s0, "rng state"), parse_u64_hex(s1, "rng state"),
-                 parse_u64_hex(s2, "rng state"), parse_u64_hex(s3, "rng state")};
-      state.cached_gaussian = parse_double(cached, "rng cached gaussian");
+      state.s = {hexio::parse_u64(s0, "rng state"),
+                 hexio::parse_u64(s1, "rng state"),
+                 hexio::parse_u64(s2, "rng state"),
+                 hexio::parse_u64(s3, "rng state")};
+      state.cached_gaussian = hexio::parse_double(cached, "rng cached gaussian");
       state.has_cached_gaussian = flag == "1";
       cp.langevin_rng = state;
+      have_pending = static_cast<bool>(in >> pending);
+    }
+    if (version >= 4 && have_pending && pending == "listref") {
+      std::size_t ref_n = 0;
+      std::string kw_cutoff, cutoff_tok;
+      if (!(in >> ref_n >> kw_cutoff >> cutoff_tok) || kw_cutoff != "cutoff") {
+        throw RuntimeFailure("checkpoint: malformed listref line");
+      }
+      if (ref_n != n) {
+        throw RuntimeFailure("checkpoint: listref atom count mismatch");
+      }
+      cp.list_ref_cutoff = hexio::parse_double(cutoff_tok, "listref cutoff");
+      if (!(cp.list_ref_cutoff > 0.0)) {
+        throw RuntimeFailure("checkpoint: listref cutoff must be positive");
+      }
+      std::vector<emdpa::Vec3d> ref(ref_n);
+      for (std::size_t i = 0; i < ref_n; ++i) {
+        std::string x, y, z;
+        if (!(in >> x >> y >> z)) {
+          throw RuntimeFailure("checkpoint: truncated listref at atom " +
+                               std::to_string(i));
+        }
+        ref[i] = {hexio::parse_double(x, "listref x"),
+                  hexio::parse_double(y, "listref y"),
+                  hexio::parse_double(z, "listref z")};
+      }
+      cp.list_ref = std::move(ref);
       have_pending = static_cast<bool>(in >> pending);
     }
   }
@@ -143,14 +126,15 @@ Checkpoint parse_body(std::istream& in, int version) {
   for (std::size_t i = 0; i < n; ++i) {
     std::string t[9];
     for (auto& tok : t) tok = next_token(i);
-    cp.system.positions()[i] = {parse_double(t[0], "x"), parse_double(t[1], "y"),
-                                parse_double(t[2], "z")};
-    cp.system.velocities()[i] = {parse_double(t[3], "vx"),
-                                 parse_double(t[4], "vy"),
-                                 parse_double(t[5], "vz")};
-    cp.system.accelerations()[i] = {parse_double(t[6], "ax"),
-                                    parse_double(t[7], "ay"),
-                                    parse_double(t[8], "az")};
+    cp.system.positions()[i] = {hexio::parse_double(t[0], "x"),
+                                hexio::parse_double(t[1], "y"),
+                                hexio::parse_double(t[2], "z")};
+    cp.system.velocities()[i] = {hexio::parse_double(t[3], "vx"),
+                                 hexio::parse_double(t[4], "vy"),
+                                 hexio::parse_double(t[5], "vz")};
+    cp.system.accelerations()[i] = {hexio::parse_double(t[6], "ax"),
+                                    hexio::parse_double(t[7], "ay"),
+                                    hexio::parse_double(t[8], "az")};
   }
   return cp;
 }
@@ -168,10 +152,20 @@ void write_checkpoint_text(std::ostream& out, const Checkpoint& cp) {
   }
   if (cp.langevin_rng) {
     const Rng::State& rng = *cp.langevin_rng;
-    body << "rng langevin " << hex_u64(rng.s[0]) << ' ' << hex_u64(rng.s[1])
-         << ' ' << hex_u64(rng.s[2]) << ' ' << hex_u64(rng.s[3]) << ' '
-         << hex(rng.cached_gaussian) << ' ' << (rng.has_cached_gaussian ? 1 : 0)
-         << '\n';
+    body << "rng langevin " << hexio::format_u64(rng.s[0]) << ' '
+         << hexio::format_u64(rng.s[1]) << ' ' << hexio::format_u64(rng.s[2])
+         << ' ' << hexio::format_u64(rng.s[3]) << ' '
+         << hex(rng.cached_gaussian) << ' '
+         << (rng.has_cached_gaussian ? 1 : 0) << '\n';
+  }
+  if (cp.list_ref) {
+    EMDPA_REQUIRE(cp.list_ref->size() == cp.system.size(),
+                  "checkpoint listref must cover every atom");
+    body << "listref " << cp.list_ref->size() << " cutoff "
+         << hex(cp.list_ref_cutoff) << '\n';
+    for (const auto& p : *cp.list_ref) {
+      body << hex(p.x) << ' ' << hex(p.y) << ' ' << hex(p.z) << '\n';
+    }
   }
   for (std::size_t i = 0; i < cp.system.size(); ++i) {
     const auto& p = cp.system.positions()[i];
@@ -181,10 +175,7 @@ void write_checkpoint_text(std::ostream& out, const Checkpoint& cp) {
          << ' ' << hex(v.y) << ' ' << hex(v.z) << ' ' << hex(a.x) << ' '
          << hex(a.y) << ' ' << hex(a.z) << '\n';
   }
-  const std::string text = body.str();
-  char footer[24];
-  std::snprintf(footer, sizeof(footer), "crc %08x\n", crc32(text));
-  out << text << footer;
+  out << with_crc_footer(body.str());
   if (!out) throw RuntimeFailure("checkpoint: write failed");
 }
 
@@ -222,37 +213,8 @@ Checkpoint load_checkpoint(std::istream& in) {
   }
 
   if (version >= 2) {
-    // Locate and verify the CRC footer before trusting any field.  The
-    // footer is the last line; searching from the end keeps a hex-float that
-    // can never contain "crc" unambiguous anyway.
-    const std::size_t pos = content.rfind("\ncrc ");
-    if (pos == std::string::npos) {
-      throw RuntimeFailure("checkpoint: missing crc footer (truncated file?)");
-    }
-    const std::string data = content.substr(0, pos + 1);
-    std::istringstream footer(content.substr(pos + 1));
-    std::string kw_crc, crc_tok, trailing;
-    if (!(footer >> kw_crc >> crc_tok) || kw_crc != "crc" ||
-        crc_tok.size() != 8 || (footer >> trailing)) {
-      throw RuntimeFailure("checkpoint: malformed crc footer");
-    }
-    std::uint32_t stored = 0;
-    try {
-      std::size_t consumed = 0;
-      stored = static_cast<std::uint32_t>(std::stoul(crc_tok, &consumed, 16));
-      if (consumed != crc_tok.size()) throw std::invalid_argument(crc_tok);
-    } catch (const std::exception&) {
-      throw RuntimeFailure("checkpoint: malformed crc value '" + crc_tok + "'");
-    }
-    const std::uint32_t computed = crc32(data);
-    if (computed != stored) {
-      char msg[80];
-      std::snprintf(msg, sizeof(msg),
-                    "checkpoint: crc mismatch (stored %08x, computed %08x)",
-                    stored, computed);
-      throw RuntimeFailure(msg);
-    }
-    content = data;
+    // Verify the CRC footer before trusting any field.
+    content = strip_crc_footer(content, "checkpoint");
   }
 
   std::istringstream body(content);

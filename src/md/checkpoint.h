@@ -3,12 +3,14 @@
 // Text format, versioned, round-trip exact: floating-point values are
 // written as hex floats so a restored run continues bit-identically.
 //
-// Version 3 (written by save_checkpoint; versions 1 and 2 still load):
+// Version 4 (written by save_checkpoint; versions 1–3 still load):
 //
-//   emdpa-checkpoint 3
+//   emdpa-checkpoint 4
 //   atoms <N> mass <m> box <edge> step <k> pe <pe>
 //   config kernel <kernel> precision <mode> simd <isa>     (optional line)
 //   rng langevin <s0> <s1> <s2> <s3> <cached> <flag>       (optional line)
+//   listref <N> cutoff <c>                                 (optional section)
+//   <x> <y> <z>                                            (N lines, if listref)
 //   <x> <y> <z> <vx> <vy> <vz> <ax> <ay> <az>              (N lines)
 //   crc <8 hex digits>
 //
@@ -35,11 +37,23 @@
 //    thermostat — the four state words plus the cached Box–Muller second
 //    deviate — so a resumed thermostatted run continues the identical noise
 //    sequence instead of re-seeding and diverging.
+//
+// The optional v4 `listref` section carries the reference positions (and
+// combined cutoff+skin radius) the active neighbour list was built from.
+// The list build is a pure function of (positions, box, cutoff), so a
+// restore can rebuild the IDENTICAL list from this section instead of
+// forcing a sync-point rebuild from the current state.  That is what lets
+// Simulation::snapshot() be a pure observer: a trajectory-store snapshot
+// perturbs nothing (store-enabled runs stay bitwise identical to
+// store-disabled runs), yet a replay restored from one continues
+// bit-exactly.  Simulation::save() deliberately does NOT write the section
+// — the checkpoint seam keeps its invalidate-on-save contract.
 #pragma once
 
 #include <iosfwd>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/random.h"
 #include "md/box.h"
@@ -75,18 +89,27 @@ struct Checkpoint {
   std::optional<CheckpointConfig> config;
   /// Langevin thermostat RNG state, when one was attached at save time.
   std::optional<Rng::State> langevin_rng;
+  /// Neighbour-list reference positions (v4 `listref` section): the
+  /// positions the active list was built from, widened to double (exact for
+  /// the sp/mixed float lists).  Written by Simulation::snapshot(), consumed
+  /// by Simulation::resume() to reseed an identical list; absent in ordinary
+  /// checkpoints, which keep the invalidate-on-save contract.
+  std::optional<std::vector<emdpa::Vec3d>> list_ref;
+  /// Combined cutoff+skin radius the list was built with (meaningful only
+  /// when list_ref is set).
+  double list_ref_cutoff = 0.0;
 };
 
-/// Serialise raw state to `out` (format version 3, no config/rng lines).
+/// Serialise raw state to `out` (format version 4, no optional sections).
 /// Throws RuntimeFailure on stream errors.
 void save_checkpoint(std::ostream& out, const ParticleSystem& system,
                      const PeriodicBox& box, long step, double potential = 0.0);
 
-/// Serialise a full checkpoint including the optional config and RNG
-/// sections.  `cp.has_potential` is ignored: the v3 format always stores pe.
+/// Serialise a full checkpoint including the optional config, RNG and
+/// listref sections.  `cp.has_potential` is ignored: v2+ always stores pe.
 void save_checkpoint(std::ostream& out, const Checkpoint& cp);
 
-/// Parse a checkpoint from `in`.  Accepts versions 1–3; versions >= 2 are
+/// Parse a checkpoint from `in`.  Accepts versions 1–4; versions >= 2 are
 /// verified against their CRC footer.  Throws RuntimeFailure on malformed or
 /// corrupt input (bad magic, wrong version, truncated atom records, checksum
 /// mismatch, non-finite values).

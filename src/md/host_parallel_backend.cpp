@@ -16,6 +16,8 @@
 #include "md/backend.h"
 #include "md/checkpoint_manager.h"
 #include "md/simulation.h"
+#include "md/trajectory_store.h"
+#include "md/watch.h"
 
 namespace emdpa::md {
 
@@ -71,10 +73,40 @@ RunResult HostParallelBackend::run(const RunConfig& config) {
     manager->save([&](std::ostream& out) { sim.save(out); });
   };
 
+  // Time-travel store: snapshots are pure observers (Simulation::snapshot
+  // never touches the run), taken at the start state, every store_every
+  // steps, and at the final step.
+  std::optional<TrajectoryStore> store;
+  if (!config.store_dir.empty()) {
+    TrajectoryStoreOptions store_options;
+    store_options.directory = config.store_dir;
+    store_options.keyframe_interval = config.store_keyframe_every;
+    store_options.max_bytes = config.store_max_bytes;
+    store.emplace(std::move(store_options));
+    store->append(sim.snapshot());
+  }
+  const long final_step = sim.current_step() + remaining;
+
+  std::optional<WatchEmitter> watch;
+  if (!config.watch.empty()) {
+    EMDPA_REQUIRE(config.watch_stream != nullptr,
+                  "watch requires an output stream");
+    watch.emplace(config.watch, config.watch_every, sim.system(), sim.box());
+    watch->emit(*config.watch_stream, sim.current_step(), sim.last_energies(),
+                sim.system());
+  }
+
   result.energies.push_back(sim.last_energies());
   try {
     sim.run(static_cast<int>(remaining), [&](long step, const StepEnergies& e) {
       result.energies.push_back(e);
+      if (store && ((config.store_every > 0 && step % config.store_every == 0) ||
+                    step == final_step)) {
+        if (!store->has_step(step)) store->append(sim.snapshot());
+      }
+      if (watch && (watch->due(step) || step == final_step)) {
+        watch->emit(*config.watch_stream, step, e, sim.system());
+      }
       if (manager && config.checkpoint_every > 0 &&
           step % config.checkpoint_every == 0) {
         try {
@@ -152,6 +184,15 @@ RunResult HostParallelBackend::run(const RunConfig& config) {
   if (resumed_from >= 0) {
     result.metadata["resumed_from_step"] = static_cast<double>(resumed_from);
     result.metadata["resume_used_fallback"] = resume_used_fallback ? 1.0 : 0.0;
+  }
+  if (store) {
+    const TrajectoryStoreStats& s = store->stats();
+    result.metadata["store_snapshots"] = static_cast<double>(s.snapshots);
+    result.metadata["store_keyframes"] = static_cast<double>(s.keyframes);
+    result.metadata["store_deltas"] = static_cast<double>(s.deltas);
+    result.metadata["store_bytes"] = static_cast<double>(s.bytes);
+    result.metadata["store_evicted_frames"] =
+        static_cast<double>(s.evicted_frames);
   }
   result.ops.add("host.threads", pool.size());
   result.ops.add("host.simd_width", sim.simd_width());

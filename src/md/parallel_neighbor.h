@@ -80,10 +80,11 @@ enum class SkinPolicy {
 const char* to_string(SkinPolicy policy);
 
 /// What the simulation seam needs from any neighbour-list kernel regardless
-/// of its numeric types: rebuild statistics for the run report, and the
+/// of its numeric types: rebuild statistics for the run report, the
 /// checkpoint-time invalidation that keeps a continuing run and a future
-/// resume bitwise identical.  Every NeighborListKernelT instantiation (dp,
-/// sp, mixed) implements it.
+/// resume bitwise identical, and the reference-position capture/reseed pair
+/// the trajectory store's pure-observer snapshots rest on.  Every
+/// NeighborListKernelT instantiation (dp, sp, mixed) implements it.
 class NeighborListControl {
  public:
   virtual ~NeighborListControl() = default;
@@ -91,6 +92,24 @@ class NeighborListControl {
   virtual void invalidate_list() = 0;
   virtual double list_bin_seconds() const = 0;
   virtual double list_fill_seconds() const = 0;
+
+  /// True when a built list is live (a build happened and nothing
+  /// invalidated it since).
+  virtual bool has_list() const = 0;
+  /// The positions the live list was built from, widened to double (exact
+  /// for the float lists: every float is a double).  Empty when !has_list().
+  virtual std::vector<emdpa::Vec3d> list_reference_positions() const = 0;
+  /// The lj cutoff the live list was built for (widened; the skin is the
+  /// kernel's own configuration).  Meaningless when !has_list().
+  virtual double list_build_cutoff() const = 0;
+  /// Rebuild the list from `reference` (narrowed back to the kernel's Real —
+  /// the exact inverse of list_reference_positions' widening).  The build is
+  /// a pure function of (positions, box, cutoff), so seeding with a captured
+  /// reference reproduces the captured list bit-for-bit — what lets a
+  /// trajectory-store restore continue a run whose snapshot did NOT
+  /// invalidate the list.
+  virtual void seed_list(const std::vector<emdpa::Vec3d>& reference,
+                         double box_edge, double cutoff) = 0;
 };
 
 /// SIMD-padded CSR neighbour list with a deterministic pool-parallel build.
@@ -123,6 +142,21 @@ class ParallelNeighborListT {
 
   /// Drop the current list so the next ensure() rebuilds unconditionally.
   void invalidate() { build_positions_.clear(); build_cutoff_ = Real(-1); }
+
+  /// True when a build is live (built and not invalidated since).
+  bool valid() const {
+    return build_cutoff_ >= Real(0) && !build_positions_.empty();
+  }
+
+  /// The raw input positions of the most recent build — what needs_rebuild
+  /// measures displacement against, and what seed-based restores replay.
+  const std::vector<emdpa::Vec3<Real>>& reference_positions() const {
+    return build_positions_;
+  }
+
+  /// The lj cutoff of the most recent build (list radius is cutoff+skin);
+  /// Real(-1) when invalid.
+  Real build_cutoff() const { return build_cutoff_; }
 
   std::size_t size() const { return build_positions_.size(); }
 
@@ -257,6 +291,34 @@ class NeighborListKernelT final : public ForceKernelT<Acc>,
   }
   double list_fill_seconds() const override {
     return list_.fill_seconds_total();
+  }
+  bool has_list() const override { return list_.valid(); }
+  std::vector<emdpa::Vec3d> list_reference_positions() const override {
+    std::vector<emdpa::Vec3d> out;
+    out.reserve(list_.reference_positions().size());
+    for (const auto& p : list_.reference_positions()) {
+      out.push_back({static_cast<double>(p.x), static_cast<double>(p.y),
+                     static_cast<double>(p.z)});
+    }
+    return out;
+  }
+  double list_build_cutoff() const override {
+    return static_cast<double>(list_.build_cutoff());
+  }
+  void seed_list(const std::vector<emdpa::Vec3d>& reference, double box_edge,
+                 double cutoff) override {
+    // Narrowing double -> Real here is the exact inverse of the widening in
+    // list_reference_positions (for Real == float the stored doubles are
+    // exactly representable floats), so the rebuilt list is bit-identical to
+    // the one captured.
+    std::vector<emdpa::Vec3<Real>> narrowed;
+    narrowed.reserve(reference.size());
+    for (const auto& p : reference) {
+      narrowed.push_back({static_cast<Real>(p.x), static_cast<Real>(p.y),
+                          static_cast<Real>(p.z)});
+    }
+    list_.build(narrowed, PeriodicBoxT<Real>(static_cast<Real>(box_edge)),
+                static_cast<Real>(cutoff));
   }
 
   ForceResultT<Acc> compute(const std::vector<emdpa::Vec3<Acc>>& positions,

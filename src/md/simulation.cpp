@@ -1,6 +1,10 @@
 #include "md/simulation.h"
 
+#include <cmath>
+#include <limits>
+
 #include "core/error.h"
+#include "core/fault_injection.h"
 #include "md/backend.h"
 #include "md/cell_list_kernel.h"
 #include "md/checkpoint.h"
@@ -230,6 +234,15 @@ Simulation Simulation::resume(Checkpoint checkpoint, const Options& options) {
     }
   }
   sim.pending_langevin_rng_ = checkpoint.langevin_rng;
+  if (checkpoint.list_ref && sim.list_control_ != nullptr) {
+    // Snapshot-style checkpoint: reseed the neighbour list from the captured
+    // reference positions.  The build is a pure function of (positions, box,
+    // cutoff), so this reproduces the list the snapshotted run was using and
+    // the replay continues bit-identically WITHOUT the invalidate-on-save
+    // sync point.
+    sim.list_control_->seed_list(*checkpoint.list_ref, checkpoint.box_edge,
+                                 checkpoint.list_ref_cutoff);
+  }
   return sim;
 }
 
@@ -303,6 +316,17 @@ MinimizeResult Simulation::minimize(const MinimizeOptions& options) {
 }
 
 StepEnergies Simulation::step_once() {
+  // Deterministic divergence source for the bisection harness: at the armed
+  // step, kick one velocity component by one ulp before integrating.  Keyed
+  // to the absolute step number (injected_at, not injected) so a replay that
+  // restores a snapshot and re-runs this step window perturbs the exact same
+  // step again — the property the bisect self-test rests on.
+  if (!system_.velocities().empty() &&
+      fault::injected_at("md.step_perturb",
+                         static_cast<std::uint64_t>(step_ + 1))) {
+    double& vx = system_.velocities()[0].x;
+    vx = std::nextafter(vx, std::numeric_limits<double>::infinity());
+  }
   try {
     last_energies_ = integrator_.step(system_, box_, lj_, active_kernel());
   } catch (RuntimeFailure& e) {
@@ -396,6 +420,27 @@ void Simulation::save(std::ostream& out) {
   // the continuing run and any future resume from this checkpoint both
   // rebuild it from exactly the state just written.
   if (list_control_ != nullptr) list_control_->invalidate_list();
+}
+
+Checkpoint Simulation::snapshot() const {
+  Checkpoint cp;
+  cp.system = system_;
+  cp.box_edge = box_.edge();
+  cp.step = step_;
+  cp.potential = last_energies_.potential;
+  cp.has_potential = true;
+  cp.config =
+      CheckpointConfig{to_string(kernel_kind_), to_string(precision_),
+                       simd_isa_ ? simd::to_string(*simd_isa_) : "none"};
+  if (langevin_) cp.langevin_rng = langevin_->rng_state();
+  // Pure observer: instead of invalidating the live neighbour list (save()'s
+  // sync point, a bitwise perturbation of the continuing run), capture the
+  // positions it was built from so a restore can reseed the identical list.
+  if (list_control_ != nullptr && list_control_->has_list()) {
+    cp.list_ref = list_control_->list_reference_positions();
+    cp.list_ref_cutoff = list_control_->list_build_cutoff();
+  }
+  return cp;
 }
 
 Simulation::Options simulation_options_from(const RunConfig& config,

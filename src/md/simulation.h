@@ -188,6 +188,15 @@ class Simulation {
   /// trajectories stay bit-identical.
   void save(std::ostream& out);
 
+  /// Capture the full state as a Checkpoint WITHOUT perturbing the run — the
+  /// trajectory store's seam.  Unlike save(), no neighbour-list invalidation
+  /// happens; instead the checkpoint carries the live list's reference
+  /// positions (v4 `listref` section), so a resume() from it reseeds the
+  /// identical list and continues bit-exactly, while the observed run itself
+  /// proceeds as if nothing was captured.  Store-enabled runs therefore stay
+  /// bitwise identical to store-disabled runs.
+  Checkpoint snapshot() const;
+
  private:
   /// `restored_potential` non-null restores a checkpointed state verbatim:
   /// the stored accelerations are the primed state, so prime() is skipped

@@ -64,6 +64,17 @@ class SingleNeighborListKernel final : public ForceKernel,
   double list_fill_seconds() const override {
     return inner_.list_fill_seconds();
   }
+  bool has_list() const override { return inner_.has_list(); }
+  std::vector<emdpa::Vec3d> list_reference_positions() const override {
+    return inner_.list_reference_positions();
+  }
+  double list_build_cutoff() const override {
+    return inner_.list_build_cutoff();
+  }
+  void seed_list(const std::vector<emdpa::Vec3d>& reference, double box_edge,
+                 double cutoff) override {
+    inner_.seed_list(reference, box_edge, cutoff);
+  }
 
   ForceResult compute(const std::vector<emdpa::Vec3<double>>& positions,
                       const PeriodicBox& box, const LjParams& lj,

@@ -1,0 +1,91 @@
+#include "md/watch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "core/error.h"
+
+namespace emdpa::md {
+
+namespace {
+
+const char* const kKnown[] = {"energy", "ke", "pe", "max_disp"};
+
+bool known(const std::string& name) {
+  return std::find(std::begin(kKnown), std::end(kKnown), name) !=
+         std::end(kKnown);
+}
+
+std::string format_value(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<std::string> WatchEmitter::parse_spec(const std::string& spec) {
+  std::vector<std::string> names;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find(',', begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string name = spec.substr(begin, end - begin);
+    if (!name.empty()) {
+      if (!known(name)) {
+        throw RuntimeFailure("watch: unknown observable '" + name +
+                             "' (known: energy, ke, pe, max_disp)");
+      }
+      if (std::find(names.begin(), names.end(), name) == names.end()) {
+        names.push_back(name);
+      }
+    }
+    begin = end + 1;
+  }
+  if (names.empty()) {
+    throw RuntimeFailure("watch: empty observable list");
+  }
+  return names;
+}
+
+WatchEmitter::WatchEmitter(const std::string& spec, int every,
+                           const ParticleSystem& initial,
+                           const PeriodicBox& box)
+    : observables_(parse_spec(spec)),
+      every_(every),
+      baseline_(initial.positions()),
+      box_(box) {
+  EMDPA_REQUIRE(every_ >= 1, "watch interval must be >= 1");
+}
+
+void WatchEmitter::emit(std::ostream& out, long step,
+                        const StepEnergies& energies,
+                        const ParticleSystem& system, const char* tag) const {
+  out << "watch";
+  if (tag != nullptr) out << " side=" << tag;
+  out << " step=" << step;
+  for (const std::string& name : observables_) {
+    double value = 0.0;
+    if (name == "energy") {
+      value = energies.total();
+    } else if (name == "ke") {
+      value = energies.kinetic;
+    } else if (name == "pe") {
+      value = energies.potential;
+    } else if (name == "max_disp") {
+      const std::size_t n =
+          std::min(baseline_.size(), system.positions().size());
+      for (std::size_t i = 0; i < n; ++i) {
+        const Vec3d dr =
+            box_.min_image(system.positions()[i] - baseline_[i]);
+        value = std::max(value, std::sqrt(length_squared(dr)));
+      }
+    }
+    out << ' ' << name << '=' << format_value(value);
+  }
+  out << '\n';
+}
+
+}  // namespace emdpa::md

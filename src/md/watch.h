@@ -1,0 +1,60 @@
+// Streaming observables channel (--watch): cheap per-step scalars emitted
+// as greppable key=value lines while a run (or a bisect side) executes.
+//
+//   watch step=40 energy=-187.158696117482 max_disp=0.41282104492187503
+//
+// The channel is an OBSERVER: it reads the post-step state and writes text,
+// perturbing nothing — a watched run stays bitwise identical to an
+// unwatched one.  Values print with %.17g so two runs' watch streams can be
+// diffed as a poor-man's divergence check before reaching for the full
+// bisection machinery.
+//
+// Observables:
+//   energy    total (kinetic + potential) energy
+//   ke        kinetic energy
+//   pe        potential energy
+//   max_disp  max over atoms of the min-image displacement from the
+//             watch baseline (the state at construction)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "md/box.h"
+#include "md/integrator.h"
+#include "md/particle_system.h"
+
+namespace emdpa::md {
+
+class WatchEmitter {
+ public:
+  /// `spec` is a comma-separated observable list ("energy,max_disp").
+  /// Throws RuntimeFailure on an unknown name or an empty spec.  `every`
+  /// emits on steps divisible by it.  The baseline for max_disp is
+  /// `initial` (positions copied).
+  WatchEmitter(const std::string& spec, int every,
+               const ParticleSystem& initial, const PeriodicBox& box);
+
+  /// True when `step` is an emitting step.
+  bool due(long step) const { return every_ > 0 && step % every_ == 0; }
+
+  /// Write one "watch step=... k=v ..." line for the post-step state.  A
+  /// non-null `tag` inserts "side=<tag>" after "watch" — how `emdpa bisect`
+  /// keeps its two sides' streams distinguishable in one output.
+  void emit(std::ostream& out, long step, const StepEnergies& energies,
+            const ParticleSystem& system, const char* tag = nullptr) const;
+
+  const std::vector<std::string>& observables() const { return observables_; }
+
+  /// Parse and validate a spec without building an emitter (CLI validation).
+  static std::vector<std::string> parse_spec(const std::string& spec);
+
+ private:
+  std::vector<std::string> observables_;
+  int every_;
+  std::vector<emdpa::Vec3d> baseline_;
+  PeriodicBox box_;
+};
+
+}  // namespace emdpa::md

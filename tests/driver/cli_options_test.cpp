@@ -208,6 +208,91 @@ TEST(CliOptions, BatchDefaultsAndValidation) {
                RuntimeFailure);
 }
 
+TEST(CliOptions, StoreAndWatchFlagsPopulateRunConfig) {
+  const CliOptions options = parse_cli(
+      {"run", "--backend", "host-parallel", "--store-dir", "traj",
+       "--snapshot-every", "10", "--keyframe-every", "4", "--store-max-bytes",
+       "1000000", "--watch", "energy,max_disp", "--watch-every", "5"});
+  EXPECT_EQ(options.run_config.store_dir, "traj");
+  EXPECT_EQ(options.run_config.store_every, 10);
+  EXPECT_EQ(options.run_config.store_keyframe_every, 4);
+  EXPECT_EQ(options.run_config.store_max_bytes, 1000000u);
+  EXPECT_EQ(options.run_config.watch, "energy,max_disp");
+  EXPECT_EQ(options.run_config.watch_every, 5);
+}
+
+TEST(CliOptions, StoreAndWatchFlagsRejectBadInput) {
+  // A snapshot stride without a store directory has nowhere to write.
+  EXPECT_THROW(parse_cli({"run", "--backend", "x", "--snapshot-every", "10"}),
+               RuntimeFailure);
+  EXPECT_THROW(parse_cli({"run", "--backend", "x", "--store-dir", "d",
+                          "--snapshot-every", "0"}),
+               RuntimeFailure);
+  EXPECT_THROW(parse_cli({"run", "--backend", "x", "--store-dir", "d",
+                          "--keyframe-every", "-2"}),
+               RuntimeFailure);
+  // Unknown observables fail at parse time, not steps into the run.
+  EXPECT_THROW(parse_cli({"run", "--backend", "x", "--watch", "entropy"}),
+               RuntimeFailure);
+  EXPECT_THROW(parse_cli({"run", "--backend", "x", "--watch-every", "0",
+                          "--watch", "energy"}),
+               RuntimeFailure);
+}
+
+TEST(CliOptions, BisectCommandParsesSideOverrides) {
+  const CliOptions options = parse_cli(
+      {"bisect", "--store-dir", "traj", "--atoms", "64", "--steps", "48",
+       "--snapshot-every", "8", "--a-kernel", "n2", "--b-kernel", "list",
+       "--a-precision", "dp", "--b-precision", "sp", "--a-simd", "sse2",
+       "--b-simd", "avx2", "--a-threads", "1", "--b-threads", "3",
+       "--b-faults", "md.step_perturb:17"});
+  EXPECT_EQ(options.command, CliCommand::kBisect);
+  EXPECT_EQ(options.run_config.store_dir, "traj");
+  EXPECT_EQ(options.run_config.store_every, 8);
+  ASSERT_TRUE(options.bisect_a.kernel.has_value());
+  EXPECT_EQ(*options.bisect_a.kernel, md::HostKernel::kN2);
+  ASSERT_TRUE(options.bisect_b.kernel.has_value());
+  EXPECT_EQ(*options.bisect_b.kernel, md::HostKernel::kList);
+  ASSERT_TRUE(options.bisect_a.precision.has_value());
+  EXPECT_EQ(*options.bisect_a.precision, md::PrecisionMode::kDouble);
+  ASSERT_TRUE(options.bisect_b.precision.has_value());
+  EXPECT_EQ(*options.bisect_b.precision, md::PrecisionMode::kSingle);
+  ASSERT_TRUE(options.bisect_a.simd_isa.has_value());
+  EXPECT_EQ(*options.bisect_a.simd_isa, simd::SimdType::kSse2);
+  EXPECT_EQ(options.bisect_a.threads, 1u);
+  EXPECT_EQ(options.bisect_b.threads, 3u);
+  EXPECT_TRUE(options.bisect_a.faults.empty());
+  EXPECT_EQ(options.bisect_b.faults, "md.step_perturb:17");
+}
+
+TEST(CliOptions, BisectValidation) {
+  // bisect without a store directory has nowhere to record the two sides.
+  EXPECT_THROW(parse_cli({"bisect", "--atoms", "64"}), RuntimeFailure);
+  // Side overrides outside bisect are a usage error, not silently ignored.
+  EXPECT_THROW(
+      parse_cli({"run", "--backend", "x", "--a-precision", "sp"}),
+      RuntimeFailure);
+  EXPECT_THROW(parse_cli({"compare", "--b-faults", "md.step_perturb:1"}),
+               RuntimeFailure);
+  // Side flags validate their values like the shared ones do.
+  EXPECT_THROW(parse_cli({"bisect", "--store-dir", "d", "--a-kernel", "wat"}),
+               RuntimeFailure);
+  EXPECT_THROW(parse_cli({"bisect", "--store-dir", "d", "--b-threads", "0"}),
+               RuntimeFailure);
+}
+
+TEST(CliOptions, UsageDocumentsStoreWatchAndBisect) {
+  const std::string usage = cli_usage();
+  EXPECT_NE(usage.find("emdpa bisect"), std::string::npos);
+  EXPECT_NE(usage.find("--store-dir"), std::string::npos);
+  EXPECT_NE(usage.find("--snapshot-every"), std::string::npos);
+  EXPECT_NE(usage.find("--keyframe-every"), std::string::npos);
+  EXPECT_NE(usage.find("--store-max-bytes"), std::string::npos);
+  EXPECT_NE(usage.find("--watch"), std::string::npos);
+  EXPECT_NE(usage.find("md.step_perturb"), std::string::npos);
+  EXPECT_NE(usage.find("--a-precision"), std::string::npos);
+}
+
 TEST(CliOptions, UsageDocumentsBatchMode) {
   const std::string usage = cli_usage();
   EXPECT_NE(usage.find("emdpa batch"), std::string::npos);

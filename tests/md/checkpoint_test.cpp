@@ -255,5 +255,62 @@ TEST(Checkpoint, RejectsMalformedRngLine) {
   EXPECT_THROW(load_checkpoint(stream), RuntimeFailure);
 }
 
+TEST(Checkpoint, ListrefSectionRoundTripsBitExact) {
+  Checkpoint original;
+  original.system = sample_system();
+  original.box_edge = 5.5;
+  original.step = 7;
+  std::vector<Vec3d> ref(original.system.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    ref[i] = {0.1 * static_cast<double>(i), -0.0, 1e-310};  // awkward values
+  }
+  original.list_ref = ref;
+  original.list_ref_cutoff = 2.8;
+
+  std::stringstream stream;
+  save_checkpoint(stream, original);
+  const Checkpoint cp = load_checkpoint(stream);
+
+  ASSERT_TRUE(cp.list_ref.has_value());
+  ASSERT_EQ(cp.list_ref->size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ((*cp.list_ref)[i], ref[i]) << "atom " << i;
+  }
+  EXPECT_TRUE(std::signbit((*cp.list_ref)[1].y));
+  EXPECT_DOUBLE_EQ(cp.list_ref_cutoff, 2.8);
+}
+
+TEST(Checkpoint, ListrefRejectsAtomCountMismatch) {
+  std::stringstream stream(with_crc_footer(
+      "emdpa-checkpoint 4\n"
+      "atoms 1 mass 0x1p+0 box 0x1p+2 step 0 pe 0x0p+0\n"
+      "listref 2 cutoff 0x1p+1\n"
+      "0 0 0\n"
+      "0 0 0\n"
+      "0 0 0 0 0 0 0 0 0\n"));
+  EXPECT_THROW(load_checkpoint(stream), RuntimeFailure);
+}
+
+TEST(Checkpoint, ListrefRejectsNonPositiveCutoff) {
+  std::stringstream stream(with_crc_footer(
+      "emdpa-checkpoint 4\n"
+      "atoms 1 mass 0x1p+0 box 0x1p+2 step 0 pe 0x0p+0\n"
+      "listref 1 cutoff -0x1p+1\n"
+      "0 0 0\n"
+      "0 0 0 0 0 0 0 0 0\n"));
+  EXPECT_THROW(load_checkpoint(stream), RuntimeFailure);
+}
+
+TEST(Checkpoint, V3FilesDoNotAdmitListref) {
+  // The section is a v4 addition; a v3 file carrying it is malformed.
+  std::stringstream stream(with_crc_footer(
+      "emdpa-checkpoint 3\n"
+      "atoms 1 mass 0x1p+0 box 0x1p+2 step 0 pe 0x0p+0\n"
+      "listref 1 cutoff 0x1p+1\n"
+      "0 0 0\n"
+      "0 0 0 0 0 0 0 0 0\n"));
+  EXPECT_THROW(load_checkpoint(stream), RuntimeFailure);
+}
+
 }  // namespace
 }  // namespace emdpa::md

@@ -122,6 +122,84 @@ TEST_P(PrecisionTrajectory, RerunIsBitwiseIdentical) {
   expect_bitwise_identical(a, b, to_string(spec.precision));
 }
 
+TEST_P(PrecisionTrajectory, ThreadCountDoesNotChangeTheTrajectory) {
+  // The fixed-chunk accumulation contract holds in float exactly as in
+  // double: serial and pooled sp/mixed melts are the same bits.
+  for (const SimKernel kernel :
+       {SimKernel::kSoaN2, SimKernel::kNeighborList}) {
+    MeltSpec spec;
+    spec.n_atoms = 256;
+    spec.steps = 60;
+    spec.kernel = kernel;
+    spec.precision = GetParam();
+    const Trajectory serial = run_melt(spec);
+    ThreadPool pool(3);
+    spec.pool = &pool;
+    const Trajectory pooled = run_melt(spec);
+    expect_bitwise_identical(serial, pooled,
+                             std::string(to_string(kernel)) + "/" +
+                                 to_string(GetParam()) + " threads");
+  }
+}
+
+TEST_P(PrecisionTrajectory, BitwiseIdenticalAcrossDispatchedIsas) {
+  // The dp cross-ISA guarantee extends to the float kernels: the fp32
+  // accumulation block is the same fixed 64-byte tile under every ISA.
+  for (const SimKernel kernel :
+       {SimKernel::kSoaN2, SimKernel::kNeighborList}) {
+    MeltSpec spec;
+    spec.n_atoms = 256;
+    spec.steps = 60;
+    spec.kernel = kernel;
+    spec.precision = GetParam();
+    const auto available = simd_kernels::available_isas();
+    ASSERT_FALSE(available.empty());
+    spec.isa = available.front();
+    const Trajectory reference = run_melt(spec);
+    for (const simd::SimdType isa : available) {
+      spec.isa = isa;
+      const Trajectory t = run_melt(spec);
+      expect_bitwise_identical(reference, t,
+                               std::string(to_string(kernel)) + "/" +
+                                   to_string(GetParam()) + "/" +
+                                   simd::to_string(isa));
+    }
+  }
+}
+
+// Committed golden final energies for the sp and mixed melts (256 atoms,
+// 60 steps, dt 0.005, seed 20070326) — exact values, valid on every ISA and
+// thread count because of the two invariance tests above.  A change here is
+// a deliberate arithmetic change to the precision seam, never noise.
+struct PrecisionGolden {
+  double neighbor_list_final_e;
+  double soa_n2_final_e;
+};
+
+PrecisionGolden golden_for(PrecisionMode precision) {
+  if (precision == PrecisionMode::kSingle) {
+    return {524.30243047806675, 524.30212923647127};
+  }
+  return {524.30143251058371, 524.30176219487134};
+}
+
+TEST_P(PrecisionTrajectory, FinalEnergyMatchesTheCommittedGolden) {
+  const PrecisionGolden golden = golden_for(GetParam());
+  for (const SimKernel kernel :
+       {SimKernel::kNeighborList, SimKernel::kSoaN2}) {
+    MeltSpec spec;
+    spec.n_atoms = 256;
+    spec.steps = 60;
+    spec.kernel = kernel;
+    spec.precision = GetParam();
+    const Trajectory t = run_melt(spec);
+    const double expected = kernel == SimKernel::kNeighborList
+                                ? golden.neighbor_list_final_e
+                                : golden.soa_n2_final_e;
+    EXPECT_EQ(t.energies.back().total(), expected) << to_string(kernel);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(SpAndMixed, PrecisionTrajectory,
                          ::testing::Values(PrecisionMode::kSingle,
                                            PrecisionMode::kMixed),

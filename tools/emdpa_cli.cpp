@@ -16,6 +16,7 @@
 #include "core/table.h"
 #include "core/thread_pool.h"
 #include "driver/backend_factory.h"
+#include "driver/bisect.h"
 #include "driver/cli_options.h"
 #include "driver/manifest.h"
 #include "driver/report.h"
@@ -27,11 +28,36 @@ using namespace emdpa;
 
 int run_one(const driver::CliOptions& options) {
   auto backend = driver::make_backend(options.backend);
-  const md::RunResult result = backend->run(options.run_config);
-  std::cout << (options.csv
-                    ? driver::render_run_csv(result, options.run_config)
-                    : driver::render_run_report(result, options.run_config));
+  md::RunConfig config = options.run_config;
+  if (!config.watch.empty()) config.watch_stream = &std::cout;
+  const md::RunResult result = backend->run(config);
+  std::cout << (options.csv ? driver::render_run_csv(result, config)
+                            : driver::render_run_report(result, config));
   return 0;
+}
+
+int run_bisect(const driver::CliOptions& options) {
+  driver::BisectOptions bisect;
+  bisect.store_dir = options.run_config.store_dir;
+  const auto make_side = [&](const driver::CliBisectSide& overrides,
+                             const char* label) {
+    driver::BisectSide side;
+    side.config = options.run_config;
+    side.config.store_dir.clear();  // run_bisect derives <store_dir>/<label>
+    if (!side.config.watch.empty()) side.config.watch_stream = &std::cout;
+    if (overrides.kernel) side.config.host_kernel = *overrides.kernel;
+    if (overrides.precision) side.config.precision = *overrides.precision;
+    if (overrides.simd_isa) side.config.simd_isa = overrides.simd_isa;
+    side.threads = overrides.threads != 0 ? overrides.threads : options.threads;
+    side.faults = overrides.faults;
+    side.label = label;
+    return side;
+  };
+  bisect.a = make_side(options.bisect_a, "a");
+  bisect.b = make_side(options.bisect_b, "b");
+  const driver::BisectReport report = driver::run_bisect(bisect);
+  std::cout << driver::render_bisect_report(report);
+  return 0;  // a located divergence is a successful bisection, not an error
 }
 
 int run_compare(const driver::CliOptions& options) {
@@ -176,6 +202,8 @@ int main(int argc, char** argv) {
         return run_compare(options);
       case driver::CliCommand::kBatch:
         return run_batch(options);
+      case driver::CliCommand::kBisect:
+        return run_bisect(options);
     }
   } catch (const Interrupted& e) {
     // The backend checkpointed before unwinding (when a --checkpoint path
