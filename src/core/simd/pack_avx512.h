@@ -33,6 +33,15 @@ struct Pack<float, SimdType::kAvx512> {
   __m512 v;
 
   static Pack load(const float* p) { return {_mm512_load_ps(p)}; }
+  // Hardware vgatherdps.  The full-mask masked form sidesteps the
+  // undefined pass-through register of the unmasked intrinsic (every lane
+  // is gathered, so the zero src never shows through).
+  static Pack gather(const float* base, const std::uint32_t* idx) {
+    const __m512i vidx = _mm512_loadu_si512(idx);
+    return {_mm512_mask_i32gather_ps(_mm512_setzero_ps(),
+                                     static_cast<__mmask16>(0xffff), vidx,
+                                     base, 4)};
+  }
   static Pack broadcast(float s) { return {_mm512_set1_ps(s)}; }
   static Pack zero() { return {_mm512_setzero_ps()}; }
   void store(float* p) const { _mm512_store_ps(p, v); }
@@ -82,6 +91,15 @@ struct Pack<double, SimdType::kAvx512> {
   __m512d v;
 
   static Pack load(const double* p) { return {_mm512_load_pd(p)}; }
+  // Hardware vgatherdpd: eight 32-bit indices widen into a 512-bit gather
+  // (full-mask masked form, as above).
+  static Pack gather(const double* base, const std::uint32_t* idx) {
+    const __m256i vidx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx));
+    return {_mm512_mask_i32gather_pd(_mm512_setzero_pd(),
+                                     static_cast<__mmask8>(0xff), vidx, base,
+                                     8)};
+  }
   static Pack broadcast(double s) { return {_mm512_set1_pd(s)}; }
   static Pack zero() { return {_mm512_setzero_pd()}; }
   void store(double* p) const { _mm512_store_pd(p, v); }

@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 
 #include "core/simd/pack_fwd.h"
 
@@ -16,6 +17,9 @@ struct Pack<Real, SimdType::kScalar> {
   Real v;
 
   static Pack load(const Real* p) { return {*p}; }
+  static Pack gather(const Real* base, const std::uint32_t* idx) {
+    return {base[idx[0]]};
+  }
   static Pack broadcast(Real s) { return {s}; }
   static Pack zero() { return {Real(0)}; }
   void store(Real* p) const { *p = v; }

@@ -10,6 +10,7 @@
 #include <immintrin.h>
 
 #include <cstddef>
+#include <cstdint>
 
 namespace emdpa::simd {
 
@@ -20,6 +21,12 @@ struct Pack<float, SimdType::kSse2> {
   __m128 v;
 
   static Pack load(const float* p) { return {_mm_load_ps(p)}; }
+  // SSE2 has no gather instruction; lane-insert via set — same values, and
+  // the compiler turns it into four scalar loads + shuffles.
+  static Pack gather(const float* base, const std::uint32_t* idx) {
+    return {_mm_set_ps(base[idx[3]], base[idx[2]], base[idx[1]],
+                       base[idx[0]])};
+  }
   static Pack broadcast(float s) { return {_mm_set1_ps(s)}; }
   static Pack zero() { return {_mm_setzero_ps()}; }
   void store(float* p) const { _mm_store_ps(p, v); }
@@ -60,6 +67,9 @@ struct Pack<double, SimdType::kSse2> {
   __m128d v;
 
   static Pack load(const double* p) { return {_mm_load_pd(p)}; }
+  static Pack gather(const double* base, const std::uint32_t* idx) {
+    return {_mm_set_pd(base[idx[1]], base[idx[0]])};
+  }
   static Pack broadcast(double s) { return {_mm_set1_pd(s)}; }
   static Pack zero() { return {_mm_setzero_pd()}; }
   void store(double* p) const { _mm_store_pd(p, v); }

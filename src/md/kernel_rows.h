@@ -114,9 +114,12 @@ struct RowKernels {
     }
   }
 
-  /// Neighbour-list row range: walk each atom's padded CSR row one block at
-  /// a time (scalar gather into aligned lane buffers, then the same masked
-  /// LJ step as the N^2 kernel).  Row extents are multiples of kBlock;
+  /// Neighbour-list row range: walk each atom's padded CSR row one sub-pack
+  /// at a time, gathering the j columns straight from the fixed-stride CSR
+  /// entries with Pack::gather (hardware vgatherdpd/vgatherdps on AVX2+,
+  /// lane loads below) — no staging lane buffers.  A gathered lane holds
+  /// exactly the value a scalar load would, so the masked LJ step is bitwise
+  /// identical to the N^2 kernel's.  Row extents are multiples of kBlock;
   /// padding entries are the atom itself, rejected by the r2 > 0 lane mask.
   static void list_rows(const Real* xs, const Real* ys, const Real* zs,
                         const std::uint32_t* row_begin,
@@ -126,7 +129,6 @@ struct RowKernels {
                         emdpa::Vec3<Acc>* accelerations, Acc* row_pe,
                         Acc* row_virial, std::uint64_t* row_hits) {
     const LjLaneKernel<Real, S> lanes(edge, cutoff_sq, lj);
-    alignas(simd::kBlockBytes) Real lx[kBlock], ly[kBlock], lz[kBlock];
     for (std::size_t i = i_begin; i < i_end; ++i) {
       const P xi = P::broadcast(xs[i]);
       const P yi = P::broadcast(ys[i]);
@@ -135,17 +137,11 @@ struct RowKernels {
       std::uint64_t hits = 0;
 
       for (std::uint32_t k = row_begin[i]; k < row_begin[i + 1]; k += kBlock) {
-        for (std::size_t l = 0; l < kBlock; ++l) {
-          const std::uint32_t j = entries[k + l];
-          lx[l] = xs[j];
-          ly[l] = ys[j];
-          lz[l] = zs[j];
-        }
         for (std::size_t s = 0; s < kSub; ++s) {
-          const std::size_t ls = s * kWidth;
+          const std::uint32_t* idx = entries + k + s * kWidth;
           const unsigned bits = lanes.accumulate(
-              xi - P::load(lx + ls), yi - P::load(ly + ls),
-              zi - P::load(lz + ls), a.fx[s], a.fy[s], a.fz[s], a.pe[s],
+              xi - P::gather(xs, idx), yi - P::gather(ys, idx),
+              zi - P::gather(zs, idx), a.fx[s], a.fy[s], a.fz[s], a.pe[s],
               a.vir[s]);
           hits += static_cast<std::uint64_t>(std::popcount(bits));
         }

@@ -4,43 +4,15 @@
 #include <chrono>
 #include <cmath>
 #include <string>
-#include <type_traits>
 
 #include "core/error.h"
 #include "core/fault_injection.h"
+#include "md/list_build_util.h"
 
 namespace emdpa::md {
 
-namespace {
-
-/// Round `count` up to a whole number of 64-byte accumulation blocks — the
-/// ISA-independent padding unit (see the header comment).
-template <typename Real>
-constexpr std::uint32_t padded_count(std::uint32_t count) {
-  constexpr auto w = static_cast<std::uint32_t>(simd::block_lanes<Real>());
-  return (count + w - 1) / w * w;
-}
-
-/// Atoms per histogram chunk in the parallel counting sort.  The chunk
-/// decomposition is a function of N ONLY — never the thread count — because
-/// the scatter pass routes each chunk's atoms through per-chunk cursors and
-/// the resulting stable order must not depend on how many workers ran.  The
-/// cap bounds the bin_hist_ footprint (chunks * cells) for huge systems.
-constexpr std::size_t kBinChunkAtoms = 2048;
-constexpr std::size_t kMaxBinChunks = 256;
-
-std::size_t bin_chunk_size(std::size_t n) {
-  std::size_t chunk = kBinChunkAtoms;
-  while ((n + chunk - 1) / chunk > kMaxBinChunks) chunk *= 2;
-  return chunk;
-}
-
-double seconds_since(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-      .count();
-}
-
-}  // namespace
+using listutil::padded_count;
+using listutil::seconds_since;
 
 const char* to_string(SkinPolicy policy) {
   switch (policy) {
@@ -112,177 +84,43 @@ template <typename Real>
 void ParallelNeighborListT<Real>::build_all_pairs(
     const std::vector<emdpa::Vec3<Real>>& wrapped,
     const PeriodicBoxT<Real>& box) {
-  // Degenerate box (fewer than 3 cells per axis): O(N^2) build through the
-  // same two-pass CSR layout, still row-parallel.
-  const std::size_t n = wrapped.size();
-  row_count_.assign(n, 0);
-  run_rows(n, [&](std::size_t i_begin, std::size_t i_end) {
-    for (std::size_t i = i_begin; i < i_end; ++i) {
-      std::uint32_t count = 0;
-      for (std::size_t j = 0; j < n; ++j) {
-        if (j == i) continue;
-        const auto dr = box.min_image(wrapped[i] - wrapped[j]);
-        if (length_squared(dr) < list_cutoff_sq_) ++count;
-      }
-      row_count_[i] = count;
-    }
-  });
-
-  row_begin_.assign(n + 1, 0);
-  for (std::size_t i = 0; i < n; ++i) {
-    row_begin_[i + 1] = row_begin_[i] + padded_count<Real>(row_count_[i]);
-    directed_entries_ += row_count_[i];
-  }
-  build_distance_tests_ = n == 0 ? 0 : static_cast<std::uint64_t>(n) * (n - 1);
-
-  entries_.assign(row_begin_[n], 0);
-  run_rows(n, [&](std::size_t i_begin, std::size_t i_end) {
-    for (std::size_t i = i_begin; i < i_end; ++i) {
-      std::uint32_t slot = row_begin_[i];
-      for (std::size_t j = 0; j < n; ++j) {
-        if (j == i) continue;
-        const auto dr = box.min_image(wrapped[i] - wrapped[j]);
-        if (length_squared(dr) < list_cutoff_sq_) {
-          entries_[slot++] = static_cast<std::uint32_t>(j);
-        }
-      }
-      for (; slot < row_begin_[i + 1]; ++slot) {
-        entries_[slot] = static_cast<std::uint32_t>(i);  // self pad, r2 == 0
-      }
-    }
-  });
+  listutil::build_all_pairs_csr<Real>(
+      wrapped, box, list_cutoff_sq_,
+      [this](std::size_t n,
+             const std::function<void(std::size_t, std::size_t)>& body) {
+        run_rows(n, body);
+      },
+      row_begin_, entries_, row_count_, directed_entries_,
+      build_distance_tests_);
 }
 
 template <typename Real>
 void ParallelNeighborListT<Real>::bin_atoms(std::size_t n, std::size_t cells,
                                             std::size_t n_cells,
                                             double inv_cell) {
-  const std::size_t chunk = bin_chunk_size(n);
-  const std::size_t n_chunks = (n + chunk - 1) / chunk;
-
-  auto axis_cell = [&](double coord) {
-    auto c = static_cast<long long>(coord * inv_cell);
-    if (c < 0) c = 0;
-    if (c >= static_cast<long long>(cells)) c = static_cast<long long>(cells) - 1;
-    return static_cast<std::size_t>(c);
+  // The three passes live in list_build_util.h, SHARED with the sharded
+  // build — one copy of the stable counting sort is what makes "sharded CSR
+  // == flat CSR" provable rather than merely tested.
+  (void)n;
+  auto run = [this](std::size_t count, std::size_t grain,
+                    const std::function<void(std::size_t, std::size_t)>& body) {
+    run_span(count, grain, body);
   };
-
-  // Pass 1 — per-chunk histograms.  Each chunk owns a disjoint row of
-  // bin_hist_ and a disjoint range of cell_of_atom_, so chunks are
-  // embarrassingly parallel.
-  cell_of_atom_.resize(n);
-  bin_hist_.assign(n_chunks * n_cells, 0);
-  run_span(n_chunks, 1, [&](std::size_t k_begin, std::size_t k_end) {
-    for (std::size_t k = k_begin; k < k_end; ++k) {
-      std::uint32_t* hist = bin_hist_.data() + k * n_cells;
-      const std::size_t i_end = std::min(n, (k + 1) * chunk);
-      for (std::size_t i = k * chunk; i < i_end; ++i) {
-        const std::size_t c = (axis_cell(wrapped_[i].x) * cells +
-                               axis_cell(wrapped_[i].y)) *
-                                  cells +
-                              axis_cell(wrapped_[i].z);
-        cell_of_atom_[i] = static_cast<std::uint32_t>(c);
-        ++hist[c];
-      }
-    }
-  });
-
-  // Pass 2 — prefix-merge: per-cell totals (parallel over cells), a serial
-  // exclusive prefix over cells, then each per-chunk histogram column turns
-  // into that chunk's write cursor for the cell.  Every cell's column is
-  // independent, so both cell passes parallelise cleanly.
-  cell_start_.assign(n_cells + 1, 0);
-  run_span(n_cells, 4096, [&](std::size_t c_begin, std::size_t c_end) {
-    for (std::size_t c = c_begin; c < c_end; ++c) {
-      std::uint32_t total = 0;
-      for (std::size_t k = 0; k < n_chunks; ++k) {
-        total += bin_hist_[k * n_cells + c];
-      }
-      cell_start_[c + 1] = total;
-    }
-  });
-  for (std::size_t c = 0; c < n_cells; ++c) {
-    cell_start_[c + 1] += cell_start_[c];
-  }
-  run_span(n_cells, 4096, [&](std::size_t c_begin, std::size_t c_end) {
-    for (std::size_t c = c_begin; c < c_end; ++c) {
-      std::uint32_t cursor = cell_start_[c];
-      for (std::size_t k = 0; k < n_chunks; ++k) {
-        std::uint32_t& h = bin_hist_[k * n_cells + c];
-        const std::uint32_t count = h;
-        h = cursor;
-        cursor += count;
-      }
-    }
-  });
-
-  // Pass 3 — scatter.  Within a chunk atoms are visited in index order and
-  // chunk cursors are ordered by chunk id, so cell_atoms_ is the stable
-  // counting sort by cell: the unique order a serial sort would produce,
-  // independent of thread count and chunk execution order.
-  cell_atoms_.resize(n);
-  run_span(n_chunks, 1, [&](std::size_t k_begin, std::size_t k_end) {
-    for (std::size_t k = k_begin; k < k_end; ++k) {
-      std::uint32_t* cursor = bin_hist_.data() + k * n_cells;
-      const std::size_t i_end = std::min(n, (k + 1) * chunk);
-      for (std::size_t i = k * chunk; i < i_end; ++i) {
-        cell_atoms_[cursor[cell_of_atom_[i]]++] = static_cast<std::uint32_t>(i);
-      }
-    }
-  });
+  listutil::bin_pass_histogram(wrapped_, cells, n_cells, inv_cell, run,
+                               cell_of_atom_, bin_hist_);
+  listutil::bin_merge_scatter(wrapped_.size(), n_cells, run, cell_of_atom_,
+                              bin_hist_, cell_start_, cell_atoms_);
 }
 
 template <typename Real>
 void ParallelNeighborListT<Real>::populate_stencil(std::size_t cells,
                                                    std::size_t range) {
-  const std::size_t n_cells = cells * cells * cells;
-  const std::size_t n_lines = cells * cells;
-  const std::size_t width = 2 * range + 1;
-  stencil_pop_.resize(n_cells);
-  stencil_tmp_.resize(n_cells);
-
-  // One separable pass: out[a] = sum_{|k| <= range} in[(a+k) mod cells]
-  // along the axis with the given stride, as a wrap-around sliding window
-  // (add the entering cell, drop the leaving one) — O(cells) per line
-  // instead of O(cells * width).  Valid because width <= cells (the
-  // all-pairs fallback catches smaller boxes), so the window never visits a
-  // cell twice.
-  auto window_pass = [&](const std::uint32_t* in, std::uint32_t* out,
-                         std::size_t stride,
-                         const std::function<std::size_t(std::size_t)>& base) {
-    run_span(n_lines, 16, [&](std::size_t l_begin, std::size_t l_end) {
-      for (std::size_t l = l_begin; l < l_end; ++l) {
-        const std::size_t b = base(l);
-        std::uint32_t window = 0;
-        for (std::size_t k = 0; k < width; ++k) {
-          window += in[b + ((k + cells - range) % cells) * stride];
-        }
-        out[b] = window;
-        for (std::size_t a = 1; a < cells; ++a) {
-          window += in[b + ((a + range) % cells) * stride];
-          window -= in[b + ((a + cells - range - 1) % cells) * stride];
-          out[b + a * stride] = window;
-        }
-      }
-    });
+  auto run = [this](std::size_t count, std::size_t grain,
+                    const std::function<void(std::size_t, std::size_t)>& body) {
+    run_span(count, grain, body);
   };
-
-  // Seed with the per-cell populations, then one window pass per axis.
-  // Three passes flip between the two buffers and land in stencil_pop_:
-  //   populations (tmp) --z--> pop --y--> tmp --x--> pop.
-  run_span(n_cells, 4096, [&](std::size_t c_begin, std::size_t c_end) {
-    for (std::size_t c = c_begin; c < c_end; ++c) {
-      stencil_tmp_[c] = cell_start_[c + 1] - cell_start_[c];
-    }
-  });
-  window_pass(stencil_tmp_.data(), stencil_pop_.data(), 1,
-              [&](std::size_t l) { return l * cells; });  // lines over (x, y)
-  window_pass(stencil_pop_.data(), stencil_tmp_.data(), cells,
-              [&](std::size_t l) {  // lines over (x, z)
-                return (l / cells) * n_lines + (l % cells);
-              });
-  window_pass(stencil_tmp_.data(), stencil_pop_.data(), n_lines,
-              [&](std::size_t l) { return l; });  // lines over (y, z)
+  listutil::populate_stencil(cells, range, run, cell_start_, stencil_pop_,
+                             stencil_tmp_);
 }
 
 template <typename Real>
@@ -354,24 +192,11 @@ void ParallelNeighborListT<Real>::build(
   // count.
   const double inv_cell = static_cast<double>(cells) / edge;
   const std::size_t n_cells = cells * cells * cells;
-  auto axis_cell = [&](double coord) {
-    auto c = static_cast<long long>(coord * inv_cell);
-    if (c < 0) c = 0;
-    if (c >= static_cast<long long>(cells)) c = static_cast<long long>(cells) - 1;
-    return static_cast<std::size_t>(c);
-  };
   bin_atoms(n, cells, n_cells, inv_cell);
 
-  // Per-axis wrapped stencil indices: row a of this table lists the `width`
-  // cell indices covering [a-range, a+range] on one axis.  Precomputing them
-  // keeps the modulo arithmetic out of the sweep's inner loops.
-  stencil_axis_.resize(cells * width);
-  for (std::size_t a = 0; a < cells; ++a) {
-    for (std::size_t k = 0; k < width; ++k) {
-      stencil_axis_[a * width + k] = static_cast<std::uint32_t>(
-          (a + k + cells - static_cast<std::size_t>(range)) % cells);
-    }
-  }
+  // Per-axis wrapped stencil indices (shared with the sharded build).
+  listutil::fill_stencil_axis(cells, static_cast<std::size_t>(range),
+                              stencil_axis_);
 
   // Stencil population per cell.  Every atom in a cell sweeps exactly the
   // atoms of that cell's stencil (minus itself), so this is the EXACT
@@ -402,9 +227,9 @@ void ParallelNeighborListT<Real>::build(
   row_count_.assign(n, 0);
   run_rows(n, [&](std::size_t i_begin, std::size_t i_end) {
     for (std::size_t i = i_begin; i < i_end; ++i) {
-      const std::size_t cx = axis_cell(wrapped_[i].x);
-      const std::size_t cy = axis_cell(wrapped_[i].y);
-      const std::size_t cz = axis_cell(wrapped_[i].z);
+      const std::size_t cx = listutil::axis_cell(wrapped_[i].x, inv_cell, cells);
+      const std::size_t cy = listutil::axis_cell(wrapped_[i].y, inv_cell, cells);
+      const std::size_t cz = listutil::axis_cell(wrapped_[i].z, inv_cell, cells);
       std::uint64_t slot = scratch_begin_[i];
       for (std::size_t kx = 0; kx < width; ++kx) {
         const std::size_t px = stencil_axis_[cx * width + kx];
@@ -456,125 +281,7 @@ void ParallelNeighborListT<Real>::build(
   fill_seconds_total_ += last_fill_seconds_;
 }
 
-// ---------------------------------------------------------------------------
-// NeighborListKernelT
-// ---------------------------------------------------------------------------
-
-template <typename Real, typename Acc>
-NeighborListKernelT<Real, Acc>::NeighborListKernelT(Options options)
-    : options_(options),
-      list_(static_cast<Real>(options.skin), options.pool,
-            options.grain < 64 ? 64 : options.grain, options.skin_policy),
-      isa_(simd_kernels::resolve_isa(options.isa)) {
-  const simd_kernels::KernelRows& table = simd_kernels::rows(isa_);
-  width_ = simd_kernels::width<Real>(table);
-  rows_fn_ = simd_kernels::list_rows<Real, Acc>(table);
-}
-
-template <typename Real, typename Acc>
-std::string NeighborListKernelT<Real, Acc>::name() const {
-  std::string name = std::string("neighbor-list-soa[") + simd::to_string(isa_) +
-                     ",w" + std::to_string(simd_width()) + "," +
-                     precision_tag<Real, Acc>() + "]";
-  if (options_.pool != nullptr) {
-    name += "[threads=" + std::to_string(options_.pool->size()) + "]";
-  }
-  return name;
-}
-
-template <typename Real, typename Acc>
-ForceResultT<Acc> NeighborListKernelT<Real, Acc>::compute(
-    const std::vector<emdpa::Vec3<Acc>>& positions,
-    const PeriodicBoxT<Acc>& box, const LjParamsT<Acc>& lj, Acc mass) {
-  const std::size_t n = positions.size();
-  ForceResultT<Acc> result;
-  result.accelerations.assign(n, {});
-  if (n == 0) return result;
-
-  // The list build and the lane math both run in Real: narrow the box, LJ
-  // parameters and (when Real != Acc) the positions once, so sp and mixed
-  // traverse exactly the list their lane coordinates were tested against.
-  const PeriodicBoxT<Real> rbox(static_cast<Real>(box.edge()));
-  const LjParamsT<Real> ljr = lj.template cast<Real>();
-  const std::vector<emdpa::Vec3<Real>>* real_positions;
-  if constexpr (std::is_same_v<Real, Acc>) {
-    real_positions = &positions;
-  } else {
-    cast_positions_.resize(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      cast_positions_[i] = emdpa::Vec3<Real>{static_cast<Real>(positions[i].x),
-                                             static_cast<Real>(positions[i].y),
-                                             static_cast<Real>(positions[i].z)};
-    }
-    real_positions = &cast_positions_;
-  }
-
-  list_.ensure(*real_positions, rbox, ljr.cutoff);
-  ++evaluations_;
-
-  if (!xs_ || xs_->size() < n) {
-    xs_.emplace(n);
-    ys_.emplace(n);
-    zs_.emplace(n);
-  }
-  row_pe_.resize(n);
-  row_virial_.resize(n);
-  row_hits_.resize(n);
-
-  // Pack current positions into SoA lanes, wrapping once so the fused
-  // reflection in the lane kernel is exact.
-  Real* xs = xs_->data();
-  Real* ys = ys_->data();
-  Real* zs = zs_->data();
-  auto pack = [&](std::size_t i_begin, std::size_t i_end) {
-    for (std::size_t i = i_begin; i < i_end; ++i) {
-      const emdpa::Vec3<Real> p = rbox.wrap((*real_positions)[i]);
-      xs[i] = p.x;
-      ys[i] = p.y;
-      zs[i] = p.z;
-    }
-  };
-
-  const Acc inv_mass = Acc(1) / mass;
-  const std::uint32_t* row_begin = list_.row_begin().data();
-  const std::uint32_t* entries = list_.entries().data();
-
-  // The dispatched per-ISA row loop (kernel_rows.h): gather each padded CSR
-  // block, masked LJ accumulate, lane-order reduce.
-  auto rows = [&](std::size_t i_begin, std::size_t i_end) {
-    rows_fn_(xs, ys, zs, row_begin, entries, rbox.edge(), ljr.cutoff_squared(),
-             ljr, inv_mass, i_begin, i_end, result.accelerations.data(),
-             row_pe_.data(), row_virial_.data(), row_hits_.data());
-  };
-
-  if (options_.pool != nullptr) {
-    options_.pool->parallel_for(0, n, 512, pack);
-    options_.pool->parallel_for(0, n, options_.grain, rows);
-  } else {
-    pack(0, n);
-    rows(0, n);
-  }
-
-  // Ordered reduction over the per-row partials: totals are independent of
-  // thread count and chunking, bit-identical run to run.
-  Acc total_pe{}, total_virial{};
-  std::uint64_t hits = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    total_pe += row_pe_[i];
-    total_virial += row_virial_[i];
-    hits += row_hits_[i];
-  }
-  result.potential_energy = total_pe;
-  result.virial = total_virial;
-  result.stats.candidates = list_.directed_entries() / 2;  // unordered pairs
-  result.stats.interacting = hits / 2;
-  return result;
-}
-
 template class ParallelNeighborListT<double>;
 template class ParallelNeighborListT<float>;
-template class NeighborListKernelT<double>;
-template class NeighborListKernelT<float>;
-template class NeighborListKernelT<float, double>;
 
 }  // namespace emdpa::md

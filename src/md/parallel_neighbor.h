@@ -32,14 +32,17 @@
 //    compaction) — which the host-parallel backend surfaces as
 //    RunResult::metadata keys list_build_bin_ms / list_build_fill_ms.
 //
-//  * NeighborListKernelT — a ForceKernelT that walks each atom's neighbour
-//    lanes one block at a time (scalar gather into aligned lane buffers,
-//    then the same fused min-image + masked LJ accumulation as the N^2 SoA
-//    kernel, through the same runtime-dispatched per-ISA row loops — see
-//    soa_kernel.h for the dispatch and <Real, Acc> precision seams).  Atom
-//    rows spread over the pool; per-row partials reduce in row order, so
-//    forces, PE and virial are bitwise identical run to run at ANY thread
-//    count, and bitwise identical across dispatched ISAs.
+//  * ListKernelBaseT / NeighborListKernelT — a ForceKernelT that walks each
+//    atom's neighbour lanes one block at a time (hardware vgatherdpd /
+//    vgatherdps straight from the fixed-stride CSR entries on AVX2+, lane
+//    loads below, then the same fused min-image + masked LJ accumulation as
+//    the N^2 SoA kernel, through the same runtime-dispatched per-ISA row
+//    loops — see soa_kernel.h for the dispatch and <Real, Acc> precision
+//    seams).  Atom rows spread over the pool; per-row partials reduce in row
+//    order, so forces, PE and virial are bitwise identical run to run at ANY
+//    thread count, and bitwise identical across dispatched ISAs.  The base
+//    class is shared with ShardedNeighborListKernelT (md/sharded_domain.h):
+//    a sharded kernel differs ONLY in how its CSR was built.
 //
 // List validity mirrors VerletListKernelT — rebuilt when an atom has moved
 // more than half the skin since the build — and additionally invalidates on
@@ -49,6 +52,9 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "core/aligned_buffer.h"
@@ -92,6 +98,9 @@ class NeighborListControl {
   virtual void invalidate_list() = 0;
   virtual double list_bin_seconds() const = 0;
   virtual double list_fill_seconds() const = 0;
+  /// Cumulative seconds spent packing shard-local halo copies.  Only the
+  /// sharded list has a halo phase; the flat list reports zero.
+  virtual double list_halo_seconds() const { return 0.0; }
 
   /// True when a built list is live (a build happened and nothing
   /// invalidated it since).
@@ -235,41 +244,29 @@ class ParallelNeighborListT {
   std::vector<std::uint32_t> scratch_entries_;
 };
 
-/// Neighbour-list force kernel: the host fast path at large N.  Same
-/// physics, ISA dispatch, precision seam, determinism guarantees and
-/// coincident-atom caveat as SoaKernelT (see soa_kernel.h); PairStats count
-/// unordered pairs, with candidates bounded by the list size rather than
-/// N^2.  For Real != Acc the interface positions are narrowed once per
-/// evaluation and BOTH the list build and the lane math run on the same
-/// narrowed coordinates, so sp and mixed traverse identical lists.
-template <typename Real, typename Acc = Real>
-class NeighborListKernelT final : public ForceKernelT<Acc>,
-                                  public NeighborListControl {
+/// Shared implementation of every list-backed force kernel: the CSR walk,
+/// the ISA dispatch, the precision seam and the complete NeighborListControl
+/// plumbing, templated on the list type so the flat and sharded lists drive
+/// the IDENTICAL force path.  That identity is the heart of the sharded
+/// determinism proof — a sharded kernel differs from the flat one ONLY in
+/// how the CSR was built, and the builds are proven to emit the same bytes.
+///
+/// Same physics, ISA dispatch, determinism guarantees and coincident-atom
+/// caveat as SoaKernelT (see soa_kernel.h); PairStats count unordered pairs,
+/// with candidates bounded by the list size rather than N^2.  For
+/// Real != Acc the interface positions are narrowed once per evaluation and
+/// BOTH the list build and the lane math run on the same narrowed
+/// coordinates, so sp and mixed traverse identical lists.
+template <typename Real, typename Acc, typename ListT>
+class ListKernelBaseT : public ForceKernelT<Acc>, public NeighborListControl {
  public:
-  struct Options {
-    double skin = 0.3;
-    /// Pool to split the list build and atom rows over; nullptr runs serial.
-    ThreadPool* pool = nullptr;
-    /// Atom rows per parallel chunk.
-    std::size_t grain = 16;
-    /// Displacement-staleness policy (kNeverRebuild is for tests only).
-    SkinPolicy skin_policy = SkinPolicy::kHalfSkinDisplacement;
-    /// Force this instruction set; empty resolves EMDPA_SIMD, then the
-    /// fastest available (same seam as SoaKernelT::Options::isa).
-    std::optional<simd::SimdType> isa;
-  };
-
-  explicit NeighborListKernelT(Options options = {});
-
-  std::string name() const override;
-
   Real skin() const { return list_.skin(); }
   std::uint64_t rebuilds() const { return list_.rebuilds(); }
   std::uint64_t evaluations() const { return evaluations_; }
 
   /// The underlying list, for inspection (rebuild counters, entry counts —
   /// the pairlist device cost models read their workload from here).
-  const ParallelNeighborListT<Real>& list() const { return list_; }
+  const ListT& list() const { return list_; }
 
   /// Force the next compute() to rebuild the list (benchmarks use this to
   /// price the build; steady-state evaluation reuses the list).
@@ -291,6 +288,13 @@ class NeighborListKernelT final : public ForceKernelT<Acc>,
   }
   double list_fill_seconds() const override {
     return list_.fill_seconds_total();
+  }
+  double list_halo_seconds() const override {
+    if constexpr (requires(const ListT& l) { l.halo_seconds_total(); }) {
+      return list_.halo_seconds_total();
+    } else {
+      return 0.0;
+    }
   }
   bool has_list() const override { return list_.valid(); }
   std::vector<emdpa::Vec3d> list_reference_positions() const override {
@@ -323,11 +327,111 @@ class NeighborListKernelT final : public ForceKernelT<Acc>,
 
   ForceResultT<Acc> compute(const std::vector<emdpa::Vec3<Acc>>& positions,
                             const PeriodicBoxT<Acc>& box,
-                            const LjParamsT<Acc>& lj, Acc mass) override;
+                            const LjParamsT<Acc>& lj, Acc mass) override {
+    const std::size_t n = positions.size();
+    ForceResultT<Acc> result;
+    result.accelerations.assign(n, {});
+    if (n == 0) return result;
+
+    // The list build and the lane math both run in Real: narrow the box, LJ
+    // parameters and (when Real != Acc) the positions once, so sp and mixed
+    // traverse exactly the list their lane coordinates were tested against.
+    const PeriodicBoxT<Real> rbox(static_cast<Real>(box.edge()));
+    const LjParamsT<Real> ljr = lj.template cast<Real>();
+    const std::vector<emdpa::Vec3<Real>>* real_positions;
+    if constexpr (std::is_same_v<Real, Acc>) {
+      real_positions = &positions;
+    } else {
+      cast_positions_.resize(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        cast_positions_[i] =
+            emdpa::Vec3<Real>{static_cast<Real>(positions[i].x),
+                              static_cast<Real>(positions[i].y),
+                              static_cast<Real>(positions[i].z)};
+      }
+      real_positions = &cast_positions_;
+    }
+
+    list_.ensure(*real_positions, rbox, ljr.cutoff);
+    ++evaluations_;
+
+    if (!xs_ || xs_->size() < n) {
+      xs_.emplace(n);
+      ys_.emplace(n);
+      zs_.emplace(n);
+    }
+    row_pe_.resize(n);
+    row_virial_.resize(n);
+    row_hits_.resize(n);
+
+    // Pack current positions into SoA lanes, wrapping once so the fused
+    // reflection in the lane kernel is exact.
+    Real* xs = xs_->data();
+    Real* ys = ys_->data();
+    Real* zs = zs_->data();
+    auto pack = [&](std::size_t i_begin, std::size_t i_end) {
+      for (std::size_t i = i_begin; i < i_end; ++i) {
+        const emdpa::Vec3<Real> p = rbox.wrap((*real_positions)[i]);
+        xs[i] = p.x;
+        ys[i] = p.y;
+        zs[i] = p.z;
+      }
+    };
+
+    const Acc inv_mass = Acc(1) / mass;
+    const std::uint32_t* row_begin = list_.row_begin().data();
+    const std::uint32_t* entries = list_.entries().data();
+
+    // The dispatched per-ISA row loop (kernel_rows.h): gather each padded
+    // CSR sub-pack, masked LJ accumulate, lane-order reduce.
+    auto rows = [&](std::size_t i_begin, std::size_t i_end) {
+      rows_fn_(xs, ys, zs, row_begin, entries, rbox.edge(),
+               ljr.cutoff_squared(), ljr, inv_mass, i_begin, i_end,
+               result.accelerations.data(), row_pe_.data(), row_virial_.data(),
+               row_hits_.data());
+    };
+
+    if (pool_ != nullptr) {
+      pool_->parallel_for(0, n, 512, pack);
+      pool_->parallel_for(0, n, grain_, rows);
+    } else {
+      pack(0, n);
+      rows(0, n);
+    }
+
+    // Ordered reduction over the per-row partials: totals are independent of
+    // thread count and chunking, bit-identical run to run.
+    Acc total_pe{}, total_virial{};
+    std::uint64_t hits = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      total_pe += row_pe_[i];
+      total_virial += row_virial_[i];
+      hits += row_hits_[i];
+    }
+    result.potential_energy = total_pe;
+    result.virial = total_virial;
+    result.stats.candidates = list_.directed_entries() / 2;  // unordered
+    result.stats.interacting = hits / 2;
+    return result;
+  }
+
+ protected:
+  ListKernelBaseT(ListT list, ThreadPool* pool, std::size_t grain,
+                  std::optional<simd::SimdType> isa)
+      : list_(std::move(list)),
+        pool_(pool),
+        grain_(grain),
+        isa_(simd_kernels::resolve_isa(isa)) {
+    const simd_kernels::KernelRows& table = simd_kernels::rows(isa_);
+    width_ = simd_kernels::width<Real>(table);
+    rows_fn_ = simd_kernels::list_rows<Real, Acc>(table);
+  }
+
+  ListT list_;
+  ThreadPool* pool_;
+  std::size_t grain_;
 
  private:
-  Options options_;
-  ParallelNeighborListT<Real> list_;
   simd::SimdType isa_;
   std::size_t width_;
   simd_kernels::ListRowsFn<Real, Acc> rows_fn_;
@@ -337,6 +441,45 @@ class NeighborListKernelT final : public ForceKernelT<Acc>,
   std::vector<emdpa::Vec3<Real>> cast_positions_;  ///< Real != Acc only
   std::vector<Acc> row_pe_, row_virial_;
   std::vector<std::uint64_t> row_hits_;
+};
+
+/// Neighbour-list force kernel over the flat (unsharded) list: the host fast
+/// path at large N.
+template <typename Real, typename Acc = Real>
+class NeighborListKernelT final
+    : public ListKernelBaseT<Real, Acc, ParallelNeighborListT<Real>> {
+  using Base = ListKernelBaseT<Real, Acc, ParallelNeighborListT<Real>>;
+
+ public:
+  struct Options {
+    double skin = 0.3;
+    /// Pool to split the list build and atom rows over; nullptr runs serial.
+    ThreadPool* pool = nullptr;
+    /// Atom rows per parallel chunk.
+    std::size_t grain = 16;
+    /// Displacement-staleness policy (kNeverRebuild is for tests only).
+    SkinPolicy skin_policy = SkinPolicy::kHalfSkinDisplacement;
+    /// Force this instruction set; empty resolves EMDPA_SIMD, then the
+    /// fastest available (same seam as SoaKernelT::Options::isa).
+    std::optional<simd::SimdType> isa;
+  };
+
+  explicit NeighborListKernelT(Options options = {})
+      : Base(ParallelNeighborListT<Real>(
+                 static_cast<Real>(options.skin), options.pool,
+                 options.grain < 64 ? 64 : options.grain, options.skin_policy),
+             options.pool, options.grain, options.isa) {}
+
+  std::string name() const override {
+    std::string name = std::string("neighbor-list-soa[") +
+                       simd::to_string(this->isa()) + ",w" +
+                       std::to_string(this->simd_width()) + "," +
+                       precision_tag<Real, Acc>() + "]";
+    if (this->pool_ != nullptr) {
+      name += "[threads=" + std::to_string(this->pool_->size()) + "]";
+    }
+    return name;
+  }
 };
 
 using NeighborListKernel = NeighborListKernelT<double>;

@@ -1,0 +1,320 @@
+// Spatially sharded neighbour-list path for the 1M–10M-atom regime
+// (ROADMAP item 2).  The flat ParallelNeighborListT builds one CSR over one
+// position array; at millions of atoms the fill sweep's working set blows
+// every cache level and every worker streams the whole box.  This header
+// restructures the BUILD around spatial locality while leaving the physics
+// byte-for-byte untouched:
+//
+//  * ShardedDomain — a slab decomposition of the cell grid along x.  Each
+//    shard owns a contiguous run of x-slabs (quotient/remainder split, so
+//    the partition is a pure function of (cells, shards)).  A shard's halo
+//    view extends its slab run by the stencil range on both sides with
+//    periodic wrap, clamped to the whole axis when the halo would lap
+//    itself — which is also what makes two-shard boxes and ghost atoms that
+//    wrap back into their own shard work.  Requested shard counts that
+//    would make a slab thinner than the list cutoff are WIDENED (the count
+//    is reduced) rather than accepted-and-wrong or rejected: `widened()`
+//    reports it, callers log it.
+//
+//  * ShardedNeighborListT — same global cell grid, same stable counting
+//    sort, same stencil geometry as the flat list (the passes literally are
+//    the flat build's, via list_build_util.h), but the fill is restructured
+//    per shard: a HALO phase packs, for every shard, a shard-local copy of
+//    the wrapped coordinates of its extended view (owned slabs + ghost
+//    slabs), in cell order, written by the worker that sweeps the shard —
+//    pool chunks of one shard each, so on a first-touch NUMA policy the
+//    pages land on the sweeping worker's node.  The per-shard sweep then
+//    walks only shard-local memory: for each owned atom, stencil cells in
+//    table order, atoms within a cell in global index order, distances
+//    computed from the local coordinate copies (exact copies of the same
+//    wrapped values the flat build tests, so every accept/reject decision
+//    is bitwise identical) and entries recorded by GLOBAL atom id into the
+//    same global scratch layout.  The resulting CSR is BYTE-IDENTICAL to
+//    the flat build's at any shard count and any thread count — proven by
+//    tests/md/shard_invariance_test.cpp — so the unchanged force kernels
+//    on top produce bitwise-identical trajectories.
+//
+//  * Rebuild decisions are taken PER SHARD but triggered GLOBALLY: ensure()
+//    runs one fused pass over the positions that wraps, bins (pass 1 of the
+//    counting sort — the carried micro-item: the bandwidth-bound scatter
+//    histogram and the displacement check share one sweep over the
+//    positions) and records a per-shard staleness verdict.  If NO shard is
+//    stale the pass cost is the whole rebuild cost avoided; if ANY shard is
+//    stale, ALL shards rebuild from the already-binned histograms.  Truly
+//    independent per-shard rebuilds cannot keep the bitwise contract: a
+//    stale row's entries shift lane positions and change rounding, and a
+//    fast atom near a boundary invalidates its neighbours' ghost copies —
+//    so partial rebuilds would be silently wrong, not merely different.
+//    The per-shard verdicts still pay off as introspection (shard_stale())
+//    and as the decision input; the global OR is the correctness fence.
+//
+//  * ShardedNeighborListKernelT — the sharded list behind the SAME
+//    ListKernelBaseT force path as the flat kernel (parallel_neighbor.h).
+//    Identical CSR + identical traversal = identical forces; Simulation,
+//    checkpoint/resume, the trajectory store, batch scheduler and bisect
+//    all work unchanged behind SimKernel::kShardedList.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/thread_pool.h"
+#include "md/parallel_neighbor.h"
+
+namespace emdpa::md {
+
+/// Slab decomposition of a `cells`-wide periodic cell grid along x.
+class ShardedDomain {
+ public:
+  /// Degenerate single-shard domain (what an all-pairs fallback reports).
+  ShardedDomain() = default;
+
+  /// `cells`: cells per axis of the grid being partitioned; `range`: the
+  /// stencil reach in cells (how far a sweep reads past an owned slab —
+  /// the halo depth); `requested`: the shard count asked for.  The
+  /// effective count is the largest value <= requested for which every
+  /// slab spans at least `range` cells, i.e. at least the list cutoff —
+  /// a thinner shard would be all halo and its ghost bookkeeping would
+  /// alias.  Requires range <= cells/2 (the stencil-validity bound the
+  /// list build's all-pairs fallback already enforces).
+  ShardedDomain(std::size_t cells, std::size_t range, std::size_t requested);
+
+  std::size_t cells() const { return cells_; }
+  std::size_t range() const { return range_; }
+  /// Shard count actually in effect (>= 1, <= requested()).
+  std::size_t shard_count() const { return count_; }
+  std::size_t requested() const { return requested_; }
+  /// True when the requested count was reduced to keep slabs >= the cutoff.
+  bool widened() const { return count_ < requested_; }
+
+  /// Owned x-slab range of shard s: [slab_begin, slab_end).  Slabs are
+  /// dealt by quotient/remainder, so sizes differ by at most one and the
+  /// partition depends only on (cells, shard_count).
+  std::size_t slab_begin(std::size_t s) const;
+  std::size_t slab_end(std::size_t s) const { return slab_begin(s + 1); }
+
+  /// The shard owning x-slab x.
+  std::size_t shard_of_slab(std::size_t x) const;
+
+  /// Extended (owned + halo) view of shard s: `halo_width` x-slabs starting
+  /// at `halo_begin` (wrapping around the axis).  The view is the owned
+  /// run extended by range() on both sides, clamped to the whole axis when
+  /// that would reach or exceed cells — so a ghost slab that wraps into the
+  /// shard's own territory is represented once, never duplicated.
+  std::size_t halo_begin(std::size_t s) const;
+  std::size_t halo_width(std::size_t s) const;
+
+ private:
+  std::size_t cells_ = 1;
+  std::size_t range_ = 0;
+  std::size_t requested_ = 1;
+  std::size_t count_ = 1;
+};
+
+/// SIMD-padded CSR neighbour list with a spatially sharded build.  Public
+/// surface mirrors ParallelNeighborListT (the kernel base drives both
+/// through the same calls) plus shard introspection and the halo phase
+/// timing.  See the header comment for the design and determinism argument.
+template <typename Real>
+class ShardedNeighborListT {
+ public:
+  /// `skin`: extra shell radius beyond the cutoff; `pool`: nullptr builds
+  /// serially on the caller; `shards`: requested spatial shard count
+  /// (>= 1; the realised count may be narrower — see ShardedDomain).
+  explicit ShardedNeighborListT(
+      Real skin, ThreadPool* pool = nullptr, std::size_t shards = 1,
+      SkinPolicy policy = SkinPolicy::kHalfSkinDisplacement);
+
+  Real skin() const { return skin_; }
+  SkinPolicy policy() const { return policy_; }
+  std::uint64_t rebuilds() const { return rebuilds_; }
+
+  /// Requested shard count (fixed at construction).
+  std::size_t shards() const { return requested_shards_; }
+  /// The decomposition of the most recent build; a default (single-shard)
+  /// domain after an all-pairs fallback build.
+  const ShardedDomain& domain() const { return domain_; }
+  /// Shards the most recent build actually swept (1 for all-pairs builds).
+  std::size_t effective_shards() const {
+    return sharded_build_ ? domain_.shard_count() : 1;
+  }
+  /// Per-shard staleness verdicts of the most recent ensure() displacement
+  /// pass (indexed by shard; all-true right after a structural rebuild).
+  /// The rebuild trigger is the OR of these — see the header comment.
+  const std::vector<std::uint8_t>& shard_stale() const { return shard_stale_; }
+
+  /// Exact (serial) staleness probe, mirroring ParallelNeighborListT's.
+  bool needs_rebuild(const std::vector<emdpa::Vec3<Real>>& positions,
+                     const PeriodicBoxT<Real>& box, Real cutoff) const;
+
+  /// Rebuild the list for `positions` at `cutoff` (list radius cutoff+skin).
+  void build(const std::vector<emdpa::Vec3<Real>>& positions,
+             const PeriodicBoxT<Real>& box, Real cutoff);
+
+  /// One fused pass (wrap + bin histogram + per-shard displacement check)
+  /// then rebuild iff any shard is stale; returns true when a build
+  /// happened.  The fused pass is the carried micro-item: when a rebuild
+  /// IS needed, pass 1 of the counting sort has already been paid for.
+  bool ensure(const std::vector<emdpa::Vec3<Real>>& positions,
+              const PeriodicBoxT<Real>& box, Real cutoff);
+
+  /// Drop the current list so the next ensure() rebuilds unconditionally.
+  void invalidate() { build_positions_.clear(); build_cutoff_ = Real(-1); }
+
+  bool valid() const {
+    return build_cutoff_ >= Real(0) && !build_positions_.empty();
+  }
+
+  const std::vector<emdpa::Vec3<Real>>& reference_positions() const {
+    return build_positions_;
+  }
+
+  Real build_cutoff() const { return build_cutoff_; }
+
+  std::size_t size() const { return build_positions_.size(); }
+
+  static constexpr std::size_t padded_multiple() {
+    return simd::block_lanes<Real>();
+  }
+
+  const std::vector<std::uint32_t>& row_begin() const { return row_begin_; }
+  const std::vector<std::uint32_t>& entries() const { return entries_; }
+
+  std::uint64_t directed_entries() const { return directed_entries_; }
+  std::uint64_t build_distance_tests() const { return build_distance_tests_; }
+
+  /// Phase timings: bin (fused wrap/histogram + sort + stencil + scratch
+  /// offsets), halo (shard-local coordinate packing) and fill (per-shard
+  /// sweep + prefix + compaction).
+  double last_bin_seconds() const { return last_bin_seconds_; }
+  double last_halo_seconds() const { return last_halo_seconds_; }
+  double last_fill_seconds() const { return last_fill_seconds_; }
+  double bin_seconds_total() const { return bin_seconds_total_; }
+  double halo_seconds_total() const { return halo_seconds_total_; }
+  double fill_seconds_total() const { return fill_seconds_total_; }
+
+ private:
+  /// Shard-local copy of one shard's extended view: the wrapped coordinates
+  /// and global ids of every atom in its owned + ghost slabs, in cell order
+  /// (the order of cell_atoms_).  Because an x-slab is a contiguous global
+  /// cell range AND a contiguous cell_atoms_ range, per-slab bases +
+  /// offsets are the whole index: an atom at global sorted position t in
+  /// slab lx sits at local slot slab_offset[lx] + (t - slab_base[lx]).
+  struct ShardView {
+    std::vector<std::uint32_t> gid;
+    std::vector<Real> xs, ys, zs;
+    std::vector<std::uint32_t> slab_base;    ///< cell_atoms_ offset per slab
+    std::vector<std::uint32_t> slab_offset;  ///< local atom offset per slab
+  };
+
+  struct Geometry {
+    std::size_t cells = 0;
+    std::size_t range = 0;
+    std::size_t width = 0;
+    std::size_t n_cells = 0;
+    double inv_cell = 0;
+    bool degenerate = false;  ///< width > cells: all-pairs fallback regime
+  };
+
+  Geometry geometry(Real edge, Real list_cutoff) const;
+  void run_span(std::size_t n, std::size_t grain,
+                const std::function<void(std::size_t, std::size_t)>& body)
+      const;
+  /// Full or prebinned build; `fused_seconds` is bin-phase time the caller
+  /// (ensure's fused pass) already spent.
+  void build_impl(const std::vector<emdpa::Vec3<Real>>& positions,
+                  const PeriodicBoxT<Real>& box, Real cutoff, bool prebinned,
+                  double fused_seconds);
+  void pack_halos(const Geometry& g);
+  void sweep_shards(const PeriodicBoxT<Real>& box, const Geometry& g);
+
+  Real skin_;
+  ThreadPool* pool_;
+  SkinPolicy policy_;
+  std::size_t requested_shards_;
+
+  ShardedDomain domain_;
+  bool sharded_build_ = false;
+  std::vector<std::uint8_t> shard_stale_;
+  std::vector<ShardView> views_;
+
+  Real build_cutoff_ = Real(-1);
+  Real build_edge_ = Real(-1);
+  Real list_cutoff_sq_ = Real(0);
+  std::vector<emdpa::Vec3<Real>> build_positions_;
+  std::vector<std::uint32_t> row_begin_;
+  std::vector<std::uint32_t> entries_;
+  std::vector<std::uint32_t> row_count_;
+  std::uint64_t directed_entries_ = 0;
+  std::uint64_t build_distance_tests_ = 0;
+  std::uint64_t rebuilds_ = 0;
+
+  double last_bin_seconds_ = 0;
+  double last_halo_seconds_ = 0;
+  double last_fill_seconds_ = 0;
+  double bin_seconds_total_ = 0;
+  double halo_seconds_total_ = 0;
+  double fill_seconds_total_ = 0;
+
+  // Build scratch reused across builds (same roles as the flat list's).
+  std::vector<emdpa::Vec3<Real>> wrapped_;
+  std::vector<std::uint32_t> cell_of_atom_;
+  std::vector<std::uint32_t> cell_start_;
+  std::vector<std::uint32_t> cell_atoms_;
+  std::vector<std::uint32_t> bin_hist_;
+  std::vector<std::uint32_t> stencil_axis_;
+  std::vector<std::uint32_t> stencil_pop_;
+  std::vector<std::uint32_t> stencil_tmp_;
+  std::vector<std::uint64_t> scratch_begin_;
+  std::vector<std::uint32_t> scratch_entries_;
+  std::vector<std::uint8_t> chunk_shard_stale_;  ///< fused-pass verdicts
+};
+
+/// Force kernel over the sharded list — the flat kernel's force path
+/// (ListKernelBaseT) verbatim, so identical CSR bytes give identical
+/// forces.  Simulation selects it via SimKernel::kShardedList.
+template <typename Real, typename Acc = Real>
+class ShardedNeighborListKernelT final
+    : public ListKernelBaseT<Real, Acc, ShardedNeighborListT<Real>> {
+  using Base = ListKernelBaseT<Real, Acc, ShardedNeighborListT<Real>>;
+
+ public:
+  struct Options {
+    double skin = 0.3;
+    ThreadPool* pool = nullptr;
+    std::size_t grain = 16;
+    SkinPolicy skin_policy = SkinPolicy::kHalfSkinDisplacement;
+    std::optional<simd::SimdType> isa;
+    /// Requested spatial shard count (>= 1).  The build may realise fewer
+    /// when slabs would be thinner than the list cutoff.
+    std::size_t shards = 1;
+  };
+
+  explicit ShardedNeighborListKernelT(Options options = {})
+      : Base(ShardedNeighborListT<Real>(static_cast<Real>(options.skin),
+                                        options.pool, options.shards,
+                                        options.skin_policy),
+             options.pool, options.grain, options.isa) {}
+
+  std::size_t shards() const { return this->list().shards(); }
+
+  std::string name() const override {
+    std::string name = std::string("sharded-list-soa[") +
+                       simd::to_string(this->isa()) + ",w" +
+                       std::to_string(this->simd_width()) + "," +
+                       precision_tag<Real, Acc>() + "][shards=" +
+                       std::to_string(shards()) + "]";
+    if (this->pool_ != nullptr) {
+      name += "[threads=" + std::to_string(this->pool_->size()) + "]";
+    }
+    return name;
+  }
+};
+
+using ShardedNeighborListKernel = ShardedNeighborListKernelT<double>;
+using ShardedNeighborListKernelF = ShardedNeighborListKernelT<float>;
+using ShardedNeighborListKernelMixed = ShardedNeighborListKernelT<float, double>;
+
+}  // namespace emdpa::md

@@ -1,5 +1,6 @@
 #include "md/simulation.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
@@ -10,6 +11,7 @@
 #include "md/checkpoint.h"
 #include "md/observables.h"
 #include "md/reference_kernel.h"
+#include "md/sharded_domain.h"
 #include "md/single_precision.h"
 #include "md/soa_kernel.h"
 
@@ -23,6 +25,18 @@ SimKernel resolve_kernel(const Simulation::Options& options,
                     options.kernel == SimKernel::kAuto ||
                     options.kernel == SimKernel::kCellList,
                 "use_cell_list conflicts with an explicit kernel choice");
+  if (options.shards > 0) {
+    // --shards selects the sharded build of the list path; it has no
+    // meaning for the other kernels, so combining them is a config error,
+    // not something to silently ignore.
+    EMDPA_REQUIRE(!options.use_cell_list &&
+                      (options.kernel == SimKernel::kAuto ||
+                       options.kernel == SimKernel::kNeighborList ||
+                       options.kernel == SimKernel::kShardedList),
+                  "shards > 0 requires the neighbour-list kernel "
+                  "(kAuto, kNeighborList or kShardedList)");
+    return SimKernel::kShardedList;
+  }
   if (options.kernel != SimKernel::kAuto) return options.kernel;
   if (options.use_cell_list) return SimKernel::kCellList;
   return n_atoms >= HostParallelBackend::kListCrossoverAtoms
@@ -112,6 +126,41 @@ KernelBuild make_lj_kernel(SimKernel kind, const Simulation::Options& options) {
       }
       return b;
     }
+    case SimKernel::kShardedList: {
+      auto adopt = [&](auto kernel) {
+        b.isa = kernel->isa();
+        b.width = kernel->simd_width();
+        b.list_control = kernel.get();
+        b.kernel = std::move(kernel);
+      };
+      const std::size_t shards = std::max<std::size_t>(1, options.shards);
+      if (precision == PrecisionMode::kSingle) {
+        ShardedNeighborListKernelF::Options o;
+        o.skin = options.skin;
+        o.pool = options.pool;
+        o.skin_policy = options.skin_policy;
+        o.isa = options.simd_isa;
+        o.shards = shards;
+        adopt(std::make_unique<SingleShardedListKernel>(o));
+      } else if (precision == PrecisionMode::kMixed) {
+        ShardedNeighborListKernelMixed::Options o;
+        o.skin = options.skin;
+        o.pool = options.pool;
+        o.skin_policy = options.skin_policy;
+        o.isa = options.simd_isa;
+        o.shards = shards;
+        adopt(std::make_unique<ShardedNeighborListKernelMixed>(o));
+      } else {
+        ShardedNeighborListKernel::Options o;
+        o.skin = options.skin;
+        o.pool = options.pool;
+        o.skin_policy = options.skin_policy;
+        o.isa = options.simd_isa;
+        o.shards = shards;
+        adopt(std::make_unique<ShardedNeighborListKernel>(o));
+      }
+      return b;
+    }
     case SimKernel::kAuto:
       break;  // resolved before we get here
   }
@@ -158,6 +207,7 @@ const char* to_string(SimKernel kernel) {
     case SimKernel::kCellList: return "cell-list";
     case SimKernel::kSoaN2: return "soa-n2";
     case SimKernel::kNeighborList: return "neighbor-list";
+    case SimKernel::kShardedList: return "sharded-list";
   }
   return "unknown";
 }
@@ -179,6 +229,9 @@ Simulation::Simulation(ParticleSystem system, PeriodicBox box, long step,
       lj_(options.lj),
       integrator_(options.dt),
       kernel_kind_(resolve_kernel(options, system_.size())),
+      shards_(kernel_kind_ == SimKernel::kShardedList
+                  ? std::max<std::size_t>(1, options.shards)
+                  : 0),
       precision_(options.precision),
       degrade_enabled_(options.degrade_to_reference),
       step_(step) {
@@ -213,7 +266,7 @@ Simulation Simulation::resume(Checkpoint checkpoint, const Options& options) {
     // every subsequent step; resuming under different ones silently breaks
     // the bitwise-resume guarantee, so any mismatch is fatal by default.
     const CheckpointConfig resumed{
-        to_string(sim.kernel_kind_), to_string(sim.precision_),
+        sim.config_kernel_token(), to_string(sim.precision_),
         sim.simd_isa_ ? simd::to_string(*sim.simd_isa_) : "none"};
     const CheckpointConfig& saved = *checkpoint.config;
     std::string mismatches;
@@ -252,6 +305,21 @@ ForceKernel& Simulation::active_kernel() {
 
 std::string Simulation::kernel_name() const { return lj_kernel_->name(); }
 
+std::string Simulation::config_kernel_token() const {
+  // One whitespace-free token (the checkpoint config section is parsed with
+  // operator>>): the sharded path appends its shard count so a resume under
+  // a different decomposition is a config mismatch like any other.  The
+  // shard count changes which worker builds what — never the bits — but a
+  // silent change would still invalidate any perf conclusions drawn from
+  // the resumed run, and an explicit override (--resume-force) stays
+  // available.
+  std::string token = to_string(kernel_kind_);
+  if (kernel_kind_ == SimKernel::kShardedList) {
+    token += "/" + std::to_string(shards_);
+  }
+  return token;
+}
+
 std::uint64_t Simulation::list_rebuilds() const {
   return list_control_ != nullptr ? list_control_->list_rebuilds() : 0;
 }
@@ -262,6 +330,10 @@ double Simulation::list_build_bin_seconds() const {
 
 double Simulation::list_build_fill_seconds() const {
   return list_control_ != nullptr ? list_control_->list_fill_seconds() : 0;
+}
+
+double Simulation::list_build_halo_seconds() const {
+  return list_control_ != nullptr ? list_control_->list_halo_seconds() : 0;
 }
 
 void Simulation::prime() {
@@ -350,6 +422,7 @@ StepEnergies Simulation::step_once() {
 
 void Simulation::degrade_now() {
   kernel_kind_ = SimKernel::kReference;
+  shards_ = 0;
   list_control_ = nullptr;
   simd_isa_.reset();
   simd_width_ = 1;
@@ -370,7 +443,8 @@ void Simulation::degrade_now() {
 
 StepEnergies Simulation::step() {
   const bool can_degrade = degrade_enabled_ && !degraded_ &&
-                           kernel_kind_ == SimKernel::kNeighborList;
+                           (kernel_kind_ == SimKernel::kNeighborList ||
+                            kernel_kind_ == SimKernel::kShardedList);
   if (!can_degrade) return step_once();
 
   // Snapshot so a failed step can be retried cleanly on the fallback kernel
@@ -412,7 +486,7 @@ void Simulation::save(std::ostream& out) {
   // a degraded run records the reference kernel it actually executes) so a
   // resume under different flags fails loudly instead of silently diverging.
   cp.config =
-      CheckpointConfig{to_string(kernel_kind_), to_string(precision_),
+      CheckpointConfig{config_kernel_token(), to_string(precision_),
                        simd_isa_ ? simd::to_string(*simd_isa_) : "none"};
   if (langevin_) cp.langevin_rng = langevin_->rng_state();
   save_checkpoint(out, cp);
@@ -430,7 +504,7 @@ Checkpoint Simulation::snapshot() const {
   cp.potential = last_energies_.potential;
   cp.has_potential = true;
   cp.config =
-      CheckpointConfig{to_string(kernel_kind_), to_string(precision_),
+      CheckpointConfig{config_kernel_token(), to_string(precision_),
                        simd_isa_ ? simd::to_string(*simd_isa_) : "none"};
   if (langevin_) cp.langevin_rng = langevin_->rng_state();
   // Pure observer: instead of invalidating the live neighbour list (save()'s
@@ -450,6 +524,11 @@ Simulation::Options simulation_options_from(const RunConfig& config,
   options.lj = config.lj;
   options.dt = config.dt;
   options.kernel = to_sim_kernel(config.host_kernel);
+  // --shards auto (-1) means one shard per pool worker slot — the pool
+  // sweeps shards one per chunk, so that is the widest useful count.
+  options.shards = config.shards < 0
+                       ? (pool != nullptr ? pool->size() : 1)
+                       : static_cast<std::size_t>(config.shards);
   options.pool = pool;
   options.precision = config.precision;
   options.simd_isa = config.simd_isa;

@@ -2,52 +2,10 @@
 
 namespace emdpa::md {
 
-namespace {
-
-/// Narrow the double interface to the float one the sp kernels speak, run,
-/// widen the results back.  Shared by both adapters.
-template <typename Kernel>
-ForceResult run_single(Kernel& inner,
-                       std::vector<emdpa::Vec3<float>>& positions_f,
-                       const std::vector<emdpa::Vec3<double>>& positions,
-                       const PeriodicBox& box, const LjParams& lj,
-                       double mass) {
-  positions_f.resize(positions.size());
-  for (std::size_t i = 0; i < positions.size(); ++i) {
-    positions_f[i] = emdpa::Vec3<float>{static_cast<float>(positions[i].x),
-                                        static_cast<float>(positions[i].y),
-                                        static_cast<float>(positions[i].z)};
-  }
-  const PeriodicBoxF box_f(static_cast<float>(box.edge()));
-  const LjParamsF lj_f = lj.cast<float>();
-
-  const ForceResultF inner_result =
-      inner.compute(positions_f, box_f, lj_f, static_cast<float>(mass));
-
-  ForceResult result;
-  result.accelerations.resize(inner_result.accelerations.size());
-  for (std::size_t i = 0; i < inner_result.accelerations.size(); ++i) {
-    const auto& a = inner_result.accelerations[i];
-    result.accelerations[i] = emdpa::Vec3<double>{a.x, a.y, a.z};
-  }
-  result.potential_energy = inner_result.potential_energy;
-  result.virial = inner_result.virial;
-  result.stats = inner_result.stats;
-  return result;
-}
-
-}  // namespace
-
 ForceResult SingleSoaKernel::compute(
     const std::vector<emdpa::Vec3<double>>& positions, const PeriodicBox& box,
     const LjParams& lj, double mass) {
-  return run_single(inner_, positions_f_, positions, box, lj, mass);
-}
-
-ForceResult SingleNeighborListKernel::compute(
-    const std::vector<emdpa::Vec3<double>>& positions, const PeriodicBox& box,
-    const LjParams& lj, double mass) {
-  return run_single(inner_, positions_f_, positions, box, lj, mass);
+  return detail::run_single(inner_, positions_f_, positions, box, lj, mass);
 }
 
 }  // namespace emdpa::md

@@ -17,9 +17,46 @@
 
 #include "md/force_kernel.h"
 #include "md/parallel_neighbor.h"
+#include "md/sharded_domain.h"
 #include "md/soa_kernel.h"
 
 namespace emdpa::md {
+
+namespace detail {
+
+/// Narrow the double interface to the float one the sp kernels speak, run,
+/// widen the results back.  Shared by every sp adapter.
+template <typename Kernel>
+ForceResult run_single(Kernel& inner,
+                       std::vector<emdpa::Vec3<float>>& positions_f,
+                       const std::vector<emdpa::Vec3<double>>& positions,
+                       const PeriodicBox& box, const LjParams& lj,
+                       double mass) {
+  positions_f.resize(positions.size());
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    positions_f[i] = emdpa::Vec3<float>{static_cast<float>(positions[i].x),
+                                        static_cast<float>(positions[i].y),
+                                        static_cast<float>(positions[i].z)};
+  }
+  const PeriodicBoxF box_f(static_cast<float>(box.edge()));
+  const LjParamsF lj_f = lj.cast<float>();
+
+  const ForceResultF inner_result =
+      inner.compute(positions_f, box_f, lj_f, static_cast<float>(mass));
+
+  ForceResult result;
+  result.accelerations.resize(inner_result.accelerations.size());
+  for (std::size_t i = 0; i < inner_result.accelerations.size(); ++i) {
+    const auto& a = inner_result.accelerations[i];
+    result.accelerations[i] = emdpa::Vec3<double>{a.x, a.y, a.z};
+  }
+  result.potential_energy = inner_result.potential_energy;
+  result.virial = inner_result.virial;
+  result.stats = inner_result.stats;
+  return result;
+}
+
+}  // namespace detail
 
 /// SoaKernelT<float> behind the double ForceKernel interface.
 class SingleSoaKernel final : public ForceKernel {
@@ -40,19 +77,21 @@ class SingleSoaKernel final : public ForceKernel {
   std::vector<emdpa::Vec3<float>> positions_f_;
 };
 
-/// NeighborListKernelT<float> behind the double ForceKernel interface;
-/// forwards the NeighborListControl seam to the inner kernel so
-/// md::Simulation can checkpoint-invalidate and report rebuilds as usual.
-class SingleNeighborListKernel final : public ForceKernel,
-                                       public NeighborListControl {
+/// A float list kernel (NeighborListKernelF / ShardedNeighborListKernelF)
+/// behind the double ForceKernel interface; forwards the
+/// NeighborListControl seam to the inner kernel so md::Simulation can
+/// checkpoint-invalidate and report rebuilds as usual.
+template <typename Inner>
+class SingleListKernelT final : public ForceKernel,
+                                public NeighborListControl {
  public:
-  explicit SingleNeighborListKernel(NeighborListKernelF::Options options = {})
+  explicit SingleListKernelT(typename Inner::Options options = {})
       : inner_(options) {}
 
   std::string name() const override { return inner_.name(); }
   simd::SimdType isa() const { return inner_.isa(); }
   std::size_t simd_width() const { return inner_.simd_width(); }
-  const NeighborListKernelF& inner() const { return inner_; }
+  const Inner& inner() const { return inner_; }
 
   std::uint64_t list_rebuilds() const override {
     return inner_.list_rebuilds();
@@ -60,6 +99,9 @@ class SingleNeighborListKernel final : public ForceKernel,
   void invalidate_list() override { inner_.invalidate_list(); }
   double list_bin_seconds() const override {
     return inner_.list_bin_seconds();
+  }
+  double list_halo_seconds() const override {
+    return inner_.list_halo_seconds();
   }
   double list_fill_seconds() const override {
     return inner_.list_fill_seconds();
@@ -78,11 +120,16 @@ class SingleNeighborListKernel final : public ForceKernel,
 
   ForceResult compute(const std::vector<emdpa::Vec3<double>>& positions,
                       const PeriodicBox& box, const LjParams& lj,
-                      double mass) override;
+                      double mass) override {
+    return detail::run_single(inner_, positions_f_, positions, box, lj, mass);
+  }
 
  private:
-  NeighborListKernelF inner_;
+  Inner inner_;
   std::vector<emdpa::Vec3<float>> positions_f_;
 };
+
+using SingleNeighborListKernel = SingleListKernelT<NeighborListKernelF>;
+using SingleShardedListKernel = SingleListKernelT<ShardedNeighborListKernelF>;
 
 }  // namespace emdpa::md

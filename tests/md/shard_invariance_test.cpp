@@ -1,0 +1,113 @@
+// Shard-invariance property harness: the bitwise proof behind the sharded
+// neighbour-list path (md/sharded_domain.h).
+//
+// Over the SAME 50 seeded configs the flat list is proven against
+// (tests/md/property_configs.h — atom counts up to 20k, varying density,
+// cutoff, skin, including degenerate boxes that force the all-pairs
+// fallback), assert for every shard count in {1, 2, 4, 8} crossed with
+// every thread count in {1, 8}:
+//
+//  1. The sharded build's CSR — row offsets AND entry order — is
+//     byte-identical to the flat serial build's.  This is the load-bearing
+//     contract: identical CSR + the shared force path = identical physics.
+//  2. The sharded kernel's forces, PE, virial and pair statistics are
+//     bitwise the flat kernel's.
+//  3. ensure()'s fused rebuild path (displacement check + prebinned build)
+//     produces the same CSR as a from-scratch build.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "core/thread_pool.h"
+#include "md/parallel_neighbor.h"
+#include "md/sharded_domain.h"
+#include "md/workload.h"
+#include "property_configs.h"
+
+namespace emdpa::md {
+namespace {
+
+class ShardInvarianceTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ShardInvarianceTest, ShardedCsrAndForcesMatchFlatBitwise) {
+  const PropertyConfig config = make_config(GetParam());
+  SCOPED_TRACE(::testing::Message()
+               << "config " << config.index << ": n=" << config.n_atoms
+               << " density=" << config.density << " cutoff=" << config.cutoff
+               << " skin=" << config.skin << " degenerate="
+               << config.degenerate);
+
+  Workload w = make_jittered_workload(config);
+  LjParams lj;
+  lj.cutoff = config.cutoff;
+
+  // Flat serial baseline: the CSR every combination below must reproduce.
+  ParallelNeighborListT<double> flat_list(config.skin);
+  flat_list.build(w.system.positions(), w.box, lj.cutoff);
+
+  NeighborListKernel::Options flat_options;
+  flat_options.skin = config.skin;
+  NeighborListKernel flat_kernel(flat_options);
+  const ForceResult flat =
+      flat_kernel.compute(w.system.positions(), w.box, lj, 1.0);
+
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    for (const std::size_t threads : {1u, 8u}) {
+      SCOPED_TRACE(::testing::Message()
+                   << "shards=" << shards << " threads=" << threads);
+      ThreadPool pool(threads);
+      ThreadPool* pool_ptr = threads > 1 ? &pool : nullptr;
+
+      // --- 1. the CSR itself, byte for byte ----------------------------
+      ShardedNeighborListT<double> list(config.skin, pool_ptr, shards);
+      list.build(w.system.positions(), w.box, lj.cutoff);
+      EXPECT_EQ(list.directed_entries(), flat_list.directed_entries());
+      EXPECT_EQ(list.build_distance_tests(),
+                flat_list.build_distance_tests());
+      ASSERT_EQ(list.row_begin(), flat_list.row_begin());
+      ASSERT_EQ(list.entries(), flat_list.entries());
+
+      // --- 2. forces through the kernel, bitwise -----------------------
+      ShardedNeighborListKernel::Options options;
+      options.skin = config.skin;
+      options.pool = pool_ptr;
+      options.shards = shards;
+      ShardedNeighborListKernel kernel(options);
+      const ForceResult got =
+          kernel.compute(w.system.positions(), w.box, lj, 1.0);
+      EXPECT_EQ(got.potential_energy, flat.potential_energy);
+      EXPECT_EQ(got.virial, flat.virial);
+      EXPECT_EQ(got.stats.candidates, flat.stats.candidates);
+      EXPECT_EQ(got.stats.interacting, flat.stats.interacting);
+      ASSERT_EQ(got.accelerations.size(), flat.accelerations.size());
+      for (std::size_t i = 0; i < flat.accelerations.size(); ++i) {
+        ASSERT_EQ(got.accelerations[i], flat.accelerations[i]) << "atom " << i;
+      }
+
+      // --- 3. the fused ensure() path rebuilds to the same CSR ---------
+      // Push every atom past half the skin so ensure() must rebuild via
+      // the prebinned fused pass, then verify against a from-scratch flat
+      // build of the moved positions.
+      std::vector<Vec3d> moved = w.system.positions();
+      const double nudge = 0.51 * config.skin;
+      for (std::size_t i = 0; i < moved.size(); ++i) {
+        moved[i].x += (i % 2 == 0 ? nudge : -nudge);
+      }
+      ASSERT_TRUE(list.ensure(moved, w.box, lj.cutoff));
+      ParallelNeighborListT<double> flat_moved(config.skin);
+      flat_moved.build(moved, w.box, lj.cutoff);
+      ASSERT_EQ(list.row_begin(), flat_moved.row_begin());
+      ASSERT_EQ(list.entries(), flat_moved.entries());
+
+      // And an ensure() with no motion is a no-op at any shard count.
+      EXPECT_FALSE(list.ensure(moved, w.box, lj.cutoff));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeededConfigs, ShardInvarianceTest,
+                         ::testing::Range<std::size_t>(0, 50));
+
+}  // namespace
+}  // namespace emdpa::md

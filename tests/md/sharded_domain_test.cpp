@@ -1,0 +1,212 @@
+// Unit tests for the slab decomposition (ShardedDomain) and the halo
+// edge cases of the sharded neighbour-list build: atoms exactly on shard
+// boundaries, shards thinner than the cutoff (widened, not wrong), empty
+// shards, and ghost slabs that wrap around the periodic axis back into the
+// shard that owns them.  The bulk bitwise contract lives in
+// shard_invariance_test.cpp; these tests pin the geometry corners by hand.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "core/thread_pool.h"
+#include "md/parallel_neighbor.h"
+#include "md/sharded_domain.h"
+
+namespace emdpa::md {
+namespace {
+
+// --------------------------------------------------------------------------
+// ShardedDomain geometry
+// --------------------------------------------------------------------------
+
+TEST(ShardedDomain, PartitionCoversAxisContiguously) {
+  const ShardedDomain domain(16, 2, 5);
+  EXPECT_EQ(domain.shard_count(), 5u);
+  EXPECT_FALSE(domain.widened());
+  EXPECT_EQ(domain.slab_begin(0), 0u);
+  EXPECT_EQ(domain.slab_end(domain.shard_count() - 1), 16u);
+  for (std::size_t s = 0; s + 1 < domain.shard_count(); ++s) {
+    EXPECT_EQ(domain.slab_end(s), domain.slab_begin(s + 1));
+    // Quotient/remainder deal: sizes differ by at most one, larger first.
+    EXPECT_GE(domain.slab_end(s) - domain.slab_begin(s),
+              domain.slab_end(s + 1) - domain.slab_begin(s + 1));
+  }
+}
+
+TEST(ShardedDomain, ShardOfSlabInvertsSlabBegin) {
+  for (const std::size_t shards : {1u, 2u, 3u, 5u, 8u}) {
+    const ShardedDomain domain(17, 2, shards);
+    for (std::size_t x = 0; x < domain.cells(); ++x) {
+      const std::size_t s = domain.shard_of_slab(x);
+      EXPECT_GE(x, domain.slab_begin(s)) << "x=" << x;
+      EXPECT_LT(x, domain.slab_end(s)) << "x=" << x;
+    }
+  }
+}
+
+TEST(ShardedDomain, EverySlabIsAtLeastRangeWide) {
+  // 16 cells at range 3 admit at most 5 shards; larger requests widen.
+  const ShardedDomain domain(16, 3, 8);
+  EXPECT_TRUE(domain.widened());
+  EXPECT_EQ(domain.requested(), 8u);
+  EXPECT_LE(domain.shard_count(), 5u);
+  for (std::size_t s = 0; s < domain.shard_count(); ++s) {
+    EXPECT_GE(domain.slab_end(s) - domain.slab_begin(s), domain.range());
+  }
+}
+
+TEST(ShardedDomain, HaloExtendsRangeBothSidesWithWrap) {
+  const ShardedDomain domain(16, 2, 4);  // slabs of 4
+  EXPECT_EQ(domain.halo_width(1), 8u);   // 4 owned + 2 each side
+  EXPECT_EQ(domain.halo_begin(1), 2u);   // slab_begin(1)=4, minus range
+  // Shard 0's halo wraps: begins range cells before the end of the axis.
+  EXPECT_EQ(domain.halo_begin(0), 14u);
+}
+
+TEST(ShardedDomain, HaloClampsToWholeAxisInsteadOfLappingItself) {
+  // Two shards of 4 with range 2: the extended view would be 8 = cells, so
+  // it clamps to the whole axis and every slab appears exactly once —
+  // including the ghost slabs that wrap back into the shard's own run.
+  const ShardedDomain domain(8, 2, 2);
+  EXPECT_EQ(domain.shard_count(), 2u);
+  EXPECT_EQ(domain.halo_width(0), 8u);
+  EXPECT_EQ(domain.halo_width(1), 8u);
+}
+
+// --------------------------------------------------------------------------
+// Sharded build edge cases (each asserts CSR identity against the flat list)
+// --------------------------------------------------------------------------
+
+void expect_csr_matches_flat(const std::vector<Vec3d>& positions,
+                             const PeriodicBox& box, double cutoff,
+                             double skin, std::size_t shards) {
+  ParallelNeighborListT<double> flat(skin);
+  flat.build(positions, box, cutoff);
+  ThreadPool pool(4);
+  ShardedNeighborListT<double> sharded(skin, &pool, shards);
+  sharded.build(positions, box, cutoff);
+  EXPECT_EQ(sharded.directed_entries(), flat.directed_entries());
+  ASSERT_EQ(sharded.row_begin(), flat.row_begin());
+  ASSERT_EQ(sharded.entries(), flat.entries());
+}
+
+TEST(ShardedBuild, AtomsExactlyOnShardBoundaries) {
+  // Box of edge 24 with list cutoff 3.0: 16 cells of edge 1.5, range 2,
+  // 8 shards of 2 slabs — shard boundaries every 3.0 along x.  Put atoms
+  // EXACTLY on every cell boundary plane (so also on every shard boundary)
+  // plus a y/z spread that makes them interact.
+  const PeriodicBox box(24.0);
+  std::vector<Vec3d> positions;
+  for (std::size_t k = 0; k < 16; ++k) {
+    const double x = 1.5 * static_cast<double>(k);
+    for (std::size_t j = 0; j < 8; ++j) {
+      positions.push_back({x, 1.1 * static_cast<double>(j), 0.7 * static_cast<double>(k % 3)});
+      positions.push_back({x, 1.1 * static_cast<double>(j) + 0.4, 12.0});
+    }
+  }
+  for (const std::size_t shards : {2u, 4u, 8u}) {
+    SCOPED_TRACE(shards);
+    expect_csr_matches_flat(positions, box, 2.5, 0.5, shards);
+  }
+}
+
+TEST(ShardedBuild, EmptyShardsAreHarmless) {
+  // All atoms cluster in the first eighth of the x axis: with 8 shards,
+  // seven sweep nothing (and pack only ghost slabs).
+  const PeriodicBox box(24.0);
+  std::vector<Vec3d> positions;
+  for (std::size_t i = 0; i < 64; ++i) {
+    positions.push_back({0.04 * static_cast<double>(i % 8),
+                         1.3 * static_cast<double>(i / 8),
+                         0.9 * static_cast<double>(i % 5)});
+  }
+  expect_csr_matches_flat(positions, box, 2.5, 0.5, 8);
+}
+
+TEST(ShardedBuild, GhostSlabsWrapIntoOwningShard) {
+  // Edge 24, list cutoff 6.0: 8 cells of edge 3, range 2.  Two shards of
+  // 4 slabs each get a clamped whole-axis halo — the wrap case.  Atoms
+  // interact straight across the periodic x boundary.
+  const PeriodicBox box(24.0);
+  std::vector<Vec3d> positions;
+  for (std::size_t i = 0; i < 48; ++i) {
+    const double x = (i % 2 == 0) ? 0.3 * static_cast<double>(i % 10)
+                                  : 24.0 - 0.3 * static_cast<double>(i % 10);
+    positions.push_back({x, 0.8 * static_cast<double>(i % 7),
+                         0.8 * static_cast<double>(i / 7)});
+  }
+  expect_csr_matches_flat(positions, box, 5.5, 0.5, 2);
+}
+
+TEST(ShardedBuild, ThinShardRequestWidensAndStaysCorrect) {
+  // Edge 12 with list cutoff 3.0: 8 cells, range 2 — at most 4 shards.
+  // Requesting 16 must widen (and still build the flat CSR), not reject
+  // or alias ghosts.
+  const PeriodicBox box(12.0);
+  std::vector<Vec3d> positions;
+  for (std::size_t i = 0; i < 100; ++i) {
+    positions.push_back({0.12 * static_cast<double>(i),
+                         0.7 * static_cast<double>(i % 9),
+                         0.5 * static_cast<double>(i % 13)});
+  }
+  ThreadPool pool(4);
+  ShardedNeighborListT<double> sharded(0.5, &pool, 16);
+  sharded.build(positions, box, 2.5);
+  EXPECT_TRUE(sharded.domain().widened());
+  EXPECT_LE(sharded.effective_shards(), 4u);
+  expect_csr_matches_flat(positions, box, 2.5, 0.5, 16);
+}
+
+TEST(ShardedBuild, DegenerateBoxFallsBackToSingleLogicalShard) {
+  // Box too small for the stencil: the all-pairs branch runs and reports
+  // one logical shard regardless of the request.
+  const PeriodicBox box(5.0);
+  std::vector<Vec3d> positions;
+  for (std::size_t i = 0; i < 32; ++i) {
+    positions.push_back({0.15 * static_cast<double>(i),
+                         0.3 * static_cast<double>(i % 6),
+                         0.25 * static_cast<double>(i % 9)});
+  }
+  ThreadPool pool(4);
+  ShardedNeighborListT<double> sharded(0.3, &pool, 8);
+  sharded.build(positions, box, 2.2);
+  EXPECT_EQ(sharded.effective_shards(), 1u);
+  expect_csr_matches_flat(positions, box, 2.2, 0.3, 8);
+}
+
+TEST(ShardedBuild, EnsureAttributesStalenessToTheMovedAtomsShard) {
+  // A single atom pushed past half the skin makes exactly one shard stale
+  // — the shard owning the cell its NEW position bins into — and the
+  // global-OR trigger still rebuilds everything.
+  const PeriodicBox box(24.0);
+  std::vector<Vec3d> positions;
+  for (std::size_t i = 0; i < 256; ++i) {
+    positions.push_back({0.09 * static_cast<double>(i),
+                         1.1 * static_cast<double>(i % 11),
+                         1.3 * static_cast<double>(i % 7)});
+  }
+  ShardedNeighborListT<double> sharded(0.5, nullptr, 4);
+  sharded.build(positions, box, 2.5);
+  const std::uint64_t builds_before = sharded.rebuilds();
+
+  std::vector<Vec3d> moved = positions;
+  moved[10].y += 0.3;  // > skin/2 = 0.25; x unchanged, stays in shard 0
+  ASSERT_TRUE(sharded.ensure(moved, box, 2.5));
+  EXPECT_EQ(sharded.rebuilds(), builds_before + 1);
+  const auto& stale = sharded.shard_stale();
+  ASSERT_EQ(stale.size(), sharded.effective_shards());
+  EXPECT_EQ(stale[0], 1);
+  for (std::size_t s = 1; s < stale.size(); ++s) {
+    EXPECT_EQ(stale[s], 0) << "shard " << s;
+  }
+
+  // The rebuilt list must equal a from-scratch flat build of `moved`.
+  ParallelNeighborListT<double> flat(0.5);
+  flat.build(moved, box, 2.5);
+  ASSERT_EQ(sharded.row_begin(), flat.row_begin());
+  ASSERT_EQ(sharded.entries(), flat.entries());
+}
+
+}  // namespace
+}  // namespace emdpa::md

@@ -1,0 +1,173 @@
+// Trajectory-level coverage of the sharded neighbour-list path
+// (md/sharded_domain.h) behind the Simulation seam:
+//
+//  * the canonical melt under kShardedList is bitwise the kNeighborList
+//    melt at every shard count, serial and pooled (the golden-trajectory
+//    check — the flat list's own melt is already pinned against golden
+//    energies elsewhere in this suite);
+//  * checkpoint-then-resume and snapshot-replay of a sharded run finish
+//    bitwise identical to the uninterrupted run;
+//  * a resume under a different shard count is rejected by the v3 config
+//    check exactly like a kernel mismatch, and --resume-force overrides it.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/error.h"
+#include "trajectory_fixture.h"
+
+namespace emdpa::md::testing {
+namespace {
+
+// 1024 atoms: large enough that the box fits a real stencil (256-atom boxes
+// fall into the all-pairs regime where sharding is bypassed), and exactly
+// the workload family the flat-list melt is proven on.
+constexpr std::size_t kAtoms = 1024;
+
+void expect_bitwise_equal(const Trajectory& a, const Trajectory& b,
+                          const std::string& label) {
+  ASSERT_EQ(a.energies.size(), b.energies.size()) << label;
+  for (std::size_t s = 0; s < a.energies.size(); ++s) {
+    ASSERT_EQ(a.energies[s].kinetic, b.energies[s].kinetic)
+        << label << " step " << s;
+    ASSERT_EQ(a.energies[s].potential, b.energies[s].potential)
+        << label << " step " << s;
+  }
+  ASSERT_EQ(a.positions.size(), b.positions.size()) << label;
+  for (std::size_t i = 0; i < a.positions.size(); ++i) {
+    ASSERT_EQ(a.positions[i], b.positions[i]) << label << " atom " << i;
+  }
+}
+
+TEST(ShardedTrajectory, MeltIsBitwiseTheFlatListMelt) {
+  MeltSpec flat_spec;
+  flat_spec.n_atoms = kAtoms;
+  flat_spec.steps = 80;
+  flat_spec.kernel = SimKernel::kNeighborList;
+  const Trajectory flat = run_melt(flat_spec);
+
+  for (const std::size_t shards : {std::size_t(1), std::size_t(2),
+                                   std::size_t(4), std::size_t(8)}) {
+    MeltSpec spec = flat_spec;
+    spec.kernel = SimKernel::kShardedList;
+    spec.shards = shards;
+    const Trajectory serial = run_melt(spec);
+    expect_bitwise_equal(flat, serial,
+                         "shards=" + std::to_string(shards) + " serial");
+    EXPECT_EQ(serial.list_rebuilds, flat.list_rebuilds);
+
+    ThreadPool pool(8);
+    spec.pool = &pool;
+    const Trajectory pooled = run_melt(spec);
+    expect_bitwise_equal(flat, pooled,
+                         "shards=" + std::to_string(shards) + " @8 threads");
+  }
+}
+
+Simulation::Options sharded_options(std::size_t shards, ThreadPool* pool) {
+  Simulation::Options options;
+  options.workload.n_atoms = kAtoms;
+  options.kernel = SimKernel::kShardedList;
+  options.shards = shards;
+  options.pool = pool;
+  return options;
+}
+
+void expect_states_equal(const Simulation& a, const Simulation& b) {
+  ASSERT_EQ(a.system().size(), b.system().size());
+  for (std::size_t i = 0; i < a.system().size(); ++i) {
+    EXPECT_EQ(a.system().positions()[i], b.system().positions()[i])
+        << "position diverged at atom " << i;
+    EXPECT_EQ(a.system().velocities()[i], b.system().velocities()[i])
+        << "velocity diverged at atom " << i;
+    EXPECT_EQ(a.system().accelerations()[i], b.system().accelerations()[i])
+        << "acceleration diverged at atom " << i;
+  }
+  EXPECT_EQ(a.last_energies().kinetic, b.last_energies().kinetic);
+  EXPECT_EQ(a.last_energies().potential, b.last_energies().potential);
+}
+
+TEST(ShardedTrajectory, MidpointResumeIsBitIdentical) {
+  ThreadPool pool(4);
+  const Simulation::Options options = sharded_options(4, &pool);
+  constexpr int kTotalSteps = 160;
+  constexpr int kCheckpointStep = 80;
+
+  Simulation uninterrupted(options);
+  uninterrupted.run(kCheckpointStep);
+  std::stringstream checkpoint;
+  uninterrupted.save(checkpoint);
+  uninterrupted.run(kTotalSteps - kCheckpointStep);
+
+  Simulation resumed = Simulation::resume(checkpoint, options);
+  ASSERT_EQ(resumed.current_step(), kCheckpointStep);
+  ASSERT_EQ(resumed.kernel(), SimKernel::kShardedList);
+  resumed.run(kTotalSteps - kCheckpointStep);
+  expect_states_equal(resumed, uninterrupted);
+}
+
+TEST(ShardedTrajectory, SnapshotReplayIsBitIdenticalAndPureObserver) {
+  ThreadPool pool(4);
+  const Simulation::Options options = sharded_options(2, &pool);
+  constexpr int kTotalSteps = 120;
+  constexpr int kSnapshotStep = 60;
+
+  // Baseline without any snapshot: proves the observed run is unperturbed.
+  Simulation baseline(options);
+  baseline.run(kTotalSteps);
+
+  Simulation observed(options);
+  observed.run(kSnapshotStep);
+  const Checkpoint snapshot = observed.snapshot();  // carries the live list
+  observed.run(kTotalSteps - kSnapshotStep);
+  expect_states_equal(observed, baseline);
+
+  Simulation replayed = Simulation::resume(snapshot, options);
+  ASSERT_EQ(replayed.current_step(), kSnapshotStep);
+  replayed.run(kTotalSteps - kSnapshotStep);
+  expect_states_equal(replayed, baseline);
+}
+
+TEST(ShardedTrajectory, ShardCountMismatchOnResumeFailsLoudly) {
+  // The checkpoint records "sharded-list/<N>"; resuming with a different N
+  // never changes the bits, but it does change the decomposition every perf
+  // number was measured under — treated like any other config mismatch.
+  Simulation sim(sharded_options(2, nullptr));
+  sim.run(10);
+  std::stringstream checkpoint;
+  sim.save(checkpoint);
+
+  EXPECT_THROW(Simulation::resume(checkpoint, sharded_options(4, nullptr)),
+               RuntimeFailure);
+}
+
+TEST(ShardedTrajectory, ShardCountMismatchOverriddenByResumeForce) {
+  Simulation sim(sharded_options(2, nullptr));
+  sim.run(10);
+  std::stringstream checkpoint;
+  sim.save(checkpoint);
+
+  Simulation::Options forced = sharded_options(4, nullptr);
+  forced.ignore_checkpoint_config = true;  // --resume-force
+  Simulation resumed = Simulation::resume(checkpoint, forced);
+  EXPECT_EQ(resumed.current_step(), 10);
+  EXPECT_EQ(resumed.shards(), 4u);
+}
+
+TEST(ShardedTrajectory, FlatVsShardedResumeAlsoMismatches) {
+  // Flat list and sharded list are distinct kernel tokens even at shards=1.
+  Simulation::Options flat;
+  flat.workload.n_atoms = kAtoms;
+  flat.kernel = SimKernel::kNeighborList;
+  Simulation sim(flat);
+  sim.run(10);
+  std::stringstream checkpoint;
+  sim.save(checkpoint);
+
+  EXPECT_THROW(Simulation::resume(checkpoint, sharded_options(1, nullptr)),
+               RuntimeFailure);
+}
+
+}  // namespace
+}  // namespace emdpa::md::testing
