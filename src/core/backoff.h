@@ -1,0 +1,88 @@
+// Seeded exponential backoff with decorrelated jitter (resilience layer).
+//
+// A transiently failing job retried on a fixed schedule synchronises with
+// whatever broke it — every retry lands on the same contended resource at
+// the same cadence.  The standard cure is exponential backoff with
+// *decorrelated* jitter (each delay drawn uniformly from [base, 3×previous],
+// capped), which spreads retries without the unbounded tail of full jitter.
+//
+// Unlike the usual wall-clock implementations, this one must be
+// DETERMINISTIC: the batch scheduler journals every retry decision and a
+// replayed batch has to reproduce the exact delays the dead process chose.
+// The jitter therefore comes from a SplitMix64 stream seeded by
+// (policy seed, per-consumer stream id) — pure state, no clocks — and the
+// delays are expressed in abstract units the consumer interprets
+// (the job scheduler uses "scheduling rounds").
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "core/error.h"
+#include "core/random.h"
+
+namespace emdpa {
+
+struct BackoffPolicy {
+  double base = 1.0;  ///< first delay; also the minimum of every draw
+  double cap = 32.0;  ///< ceiling every draw is clamped to
+  /// Stream seed; combined with the consumer's stream id so every consumer
+  /// (e.g. every job in a batch) jitters independently yet reproducibly.
+  std::uint64_t seed = 0x9E3779B97F4A7C15ull;
+};
+
+/// One consumer's backoff state.  next() yields the delay before retry
+/// N = attempts() — deterministic for a given (policy, stream) pair.
+class Backoff {
+ public:
+  explicit Backoff(const BackoffPolicy& policy, std::uint64_t stream = 0)
+      : policy_(policy),
+        stream_seed_(policy.seed ^ (stream * 0x9E3779B97F4A7C15ull)),
+        rng_(stream_seed_) {
+    EMDPA_REQUIRE(policy.base > 0, "backoff: base delay must be positive");
+    EMDPA_REQUIRE(policy.cap >= policy.base,
+                  "backoff: cap must be at least the base delay");
+    previous_ = policy.base;
+  }
+
+  /// The delay to wait before the next retry.  First call returns base
+  /// exactly (a first retry should be prompt); subsequent calls draw
+  /// uniform[base, 3×previous] clamped to cap.
+  double next() {
+    ++attempts_;
+    if (attempts_ == 1) {
+      previous_ = policy_.base;
+      return previous_;
+    }
+    const double hi = std::min(policy_.cap, 3.0 * previous_);
+    const double u = uniform01();
+    previous_ = policy_.base + u * (hi - policy_.base);
+    previous_ = std::min(policy_.cap, std::max(policy_.base, previous_));
+    return previous_;
+  }
+
+  std::uint64_t attempts() const { return attempts_; }
+
+  /// Restart the sequence from draw one — counter, envelope AND jitter
+  /// stream.  Journal replay depends on this: restore_attempts() resets and
+  /// re-draws, which must reproduce the dead process's exact delays.
+  void reset() {
+    attempts_ = 0;
+    previous_ = policy_.base;
+    rng_ = SplitMix64(stream_seed_);
+  }
+
+ private:
+  double uniform01() {
+    // 53-bit mantissa construction, the same mapping Rng::uniform uses.
+    return static_cast<double>(rng_.next() >> 11) * 0x1.0p-53;
+  }
+
+  BackoffPolicy policy_;
+  std::uint64_t stream_seed_;
+  SplitMix64 rng_;
+  double previous_;
+  std::uint64_t attempts_ = 0;
+};
+
+}  // namespace emdpa

@@ -82,6 +82,17 @@ class NumericalFailure : public RuntimeFailure {
       : RuntimeFailure(what, std::move(context)) {}
 };
 
+/// Thrown when a job exhausts an operator-imposed wall-clock or slice
+/// budget (see HealthMonitor::enforce_deadline).  A distinct type because
+/// the batch scheduler must NOT spend retry budget on it: re-running a job
+/// whose time allowance is already consumed cannot succeed, so the
+/// scheduler quarantines it immediately.
+class DeadlineExceeded : public RuntimeFailure {
+ public:
+  explicit DeadlineExceeded(const std::string& what, ErrorContext context = {})
+      : RuntimeFailure(what, std::move(context)) {}
+};
+
 /// Thrown when a run stops cooperatively on an operator signal (SIGINT /
 /// SIGTERM, see core/interrupt.h) after the state was checkpointed.  A
 /// distinct type so the driver can exit with its own code: orchestrators

@@ -140,20 +140,41 @@ std::string cli_usage() {
       "  'bisect: first divergence at step N' / 'bisect: no divergence' is\n"
       "  grep-stable\n"
       "\n"
-      "Batch mode (cooperative ensemble over one shared thread pool):\n"
+      "Batch mode (supervised ensemble over one shared thread pool):\n"
       "  --manifest FILE        job manifest: one '<name> key=value ...' line\n"
       "                         per job (keys: priority, atoms, steps, density,\n"
       "                         temperature, dt, cutoff, seed, kernel, shards,\n"
-      "                         precision, simd, degrade, drift_tol)\n"
+      "                         precision, simd, degrade, drift_tol, plus\n"
+      "                         per-job supervision overrides max_retries,\n"
+      "                         deadline, slice_budget); duplicate job names\n"
+      "                         and duplicate keys on one line are rejected\n"
       "  --checkpoint-dir DIR   per-job suspend checkpoints (<name>.ckpt) and\n"
       "                         completion markers (<name>.done); reusing the\n"
       "                         directory resumes the batch recorded in it\n"
       "  --slice N              steps per time slice, also the checkpoint\n"
       "                         cadence (100)\n"
       "  --max-in-flight N      jobs resident in memory at once (4)\n"
-      "  exit codes: 0 all jobs completed; 3 at least one job failed (isolated,\n"
-      "  the rest ran to completion); 4 interrupted by SIGINT/SIGTERM after a\n"
-      "  drain — rerun the same command to resume\n"
+      "  --max-retries N        per-job transient-failure budget (0): a failed\n"
+      "                         slice costs one retry, re-queued after a\n"
+      "                         deterministic decorrelated-jitter backoff; a\n"
+      "                         job that exhausts the budget is QUARANTINED\n"
+      "                         (set aside with its attempt history) instead\n"
+      "                         of aborting the batch; 0 keeps the one-strike\n"
+      "                         verdict: first failure fails the job\n"
+      "  --job-deadline S       per-job wall-clock budget in seconds (0 = no\n"
+      "                         limit); exceeding it quarantines immediately\n"
+      "                         without spending retry budget\n"
+      "  --job-slice-budget N   per-job cap on total time slices, metered\n"
+      "                         cumulatively across reruns via the journal\n"
+      "  --journal PATH         write-ahead journal recording every job state\n"
+      "                         transition (default DIR/batch.wal); kill the\n"
+      "                         batch at any instant and re-running the same\n"
+      "                         command replays it — retry counters,\n"
+      "                         quarantine verdicts and queue position all\n"
+      "                         survive, and no completed work repeats\n"
+      "  exit codes: 0 all jobs completed; 3 at least one job failed or was\n"
+      "  quarantined (isolated, the rest ran to completion); 4 interrupted by\n"
+      "  SIGINT/SIGTERM after a drain — rerun the same command to resume\n"
       "\n"
       "Backends:\n";
   for (const auto& info : available_backends()) {
@@ -259,6 +280,20 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       const long n = parse_integer(flag, need_value(flag));
       if (n <= 0) throw RuntimeFailure("--max-in-flight must be positive");
       options.max_in_flight = static_cast<std::size_t>(n);
+    } else if (flag == "--max-retries") {
+      const long n = parse_integer(flag, need_value(flag));
+      if (n < 0) throw RuntimeFailure("--max-retries must be non-negative");
+      options.max_retries = static_cast<int>(n);
+    } else if (flag == "--job-deadline") {
+      const double seconds = parse_number(flag, need_value(flag));
+      if (seconds <= 0) throw RuntimeFailure("--job-deadline must be positive");
+      options.job_deadline = seconds;
+    } else if (flag == "--job-slice-budget") {
+      const long n = parse_integer(flag, need_value(flag));
+      if (n <= 0) throw RuntimeFailure("--job-slice-budget must be positive");
+      options.job_slice_budget = static_cast<std::uint64_t>(n);
+    } else if (flag == "--journal") {
+      options.journal_path = need_value(flag);
     } else if (flag == "--store-dir") {
       options.run_config.store_dir = need_value(flag);
     } else if (flag == "--snapshot-every") {
@@ -337,6 +372,11 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       throw RuntimeFailure(
           "'batch' needs --checkpoint-dir <dir> (suspend state lives there)");
     }
+  } else if (options.max_retries != 0 || options.job_deadline != 0.0 ||
+             options.job_slice_budget != 0 || !options.journal_path.empty()) {
+    throw RuntimeFailure(
+        "--max-retries/--job-deadline/--job-slice-budget/--journal only "
+        "apply to the 'batch' command");
   }
   if (options.run_config.store_every > 0 &&
       options.run_config.store_dir.empty()) {

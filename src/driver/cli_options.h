@@ -10,7 +10,9 @@
 //             [--csv]
 //   emdpa compare [--atoms N] [--steps K] ... (runs every backend)
 //   emdpa batch --manifest FILE --checkpoint-dir DIR [--slice N]
-//               [--max-in-flight N] [--threads N] [--csv]
+//               [--max-in-flight N] [--max-retries N] [--job-deadline S]
+//               [--job-slice-budget N] [--journal PATH] [--threads N]
+//               [--csv]
 //   emdpa bisect --store-dir DIR [--snapshot-every N] [shared opts]
 //                [--a-kernel M] [--a-precision M] [--a-simd I]
 //                [--a-threads N] [--a-faults SPEC] [--b-...]
@@ -53,6 +55,10 @@ struct CliOptions {
   std::string checkpoint_dir;    ///< --checkpoint-dir (required)
   int slice_steps = 100;         ///< --slice: steps per time slice
   std::size_t max_in_flight = 4; ///< --max-in-flight: resident job cap
+  int max_retries = 0;           ///< --max-retries: batch-wide retry budget
+  double job_deadline = 0.0;     ///< --job-deadline: per-job wall budget (s)
+  std::uint64_t job_slice_budget = 0;  ///< --job-slice-budget: slice cap
+  std::string journal_path;      ///< --journal (default DIR/batch.wal)
 
   // kBisect: the two sides' overrides; everything else (workload, steps,
   // store/watch knobs) comes from the shared flags in run_config.

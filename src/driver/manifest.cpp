@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "core/error.h"
+#include "core/fault_injection.h"
 #include "core/simd_dispatch.h"
 #include "md/precision.h"
 
@@ -96,6 +97,18 @@ void apply_key(md::JobSpec& job, const std::string& source, int line,
     const double tol = number_value(source, line, key, value);
     if (tol <= 0) fail_at(source, line, "drift_tol must be positive");
     config.drift_tolerance = tol;
+  } else if (key == "max_retries") {
+    const long n = integer_value(source, line, key, value);
+    if (n < 0) fail_at(source, line, "max_retries must be non-negative");
+    job.max_retries = static_cast<int>(n);
+  } else if (key == "deadline") {
+    const double seconds = number_value(source, line, key, value);
+    if (seconds < 0) fail_at(source, line, "deadline must be non-negative");
+    job.deadline_seconds = seconds;
+  } else if (key == "slice_budget") {
+    const long n = integer_value(source, line, key, value);
+    if (n < 0) fail_at(source, line, "slice_budget must be non-negative");
+    job.slice_budget = static_cast<std::uint64_t>(n);
   } else {
     fail_at(source, line, "unknown key '" + key + "'");
   }
@@ -105,6 +118,13 @@ void apply_key(md::JobSpec& job, const std::string& source, int line,
 
 std::vector<md::JobSpec> parse_manifest(std::istream& in,
                                         const std::string& source) {
+  // Injection site md.manifest_parse: the manifest is unreadable (device
+  // error, permissions race).  The proven recovery is a clean typed failure
+  // before any job is admitted — never a half-parsed batch.
+  if (fault::injected("md.manifest_parse")) {
+    throw RuntimeFailure("manifest: injected read failure on '" + source +
+                         "'");
+  }
   std::vector<md::JobSpec> jobs;
   std::string line;
   int line_number = 0;
@@ -122,6 +142,7 @@ std::vector<md::JobSpec> parse_manifest(std::istream& in,
       }
     }
 
+    std::vector<std::string> seen_keys;
     std::string pair;
     while (tokens >> pair) {
       const std::size_t eq = pair.find('=');
@@ -129,13 +150,24 @@ std::vector<md::JobSpec> parse_manifest(std::istream& in,
         fail_at(source, line_number,
                 "expected key=value, got '" + pair + "'");
       }
-      apply_key(job, source, line_number, pair.substr(0, eq),
-                pair.substr(eq + 1));
+      const std::string key = pair.substr(0, eq);
+      // Reject duplicate keys on one job line: silently honouring the last
+      // occurrence turns an editing mistake into a different simulation.
+      for (const std::string& seen : seen_keys) {
+        if (seen == key) {
+          fail_at(source, line_number, "duplicate key '" + key +
+                                           "' for job '" + name + "'");
+        }
+      }
+      seen_keys.push_back(key);
+      apply_key(job, source, line_number, key, pair.substr(eq + 1));
     }
     jobs.push_back(std::move(job));
   }
   if (jobs.empty()) {
-    throw RuntimeFailure(source + ": manifest defines no jobs");
+    throw RuntimeFailure(source + ": manifest defines no jobs (" +
+                         std::to_string(line_number) +
+                         " line(s) of comments/whitespace)");
   }
   return jobs;
 }

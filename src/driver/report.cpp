@@ -100,8 +100,8 @@ std::string render_run_csv(const md::RunResult& result,
 }
 
 std::string render_batch_report(const md::BatchResult& batch) {
-  Table table({"job", "prio", "status", "steps", "slices", "saves", "flags",
-               "wall (s)", "final total E", "error"});
+  Table table({"job", "prio", "status", "steps", "slices", "saves", "att",
+               "flags", "wall (s)", "final total E", "error"});
   for (const auto& job : batch.jobs) {
     std::string error = job.error;
     if (error.size() > 48) {
@@ -113,6 +113,7 @@ std::string render_batch_report(const md::BatchResult& batch) {
                    std::to_string(job.steps_done) + "/" +
                        std::to_string(job.steps_target),
                    std::to_string(job.slices), std::to_string(job.checkpoint_saves),
+                   std::to_string(job.attempts),
                    batch_flags(job), format_auto(job.wall_seconds),
                    job.status == md::JobStatus::kPending
                        ? "-"
@@ -125,6 +126,7 @@ std::string render_batch_report(const md::BatchResult& batch) {
   os << "summary: " << batch.jobs.size() << " jobs, "
      << batch.count(md::JobStatus::kCompleted) << " completed, "
      << batch.count(md::JobStatus::kFailed) << " failed, "
+     << batch.count(md::JobStatus::kQuarantined) << " quarantined, "
      << batch.count(md::JobStatus::kInterrupted) << " interrupted"
      << (batch.interrupted ? " (batch drained on signal; rerun to resume)"
                            : "")
@@ -136,15 +138,16 @@ std::string render_batch_csv(const md::BatchResult& batch) {
   std::ostringstream os;
   CsvWriter csv(os);
   csv.write_row({"job", "priority", "status", "steps_done", "steps_target",
-                 "slices", "checkpoint_saves", "resumed", "degraded",
-                 "wall_seconds", "final_kinetic", "final_potential",
-                 "final_total_e", "error"});
+                 "slices", "checkpoint_saves", "attempts", "resumed",
+                 "degraded", "wall_seconds", "final_kinetic",
+                 "final_potential", "final_total_e", "error"});
   for (const auto& job : batch.jobs) {
     csv.write_row({job.name, std::to_string(job.priority),
                    md::to_string(job.status), std::to_string(job.steps_done),
                    std::to_string(job.steps_target),
                    std::to_string(job.slices),
                    std::to_string(job.checkpoint_saves),
+                   std::to_string(job.attempts),
                    job.resumed ? "1" : "0", job.degraded ? "1" : "0",
                    format_auto(job.wall_seconds),
                    format_fixed(job.final_energies.kinetic, 6),

@@ -1,0 +1,250 @@
+#include "md/batch_journal.h"
+
+#include <sstream>
+
+#include "core/error.h"
+#include "core/fault_injection.h"
+
+namespace emdpa::md {
+
+namespace {
+
+const char* event_word(JournalEvent event) {
+  switch (event) {
+    case JournalEvent::kAdmit: return "admit";
+    case JournalEvent::kSlice: return "slice";
+    case JournalEvent::kRetry: return "retry";
+    case JournalEvent::kQuarantine: return "quarantine";
+    case JournalEvent::kDone: return "done";
+    case JournalEvent::kFail: return "fail";
+    case JournalEvent::kInterrupt: return "interrupt";
+  }
+  return "unknown";
+}
+
+/// Reasons ride in the journal's single-line payloads; squash any newline a
+/// nested error message could carry.
+std::string one_line(std::string text) {
+  for (char& c : text) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return text;
+}
+
+}  // namespace
+
+std::string encode_journal_record(const JournalRecord& record) {
+  std::ostringstream os;
+  os << event_word(record.event);
+  switch (record.event) {
+    case JournalEvent::kAdmit:
+      os << " " << record.job << " priority " << record.priority;
+      break;
+    case JournalEvent::kSlice:
+      os << " " << record.job << " steps " << record.steps;
+      if (record.slices != 1) os << " slices " << record.slices;
+      break;
+    case JournalEvent::kRetry:
+      os << " " << record.job << " attempt " << record.attempt << " delay "
+         << record.delay << " " << one_line(record.detail);
+      break;
+    case JournalEvent::kQuarantine:
+      os << " " << record.job << " attempts " << record.attempt << " "
+         << one_line(record.detail);
+      break;
+    case JournalEvent::kDone:
+      os << " " << record.job << " steps " << record.steps;
+      break;
+    case JournalEvent::kFail:
+      os << " " << record.job << " attempt " << record.attempt << " "
+         << one_line(record.detail);
+      break;
+    case JournalEvent::kInterrupt:
+      break;
+  }
+  return os.str();
+}
+
+bool parse_journal_record(const std::string& payload, JournalRecord* record) {
+  std::istringstream is(payload);
+  std::string word;
+  if (!(is >> word)) return false;
+  *record = JournalRecord{};
+
+  const auto read_key = [&](const char* key, auto* value) {
+    std::string k;
+    return static_cast<bool>(is >> k) && k == key &&
+           static_cast<bool>(is >> *value);
+  };
+  const auto read_rest = [&](std::string* out) {
+    std::string rest;
+    std::getline(is, rest);
+    if (!rest.empty() && rest.front() == ' ') rest.erase(0, 1);
+    *out = rest;
+  };
+
+  if (word == "admit") {
+    record->event = JournalEvent::kAdmit;
+    return static_cast<bool>(is >> record->job) &&
+           read_key("priority", &record->priority);
+  }
+  if (word == "slice") {
+    record->event = JournalEvent::kSlice;
+    if (!(is >> record->job) || !read_key("steps", &record->steps)) {
+      return false;
+    }
+    std::string key;
+    if (is >> key) {  // optional compaction-snapshot slice count
+      if (key != "slices" || !(is >> record->slices)) return false;
+    }
+    return true;
+  }
+  if (word == "done") {
+    record->event = JournalEvent::kDone;
+    return static_cast<bool>(is >> record->job) &&
+           read_key("steps", &record->steps);
+  }
+  if (word == "retry") {
+    record->event = JournalEvent::kRetry;
+    if (!(is >> record->job) || !read_key("attempt", &record->attempt) ||
+        !read_key("delay", &record->delay)) {
+      return false;
+    }
+    read_rest(&record->detail);
+    return true;
+  }
+  if (word == "quarantine") {
+    record->event = JournalEvent::kQuarantine;
+    if (!(is >> record->job) || !read_key("attempts", &record->attempt)) {
+      return false;
+    }
+    read_rest(&record->detail);
+    return true;
+  }
+  if (word == "fail") {
+    record->event = JournalEvent::kFail;
+    if (!(is >> record->job) || !read_key("attempt", &record->attempt)) {
+      return false;
+    }
+    read_rest(&record->detail);
+    return true;
+  }
+  if (word == "interrupt") {
+    record->event = JournalEvent::kInterrupt;
+    return true;
+  }
+  return false;
+}
+
+BatchJournal::BatchJournal(std::string path, std::uint64_t max_segment_bytes)
+    : path_(std::move(path)), max_segment_bytes_(max_segment_bytes) {
+  EMDPA_REQUIRE(!path_.empty(), "journal: path must not be empty");
+  EMDPA_REQUIRE(max_segment_bytes_ > 0,
+                "journal: segment size bound must be positive");
+}
+
+BatchJournal::~BatchJournal() = default;
+
+BatchJournal::Replay BatchJournal::replay() const {
+  Replay replay;
+  const WalReplay wal = read_wal(path_);
+  replay.torn_tail = wal.truncated;
+  for (const std::string& payload : wal.records) {
+    JournalRecord record;
+    // An unparseable (but CRC-clean) payload means a foreign or future
+    // format: skip it rather than poison the whole replay.
+    if (!parse_journal_record(payload, &record)) continue;
+    ++replay.records;
+    if (record.event == JournalEvent::kInterrupt) {
+      replay.interrupted = true;
+      continue;
+    }
+    replay.interrupted = false;  // a later record means the batch resumed
+    ReplayedJob& job = replay.jobs[record.job];
+    job.last_event = replay.records;
+    switch (record.event) {
+      case JournalEvent::kAdmit:
+        break;
+      case JournalEvent::kSlice:
+        job.steps_done = record.steps;
+        job.slices += record.slices;
+        job.retrying = false;
+        break;
+      case JournalEvent::kRetry:
+        job.attempts = record.attempt;
+        job.retrying = true;
+        job.retry_delay = record.delay;
+        job.detail = record.detail;
+        break;
+      case JournalEvent::kQuarantine:
+        job.status = JobStatus::kQuarantined;
+        job.attempts = record.attempt;
+        job.retrying = false;
+        job.detail = record.detail;
+        break;
+      case JournalEvent::kDone:
+        job.status = JobStatus::kCompleted;
+        job.steps_done = record.steps;
+        job.retrying = false;
+        break;
+      case JournalEvent::kFail:
+        job.status = JobStatus::kFailed;
+        job.attempts = record.attempt;
+        job.retrying = false;
+        job.detail = record.detail;
+        break;
+      case JournalEvent::kInterrupt:
+        break;
+    }
+  }
+  return replay;
+}
+
+void BatchJournal::open_for_append() {
+  writer_ = std::make_unique<WalWriter>(path_);
+}
+
+void BatchJournal::record(const JournalRecord& record) {
+  EMDPA_REQUIRE(writer_ != nullptr,
+                "journal: open_for_append() before record()");
+  try {
+    // Injection site md.wal_io: an EIO on the journal append.  The proven
+    // recovery is degradation, not abort — supervision state on disk lags
+    // until the next successful append, and replay reconciles the gap from
+    // the checkpoint/marker ground truth.
+    if (fault::injected("md.wal_io")) {
+      throw RuntimeFailure("journal: injected EIO appending to '" + path_ +
+                           "'");
+    }
+    writer_->append(encode_journal_record(record));
+    durable_ = true;
+  } catch (const RuntimeFailure&) {
+    ++append_failures_;
+    durable_ = false;
+  }
+}
+
+bool BatchJournal::over_segment_bound() const {
+  return writer_ != nullptr && writer_->size_bytes() > max_segment_bytes_;
+}
+
+void BatchJournal::compact(const std::vector<JournalRecord>& snapshot) {
+  if (writer_ == nullptr) return;
+  std::vector<std::string> payloads;
+  payloads.reserve(snapshot.size());
+  for (const JournalRecord& record : snapshot) {
+    payloads.push_back(encode_journal_record(record));
+  }
+  try {
+    if (fault::injected("md.wal_io")) {
+      throw RuntimeFailure("journal: injected EIO rotating '" + path_ + "'");
+    }
+    writer_->rewrite(payloads);
+  } catch (const RuntimeFailure&) {
+    // Rotation is an optimisation; the unrotated segment is still valid.
+    ++append_failures_;
+    durable_ = false;
+  }
+}
+
+}  // namespace emdpa::md

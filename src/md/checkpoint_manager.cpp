@@ -6,6 +6,7 @@
 
 #include "core/error.h"
 #include "core/fault_injection.h"
+#include "core/wal.h"
 
 namespace emdpa::md {
 
@@ -32,6 +33,11 @@ void CheckpointManager::save(const std::function<void(std::ostream&)>& writer) {
     if (!out) {
       throw RuntimeFailure("checkpoint: write to '" + tmp + "' failed");
     }
+    out.close();
+    // Durability, not just atomicity: the rename below publishes whatever
+    // the page cache holds, so the temp file's DATA must be on stable
+    // storage first or a power loss can commit a hole.
+    fsync_file(tmp);
   } catch (...) {
     std::error_code ignored;
     fs::remove(tmp, ignored);
@@ -54,6 +60,16 @@ void CheckpointManager::save(const std::function<void(std::ostream&)>& writer) {
     throw RuntimeFailure("checkpoint: cannot commit '" + tmp + "' to '" + path_ +
                          "': " + ec.message());
   }
+  // The renames are atomic but not durable until the DIRECTORY is fsynced —
+  // a power loss can roll the directory back to pre-rename while the data
+  // blocks survive.  Injection site md.dir_fsync: the caller sees a failed
+  // save (and retries or pins); the previously committed generations stay
+  // loadable either way.
+  if (fault::injected("md.dir_fsync")) {
+    throw RuntimeFailure("checkpoint: injected EIO fsyncing directory of '" +
+                         path_ + "'");
+  }
+  fsync_parent_directory(path_);
   ++saves_;
 }
 

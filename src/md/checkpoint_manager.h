@@ -5,20 +5,28 @@
 // worthless, so every write goes through the classic atomic protocol:
 //
 //   1. serialise to `<path>.tmp` (CRC-32 footer included — checkpoint.h),
+//      then fsync the temp file so its data is on stable storage,
 //   2. rotate the current `<path>` to `<path>.prev`,
-//   3. rename `<path>.tmp` onto `<path>` (atomic within a filesystem).
+//   3. rename `<path>.tmp` onto `<path>` (atomic within a filesystem),
+//   4. fsync the containing directory so the renames are durable.
 //
 // A SIGKILL at any instant leaves at least one complete, verifiable
 // generation on disk: mid-write kills leave the old `<path>` untouched, and
 // a kill between the two renames leaves `<path>.prev` (and the complete but
-// unpromoted temp file).  load() verifies the latest generation's CRC and
-// falls back to the previous one when the latest is truncated, bit-flipped
-// or missing — resuming slightly earlier beats resuming from corruption.
+// unpromoted temp file).  Steps 1 and 4 extend the guarantee from process
+// death to power loss: without the file fsync a rename can publish a hole,
+// and without the directory fsync the rename itself can be rolled back by
+// the journal replay of the FILESYSTEM's own crash recovery.  load()
+// verifies the latest generation's CRC and falls back to the previous one
+// when the latest is truncated, bit-flipped or missing — resuming slightly
+// earlier beats resuming from corruption.
 //
-// Fault-injection site "md.checkpoint_io" (core/fault_injection.h) simulates
-// an EIO during step 1: save() throws RuntimeFailure after cleaning up the
-// temp file, leaving every committed generation intact — callers log the
-// failure and retry at the next checkpoint interval.
+// Fault-injection sites (core/fault_injection.h): "md.checkpoint_io"
+// simulates an EIO during step 1 — save() throws RuntimeFailure after
+// cleaning up the temp file, leaving every committed generation intact;
+// "md.dir_fsync" simulates an EIO at step 4 — the just-renamed generation
+// is complete but its durability is unpromised, so save() reports failure
+// and callers retry at the next checkpoint interval.
 #pragma once
 
 #include <functional>

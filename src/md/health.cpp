@@ -96,4 +96,23 @@ void HealthMonitor::check(long step, const ParticleSystem& system,
   }
 }
 
+void HealthMonitor::enforce_deadline(const std::string& job,
+                                     double wall_seconds,
+                                     double wall_budget_seconds,
+                                     std::uint64_t slices,
+                                     std::uint64_t slice_budget) {
+  if (slice_budget > 0 && slices >= slice_budget) {
+    throw DeadlineExceeded("deadline: job '" + job + "' exhausted its slice "
+                           "budget (" + std::to_string(slices) + " of " +
+                           std::to_string(slice_budget) + " slices used)");
+  }
+  if (wall_budget_seconds > 0 && wall_seconds >= wall_budget_seconds) {
+    char msg[64];
+    std::snprintf(msg, sizeof(msg), " (%.3gs of %.3gs used)", wall_seconds,
+                  wall_budget_seconds);
+    throw DeadlineExceeded("deadline: job '" + job +
+                           "' exceeded its wall-clock budget" + msg);
+  }
+}
+
 }  // namespace emdpa::md

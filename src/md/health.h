@@ -64,6 +64,19 @@ class HealthMonitor {
              const StepEnergies& energies, double dt,
              const std::string& kernel, bool conserves_energy);
 
+  /// Deadline guard for supervised batch jobs: throws DeadlineExceeded when
+  /// `wall_seconds` exceeds a positive `wall_budget_seconds`, or when the
+  /// job is asking for slice number `slices + 1` past a positive
+  /// `slice_budget`.  A zero budget is unlimited.  The batch scheduler
+  /// calls this at every slice boundary (health checks and deadlines are
+  /// the same watchdog concern: stop sick runs while the damage is still
+  /// diagnosable), and quarantines on the distinct exception type instead
+  /// of spending retry budget.
+  static void enforce_deadline(const std::string& job, double wall_seconds,
+                               double wall_budget_seconds,
+                               std::uint64_t slices,
+                               std::uint64_t slice_budget);
+
  private:
   HealthPolicy policy_;
   std::optional<double> baseline_total_;

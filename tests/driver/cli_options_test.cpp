@@ -302,5 +302,53 @@ TEST(CliOptions, UsageDocumentsBatchMode) {
   EXPECT_NE(usage.find("--resume-force"), std::string::npos);
 }
 
+TEST(CliOptions, SupervisionFlagsPopulateBatchOptions) {
+  const CliOptions defaults = parse_cli(
+      {"batch", "--manifest", "jobs.txt", "--checkpoint-dir", "ck"});
+  EXPECT_EQ(defaults.max_retries, 0);  // pre-supervision behaviour by default
+  EXPECT_EQ(defaults.job_deadline, 0.0);
+  EXPECT_EQ(defaults.job_slice_budget, 0u);
+  EXPECT_TRUE(defaults.journal_path.empty());
+
+  const CliOptions options = parse_cli(
+      {"batch", "--manifest", "jobs.txt", "--checkpoint-dir", "ck",
+       "--max-retries", "3", "--job-deadline", "2.5", "--job-slice-budget",
+       "40", "--journal", "batch.wal"});
+  EXPECT_EQ(options.max_retries, 3);
+  EXPECT_DOUBLE_EQ(options.job_deadline, 2.5);
+  EXPECT_EQ(options.job_slice_budget, 40u);
+  EXPECT_EQ(options.journal_path, "batch.wal");
+}
+
+TEST(CliOptions, SupervisionFlagsRejectBadInput) {
+  EXPECT_THROW(parse_cli({"batch", "--manifest", "j", "--checkpoint-dir", "c",
+                          "--max-retries", "-1"}),
+               RuntimeFailure);
+  EXPECT_THROW(parse_cli({"batch", "--manifest", "j", "--checkpoint-dir", "c",
+                          "--job-deadline", "0"}),
+               RuntimeFailure);
+  EXPECT_THROW(parse_cli({"batch", "--manifest", "j", "--checkpoint-dir", "c",
+                          "--job-slice-budget", "0"}),
+               RuntimeFailure);
+}
+
+TEST(CliOptions, SupervisionFlagsAreBatchOnly) {
+  EXPECT_THROW(parse_cli({"run", "--backend", "x", "--max-retries", "2"}),
+               RuntimeFailure);
+  EXPECT_THROW(parse_cli({"run", "--backend", "x", "--job-deadline", "1"}),
+               RuntimeFailure);
+  EXPECT_THROW(parse_cli({"compare", "--journal", "batch.wal"}),
+               RuntimeFailure);
+}
+
+TEST(CliOptions, UsageDocumentsSupervision) {
+  const std::string usage = cli_usage();
+  EXPECT_NE(usage.find("--max-retries"), std::string::npos);
+  EXPECT_NE(usage.find("--job-deadline"), std::string::npos);
+  EXPECT_NE(usage.find("--job-slice-budget"), std::string::npos);
+  EXPECT_NE(usage.find("--journal"), std::string::npos);
+  EXPECT_NE(usage.find("quarantined"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace emdpa::driver

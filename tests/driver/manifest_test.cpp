@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "core/error.h"
+#include "core/fault_injection.h"
 #include "driver/manifest.h"
 #include "md/precision.h"
 
@@ -80,6 +81,65 @@ TEST(ManifestTest, RejectsMalformedInput) {
 
 TEST(ManifestTest, LoadManifestRejectsMissingFile) {
   EXPECT_THROW(load_manifest("/nonexistent/manifest.txt"), RuntimeFailure);
+}
+
+TEST(ManifestTest, ParsesSupervisionKeys) {
+  const auto jobs =
+      parse("guarded max_retries=2 deadline=1.5 slice_budget=7\nplain\n");
+  ASSERT_EQ(jobs.size(), 2u);
+  ASSERT_TRUE(jobs[0].max_retries.has_value());
+  EXPECT_EQ(*jobs[0].max_retries, 2);
+  ASSERT_TRUE(jobs[0].deadline_seconds.has_value());
+  EXPECT_DOUBLE_EQ(*jobs[0].deadline_seconds, 1.5);
+  ASSERT_TRUE(jobs[0].slice_budget.has_value());
+  EXPECT_EQ(*jobs[0].slice_budget, 7u);
+  // Absent keys stay absent so the batch-wide defaults apply.
+  EXPECT_FALSE(jobs[1].max_retries.has_value());
+  EXPECT_FALSE(jobs[1].deadline_seconds.has_value());
+  EXPECT_FALSE(jobs[1].slice_budget.has_value());
+}
+
+TEST(ManifestTest, RejectsBadSupervisionValues) {
+  EXPECT_THROW(parse("job max_retries=-1\n"), RuntimeFailure);
+  EXPECT_THROW(parse("job max_retries=two\n"), RuntimeFailure);
+  EXPECT_THROW(parse("job deadline=-0.5\n"), RuntimeFailure);
+  EXPECT_THROW(parse("job slice_budget=-3\n"), RuntimeFailure);
+}
+
+TEST(ManifestTest, RejectsDuplicateKeysWithLineNumbers) {
+  try {
+    parse("ok\njob steps=10 steps=20\n");
+    FAIL() << "expected RuntimeFailure";
+  } catch (const RuntimeFailure& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("test:2"), std::string::npos) << what;
+    EXPECT_NE(what.find("duplicate key 'steps'"), std::string::npos) << what;
+  }
+  EXPECT_THROW(parse("job priority=1 priority=1\n"), RuntimeFailure);
+}
+
+TEST(ManifestTest, InjectedReadFailureAbortsBeforeAdmittingJobs) {
+  fault::Registry::instance().reset();
+  {
+    fault::Plan plan;
+    fault::ScopedFault fault("md.manifest_parse", plan);
+    EXPECT_THROW(parse("ok\n"), RuntimeFailure);
+  }
+  fault::Registry::instance().reset();
+  EXPECT_EQ(parse("ok\n").size(), 1u);  // clean retry once the fault clears
+}
+
+TEST(ManifestTest, WhitespaceOnlyManifestSaysWhatItSaw) {
+  try {
+    parse("# comment\n\n   \n\t\n");
+    FAIL() << "expected RuntimeFailure";
+  } catch (const RuntimeFailure& e) {
+    // The message distinguishes "file full of comments/blanks" from a
+    // genuinely truncated manifest — it reports the line count it scanned.
+    EXPECT_NE(std::string(e.what()).find("defines no jobs"),
+              std::string::npos)
+        << e.what();
+  }
 }
 
 }  // namespace

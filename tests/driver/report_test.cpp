@@ -93,6 +93,7 @@ md::BatchResult sample_batch() {
   bad.steps_done = 120;
   bad.steps_target = 500;
   bad.slices = 2;
+  bad.attempts = 1;  // an immediate failure still consumed one attempt
   bad.error = "watchdog: energy drift";
   batch.jobs = {ok, bad};
   return batch;
@@ -107,18 +108,38 @@ TEST(Report, BatchReportListsEveryJobAndASummary) {
   EXPECT_NE(report.find("500/500"), std::string::npos);
   EXPECT_NE(report.find("120/500"), std::string::npos);
   EXPECT_NE(report.find("watchdog: energy drift"), std::string::npos);
-  EXPECT_NE(report.find("2 jobs, 1 completed, 1 failed, 0 interrupted"),
-            std::string::npos);
+  EXPECT_NE(
+      report.find("2 jobs, 1 completed, 1 failed, 0 quarantined, 0 interrupted"),
+      std::string::npos);
 }
 
 TEST(Report, BatchCsvHasOneRowPerJob) {
   const std::string csv = render_batch_csv(sample_batch());
   EXPECT_NE(csv.find("job,priority,status,steps_done"), std::string::npos);
-  EXPECT_NE(csv.find("replica-a,2,completed,500,500,5,5,1,0,"),
+  EXPECT_NE(csv.find(",attempts,resumed,"), std::string::npos);
+  // Columns: job,priority,status,steps_done,steps_target,slices,
+  //          checkpoint_saves,attempts,resumed,degraded,...
+  EXPECT_NE(csv.find("replica-a,2,completed,500,500,5,5,0,1,0,"),
             std::string::npos);
-  EXPECT_NE(csv.find("replica-b,0,failed,120,500,2,0,0,0,"),
+  EXPECT_NE(csv.find("replica-b,0,failed,120,500,2,0,1,0,0,"),
             std::string::npos);
   EXPECT_NE(csv.find("watchdog: energy drift"), std::string::npos);
+}
+
+TEST(Report, QuarantinedJobsRenderWithAttempts) {
+  md::BatchResult batch = sample_batch();
+  batch.jobs[1].status = md::JobStatus::kQuarantined;
+  batch.jobs[1].attempts = 3;
+  batch.jobs[1].error = "numerical failure: energy drift";
+
+  const std::string report = render_batch_report(batch);
+  EXPECT_NE(report.find("quarantined"), std::string::npos);
+  EXPECT_NE(report.find("2 jobs, 1 completed, 0 failed, 1 quarantined"),
+            std::string::npos);
+
+  const std::string csv = render_batch_csv(batch);
+  EXPECT_NE(csv.find("replica-b,0,quarantined,120,500,2,0,3,0,0,"),
+            std::string::npos);
 }
 
 TEST(Report, BatchReportFlagsInterruption) {

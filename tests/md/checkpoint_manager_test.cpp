@@ -175,6 +175,34 @@ TEST_F(CheckpointManagerTest, InjectedEioLeavesCommittedGenerationsIntact) {
   EXPECT_EQ(CheckpointManager::load_file(manager.previous_path()).step, 10);
 }
 
+TEST_F(CheckpointManagerTest, InjectedDirectoryFsyncEioFailsTheSaveLoudly) {
+  CheckpointManager manager(path_);
+  manager.save(system_at_step(10), PeriodicBox(4.0), 10);
+
+  // The directory fsync is the LAST durability step: by the time it fails,
+  // the rename already committed.  The save must still report failure (the
+  // caller cannot count on the commit surviving power loss), while the
+  // renamed generation stays fully loadable for this process.
+  {
+    fault::Plan plan;  // fail the next directory fsync
+    fault::ScopedFault fault("md.dir_fsync", plan);
+    try {
+      manager.save(system_at_step(20), PeriodicBox(4.0), 20);
+      FAIL() << "a failed directory fsync must fail the save";
+    } catch (const RuntimeFailure& e) {
+      EXPECT_NE(std::string(e.what()).find("fsync"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(manager.saves(), 1u);  // the failed attempt does not count
+  EXPECT_EQ(CheckpointManager::load_file(path_).step, 20);
+  EXPECT_EQ(CheckpointManager::load_file(manager.previous_path()).step, 10);
+
+  // The retry commits and rotates normally once the fault clears.
+  manager.save(system_at_step(30), PeriodicBox(4.0), 30);
+  EXPECT_EQ(manager.saves(), 2u);
+  EXPECT_EQ(CheckpointManager::load_file(path_).step, 30);
+}
+
 TEST_F(CheckpointManagerTest, StalePreviousGenerationStateIsPreserved) {
   CheckpointManager manager(path_);
   manager.save(system_at_step(10), PeriodicBox(4.0), 10);

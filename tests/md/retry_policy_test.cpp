@@ -1,0 +1,116 @@
+// Retry / quarantine policy: budget accounting, deadline classification and
+// the journal-replay property (restored attempt counts continue the exact
+// delay sequence the dead process was drawing).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/crc32.h"
+#include "core/error.h"
+#include "md/retry_policy.h"
+
+namespace emdpa::md {
+namespace {
+
+RetryPolicy policy_with_retries(int max_retries) {
+  RetryPolicy policy;
+  policy.max_retries = max_retries;
+  return policy;
+}
+
+TEST(RetryPolicyTest, ZeroBudgetFailsImmediately) {
+  // max_retries == 0 is the pre-supervision contract: first failure is
+  // final, the batch report shows a failed job, exit code 3.
+  RetryState state(policy_with_retries(0), "replica-a");
+  const RetryState::Verdict verdict = state.on_failure();
+  EXPECT_EQ(verdict.action, FailureAction::kFail);
+  EXPECT_EQ(verdict.attempts, 1);
+  EXPECT_EQ(state.attempts(), 1);
+}
+
+TEST(RetryPolicyTest, RetriesUpToBudgetThenQuarantines) {
+  RetryState state(policy_with_retries(2), "replica-a");
+
+  const RetryState::Verdict first = state.on_failure();
+  EXPECT_EQ(first.action, FailureAction::kRetry);
+  EXPECT_EQ(first.attempts, 1);
+  EXPECT_GE(first.delay_rounds, 1u);
+
+  const RetryState::Verdict second = state.on_failure();
+  EXPECT_EQ(second.action, FailureAction::kRetry);
+  EXPECT_EQ(second.attempts, 2);
+  EXPECT_GE(second.delay_rounds, 1u);
+
+  const RetryState::Verdict third = state.on_failure();
+  EXPECT_EQ(third.action, FailureAction::kQuarantine);
+  EXPECT_EQ(third.attempts, 3);
+}
+
+TEST(RetryPolicyTest, DeadlineQuarantinesRegardlessOfRemainingBudget) {
+  RetryState state(policy_with_retries(5), "replica-a");
+  const RetryState::Verdict verdict = state.on_failure(/*deadline=*/true);
+  EXPECT_EQ(verdict.action, FailureAction::kQuarantine);
+  EXPECT_EQ(verdict.attempts, 1);
+}
+
+TEST(RetryPolicyTest, DelaysAreDeterministicPerJobName) {
+  RetryState a1(policy_with_retries(4), "replica-a");
+  RetryState a2(policy_with_retries(4), "replica-a");
+  RetryState b(policy_with_retries(4), "replica-b");
+
+  std::vector<std::uint64_t> delays_a1, delays_a2, delays_b;
+  for (int i = 0; i < 4; ++i) {
+    delays_a1.push_back(a1.on_failure().delay_rounds);
+    delays_a2.push_back(a2.on_failure().delay_rounds);
+    delays_b.push_back(b.on_failure().delay_rounds);
+  }
+  EXPECT_EQ(delays_a1, delays_a2);
+  // Different jobs jitter on independent streams; the first delay is the
+  // base for everyone, so decorrelation shows up in the later draws.  (Equal
+  // sequences are astronomically unlikely but not impossible; keep this a
+  // soft property over several draws.)
+  EXPECT_TRUE(delays_a1 != delays_b || delays_a1.size() < 2)
+      << "distinct jobs drew identical jitter sequences";
+}
+
+TEST(RetryPolicyTest, RestoredAttemptsContinueTheDelaySequence) {
+  // The dead process drew delays d1, d2 before the kill and journalled
+  // attempts = 2.  The restarted process must draw d3, d4 next — not d1
+  // again — or replayed batches schedule retries differently.
+  std::vector<std::uint64_t> reference;
+  {
+    RetryState fresh(policy_with_retries(5), "replica-a");
+    for (int i = 0; i < 4; ++i) {
+      reference.push_back(fresh.on_failure().delay_rounds);
+    }
+  }
+
+  RetryState restored(policy_with_retries(5), "replica-a");
+  restored.restore_attempts(2);
+  EXPECT_EQ(restored.attempts(), 2);
+
+  const RetryState::Verdict third = restored.on_failure();
+  EXPECT_EQ(third.action, FailureAction::kRetry);
+  EXPECT_EQ(third.attempts, 3);
+  EXPECT_EQ(third.delay_rounds, reference[2]);
+  EXPECT_EQ(restored.on_failure().delay_rounds, reference[3]);
+}
+
+TEST(RetryPolicyTest, BackoffStreamIsTheCrcOfTheJobName) {
+  // std::hash is implementation-defined; the journal contract pins the
+  // stream id to CRC-32 so delays replay across platforms.
+  EXPECT_EQ(backoff_stream_for("replica-a"),
+            static_cast<std::uint64_t>(crc32("replica-a")));
+  EXPECT_NE(backoff_stream_for("replica-a"), backoff_stream_for("replica-b"));
+}
+
+TEST(RetryPolicyTest, RejectsNegativeBudgets) {
+  RetryPolicy policy;
+  policy.max_retries = -1;
+  EXPECT_THROW(RetryState(policy, "replica-a"), ContractViolation);
+  RetryState state(policy_with_retries(1), "replica-a");
+  EXPECT_THROW(state.restore_attempts(-3), ContractViolation);
+}
+
+}  // namespace
+}  // namespace emdpa::md

@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# Kill-loop chaos harness for the supervised batch runtime.
+#
+# Proves the ISSUE's headline invariant end to end: SIGKILL `emdpa batch` at
+# random times, as many times as it takes, and the batch still converges to
+# the SAME final state an uninterrupted run produces — every job completed,
+# every per-job final checkpoint bitwise identical to the reference run's.
+# The write-ahead journal carries the supervision state across each death;
+# the checkpoint seam carries the physics.
+#
+# Usage: chaos_batch.sh <path-to-emdpa-cli>
+# Exit 0 on success; non-zero with a diagnostic on any violated invariant.
+set -u
+
+CLI="${1:?usage: chaos_batch.sh <path-to-emdpa-cli>}"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+JOBS="a b c d e f g h"
+MANIFEST="$WORK/manifest.txt"
+{
+  echo "# chaos harness: 8 jobs, mixed priorities/seeds"
+  i=0
+  for job in $JOBS; do
+    i=$((i + 1))
+    echo "chaos-$job atoms=256 steps=2000 seed=$i priority=$((i % 3))"
+  done
+} > "$MANIFEST"
+
+run_batch() {
+  dir="$1"
+  shift
+  "$CLI" batch --manifest "$MANIFEST" --checkpoint-dir "$dir" \
+    --slice 100 --threads 2 --csv "$@"
+}
+
+# ---- Reference: one uninterrupted run.
+REF="$WORK/ref"
+if ! run_batch "$REF" > "$WORK/ref.csv"; then
+  echo "chaos: FAIL - reference batch did not complete cleanly"
+  exit 1
+fi
+
+# ---- Kill loop: fixed pseudo-random kill schedule (deterministic harness,
+# random-looking kill points across the batch's lifetime).
+CHAOS="$WORK/chaos"
+kills=0
+finished_early=0
+for delay_ms in 130 270 90 410 60 330 180 240 450 110 370 200 80 300 500 150; do
+  # Background the CLI binary directly — NOT via the run_batch function — so
+  # $! is the emdpa pid itself.  Backgrounding a shell function forks a
+  # subshell, and SIGKILLing that subshell orphans the still-running batch:
+  # the next iteration would then race a second writer over the same
+  # checkpoint directory, which is precisely the corruption this harness
+  # exists to rule out.
+  "$CLI" batch --manifest "$MANIFEST" --checkpoint-dir "$CHAOS" \
+    --slice 100 --threads 2 --csv > /dev/null 2>&1 &
+  pid=$!
+  sleep "0.$(printf '%03d' "$delay_ms")"
+  if ! kill -9 "$pid" 2>/dev/null; then
+    # The batch beat the kill: it already converged.
+    wait "$pid"
+    status=$?
+    if [ "$status" -ne 0 ]; then
+      echo "chaos: FAIL - batch exited $status before the kill"
+      exit 1
+    fi
+    finished_early=1
+    break
+  fi
+  wait "$pid" 2>/dev/null
+  kills=$((kills + 1))
+done
+
+# ---- Convergence: one clean rerun must finish whatever survived the kills.
+if ! run_batch "$CHAOS" > "$WORK/chaos.csv"; then
+  echo "chaos: FAIL - resume after $kills kills did not complete cleanly"
+  cat "$WORK/chaos.csv"
+  exit 1
+fi
+
+completed=$(awk -F, 'NR>1 && $3=="completed"' "$WORK/chaos.csv" | wc -l)
+if [ "$completed" -ne 8 ]; then
+  echo "chaos: FAIL - expected 8 completed jobs after $kills kills, got $completed"
+  cat "$WORK/chaos.csv"
+  exit 1
+fi
+
+# ---- The journal survived every kill: it must replay (the resumed runs
+# already proved that implicitly) and record every job's completion.
+for job in $JOBS; do
+  if ! grep -q "done chaos-$job " "$CHAOS/batch.wal"; then
+    echo "chaos: FAIL - journal has no completion record for chaos-$job"
+    exit 1
+  fi
+done
+
+# ---- The headline invariant: final checkpoints bitwise identical to the
+# uninterrupted reference run.
+for job in $JOBS; do
+  if ! cmp -s "$REF/chaos-$job.ckpt" "$CHAOS/chaos-$job.ckpt"; then
+    echo "chaos: FAIL - chaos-$job final checkpoint diverged from reference"
+    exit 1
+  fi
+done
+
+echo "chaos: PASS - $kills SIGKILLs (finished_early=$finished_early), 8/8 completed, checkpoints bitwise identical"

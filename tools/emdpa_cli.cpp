@@ -129,6 +129,10 @@ int run_batch(const driver::CliOptions& options) {
   scheduler_options.slice_steps = options.slice_steps;
   scheduler_options.max_in_flight = options.max_in_flight;
   scheduler_options.checkpoint_dir = options.checkpoint_dir;
+  scheduler_options.retry.max_retries = options.max_retries;
+  scheduler_options.retry.deadline_wall_seconds = options.job_deadline;
+  scheduler_options.retry.slice_budget = options.job_slice_budget;
+  scheduler_options.journal_path = options.journal_path;
   scheduler_options.pool = &ThreadPool::global();
   // SIGINT/SIGTERM latch (armed in main); polled between time slices, so a
   // signal drains the batch at the next slice boundary — every resident
@@ -149,7 +153,13 @@ int run_batch(const driver::CliOptions& options) {
                  options.checkpoint_dir.c_str());
     return 4;
   }
-  return batch.count(md::JobStatus::kFailed) > 0 ? 3 : 0;
+  // Quarantine means "this job could not be saved by its retry budget" —
+  // operationally the same verdict as an isolated failure.
+  return batch.count(md::JobStatus::kFailed) +
+                 batch.count(md::JobStatus::kQuarantined) >
+                 0
+             ? 3
+             : 0;
 }
 
 /// "emdpa: <what> [step 412, kernel neighbor-list, backend host-parallel]" —
